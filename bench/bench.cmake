@@ -1,0 +1,37 @@
+# One binary per reproduced table/figure (custom harness mains printing the
+# paper-style rows), plus google-benchmark micro-benchmarks.
+#
+# Included from the top-level CMakeLists (not add_subdirectory) so that
+# ${CMAKE_BINARY_DIR}/bench holds ONLY the bench executables and
+# `for b in build/bench/*; do $b; done` regenerates the whole evaluation
+# without tripping over CMake artifacts.
+set(HUSG_BENCH_DIR ${CMAKE_SOURCE_DIR}/bench)
+
+function(husg_bench name)
+  add_executable(${name} ${HUSG_BENCH_DIR}/${name}.cpp)
+  target_link_libraries(${name} PRIVATE husg)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+function(husg_microbench name)
+  add_executable(${name} ${HUSG_BENCH_DIR}/${name}.cpp)
+  target_link_libraries(${name} PRIVATE husg benchmark::benchmark)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+husg_bench(table2_datasets)
+husg_bench(fig01_active_edges)
+husg_bench(fig07_hybrid_effect)
+husg_bench(fig08_prediction)
+husg_bench(table3_exec_time)
+husg_bench(fig09_io_amount)
+husg_bench(fig10_threads)
+husg_bench(fig11_devices)
+husg_bench(ablation_predictor)
+husg_bench(ablation_partitioning)
+husg_bench(ablation_semi_external)
+
+husg_microbench(micro_storage)
+husg_microbench(micro_engine)

@@ -1,0 +1,122 @@
+// Micro-benchmarks (google-benchmark) for the engines: full algorithm runs
+// on a small R-MAT graph, per system. Items processed = edges scanned, so
+// the throughput column is comparable across engines.
+#include <benchmark/benchmark.h>
+
+#include "algos/bfs.hpp"
+#include "algos/pagerank.hpp"
+#include "baselines/graphchi/chi_engine.hpp"
+#include "baselines/gridgraph/grid_engine.hpp"
+#include "baselines/xstream/xstream_engine.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+
+namespace husg {
+namespace {
+
+constexpr unsigned kScale = 12;
+constexpr double kDegree = 12.0;
+
+const EdgeList& bench_graph() {
+  static EdgeList g = gen::rmat(kScale, kDegree, 99);
+  return g;
+}
+
+std::filesystem::path root() {
+  static auto dir = std::filesystem::temp_directory_path() / "husg_micro_eng";
+  return dir;
+}
+
+void BM_HusPageRank(benchmark::State& state) {
+  static auto store =
+      DualBlockStore::build(bench_graph(), root() / "hus", StoreOptions{4});
+  EngineOptions opts;
+  opts.mode = UpdateMode::kCop;
+  opts.max_iterations = 5;
+  opts.threads = static_cast<std::size_t>(state.range(0));
+  opts.device = DeviceProfile::null_device();
+  Engine engine(store, opts);
+  PageRankProgram pr;
+  std::uint64_t edges = 0;
+  for (auto _ : state) {
+    auto r = engine.run(pr, Frontier::all(store.meta(), store.out_degrees()));
+    edges += r.stats.edges_processed;
+    benchmark::DoNotOptimize(r.values.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(edges));
+}
+BENCHMARK(BM_HusPageRank)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_HusBfsHybrid(benchmark::State& state) {
+  static auto store =
+      DualBlockStore::build(bench_graph(), root() / "hus2", StoreOptions{4});
+  EngineOptions opts;
+  opts.threads = 2;
+  Engine engine(store, opts);
+  BfsProgram bfs{.source = 1};
+  std::uint64_t edges = 0;
+  for (auto _ : state) {
+    auto r = engine.run(
+        bfs, Frontier::single(store.meta(), 1, store.out_degrees()));
+    edges += r.stats.edges_processed;
+    benchmark::DoNotOptimize(r.values.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(edges));
+}
+BENCHMARK(BM_HusBfsHybrid)->Unit(benchmark::kMillisecond);
+
+void BM_GridPageRank(benchmark::State& state) {
+  static auto store =
+      baselines::GridStore::build(bench_graph(), root() / "grid", 4);
+  baselines::GridEngine::Options opts;
+  opts.max_iterations = 5;
+  baselines::GridEngine engine(store, opts);
+  PageRankProgram pr;
+  std::uint64_t edges = 0;
+  for (auto _ : state) {
+    auto r = engine.run(pr, baselines::StartSet::all());
+    edges += r.stats.edges_processed;
+    benchmark::DoNotOptimize(r.values.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(edges));
+}
+BENCHMARK(BM_GridPageRank)->Unit(benchmark::kMillisecond);
+
+void BM_ChiPageRank(benchmark::State& state) {
+  static auto store =
+      baselines::ChiStore::build(bench_graph(), root() / "chi", 4);
+  baselines::ChiEngine::Options opts;
+  opts.max_iterations = 5;
+  baselines::ChiEngine engine(store, opts);
+  PageRankProgram pr;
+  std::uint64_t edges = 0;
+  for (auto _ : state) {
+    auto r = engine.run(pr, baselines::StartSet::all());
+    edges += r.stats.edges_processed;
+    benchmark::DoNotOptimize(r.values.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(edges));
+}
+BENCHMARK(BM_ChiPageRank)->Unit(benchmark::kMillisecond);
+
+void BM_XsPageRank(benchmark::State& state) {
+  static auto store =
+      baselines::XStreamStore::build(bench_graph(), root() / "xs", 4);
+  baselines::XStreamEngine::Options opts;
+  opts.max_iterations = 5;
+  baselines::XStreamEngine engine(store, opts);
+  PageRankProgram pr;
+  std::uint64_t edges = 0;
+  for (auto _ : state) {
+    auto r = engine.run(pr, baselines::StartSet::all());
+    edges += r.stats.edges_processed;
+    benchmark::DoNotOptimize(r.values.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(edges));
+}
+BENCHMARK(BM_XsPageRank)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace husg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,137 @@
+// Micro-benchmarks (google-benchmark) for the storage and utility layers:
+// dual-block build, ROP point loads, COP streaming, frontier and bitmap ops.
+#include <benchmark/benchmark.h>
+
+#include "core/frontier.hpp"
+#include "graph/generators.hpp"
+#include "storage/store.hpp"
+#include "util/bitmap.hpp"
+#include "util/rng.hpp"
+#include "util/threadpool.hpp"
+
+namespace husg {
+namespace {
+
+const EdgeList& bench_graph() {
+  static EdgeList g = gen::rmat(14, 16.0, 1234);
+  return g;
+}
+
+std::filesystem::path bench_dir() {
+  static std::filesystem::path dir = [] {
+    auto d = std::filesystem::temp_directory_path() / "husg_micro_store";
+    remove_tree(d);
+    return d;
+  }();
+  return dir;
+}
+
+const DualBlockStore& bench_store() {
+  static DualBlockStore store =
+      DualBlockStore::build(bench_graph(), bench_dir(), StoreOptions{8});
+  return store;
+}
+
+void BM_DualBlockBuild(benchmark::State& state) {
+  const EdgeList& g = bench_graph();
+  auto dir = std::filesystem::temp_directory_path() / "husg_micro_build";
+  for (auto _ : state) {
+    remove_tree(dir);
+    auto store = DualBlockStore::build(
+        g, dir, StoreOptions{static_cast<std::uint32_t>(state.range(0))});
+    benchmark::DoNotOptimize(store.meta().num_edges);
+  }
+  remove_tree(dir);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_DualBlockBuild)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_OutIndexLoad(benchmark::State& state) {
+  const DualBlockStore& store = bench_store();
+  std::vector<std::uint32_t> idx;
+  std::uint32_t j = 0;
+  for (auto _ : state) {
+    store.load_out_index(0, j, idx);
+    j = (j + 1) % store.meta().p();
+    benchmark::DoNotOptimize(idx.data());
+  }
+}
+BENCHMARK(BM_OutIndexLoad);
+
+void BM_RopPointLoad(benchmark::State& state) {
+  const DualBlockStore& store = bench_store();
+  std::vector<std::uint32_t> idx;
+  store.load_out_index(0, 0, idx);
+  AdjacencyBuffer buf;
+  SplitMix64 rng(7);
+  // Collect vertices with edges in block (0,0).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
+  for (std::size_t v = 0; v + 1 < idx.size(); ++v) {
+    if (idx[v + 1] > idx[v]) ranges.emplace_back(idx[v], idx[v + 1]);
+  }
+  for (auto _ : state) {
+    auto [lo, hi] = ranges[rng.next_below(ranges.size())];
+    auto slice = store.load_out_edges(0, 0, lo, hi, buf);
+    benchmark::DoNotOptimize(slice.neighbors.data());
+  }
+}
+BENCHMARK(BM_RopPointLoad);
+
+void BM_CopStreamBlock(benchmark::State& state) {
+  const DualBlockStore& store = bench_store();
+  AdjacencyBuffer buf;
+  std::uint64_t edges = 0;
+  for (auto _ : state) {
+    auto slice = store.stream_in_block(0, 0, buf);
+    edges += slice.neighbors.size();
+    benchmark::DoNotOptimize(slice.neighbors.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(edges));
+}
+BENCHMARK(BM_CopStreamBlock)->Unit(benchmark::kMicrosecond);
+
+void BM_FrontierFromBits(benchmark::State& state) {
+  const DualBlockStore& store = bench_store();
+  std::uint64_t n = store.meta().num_vertices;
+  AtomicBitmap bits(n);
+  SplitMix64 rng(9);
+  for (std::uint64_t i = 0; i < n / 10; ++i) bits.set(rng.next_below(n));
+  for (auto _ : state) {
+    Frontier f = Frontier::from_bits(store.meta(), bits, store.out_degrees());
+    benchmark::DoNotOptimize(f.active_vertices());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FrontierFromBits)->Unit(benchmark::kMicrosecond);
+
+void BM_BitmapForEachSet(benchmark::State& state) {
+  Bitmap b(1 << 20);
+  SplitMix64 rng(11);
+  for (int i = 0; i < state.range(0); ++i) b.set(rng.next_below(1 << 20));
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    b.for_each_set(0, b.size(), [&](std::size_t v) { sum += v; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BitmapForEachSet)->Arg(100)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ThreadPoolParallelFor(benchmark::State& state) {
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    pool.parallel_for(1024, 16, [&](std::size_t i) {
+      sink.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  benchmark::DoNotOptimize(sink.load());
+}
+BENCHMARK(BM_ThreadPoolParallelFor)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace husg
+
+BENCHMARK_MAIN();

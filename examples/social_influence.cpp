@@ -1,0 +1,80 @@
+// Social-network influence analysis: rank users of a power-law social graph
+// with standard PageRank, then show how PageRank-Delta gets the same answer
+// while letting the frontier (and hence the I/O) collapse — the workload
+// class the paper's hybrid strategy is built for.
+//
+//   ./examples/social_influence [--scale 15] [--degree 16] [--topk 10]
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+
+#include "husg/husg.hpp"
+
+int main(int argc, char** argv) {
+  using namespace husg;
+  Options opts = Options::parse(argc, argv);
+  unsigned scale = static_cast<unsigned>(opts.get_int("scale", 15));
+  double degree = opts.get_double("degree", 16.0);
+  int topk = static_cast<int>(opts.get_int("topk", 10));
+
+  EdgeList graph = gen::rmat(scale, degree, /*seed=*/7);
+  auto dir = std::filesystem::temp_directory_path() / "husg_social";
+  remove_tree(dir);
+  DualBlockStore store = DualBlockStore::build(graph, dir, StoreOptions{8});
+
+  // --- Standard PageRank: every vertex recomputes every iteration, so the
+  // engine streams with COP (the dense regime).
+  EngineOptions pr_opts;
+  pr_opts.mode = UpdateMode::kCop;
+  pr_opts.max_iterations = 20;
+  Engine pr_engine(store, pr_opts);
+  PageRankProgram pr;
+  auto ranks =
+      pr_engine.run(pr, Frontier::all(store.meta(), store.out_degrees()));
+  std::printf("standard PageRank: %s\n", ranks.stats.summary().c_str());
+
+  std::vector<VertexId> order(graph.num_vertices());
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + topk, order.end(),
+                    [&](VertexId a, VertexId b) {
+                      return ranks.values[a] > ranks.values[b];
+                    });
+  std::printf("top-%d influencers (vertex: rank, followers):\n", topk);
+  for (int i = 0; i < topk; ++i) {
+    VertexId v = order[i];
+    std::printf("  %8u: %.3f  %u\n", v, ranks.values[v],
+                store.in_degrees()[v]);
+  }
+
+  // --- PageRank-Delta: only vertices with enough pending residual stay
+  // active, so the frontier thins and the hybrid engine can switch to
+  // selective ROP I/O for the long convergence tail.
+  EngineOptions prd_opts;
+  prd_opts.mode = UpdateMode::kHybrid;
+  prd_opts.max_iterations = 500;
+  Engine prd_engine(store, prd_opts);
+  PageRankDeltaProgram prd;
+  prd.epsilon = 1e-4f;
+  auto delta =
+      prd_engine.run(prd, Frontier::all(store.meta(), store.out_degrees()));
+  std::printf("\nPageRank-Delta: %s\n", delta.stats.summary().c_str());
+  std::printf("frontier decay (active vertices per iteration):");
+  for (const auto& iter : delta.stats.iterations) {
+    std::printf(" %llu",
+                static_cast<unsigned long long>(iter.active_vertices));
+  }
+  std::printf("\n");
+
+  // The two formulations agree at their common fixed point (up to the
+  // truncation of the 20-sweep run and the residual threshold).
+  double worst = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    worst = std::max(
+        worst, std::abs(static_cast<double>(delta.values[v].rank) -
+                        ranks.values[v]));
+  }
+  std::printf("max |PR - PR-Delta| over all vertices: %.4f\n", worst);
+  remove_tree(dir);
+  return 0;
+}

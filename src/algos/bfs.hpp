@@ -1,0 +1,35 @@
+// Breadth-first search: hop distance from a source vertex.
+// Monotone min-combining program; idempotent, so every hybrid mode applies.
+#pragma once
+
+#include <limits>
+
+#include "core/program.hpp"
+
+namespace husg {
+
+struct BfsProgram {
+  using Value = std::uint32_t;
+  static constexpr bool kAccumulating = false;
+  static constexpr bool kIdempotent = true;
+  static constexpr Value kUnreached = std::numeric_limits<Value>::max();
+
+  VertexId source = 0;
+
+  Value initial(const ProgramContext&, VertexId v) const {
+    return v == source ? 0 : kUnreached;
+  }
+
+  bool update(const ProgramContext&, const Value& sval, VertexId,
+              Value& dval, VertexId, Weight) const {
+    if (sval == kUnreached) return false;
+    Value cand = sval + 1;
+    if (cand < dval) {
+      dval = cand;
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace husg

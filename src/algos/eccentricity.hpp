@@ -1,0 +1,50 @@
+// Eccentricity / radii estimation via multi-source BFS (the MS-BFS / Ligra
+// "Radii" technique): propagate a 64-bit root mask and record, per vertex,
+// the iteration at which the last new root reached it. At convergence
+// `level[v] = max_{r in sample, r reaches v} d(r, v)`, a lower bound on v's
+// eccentricity; the maximum over all vertices lower-bounds the graph
+// diameter. Run on a symmetrized store for the undirected estimate.
+//
+// Monotone and idempotent (bit-OR dominates; the level only rewrites when
+// new bits arrive, and re-applying the same merge changes nothing).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/program.hpp"
+
+namespace husg {
+
+struct EccValue {
+  std::uint64_t bits = 0;   ///< which sampled roots reach this vertex
+  std::uint32_t level = 0;  ///< iteration of the latest bit arrival
+};
+
+struct EccentricityProgram {
+  using Value = EccValue;
+  static constexpr bool kAccumulating = false;
+  static constexpr bool kIdempotent = true;
+
+  std::vector<VertexId> roots;  ///< up to 64 sampled roots
+
+  Value initial(const ProgramContext&, VertexId v) const {
+    Value val;
+    for (std::size_t i = 0; i < roots.size() && i < 64; ++i) {
+      if (roots[i] == v) val.bits |= (1ULL << i);
+    }
+    return val;
+  }
+
+  bool update(const ProgramContext& ctx, const Value& sval, VertexId,
+              Value& dval, VertexId, Weight) const {
+    std::uint64_t merged = dval.bits | sval.bits;
+    if (merged == dval.bits) return false;
+    dval.bits = merged;
+    // A bit arriving while iteration k executes travelled k+1 hops.
+    dval.level = static_cast<std::uint32_t>(ctx.iteration) + 1;
+    return true;
+  }
+};
+
+}  // namespace husg

@@ -1,0 +1,64 @@
+// k-core decomposition membership: iteratively peel vertices whose (induced)
+// degree drops below k; the survivors are the k-core. Run on a symmetrized
+// store.
+//
+// Push formulation: a vertex activates exactly once — when its remaining
+// degree first crosses below k — and during its single active iteration it
+// pushes a decrement to every neighbour, then the engine's on_processed hook
+// marks it removed. Additive (not idempotent): requires the default global
+// decision granularity and Jacobi sync, both enforced by the engine.
+//
+// The initial frontier is the set of vertices with degree < k
+// (kcore_initial_frontier below).
+#pragma once
+
+#include "core/frontier.hpp"
+#include "core/program.hpp"
+#include "storage/store.hpp"
+
+namespace husg {
+
+struct KCoreValue {
+  std::uint32_t degree = 0;   ///< remaining (induced) degree
+  std::uint32_t removed = 0;  ///< 1 once peeled out of the core
+};
+
+struct KCoreProgram {
+  using Value = KCoreValue;
+  static constexpr bool kAccumulating = false;
+  static constexpr bool kIdempotent = false;
+
+  std::uint32_t k = 2;
+
+  Value initial(const ProgramContext& ctx, VertexId v) const {
+    return Value{ctx.out_degrees[v], 0};
+  }
+
+  bool update(const ProgramContext&, const Value& sval, VertexId,
+              Value& dval, VertexId, Weight) const {
+    (void)sval;  // the mere activity of the (being-removed) source matters
+    if (dval.removed != 0) return false;
+    std::uint32_t old = dval.degree;
+    if (old > 0) dval.degree = old - 1;
+    // Activate exactly on the crossing below k; degrees only decrease, so
+    // this fires at most once per vertex.
+    return old >= k && dval.degree < k;
+  }
+
+  void on_processed(const ProgramContext&, VertexId, Value& value,
+                    const Value&) const {
+    value.removed = 1;
+  }
+};
+
+/// Frontier of vertices whose initial degree is already below k.
+inline Frontier kcore_initial_frontier(const DualBlockStore& store,
+                                       std::uint32_t k) {
+  AtomicBitmap bits(store.meta().num_vertices);
+  for (VertexId v = 0; v < store.meta().num_vertices; ++v) {
+    if (store.out_degrees()[v] < k) bits.set(v);
+  }
+  return Frontier::from_bits(store.meta(), bits, store.out_degrees());
+}
+
+}  // namespace husg

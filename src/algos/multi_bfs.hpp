@@ -1,0 +1,41 @@
+// Multi-source BFS / reachability: propagates a 64-bit source bitmask, so
+// one pass answers "which of these 64 roots reach v" (the building block of
+// MS-BFS-style radii and centrality estimators). Bit-OR is monotone and
+// idempotent, so the full hybrid machinery applies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/program.hpp"
+
+namespace husg {
+
+struct MultiBfsProgram {
+  using Value = std::uint64_t;  ///< bit i set <=> reachable from root i
+  static constexpr bool kAccumulating = false;
+  static constexpr bool kIdempotent = true;
+
+  /// roots[i] owns bit i; fewer than 64 roots leave the high bits unused.
+  std::vector<VertexId> roots;
+
+  Value initial(const ProgramContext&, VertexId v) const {
+    Value bits = 0;
+    for (std::size_t i = 0; i < roots.size() && i < 64; ++i) {
+      if (roots[i] == v) bits |= (1ULL << i);
+    }
+    return bits;
+  }
+
+  bool update(const ProgramContext&, const Value& sval, VertexId,
+              Value& dval, VertexId, Weight) const {
+    Value merged = dval | sval;
+    if (merged != dval) {
+      dval = merged;
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace husg

@@ -1,0 +1,46 @@
+// Standard PageRank (the paper's dense workload: every vertex recomputes its
+// rank every iteration, so the engine always streams with COP).
+//
+// Formulation per the paper's footnote 1 and the GraphChi/GridGraph
+// convention:  pr(v) = 0.15 + 0.85 * Σ_{u->v} pr(u) / outdeg(u),
+// starting from pr = 1.0; dangling mass is not redistributed.
+//
+// Accumulating program; run it with EngineOptions::max_iterations set to the
+// desired sweep count (the paper uses 5).
+#pragma once
+
+#include <cmath>
+
+#include "core/program.hpp"
+
+namespace husg {
+
+struct PageRankProgram {
+  using Value = float;
+  static constexpr bool kAccumulating = true;
+  static constexpr bool kIdempotent = false;
+
+  float damping = 0.85f;
+  /// Vertices whose rank moved less than this stop being active; 0 keeps
+  /// everything active so the run lasts exactly max_iterations.
+  float tolerance = 0.0f;
+
+  Value initial(const ProgramContext&, VertexId) const { return 1.0f; }
+
+  Value gather_zero(const ProgramContext&, VertexId) const { return 0.0f; }
+
+  void gather(const ProgramContext& ctx, Value& acc, const Value& sval,
+              VertexId s, Weight) const {
+    acc += sval / static_cast<float>(ctx.out_degrees[s]);
+  }
+
+  /// acc holds the gathered sum on entry and the new rank on exit; the
+  /// return value is whether the vertex stays active.
+  bool apply(const ProgramContext&, VertexId, Value& acc,
+             const Value& prev) const {
+    acc = (1.0f - damping) + damping * acc;
+    return tolerance <= 0.0f || std::fabs(acc - prev) > tolerance;
+  }
+};
+
+}  // namespace husg

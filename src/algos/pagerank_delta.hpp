@@ -1,0 +1,55 @@
+// PageRank-Delta (the paper's footnote 1): a vertex is active only while it
+// has accumulated enough residual change, so the frontier thins out as ranks
+// converge and the hybrid strategy can switch to ROP for the long tail.
+//
+// Value = {rank, residual}. An active vertex pushes damping*residual/outdeg
+// to each out-neighbour; at the end of the iteration the engine's
+// on_processed hook folds the consumed residual into the rank. Additive, so
+// NOT idempotent: requires the (default) global decision granularity.
+#pragma once
+
+#include "core/program.hpp"
+
+namespace husg {
+
+struct PageRankDeltaValue {
+  float rank = 0.0f;
+  float residual = 0.0f;
+};
+
+struct PageRankDeltaProgram {
+  using Value = PageRankDeltaValue;
+  static constexpr bool kAccumulating = false;
+  static constexpr bool kIdempotent = false;
+
+  float damping = 0.85f;
+  float epsilon = 1e-3f;  ///< activation threshold on the residual
+
+  Value initial(const ProgramContext&, VertexId) const {
+    // Neumann-series formulation: rank accumulates consumed residuals, so at
+    // convergence rank_v = 0.15 · Σ_k (0.85·M)^k · 1 — the fixed point of
+    // pr(v) = 0.15 + 0.85 Σ pr(u)/d_u.
+    return Value{0.0f, 0.15f};
+  }
+
+  bool update(const ProgramContext& ctx, const Value& sval, VertexId s,
+              Value& dval, VertexId, Weight) const {
+    VertexId deg = ctx.out_degrees[s];
+    if (deg == 0 || sval.residual <= 0.0f) return false;
+    dval.residual += damping * sval.residual / static_cast<float>(deg);
+    // Activate whenever the pending residual exceeds the threshold. This can
+    // keep a vertex active one extra iteration (its own residual is consumed
+    // at the iteration boundary), which costs a little work but never drops
+    // residual mass.
+    return dval.residual > epsilon;
+  }
+
+  /// Consumes the residual this vertex pushed during the iteration.
+  void on_processed(const ProgramContext&, VertexId, Value& value,
+                    const Value& prev) const {
+    value.rank += prev.residual;
+    value.residual -= prev.residual;
+  }
+};
+
+}  // namespace husg

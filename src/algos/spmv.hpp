@@ -1,0 +1,46 @@
+// Sparse matrix-vector multiplication over the graph's (weighted) adjacency
+// matrix: y[v] = Σ_{(u,v) ∈ E} w(u,v) · x[u], iterated k times (power
+// iteration without normalization). The paper calls PageRank "a
+// representative sparse matrix multiplication algorithm"; this program is
+// the raw primitive.
+//
+// Accumulating program; the input vector is the initial value assignment.
+// Run with max_iterations = k.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "core/program.hpp"
+
+namespace husg {
+
+struct SpmvProgram {
+  using Value = float;
+  static constexpr bool kAccumulating = true;
+  static constexpr bool kIdempotent = false;
+
+  /// Input vector x; empty means x = all-ones.
+  std::span<const float> x;
+
+  Value initial(const ProgramContext&, VertexId v) const {
+    return x.empty() ? 1.0f : x[v];
+  }
+
+  Value gather_zero(const ProgramContext&, VertexId) const { return 0.0f; }
+
+  void gather(const ProgramContext&, Value& acc, const Value& sval, VertexId,
+              Weight w) const {
+    acc += w * sval;
+  }
+
+  bool apply(const ProgramContext&, VertexId, Value& acc,
+             const Value&) const {
+    // acc already holds y[v]; keep every vertex active so repeated
+    // application computes A^k x under max_iterations = k.
+    (void)acc;
+    return true;
+  }
+};
+
+}  // namespace husg

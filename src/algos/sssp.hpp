@@ -1,0 +1,35 @@
+// Single-source shortest paths (Bellman-Ford style relaxation over a
+// weighted store). Converges to exact distances for non-negative weights.
+#pragma once
+
+#include <limits>
+
+#include "core/program.hpp"
+
+namespace husg {
+
+struct SsspProgram {
+  using Value = float;
+  static constexpr bool kAccumulating = false;
+  static constexpr bool kIdempotent = true;
+  static constexpr Value kUnreached = std::numeric_limits<Value>::infinity();
+
+  VertexId source = 0;
+
+  Value initial(const ProgramContext&, VertexId v) const {
+    return v == source ? 0.0f : kUnreached;
+  }
+
+  bool update(const ProgramContext&, const Value& sval, VertexId,
+              Value& dval, VertexId, Weight w) const {
+    if (sval == kUnreached) return false;
+    Value cand = sval + w;
+    if (cand < dval) {
+      dval = cand;
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace husg

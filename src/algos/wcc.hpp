@@ -1,0 +1,29 @@
+// Weakly connected components by label propagation: every vertex starts with
+// its own id and the minimum id floods each component. The input graph must
+// be symmetrized (paper §3.1: undirected graphs are stored as edge pairs);
+// on a directed store the fixed point is the minimum reachable-ancestor
+// label instead.
+#pragma once
+
+#include "core/program.hpp"
+
+namespace husg {
+
+struct WccProgram {
+  using Value = VertexId;
+  static constexpr bool kAccumulating = false;
+  static constexpr bool kIdempotent = true;
+
+  Value initial(const ProgramContext&, VertexId v) const { return v; }
+
+  bool update(const ProgramContext&, const Value& sval, VertexId,
+              Value& dval, VertexId, Weight) const {
+    if (sval < dval) {
+      dval = sval;
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace husg

@@ -1,0 +1,82 @@
+// Shared plumbing for the three baseline systems (GraphChi-like,
+// GridGraph-like, X-Stream-like). Each baseline is a faithful miniature of
+// the corresponding system's I/O architecture, runs the same VertexProgram
+// definitions as the HUS engine, and reports the same RunStats, so the
+// cross-system benchmarks compare storage/update architectures only.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "core/program.hpp"
+#include "core/run_stats.hpp"
+#include "io/device.hpp"
+#include "util/bitmap.hpp"
+#include "util/common.hpp"
+
+namespace husg::baselines {
+
+struct BaselineOptions {
+  std::size_t threads = 4;
+  DeviceProfile device = DeviceProfile::sata_ssd();
+  int max_iterations = 100000;
+  double cpu_ns_per_edge = 4.0;
+  /// Effective parallel speedup cap for the modeled CPU component. GraphChi's
+  /// deterministic parallelism caps low; streaming engines scale with the
+  /// thread count (see DESIGN.md).
+  double parallel_cap = 1e9;
+};
+
+/// Initial active set for a baseline run.
+struct StartSet {
+  enum class Kind { kAll, kSingle, kNone } kind = Kind::kAll;
+  VertexId vertex = 0;
+
+  static StartSet all() { return {Kind::kAll, 0}; }
+  static StartSet single(VertexId v) { return {Kind::kSingle, v}; }
+
+  Bitmap materialize(std::uint64_t n) const {
+    Bitmap b(n);
+    switch (kind) {
+      case Kind::kAll:
+        b.set_all();
+        break;
+      case Kind::kSingle:
+        HUSG_CHECK(vertex < n, "start vertex out of range");
+        b.set(vertex);
+        break;
+      case Kind::kNone:
+        break;
+    }
+    return b;
+  }
+};
+
+template <class V>
+struct BaselineResult {
+  std::vector<V> values;
+  RunStats stats;
+};
+
+/// Modeled CPU seconds for one iteration of a baseline.
+inline double modeled_cpu(const BaselineOptions& opts,
+                          std::uint64_t edges_scanned) {
+  double eff = std::min<double>(static_cast<double>(opts.threads),
+                                opts.parallel_cap);
+  if (eff < 1.0) eff = 1.0;
+  return opts.cpu_ns_per_edge * 1e-9 * static_cast<double>(edges_scanned) /
+         eff;
+}
+
+/// Equal-vertex interval boundaries (all baselines partition this way).
+inline std::vector<VertexId> equal_boundaries(std::uint64_t n,
+                                              std::uint32_t p) {
+  std::vector<VertexId> b(p + 1);
+  for (std::uint32_t k = 0; k <= p; ++k) {
+    b[k] = static_cast<VertexId>(n * k / p);
+  }
+  return b;
+}
+
+}  // namespace husg::baselines

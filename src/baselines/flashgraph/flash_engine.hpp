@@ -1,0 +1,164 @@
+// FlashGraph-like semi-external engine (paper §5's SSD-oriented class):
+// vertex values and the CSR index live in memory, adjacency lists on flash.
+// Each iteration reads only the ACTIVE vertices' adjacency lists, merging
+// requests whose lists are adjacent on disk (FlashGraph's I/O merging), and
+// pushes updates. No vertex-value I/O at all.
+//
+// This architecture is superb on SSDs and terrible on HDDs — the paper's
+// point when it contrasts FlashGraph/Graphene ("rely on expensive SSD
+// arrays") with HDD-friendly streaming systems. The semi-external bench
+// quantifies exactly that trade.
+#pragma once
+
+#include "baselines/common.hpp"
+#include "baselines/flashgraph/flash_store.hpp"
+#include "core/program.hpp"
+#include "core/run_stats.hpp"
+#include "util/timer.hpp"
+
+namespace husg::baselines {
+
+class FlashEngine {
+ public:
+  struct Options : BaselineOptions {
+    /// Merge point reads when the gap between consecutive active vertices'
+    /// lists is at most this many records (0 = exact-adjacency merging
+    /// only). Gap bytes are read and discarded, like real request merging.
+    std::uint64_t merge_gap_records = 16;
+  };
+
+  FlashEngine(const FlashStore& store, Options options)
+      : store_(&store), opts_(std::move(options)) {}
+
+  template <VertexProgram P>
+  BaselineResult<typename P::Value> run(const P& prog, const StartSet& start);
+
+ private:
+  const FlashStore* store_;
+  Options opts_;
+};
+
+template <VertexProgram P>
+BaselineResult<typename P::Value> FlashEngine::run(const P& prog,
+                                                   const StartSet& start) {
+  using V = typename P::Value;
+  const FlashMeta& meta = store_->meta();
+  const std::uint64_t n = meta.num_vertices;
+  ProgramContext ctx{store_->out_degrees(), store_->in_degrees(), 0};
+  std::span<const std::uint64_t> offsets = store_->offsets();
+
+  BaselineResult<V> result;
+  std::vector<V> vals(n), prev(n);
+  for (VertexId v = 0; v < n; ++v) vals[v] = prog.initial(ctx, v);
+  Bitmap active = start.materialize(n);
+  std::vector<V> acc;
+
+  for (int iter = 0;
+       iter < opts_.max_iterations && active.count() > 0; ++iter) {
+    Timer timer;
+    IoSnapshot before = store_->io().snapshot();
+    IterationStats istats;
+    istats.iteration = iter;
+    ctx.iteration = iter;
+    istats.active_vertices = active.count();
+
+    prev = vals;
+    Bitmap next(n);
+    std::uint64_t scanned = 0;
+
+    if constexpr (P::kAccumulating) {
+      acc.assign(n, V{});
+      for (VertexId v = 0; v < n; ++v) acc[v] = prog.gather_zero(ctx, v);
+    }
+
+    // Dense iterations (or accumulating programs, which gather from every
+    // source) degenerate into one sequential scan of the adjacency file.
+    bool dense = P::kAccumulating || active.count() * 2 >= n;
+
+    if (dense) {
+      // One sequential scan over the whole adjacency file.
+      VertexId src = 0;
+      store_->read_run(0, meta.num_edges, /*sequential=*/true,
+                       [&](std::uint64_t k, VertexId d, Weight w) {
+                         while (offsets[src + 1] <= k) ++src;
+                         ++scanned;
+                         if constexpr (P::kAccumulating) {
+                           prog.gather(ctx, acc[d], prev[src], src, w);
+                         } else {
+                           if (!active.get(src)) return;
+                           if (prog.update(ctx, prev[src], src, vals[d], d,
+                                           w)) {
+                             next.set(d);
+                           }
+                         }
+                       });
+    } else if constexpr (!P::kAccumulating) {
+      // Selective reads: merge active vertices' runs when the disk gap is
+      // small, then issue one random request per merged run. (Accumulating
+      // programs always take the dense path above.)
+      VertexId v = 0;
+      while (v < n) {
+        if (!active.get(v) || offsets[v + 1] == offsets[v]) {
+          ++v;
+          continue;
+        }
+        std::uint64_t lo = offsets[v];
+        std::uint64_t hi = offsets[v + 1];
+        // Extend the run while the next ACTIVE vertex's list starts within
+        // the merge gap.
+        VertexId w = v + 1;
+        while (w < n) {
+          if (active.get(w) && offsets[w + 1] > offsets[w]) {
+            if (offsets[w] <= hi + opts_.merge_gap_records) {
+              hi = offsets[w + 1];
+              ++w;
+              continue;
+            }
+            break;
+          }
+          // Inactive vertex: may still sit inside the merged window.
+          if (offsets[w + 1] <= hi + opts_.merge_gap_records) {
+            ++w;
+            continue;
+          }
+          break;
+        }
+        VertexId src = v;
+        store_->read_run(lo, hi, /*sequential=*/false,
+                         [&](std::uint64_t k, VertexId d, Weight wgt) {
+                           while (offsets[src + 1] <= k) ++src;
+                           if (!active.get(src)) return;
+                           ++scanned;
+                           if (prog.update(ctx, prev[src], src, vals[d], d,
+                                           wgt)) {
+                             next.set(d);
+                           }
+                         });
+        v = w;  // first vertex not covered by the merged run
+      }
+    }
+
+    if constexpr (P::kAccumulating) {
+      for (VertexId u = 0; u < n; ++u) {
+        V a = acc[u];
+        if (prog.apply(ctx, u, a, vals[u])) next.set(u);
+        vals[u] = a;
+      }
+    }
+
+    active = std::move(next);
+
+    istats.active_edges = scanned;
+    istats.edges_processed = scanned;
+    istats.io = store_->io().snapshot() - before;
+    istats.wall_seconds = timer.seconds();
+    istats.modeled_io_seconds = opts_.device.modeled_seconds(istats.io);
+    istats.modeled_cpu_seconds = modeled_cpu(opts_, scanned);
+    result.stats.add_iteration(std::move(istats));
+  }
+
+  result.values = std::move(vals);
+  return result;
+}
+
+}  // namespace husg::baselines

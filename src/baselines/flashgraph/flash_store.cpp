@@ -1,0 +1,113 @@
+#include "baselines/flashgraph/flash_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "io/file.hpp"
+
+namespace husg::baselines {
+
+namespace {
+constexpr std::uint64_t kFlashMagic = 0x48555347464C5331ULL;  // HUSGFLS1
+constexpr const char* kMetaFile = "flash_meta.bin";
+constexpr const char* kAdjFile = "flash.adj";
+constexpr const char* kIdxFile = "flash.idx";
+constexpr const char* kDegFile = "flash_degrees.bin";
+}  // namespace
+
+FlashStore FlashStore::build(const EdgeList& graph,
+                             const std::filesystem::path& dir) {
+  HUSG_CHECK(graph.num_vertices() > 0, "flash: empty vertex set");
+  ensure_directory(dir);
+
+  FlashMeta meta;
+  meta.num_vertices = graph.num_vertices();
+  meta.num_edges = graph.num_edges();
+  meta.weighted = graph.weighted();
+
+  // Global CSR over out-edges, sorted by (src, dst).
+  std::vector<std::uint64_t> offsets(meta.num_vertices + 1, 0);
+  for (const Edge& e : graph.edges()) ++offsets[e.src + 1];
+  for (std::size_t v = 1; v < offsets.size(); ++v) offsets[v] += offsets[v - 1];
+
+  const std::uint32_t rec = meta.record_bytes();
+  std::vector<char> adj(meta.num_edges * rec);
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Edge& ed = graph.edge(e);
+    std::uint64_t at = cursor[ed.src]++;
+    if (meta.weighted) {
+      struct Rec {
+        VertexId dst;
+        Weight w;
+      } r{ed.dst, graph.weight(e)};
+      std::memcpy(adj.data() + at * rec, &r, rec);
+    } else {
+      std::memcpy(adj.data() + at * rec, &ed.dst, rec);
+    }
+  }
+
+  {
+    File f(dir / kAdjFile, File::Mode::kWrite);
+    if (!adj.empty()) f.pwrite_exact(adj.data(), adj.size(), 0);
+  }
+  {
+    File f(dir / kIdxFile, File::Mode::kWrite);
+    f.pwrite_exact(offsets.data(), offsets.size() * sizeof(std::uint64_t), 0);
+  }
+  {
+    File f(dir / kMetaFile, File::Mode::kWrite);
+    std::uint64_t hdr[4] = {kFlashMagic, meta.num_vertices, meta.num_edges,
+                            meta.weighted ? 1u : 0u};
+    f.pwrite_exact(hdr, sizeof(hdr), 0);
+  }
+  {
+    File f(dir / kDegFile, File::Mode::kWrite);
+    auto od = graph.out_degrees();
+    auto id = graph.in_degrees();
+    f.pwrite_exact(od.data(), od.size() * sizeof(VertexId), 0);
+    f.pwrite_exact(id.data(), id.size() * sizeof(VertexId),
+                   od.size() * sizeof(VertexId));
+  }
+  return open(dir);
+}
+
+FlashStore FlashStore::open(const std::filesystem::path& dir) {
+  FlashStore s;
+  s.dir_ = dir;
+  s.io_ = std::make_unique<IoStats>();
+  File meta_file(dir / kMetaFile, File::Mode::kRead);
+  std::uint64_t hdr[4];
+  HUSG_CHECK(meta_file.size() == sizeof(hdr), "flash meta size mismatch");
+  meta_file.pread_exact(hdr, sizeof(hdr), 0);
+  HUSG_CHECK(hdr[0] == kFlashMagic, "bad flash magic");
+  s.meta_.num_vertices = hdr[1];
+  s.meta_.num_edges = hdr[2];
+  s.meta_.weighted = hdr[3] != 0;
+
+  std::uint64_t n = s.meta_.num_vertices;
+  // FlashGraph keeps the CSR index in memory (semi-external): load once,
+  // charged as a sequential pass.
+  TrackedFile idx(dir / kIdxFile, File::Mode::kRead, s.io_.get());
+  HUSG_CHECK(idx.size() == (n + 1) * sizeof(std::uint64_t),
+             "flash.idx size mismatch");
+  s.offsets_.resize(n + 1);
+  idx.read_sequential(s.offsets_.data(), (n + 1) * sizeof(std::uint64_t), 0);
+  HUSG_CHECK(s.offsets_.front() == 0 && s.offsets_.back() == s.meta_.num_edges,
+             "flash.idx corrupt");
+
+  s.adj_ = TrackedFile(dir / kAdjFile, File::Mode::kRead, s.io_.get());
+  HUSG_CHECK(s.adj_.size() == s.meta_.num_edges * s.meta_.record_bytes(),
+             "flash.adj truncated");
+
+  TrackedFile deg(dir / kDegFile, File::Mode::kRead, s.io_.get());
+  HUSG_CHECK(deg.size() == 2 * n * sizeof(VertexId), "flash degrees mismatch");
+  s.out_degrees_.resize(n);
+  s.in_degrees_.resize(n);
+  deg.read_sequential(s.out_degrees_.data(), n * sizeof(VertexId), 0);
+  deg.read_sequential(s.in_degrees_.data(), n * sizeof(VertexId),
+                      n * sizeof(VertexId));
+  return s;
+}
+
+}  // namespace husg::baselines

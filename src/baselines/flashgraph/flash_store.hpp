@@ -1,0 +1,91 @@
+// FlashGraph-like on-disk format: one global CSR adjacency file per
+// direction, with the offset index held in memory (semi-external memory:
+// vertex state and indices in RAM, edges on flash). No partitioning — the
+// engine reads exactly the adjacency lists it needs.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "io/io_stats.hpp"
+#include "io/tracked_file.hpp"
+#include "util/common.hpp"
+
+namespace husg::baselines {
+
+struct FlashMeta {
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  bool weighted = false;
+
+  std::uint32_t record_bytes() const {
+    return weighted ? 8 : 4;  // {dst[,w]} like the dual-block records
+  }
+};
+
+class FlashStore {
+ public:
+  static FlashStore build(const EdgeList& graph,
+                          const std::filesystem::path& dir);
+  static FlashStore open(const std::filesystem::path& dir);
+
+  FlashStore(FlashStore&&) = default;
+  FlashStore& operator=(FlashStore&&) = default;
+
+  const FlashMeta& meta() const { return meta_; }
+  IoStats& io() const { return *io_; }
+  const std::filesystem::path& dir() const { return dir_; }
+  std::span<const VertexId> out_degrees() const { return out_degrees_; }
+  std::span<const VertexId> in_degrees() const { return in_degrees_; }
+
+  /// In-memory CSR offset index over the out-adjacency file (edge units).
+  std::span<const std::uint64_t> offsets() const { return offsets_; }
+
+  /// Reads the out-adjacency run covering edge range [lo, hi) with ONE
+  /// request (FlashGraph merges adjacent requests before issuing them);
+  /// fn(edge_index, dst, weight) per edge.
+  template <class Fn>
+  void read_run(std::uint64_t lo, std::uint64_t hi, bool sequential,
+                Fn&& fn) const {
+    if (hi <= lo) return;
+    const std::uint32_t rec = meta_.record_bytes();
+    std::vector<char> buf((hi - lo) * rec);
+    if (sequential) {
+      adj_.read_sequential(buf.data(), buf.size(), lo * rec);
+    } else {
+      adj_.read_random(buf.data(), buf.size(), lo * rec);
+    }
+    if (meta_.weighted) {
+      struct Rec {
+        VertexId dst;
+        Weight w;
+      };
+      const Rec* recs = reinterpret_cast<const Rec*>(buf.data());
+      for (std::uint64_t k = 0; k < hi - lo; ++k) {
+        fn(lo + k, recs[k].dst, recs[k].w);
+      }
+    } else {
+      const VertexId* recs = reinterpret_cast<const VertexId*>(buf.data());
+      for (std::uint64_t k = 0; k < hi - lo; ++k) {
+        fn(lo + k, recs[k], Weight{1});
+      }
+    }
+  }
+
+ private:
+  FlashStore() = default;
+
+  std::filesystem::path dir_;
+  FlashMeta meta_;
+  std::unique_ptr<IoStats> io_;
+  TrackedFile adj_;
+  std::vector<std::uint64_t> offsets_;
+  std::vector<VertexId> out_degrees_;
+  std::vector<VertexId> in_degrees_;
+};
+
+}  // namespace husg::baselines

@@ -1,0 +1,172 @@
+#include "baselines/graphchi/chi_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "baselines/common.hpp"
+#include "io/file.hpp"
+
+namespace husg::baselines {
+
+namespace {
+constexpr std::uint64_t kChiMagic = 0x4855534743484931ULL;  // HUSGCHI1
+constexpr const char* kMetaFile = "chi_meta.bin";
+constexpr const char* kDataFile = "shards.dat";
+constexpr const char* kDegFile = "chi_degrees.bin";
+}  // namespace
+
+ChiStore ChiStore::build(const EdgeList& graph,
+                         const std::filesystem::path& dir, std::uint32_t p) {
+  HUSG_CHECK(p > 0, "chi: p must be positive");
+  HUSG_CHECK(graph.num_vertices() > 0, "chi: empty vertex set");
+  ensure_directory(dir);
+
+  ChiMeta meta;
+  meta.num_vertices = graph.num_vertices();
+  meta.num_edges = graph.num_edges();
+  meta.p = p;
+  meta.weighted = graph.weighted();
+  meta.boundaries = equal_boundaries(meta.num_vertices, p);
+  meta.shards.assign(p, ChiShardExtent{});
+  meta.windows.assign(static_cast<std::size_t>(p) * (p + 1), 0);
+
+  std::vector<std::uint32_t> interval_of(meta.num_vertices);
+  for (std::uint32_t k = 0; k < p; ++k) {
+    for (VertexId v = meta.boundaries[k]; v < meta.boundaries[k + 1]; ++v) {
+      interval_of[v] = k;
+    }
+  }
+
+  // Shard j = in-edges of interval j, sorted by (src, dst).
+  std::vector<std::vector<EdgeId>> bucket(p);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    bucket[interval_of[graph.edge(e).dst]].push_back(e);
+  }
+
+  File data(dir / kDataFile, File::Mode::kWrite);
+  std::uint64_t off = 0, global_edge = 0;
+  std::vector<char> buf;
+  for (std::uint32_t j = 0; j < p; ++j) {
+    auto& ids = bucket[j];
+    std::sort(ids.begin(), ids.end(), [&](EdgeId a, EdgeId b) {
+      const Edge& ea = graph.edge(a);
+      const Edge& eb = graph.edge(b);
+      if (ea.src != eb.src) return ea.src < eb.src;
+      return ea.dst < eb.dst;
+    });
+    ChiShardExtent& ext = meta.shards[j];
+    ext.offset = off;
+    ext.edge_count = ids.size();
+    ext.bytes = ids.size() * meta.record_bytes();
+    ext.first_edge = global_edge;
+    buf.resize(ext.bytes);
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      const Edge& e = graph.edge(ids[k]);
+      if (meta.weighted) {
+        WChiRecord r{e.src, e.dst, graph.weight(ids[k])};
+        std::memcpy(buf.data() + k * sizeof(r), &r, sizeof(r));
+      } else {
+        ChiRecord r{e.src, e.dst};
+        std::memcpy(buf.data() + k * sizeof(r), &r, sizeof(r));
+      }
+    }
+    // Window offsets: first local edge index per source interval (edges are
+    // sorted by src, so each interval's out-edges form one contiguous run).
+    {
+      std::size_t cursor = 0;
+      for (std::uint32_t i = 0; i < p; ++i) {
+        while (cursor < ids.size() &&
+               graph.edge(ids[cursor]).src < meta.boundaries[i]) {
+          ++cursor;
+        }
+        meta.windows[static_cast<std::size_t>(j) * (p + 1) + i] = cursor;
+      }
+      meta.windows[static_cast<std::size_t>(j) * (p + 1) + p] = ids.size();
+    }
+
+    if (!buf.empty()) data.pwrite_exact(buf.data(), buf.size(), off);
+    off += ext.bytes;
+    global_edge += ids.size();
+    ids.clear();
+    ids.shrink_to_fit();
+  }
+
+  {
+    File f(dir / kMetaFile, File::Mode::kWrite);
+    std::uint64_t hdr[5] = {kChiMagic, meta.num_vertices, meta.num_edges,
+                            meta.p, meta.weighted ? 1u : 0u};
+    std::uint64_t o = 0;
+    f.pwrite_exact(hdr, sizeof(hdr), o);
+    o += sizeof(hdr);
+    f.pwrite_exact(meta.boundaries.data(),
+                   meta.boundaries.size() * sizeof(VertexId), o);
+    o += meta.boundaries.size() * sizeof(VertexId);
+    f.pwrite_exact(meta.shards.data(),
+                   meta.shards.size() * sizeof(ChiShardExtent), o);
+    o += meta.shards.size() * sizeof(ChiShardExtent);
+    f.pwrite_exact(meta.windows.data(),
+                   meta.windows.size() * sizeof(std::uint64_t), o);
+  }
+  {
+    File f(dir / kDegFile, File::Mode::kWrite);
+    auto od = graph.out_degrees();
+    auto id = graph.in_degrees();
+    f.pwrite_exact(od.data(), od.size() * sizeof(VertexId), 0);
+    f.pwrite_exact(id.data(), id.size() * sizeof(VertexId),
+                   od.size() * sizeof(VertexId));
+  }
+  return open(dir);
+}
+
+ChiStore ChiStore::open(const std::filesystem::path& dir) {
+  ChiStore s;
+  s.dir_ = dir;
+  s.io_ = std::make_unique<IoStats>();
+  File meta_file(dir / kMetaFile, File::Mode::kRead);
+  std::uint64_t hdr[5];
+  HUSG_CHECK(meta_file.size() >= sizeof(hdr), "chi meta too small");
+  meta_file.pread_exact(hdr, sizeof(hdr), 0);
+  HUSG_CHECK(hdr[0] == kChiMagic, "bad chi magic");
+  s.meta_.num_vertices = hdr[1];
+  s.meta_.num_edges = hdr[2];
+  s.meta_.p = static_cast<std::uint32_t>(hdr[3]);
+  s.meta_.weighted = hdr[4] != 0;
+  HUSG_CHECK(s.meta_.p > 0, "chi meta has zero shards");
+  std::size_t p = s.meta_.p;
+  std::uint64_t expected = sizeof(hdr) + (p + 1) * sizeof(VertexId) +
+                           p * sizeof(ChiShardExtent) +
+                           p * (p + 1) * sizeof(std::uint64_t);
+  HUSG_CHECK(meta_file.size() == expected, "chi meta size mismatch");
+  std::uint64_t o = sizeof(hdr);
+  s.meta_.boundaries.resize(p + 1);
+  meta_file.pread_exact(s.meta_.boundaries.data(), (p + 1) * sizeof(VertexId),
+                        o);
+  o += (p + 1) * sizeof(VertexId);
+  s.meta_.shards.resize(p);
+  meta_file.pread_exact(s.meta_.shards.data(), p * sizeof(ChiShardExtent), o);
+  o += p * sizeof(ChiShardExtent);
+  s.meta_.windows.resize(p * (p + 1));
+  meta_file.pread_exact(s.meta_.windows.data(),
+                        p * (p + 1) * sizeof(std::uint64_t), o);
+
+  s.data_ = TrackedFile(dir / kDataFile, File::Mode::kRead, s.io_.get());
+  std::uint64_t total = 0, edges = 0;
+  for (const auto& sh : s.meta_.shards) {
+    total += sh.bytes;
+    edges += sh.edge_count;
+  }
+  HUSG_CHECK(edges == s.meta_.num_edges, "chi shard counts do not sum to |E|");
+  HUSG_CHECK(s.data_.size() == total, "shards.dat truncated");
+
+  TrackedFile deg(dir / kDegFile, File::Mode::kRead, s.io_.get());
+  std::uint64_t n = s.meta_.num_vertices;
+  HUSG_CHECK(deg.size() == 2 * n * sizeof(VertexId), "chi degrees mismatch");
+  s.out_degrees_.resize(n);
+  s.in_degrees_.resize(n);
+  deg.read_sequential(s.out_degrees_.data(), n * sizeof(VertexId), 0);
+  deg.read_sequential(s.in_degrees_.data(), n * sizeof(VertexId),
+                      n * sizeof(VertexId));
+  return s;
+}
+
+}  // namespace husg::baselines

@@ -1,0 +1,127 @@
+// GraphChi-like on-disk format: P shards, shard j holding the in-edges of
+// vertex interval j sorted by source (the PSW layout). Each edge carries an
+// on-disk *edge value* (the message slot GraphChi's scatter writes and its
+// gather reads) in a separate value file created per run; the structural
+// records are immutable.
+//
+// The window index records, for every shard, where each source interval's
+// edges begin — that contiguity (edges sorted by source) is what lets PSW
+// load the out-edges of the execution interval from every other shard with
+// one sequential window read.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "io/io_stats.hpp"
+#include "io/tracked_file.hpp"
+#include "util/common.hpp"
+
+namespace husg::baselines {
+
+struct ChiRecord {
+  VertexId src;
+  VertexId dst;
+};
+static_assert(sizeof(ChiRecord) == 8);
+
+struct WChiRecord {
+  VertexId src;
+  VertexId dst;
+  Weight weight;
+};
+static_assert(sizeof(WChiRecord) == 12);
+
+struct ChiShardExtent {
+  std::uint64_t offset = 0;  ///< bytes into shards.dat
+  std::uint64_t bytes = 0;
+  std::uint64_t edge_count = 0;
+  std::uint64_t first_edge = 0;  ///< global edge index of the shard's start
+};
+
+struct ChiMeta {
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  std::uint32_t p = 0;
+  bool weighted = false;
+  std::vector<VertexId> boundaries;
+  std::vector<ChiShardExtent> shards;
+  /// windows[j * (p+1) + i] = local edge index in shard j where source
+  /// interval i begins; entry p is the shard's edge count.
+  std::vector<std::uint64_t> windows;
+
+  std::uint32_t record_bytes() const {
+    return weighted ? sizeof(WChiRecord) : sizeof(ChiRecord);
+  }
+  std::uint64_t window_begin(std::uint32_t shard, std::uint32_t interval) const {
+    return windows[static_cast<std::size_t>(shard) * (p + 1) + interval];
+  }
+};
+
+class ChiStore {
+ public:
+  static ChiStore build(const EdgeList& graph,
+                        const std::filesystem::path& dir, std::uint32_t p);
+  static ChiStore open(const std::filesystem::path& dir);
+
+  ChiStore(ChiStore&&) = default;
+  ChiStore& operator=(ChiStore&&) = default;
+
+  const ChiMeta& meta() const { return meta_; }
+  IoStats& io() const { return *io_; }
+  std::span<const VertexId> out_degrees() const { return out_degrees_; }
+  std::span<const VertexId> in_degrees() const { return in_degrees_; }
+  const std::filesystem::path& dir() const { return dir_; }
+
+  /// Sequentially reads shard j's records [lo, hi) (local edge indices) into
+  /// a scratch buffer; fn(k, src, dst, weight) gets the local index too so
+  /// callers can address the parallel edge-value range.
+  template <class Fn>
+  void read_records(std::uint32_t shard, std::uint64_t lo, std::uint64_t hi,
+                    Fn&& fn) const;
+
+ private:
+  ChiStore() = default;
+
+  std::filesystem::path dir_;
+  ChiMeta meta_;
+  std::unique_ptr<IoStats> io_;
+  TrackedFile data_;
+  std::vector<VertexId> out_degrees_;
+  std::vector<VertexId> in_degrees_;
+};
+
+template <class Fn>
+void ChiStore::read_records(std::uint32_t shard, std::uint64_t lo,
+                            std::uint64_t hi, Fn&& fn) const {
+  if (hi <= lo) return;
+  const ChiShardExtent& ext = meta_.shards[shard];
+  HUSG_CHECK(hi <= ext.edge_count, "read_records: range beyond shard");
+  const std::uint32_t rec = meta_.record_bytes();
+  std::uint64_t bytes = (hi - lo) * rec;
+  std::vector<char> buf(bytes);
+  constexpr std::uint64_t kChunk = 4u << 20;
+  std::uint64_t pos = 0;
+  while (pos < bytes) {
+    std::uint64_t len = std::min<std::uint64_t>(kChunk, bytes - pos);
+    data_.read_sequential(buf.data() + pos, len, ext.offset + lo * rec + pos);
+    pos += len;
+  }
+  if (meta_.weighted) {
+    const WChiRecord* recs = reinterpret_cast<const WChiRecord*>(buf.data());
+    for (std::uint64_t k = 0; k < hi - lo; ++k) {
+      fn(lo + k, recs[k].src, recs[k].dst, recs[k].weight);
+    }
+  } else {
+    const ChiRecord* recs = reinterpret_cast<const ChiRecord*>(buf.data());
+    for (std::uint64_t k = 0; k < hi - lo; ++k) {
+      fn(lo + k, recs[k].src, recs[k].dst, Weight{1});
+    }
+  }
+}
+
+}  // namespace husg::baselines

@@ -1,0 +1,148 @@
+#include "baselines/gridgraph/grid_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "baselines/common.hpp"
+#include "io/file.hpp"
+
+namespace husg::baselines {
+
+namespace {
+constexpr std::uint64_t kGridMagic = 0x4855534747524431ULL;  // HUSGGRD1
+constexpr const char* kMetaFile = "grid_meta.bin";
+constexpr const char* kDataFile = "grid.dat";
+constexpr const char* kDegFile = "grid_degrees.bin";
+}  // namespace
+
+GridStore GridStore::build(const EdgeList& graph,
+                           const std::filesystem::path& dir, std::uint32_t p) {
+  HUSG_CHECK(p > 0, "grid: p must be positive");
+  HUSG_CHECK(graph.num_vertices() > 0, "grid: empty vertex set");
+  ensure_directory(dir);
+
+  GridMeta meta;
+  meta.num_vertices = graph.num_vertices();
+  meta.num_edges = graph.num_edges();
+  meta.p = p;
+  meta.weighted = graph.weighted();
+  meta.boundaries = equal_boundaries(meta.num_vertices, p);
+  meta.blocks.assign(static_cast<std::size_t>(p) * p, GridBlockExtent{});
+
+  std::vector<std::uint32_t> interval_of(meta.num_vertices);
+  for (std::uint32_t k = 0; k < p; ++k) {
+    for (VertexId v = meta.boundaries[k]; v < meta.boundaries[k + 1]; ++v) {
+      interval_of[v] = k;
+    }
+  }
+
+  // Bucket edges per block, then write blocks back to back.
+  std::vector<std::vector<EdgeId>> bucket(meta.blocks.size());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Edge& ed = graph.edge(e);
+    bucket[static_cast<std::size_t>(interval_of[ed.src]) * p +
+           interval_of[ed.dst]]
+        .push_back(e);
+  }
+
+  File data(dir / kDataFile, File::Mode::kWrite);
+  std::uint64_t off = 0;
+  std::vector<char> buf;
+  for (std::uint32_t i = 0; i < p; ++i) {
+    for (std::uint32_t j = 0; j < p; ++j) {
+      auto& ids = bucket[static_cast<std::size_t>(i) * p + j];
+      GridBlockExtent& ext = meta.blocks[static_cast<std::size_t>(i) * p + j];
+      ext.offset = off;
+      ext.edge_count = ids.size();
+      ext.bytes = ids.size() * meta.record_bytes();
+      buf.resize(ext.bytes);
+      for (std::size_t k = 0; k < ids.size(); ++k) {
+        const Edge& e = graph.edge(ids[k]);
+        if (meta.weighted) {
+          WGridRecord r{e.src, e.dst, graph.weight(ids[k])};
+          std::memcpy(buf.data() + k * sizeof(r), &r, sizeof(r));
+        } else {
+          GridRecord r{e.src, e.dst};
+          std::memcpy(buf.data() + k * sizeof(r), &r, sizeof(r));
+        }
+      }
+      if (!buf.empty()) data.pwrite_exact(buf.data(), buf.size(), off);
+      off += ext.bytes;
+      ids.clear();
+      ids.shrink_to_fit();
+    }
+  }
+
+  // Meta: header + boundaries + extents.
+  {
+    File f(dir / kMetaFile, File::Mode::kWrite);
+    std::uint64_t hdr[5] = {kGridMagic, meta.num_vertices, meta.num_edges,
+                            meta.p, meta.weighted ? 1u : 0u};
+    std::uint64_t o = 0;
+    f.pwrite_exact(hdr, sizeof(hdr), o);
+    o += sizeof(hdr);
+    f.pwrite_exact(meta.boundaries.data(),
+                   meta.boundaries.size() * sizeof(VertexId), o);
+    o += meta.boundaries.size() * sizeof(VertexId);
+    f.pwrite_exact(meta.blocks.data(),
+                   meta.blocks.size() * sizeof(GridBlockExtent), o);
+  }
+  {
+    File f(dir / kDegFile, File::Mode::kWrite);
+    auto od = graph.out_degrees();
+    auto id = graph.in_degrees();
+    f.pwrite_exact(od.data(), od.size() * sizeof(VertexId), 0);
+    f.pwrite_exact(id.data(), id.size() * sizeof(VertexId),
+                   od.size() * sizeof(VertexId));
+  }
+  return open(dir);
+}
+
+GridStore GridStore::open(const std::filesystem::path& dir) {
+  GridStore s;
+  s.dir_ = dir;
+  s.io_ = std::make_unique<IoStats>();
+  File meta_file(dir / kMetaFile, File::Mode::kRead);
+  std::uint64_t hdr[5];
+  HUSG_CHECK(meta_file.size() >= sizeof(hdr), "grid meta too small");
+  meta_file.pread_exact(hdr, sizeof(hdr), 0);
+  HUSG_CHECK(hdr[0] == kGridMagic, "bad grid magic");
+  s.meta_.num_vertices = hdr[1];
+  s.meta_.num_edges = hdr[2];
+  s.meta_.p = static_cast<std::uint32_t>(hdr[3]);
+  s.meta_.weighted = hdr[4] != 0;
+  HUSG_CHECK(s.meta_.p > 0, "grid meta has zero partitions");
+  std::size_t p = s.meta_.p;
+  std::uint64_t expected = sizeof(hdr) + (p + 1) * sizeof(VertexId) +
+                           p * p * sizeof(GridBlockExtent);
+  HUSG_CHECK(meta_file.size() == expected, "grid meta size mismatch");
+  s.meta_.boundaries.resize(p + 1);
+  std::uint64_t o = sizeof(hdr);
+  meta_file.pread_exact(s.meta_.boundaries.data(),
+                        (p + 1) * sizeof(VertexId), o);
+  o += (p + 1) * sizeof(VertexId);
+  s.meta_.blocks.resize(p * p);
+  meta_file.pread_exact(s.meta_.blocks.data(),
+                        p * p * sizeof(GridBlockExtent), o);
+
+  s.data_ = TrackedFile(dir / kDataFile, File::Mode::kRead, s.io_.get());
+  std::uint64_t total = 0, edges = 0;
+  for (const auto& b : s.meta_.blocks) {
+    total += b.bytes;
+    edges += b.edge_count;
+  }
+  HUSG_CHECK(edges == s.meta_.num_edges, "grid block counts do not sum to |E|");
+  HUSG_CHECK(s.data_.size() == total, "grid.dat truncated");
+
+  TrackedFile deg(dir / kDegFile, File::Mode::kRead, s.io_.get());
+  std::uint64_t n = s.meta_.num_vertices;
+  HUSG_CHECK(deg.size() == 2 * n * sizeof(VertexId), "grid degrees mismatch");
+  s.out_degrees_.resize(n);
+  s.in_degrees_.resize(n);
+  deg.read_sequential(s.out_degrees_.data(), n * sizeof(VertexId), 0);
+  deg.read_sequential(s.in_degrees_.data(), n * sizeof(VertexId),
+                      n * sizeof(VertexId));
+  return s;
+}
+
+}  // namespace husg::baselines

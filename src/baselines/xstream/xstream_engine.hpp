@@ -1,0 +1,160 @@
+// X-Stream-like engine: edge-centric scatter/gather over streaming
+// partitions.
+//
+// The edge list is split into P partitions by source vertex. Each iteration:
+//   * scatter — stream every partition's full, unordered edge list; for each
+//     edge whose source is active, append an update record (src, dst, value
+//     [, weight]) to the destination partition's on-disk update file;
+//   * gather — stream each partition's update file and apply the updates to
+//     its vertices.
+// All I/O is sequential (X-Stream's design goal) but the entire edge list is
+// read every iteration regardless of how few sources are active, and the
+// update traffic is written to disk and read back — the behaviour Fig. 11
+// contrasts with HUS-Graph's selective access.
+#pragma once
+
+#include <filesystem>
+
+#include "baselines/common.hpp"
+#include "baselines/xstream/xstream_store.hpp"
+#include "core/program.hpp"
+#include "core/run_stats.hpp"
+#include "io/buffered.hpp"
+#include "util/timer.hpp"
+
+namespace husg::baselines {
+
+class XStreamEngine {
+ public:
+  struct Options : BaselineOptions {};
+
+  XStreamEngine(const XStreamStore& store, Options options)
+      : store_(&store), opts_(std::move(options)) {}
+
+  template <VertexProgram P>
+  BaselineResult<typename P::Value> run(const P& prog, const StartSet& start);
+
+ private:
+  const XStreamStore* store_;
+  Options opts_;
+};
+
+template <VertexProgram P>
+BaselineResult<typename P::Value> XStreamEngine::run(const P& prog,
+                                                     const StartSet& start) {
+  using V = typename P::Value;
+  struct Update {
+    VertexId src;
+    VertexId dst;
+    V value;  ///< source value at scatter time
+    Weight weight;
+  };
+
+  const XStreamMeta& meta = store_->meta();
+  const std::uint64_t n = meta.num_vertices;
+  const std::uint32_t p = meta.p;
+  ProgramContext ctx{store_->out_degrees(), store_->in_degrees(), 0};
+
+  BaselineResult<V> result;
+  std::vector<V> vals(n), prev(n);
+  for (VertexId v = 0; v < n; ++v) vals[v] = prog.initial(ctx, v);
+  Bitmap active = start.materialize(n);
+  std::vector<V> acc;
+
+  // Per-destination-partition update files, recreated each iteration.
+  std::vector<std::filesystem::path> upd_paths(p);
+  for (std::uint32_t k = 0; k < p; ++k) {
+    upd_paths[k] = store_->dir() / ("xs_updates_" + std::to_string(::getpid()) +
+                                    "_" + std::to_string(k) + ".tmp");
+  }
+
+  for (int iter = 0;
+       iter < opts_.max_iterations && active.count() > 0; ++iter) {
+    Timer timer;
+    IoSnapshot before = store_->io().snapshot();
+    IterationStats istats;
+    istats.iteration = iter;
+    ctx.iteration = iter;
+    istats.active_vertices = active.count();
+
+    prev = vals;
+    Bitmap next(n);
+    std::uint64_t scanned = 0;
+
+    if constexpr (P::kAccumulating) {
+      acc.assign(n, V{});
+      for (VertexId v = 0; v < n; ++v) acc[v] = prog.gather_zero(ctx, v);
+    }
+
+    // --- Scatter phase ------------------------------------------------------
+    {
+      std::vector<TrackedFile> upd_files;
+      std::vector<std::unique_ptr<RecordWriter<Update>>> writers;
+      upd_files.reserve(p);
+      for (std::uint32_t k = 0; k < p; ++k) {
+        // Truncate the previous iteration's updates.
+        std::error_code ec;
+        std::filesystem::remove(upd_paths[k], ec);
+        upd_files.emplace_back(upd_paths[k], File::Mode::kReadWrite,
+                               &store_->io());
+      }
+      for (std::uint32_t k = 0; k < p; ++k) {
+        writers.push_back(
+            std::make_unique<RecordWriter<Update>>(upd_files[k]));
+      }
+      for (std::uint32_t part = 0; part < p; ++part) {
+        std::uint64_t edges = store_->partition_edges(part);
+        scanned += edges;
+        store_->stream_partition(
+            part, [&](VertexId s, VertexId d, Weight w) {
+              if constexpr (!P::kAccumulating) {
+                if (!active.get(s)) return;
+              }
+              writers[meta.partition_of(d)]->push(Update{s, d, prev[s], w});
+            });
+      }
+      for (auto& w : writers) w->flush();
+    }
+
+    // --- Gather phase --------------------------------------------------------
+    for (std::uint32_t k = 0; k < p; ++k) {
+      TrackedFile f(upd_paths[k], File::Mode::kRead, &store_->io());
+      stream_records<Update>(f, 0, f.size(), [&](const Update& u) {
+        if constexpr (P::kAccumulating) {
+          prog.gather(ctx, acc[u.dst], u.value, u.src, u.weight);
+        } else {
+          if (prog.update(ctx, u.value, u.src, vals[u.dst], u.dst, u.weight)) {
+            next.set(u.dst);
+          }
+        }
+      });
+    }
+
+    if constexpr (P::kAccumulating) {
+      for (VertexId v = 0; v < n; ++v) {
+        V a = acc[v];
+        if (prog.apply(ctx, v, a, vals[v])) next.set(v);
+        vals[v] = a;
+      }
+    }
+
+    active = std::move(next);
+
+    istats.active_edges = scanned;
+    istats.edges_processed = scanned;
+    istats.io = store_->io().snapshot() - before;
+    istats.wall_seconds = timer.seconds();
+    istats.modeled_io_seconds = opts_.device.modeled_seconds(istats.io);
+    istats.modeled_cpu_seconds = modeled_cpu(opts_, scanned);
+    result.stats.add_iteration(std::move(istats));
+  }
+
+  for (const auto& path : upd_paths) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+  result.values = std::move(vals);
+  return result;
+}
+
+}  // namespace husg::baselines

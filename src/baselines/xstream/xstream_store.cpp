@@ -1,0 +1,125 @@
+#include "baselines/xstream/xstream_store.hpp"
+
+#include "baselines/common.hpp"
+#include "io/file.hpp"
+
+namespace husg::baselines {
+
+namespace {
+constexpr std::uint64_t kXsMagic = 0x4855534758535431ULL;  // HUSGXST1
+constexpr const char* kMetaFile = "xs_meta.bin";
+constexpr const char* kDataFile = "xs_edges.dat";
+constexpr const char* kDegFile = "xs_degrees.bin";
+}  // namespace
+
+XStreamStore XStreamStore::build(const EdgeList& graph,
+                                 const std::filesystem::path& dir,
+                                 std::uint32_t p) {
+  HUSG_CHECK(p > 0, "xstream: p must be positive");
+  HUSG_CHECK(graph.num_vertices() > 0, "xstream: empty vertex set");
+  ensure_directory(dir);
+
+  XStreamMeta meta;
+  meta.num_vertices = graph.num_vertices();
+  meta.num_edges = graph.num_edges();
+  meta.p = p;
+  meta.boundaries = equal_boundaries(meta.num_vertices, p);
+  meta.partitions.assign(p, XsPartitionExtent{});
+
+  std::vector<std::vector<EdgeId>> bucket(p);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    bucket[meta.partition_of(graph.edge(e).src)].push_back(e);
+  }
+
+  File data(dir / kDataFile, File::Mode::kWrite);
+  std::uint64_t off = 0;
+  std::vector<XsRecord> buf;
+  for (std::uint32_t k = 0; k < p; ++k) {
+    auto& ids = bucket[k];
+    XsPartitionExtent& ext = meta.partitions[k];
+    ext.offset = off;
+    ext.edge_count = ids.size();
+    ext.bytes = ids.size() * sizeof(XsRecord);
+    buf.resize(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const Edge& e = graph.edge(ids[i]);
+      buf[i] = XsRecord{e.src, e.dst, graph.weight(ids[i])};
+    }
+    if (!buf.empty()) data.pwrite_exact(buf.data(), ext.bytes, off);
+    off += ext.bytes;
+    ids.clear();
+    ids.shrink_to_fit();
+  }
+
+  {
+    File f(dir / kMetaFile, File::Mode::kWrite);
+    std::uint64_t hdr[4] = {kXsMagic, meta.num_vertices, meta.num_edges,
+                            meta.p};
+    std::uint64_t o = 0;
+    f.pwrite_exact(hdr, sizeof(hdr), o);
+    o += sizeof(hdr);
+    f.pwrite_exact(meta.boundaries.data(),
+                   meta.boundaries.size() * sizeof(VertexId), o);
+    o += meta.boundaries.size() * sizeof(VertexId);
+    f.pwrite_exact(meta.partitions.data(),
+                   meta.partitions.size() * sizeof(XsPartitionExtent), o);
+  }
+  {
+    File f(dir / kDegFile, File::Mode::kWrite);
+    auto od = graph.out_degrees();
+    auto id = graph.in_degrees();
+    f.pwrite_exact(od.data(), od.size() * sizeof(VertexId), 0);
+    f.pwrite_exact(id.data(), id.size() * sizeof(VertexId),
+                   od.size() * sizeof(VertexId));
+  }
+  return open(dir);
+}
+
+XStreamStore XStreamStore::open(const std::filesystem::path& dir) {
+  XStreamStore s;
+  s.dir_ = dir;
+  s.io_ = std::make_unique<IoStats>();
+  File meta_file(dir / kMetaFile, File::Mode::kRead);
+  std::uint64_t hdr[4];
+  HUSG_CHECK(meta_file.size() >= sizeof(hdr), "xs meta too small");
+  meta_file.pread_exact(hdr, sizeof(hdr), 0);
+  HUSG_CHECK(hdr[0] == kXsMagic, "bad xstream magic");
+  s.meta_.num_vertices = hdr[1];
+  s.meta_.num_edges = hdr[2];
+  s.meta_.p = static_cast<std::uint32_t>(hdr[3]);
+  HUSG_CHECK(s.meta_.p > 0, "xs meta has zero partitions");
+  std::size_t p = s.meta_.p;
+  std::uint64_t expected = sizeof(hdr) + (p + 1) * sizeof(VertexId) +
+                           p * sizeof(XsPartitionExtent);
+  HUSG_CHECK(meta_file.size() == expected, "xs meta size mismatch");
+  std::uint64_t o = sizeof(hdr);
+  s.meta_.boundaries.resize(p + 1);
+  meta_file.pread_exact(s.meta_.boundaries.data(), (p + 1) * sizeof(VertexId),
+                        o);
+  o += (p + 1) * sizeof(VertexId);
+  s.meta_.partitions.resize(p);
+  meta_file.pread_exact(s.meta_.partitions.data(),
+                        p * sizeof(XsPartitionExtent), o);
+
+  s.data_ = TrackedFile(dir / kDataFile, File::Mode::kRead, s.io_.get());
+  std::uint64_t total = 0, edges = 0;
+  for (const auto& ext : s.meta_.partitions) {
+    total += ext.bytes;
+    edges += ext.edge_count;
+  }
+  HUSG_CHECK(edges == s.meta_.num_edges,
+             "xs partition counts do not sum to |E|");
+  HUSG_CHECK(s.data_.size() == total, "xs_edges.dat truncated");
+
+  TrackedFile deg(dir / kDegFile, File::Mode::kRead, s.io_.get());
+  std::uint64_t n = s.meta_.num_vertices;
+  HUSG_CHECK(deg.size() == 2 * n * sizeof(VertexId), "xs degrees mismatch");
+  s.out_degrees_.resize(n);
+  s.in_degrees_.resize(n);
+  deg.read_sequential(s.out_degrees_.data(), n * sizeof(VertexId), 0);
+  deg.read_sequential(s.in_degrees_.data(), n * sizeof(VertexId),
+                      n * sizeof(VertexId));
+  return s;
+}
+
+}  // namespace husg::baselines

@@ -1,0 +1,101 @@
+// X-Stream-like on-disk format: the unordered edge list split into P
+// streaming partitions by source vertex. No indices, no sorting within a
+// partition — X-Stream's bet is that pure sequential streaming beats any
+// index on spinning disks.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "io/io_stats.hpp"
+#include "io/tracked_file.hpp"
+#include "util/common.hpp"
+
+namespace husg::baselines {
+
+struct XsRecord {
+  VertexId src;
+  VertexId dst;
+  Weight weight;  ///< 1.0 for unweighted graphs (uniform record keeps the
+                  ///< streaming loop branch-free, as in X-Stream's type-2)
+};
+static_assert(sizeof(XsRecord) == 12);
+
+struct XsPartitionExtent {
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t edge_count = 0;
+};
+
+struct XStreamMeta {
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  std::uint32_t p = 0;
+  std::vector<VertexId> boundaries;
+  std::vector<XsPartitionExtent> partitions;
+
+  std::uint32_t partition_of(VertexId v) const {
+    // Equal-width partitions: direct computation, with a rounding nudge.
+    std::uint32_t k = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(v) * p / num_vertices);
+    if (k >= p) k = p - 1;
+    while (k + 1 < p && v >= boundaries[k + 1]) ++k;
+    while (k > 0 && v < boundaries[k]) --k;
+    return k;
+  }
+};
+
+class XStreamStore {
+ public:
+  static XStreamStore build(const EdgeList& graph,
+                            const std::filesystem::path& dir, std::uint32_t p);
+  static XStreamStore open(const std::filesystem::path& dir);
+
+  XStreamStore(XStreamStore&&) = default;
+  XStreamStore& operator=(XStreamStore&&) = default;
+
+  const XStreamMeta& meta() const { return meta_; }
+  IoStats& io() const { return *io_; }
+  std::span<const VertexId> out_degrees() const { return out_degrees_; }
+  std::span<const VertexId> in_degrees() const { return in_degrees_; }
+  const std::filesystem::path& dir() const { return dir_; }
+
+  std::uint64_t partition_edges(std::uint32_t part) const {
+    return meta_.partitions[part].edge_count;
+  }
+
+  /// Streams one partition's edges sequentially; fn(src, dst, weight).
+  template <class Fn>
+  void stream_partition(std::uint32_t part, Fn&& fn) const {
+    const XsPartitionExtent& ext = meta_.partitions[part];
+    if (ext.bytes == 0) return;
+    std::vector<char> buf(ext.bytes);
+    constexpr std::uint64_t kChunk = 4u << 20;
+    std::uint64_t pos = 0;
+    while (pos < ext.bytes) {
+      std::uint64_t len = std::min<std::uint64_t>(kChunk, ext.bytes - pos);
+      data_.read_sequential(buf.data() + pos, len, ext.offset + pos);
+      pos += len;
+    }
+    const XsRecord* recs = reinterpret_cast<const XsRecord*>(buf.data());
+    for (std::uint64_t k = 0; k < ext.edge_count; ++k) {
+      fn(recs[k].src, recs[k].dst, recs[k].weight);
+    }
+  }
+
+ private:
+  XStreamStore() = default;
+
+  std::filesystem::path dir_;
+  XStreamMeta meta_;
+  std::unique_ptr<IoStats> io_;
+  TrackedFile data_;
+  std::vector<VertexId> out_degrees_;
+  std::vector<VertexId> in_degrees_;
+};
+
+}  // namespace husg::baselines

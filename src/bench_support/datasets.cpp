@@ -1,0 +1,159 @@
+#include "bench_support/datasets.hpp"
+
+#include <cstdlib>
+
+#include "graph/generators.hpp"
+#include "util/logging.hpp"
+
+namespace husg::bench {
+
+const std::vector<DatasetSpec>& all_datasets() {
+  // Average degrees match the paper's Table 2 graphs; scales are laptop-
+  // sized (the paper's conclusions are about per-edge I/O behaviour, which
+  // is scale-free).
+  static const std::vector<DatasetSpec> kSpecs = {
+      {"lj-sim", "LiveJournal", "4.8M vertices / 69M edges", "Social Graph",
+       15, 14.4, false, 101},
+      {"twitter-sim", "Twitter2010", "42M vertices / 1.5B edges",
+       "Social Graph", 16, 24.0, false, 202},
+      {"sk-sim", "SK2005", "51M vertices / 1.9B edges", "Social Graph", 16,
+       28.0, false, 303},
+      {"uk-sim", "UK2007", "106M vertices / 3.7B edges", "Web Graph", 16,
+       23.0, true, 404},
+      {"ukunion-sim", "UKunion", "133M vertices / 5.5B edges", "Web Graph",
+       17, 20.0, true, 505},
+  };
+  return kSpecs;
+}
+
+const DatasetSpec& dataset(const std::string& name) {
+  for (const DatasetSpec& s : all_datasets()) {
+    if (s.name == name) return s;
+  }
+  throw DataError("unknown dataset '" + name + "'");
+}
+
+Dataset::Dataset(const DatasetSpec& spec, std::uint32_t p)
+    : spec_(spec), p_(p) {}
+
+std::filesystem::path Dataset::cache_root() {
+  // Bump the version component whenever generators or store formats change,
+  // so stale cached stores are never reused.
+  constexpr const char* kCacheVersion = "v3";
+  if (const char* env = std::getenv("HUSG_DATA_DIR")) {
+    return std::filesystem::path(env) / kCacheVersion;
+  }
+  return std::filesystem::temp_directory_path() / "husg_bench_data" /
+         kCacheVersion;
+}
+
+const EdgeList& Dataset::graph(GraphVariant variant) {
+  auto idx = static_cast<std::size_t>(variant);
+  if (!graphs_[idx]) {
+    switch (variant) {
+      case GraphVariant::kDirected:
+        graphs_[idx] = spec_.web
+                           ? gen::webgraph(spec_.scale, spec_.avg_degree,
+                                           spec_.seed)
+                           : gen::rmat(spec_.scale, spec_.avg_degree,
+                                       spec_.seed);
+        break;
+      case GraphVariant::kSymmetrized:
+        graphs_[idx] = graph(GraphVariant::kDirected).symmetrized();
+        break;
+      case GraphVariant::kWeighted:
+        graphs_[idx] = gen::with_random_weights(
+            graph(GraphVariant::kDirected), spec_.seed ^ 0x5EED);
+        break;
+    }
+  }
+  return *graphs_[idx];
+}
+
+VertexId Dataset::traversal_source() {
+  if (!source_) {
+    const EdgeList& g = graph(GraphVariant::kDirected);
+    auto deg = g.out_degrees();
+    VertexId pick = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (deg[v] >= 2 && deg[v] <= 8) {
+        pick = v;
+        break;
+      }
+    }
+    source_ = pick;
+  }
+  return *source_;
+}
+
+std::filesystem::path Dataset::variant_dir(const char* system,
+                                           GraphVariant variant) {
+  static const char* kVariantNames[] = {"dir", "sym", "wgt"};
+  auto dir = cache_root() / spec_.name /
+             (std::string(system) + "_p" + std::to_string(p_) + "_" +
+              kVariantNames[static_cast<std::size_t>(variant)]);
+  return dir;
+}
+
+namespace {
+/// Opens the cached store if present, else builds it.
+template <class Store, class Build>
+Store open_or_build(const std::filesystem::path& dir, Build&& build) {
+  if (std::filesystem::exists(dir)) {
+    try {
+      return Store::open(dir);
+    } catch (const std::exception& e) {
+      HUSG_WARN << "cached store at " << dir.string()
+                << " unusable, rebuilding: " << e.what();
+      remove_tree(dir);
+    }
+  }
+  return build(dir);
+}
+}  // namespace
+
+const DualBlockStore& Dataset::hus_store(GraphVariant variant) {
+  auto idx = static_cast<std::size_t>(variant);
+  if (!hus_[idx]) {
+    hus_[idx] = open_or_build<DualBlockStore>(
+        variant_dir("hus", variant), [&](const std::filesystem::path& dir) {
+          return DualBlockStore::build(graph(variant), dir, StoreOptions{p_});
+        });
+  }
+  return *hus_[idx];
+}
+
+const baselines::GridStore& Dataset::grid_store(GraphVariant variant) {
+  auto idx = static_cast<std::size_t>(variant);
+  if (!grid_[idx]) {
+    grid_[idx] = open_or_build<baselines::GridStore>(
+        variant_dir("grid", variant), [&](const std::filesystem::path& dir) {
+          return baselines::GridStore::build(graph(variant), dir, p_);
+        });
+  }
+  return *grid_[idx];
+}
+
+const baselines::ChiStore& Dataset::chi_store(GraphVariant variant) {
+  auto idx = static_cast<std::size_t>(variant);
+  if (!chi_[idx]) {
+    chi_[idx] = open_or_build<baselines::ChiStore>(
+        variant_dir("chi", variant), [&](const std::filesystem::path& dir) {
+          return baselines::ChiStore::build(graph(variant), dir, p_);
+        });
+  }
+  return *chi_[idx];
+}
+
+const baselines::XStreamStore& Dataset::xs_store(GraphVariant variant) {
+  auto idx = static_cast<std::size_t>(variant);
+  if (!xs_[idx]) {
+    xs_[idx] = open_or_build<baselines::XStreamStore>(
+        variant_dir("xs", variant), [&](const std::filesystem::path& dir) {
+          return baselines::XStreamStore::build(graph(variant), dir, p_);
+        });
+  }
+  return *xs_[idx];
+}
+
+}  // namespace husg::bench

@@ -1,0 +1,82 @@
+// Dataset registry for the reproduction benches.
+//
+// The paper evaluates on five public graphs (Table 2). This machine has no
+// licence-encumbered multi-billion-edge downloads, so each entry is a
+// deterministic synthetic stand-in scaled to laptop size with matched
+// average degree and the right structural family (skewed R-MAT for the
+// social graphs, low-noise R-MAT + chain backbone for the larger-diameter
+// web graphs). See DESIGN.md "Substitutions".
+//
+// Stores for each (dataset, system, variant) are built once under a cache
+// root and reused across bench binaries.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/graphchi/chi_store.hpp"
+#include "baselines/gridgraph/grid_store.hpp"
+#include "baselines/xstream/xstream_store.hpp"
+#include "graph/edge_list.hpp"
+#include "storage/store.hpp"
+
+namespace husg::bench {
+
+struct DatasetSpec {
+  std::string name;        ///< registry key, e.g. "lj-sim"
+  std::string paper_name;  ///< e.g. "LiveJournal"
+  std::string paper_size;  ///< "4.8M vertices / 69M edges"
+  std::string type;        ///< "Social Graph" / "Web Graph"
+  unsigned scale;          ///< log2 vertices of the stand-in
+  double avg_degree;
+  bool web;  ///< web-graph generator (larger diameter) vs social R-MAT
+  std::uint64_t seed;
+};
+
+/// All five Table-2 stand-ins, smallest first.
+const std::vector<DatasetSpec>& all_datasets();
+const DatasetSpec& dataset(const std::string& name);
+
+/// Which graph variant a run needs.
+enum class GraphVariant { kDirected, kSymmetrized, kWeighted };
+
+/// Lazily-built handle over one dataset: the in-memory edge list plus cached
+/// on-disk stores for every engine.
+class Dataset {
+ public:
+  explicit Dataset(const DatasetSpec& spec, std::uint32_t p = 8);
+
+  const DatasetSpec& spec() const { return spec_; }
+  std::uint32_t p() const { return p_; }
+
+  const EdgeList& graph(GraphVariant variant);
+
+  /// A deterministic low-degree traversal source (hubs make iteration 1
+  /// dense, which hides the hybrid behaviour the benches demonstrate).
+  VertexId traversal_source();
+
+  const DualBlockStore& hus_store(GraphVariant variant);
+  const baselines::GridStore& grid_store(GraphVariant variant);
+  const baselines::ChiStore& chi_store(GraphVariant variant);
+  const baselines::XStreamStore& xs_store(GraphVariant variant);
+
+  /// Cache root shared by all datasets (override with HUSG_DATA_DIR).
+  static std::filesystem::path cache_root();
+
+ private:
+  std::filesystem::path variant_dir(const char* system, GraphVariant variant);
+
+  DatasetSpec spec_;
+  std::uint32_t p_;
+  std::optional<EdgeList> graphs_[3];
+  std::optional<DualBlockStore> hus_[3];
+  std::optional<baselines::GridStore> grid_[3];
+  std::optional<baselines::ChiStore> chi_[3];
+  std::optional<baselines::XStreamStore> xs_[3];
+  std::optional<VertexId> source_;
+};
+
+}  // namespace husg::bench

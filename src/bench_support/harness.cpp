@@ -1,0 +1,183 @@
+#include "bench_support/harness.hpp"
+
+#include <sstream>
+
+#include "algos/bfs.hpp"
+#include "algos/pagerank.hpp"
+#include "algos/sssp.hpp"
+#include "algos/wcc.hpp"
+#include "baselines/graphchi/chi_engine.hpp"
+#include "baselines/gridgraph/grid_engine.hpp"
+#include "baselines/xstream/xstream_engine.hpp"
+#include "util/format.hpp"
+
+namespace husg::bench {
+
+const char* to_string(SystemKind s) {
+  switch (s) {
+    case SystemKind::kHusHybrid:
+      return "HUS-Graph";
+    case SystemKind::kHusRop:
+      return "HUS-ROP";
+    case SystemKind::kHusCop:
+      return "HUS-COP";
+    case SystemKind::kGraphChi:
+      return "GraphChi";
+    case SystemKind::kGridGraph:
+      return "GridGraph";
+    case SystemKind::kXStream:
+      return "X-Stream";
+  }
+  return "?";
+}
+
+const char* to_string(AlgoKind a) {
+  switch (a) {
+    case AlgoKind::kPageRank:
+      return "PageRank";
+    case AlgoKind::kBfs:
+      return "BFS";
+    case AlgoKind::kWcc:
+      return "WCC";
+    case AlgoKind::kSssp:
+      return "SSSP";
+  }
+  return "?";
+}
+
+std::string RunOutcome::to_row() const {
+  std::ostringstream os;
+  os << human_seconds(modeled_seconds) << " (" << io_gb << " GB, "
+     << stats.iterations_run() << " iters)";
+  return os.str();
+}
+
+namespace {
+
+GraphVariant variant_for(AlgoKind algo) {
+  switch (algo) {
+    case AlgoKind::kWcc:
+      return GraphVariant::kSymmetrized;
+    case AlgoKind::kSssp:
+      return GraphVariant::kWeighted;
+    default:
+      return GraphVariant::kDirected;
+  }
+}
+
+RunOutcome finish(RunStats stats) {
+  RunOutcome out;
+  out.modeled_seconds = stats.modeled_seconds();
+  out.wall_seconds = stats.wall_seconds;
+  out.io_gb = gb(stats.total_io.total_bytes());
+  out.stats = std::move(stats);
+  return out;
+}
+
+/// Runs one algorithm on the HUS engine.
+RunOutcome run_hus(Dataset& ds, const RunConfig& cfg) {
+  GraphVariant variant = variant_for(cfg.algo);
+  const DualBlockStore& store = ds.hus_store(variant);
+
+  EngineOptions opts;
+  opts.mode = cfg.system == SystemKind::kHusRop   ? UpdateMode::kRop
+              : cfg.system == SystemKind::kHusCop ? UpdateMode::kCop
+                                                  : UpdateMode::kHybrid;
+  opts.sync = cfg.sync;
+  opts.predictor = cfg.predictor;
+  opts.granularity = cfg.granularity;
+  opts.threads = cfg.threads;
+  opts.device = cfg.device;
+  opts.alpha = cfg.alpha;
+  if (cfg.algo == AlgoKind::kPageRank) {
+    opts.max_iterations = cfg.pagerank_iterations;
+  }
+  Engine engine(store, opts);
+
+  switch (cfg.algo) {
+    case AlgoKind::kPageRank: {
+      PageRankProgram pr;
+      auto r = engine.run(
+          pr, Frontier::all(store.meta(), store.out_degrees()));
+      return finish(std::move(r.stats));
+    }
+    case AlgoKind::kBfs: {
+      BfsProgram bfs{.source = ds.traversal_source()};
+      auto r = engine.run(bfs, Frontier::single(store.meta(), bfs.source,
+                                                store.out_degrees()));
+      return finish(std::move(r.stats));
+    }
+    case AlgoKind::kWcc: {
+      WccProgram wcc;
+      auto r =
+          engine.run(wcc, Frontier::all(store.meta(), store.out_degrees()));
+      return finish(std::move(r.stats));
+    }
+    case AlgoKind::kSssp: {
+      SsspProgram sssp{.source = ds.traversal_source()};
+      auto r = engine.run(sssp, Frontier::single(store.meta(), sssp.source,
+                                                 store.out_degrees()));
+      return finish(std::move(r.stats));
+    }
+  }
+  throw DataError("unreachable algo kind");
+}
+
+template <class EngineT, class StoreT, class OptionsT>
+RunOutcome run_baseline_engine(Dataset& ds, const StoreT& store,
+                               OptionsT opts, const RunConfig& cfg) {
+  using baselines::StartSet;
+  opts.threads = cfg.threads;
+  opts.device = cfg.device;
+  if (cfg.algo == AlgoKind::kPageRank) {
+    opts.max_iterations = cfg.pagerank_iterations;
+  }
+  EngineT engine(store, opts);
+  switch (cfg.algo) {
+    case AlgoKind::kPageRank: {
+      PageRankProgram pr;
+      auto r = engine.run(pr, StartSet::all());
+      return finish(std::move(r.stats));
+    }
+    case AlgoKind::kBfs: {
+      BfsProgram bfs{.source = ds.traversal_source()};
+      auto r = engine.run(bfs, StartSet::single(bfs.source));
+      return finish(std::move(r.stats));
+    }
+    case AlgoKind::kWcc: {
+      WccProgram wcc;
+      auto r = engine.run(wcc, StartSet::all());
+      return finish(std::move(r.stats));
+    }
+    case AlgoKind::kSssp: {
+      SsspProgram sssp{.source = ds.traversal_source()};
+      auto r = engine.run(sssp, StartSet::single(sssp.source));
+      return finish(std::move(r.stats));
+    }
+  }
+  throw DataError("unreachable algo kind");
+}
+
+}  // namespace
+
+RunOutcome run_system(Dataset& ds, const RunConfig& cfg) {
+  GraphVariant variant = variant_for(cfg.algo);
+  switch (cfg.system) {
+    case SystemKind::kHusHybrid:
+    case SystemKind::kHusRop:
+    case SystemKind::kHusCop:
+      return run_hus(ds, cfg);
+    case SystemKind::kGraphChi:
+      return run_baseline_engine<baselines::ChiEngine>(
+          ds, ds.chi_store(variant), baselines::ChiEngine::Options{}, cfg);
+    case SystemKind::kGridGraph:
+      return run_baseline_engine<baselines::GridEngine>(
+          ds, ds.grid_store(variant), baselines::GridEngine::Options{}, cfg);
+    case SystemKind::kXStream:
+      return run_baseline_engine<baselines::XStreamEngine>(
+          ds, ds.xs_store(variant), baselines::XStreamEngine::Options{}, cfg);
+  }
+  throw DataError("unreachable system kind");
+}
+
+}  // namespace husg::bench

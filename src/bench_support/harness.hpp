@@ -1,0 +1,75 @@
+// One entry point to run any algorithm on any of the six engines
+// (HUS Hybrid/ROP/COP, GraphChi-like, GridGraph-like, X-Stream-like) over a
+// registry dataset, returning uniform measurements.
+#pragma once
+
+#include <string>
+
+#include "bench_support/datasets.hpp"
+#include "core/engine.hpp"
+#include "core/run_stats.hpp"
+#include "io/device.hpp"
+
+namespace husg::bench {
+
+enum class SystemKind {
+  kHusHybrid,
+  kHusRop,
+  kHusCop,
+  kGraphChi,
+  kGridGraph,
+  kXStream,
+};
+
+enum class AlgoKind { kPageRank, kBfs, kWcc, kSssp };
+
+const char* to_string(SystemKind s);
+const char* to_string(AlgoKind a);
+
+/// The registry graphs are ~1000x smaller than the paper's (Table 2). The
+/// bench device profiles divide the positioning latency by the same factor
+/// so the seek-to-full-sweep ratio — which determines every ROP/COP
+/// crossover — matches the paper's testbed (see DESIGN.md, Substitutions).
+inline constexpr double kDatasetScaleFactor = 1000.0;
+
+inline DeviceProfile bench_hdd() {
+  return DeviceProfile::hdd7200().with_seek_scale(1.0 / kDatasetScaleFactor);
+}
+inline DeviceProfile bench_ssd() {
+  return DeviceProfile::sata_ssd().with_seek_scale(1.0 / kDatasetScaleFactor);
+}
+inline DeviceProfile bench_nvme() {
+  return DeviceProfile::nvme_ssd().with_seek_scale(1.0 / kDatasetScaleFactor);
+}
+
+struct RunConfig {
+  SystemKind system = SystemKind::kHusHybrid;
+  AlgoKind algo = AlgoKind::kBfs;
+  std::size_t threads = 16;
+  DeviceProfile device = bench_hdd();
+  int pagerank_iterations = 5;  ///< paper: 5 sweeps
+  /// HUS-only knobs.
+  SyncMode sync = SyncMode::kJacobi;
+  PredictorFlavor predictor = PredictorFlavor::kDeviceExact;
+  DecisionGranularity granularity = DecisionGranularity::kGlobal;
+  double alpha = 0.05;
+};
+
+struct RunOutcome {
+  RunStats stats;
+  double modeled_seconds = 0;
+  double wall_seconds = 0;
+  double io_gb = 0;
+
+  std::string to_row() const;
+};
+
+/// Runs config.algo on config.system over the dataset; the right graph
+/// variant (directed / symmetrized / weighted) is picked per algorithm as in
+/// the paper (WCC treats the graph as undirected, SSSP adds weights).
+RunOutcome run_system(Dataset& ds, const RunConfig& config);
+
+/// Convenience: GB from bytes.
+inline double gb(std::uint64_t bytes) { return static_cast<double>(bytes) / 1e9; }
+
+}  // namespace husg::bench

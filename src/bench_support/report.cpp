@@ -1,0 +1,67 @@
+#include "bench_support/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace husg::bench {
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("  ");
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      std::printf("%-*s  ", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::vector<std::string> sep(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    sep[c] = std::string(widths[c], '-');
+  }
+  print_row(sep);
+  for (const auto& row : rows_) print_row(row);
+}
+
+void banner(const std::string& title, const std::string& paper_claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  if (!paper_claim.empty()) {
+    std::printf("paper: %s\n", paper_claim.c_str());
+  }
+  std::printf("================================================================\n");
+}
+
+void print_series(const std::string& name, const std::vector<double>& ys,
+                  const std::string& unit) {
+  std::printf("  %s (%s):", name.c_str(), unit.c_str());
+  for (double y : ys) std::printf(" %.4g", y);
+  std::printf("\n");
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_ratio(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1fx", v);
+  return buf;
+}
+
+}  // namespace husg::bench

@@ -1,0 +1,35 @@
+// Paper-style fixed-width table and series printers for the bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace husg::bench {
+
+/// Fixed-width text table: header row, separator, data rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "fig/table" banner with the paper reference and the reproduction claim.
+void banner(const std::string& title, const std::string& paper_claim);
+
+/// Prints one named numeric series (per-iteration plots like Fig. 1/8).
+void print_series(const std::string& name, const std::vector<double>& ys,
+                  const std::string& unit);
+
+/// Formats helpers.
+std::string fmt(double v, int precision = 2);
+std::string fmt_ratio(double v);
+
+}  // namespace husg::bench

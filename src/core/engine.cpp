@@ -1,0 +1,85 @@
+#include "core/engine.hpp"
+
+#include <atomic>
+#include <unistd.h>
+
+namespace husg {
+
+Engine::Engine(const DualBlockStore& store, EngineOptions options)
+    : store_(&store),
+      opts_(std::move(options)),
+      pool_(opts_.threads),
+      predictor_(opts_.device, opts_.predictor, opts_.alpha) {
+  HUSG_CHECK(opts_.max_iterations > 0, "max_iterations must be positive");
+  HUSG_CHECK(opts_.alpha >= 0 && opts_.alpha <= 1,
+             "alpha must be in [0,1], got " << opts_.alpha);
+}
+
+std::uint64_t Engine::column_bytes(std::uint32_t i) const {
+  const StoreMeta& meta = store_->meta();
+  std::uint64_t bytes = 0;
+  for (std::uint32_t j = 0; j < meta.p(); ++j) {
+    bytes += meta.in_block(j, i).adj_bytes;
+  }
+  return bytes;
+}
+
+std::vector<DecisionRecord> Engine::decide(const Frontier& frontier,
+                                           std::uint32_t value_bytes) const {
+  const StoreMeta& meta = store_->meta();
+  const std::uint32_t p = meta.p();
+  std::vector<DecisionRecord> out(p);
+  for (std::uint32_t i = 0; i < p; ++i) out[i].interval = i;
+
+  if (opts_.mode != UpdateMode::kHybrid) {
+    bool rop = opts_.mode == UpdateMode::kRop;
+    for (auto& d : out) d.used_rop = rop;
+    return out;
+  }
+
+  for (std::uint32_t i = 0; i < p; ++i) {
+    PredictionInputs in;
+    in.active_vertices = frontier.active_in(i);
+    in.active_degree_sum = frontier.active_degree_in(i);
+    in.num_vertices = meta.num_vertices;
+    in.num_edges = meta.num_edges;
+    in.p = p;
+    in.edge_bytes = meta.edge_record_bytes();
+    in.value_bytes = value_bytes;  // N
+    in.column_edge_bytes = column_bytes(i);
+    // With global granularity the α shortcut is applied to the whole-graph
+    // active fraction below, not interval by interval.
+    bool per_interval_alpha =
+        opts_.granularity == DecisionGranularity::kPerInterval;
+    out[i].prediction = predictor_.predict(in, per_interval_alpha);
+    out[i].used_rop = out[i].prediction.choose_rop;
+  }
+
+  if (opts_.granularity == DecisionGranularity::kGlobal) {
+    // One decision per iteration: compare the summed predicted costs, with
+    // the α shortcut applied to the global active fraction.
+    bool shortcut =
+        predictor_.alpha() > 0 &&
+        static_cast<double>(frontier.active_vertices()) >
+            predictor_.alpha() * static_cast<double>(meta.num_vertices);
+    double c_rop = 0, c_cop = 0;
+    for (const auto& d : out) {
+      c_rop += d.prediction.c_rop;
+      c_cop += d.prediction.c_cop;
+    }
+    bool rop = !shortcut && c_rop <= c_cop;
+    for (auto& d : out) d.used_rop = rop;
+  }
+  return out;
+}
+
+std::filesystem::path Engine::scratch_file() const {
+  static std::atomic<std::uint64_t> counter{0};
+  std::filesystem::path dir =
+      opts_.scratch_dir.empty() ? store_->dir() : opts_.scratch_dir;
+  ensure_directory(dir);
+  return dir / ("values_" + std::to_string(::getpid()) + "_" +
+                std::to_string(counter.fetch_add(1)) + ".tmp");
+}
+
+}  // namespace husg

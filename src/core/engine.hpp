@@ -1,0 +1,644 @@
+// The HUS-Graph engine: hybrid ROP/COP execution over the dual-block store
+// (paper §3.3–3.5).
+//
+// Correctness note on decision granularity
+// ----------------------------------------
+// Algorithm 1 of the paper selects ROP or COP *per vertex interval*. Taken
+// literally this loses edges: if interval `a` selects COP (pulling its
+// column, i.e. its in-edges) while interval `b` selects ROP (pushing its
+// row), then edge block (a,b) is neither pushed as part of row `a` nor
+// pulled as part of column `b`, so a's active out-edges toward b are silently
+// dropped that iteration. This engine therefore supports:
+//
+//  * DecisionGranularity::kGlobal (default) — one ROP-or-COP decision per
+//    iteration, comparing the summed per-interval cost predictions. Correct
+//    for every program, and what the paper's per-iteration plots (Fig. 8)
+//    describe.
+//  * DecisionGranularity::kPerInterval — the paper-literal rule plus a
+//    coverage repair: every interval `b` that chose ROP additionally pulls
+//    the in-blocks (a,b) of each COP-choosing interval `a` with active
+//    vertices. Repair can apply an edge from both sides in one iteration, so
+//    this mode requires an idempotent program (BFS/WCC/SSSP).
+//
+// Synchronization
+// ---------------
+//  * SyncMode::kJacobi (default) — sources read the previous iteration's
+//    values; results match the in-memory reference oracles exactly.
+//  * SyncMode::kPaperAsync — the pseudocode's behaviour: vertex values are
+//    synchronized after every row/column, so later intervals observe newer
+//    values within an iteration (Gauss-Seidel flavour; same fixed point for
+//    monotone programs, usually fewer iterations).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <future>
+#include <vector>
+
+#include "core/frontier.hpp"
+#include "core/predictor.hpp"
+#include "core/program.hpp"
+#include "core/run_stats.hpp"
+#include "core/value_store.hpp"
+#include "io/device.hpp"
+#include "storage/store.hpp"
+#include "util/threadpool.hpp"
+#include "util/timer.hpp"
+
+namespace husg {
+
+enum class SyncMode { kJacobi, kPaperAsync };
+enum class DecisionGranularity { kGlobal, kPerInterval };
+
+struct EngineOptions {
+  UpdateMode mode = UpdateMode::kHybrid;
+  SyncMode sync = SyncMode::kJacobi;
+  DecisionGranularity granularity = DecisionGranularity::kGlobal;
+  /// kDeviceExact by default: in the dual-block layout an active vertex
+  /// costs up to P point loads, so a fixed-request-size T_random constant
+  /// (the paper's formula) underestimates ROP heavily away from the paper's
+  /// testbed; the ablation bench quantifies the difference.
+  PredictorFlavor predictor = PredictorFlavor::kDeviceExact;
+  std::size_t threads = 4;
+  DeviceProfile device = DeviceProfile::sata_ssd();
+  /// §3.4's α: above this active-vertex fraction COP is chosen outright.
+  double alpha = 0.05;
+  /// Mirror vertex values to a scratch file and perform the Load/Store steps
+  /// of Algorithms 2/3 as real I/O (default). Disable for in-memory runs.
+  bool file_backed_values = true;
+  /// Merge point loads of consecutive active vertices into one request
+  /// (extension; off to match the paper's per-vertex loads).
+  bool coalesce_rop_loads = false;
+  /// Skip streaming in-blocks whose source interval has no active vertices
+  /// during COP (extension; off = paper's "stream all edges" behaviour).
+  bool cop_skip_inactive_blocks = false;
+  /// §3.5: overlap CPU and disk I/O by prefetching the next in-block while
+  /// the current one is being processed (COP; ROP already overlaps blocks
+  /// across pool workers). Wall-clock optimization only — I/O traffic and
+  /// results are identical either way.
+  bool overlap_io = true;
+  int max_iterations = 100000;
+  /// CPU cost model: nanoseconds per scanned edge (see DESIGN.md; modeled
+  /// time = modeled device time + edge work / effective parallelism).
+  double cpu_ns_per_edge = 4.0;
+  std::filesystem::path scratch_dir;  ///< default: the store directory
+};
+
+template <class V>
+struct RunResult {
+  std::vector<V> values;
+  RunStats stats;
+};
+
+class Engine {
+ public:
+  Engine(const DualBlockStore& store, EngineOptions options);
+
+  const EngineOptions& options() const { return opts_; }
+  const DualBlockStore& store() const { return *store_; }
+
+  /// Runs `prog` to convergence (empty frontier) or max_iterations.
+  template <VertexProgram P>
+  RunResult<typename P::Value> run(const P& prog, const Frontier& initial);
+
+ private:
+  /// Per-interval ROP/COP decisions for one iteration. value_bytes is the
+  /// program's sizeof(Value) (the N of §3.4).
+  std::vector<DecisionRecord> decide(const Frontier& frontier,
+                                     std::uint32_t value_bytes) const;
+
+  /// Exact byte size of the in-blocks in interval i's column.
+  std::uint64_t column_bytes(std::uint32_t i) const;
+
+  std::filesystem::path scratch_file() const;
+
+  template <class P>
+  void rop_row(const P& prog, const ProgramContext& ctx, std::uint32_t i,
+               ValueStore<typename P::Value>& values, const Frontier& frontier,
+               AtomicBitmap& next, std::atomic<std::uint64_t>& scanned) const;
+
+  template <class P>
+  void cop_blocks(const P& prog, const ProgramContext& ctx, std::uint32_t i,
+                  const std::vector<std::uint32_t>& source_intervals,
+                  ValueStore<typename P::Value>& values,
+                  const Frontier& frontier, AtomicBitmap& next,
+                  std::atomic<std::uint64_t>& scanned) const;
+
+  template <class P>
+  void rop_row_accumulating(const P& prog, const ProgramContext& ctx,
+                            std::uint32_t i,
+                            ValueStore<typename P::Value>& values,
+                            std::vector<typename P::Value>& acc,
+                            const Frontier& frontier,
+                            std::atomic<std::uint64_t>& scanned) const;
+
+  template <class P>
+  void cop_column_accumulating(const P& prog, const ProgramContext& ctx,
+                               std::uint32_t i,
+                               ValueStore<typename P::Value>& values,
+                               std::vector<typename P::Value>& acc,
+                               AtomicBitmap& next,
+                               std::atomic<std::uint64_t>& scanned) const;
+
+  const DualBlockStore* store_;
+  EngineOptions opts_;
+  mutable ThreadPool pool_;
+  IoCostPredictor predictor_;
+};
+
+// ---------------------------------------------------------------------------
+// Implementation
+// ---------------------------------------------------------------------------
+
+template <VertexProgram P>
+RunResult<typename P::Value> Engine::run(const P& prog,
+                                         const Frontier& initial) {
+  using V = typename P::Value;
+  const StoreMeta& meta = store_->meta();
+  const std::uint32_t p = meta.p();
+  const VertexId n = static_cast<VertexId>(meta.num_vertices);
+  ProgramContext ctx{store_->out_degrees(), store_->in_degrees(), 0};
+
+  if constexpr (!P::kIdempotent) {
+    HUSG_CHECK(opts_.granularity == DecisionGranularity::kGlobal,
+               "per-interval hybrid granularity requires an idempotent "
+               "program (coverage repair may double-apply edges)");
+  }
+  constexpr bool kHasOnProcessed =
+      requires(const P& pr, const ProgramContext& c, VertexId v, V& a,
+               const V& b) { pr.on_processed(c, v, a, b); };
+  if constexpr (kHasOnProcessed) {
+    HUSG_CHECK(opts_.sync == SyncMode::kJacobi,
+               "programs with on_processed require SyncMode::kJacobi");
+  }
+
+  std::filesystem::path scratch = scratch_file();
+  RunResult<V> result;
+  {
+    ValueStore<V> values(meta, scratch, opts_.file_backed_values,
+                         &store_->io());
+    for (VertexId v = 0; v < n; ++v) values.values()[v] = prog.initial(ctx, v);
+    values.flush_all();
+    values.snapshot_all();
+
+    Frontier frontier = initial;
+    std::vector<V> acc;  // accumulating programs only
+
+    for (int iter = 0; iter < opts_.max_iterations && !frontier.empty();
+         ++iter) {
+      if constexpr (!kHasOnProcessed) {
+        // Active vertices without out-edges cannot propagate anything; only
+        // programs with an on_processed hook still need the pass (e.g.
+        // PageRank-Delta consuming the final residuals).
+        if (frontier.active_out_degree() == 0) break;
+      }
+      Timer iter_timer;
+      IoSnapshot io_before = store_->io().snapshot();
+
+      IterationStats istats;
+      istats.iteration = iter;
+      ctx.iteration = iter;
+      istats.active_vertices = frontier.active_vertices();
+      istats.active_edges = frontier.active_out_degree();
+      istats.decisions = decide(frontier, sizeof(V));
+
+      if (opts_.sync == SyncMode::kJacobi) values.snapshot_all();
+
+      AtomicBitmap next(n);
+      std::atomic<std::uint64_t> rop_scanned{0};
+      std::atomic<std::uint64_t> cop_scanned{0};
+
+      if constexpr (P::kAccumulating) {
+        acc.assign(n, V{});
+        for (VertexId v = 0; v < n; ++v) acc[v] = prog.gather_zero(ctx, v);
+        bool used_rop = istats.decisions.front().used_rop;
+        if (used_rop) {
+          for (std::uint32_t i = 0; i < p; ++i) {
+            rop_row_accumulating(prog, ctx, i, values, acc, frontier,
+                                 rop_scanned);
+          }
+          // Apply phase: all rows gathered; commit every interval. The
+          // pre-overwrite value is the previous iteration's (rows gather into
+          // acc and never touch vals).
+          for (std::uint32_t i = 0; i < p; ++i) {
+            VertexId b = meta.interval_begin(i), e = meta.interval_end(i);
+            for (VertexId v = b; v < e; ++v) {
+              V a = acc[v];
+              if (prog.apply(ctx, v, a, values.values()[v])) next.set(v);
+              values.values()[v] = a;
+            }
+            values.store_interval(i);
+          }
+        } else {
+          for (std::uint32_t i = 0; i < p; ++i) {
+            cop_column_accumulating(prog, ctx, i, values, acc, next,
+                                    cop_scanned);
+          }
+        }
+      } else {
+        // Monotone path: process each interval with its chosen model.
+        std::vector<std::uint32_t> all_sources(p);
+        for (std::uint32_t j = 0; j < p; ++j) all_sources[j] = j;
+        for (std::uint32_t i = 0; i < p; ++i) {
+          if (istats.decisions[i].used_rop) {
+            rop_row(prog, ctx, i, values, frontier, next, rop_scanned);
+          } else {
+            cop_blocks(prog, ctx, i, all_sources, values, frontier, next,
+                       cop_scanned);
+          }
+        }
+        // Coverage repair for mixed per-interval decisions (see file header).
+        if (opts_.granularity == DecisionGranularity::kPerInterval) {
+          std::vector<std::uint32_t> cop_sources;
+          for (std::uint32_t a = 0; a < p; ++a) {
+            if (!istats.decisions[a].used_rop && frontier.active_in(a) > 0) {
+              cop_sources.push_back(a);
+            }
+          }
+          if (!cop_sources.empty()) {
+            for (std::uint32_t b = 0; b < p; ++b) {
+              if (istats.decisions[b].used_rop) {
+                cop_blocks(prog, ctx, b, cop_sources, values, frontier, next,
+                           cop_scanned);
+              }
+            }
+          }
+        }
+      }
+
+      if constexpr (kHasOnProcessed) {
+        Bitmap touched(p);
+        for (std::uint32_t i = 0; i < p; ++i) {
+          if (frontier.active_in(i) == 0) continue;
+          frontier.for_each_active(
+              meta.interval_begin(i), meta.interval_end(i), [&](VertexId v) {
+                prog.on_processed(ctx, v, values.values()[v],
+                                  values.prev()[v]);
+              });
+          touched.set(i);
+        }
+        for (std::uint32_t i = 0; i < p; ++i) {
+          if (touched.get(i)) values.store_interval(i);
+        }
+      }
+
+      frontier = Frontier::from_bits(meta, next, store_->out_degrees());
+
+      istats.io = store_->io().snapshot() - io_before;
+      istats.wall_seconds = iter_timer.seconds();
+      istats.modeled_io_seconds = opts_.device.modeled_seconds(istats.io);
+      std::uint64_t re = rop_scanned.load(), ce = cop_scanned.load();
+      istats.edges_processed = re + ce;
+      double eff_rop = static_cast<double>(
+          std::min<std::size_t>(opts_.threads, std::max<std::uint32_t>(p, 1)));
+      double eff_cop = static_cast<double>(std::max<std::size_t>(opts_.threads, 1));
+      istats.modeled_cpu_seconds =
+          opts_.cpu_ns_per_edge * 1e-9 *
+          (static_cast<double>(re) / eff_rop + static_cast<double>(ce) / eff_cop);
+      result.stats.add_iteration(std::move(istats));
+    }
+
+    result.values = values.values();
+  }
+  if (opts_.file_backed_values) {
+    std::error_code ec;
+    std::filesystem::remove(scratch, ec);
+  }
+  return result;
+}
+
+template <class P>
+void Engine::rop_row(const P& prog, const ProgramContext& ctx, std::uint32_t i,
+                     ValueStore<typename P::Value>& values,
+                     const Frontier& frontier, AtomicBitmap& next,
+                     std::atomic<std::uint64_t>& scanned) const {
+  const StoreMeta& meta = store_->meta();
+  if (frontier.active_in(i) == 0) return;  // nothing to push from this row
+
+  values.load_interval(i);  // S_i
+  if (opts_.sync == SyncMode::kPaperAsync) values.snapshot_interval(i);
+
+  // Materialize the active vertices of interval i once for all blocks.
+  const VertexId base = meta.interval_begin(i);
+  std::vector<VertexId> actives;
+  actives.reserve(frontier.active_in(i));
+  frontier.for_each_active(base, meta.interval_end(i),
+                           [&](VertexId v) { actives.push_back(v); });
+
+  const auto& prev = values.prev();
+  auto& vals = values.values();
+  std::vector<char> touched(meta.p(), 0);
+
+  // §3.5: out-blocks of one row have disjoint destination intervals, so they
+  // are processed by the pool in parallel.
+  pool_.parallel_for(meta.p(), 1, [&](std::size_t jz) {
+    std::uint32_t j = static_cast<std::uint32_t>(jz);
+    const BlockExtent& block = meta.out_block(i, j);
+    if (block.edge_count == 0) return;
+    std::vector<std::uint32_t> idx;
+    store_->load_out_index(i, j, idx);
+    // Load D_j only if some active vertex actually has edges in this block
+    // (Alg. 2 loads D_j to apply updates; a block none of the frontier
+    // touches needs neither the values nor any edge I/O).
+    bool block_touched = false;
+    for (VertexId v : actives) {
+      if (idx[v - base + 1] > idx[v - base]) {
+        block_touched = true;
+        break;
+      }
+    }
+    if (!block_touched) return;
+    values.load_interval(j);  // D_j
+    AdjacencyBuffer buf;
+    std::uint64_t local_scanned = 0;
+    bool any = false;
+
+    auto process_range = [&](std::uint32_t lo, std::uint32_t hi,
+                             std::size_t first_active) {
+      // Load one contiguous run covering [lo,hi) of the block's CSR and walk
+      // the active vertices whose edges fall inside it.
+      AdjacencySlice slice = store_->load_out_edges(i, j, lo, hi, buf);
+      std::size_t a = first_active;
+      while (a < actives.size()) {
+        VertexId v = actives[a];
+        std::uint32_t vlo = idx[v - base], vhi = idx[v - base + 1];
+        if (vlo >= hi) break;
+        for (std::uint32_t k = vlo; k < vhi; ++k) {
+          VertexId d = slice.neighbors[k - lo];
+          if (prog.update(ctx, prev[v], v, vals[d], d, slice.weight(k - lo))) {
+            next.set(d);
+          }
+        }
+        local_scanned += vhi - vlo;
+        ++a;
+      }
+      any = true;
+    };
+
+    if (opts_.coalesce_rop_loads) {
+      // Extension: merge point loads of adjacent active vertices into one
+      // request when their edge runs are contiguous in the block.
+      std::size_t a = 0;
+      while (a < actives.size()) {
+        std::uint32_t lo = idx[actives[a] - base];
+        std::uint32_t hi = idx[actives[a] - base + 1];
+        std::size_t run_start = a;
+        while (a + 1 < actives.size() &&
+               idx[actives[a + 1] - base] == idx[actives[a] - base + 1]) {
+          ++a;
+          hi = idx[actives[a] - base + 1];
+        }
+        if (hi > lo) process_range(lo, hi, run_start);
+        ++a;
+      }
+    } else {
+      for (std::size_t a = 0; a < actives.size(); ++a) {
+        std::uint32_t lo = idx[actives[a] - base];
+        std::uint32_t hi = idx[actives[a] - base + 1];
+        if (hi > lo) {
+          AdjacencySlice slice = store_->load_out_edges(i, j, lo, hi, buf);
+          VertexId v = actives[a];
+          for (std::uint32_t k = lo; k < hi; ++k) {
+            VertexId d = slice.neighbors[k - lo];
+            if (prog.update(ctx, prev[v], v, vals[d], d,
+                            slice.weight(k - lo))) {
+              next.set(d);
+            }
+          }
+          local_scanned += hi - lo;
+          any = true;
+        }
+      }
+    }
+    if (local_scanned > 0) {
+      scanned.fetch_add(local_scanned, std::memory_order_relaxed);
+    }
+    if (any) touched[j] = 1;
+  });
+
+  for (std::uint32_t j = 0; j < meta.p(); ++j) {
+    if (touched[j]) values.store_interval(j);
+  }
+}
+
+template <class P>
+void Engine::cop_blocks(const P& prog, const ProgramContext& ctx,
+                        std::uint32_t i,
+                        const std::vector<std::uint32_t>& source_intervals,
+                        ValueStore<typename P::Value>& values,
+                        const Frontier& frontier, AtomicBitmap& next,
+                        std::atomic<std::uint64_t>& scanned) const {
+  const StoreMeta& meta = store_->meta();
+  const VertexId base = meta.interval_begin(i);
+  const VertexId count = meta.interval_size(i);
+  if (count == 0) return;
+
+  values.load_interval(i);  // D_i
+  if (opts_.sync == SyncMode::kPaperAsync) values.snapshot_interval(i);
+
+  const auto& prev = values.prev();
+  auto& vals = values.values();
+  bool any = false;
+
+  // Blocks this column will actually stream.
+  std::vector<std::uint32_t> blocks;
+  for (std::uint32_t j : source_intervals) {
+    if (meta.in_block(j, i).edge_count == 0) continue;
+    if (opts_.cop_skip_inactive_blocks && frontier.active_in(j) == 0) continue;
+    blocks.push_back(j);
+  }
+
+  // §3.5 CPU/I-O overlap: ping-pong slots; while one block is processed the
+  // next one's index and adjacency stream in on a prefetch thread.
+  struct Slot {
+    std::vector<std::uint32_t> inidx;
+    AdjacencyBuffer buf;
+    AdjacencySlice slice;
+  };
+  Slot slots[2];
+  auto fetch = [&](std::uint32_t j, Slot& slot) {
+    store_->load_in_index(j, i, slot.inidx);
+    slot.slice = store_->stream_in_block(j, i, slot.buf, &slot.inidx);
+  };
+  std::future<void> pending;
+
+  for (std::size_t k = 0; k < blocks.size(); ++k) {
+    std::uint32_t j = blocks[k];
+    const BlockExtent& block = meta.in_block(j, i);
+    if (j == i) {
+      // The diagonal's source values are the pre-column snapshot already in
+      // memory; reloading into vals would clobber this column's own updates.
+      values.load_interval_discard(j);
+    } else {
+      values.load_interval(j);  // S_j
+    }
+    Slot& cur = slots[k % 2];
+    if (k == 0) {
+      fetch(j, cur);
+    } else {
+      pending.get();  // the prefetch of this block
+    }
+    if (opts_.overlap_io && k + 1 < blocks.size()) {
+      pending = std::async(std::launch::async, fetch, blocks[k + 1],
+                           std::ref(slots[(k + 1) % 2]));
+    } else if (k + 1 < blocks.size()) {
+      // No overlap requested: fetch synchronously on the next loop entry.
+      pending = std::async(std::launch::deferred, fetch, blocks[k + 1],
+                           std::ref(slots[(k + 1) % 2]));
+    }
+    const std::vector<std::uint32_t>& inidx = cur.inidx;
+    const AdjacencySlice& slice = cur.slice;
+    scanned.fetch_add(block.edge_count, std::memory_order_relaxed);
+    any = true;
+
+    const bool diagonal = (j == i);
+    // §3.5: parallelism within an in-block — workers own disjoint
+    // destination ranges; in-edges are sorted by destination so each worker
+    // reads a contiguous slice.
+    pool_.parallel_ranges(count, [&](std::size_t lo, std::size_t hi,
+                                     std::size_t /*worker*/) {
+      for (std::size_t local = lo; local < hi; ++local) {
+        VertexId v = base + static_cast<VertexId>(local);
+        for (std::uint32_t k = inidx[local]; k < inidx[local + 1]; ++k) {
+          VertexId s = slice.neighbors[k];
+          if (!frontier.is_active(s)) continue;  // Alg. 3 line 11
+          // Source value: previous iteration (Jacobi) or the pre-column
+          // snapshot for the diagonal block (paper-async).
+          const auto& sval =
+              (opts_.sync == SyncMode::kJacobi || diagonal) ? prev[s] : vals[s];
+          if (prog.update(ctx, sval, s, vals[v], v, slice.weight(k))) {
+            next.set(v);
+          }
+        }
+      }
+    });
+  }
+  if (any) values.store_interval(i);
+}
+
+template <class P>
+void Engine::rop_row_accumulating(const P& prog, const ProgramContext& ctx,
+                                  std::uint32_t i,
+                                  ValueStore<typename P::Value>& values,
+                                  std::vector<typename P::Value>& acc,
+                                  const Frontier& frontier,
+                                  std::atomic<std::uint64_t>& scanned) const {
+  const StoreMeta& meta = store_->meta();
+  const VertexId base = meta.interval_begin(i);
+  values.load_interval(i);
+  const auto& prev = values.prev();
+
+  // Accumulating scatter pushes contributions from every vertex of the row
+  // (activity does not gate contributions — a converged PageRank vertex
+  // still feeds its neighbours). `frontier` is unused except as
+  // documentation that accumulating ROP is dense by construction.
+  (void)frontier;
+
+  pool_.parallel_for(meta.p(), 1, [&](std::size_t jz) {
+    std::uint32_t j = static_cast<std::uint32_t>(jz);
+    const BlockExtent& block = meta.out_block(i, j);
+    if (block.edge_count == 0) return;
+    values.load_interval(j);
+    std::vector<std::uint32_t> idx;
+    store_->load_out_index(i, j, idx);
+    AdjacencyBuffer buf;
+    std::uint64_t local_scanned = 0;
+    for (VertexId local = 0; local < meta.interval_size(i); ++local) {
+      std::uint32_t lo = idx[local], hi = idx[local + 1];
+      if (lo == hi) continue;
+      VertexId v = base + local;
+      AdjacencySlice slice = store_->load_out_edges(i, j, lo, hi, buf);
+      for (std::uint32_t k = lo; k < hi; ++k) {
+        prog.gather(ctx, acc[slice.neighbors[k - lo]], prev[v], v,
+                    slice.weight(k - lo));
+      }
+      local_scanned += hi - lo;
+    }
+    scanned.fetch_add(local_scanned, std::memory_order_relaxed);
+  });
+}
+
+template <class P>
+void Engine::cop_column_accumulating(const P& prog, const ProgramContext& ctx,
+                                     std::uint32_t i,
+                                     ValueStore<typename P::Value>& values,
+                                     std::vector<typename P::Value>& acc,
+                                     AtomicBitmap& next,
+                                     std::atomic<std::uint64_t>& scanned) const {
+  const StoreMeta& meta = store_->meta();
+  const VertexId base = meta.interval_begin(i);
+  const VertexId count = meta.interval_size(i);
+  if (count == 0) return;
+  values.load_interval(i);  // D_i
+
+  const bool jacobi = (opts_.sync == SyncMode::kJacobi);
+
+  std::vector<std::uint32_t> blocks;
+  for (std::uint32_t j = 0; j < meta.p(); ++j) {
+    if (meta.in_block(j, i).edge_count > 0) blocks.push_back(j);
+  }
+
+  // Same §3.5 prefetch pipeline as the monotone COP path.
+  struct Slot {
+    std::vector<std::uint32_t> inidx;
+    AdjacencyBuffer buf;
+    AdjacencySlice slice;
+  };
+  Slot slots[2];
+  auto fetch = [&](std::uint32_t j, Slot& slot) {
+    store_->load_in_index(j, i, slot.inidx);
+    slot.slice = store_->stream_in_block(j, i, slot.buf, &slot.inidx);
+  };
+  std::future<void> pending;
+
+  for (std::size_t k = 0; k < blocks.size(); ++k) {
+    std::uint32_t j = blocks[k];
+    const BlockExtent& block = meta.in_block(j, i);
+    values.load_interval(j);  // S_j
+    Slot& cur = slots[k % 2];
+    if (k == 0) {
+      fetch(j, cur);
+    } else {
+      pending.get();
+    }
+    if (k + 1 < blocks.size()) {
+      pending = std::async(opts_.overlap_io ? std::launch::async
+                                            : std::launch::deferred,
+                           fetch, blocks[k + 1], std::ref(slots[(k + 1) % 2]));
+    }
+    const std::vector<std::uint32_t>& inidx = cur.inidx;
+    const AdjacencySlice& slice = cur.slice;
+    scanned.fetch_add(block.edge_count, std::memory_order_relaxed);
+
+    // In paper-async mode sources read the live values (columns already
+    // committed supply this iteration's values — Gauss-Seidel); the current
+    // column's own interval is only committed below, so the diagonal reads
+    // previous values either way.
+    const auto& src = jacobi ? values.prev() : values.values();
+    pool_.parallel_ranges(count, [&](std::size_t lo, std::size_t hi,
+                                     std::size_t /*worker*/) {
+      for (std::size_t local = lo; local < hi; ++local) {
+        VertexId v = base + static_cast<VertexId>(local);
+        for (std::uint32_t k = inidx[local]; k < inidx[local + 1]; ++k) {
+          prog.gather(ctx, acc[v], src[slice.neighbors[k]],
+                      slice.neighbors[k], slice.weight(k));
+        }
+      }
+    });
+  }
+
+  // Apply and commit this column's interval. vals[v] still holds the
+  // previous iteration's value at this point (gathers only wrote acc), which
+  // is the correct "prev" in both sync modes.
+  auto& vals = values.values();
+  for (VertexId local = 0; local < count; ++local) {
+    VertexId v = base + local;
+    typename P::Value a = acc[v];
+    if (prog.apply(ctx, v, a, vals[v])) next.set(v);
+    vals[v] = a;
+  }
+  values.store_interval(i);
+}
+
+}  // namespace husg

@@ -1,0 +1,57 @@
+#include "core/frontier.hpp"
+
+namespace husg {
+
+Frontier Frontier::none(const StoreMeta& meta) {
+  Frontier f;
+  f.bits_.resize(meta.num_vertices);
+  f.per_interval_count_.assign(meta.p(), 0);
+  f.per_interval_degree_.assign(meta.p(), 0);
+  return f;
+}
+
+Frontier Frontier::all(const StoreMeta& meta,
+                       std::span<const VertexId> out_degrees) {
+  Frontier f = none(meta);
+  f.bits_.set_all();
+  f.recount(meta, out_degrees);
+  return f;
+}
+
+Frontier Frontier::single(const StoreMeta& meta, VertexId v,
+                          std::span<const VertexId> out_degrees) {
+  HUSG_CHECK(v < meta.num_vertices,
+             "frontier vertex " << v << " out of range");
+  Frontier f = none(meta);
+  f.bits_.set(v);
+  f.recount(meta, out_degrees);
+  return f;
+}
+
+Frontier Frontier::from_bits(const StoreMeta& meta, const AtomicBitmap& bits,
+                             std::span<const VertexId> out_degrees) {
+  Frontier f = none(meta);
+  bits.snapshot_into(f.bits_);
+  f.recount(meta, out_degrees);
+  return f;
+}
+
+void Frontier::recount(const StoreMeta& meta,
+                       std::span<const VertexId> out_degrees) {
+  total_active_ = 0;
+  total_degree_ = 0;
+  for (std::uint32_t i = 0; i < meta.p(); ++i) {
+    std::uint64_t count = 0, degree = 0;
+    bits_.for_each_set(meta.interval_begin(i), meta.interval_end(i),
+                       [&](std::size_t v) {
+                         ++count;
+                         degree += out_degrees[v];
+                       });
+    per_interval_count_[i] = count;
+    per_interval_degree_[i] = degree;
+    total_active_ += count;
+    total_degree_ += degree;
+  }
+}
+
+}  // namespace husg

@@ -1,0 +1,63 @@
+// Frontier: the set of active vertices for one iteration, with the
+// per-interval statistics (|A_i| and Σ_{v∈A_i} d_v) the §3.4 predictor
+// consumes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "storage/layout.hpp"
+#include "util/bitmap.hpp"
+
+namespace husg {
+
+class Frontier {
+ public:
+  Frontier() = default;
+
+  /// Empty frontier over |V| vertices.
+  static Frontier none(const StoreMeta& meta);
+  /// All vertices active.
+  static Frontier all(const StoreMeta& meta,
+                      std::span<const VertexId> out_degrees);
+  /// Exactly one vertex active.
+  static Frontier single(const StoreMeta& meta, VertexId v,
+                         std::span<const VertexId> out_degrees);
+  /// Adopts an atomic bitmap produced during an iteration; recomputes the
+  /// per-interval statistics.
+  static Frontier from_bits(const StoreMeta& meta, const AtomicBitmap& bits,
+                            std::span<const VertexId> out_degrees);
+
+  bool empty() const { return total_active_ == 0; }
+  std::uint64_t active_vertices() const { return total_active_; }
+  std::uint64_t active_out_degree() const { return total_degree_; }
+
+  std::uint64_t active_in(std::uint32_t interval) const {
+    return per_interval_count_[interval];
+  }
+  std::uint64_t active_degree_in(std::uint32_t interval) const {
+    return per_interval_degree_[interval];
+  }
+
+  bool is_active(VertexId v) const { return bits_.get(v); }
+
+  /// Iterate active vertices of one interval in ascending order.
+  template <class Fn>
+  void for_each_active(VertexId begin, VertexId end, Fn&& fn) const {
+    bits_.for_each_set(begin, end, [&](std::size_t v) {
+      fn(static_cast<VertexId>(v));
+    });
+  }
+
+ private:
+  void recount(const StoreMeta& meta, std::span<const VertexId> out_degrees);
+
+  Bitmap bits_;
+  std::vector<std::uint64_t> per_interval_count_;
+  std::vector<std::uint64_t> per_interval_degree_;
+  std::uint64_t total_active_ = 0;
+  std::uint64_t total_degree_ = 0;
+};
+
+}  // namespace husg

@@ -1,0 +1,48 @@
+#include "core/predictor.hpp"
+
+#include <algorithm>
+
+namespace husg {
+
+Prediction IoCostPredictor::predict(const PredictionInputs& in,
+                                    bool use_alpha) const {
+  Prediction out;
+  const double v = static_cast<double>(in.num_vertices);
+  const double p = static_cast<double>(in.p);
+  const double n_bytes = static_cast<double>(in.value_bytes);
+  const double vertex_bytes = (2.0 * v / p + v) * n_bytes;
+  const double rop_edge_bytes =
+      static_cast<double>(in.active_degree_sum) * in.edge_bytes;
+
+  // α shortcut (paper: if |A_i| > α|V|, select COP without evaluating).
+  if (use_alpha && alpha_ > 0 &&
+      static_cast<double>(in.active_vertices) > alpha_ * v) {
+    out.alpha_shortcut = true;
+    out.choose_rop = false;
+    return out;
+  }
+
+  const double t_seq = std::max(device_.t_sequential(), 1.0);
+  if (flavor_ == PredictorFlavor::kPaper) {
+    const double t_rand = std::max(device_.t_random(4096.0), 1.0);
+    const double cop_edge_bytes =
+        static_cast<double>(in.num_edges) / p * in.edge_bytes;
+    out.c_rop = rop_edge_bytes / t_rand + vertex_bytes / t_seq;
+    out.c_cop = (cop_edge_bytes + vertex_bytes) / t_seq;
+  } else {
+    // Device-exact: point loads pay one positioning latency each; a vertex
+    // active in the interval triggers up to one point load per block of the
+    // row, so ops ≈ |A_i| · P (upper bound — empty runs are skipped).
+    const double rand_bw = std::max(device_.rand_read_bw, 1.0);
+    const double ops =
+        static_cast<double>(in.active_vertices) * p;
+    out.c_rop = ops * device_.seek_seconds + rop_edge_bytes / rand_bw +
+                vertex_bytes / t_seq;
+    out.c_cop =
+        (static_cast<double>(in.column_edge_bytes) + vertex_bytes) / t_seq;
+  }
+  out.choose_rop = out.c_rop <= out.c_cop;
+  return out;
+}
+
+}  // namespace husg

@@ -1,0 +1,83 @@
+// Vertex-program interface. One program definition drives every engine in
+// the repository (HUS ROP/COP/Hybrid and the three baseline systems), so the
+// cross-system benchmarks compare I/O architectures, not algorithm variants.
+//
+// Two program families:
+//
+// * Monotone/push (kAccumulating == false): the edge relation is applied by
+//   `update(ctx, src_value, s, dst_value, d, w)`, mutating the destination in
+//   place and returning true if it changed (which activates `d`). BFS, WCC,
+//   SSSP (idempotent, min-combining) and PageRank-Delta (additive) live here.
+//
+// * Accumulating/pull (kAccumulating == true): each iteration recomputes
+//   every destination from scratch: `acc = gather_zero()`, folds
+//   `gather(ctx, acc, src_value, s, w)` over in-edges, then
+//   `apply(ctx, v, prev, acc) -> (new_value, active_next)`. Standard
+//   PageRank lives here (dense: every vertex active every iteration).
+//
+// kIdempotent marks updates that may safely be applied more than once per
+// iteration (min-combining). Only idempotent programs may use the
+// paper-literal per-interval hybrid decision granularity, because mixed
+// ROP/COP decisions can cover an edge block from both sides (see
+// engine.hpp).
+#pragma once
+
+#include <concepts>
+#include <span>
+
+#include "util/common.hpp"
+
+namespace husg {
+
+/// Read-only graph context available to program callbacks.
+struct ProgramContext {
+  std::span<const VertexId> out_degrees;
+  std::span<const VertexId> in_degrees;
+  /// Zero-based index of the iteration currently executing (engines update
+  /// it before each sweep; programs like EccentricityProgram use it to
+  /// record arrival distances).
+  int iteration = 0;
+};
+
+// clang-format off
+template <class P>
+concept MonotoneProgram = requires(const P p, const ProgramContext ctx,
+                                   typename P::Value v, VertexId id, Weight w) {
+  typename P::Value;
+  { P::kAccumulating } -> std::convertible_to<bool>;
+  { P::kIdempotent } -> std::convertible_to<bool>;
+  { p.initial(ctx, id) } -> std::same_as<typename P::Value>;
+  { p.update(ctx, v, id, v, id, w) } -> std::same_as<bool>;
+} && !P::kAccumulating;
+
+template <class P>
+concept AccumulatingProgram = requires(const P p, const ProgramContext ctx,
+                                       typename P::Value v, VertexId id,
+                                       Weight w) {
+  typename P::Value;
+  { P::kAccumulating } -> std::convertible_to<bool>;
+  { p.initial(ctx, id) } -> std::same_as<typename P::Value>;
+  { p.gather_zero(ctx, id) } -> std::same_as<typename P::Value>;
+  { p.gather(ctx, v, v, id, w) } -> std::same_as<void>;
+  { p.apply(ctx, id, v, v) } -> std::same_as<bool>;
+} && P::kAccumulating;
+
+template <class P>
+concept VertexProgram = MonotoneProgram<P> || AccumulatingProgram<P>;
+// clang-format on
+
+namespace detail {
+
+/// Invokes prog.on_processed(ctx, v, value, prev) if the program defines it
+/// (e.g. PageRank-Delta consumes the residual of processed vertices).
+template <class P, class V>
+void maybe_on_processed(const P& prog, const ProgramContext& ctx, VertexId v,
+                        V& value, const V& prev) {
+  if constexpr (requires { prog.on_processed(ctx, v, value, prev); }) {
+    prog.on_processed(ctx, v, value, prev);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace husg

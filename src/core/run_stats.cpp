@@ -1,0 +1,52 @@
+#include "core/run_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace husg {
+
+const char* to_string(UpdateMode mode) {
+  switch (mode) {
+    case UpdateMode::kRop:
+      return "ROP";
+    case UpdateMode::kCop:
+      return "COP";
+    case UpdateMode::kHybrid:
+      return "Hybrid";
+  }
+  return "?";
+}
+
+bool IterationStats::any_rop() const {
+  return std::any_of(decisions.begin(), decisions.end(),
+                     [](const DecisionRecord& d) { return d.used_rop; });
+}
+
+bool IterationStats::any_cop() const {
+  return std::any_of(decisions.begin(), decisions.end(),
+                     [](const DecisionRecord& d) { return !d.used_rop; });
+}
+
+void RunStats::add_iteration(IterationStats it) {
+  total_io += it.io;
+  wall_seconds += it.wall_seconds;
+  modeled_io_seconds += it.modeled_io_seconds;
+  modeled_cpu_seconds += it.modeled_cpu_seconds;
+  edges_processed += it.edges_processed;
+  iterations.push_back(std::move(it));
+}
+
+std::string RunStats::summary() const {
+  std::ostringstream os;
+  os << iterations.size() << " iterations, wall "
+     << human_seconds(wall_seconds) << ", modeled "
+     << human_seconds(modeled_seconds()) << ", io "
+     << human_bytes(total_io.total_bytes()) << " ("
+     << total_io.to_string() << "), edges processed "
+     << with_commas(edges_processed);
+  return os.str();
+}
+
+}  // namespace husg

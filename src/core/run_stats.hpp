@@ -1,0 +1,65 @@
+// Per-run and per-iteration statistics: measured wall time, exact I/O
+// traffic, modeled device time (see io/device.hpp), and the hybrid
+// strategy's per-interval decisions — everything Figures 7-9 and the
+// predictor ablation report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/predictor.hpp"
+#include "io/io_stats.hpp"
+
+namespace husg {
+
+enum class UpdateMode { kRop, kCop, kHybrid };
+
+const char* to_string(UpdateMode mode);
+
+/// One hybrid decision (per interval, or one per iteration with global
+/// granularity).
+struct DecisionRecord {
+  std::uint32_t interval = 0;
+  Prediction prediction;
+  bool used_rop = false;
+};
+
+struct IterationStats {
+  int iteration = 0;
+  std::uint64_t active_vertices = 0;
+  std::uint64_t active_edges = 0;  ///< Σ out-degree over active vertices
+  IoSnapshot io;                   ///< traffic of this iteration only
+  double wall_seconds = 0;
+  double modeled_io_seconds = 0;
+  double modeled_cpu_seconds = 0;
+  std::uint64_t edges_processed = 0;
+  std::vector<DecisionRecord> decisions;
+
+  double modeled_seconds() const {
+    return modeled_io_seconds + modeled_cpu_seconds;
+  }
+  /// True if any interval (or the global decision) used ROP this iteration.
+  bool any_rop() const;
+  bool any_cop() const;
+};
+
+struct RunStats {
+  std::vector<IterationStats> iterations;
+  IoSnapshot total_io;
+  double wall_seconds = 0;
+  double modeled_io_seconds = 0;
+  double modeled_cpu_seconds = 0;
+  std::uint64_t edges_processed = 0;
+
+  double modeled_seconds() const {
+    return modeled_io_seconds + modeled_cpu_seconds;
+  }
+  int iterations_run() const { return static_cast<int>(iterations.size()); }
+
+  void add_iteration(IterationStats it);
+
+  std::string summary() const;
+};
+
+}  // namespace husg

@@ -1,0 +1,89 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace husg {
+
+void EdgeList::validate() const {
+  for (const Edge& e : edges_) {
+    HUSG_CHECK(e.src < num_vertices_ && e.dst < num_vertices_,
+               "edge (" << e.src << "," << e.dst << ") out of range for |V|="
+                        << num_vertices_);
+  }
+}
+
+void EdgeList::add_edge(VertexId src, VertexId dst, Weight w) {
+  HUSG_CHECK(src < num_vertices_ && dst < num_vertices_,
+             "edge (" << src << "," << dst << ") out of range for |V|="
+                      << num_vertices_);
+  edges_.push_back(Edge{src, dst});
+  if (weighted()) {
+    weights_.push_back(w);
+  } else if (w != Weight{1}) {
+    // First non-unit weight upgrades the list to weighted.
+    weights_.assign(edges_.size() - 1, Weight{1});
+    weights_.push_back(w);
+  }
+}
+
+std::vector<VertexId> EdgeList::out_degrees() const {
+  std::vector<VertexId> deg(num_vertices_, 0);
+  for (const Edge& e : edges_) ++deg[e.src];
+  return deg;
+}
+
+std::vector<VertexId> EdgeList::in_degrees() const {
+  std::vector<VertexId> deg(num_vertices_, 0);
+  for (const Edge& e : edges_) ++deg[e.dst];
+  return deg;
+}
+
+EdgeList EdgeList::transposed() const {
+  std::vector<Edge> rev(edges_.size());
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    rev[i] = Edge{edges_[i].dst, edges_[i].src};
+  }
+  if (weighted()) return EdgeList(num_vertices_, std::move(rev), weights_);
+  return EdgeList(num_vertices_, std::move(rev));
+}
+
+EdgeList EdgeList::symmetrized() const {
+  std::vector<Edge> out;
+  std::vector<Weight> w;
+  out.reserve(edges_.size() * 2);
+  if (weighted()) w.reserve(edges_.size() * 2);
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    out.push_back(e);
+    if (weighted()) w.push_back(weights_[i]);
+    if (e.src != e.dst) {
+      out.push_back(Edge{e.dst, e.src});
+      if (weighted()) w.push_back(weights_[i]);
+    }
+  }
+  if (weighted()) return EdgeList(num_vertices_, std::move(out), std::move(w));
+  return EdgeList(num_vertices_, std::move(out));
+}
+
+void EdgeList::sort_and_maybe_dedupe(bool dedupe) {
+  std::vector<std::size_t> order(edges_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (edges_[a].src != edges_[b].src) return edges_[a].src < edges_[b].src;
+    return edges_[a].dst < edges_[b].dst;
+  });
+  std::vector<Edge> sorted;
+  std::vector<Weight> sorted_w;
+  sorted.reserve(edges_.size());
+  if (weighted()) sorted_w.reserve(edges_.size());
+  for (std::size_t idx : order) {
+    if (dedupe && !sorted.empty() && sorted.back() == edges_[idx]) continue;
+    sorted.push_back(edges_[idx]);
+    if (weighted()) sorted_w.push_back(weights_[idx]);
+  }
+  edges_ = std::move(sorted);
+  weights_ = std::move(sorted_w);
+}
+
+}  // namespace husg

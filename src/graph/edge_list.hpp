@@ -1,0 +1,76 @@
+// In-memory edge list: the ingestion format every on-disk store is built
+// from, and the substrate for the exact reference algorithms used in tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace husg {
+
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// A directed multigraph with optional per-edge weights.
+class EdgeList {
+ public:
+  EdgeList() = default;
+  EdgeList(VertexId num_vertices, std::vector<Edge> edges)
+      : num_vertices_(num_vertices), edges_(std::move(edges)) {
+    validate();
+  }
+  EdgeList(VertexId num_vertices, std::vector<Edge> edges,
+           std::vector<Weight> weights)
+      : num_vertices_(num_vertices),
+        edges_(std::move(edges)),
+        weights_(std::move(weights)) {
+    HUSG_CHECK(weights_.size() == edges_.size(),
+               "weights/edges size mismatch: " << weights_.size() << " vs "
+                                               << edges_.size());
+    validate();
+  }
+
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeId num_edges() const { return edges_.size(); }
+  bool weighted() const { return !weights_.empty(); }
+
+  std::span<const Edge> edges() const { return edges_; }
+  std::span<const Weight> weights() const { return weights_; }
+
+  const Edge& edge(EdgeId i) const { return edges_[i]; }
+  Weight weight(EdgeId i) const { return weighted() ? weights_[i] : Weight{1}; }
+
+  /// Appends an edge (and weight if this list is weighted).
+  void add_edge(VertexId src, VertexId dst, Weight w = Weight{1});
+
+  /// Out-degree of every vertex.
+  std::vector<VertexId> out_degrees() const;
+  /// In-degree of every vertex.
+  std::vector<VertexId> in_degrees() const;
+
+  /// Returns a copy with src/dst swapped on every edge.
+  EdgeList transposed() const;
+
+  /// Returns an undirected version: every edge doubled (u,v) + (v,u),
+  /// self-loops kept single. Mirrors the paper's §3.1 convention.
+  EdgeList symmetrized() const;
+
+  /// Sorts edges by (src, dst) keeping weights aligned; removes exact
+  /// duplicate (src,dst) pairs if dedupe is true (first weight wins).
+  void sort_and_maybe_dedupe(bool dedupe);
+
+ private:
+  void validate() const;
+
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<Weight> weights_;
+};
+
+}  // namespace husg

@@ -1,0 +1,160 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace husg::gen {
+
+namespace {
+
+Edge rmat_edge(unsigned scale, const RmatParams& p, SplitMix64& rng) {
+  VertexId src = 0, dst = 0;
+  for (unsigned level = 0; level < scale; ++level) {
+    double a = p.a, b = p.b, c = p.c;
+    if (p.noise > 0) {
+      // Perturb the quadrant probabilities each level (standard R-MAT
+      // "smoothing" to avoid exact self-similarity artifacts).
+      a *= 1.0 + p.noise * (rng.next_double() - 0.5);
+      b *= 1.0 + p.noise * (rng.next_double() - 0.5);
+      c *= 1.0 + p.noise * (rng.next_double() - 0.5);
+    }
+    double r = rng.next_double();
+    unsigned bit_src = 0, bit_dst = 0;
+    if (r < a) {
+      // top-left
+    } else if (r < a + b) {
+      bit_dst = 1;
+    } else if (r < a + b + c) {
+      bit_src = 1;
+    } else {
+      bit_src = 1;
+      bit_dst = 1;
+    }
+    src = (src << 1) | bit_src;
+    dst = (dst << 1) | bit_dst;
+  }
+  return Edge{src, dst};
+}
+
+}  // namespace
+
+EdgeList rmat(unsigned scale, double avg_degree, std::uint64_t seed,
+              const RmatParams& params) {
+  HUSG_CHECK(scale > 0 && scale < 31, "rmat scale out of range: " << scale);
+  VertexId n = VertexId{1} << scale;
+  EdgeId m = static_cast<EdgeId>(avg_degree * static_cast<double>(n));
+  SplitMix64 rng(seed * 0x9e3779b9u + 1);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (EdgeId i = 0; i < m; ++i) edges.push_back(rmat_edge(scale, params, rng));
+  return EdgeList(n, std::move(edges));
+}
+
+EdgeList erdos_renyi(VertexId n, EdgeId m, std::uint64_t seed) {
+  HUSG_CHECK(n > 0, "erdos_renyi needs at least one vertex");
+  SplitMix64 rng(seed * 0x2545F491u + 7);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (EdgeId i = 0; i < m; ++i) {
+    edges.push_back(Edge{static_cast<VertexId>(rng.next_below(n)),
+                         static_cast<VertexId>(rng.next_below(n))});
+  }
+  return EdgeList(n, std::move(edges));
+}
+
+EdgeList chain(VertexId n) {
+  HUSG_CHECK(n > 0, "chain needs at least one vertex");
+  std::vector<Edge> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (VertexId v = 0; v + 1 < n; ++v) edges.push_back(Edge{v, v + 1});
+  return EdgeList(n, std::move(edges));
+}
+
+EdgeList star(VertexId n) {
+  HUSG_CHECK(n > 0, "star needs at least one vertex");
+  std::vector<Edge> edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (VertexId v = 1; v < n; ++v) edges.push_back(Edge{0, v});
+  return EdgeList(n, std::move(edges));
+}
+
+EdgeList grid2d(VertexId rows, VertexId cols) {
+  HUSG_CHECK(rows > 0 && cols > 0, "grid2d needs positive dimensions");
+  VertexId n = rows * cols;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * 2);
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      VertexId v = r * cols + c;
+      if (c + 1 < cols) edges.push_back(Edge{v, v + 1});
+      if (r + 1 < rows) edges.push_back(Edge{v, v + cols});
+    }
+  }
+  return EdgeList(n, std::move(edges)).symmetrized();
+}
+
+EdgeList webgraph(unsigned scale, double avg_degree, std::uint64_t seed) {
+  RmatParams web;
+  web.a = 0.62;
+  web.b = 0.18;
+  web.c = 0.14;
+  web.noise = 0.02;
+  EdgeList base = rmat(scale, avg_degree - 1.0, seed, web);
+  VertexId n = base.num_vertices();
+  // Reserve a strand of vertices that receive no R-MAT edges (endpoints are
+  // remapped off them); they are reachable only through the path appended
+  // below. Hyperlink graphs have exactly this long-tail structure, which is
+  // why the paper's web graphs need far more BFS/WCC iterations than its
+  // social graphs. Strand vertices are spread across the whole id space
+  // (crawl tails are not clustered), so interval/chunk-granular skipping
+  // cannot isolate them.
+  VertexId strand = std::min<VertexId>(96, n / 8);
+  VertexId stride = strand > 0 ? n / strand : n;
+  auto is_strand = [&](VertexId v) {
+    return strand > 0 && stride >= 2 && v % stride == stride - 1 &&
+           v / stride < strand;
+  };
+  auto remap = [&](VertexId v) { return is_strand(v) ? v - 1 : v; };
+  std::vector<Edge> edges(base.edges().begin(), base.edges().end());
+  for (Edge& e : edges) {
+    e.src = remap(e.src);
+    e.dst = remap(e.dst);
+  }
+  // Stitch a chain through a permutation of the non-strand vertices so the
+  // graph has one weakly connected backbone, like hyperlink graphs.
+  std::vector<VertexId> perm;
+  perm.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    if (!is_strand(v)) perm.push_back(v);
+  }
+  SplitMix64 rng(seed ^ 0xC0FFEEULL);
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.next_below(i)]);
+  }
+  edges.reserve(edges.size() + n);
+  for (std::size_t i = 0; i + 1 < perm.size(); ++i) {
+    edges.push_back(Edge{perm[i], perm[i + 1]});
+  }
+  // The long-tail strand hangs off the end of the backbone, hopping across
+  // the id space.
+  VertexId prev = perm.empty() ? 0 : perm.back();
+  for (VertexId k = 0; k < strand && stride >= 2; ++k) {
+    VertexId s = k * stride + stride - 1;
+    edges.push_back(Edge{prev, s});
+    prev = s;
+  }
+  return EdgeList(n, std::move(edges));
+}
+
+EdgeList with_random_weights(const EdgeList& g, std::uint64_t seed, Weight lo,
+                             Weight hi) {
+  SplitMix64 rng(seed ^ 0xABCDEF12ULL);
+  std::vector<Weight> w(g.num_edges());
+  for (auto& x : w) x = rng.next_float(lo, hi);
+  std::vector<Edge> edges(g.edges().begin(), g.edges().end());
+  return EdgeList(g.num_vertices(), std::move(edges), std::move(w));
+}
+
+}  // namespace husg::gen

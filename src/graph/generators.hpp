@@ -1,0 +1,52 @@
+// Deterministic synthetic graph generators.
+//
+// The paper evaluates on public real-world graphs (Table 2); this
+// reproduction substitutes deterministic R-MAT power-law graphs for the
+// social networks and lower-noise R-MAT with chain stitching for the larger-
+// diameter web graphs (see DESIGN.md, "Substitutions").
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace husg::gen {
+
+struct RmatParams {
+  /// R-MAT quadrant probabilities; a+b+c+d must be ~1. Defaults are the
+  /// canonical Graph500 skew, which yields power-law degrees like the
+  /// paper's social graphs.
+  double a = 0.57, b = 0.19, c = 0.19;
+  /// Per-level probability perturbation; lower noise => more regular
+  /// structure and larger effective diameter (web-graph-like).
+  double noise = 0.10;
+};
+
+/// R-MAT graph with 2^scale vertices and avg_degree * 2^scale edges.
+EdgeList rmat(unsigned scale, double avg_degree, std::uint64_t seed,
+              const RmatParams& params = {});
+
+/// Erdős–Rényi G(n, m): m directed edges chosen uniformly.
+EdgeList erdos_renyi(VertexId n, EdgeId m, std::uint64_t seed);
+
+/// Directed path 0 -> 1 -> ... -> n-1 (diameter n-1; worst case for BFS
+/// iteration count).
+EdgeList chain(VertexId n);
+
+/// Star: hub 0 -> {1..n-1}.
+EdgeList star(VertexId n);
+
+/// 2-D grid (rows x cols) with edges to right and down neighbours, then
+/// symmetrized; a road-network-like workload for SSSP.
+EdgeList grid2d(VertexId rows, VertexId cols);
+
+/// Web-graph stand-in: low-noise skewed R-MAT plus a Hamiltonian-ish chain
+/// through a random permutation, which stretches the diameter the way
+/// hyperlink graphs do relative to social graphs.
+EdgeList webgraph(unsigned scale, double avg_degree, std::uint64_t seed);
+
+/// Assigns deterministic uniform weights in [lo, hi) to an unweighted list.
+EdgeList with_random_weights(const EdgeList& g, std::uint64_t seed,
+                             Weight lo = 0.01f, Weight hi = 1.0f);
+
+}  // namespace husg::gen

@@ -1,0 +1,117 @@
+#include "graph/graph_io.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "io/file.hpp"
+
+namespace husg {
+
+namespace {
+constexpr std::uint64_t kBinMagic = 0x48555347454C3031ULL;  // "HUSGEL01"
+}
+
+EdgeList load_text_edges(const std::filesystem::path& path,
+                         VertexId min_vertices) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open text edge file '" + path.string() + "'");
+  std::vector<Edge> edges;
+  std::vector<Weight> weights;
+  bool weighted = false;
+  VertexId max_id = 0;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t src = 0, dst = 0;
+    double w = 1.0;
+    if (!(ls >> src >> dst)) {
+      throw DataError("malformed edge at " + path.string() + ":" +
+                      std::to_string(lineno) + ": '" + line + "'");
+    }
+    HUSG_CHECK(src < kInvalidVertex && dst < kInvalidVertex,
+               "vertex id too large at line " << lineno);
+    if (ls >> w) {
+      if (!weighted) {
+        weighted = true;
+        weights.assign(edges.size(), Weight{1});
+      }
+    }
+    edges.push_back(
+        Edge{static_cast<VertexId>(src), static_cast<VertexId>(dst)});
+    if (weighted) weights.push_back(static_cast<Weight>(w));
+    max_id = std::max({max_id, static_cast<VertexId>(src),
+                       static_cast<VertexId>(dst)});
+  }
+  VertexId n = edges.empty() ? min_vertices
+                             : std::max<VertexId>(min_vertices, max_id + 1);
+  if (n == 0) n = 1;
+  if (weighted) return EdgeList(n, std::move(edges), std::move(weights));
+  return EdgeList(n, std::move(edges));
+}
+
+void save_text_edges(const EdgeList& g, const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot create text edge file '" + path.string() + "'");
+  out << "# husgraph edge list: " << g.num_vertices() << " vertices, "
+      << g.num_edges() << " edges\n";
+  for (EdgeId i = 0; i < g.num_edges(); ++i) {
+    const Edge& e = g.edge(i);
+    out << e.src << ' ' << e.dst;
+    if (g.weighted()) out << ' ' << g.weight(i);
+    out << '\n';
+  }
+}
+
+void save_binary_edges(const EdgeList& g, const std::filesystem::path& path) {
+  File f(path, File::Mode::kWrite);
+  std::uint64_t header[4] = {kBinMagic, g.num_vertices(), g.num_edges(),
+                             g.weighted() ? 1ULL : 0ULL};
+  std::uint64_t off = 0;
+  f.pwrite_exact(header, sizeof(header), off);
+  off += sizeof(header);
+  if (g.num_edges() > 0) {
+    f.pwrite_exact(g.edges().data(), g.num_edges() * sizeof(Edge), off);
+    off += g.num_edges() * sizeof(Edge);
+    if (g.weighted()) {
+      f.pwrite_exact(g.weights().data(), g.num_edges() * sizeof(Weight), off);
+    }
+  }
+}
+
+EdgeList load_binary_edges(const std::filesystem::path& path) {
+  File f(path, File::Mode::kRead);
+  std::uint64_t header[4] = {0, 0, 0, 0};
+  HUSG_CHECK(f.size() >= sizeof(header),
+             "binary edge file too small: " << path.string());
+  f.pread_exact(header, sizeof(header), 0);
+  HUSG_CHECK(header[0] == kBinMagic,
+             "bad magic in binary edge file: " << path.string());
+  VertexId n = static_cast<VertexId>(header[1]);
+  EdgeId m = header[2];
+  bool weighted = header[3] != 0;
+  std::uint64_t expected = sizeof(header) + m * sizeof(Edge) +
+                           (weighted ? m * sizeof(Weight) : 0);
+  HUSG_CHECK(f.size() == expected, "truncated binary edge file: "
+                                       << path.string() << " (" << f.size()
+                                       << " vs expected " << expected << ")");
+  std::vector<Edge> edges(m);
+  std::uint64_t off = sizeof(header);
+  if (m > 0) {
+    f.pread_exact(edges.data(), m * sizeof(Edge), off);
+    off += m * sizeof(Edge);
+  }
+  if (weighted) {
+    std::vector<Weight> weights(m);
+    if (m > 0) f.pread_exact(weights.data(), m * sizeof(Weight), off);
+    return EdgeList(n, std::move(edges), std::move(weights));
+  }
+  return EdgeList(n, std::move(edges));
+}
+
+}  // namespace husg

@@ -1,0 +1,24 @@
+// Text and binary edge-list serialization, for interoperability with the
+// SNAP-style files the paper's datasets ship as.
+#pragma once
+
+#include <filesystem>
+
+#include "graph/edge_list.hpp"
+
+namespace husg {
+
+/// Loads a whitespace-separated "src dst [weight]" file. Lines starting with
+/// '#' or '%' are comments. num_vertices is max id + 1 unless a larger hint
+/// is given.
+EdgeList load_text_edges(const std::filesystem::path& path,
+                         VertexId min_vertices = 0);
+
+/// Writes "src dst [weight]\n" lines.
+void save_text_edges(const EdgeList& g, const std::filesystem::path& path);
+
+/// Compact binary round-trip format (magic + counts + raw arrays).
+void save_binary_edges(const EdgeList& g, const std::filesystem::path& path);
+EdgeList load_binary_edges(const std::filesystem::path& path);
+
+}  // namespace husg

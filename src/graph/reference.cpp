@@ -1,0 +1,228 @@
+#include "graph/reference.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace husg::ref {
+
+namespace {
+
+/// CSR over out-edges for traversal oracles.
+struct Csr {
+  std::vector<EdgeId> offsets;
+  std::vector<VertexId> targets;
+  std::vector<Weight> weights;
+
+  explicit Csr(const EdgeList& g) {
+    VertexId n = g.num_vertices();
+    offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+    for (const Edge& e : g.edges()) ++offsets[e.src + 1];
+    for (VertexId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+    targets.resize(g.num_edges());
+    weights.resize(g.num_edges());
+    std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+    for (EdgeId i = 0; i < g.num_edges(); ++i) {
+      const Edge& e = g.edge(i);
+      EdgeId at = cursor[e.src]++;
+      targets[at] = e.dst;
+      weights[at] = g.weight(i);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> bfs_levels(const EdgeList& g, VertexId source) {
+  HUSG_CHECK(source < g.num_vertices(), "bfs source out of range");
+  Csr csr(g);
+  std::vector<std::uint32_t> level(g.num_vertices(), kUnreachedLevel);
+  std::queue<VertexId> q;
+  level[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    VertexId u = q.front();
+    q.pop();
+    for (EdgeId i = csr.offsets[u]; i < csr.offsets[u + 1]; ++i) {
+      VertexId v = csr.targets[i];
+      if (level[v] == kUnreachedLevel) {
+        level[v] = level[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return level;
+}
+
+std::vector<VertexId> wcc_labels(const EdgeList& g) {
+  // Union-find over the undirected structure, then canonicalize each root to
+  // the minimum id of its component so labels match label-propagation.
+  VertexId n = g.num_vertices();
+  std::vector<VertexId> parent(n);
+  for (VertexId v = 0; v < n; ++v) parent[v] = v;
+  auto find = [&](VertexId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const Edge& e : g.edges()) {
+    VertexId a = find(e.src), b = find(e.dst);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  }
+  std::vector<VertexId> label(n);
+  for (VertexId v = 0; v < n; ++v) label[v] = find(v);
+  return label;
+}
+
+std::vector<float> sssp_distances(const EdgeList& g, VertexId source) {
+  HUSG_CHECK(source < g.num_vertices(), "sssp source out of range");
+  Csr csr(g);
+  std::vector<float> dist(g.num_vertices(), kUnreachedDist);
+  using Entry = std::pair<float, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[source] = 0;
+  pq.emplace(0.0f, source);
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    for (EdgeId i = csr.offsets[u]; i < csr.offsets[u + 1]; ++i) {
+      VertexId v = csr.targets[i];
+      float w = csr.weights[i];
+      HUSG_CHECK(w >= 0, "sssp requires non-negative weights");
+      if (dist[u] + w < dist[v]) {
+        dist[v] = dist[u] + w;
+        pq.emplace(dist[v], v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> pagerank(const EdgeList& g, int iterations,
+                             double damping) {
+  VertexId n = g.num_vertices();
+  std::vector<VertexId> outdeg = g.out_degrees();
+  std::vector<double> rank(n, 1.0);
+  std::vector<double> next(n, 0.0);
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (const Edge& e : g.edges()) {
+      next[e.dst] += rank[e.src] / outdeg[e.src];
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      next[v] = (1.0 - damping) + damping * next[v];
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::vector<bool> kcore_membership(const EdgeList& g, std::uint32_t k) {
+  Csr csr(g);
+  VertexId n = g.num_vertices();
+  std::vector<std::uint32_t> degree = g.out_degrees();
+  std::vector<bool> in_core(n, true);
+  std::vector<VertexId> stack;
+  for (VertexId v = 0; v < n; ++v) {
+    if (degree[v] < k) {
+      in_core[v] = false;
+      stack.push_back(v);
+    }
+  }
+  while (!stack.empty()) {
+    VertexId u = stack.back();
+    stack.pop_back();
+    for (EdgeId i = csr.offsets[u]; i < csr.offsets[u + 1]; ++i) {
+      VertexId w = csr.targets[i];
+      if (!in_core[w]) continue;
+      if (degree[w] > 0) --degree[w];
+      if (degree[w] < k) {
+        in_core[w] = false;
+        stack.push_back(w);
+      }
+    }
+  }
+  return in_core;
+}
+
+namespace {
+
+/// Generic synchronous frontier simulation counting active edges.
+template <class Init, class Relax>
+ActivityProfile simulate(const EdgeList& g, Init&& init, Relax&& relax) {
+  Csr csr(g);
+  VertexId n = g.num_vertices();
+  std::vector<char> active(n, 0), next_active(n, 0);
+  init(active);
+  ActivityProfile prof;
+  prof.total_edges = g.num_edges();
+  bool any = std::any_of(active.begin(), active.end(),
+                         [](char c) { return c != 0; });
+  while (any) {
+    std::uint64_t act_edges = 0, act_verts = 0;
+    for (VertexId u = 0; u < n; ++u) {
+      if (!active[u]) continue;
+      ++act_verts;
+      act_edges += csr.offsets[u + 1] - csr.offsets[u];
+    }
+    prof.active_edges_per_iter.push_back(act_edges);
+    prof.active_vertices_per_iter.push_back(act_verts);
+    std::fill(next_active.begin(), next_active.end(), 0);
+    for (VertexId u = 0; u < n; ++u) {
+      if (!active[u]) continue;
+      for (EdgeId i = csr.offsets[u]; i < csr.offsets[u + 1]; ++i) {
+        if (relax(u, csr.targets[i])) next_active[csr.targets[i]] = 1;
+      }
+    }
+    active.swap(next_active);
+    any = std::any_of(active.begin(), active.end(),
+                      [](char c) { return c != 0; });
+  }
+  return prof;
+}
+
+}  // namespace
+
+ActivityProfile bfs_activity(const EdgeList& g, VertexId source) {
+  std::vector<std::uint32_t> level(g.num_vertices(), kUnreachedLevel);
+  level[source] = 0;
+  return simulate(
+      g, [&](std::vector<char>& a) { a[source] = 1; },
+      [&](VertexId u, VertexId v) {
+        if (level[v] == kUnreachedLevel) {
+          level[v] = level[u] + 1;
+          return true;
+        }
+        return false;
+      });
+}
+
+ActivityProfile wcc_activity(const EdgeList& g) {
+  EdgeList sym = g.symmetrized();
+  std::vector<VertexId> label(sym.num_vertices());
+  for (VertexId v = 0; v < sym.num_vertices(); ++v) label[v] = v;
+  return simulate(
+      sym, [&](std::vector<char>& a) { std::fill(a.begin(), a.end(), 1); },
+      [&](VertexId u, VertexId v) {
+        if (label[u] < label[v]) {
+          label[v] = label[u];
+          return true;
+        }
+        return false;
+      });
+}
+
+ActivityProfile pagerank_activity(const EdgeList& g, int iterations) {
+  ActivityProfile prof;
+  prof.total_edges = g.num_edges();
+  std::uint64_t verts = g.num_vertices();
+  for (int i = 0; i < iterations; ++i) {
+    prof.active_edges_per_iter.push_back(g.num_edges());
+    prof.active_vertices_per_iter.push_back(verts);
+  }
+  return prof;
+}
+
+}  // namespace husg::ref

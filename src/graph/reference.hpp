@@ -1,0 +1,53 @@
+// Exact in-memory reference algorithms. These are the oracles every engine
+// (HUS ROP/COP/Hybrid and all three baselines) is tested against, plus the
+// per-iteration active-edge profiler behind Figure 1.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace husg::ref {
+
+inline constexpr std::uint32_t kUnreachedLevel =
+    std::numeric_limits<std::uint32_t>::max();
+inline constexpr float kUnreachedDist = std::numeric_limits<float>::infinity();
+
+/// BFS hop distance from `source` (kUnreachedLevel if unreachable).
+std::vector<std::uint32_t> bfs_levels(const EdgeList& g, VertexId source);
+
+/// Weakly connected component label per vertex: the minimum vertex id in the
+/// component (matches label-propagation fixed point).
+std::vector<VertexId> wcc_labels(const EdgeList& g);
+
+/// Single-source shortest path distances (Dijkstra; weights must be >= 0,
+/// unweighted edges count as 1).
+std::vector<float> sssp_distances(const EdgeList& g, VertexId source);
+
+/// Synchronous (Jacobi) PageRank, `iterations` full sweeps, damping 0.85.
+/// Dangling mass is NOT redistributed (matches the engine's per-edge
+/// formulation: pr(v) = 0.15 + 0.85 * sum(pr(u)/outdeg(u))).
+std::vector<double> pagerank(const EdgeList& g, int iterations,
+                             double damping = 0.85);
+
+/// k-core membership on the (directed multigraph's) out-degree structure:
+/// true if the vertex survives iterative peeling of vertices with remaining
+/// degree < k. Call on a symmetrized graph for the standard undirected
+/// k-core.
+std::vector<bool> kcore_membership(const EdgeList& g, std::uint32_t k);
+
+/// Per-iteration active-edge counts for the Figure 1 profile: an edge is
+/// active when its source vertex changed value in the previous iteration.
+struct ActivityProfile {
+  std::vector<std::uint64_t> active_edges_per_iter;
+  std::vector<std::uint64_t> active_vertices_per_iter;
+  EdgeId total_edges = 0;
+};
+
+ActivityProfile bfs_activity(const EdgeList& g, VertexId source);
+ActivityProfile wcc_activity(const EdgeList& g);
+/// PageRank: all vertices active every iteration (footnote 1 of the paper).
+ActivityProfile pagerank_activity(const EdgeList& g, int iterations);
+
+}  // namespace husg::ref

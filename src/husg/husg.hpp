@@ -1,0 +1,38 @@
+// Umbrella header: the public HUS-Graph API.
+//
+//   #include <husg/husg.hpp>
+//
+//   auto graph = husg::gen::rmat(18, 16.0, /*seed=*/1);
+//   auto store = husg::DualBlockStore::build(graph, "/tmp/mygraph");
+//   husg::Engine engine(store, husg::EngineOptions{});
+//   husg::BfsProgram bfs{.source = 0};
+//   auto r = engine.run(bfs, husg::Frontier::single(store.meta(), 0,
+//                                                   store.out_degrees()));
+//
+// See README.md for a tour and DESIGN.md for the architecture.
+#pragma once
+
+#include "algos/bfs.hpp"
+#include "algos/eccentricity.hpp"
+#include "algos/kcore.hpp"
+#include "algos/multi_bfs.hpp"
+#include "algos/pagerank.hpp"
+#include "algos/pagerank_delta.hpp"
+#include "algos/spmv.hpp"
+#include "algos/sssp.hpp"
+#include "algos/wcc.hpp"
+#include "core/engine.hpp"
+#include "core/frontier.hpp"
+#include "core/predictor.hpp"
+#include "core/program.hpp"
+#include "core/run_stats.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/reference.hpp"
+#include "io/device.hpp"
+#include "io/io_stats.hpp"
+#include "storage/store.hpp"
+#include "util/format.hpp"
+#include "util/logging.hpp"
+#include "util/options.hpp"

@@ -1,0 +1,76 @@
+#include "io/device.hpp"
+
+#include <algorithm>
+
+namespace husg {
+
+double DeviceProfile::t_random(double mean_request_bytes) const {
+  if (rand_read_bw <= 0) return 0;
+  if (mean_request_bytes <= 0) mean_request_bytes = 4096;
+  double per_request = seek_seconds + mean_request_bytes / rand_read_bw;
+  return mean_request_bytes / per_request;
+}
+
+double DeviceProfile::modeled_seconds(const IoSnapshot& io) const {
+  double t = 0;
+  if (seq_read_bw > 0) {
+    t += static_cast<double>(io.seq_read_bytes) / seq_read_bw;
+  }
+  if (rand_read_bw > 0) {
+    t += static_cast<double>(io.rand_read_bytes) / rand_read_bw;
+  }
+  t += static_cast<double>(io.rand_read_ops) * seek_seconds;
+  if (write_bw > 0) {
+    t += static_cast<double>(io.write_bytes) / write_bw;
+  }
+  return t;
+}
+
+DeviceProfile DeviceProfile::hdd7200() {
+  DeviceProfile d;
+  d.name = "hdd7200";
+  d.seq_read_bw = 160e6;   // ~160 MB/s outer-track sequential
+  d.rand_read_bw = 160e6;  // transfer at media rate once positioned
+  d.write_bw = 140e6;
+  d.seek_seconds = 8e-3;   // avg seek + rotational latency
+  return d;
+}
+
+DeviceProfile DeviceProfile::sata_ssd() {
+  DeviceProfile d;
+  d.name = "sata_ssd";
+  d.seq_read_bw = 260e6;   // SATA2-era SSD (paper's 128 GB SATA2 drive)
+  d.rand_read_bw = 200e6;
+  d.write_bw = 200e6;
+  d.seek_seconds = 9e-5;   // flash access latency
+  return d;
+}
+
+DeviceProfile DeviceProfile::nvme_ssd() {
+  DeviceProfile d;
+  d.name = "nvme_ssd";
+  d.seq_read_bw = 3200e6;
+  d.rand_read_bw = 2400e6;
+  d.write_bw = 2000e6;
+  d.seek_seconds = 1.5e-5;
+  return d;
+}
+
+DeviceProfile DeviceProfile::with_seek_scale(double factor) const {
+  DeviceProfile d = *this;
+  d.seek_seconds *= factor;
+  d.name += "-seekx" + std::to_string(factor);
+  return d;
+}
+
+DeviceProfile DeviceProfile::null_device() {
+  DeviceProfile d;
+  d.name = "null";
+  d.seq_read_bw = 0;
+  d.rand_read_bw = 0;
+  d.write_bw = 0;
+  d.seek_seconds = 0;
+  return d;
+}
+
+}  // namespace husg

@@ -1,0 +1,133 @@
+#include "io/file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/common.hpp"
+
+namespace husg {
+
+namespace {
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw IoError(what + " '" + path + "': " + std::strerror(errno));
+}
+}  // namespace
+
+File::File(const std::filesystem::path& path, Mode mode) : path_(path.string()) {
+  int flags = 0;
+  switch (mode) {
+    case Mode::kRead:
+      flags = O_RDONLY;
+      break;
+    case Mode::kWrite:
+      flags = O_WRONLY | O_CREAT | O_TRUNC;
+      break;
+    case Mode::kReadWrite:
+      flags = O_RDWR | O_CREAT;
+      break;
+  }
+  fd_ = ::open(path_.c_str(), flags, 0644);
+  if (fd_ < 0) throw_errno("open", path_);
+  if (mode == Mode::kReadWrite) {
+    struct stat st{};
+    if (::fstat(fd_, &st) == 0) append_offset_ = static_cast<std::uint64_t>(st.st_size);
+  }
+}
+
+File::~File() { close(); }
+
+File::File(File&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      append_offset_(other.append_offset_) {}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    append_offset_ = other.append_offset_;
+  }
+  return *this;
+}
+
+std::uint64_t File::size() const {
+  HUSG_CHECK(is_open(), "size() on closed file");
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) throw_errno("fstat", path_);
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+void File::pread_exact(void* buf, std::size_t len, std::uint64_t offset) const {
+  HUSG_CHECK(is_open(), "pread on closed file");
+  char* dst = static_cast<char*>(buf);
+  std::size_t done = 0;
+  while (done < len) {
+    ssize_t got = ::pread(fd_, dst + done, len - done,
+                          static_cast<off_t>(offset + done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("pread", path_);
+    }
+    if (got == 0) {
+      throw IoError("short read from '" + path_ + "' at offset " +
+                    std::to_string(offset + done) + " (wanted " +
+                    std::to_string(len) + " bytes)");
+    }
+    done += static_cast<std::size_t>(got);
+  }
+}
+
+void File::pwrite_exact(const void* buf, std::size_t len, std::uint64_t offset) {
+  HUSG_CHECK(is_open(), "pwrite on closed file");
+  const char* src = static_cast<const char*>(buf);
+  std::size_t done = 0;
+  while (done < len) {
+    ssize_t put = ::pwrite(fd_, src + done, len - done,
+                           static_cast<off_t>(offset + done));
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("pwrite", path_);
+    }
+    done += static_cast<std::size_t>(put);
+  }
+  append_offset_ = std::max(append_offset_, offset + len);
+}
+
+std::uint64_t File::append(const void* buf, std::size_t len) {
+  std::uint64_t at = append_offset_;
+  pwrite_exact(buf, len, at);
+  return at;
+}
+
+void File::sync() {
+  HUSG_CHECK(is_open(), "sync on closed file");
+  if (::fdatasync(fd_) != 0) throw_errno("fdatasync", path_);
+}
+
+void File::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void ensure_directory(const std::filesystem::path& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec && !std::filesystem::is_directory(dir)) {
+    throw IoError("create_directories '" + dir.string() + "': " + ec.message());
+  }
+}
+
+void remove_tree(const std::filesystem::path& dir) {
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+}  // namespace husg

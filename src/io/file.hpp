@@ -1,0 +1,59 @@
+// RAII wrapper around POSIX file descriptors with full-length pread/pwrite.
+// All HUS-Graph on-disk structures go through this layer so that byte and
+// operation counts are exact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+namespace husg {
+
+class File {
+ public:
+  enum class Mode { kRead, kWrite, kReadWrite };
+
+  File() = default;
+  File(const std::filesystem::path& path, Mode mode);
+  ~File();
+
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Size in bytes (fstat).
+  std::uint64_t size() const;
+
+  /// Read exactly `len` bytes at `offset`; throws IoError on short read.
+  void pread_exact(void* buf, std::size_t len, std::uint64_t offset) const;
+
+  /// Write exactly `len` bytes at `offset`.
+  void pwrite_exact(const void* buf, std::size_t len, std::uint64_t offset);
+
+  /// Append `len` bytes at the current append cursor; returns the offset the
+  /// data was written at.
+  std::uint64_t append(const void* buf, std::size_t len);
+
+  /// Flush file data to the device.
+  void sync();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::uint64_t append_offset_ = 0;
+};
+
+/// Create directory (and parents) if missing; throws IoError on failure.
+void ensure_directory(const std::filesystem::path& dir);
+
+/// Remove a directory tree if it exists (best-effort helper for tests/benches).
+void remove_tree(const std::filesystem::path& dir);
+
+}  // namespace husg

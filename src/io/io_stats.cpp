@@ -1,0 +1,38 @@
+#include "io/io_stats.hpp"
+
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace husg {
+
+IoSnapshot IoSnapshot::operator-(const IoSnapshot& rhs) const {
+  IoSnapshot d;
+  d.seq_read_bytes = seq_read_bytes - rhs.seq_read_bytes;
+  d.seq_read_ops = seq_read_ops - rhs.seq_read_ops;
+  d.rand_read_bytes = rand_read_bytes - rhs.rand_read_bytes;
+  d.rand_read_ops = rand_read_ops - rhs.rand_read_ops;
+  d.write_bytes = write_bytes - rhs.write_bytes;
+  d.write_ops = write_ops - rhs.write_ops;
+  return d;
+}
+
+IoSnapshot& IoSnapshot::operator+=(const IoSnapshot& rhs) {
+  seq_read_bytes += rhs.seq_read_bytes;
+  seq_read_ops += rhs.seq_read_ops;
+  rand_read_bytes += rhs.rand_read_bytes;
+  rand_read_ops += rhs.rand_read_ops;
+  write_bytes += rhs.write_bytes;
+  write_ops += rhs.write_ops;
+  return *this;
+}
+
+std::string IoSnapshot::to_string() const {
+  std::ostringstream os;
+  os << "seq_read=" << human_bytes(seq_read_bytes) << "/" << seq_read_ops
+     << "ops rand_read=" << human_bytes(rand_read_bytes) << "/" << rand_read_ops
+     << "ops write=" << human_bytes(write_bytes) << "/" << write_ops << "ops";
+  return os.str();
+}
+
+}  // namespace husg

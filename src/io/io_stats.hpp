@@ -1,0 +1,82 @@
+// Exact I/O accounting. The paper's evaluation (Fig. 7b/7d, Fig. 9) compares
+// systems by "I/O amount"; every engine in this repository funnels reads and
+// writes through TrackedFile so the reported traffic is measured, not
+// estimated. Sequential vs random classification feeds the device cost model
+// (§3.4's T_sequential / T_random).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace husg {
+
+/// Point-in-time snapshot of I/O counters (plain values; copyable).
+struct IoSnapshot {
+  std::uint64_t seq_read_bytes = 0;
+  std::uint64_t seq_read_ops = 0;
+  std::uint64_t rand_read_bytes = 0;
+  std::uint64_t rand_read_ops = 0;
+  std::uint64_t write_bytes = 0;
+  std::uint64_t write_ops = 0;
+
+  std::uint64_t total_read_bytes() const {
+    return seq_read_bytes + rand_read_bytes;
+  }
+  std::uint64_t total_bytes() const { return total_read_bytes() + write_bytes; }
+  std::uint64_t total_ops() const {
+    return seq_read_ops + rand_read_ops + write_ops;
+  }
+
+  IoSnapshot operator-(const IoSnapshot& rhs) const;
+  IoSnapshot& operator+=(const IoSnapshot& rhs);
+
+  std::string to_string() const;
+};
+
+/// Thread-safe accumulating counters.
+class IoStats {
+ public:
+  void add_seq_read(std::uint64_t bytes) {
+    seq_read_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    seq_read_ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_rand_read(std::uint64_t bytes) {
+    rand_read_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    rand_read_ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_write(std::uint64_t bytes) {
+    write_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    write_ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  IoSnapshot snapshot() const {
+    IoSnapshot s;
+    s.seq_read_bytes = seq_read_bytes_.load(std::memory_order_relaxed);
+    s.seq_read_ops = seq_read_ops_.load(std::memory_order_relaxed);
+    s.rand_read_bytes = rand_read_bytes_.load(std::memory_order_relaxed);
+    s.rand_read_ops = rand_read_ops_.load(std::memory_order_relaxed);
+    s.write_bytes = write_bytes_.load(std::memory_order_relaxed);
+    s.write_ops = write_ops_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset() {
+    seq_read_bytes_ = 0;
+    seq_read_ops_ = 0;
+    rand_read_bytes_ = 0;
+    rand_read_ops_ = 0;
+    write_bytes_ = 0;
+    write_ops_ = 0;
+  }
+
+ private:
+  std::atomic<std::uint64_t> seq_read_bytes_{0};
+  std::atomic<std::uint64_t> seq_read_ops_{0};
+  std::atomic<std::uint64_t> rand_read_bytes_{0};
+  std::atomic<std::uint64_t> rand_read_ops_{0};
+  std::atomic<std::uint64_t> write_bytes_{0};
+  std::atomic<std::uint64_t> write_ops_{0};
+};
+
+}  // namespace husg

@@ -1,0 +1,57 @@
+// File wrapper that classifies each access as sequential or random and
+// charges it to an IoStats instance. Engines never bypass this wrapper.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+
+#include "io/file.hpp"
+#include "io/io_stats.hpp"
+
+namespace husg {
+
+class TrackedFile {
+ public:
+  TrackedFile() = default;
+  TrackedFile(const std::filesystem::path& path, File::Mode mode,
+              IoStats* stats)
+      : file_(path, mode), stats_(stats) {}
+
+  bool is_open() const { return file_.is_open(); }
+  std::uint64_t size() const { return file_.size(); }
+  const std::string& path() const { return file_.path(); }
+
+  /// Random (point) read: charged as one random op regardless of position.
+  void read_random(void* buf, std::size_t len, std::uint64_t offset) const {
+    file_.pread_exact(buf, len, offset);
+    if (stats_ != nullptr) stats_->add_rand_read(len);
+  }
+
+  /// Sequential (streaming) read: charged as sequential traffic. Callers use
+  /// this when they stream a contiguous region (COP block scans, shard loads).
+  void read_sequential(void* buf, std::size_t len, std::uint64_t offset) const {
+    file_.pread_exact(buf, len, offset);
+    if (stats_ != nullptr) stats_->add_seq_read(len);
+  }
+
+  void write(const void* buf, std::size_t len, std::uint64_t offset) {
+    file_.pwrite_exact(buf, len, offset);
+    if (stats_ != nullptr) stats_->add_write(len);
+  }
+
+  std::uint64_t append(const void* buf, std::size_t len) {
+    std::uint64_t at = file_.append(buf, len);
+    if (stats_ != nullptr) stats_->add_write(len);
+    return at;
+  }
+
+  void set_stats(IoStats* stats) { stats_ = stats; }
+  IoStats* stats() const { return stats_; }
+
+ private:
+  File file_;
+  IoStats* stats_ = nullptr;
+};
+
+}  // namespace husg

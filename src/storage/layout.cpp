@@ -1,0 +1,13 @@
+#include "storage/layout.hpp"
+
+#include <algorithm>
+
+namespace husg {
+
+std::uint32_t StoreMeta::interval_of(VertexId v) const {
+  HUSG_CHECK(v < num_vertices, "interval_of: vertex " << v << " out of range");
+  auto it = std::upper_bound(boundaries.begin(), boundaries.end(), v);
+  return static_cast<std::uint32_t>(it - boundaries.begin()) - 1;
+}
+
+}  // namespace husg

@@ -1,0 +1,134 @@
+// On-disk layout of the dual-block representation (paper §3.2).
+//
+// A store directory contains:
+//   meta.bin     header, interval boundaries, block directory
+//   degrees.bin  out-degrees then in-degrees (uint32 per vertex each)
+//   out.adj      P*P out-blocks packed back to back; block (i,j) holds the
+//                edges src∈I_i, dst∈I_j sorted by (src,dst); each record is
+//                the destination id (+ weight if the store is weighted)
+//   out.idx      per-block CSR offsets over the *source* interval's vertices
+//   in.adj       P*P in-blocks; block (i,j) holds the same edge set sorted by
+//                (dst,src); each record is the source id (+ weight)
+//   in.idx       per-block CSR offsets over the *destination* interval's
+//                vertices
+//
+// Out-records store only the destination (the source is implied by the CSR
+// index), so the per-edge footprint M is 4 bytes unweighted / 8 weighted —
+// the "more compact storage" the paper credits for its PageRank I/O edge
+// over GridGraph's 8-byte edge-list format.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace husg {
+
+inline constexpr std::uint64_t kStoreMagic = 0x4855534744423031ULL;  // HUSGDB01
+inline constexpr std::uint64_t kStoreVersion = 4;
+
+/// Number of checksummed data files (out.adj, out.idx, in.adj, in.idx,
+/// degrees.bin), in that order in StoreMeta::checksums.
+inline constexpr std::size_t kStoreDataFiles = 5;
+
+/// Extent of one block inside a packed .adj/.idx file pair.
+struct BlockExtent {
+  std::uint64_t adj_offset = 0;  ///< byte offset into the .adj file
+  std::uint64_t adj_bytes = 0;   ///< adjacency bytes (edge_count * record size)
+  std::uint64_t idx_offset = 0;  ///< byte offset into the .idx file
+  std::uint64_t edge_count = 0;
+};
+
+/// Weighted adjacency record (unweighted blocks store bare uint32 ids).
+struct WeightedRecord {
+  VertexId vid;
+  Weight weight;
+};
+static_assert(sizeof(WeightedRecord) == 8);
+
+/// Fixed-size header at the front of meta.bin.
+struct StoreHeader {
+  std::uint64_t magic = kStoreMagic;
+  std::uint64_t version = kStoreVersion;
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  std::uint32_t num_partitions = 0;
+  std::uint32_t weighted = 0;
+  std::uint32_t in_blocks_compressed = 0;
+  std::uint32_t reserved = 0;
+};
+
+/// Fully parsed metadata.
+struct StoreMeta {
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  std::uint32_t num_partitions = 0;
+  bool weighted = false;
+  /// In-blocks stored as delta-varint runs instead of fixed-width records
+  /// (see StoreOptions::compress_in_blocks).
+  bool in_blocks_compressed = false;
+  /// boundaries[k] = first vertex of interval k; boundaries[P] = |V|.
+  std::vector<VertexId> boundaries;
+  /// Block directories, row-major: block (i,j) at index i*P+j.
+  std::vector<BlockExtent> out_blocks;
+  std::vector<BlockExtent> in_blocks;
+  /// FNV-1a checksums of the data files (see kStoreDataFiles); checked on
+  /// demand by DualBlockStore::verify().
+  std::uint64_t checksums[kStoreDataFiles] = {0, 0, 0, 0, 0};
+
+  std::uint32_t p() const { return num_partitions; }
+
+  /// Bytes of one adjacency record (the paper's M).
+  std::uint32_t edge_record_bytes() const {
+    return weighted ? sizeof(WeightedRecord) : sizeof(VertexId);
+  }
+
+  VertexId interval_begin(std::uint32_t i) const { return boundaries[i]; }
+  VertexId interval_end(std::uint32_t i) const { return boundaries[i + 1]; }
+  VertexId interval_size(std::uint32_t i) const {
+    return boundaries[i + 1] - boundaries[i];
+  }
+
+  /// Interval containing vertex v.
+  std::uint32_t interval_of(VertexId v) const;
+
+  const BlockExtent& out_block(std::uint32_t i, std::uint32_t j) const {
+    return out_blocks[static_cast<std::size_t>(i) * num_partitions + j];
+  }
+  const BlockExtent& in_block(std::uint32_t i, std::uint32_t j) const {
+    return in_blocks[static_cast<std::size_t>(i) * num_partitions + j];
+  }
+};
+
+/// How vertices are split into the P disjoint intervals.
+enum class PartitionScheme {
+  kEqualVertices,  ///< boundaries at k*|V|/P (the paper's assumption in §3.4)
+  kEqualDegree,    ///< boundaries balance (out+in) degree mass per interval
+};
+
+/// How the builder stages edges while constructing the blocks.
+enum class BuildMode {
+  /// Bucket all edge ids in memory (fastest; needs O(|E|) extra memory).
+  kInMemory,
+  /// External-memory preprocessing: scatter edges into per-block temporary
+  /// bucket files with small write buffers, then sort one block at a time.
+  /// Working memory is O(P^2 · buffer + largest block), the standard
+  /// out-of-core preprocessing discipline (GraphChi's sharder, GridGraph's
+  /// grid partitioner).
+  kExternal,
+};
+
+struct StoreOptions {
+  std::uint32_t num_partitions = 8;
+  PartitionScheme scheme = PartitionScheme::kEqualVertices;
+  BuildMode build_mode = BuildMode::kInMemory;
+  /// Store in-blocks as sorted delta-varint runs (~40-60 % smaller on
+  /// power-law graphs). In-blocks are only ever consumed by COP's full
+  /// streaming, so variable-width encoding costs no random-access
+  /// capability; out-blocks keep fixed-width records because ROP point-loads
+  /// them by offset. Unweighted stores only.
+  bool compress_in_blocks = false;
+};
+
+}  // namespace husg

@@ -1,0 +1,559 @@
+#include "storage/store.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "io/buffered.hpp"
+#include "util/checksum.hpp"
+#include "util/logging.hpp"
+#include "util/varint.hpp"
+
+namespace husg {
+
+namespace {
+
+/// Builder-internal edge record (also the temp-bucket-file format of the
+/// external build mode).
+struct BuildEdge {
+  VertexId src;
+  VertexId dst;
+  Weight weight;
+};
+static_assert(sizeof(BuildEdge) == 12);
+
+constexpr const char* kMetaFile = "meta.bin";
+constexpr const char* kDegreesFile = "degrees.bin";
+constexpr const char* kOutAdjFile = "out.adj";
+constexpr const char* kOutIdxFile = "out.idx";
+constexpr const char* kInAdjFile = "in.adj";
+constexpr const char* kInIdxFile = "in.idx";
+
+void write_meta(const std::filesystem::path& dir, const StoreMeta& meta) {
+  File f(dir / kMetaFile, File::Mode::kWrite);
+  StoreHeader hdr;
+  hdr.num_vertices = meta.num_vertices;
+  hdr.num_edges = meta.num_edges;
+  hdr.num_partitions = meta.num_partitions;
+  hdr.weighted = meta.weighted ? 1 : 0;
+  hdr.in_blocks_compressed = meta.in_blocks_compressed ? 1 : 0;
+  std::uint64_t off = 0;
+  f.pwrite_exact(&hdr, sizeof(hdr), off);
+  off += sizeof(hdr);
+  f.pwrite_exact(meta.boundaries.data(),
+                 meta.boundaries.size() * sizeof(VertexId), off);
+  off += meta.boundaries.size() * sizeof(VertexId);
+  f.pwrite_exact(meta.out_blocks.data(),
+                 meta.out_blocks.size() * sizeof(BlockExtent), off);
+  off += meta.out_blocks.size() * sizeof(BlockExtent);
+  f.pwrite_exact(meta.in_blocks.data(),
+                 meta.in_blocks.size() * sizeof(BlockExtent), off);
+  off += meta.in_blocks.size() * sizeof(BlockExtent);
+  f.pwrite_exact(meta.checksums, sizeof(meta.checksums), off);
+}
+
+/// FNV-1a over a whole file, streamed in chunks.
+std::uint64_t checksum_file(const std::filesystem::path& path) {
+  File f(path, File::Mode::kRead);
+  std::uint64_t size = f.size();
+  std::vector<char> buf(std::min<std::uint64_t>(size, 4u << 20));
+  std::uint64_t state = kFnvOffset;
+  std::uint64_t pos = 0;
+  while (pos < size) {
+    std::uint64_t len = std::min<std::uint64_t>(buf.size(), size - pos);
+    f.pread_exact(buf.data(), len, pos);
+    state = fnv1a(buf.data(), len, state);
+    pos += len;
+  }
+  return state;
+}
+
+const char* data_file_name(std::size_t index) {
+  static const char* kNames[kStoreDataFiles] = {
+      kOutAdjFile, kOutIdxFile, kInAdjFile, kInIdxFile, kDegreesFile};
+  return kNames[index];
+}
+
+StoreMeta read_meta(const std::filesystem::path& dir) {
+  File f(dir / kMetaFile, File::Mode::kRead);
+  StoreHeader hdr;
+  HUSG_CHECK(f.size() >= sizeof(hdr),
+             "store meta too small: " << (dir / kMetaFile).string());
+  f.pread_exact(&hdr, sizeof(hdr), 0);
+  HUSG_CHECK(hdr.magic == kStoreMagic,
+             "bad store magic in " << (dir / kMetaFile).string());
+  HUSG_CHECK(hdr.version == kStoreVersion,
+             "unsupported store version " << hdr.version << " (expected "
+                                          << kStoreVersion << ")");
+  HUSG_CHECK(hdr.num_partitions > 0, "store has zero partitions");
+  StoreMeta meta;
+  meta.num_vertices = hdr.num_vertices;
+  meta.num_edges = hdr.num_edges;
+  meta.num_partitions = hdr.num_partitions;
+  meta.weighted = hdr.weighted != 0;
+  meta.in_blocks_compressed = hdr.in_blocks_compressed != 0;
+  HUSG_CHECK(!(meta.weighted && meta.in_blocks_compressed),
+             "compressed in-blocks are only supported for unweighted stores");
+  std::size_t p = meta.num_partitions;
+  std::uint64_t expected = sizeof(hdr) + (p + 1) * sizeof(VertexId) +
+                           2 * p * p * sizeof(BlockExtent) +
+                           sizeof(meta.checksums);
+  HUSG_CHECK(f.size() == expected,
+             "store meta size mismatch: " << f.size() << " vs " << expected);
+  meta.boundaries.resize(p + 1);
+  std::uint64_t off = sizeof(hdr);
+  f.pread_exact(meta.boundaries.data(), (p + 1) * sizeof(VertexId), off);
+  off += (p + 1) * sizeof(VertexId);
+  meta.out_blocks.resize(p * p);
+  f.pread_exact(meta.out_blocks.data(), p * p * sizeof(BlockExtent), off);
+  off += p * p * sizeof(BlockExtent);
+  meta.in_blocks.resize(p * p);
+  f.pread_exact(meta.in_blocks.data(), p * p * sizeof(BlockExtent), off);
+  off += p * p * sizeof(BlockExtent);
+  f.pread_exact(meta.checksums, sizeof(meta.checksums), off);
+  // Basic sanity over boundaries.
+  HUSG_CHECK(meta.boundaries.front() == 0 &&
+                 meta.boundaries.back() == meta.num_vertices,
+             "corrupt interval boundaries");
+  for (std::size_t k = 0; k + 1 < meta.boundaries.size(); ++k) {
+    HUSG_CHECK(meta.boundaries[k] <= meta.boundaries[k + 1],
+               "non-monotone interval boundaries");
+  }
+  return meta;
+}
+
+}  // namespace
+
+std::vector<VertexId> compute_boundaries(const EdgeList& graph,
+                                         std::uint32_t p,
+                                         PartitionScheme scheme) {
+  HUSG_CHECK(p > 0, "need at least one partition");
+  VertexId n = graph.num_vertices();
+  std::vector<VertexId> b(p + 1, 0);
+  if (scheme == PartitionScheme::kEqualVertices) {
+    for (std::uint32_t k = 0; k <= p; ++k) {
+      b[k] = static_cast<VertexId>(
+          static_cast<std::uint64_t>(n) * k / p);
+    }
+    return b;
+  }
+  // kEqualDegree: balance out+in degree mass.
+  std::vector<std::uint64_t> mass(n, 1);  // +1 so empty vertices still spread
+  for (const Edge& e : graph.edges()) {
+    ++mass[e.src];
+    ++mass[e.dst];
+  }
+  std::uint64_t total = std::accumulate(mass.begin(), mass.end(), 0ULL);
+  std::uint64_t per = (total + p - 1) / p;
+  std::uint64_t acc = 0;
+  std::uint32_t k = 1;
+  for (VertexId v = 0; v < n && k < p; ++v) {
+    acc += mass[v];
+    if (acc >= per * k) b[k++] = v + 1;
+  }
+  while (k < p) b[k++] = n;
+  b[p] = n;
+  return b;
+}
+
+DualBlockStore DualBlockStore::build(const EdgeList& graph,
+                                     const std::filesystem::path& dir,
+                                     const StoreOptions& options) {
+  HUSG_CHECK(options.num_partitions > 0, "num_partitions must be positive");
+  HUSG_CHECK(graph.num_vertices() > 0, "cannot build a store for |V|=0");
+  ensure_directory(dir);
+  const std::uint32_t p = options.num_partitions;
+  const bool weighted = graph.weighted();
+  const std::uint32_t rec = weighted ? sizeof(WeightedRecord) : sizeof(VertexId);
+
+  HUSG_CHECK(!(options.compress_in_blocks && weighted),
+             "compress_in_blocks requires an unweighted graph");
+
+  StoreMeta meta;
+  meta.num_vertices = graph.num_vertices();
+  meta.num_edges = graph.num_edges();
+  meta.num_partitions = p;
+  meta.weighted = weighted;
+  meta.in_blocks_compressed = options.compress_in_blocks;
+  meta.boundaries = compute_boundaries(graph, p, options.scheme);
+  meta.out_blocks.assign(static_cast<std::size_t>(p) * p, BlockExtent{});
+  meta.in_blocks.assign(static_cast<std::size_t>(p) * p, BlockExtent{});
+
+  // Map vertex -> interval once (O(1) lookups during the scatter pass).
+  std::vector<std::uint32_t> interval_of(graph.num_vertices());
+  for (std::uint32_t k = 0; k < p; ++k) {
+    for (VertexId v = meta.boundaries[k]; v < meta.boundaries[k + 1]; ++v) {
+      interval_of[v] = k;
+    }
+  }
+
+  File out_adj(dir / kOutAdjFile, File::Mode::kWrite);
+  File out_idx(dir / kOutIdxFile, File::Mode::kWrite);
+  File in_adj(dir / kInAdjFile, File::Mode::kWrite);
+  File in_idx(dir / kInIdxFile, File::Mode::kWrite);
+
+  std::uint64_t out_adj_off = 0, out_idx_off = 0;
+  std::uint64_t in_adj_off = 0, in_idx_off = 0;
+  std::vector<char> adj_buf;
+  std::vector<std::uint32_t> idx_buf;
+
+  auto emit_record = [&](std::size_t at, VertexId vid, Weight w) {
+    if (weighted) {
+      WeightedRecord r{vid, w};
+      std::memcpy(adj_buf.data() + at * sizeof(r), &r, sizeof(r));
+    } else {
+      std::memcpy(adj_buf.data() + at * sizeof(vid), &vid, sizeof(vid));
+    }
+  };
+
+  /// Emits one block's out- and in-side given its (unsorted) edge set.
+  auto emit_block = [&](std::uint32_t i, std::uint32_t j,
+                        std::vector<BuildEdge>& block_edges) {
+    // ---- out-block (i,j): sort by (src,dst), record = dst ----------------
+    std::sort(block_edges.begin(), block_edges.end(),
+              [](const BuildEdge& a, const BuildEdge& b) {
+                if (a.src != b.src) return a.src < b.src;
+                return a.dst < b.dst;
+              });
+    VertexId src_base = meta.boundaries[i];
+    VertexId src_count = meta.boundaries[i + 1] - src_base;
+    idx_buf.assign(static_cast<std::size_t>(src_count) + 1, 0);
+    adj_buf.resize(block_edges.size() * rec);
+    for (std::size_t k = 0; k < block_edges.size(); ++k) {
+      const BuildEdge& e = block_edges[k];
+      ++idx_buf[e.src - src_base + 1];
+      emit_record(k, e.dst, e.weight);
+    }
+    for (std::size_t k = 1; k < idx_buf.size(); ++k) idx_buf[k] += idx_buf[k - 1];
+    BlockExtent& ob = meta.out_blocks[static_cast<std::size_t>(i) * p + j];
+    ob.adj_offset = out_adj_off;
+    ob.adj_bytes = adj_buf.size();
+    ob.idx_offset = out_idx_off;
+    ob.edge_count = block_edges.size();
+    if (!adj_buf.empty()) {
+      out_adj.pwrite_exact(adj_buf.data(), adj_buf.size(), out_adj_off);
+    }
+    out_adj_off += adj_buf.size();
+    out_idx.pwrite_exact(idx_buf.data(),
+                         idx_buf.size() * sizeof(std::uint32_t), out_idx_off);
+    out_idx_off += idx_buf.size() * sizeof(std::uint32_t);
+
+    // ---- in-block (i,j): sort by (dst,src), record = src ------------------
+    std::sort(block_edges.begin(), block_edges.end(),
+              [](const BuildEdge& a, const BuildEdge& b) {
+                if (a.dst != b.dst) return a.dst < b.dst;
+                return a.src < b.src;
+              });
+    VertexId dst_base = meta.boundaries[j];
+    VertexId dst_count = meta.boundaries[j + 1] - dst_base;
+    idx_buf.assign(static_cast<std::size_t>(dst_count) + 1, 0);
+    for (const BuildEdge& e : block_edges) ++idx_buf[e.dst - dst_base + 1];
+    for (std::size_t k = 1; k < idx_buf.size(); ++k) idx_buf[k] += idx_buf[k - 1];
+    if (meta.in_blocks_compressed) {
+      // Per-destination source runs are sorted ascending: delta-varint them.
+      adj_buf.clear();
+      std::vector<VertexId> run;
+      std::size_t at = 0;
+      for (VertexId local = 0; local < dst_count; ++local) {
+        std::size_t len = idx_buf[local + 1] - idx_buf[local];
+        run.resize(len);
+        for (std::size_t k = 0; k < len; ++k) run[k] = block_edges[at + k].src;
+        varint_encode_run(run.data(), len, adj_buf);
+        at += len;
+      }
+    } else {
+      adj_buf.resize(block_edges.size() * rec);
+      for (std::size_t k = 0; k < block_edges.size(); ++k) {
+        emit_record(k, block_edges[k].src, block_edges[k].weight);
+      }
+    }
+    BlockExtent& ib = meta.in_blocks[static_cast<std::size_t>(i) * p + j];
+    ib.adj_offset = in_adj_off;
+    ib.adj_bytes = adj_buf.size();
+    ib.idx_offset = in_idx_off;
+    ib.edge_count = block_edges.size();
+    if (!adj_buf.empty()) {
+      in_adj.pwrite_exact(adj_buf.data(), adj_buf.size(), in_adj_off);
+    }
+    in_adj_off += adj_buf.size();
+    in_idx.pwrite_exact(idx_buf.data(),
+                        idx_buf.size() * sizeof(std::uint32_t), in_idx_off);
+    in_idx_off += idx_buf.size() * sizeof(std::uint32_t);
+  };
+
+  if (options.build_mode == BuildMode::kInMemory) {
+    // Bucket edge ids per block, then sort each block's edges.
+    std::size_t blocks = static_cast<std::size_t>(p) * p;
+    std::vector<std::vector<EdgeId>> bucket(blocks);
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      const Edge& ed = graph.edge(e);
+      bucket[static_cast<std::size_t>(interval_of[ed.src]) * p +
+             interval_of[ed.dst]]
+          .push_back(e);
+    }
+    std::vector<BuildEdge> block_edges;
+    for (std::uint32_t i = 0; i < p; ++i) {
+      for (std::uint32_t j = 0; j < p; ++j) {
+        std::vector<EdgeId>& ids = bucket[static_cast<std::size_t>(i) * p + j];
+        block_edges.clear();
+        block_edges.reserve(ids.size());
+        for (EdgeId e : ids) {
+          block_edges.push_back(
+              BuildEdge{graph.edge(e).src, graph.edge(e).dst, graph.weight(e)});
+        }
+        emit_block(i, j, block_edges);
+        ids.clear();
+        ids.shrink_to_fit();
+      }
+    }
+  } else {
+    // External-memory preprocessing: scatter to per-block temp bucket files
+    // with small append buffers, then sort one block at a time. Working
+    // memory stays O(P^2 * buffer + largest block) regardless of |E|.
+    constexpr std::size_t kBucketBuffer = 64u << 10;
+    IoStats scatter_io;  // local accounting; preprocessing I/O is not part of
+                         // any algorithm run
+    std::vector<TrackedFile> bucket_files;
+    std::vector<std::unique_ptr<RecordWriter<BuildEdge>>> writers;
+    bucket_files.reserve(static_cast<std::size_t>(p) * p);
+    auto bucket_path = [&](std::uint32_t i, std::uint32_t j) {
+      return dir / ("bucket_" + std::to_string(i) + "_" + std::to_string(j) +
+                    ".tmp");
+    };
+    for (std::uint32_t i = 0; i < p; ++i) {
+      for (std::uint32_t j = 0; j < p; ++j) {
+        bucket_files.emplace_back(bucket_path(i, j), File::Mode::kReadWrite,
+                                  &scatter_io);
+      }
+    }
+    for (auto& f : bucket_files) {
+      writers.push_back(
+          std::make_unique<RecordWriter<BuildEdge>>(f, kBucketBuffer));
+    }
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      const Edge& ed = graph.edge(e);
+      std::size_t b = static_cast<std::size_t>(interval_of[ed.src]) * p +
+                      interval_of[ed.dst];
+      writers[b]->push(BuildEdge{ed.src, ed.dst, graph.weight(e)});
+    }
+    for (auto& w : writers) w->flush();
+    writers.clear();
+
+    std::vector<BuildEdge> block_edges;
+    for (std::uint32_t i = 0; i < p; ++i) {
+      for (std::uint32_t j = 0; j < p; ++j) {
+        TrackedFile& f = bucket_files[static_cast<std::size_t>(i) * p + j];
+        std::uint64_t count = f.size() / sizeof(BuildEdge);
+        block_edges.resize(count);
+        if (count > 0) {
+          f.read_sequential(block_edges.data(), count * sizeof(BuildEdge), 0);
+        }
+        emit_block(i, j, block_edges);
+      }
+    }
+    bucket_files.clear();
+    for (std::uint32_t i = 0; i < p; ++i) {
+      for (std::uint32_t j = 0; j < p; ++j) {
+        std::error_code ec;
+        std::filesystem::remove(bucket_path(i, j), ec);
+      }
+    }
+  }
+
+  // Degrees file: out-degrees then in-degrees.
+  {
+    File deg(dir / kDegreesFile, File::Mode::kWrite);
+    std::vector<VertexId> od = graph.out_degrees();
+    std::vector<VertexId> id = graph.in_degrees();
+    deg.pwrite_exact(od.data(), od.size() * sizeof(VertexId), 0);
+    deg.pwrite_exact(id.data(), id.size() * sizeof(VertexId),
+                     od.size() * sizeof(VertexId));
+  }
+
+  for (std::size_t k = 0; k < kStoreDataFiles; ++k) {
+    meta.checksums[k] = checksum_file(dir / data_file_name(k));
+  }
+
+  write_meta(dir, meta);
+  HUSG_INFO << "built dual-block store at " << dir.string() << ": |V|="
+            << meta.num_vertices << " |E|=" << meta.num_edges << " P=" << p
+            << (weighted ? " weighted" : "");
+  return open(dir);
+}
+
+DualBlockStore DualBlockStore::open(const std::filesystem::path& dir) {
+  DualBlockStore s;
+  s.dir_ = dir;
+  s.meta_ = read_meta(dir);
+  s.io_ = std::make_unique<IoStats>();
+  s.out_adj_ = TrackedFile(dir / kOutAdjFile, File::Mode::kRead, s.io_.get());
+  s.out_idx_ = TrackedFile(dir / kOutIdxFile, File::Mode::kRead, s.io_.get());
+  s.in_adj_ = TrackedFile(dir / kInAdjFile, File::Mode::kRead, s.io_.get());
+  s.in_idx_ = TrackedFile(dir / kInIdxFile, File::Mode::kRead, s.io_.get());
+
+  // Validate packed file sizes against the directory.
+  const std::uint32_t rec = s.meta_.edge_record_bytes();
+  std::uint64_t out_bytes = 0, in_bytes = 0, out_edges = 0, in_edges = 0;
+  for (const BlockExtent& b : s.meta_.out_blocks) {
+    out_bytes += b.adj_bytes;
+    out_edges += b.edge_count;
+    HUSG_CHECK(b.adj_bytes == b.edge_count * rec,
+               "out-block extent inconsistent with record size");
+  }
+  for (const BlockExtent& b : s.meta_.in_blocks) {
+    in_bytes += b.adj_bytes;
+    in_edges += b.edge_count;
+  }
+  HUSG_CHECK(out_edges == s.meta_.num_edges && in_edges == s.meta_.num_edges,
+             "block directory edge counts do not sum to |E|: out=" << out_edges
+                 << " in=" << in_edges << " |E|=" << s.meta_.num_edges);
+  HUSG_CHECK(s.out_adj_.size() == out_bytes,
+             "out.adj truncated: " << s.out_adj_.size() << " vs " << out_bytes);
+  HUSG_CHECK(s.in_adj_.size() == in_bytes,
+             "in.adj truncated: " << s.in_adj_.size() << " vs " << in_bytes);
+
+  // Load degrees (one sequential pass each).
+  TrackedFile deg(dir / kDegreesFile, File::Mode::kRead, s.io_.get());
+  std::uint64_t n = s.meta_.num_vertices;
+  HUSG_CHECK(deg.size() == 2 * n * sizeof(VertexId),
+             "degrees.bin size mismatch: " << deg.size());
+  s.out_degrees_.resize(n);
+  s.in_degrees_.resize(n);
+  deg.read_sequential(s.out_degrees_.data(), n * sizeof(VertexId), 0);
+  deg.read_sequential(s.in_degrees_.data(), n * sizeof(VertexId),
+                      n * sizeof(VertexId));
+  return s;
+}
+
+void DualBlockStore::load_out_index(std::uint32_t i, std::uint32_t j,
+                                    std::vector<std::uint32_t>& out) const {
+  const BlockExtent& b = meta_.out_block(i, j);
+  std::size_t entries = static_cast<std::size_t>(meta_.interval_size(i)) + 1;
+  out.resize(entries);
+  out_idx_.read_sequential(out.data(), entries * sizeof(std::uint32_t),
+                           b.idx_offset);
+}
+
+void DualBlockStore::load_in_index(std::uint32_t i, std::uint32_t j,
+                                   std::vector<std::uint32_t>& out) const {
+  const BlockExtent& b = meta_.in_block(i, j);
+  std::size_t entries = static_cast<std::size_t>(meta_.interval_size(j)) + 1;
+  out.resize(entries);
+  in_idx_.read_sequential(out.data(), entries * sizeof(std::uint32_t),
+                          b.idx_offset);
+}
+
+AdjacencySlice DualBlockStore::decode(const char* raw,
+                                      std::uint64_t record_count,
+                                      AdjacencyBuffer& buf) const {
+  if (!meta_.weighted) {
+    // Records are bare uint32 ids; reinterpret directly from raw bytes.
+    buf.ids.resize(record_count);
+    std::memcpy(buf.ids.data(), raw, record_count * sizeof(VertexId));
+    return AdjacencySlice{std::span<const VertexId>(buf.ids), {}};
+  }
+  buf.ids.resize(record_count);
+  buf.ws.resize(record_count);
+  const WeightedRecord* recs = reinterpret_cast<const WeightedRecord*>(raw);
+  for (std::uint64_t k = 0; k < record_count; ++k) {
+    buf.ids[k] = recs[k].vid;
+    buf.ws[k] = recs[k].weight;
+  }
+  return AdjacencySlice{std::span<const VertexId>(buf.ids),
+                        std::span<const Weight>(buf.ws)};
+}
+
+AdjacencySlice DualBlockStore::load_out_edges(std::uint32_t i, std::uint32_t j,
+                                              std::uint32_t lo,
+                                              std::uint32_t hi,
+                                              AdjacencyBuffer& buf) const {
+  HUSG_CHECK(lo <= hi, "load_out_edges: bad range");
+  const BlockExtent& b = meta_.out_block(i, j);
+  const std::uint32_t rec = meta_.edge_record_bytes();
+  std::uint64_t count = hi - lo;
+  std::uint64_t bytes = count * rec;
+  HUSG_CHECK(static_cast<std::uint64_t>(hi) * rec <= b.adj_bytes,
+             "load_out_edges: range beyond block");
+  buf.raw.resize(bytes);
+  if (bytes > 0) {
+    out_adj_.read_random(buf.raw.data(), bytes,
+                         b.adj_offset + static_cast<std::uint64_t>(lo) * rec);
+  }
+  return decode(buf.raw.data(), count, buf);
+}
+
+AdjacencySlice DualBlockStore::stream_in_block(
+    std::uint32_t i, std::uint32_t j, AdjacencyBuffer& buf,
+    const std::vector<std::uint32_t>* run_index) const {
+  const BlockExtent& b = meta_.in_block(i, j);
+  buf.raw.resize(b.adj_bytes);
+  if (b.adj_bytes > 0) {
+    // One streaming pass over the block; charged sequential in chunk units.
+    std::uint64_t pos = 0;
+    while (pos < b.adj_bytes) {
+      std::uint64_t len = std::min<std::uint64_t>(kDefaultStreamChunk,
+                                                  b.adj_bytes - pos);
+      in_adj_.read_sequential(buf.raw.data() + pos, len, b.adj_offset + pos);
+      pos += len;
+    }
+  }
+  if (!meta_.in_blocks_compressed) {
+    return decode(buf.raw.data(), b.edge_count, buf);
+  }
+  HUSG_CHECK(run_index != nullptr,
+             "compressed in-block streaming needs the block's in-index");
+  HUSG_CHECK(run_index->size() ==
+                 static_cast<std::size_t>(meta_.interval_size(j)) + 1,
+             "run index size mismatch for in-block (" << i << "," << j << ")");
+  buf.ids.resize(b.edge_count);
+  std::size_t pos = 0;
+  for (std::size_t local = 0; local + 1 < run_index->size(); ++local) {
+    std::size_t len = (*run_index)[local + 1] - (*run_index)[local];
+    varint_decode_run(buf.raw.data(), b.adj_bytes, pos,
+                      buf.ids.data() + (*run_index)[local], len);
+  }
+  HUSG_CHECK(pos == b.adj_bytes, "compressed in-block has trailing bytes");
+  return AdjacencySlice{std::span<const VertexId>(buf.ids), {}};
+}
+
+void DualBlockStore::verify() const {
+  for (std::size_t k = 0; k < kStoreDataFiles; ++k) {
+    std::uint64_t actual = checksum_file(dir_ / data_file_name(k));
+    HUSG_CHECK(actual == meta_.checksums[k],
+               "checksum mismatch in " << data_file_name(k) << ": stored 0x"
+                                       << std::hex << meta_.checksums[k]
+                                       << ", computed 0x" << actual);
+  }
+}
+
+EdgeList DualBlockStore::reconstruct_edges() const {
+  std::vector<Edge> edges;
+  std::vector<Weight> weights;
+  edges.reserve(meta_.num_edges);
+  if (meta_.weighted) weights.reserve(meta_.num_edges);
+  AdjacencyBuffer buf;
+  std::vector<std::uint32_t> idx;
+  for (std::uint32_t i = 0; i < meta_.p(); ++i) {
+    for (std::uint32_t j = 0; j < meta_.p(); ++j) {
+      load_out_index(i, j, idx);
+      const BlockExtent& b = meta_.out_block(i, j);
+      AdjacencySlice all = load_out_edges(
+          i, j, 0, static_cast<std::uint32_t>(b.edge_count), buf);
+      VertexId base = meta_.interval_begin(i);
+      for (VertexId local = 0; local < meta_.interval_size(i); ++local) {
+        for (std::uint32_t k = idx[local]; k < idx[local + 1]; ++k) {
+          edges.push_back(Edge{base + local, all.neighbors[k]});
+          if (meta_.weighted) weights.push_back(all.weight(k));
+        }
+      }
+    }
+  }
+  VertexId n = static_cast<VertexId>(meta_.num_vertices);
+  EdgeList out = meta_.weighted
+                     ? EdgeList(n, std::move(edges), std::move(weights))
+                     : EdgeList(n, std::move(edges));
+  out.sort_and_maybe_dedupe(false);
+  return out;
+}
+
+}  // namespace husg

@@ -1,0 +1,123 @@
+// DualBlockStore: builder and reader for the paper's dual-block graph
+// representation (§3.2). The reader exposes exactly the two access paths the
+// hybrid update strategy needs:
+//   * ROP — load one block's out-index, then point-load the out-edge runs of
+//     active vertices (random I/O);
+//   * COP — stream a whole in-block plus its in-index (sequential I/O).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "io/io_stats.hpp"
+#include "io/tracked_file.hpp"
+#include "storage/layout.hpp"
+
+namespace husg {
+
+/// A decoded adjacency run: neighbour ids and (optional) weights.
+/// Points into a caller-provided scratch buffer; valid until the next decode.
+struct AdjacencySlice {
+  std::span<const VertexId> neighbors;
+  std::span<const Weight> weights;  ///< empty for unweighted stores
+  Weight weight(std::size_t k) const {
+    return weights.empty() ? Weight{1} : weights[k];
+  }
+};
+
+/// Reusable decode scratch; one per worker thread.
+class AdjacencyBuffer {
+ public:
+  std::vector<char> raw;
+  std::vector<VertexId> ids;
+  std::vector<Weight> ws;
+};
+
+class DualBlockStore {
+ public:
+  /// Builds the on-disk representation from an edge list and opens it.
+  static DualBlockStore build(const EdgeList& graph,
+                              const std::filesystem::path& dir,
+                              const StoreOptions& options = {});
+
+  /// Opens an existing store directory; validates header and file sizes.
+  static DualBlockStore open(const std::filesystem::path& dir);
+
+  DualBlockStore(DualBlockStore&&) = default;
+  DualBlockStore& operator=(DualBlockStore&&) = default;
+
+  const StoreMeta& meta() const { return meta_; }
+  const std::filesystem::path& dir() const { return dir_; }
+
+  /// Out-degree / in-degree of every vertex (loaded once at open; charged as
+  /// sequential I/O).
+  std::span<const VertexId> out_degrees() const { return out_degrees_; }
+  std::span<const VertexId> in_degrees() const { return in_degrees_; }
+
+  /// I/O accounting sink shared by all files of this store. Engines snapshot
+  /// it around phases. Mutable because reads are logically const.
+  IoStats& io() const { return *io_; }
+
+  // --- ROP access path -----------------------------------------------------
+
+  /// Loads the CSR index of out-block (i,j): interval_size(i)+1 offsets (in
+  /// edge units, local to the block). Sequential read.
+  void load_out_index(std::uint32_t i, std::uint32_t j,
+                      std::vector<std::uint32_t>& out) const;
+
+  /// Point-loads the out-edges of the local CSR range [lo,hi) of out-block
+  /// (i,j) into `buf`; returns a decoded view. One random I/O op.
+  AdjacencySlice load_out_edges(std::uint32_t i, std::uint32_t j,
+                                std::uint32_t lo, std::uint32_t hi,
+                                AdjacencyBuffer& buf) const;
+
+  // --- COP access path -----------------------------------------------------
+
+  /// Loads the CSR index of in-block (i,j) (over interval j's vertices).
+  void load_in_index(std::uint32_t i, std::uint32_t j,
+                     std::vector<std::uint32_t>& out) const;
+
+  /// Streams the whole adjacency of in-block (i,j) into `buf` (sequential)
+  /// and returns the decoded view over all its edges. For stores built with
+  /// compress_in_blocks the caller must pass the block's in-index
+  /// (`run_index`, from load_in_index) so the delta-varint runs can be
+  /// delimited during decoding.
+  AdjacencySlice stream_in_block(
+      std::uint32_t i, std::uint32_t j, AdjacencyBuffer& buf,
+      const std::vector<std::uint32_t>* run_index = nullptr) const;
+
+  // --- Generic helpers ------------------------------------------------------
+
+  /// Recomputes the FNV-1a checksum of every data file and compares it with
+  /// the values recorded at build time; throws DataError on any mismatch.
+  /// (open() validates structure cheaply; verify() reads every byte.)
+  void verify() const;
+
+  /// Reconstructs the full edge multiset (sorted by (src,dst)); test helper
+  /// for round-trip validation.
+  EdgeList reconstruct_edges() const;
+
+ private:
+  DualBlockStore() = default;
+
+  AdjacencySlice decode(const char* raw, std::uint64_t record_count,
+                        AdjacencyBuffer& buf) const;
+
+  std::filesystem::path dir_;
+  StoreMeta meta_;
+  std::unique_ptr<IoStats> io_;
+  TrackedFile out_adj_, out_idx_, in_adj_, in_idx_;
+  std::vector<VertexId> out_degrees_;
+  std::vector<VertexId> in_degrees_;
+};
+
+/// Computes interval boundaries for a scheme. Exposed for tests.
+std::vector<VertexId> compute_boundaries(const EdgeList& graph,
+                                         std::uint32_t p,
+                                         PartitionScheme scheme);
+
+}  // namespace husg

@@ -1,0 +1,25 @@
+#include "util/bitmap.hpp"
+
+namespace husg {
+
+std::size_t Bitmap::count_range(std::size_t lo, std::size_t hi) const {
+  std::size_t n = 0;
+  for_each_set(lo, hi, [&](std::size_t) { ++n; });
+  return n;
+}
+
+void AtomicBitmap::snapshot_into(Bitmap& out) const {
+  HUSG_CHECK(out.size() == bits_, "snapshot size mismatch: " << out.size()
+                                                             << " vs " << bits_);
+  for (std::size_t i = 0; i < bits_; i += 64) {
+    std::uint64_t w = words_[i >> 6].load(std::memory_order_relaxed);
+    while (w != 0) {
+      std::size_t bit = i + static_cast<std::size_t>(__builtin_ctzll(w));
+      if (bit >= bits_) break;
+      out.set(bit);
+      w &= w - 1;
+    }
+  }
+}
+
+}  // namespace husg

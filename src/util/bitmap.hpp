@@ -1,0 +1,119 @@
+// Fixed-size bitmaps. The engine's frontier needs a plain bitmap (single
+// writer per region) and an atomic bitmap (concurrent activation from
+// multiple worker threads in ROP/COP).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace husg {
+
+/// Non-atomic dense bitmap.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(std::size_t bits) { resize(bits); }
+
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+
+  std::size_t size() const { return bits_; }
+
+  bool get(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void set(std::size_t i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+
+  void clear(std::size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+
+  void clear_all() { std::fill(words_.begin(), words_.end(), 0); }
+
+  void set_all() {
+    std::fill(words_.begin(), words_.end(), ~0ULL);
+    mask_tail();
+  }
+
+  /// Population count over the whole bitmap.
+  std::size_t count() const {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  /// Population count over [lo, hi).
+  std::size_t count_range(std::size_t lo, std::size_t hi) const;
+
+  /// Invoke fn(i) for each set bit in [lo, hi).
+  template <class Fn>
+  void for_each_set(std::size_t lo, std::size_t hi, Fn&& fn) const {
+    for (std::size_t i = lo; i < hi;) {
+      std::size_t word_idx = i >> 6;
+      std::uint64_t w = words_[word_idx] >> (i & 63);
+      if (w == 0) {
+        i = (word_idx + 1) << 6;
+        continue;
+      }
+      std::size_t bit = i + static_cast<std::size_t>(__builtin_ctzll(w));
+      if (bit >= hi) return;
+      fn(bit);
+      i = bit + 1;
+    }
+  }
+
+ private:
+  void mask_tail() {
+    if (bits_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (1ULL << (bits_ % 64)) - 1;
+    }
+  }
+
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Bitmap supporting lock-free concurrent set() from many threads.
+class AtomicBitmap {
+ public:
+  AtomicBitmap() = default;
+  explicit AtomicBitmap(std::size_t bits) { resize(bits); }
+
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_ = std::vector<std::atomic<std::uint64_t>>((bits + 63) / 64);
+    clear_all();
+  }
+
+  std::size_t size() const { return bits_; }
+
+  bool get(std::size_t i) const {
+    return (words_[i >> 6].load(std::memory_order_relaxed) >> (i & 63)) & 1ULL;
+  }
+
+  /// Set bit i; returns true if this call transitioned it 0 -> 1.
+  bool set(std::size_t i) {
+    std::uint64_t mask = 1ULL << (i & 63);
+    std::uint64_t old =
+        words_[i >> 6].fetch_or(mask, std::memory_order_relaxed);
+    return (old & mask) == 0;
+  }
+
+  void clear_all() {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  /// Copy the contents into a plain Bitmap (must have the same size).
+  void snapshot_into(Bitmap& out) const;
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+}  // namespace husg

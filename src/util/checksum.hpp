@@ -1,0 +1,25 @@
+// FNV-1a 64-bit checksum, used by the dual-block store's on-demand file
+// verification. Not cryptographic — it detects corruption and truncation,
+// not adversaries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace husg {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Folds `len` bytes into a running FNV-1a state (start with kFnvOffset).
+inline std::uint64_t fnv1a(const void* data, std::size_t len,
+                           std::uint64_t state = kFnvOffset) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    state ^= p[i];
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+}  // namespace husg

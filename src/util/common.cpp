@@ -1,0 +1,13 @@
+#include "util/common.hpp"
+
+namespace husg::detail {
+
+void check_failed(const char* file, int line, const char* expr,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "HUSG_CHECK failed at " << file << ":" << line << ": (" << expr
+     << ") " << msg;
+  throw DataError(os.str());
+}
+
+}  // namespace husg::detail

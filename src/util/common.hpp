@@ -1,0 +1,52 @@
+// Common basic types and error-checking macros used across HUS-Graph.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace husg {
+
+/// Vertex identifier. Graphs up to ~4.2 billion vertices are addressable.
+using VertexId = std::uint32_t;
+
+/// Edge count / offset type. Blocks may exceed 4 GiB in aggregate.
+using EdgeId = std::uint64_t;
+
+/// Edge weight used by weighted algorithms (SSSP).
+using Weight = float;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+/// Exception thrown on malformed input data or corrupt on-disk stores.
+class DataError : public std::runtime_error {
+ public:
+  explicit DataError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Exception thrown on I/O failures (open/read/write/stat).
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace husg
+
+/// Always-on invariant check (used on untrusted input paths and internal
+/// invariants whose violation would corrupt results). Throws husg::DataError.
+#define HUSG_CHECK(expr, msg)                                              \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::husg::detail::check_failed(__FILE__, __LINE__, #expr,              \
+                                   static_cast<std::ostringstream&&>(      \
+                                       std::ostringstream{} << msg)        \
+                                       .str());                            \
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,18 @@
+// Small formatting helpers shared by stats reporting and benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace husg {
+
+/// "1.50 GB", "312.0 MB", "17 B" — powers of 1024.
+std::string human_bytes(std::uint64_t bytes);
+
+/// "12.3 s", "450 ms", "17 us".
+std::string human_seconds(double seconds);
+
+/// Thousands separators: 1234567 -> "1,234,567".
+std::string with_commas(std::uint64_t value);
+
+}  // namespace husg

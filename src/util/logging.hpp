@@ -1,0 +1,48 @@
+// Minimal leveled logger. Out-of-core runs are long; operators want progress
+// lines without a logging framework dependency.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace husg::log {
+
+enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default: kWarn so tests
+/// and benches stay quiet unless asked.
+void set_level(Level level);
+Level level();
+
+/// Emit one line to stderr with a level tag and wall-clock offset.
+void write(Level level, const std::string& message);
+
+namespace detail {
+class LineStream {
+ public:
+  explicit LineStream(Level lv) : level_(lv) {}
+  ~LineStream() { write(level_, os_.str()); }
+  template <class T>
+  LineStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace husg::log
+
+#define HUSG_LOG(lv)                                         \
+  if (static_cast<int>(lv) < static_cast<int>(::husg::log::level())) \
+    ;                                                        \
+  else                                                       \
+    ::husg::log::detail::LineStream(lv)
+
+#define HUSG_DEBUG HUSG_LOG(::husg::log::Level::kDebug)
+#define HUSG_INFO HUSG_LOG(::husg::log::Level::kInfo)
+#define HUSG_WARN HUSG_LOG(::husg::log::Level::kWarn)
+#define HUSG_ERROR HUSG_LOG(::husg::log::Level::kError)

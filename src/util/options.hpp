@@ -1,0 +1,32 @@
+// Tiny command-line option parser for examples and bench drivers.
+// Supports --key=value, --key value, and --flag forms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace husg {
+
+class Options {
+ public:
+  Options() = default;
+
+  /// Parse argv; unknown positional arguments are collected separately.
+  static Options parse(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace husg

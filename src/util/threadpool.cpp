@@ -1,0 +1,143 @@
+#include "util/threadpool.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "util/common.hpp"
+
+namespace husg {
+
+struct ThreadPool::Task {
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  const std::function<void(std::size_t)>* indexed = nullptr;
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* ranged =
+      nullptr;
+  std::size_t workers_total = 0;
+
+  std::atomic<std::size_t> next{0};          // chunk cursor (indexed mode)
+  std::atomic<std::size_t> slice_cursor{0};  // slice cursor (ranged mode)
+  std::atomic<std::size_t> remaining{0};     // participants still running
+  std::exception_ptr error;
+  std::mutex error_mutex;
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : threads_(threads == 0 ? 1 : threads) {
+  if (threads_ > 1) {
+    workers_.reserve(threads_ - 1);
+    for (std::size_t i = 0; i + 1 < threads_; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run_task(Task& task) {
+  try {
+    if (task.indexed != nullptr) {
+      for (;;) {
+        std::size_t begin =
+            task.next.fetch_add(task.grain, std::memory_order_relaxed);
+        if (begin >= task.n) break;
+        std::size_t end = std::min(task.n, begin + task.grain);
+        for (std::size_t i = begin; i < end; ++i) (*task.indexed)(i);
+      }
+    } else {
+      std::size_t slice =
+          task.slice_cursor.fetch_add(1, std::memory_order_relaxed);
+      if (slice < task.workers_total) {
+        std::size_t per =
+            (task.n + task.workers_total - 1) / task.workers_total;
+        std::size_t begin = std::min(task.n, slice * per);
+        std::size_t end = std::min(task.n, begin + per);
+        if (begin < end) (*task.ranged)(begin, end, slice);
+      }
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(task.error_mutex);
+    if (!task.error) task.error = std::current_exception();
+  }
+  if (task.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Task* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_task_.wait(lock, [this, seen_generation] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      task = current_;
+    }
+    // Every worker participates in each generation exactly once; the atomic
+    // cursors inside the task partition the work.
+    run_task(*task);
+  }
+}
+
+void ThreadPool::submit_and_wait(Task& task) {
+  task.workers_total = threads_;
+  task.remaining.store(threads_, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = &task;
+    ++generation_;
+  }
+  cv_task_.notify_all();
+  run_task(task);  // the caller is a participant too
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&task] {
+      return task.remaining.load(std::memory_order_acquire) == 0;
+    });
+    current_ = nullptr;
+  }
+  if (task.error) std::rethrow_exception(task.error);
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  if (threads_ == 1 || n <= grain) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  Task task;
+  task.n = n;
+  task.grain = grain;
+  task.indexed = &fn;
+  submit_and_wait(task);
+}
+
+void ThreadPool::parallel_ranges(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_ == 1) {
+    fn(0, n, 0);
+    return;
+  }
+  Task task;
+  task.n = n;
+  task.ranged = &fn;
+  submit_and_wait(task);
+}
+
+}  // namespace husg

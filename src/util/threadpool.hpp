@@ -1,0 +1,59 @@
+// Fixed-size worker pool with a blocking parallel_for. This is the engine's
+// only parallelism primitive: ROP overlaps the out-blocks of a row across
+// workers; COP splits the destination range of one in-block across workers
+// (paper §3.5, "Fine-grained Parallelism").
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace husg {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers. threads == 1 executes inline on the caller
+  /// (no worker threads at all) which keeps single-threaded runs deterministic
+  /// and cheap.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return threads_; }
+
+  /// Runs fn(i) for every i in [0, n), distributing dynamically in chunks of
+  /// `grain`. Blocks until all iterations finish. Exceptions thrown by fn are
+  /// captured and the first one is rethrown on the caller thread.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Static range split: runs fn(begin, end, worker_index) on each worker
+  /// with contiguous slices of [0, n). Useful when each worker needs
+  /// per-worker scratch state.
+  void parallel_ranges(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+ private:
+  struct Task;
+  void worker_loop();
+  void run_task(Task& task);
+  void submit_and_wait(Task& task);
+
+  std::size_t threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  Task* current_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace husg

@@ -1,0 +1,40 @@
+// Wall-clock timers used for measured (as opposed to device-modeled) time.
+#pragma once
+
+#include <chrono>
+
+namespace husg {
+
+/// Simple steady-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed seconds into a double on destruction; useful for
+/// attributing time to phases across many calls.
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double& sink) : sink_(sink) {}
+  ~ScopedAccumulator() { sink_ += timer_.seconds(); }
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+
+ private:
+  double& sink_;
+  Timer timer_;
+};
+
+}  // namespace husg

@@ -1,0 +1,59 @@
+// LEB128-style unsigned varint codec, used by the dual-block store's
+// compressed in-block encoding (sorted adjacency runs stored as
+// first-value + deltas).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace husg {
+
+/// Appends v to out; 1-5 bytes.
+inline void varint_encode(std::uint32_t v, std::vector<char>& out) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+/// Decodes one varint starting at data[pos]; advances pos. Throws DataError
+/// on truncation or overlong encodings past 32 bits.
+inline std::uint32_t varint_decode(const char* data, std::size_t size,
+                                   std::size_t& pos) {
+  std::uint32_t value = 0;
+  int shift = 0;
+  for (;;) {
+    HUSG_CHECK(pos < size, "varint truncated at byte " << pos);
+    HUSG_CHECK(shift < 35, "varint longer than 32 bits");
+    std::uint8_t byte = static_cast<std::uint8_t>(data[pos++]);
+    value |= static_cast<std::uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+/// Encodes a sorted (ascending) id run as first-value + deltas.
+inline void varint_encode_run(const VertexId* ids, std::size_t n,
+                              std::vector<char>& out) {
+  if (n == 0) return;
+  varint_encode(ids[0], out);
+  for (std::size_t k = 1; k < n; ++k) {
+    HUSG_CHECK(ids[k] >= ids[k - 1], "varint run must be sorted");
+    varint_encode(ids[k] - ids[k - 1], out);
+  }
+}
+
+/// Decodes a run of n ids written by varint_encode_run into out[0..n).
+inline void varint_decode_run(const char* data, std::size_t size,
+                              std::size_t& pos, VertexId* out, std::size_t n) {
+  if (n == 0) return;
+  out[0] = varint_decode(data, size, pos);
+  for (std::size_t k = 1; k < n; ++k) {
+    out[k] = out[k - 1] + varint_decode(data, size, pos);
+  }
+}
+
+}  // namespace husg

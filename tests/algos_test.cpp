@@ -1,0 +1,127 @@
+// Program-level unit tests: the update/gather/apply callbacks in isolation.
+#include <gtest/gtest.h>
+
+#include "algos/bfs.hpp"
+#include "algos/pagerank.hpp"
+#include "algos/pagerank_delta.hpp"
+#include "algos/sssp.hpp"
+#include "algos/wcc.hpp"
+
+namespace husg {
+namespace {
+
+ProgramContext make_ctx(const std::vector<VertexId>& out,
+                        const std::vector<VertexId>& in) {
+  return ProgramContext{std::span<const VertexId>(out),
+                        std::span<const VertexId>(in)};
+}
+
+TEST(BfsProgramTest, UpdateSemantics) {
+  BfsProgram p{.source = 2};
+  auto ctx = make_ctx({}, {});
+  EXPECT_EQ(p.initial(ctx, 2), 0u);
+  EXPECT_EQ(p.initial(ctx, 0), BfsProgram::kUnreached);
+
+  BfsProgram::Value dst = BfsProgram::kUnreached;
+  EXPECT_TRUE(p.update(ctx, 0, 2, dst, 3, 1.0f));
+  EXPECT_EQ(dst, 1u);
+  // Worse candidate rejected.
+  EXPECT_FALSE(p.update(ctx, 5, 0, dst, 3, 1.0f));
+  EXPECT_EQ(dst, 1u);
+  // Unreached source pushes nothing (no overflow wraparound).
+  EXPECT_FALSE(p.update(ctx, BfsProgram::kUnreached, 0, dst, 3, 1.0f));
+}
+
+TEST(WccProgramTest, MinPropagation) {
+  WccProgram p;
+  auto ctx = make_ctx({}, {});
+  EXPECT_EQ(p.initial(ctx, 7), 7u);
+  WccProgram::Value dst = 5;
+  EXPECT_TRUE(p.update(ctx, 3, 0, dst, 0, 1.0f));
+  EXPECT_EQ(dst, 3u);
+  EXPECT_FALSE(p.update(ctx, 4, 0, dst, 0, 1.0f));
+  // Idempotent: re-applying is a no-op.
+  EXPECT_FALSE(p.update(ctx, 3, 0, dst, 0, 1.0f));
+}
+
+TEST(SsspProgramTest, WeightedRelaxation) {
+  SsspProgram p{.source = 0};
+  auto ctx = make_ctx({}, {});
+  EXPECT_EQ(p.initial(ctx, 0), 0.0f);
+  EXPECT_TRUE(std::isinf(p.initial(ctx, 1)));
+  SsspProgram::Value dst = 10.0f;
+  EXPECT_TRUE(p.update(ctx, 2.0f, 0, dst, 1, 3.5f));
+  EXPECT_FLOAT_EQ(dst, 5.5f);
+  EXPECT_FALSE(p.update(ctx, 2.0f, 0, dst, 1, 4.0f));
+  EXPECT_FALSE(
+      p.update(ctx, SsspProgram::kUnreached, 0, dst, 1, 1.0f));
+}
+
+TEST(PageRankProgramTest, GatherApply) {
+  PageRankProgram p;
+  std::vector<VertexId> outdeg = {4, 2};
+  auto ctx = make_ctx(outdeg, {});
+  float acc = p.gather_zero(ctx, 0);
+  p.gather(ctx, acc, 1.0f, 0, 1.0f);  // 1.0 / 4
+  p.gather(ctx, acc, 2.0f, 1, 1.0f);  // 2.0 / 2
+  EXPECT_FLOAT_EQ(acc, 1.25f);
+  float val = acc;
+  bool active = p.apply(ctx, 0, val, 1.0f);
+  EXPECT_FLOAT_EQ(val, 0.15f + 0.85f * 1.25f);
+  EXPECT_TRUE(active);  // tolerance 0 keeps everything active
+}
+
+TEST(PageRankProgramTest, ToleranceDeactivates) {
+  PageRankProgram p;
+  p.tolerance = 0.01f;
+  auto ctx = make_ctx({}, {});
+  // acc chosen so the new value equals the previous one exactly.
+  float acc = (1.0f - 0.15f) / 0.85f;
+  EXPECT_FALSE(p.apply(ctx, 0, acc, 1.0f));
+}
+
+TEST(PageRankDeltaProgramTest, ResidualFlow) {
+  PageRankDeltaProgram p;
+  std::vector<VertexId> outdeg = {2};
+  auto ctx = make_ctx(outdeg, {});
+  auto init = p.initial(ctx, 0);
+  EXPECT_FLOAT_EQ(init.rank, 0.0f);
+  EXPECT_FLOAT_EQ(init.residual, 0.15f);
+
+  PageRankDeltaValue src{0.0f, 0.4f};
+  PageRankDeltaValue dst{0.0f, 0.0f};
+  bool activated = p.update(ctx, src, 0, dst, 1, 1.0f);
+  EXPECT_FLOAT_EQ(dst.residual, 0.85f * 0.4f / 2.0f);  // 0.17 > epsilon
+  EXPECT_TRUE(activated);
+
+  // on_processed consumes exactly the residual that was pushed.
+  PageRankDeltaValue val{1.0f, 0.5f};
+  PageRankDeltaValue prev{1.0f, 0.3f};
+  p.on_processed(ctx, 0, val, prev);
+  EXPECT_FLOAT_EQ(val.rank, 1.3f);
+  EXPECT_FLOAT_EQ(val.residual, 0.2f);
+}
+
+TEST(PageRankDeltaProgramTest, ZeroDegreeSourcePushesNothing) {
+  PageRankDeltaProgram p;
+  std::vector<VertexId> outdeg = {0};
+  auto ctx = make_ctx(outdeg, {});
+  PageRankDeltaValue src{0.0f, 1.0f};
+  PageRankDeltaValue dst{0.0f, 0.0f};
+  EXPECT_FALSE(p.update(ctx, src, 0, dst, 1, 1.0f));
+  EXPECT_FLOAT_EQ(dst.residual, 0.0f);
+}
+
+TEST(ProgramTraits, ConceptsHold) {
+  static_assert(MonotoneProgram<BfsProgram>);
+  static_assert(MonotoneProgram<WccProgram>);
+  static_assert(MonotoneProgram<SsspProgram>);
+  static_assert(MonotoneProgram<PageRankDeltaProgram>);
+  static_assert(AccumulatingProgram<PageRankProgram>);
+  static_assert(!MonotoneProgram<PageRankProgram>);
+  static_assert(VertexProgram<BfsProgram> && VertexProgram<PageRankProgram>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace husg

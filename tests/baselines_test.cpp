@@ -1,0 +1,424 @@
+// Baseline engines (GraphChi-like, GridGraph-like, X-Stream-like,
+// FlashGraph-like) must reach the same fixed points as the reference oracles, and exhibit the I/O
+// behaviours the paper attributes to them.
+#include <gtest/gtest.h>
+
+#include "baselines/flashgraph/flash_engine.hpp"
+#include "baselines/graphchi/chi_engine.hpp"
+#include "baselines/gridgraph/grid_engine.hpp"
+#include "baselines/xstream/xstream_engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference.hpp"
+#include "algos/bfs.hpp"
+#include "algos/pagerank.hpp"
+#include "algos/sssp.hpp"
+#include "algos/wcc.hpp"
+#include "test_util.hpp"
+
+namespace husg {
+namespace {
+
+using baselines::BaselineResult;
+using baselines::ChiEngine;
+using baselines::ChiStore;
+using baselines::GridEngine;
+using baselines::GridStore;
+using baselines::StartSet;
+using baselines::XStreamEngine;
+using baselines::XStreamStore;
+using testing::ScratchDir;
+
+class BaselineSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BaselineSweep, GridBfsMatchesReference) {
+  EdgeList g = gen::rmat(9, 6.0, 42);
+  ScratchDir dir("gbfs");
+  auto store = GridStore::build(g, dir.path(), GetParam());
+  GridEngine engine(store, GridEngine::Options{});
+  BfsProgram bfs{.source = 1};
+  auto r = engine.run(bfs, StartSet::single(1));
+  auto want = ref::bfs_levels(g, 1);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(r.values[v], want[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(BaselineSweep, ChiBfsMatchesReference) {
+  EdgeList g = gen::rmat(9, 6.0, 42);
+  ScratchDir dir("cbfs");
+  auto store = ChiStore::build(g, dir.path(), GetParam());
+  ChiEngine engine(store, ChiEngine::Options{});
+  BfsProgram bfs{.source = 1};
+  auto r = engine.run(bfs, StartSet::single(1));
+  auto want = ref::bfs_levels(g, 1);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(r.values[v], want[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(BaselineSweep, XsBfsMatchesReference) {
+  EdgeList g = gen::rmat(9, 6.0, 42);
+  ScratchDir dir("xbfs");
+  auto store = XStreamStore::build(g, dir.path(), GetParam());
+  XStreamEngine engine(store, XStreamEngine::Options{});
+  BfsProgram bfs{.source = 1};
+  auto r = engine.run(bfs, StartSet::single(1));
+  auto want = ref::bfs_levels(g, 1);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(r.values[v], want[v]) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, BaselineSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(GridEngineTest, WccMatchesReference) {
+  EdgeList g = gen::erdos_renyi(300, 600, 7).symmetrized();
+  ScratchDir dir("gwcc");
+  auto store = GridStore::build(g, dir.path(), 4);
+  GridEngine engine(store, GridEngine::Options{});
+  WccProgram wcc;
+  auto r = engine.run(wcc, StartSet::all());
+  auto want = ref::wcc_labels(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(r.values[v], want[v]);
+  }
+}
+
+TEST(ChiEngineTest, WccMatchesReference) {
+  EdgeList g = gen::erdos_renyi(300, 600, 7).symmetrized();
+  ScratchDir dir("cwcc");
+  auto store = ChiStore::build(g, dir.path(), 4);
+  ChiEngine engine(store, ChiEngine::Options{});
+  WccProgram wcc;
+  auto r = engine.run(wcc, StartSet::all());
+  auto want = ref::wcc_labels(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(r.values[v], want[v]);
+  }
+}
+
+TEST(XsEngineTest, WccMatchesReference) {
+  EdgeList g = gen::erdos_renyi(300, 600, 7).symmetrized();
+  ScratchDir dir("xwcc");
+  auto store = XStreamStore::build(g, dir.path(), 4);
+  XStreamEngine engine(store, XStreamEngine::Options{});
+  WccProgram wcc;
+  auto r = engine.run(wcc, StartSet::all());
+  auto want = ref::wcc_labels(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(r.values[v], want[v]);
+  }
+}
+
+TEST(GridEngineTest, SsspMatchesReference) {
+  EdgeList g = gen::with_random_weights(gen::rmat(8, 8.0, 5), 5);
+  ScratchDir dir("gsssp");
+  auto store = GridStore::build(g, dir.path(), 4);
+  ASSERT_TRUE(store.meta().weighted);
+  GridEngine engine(store, GridEngine::Options{});
+  SsspProgram sssp{.source = 3};
+  auto r = engine.run(sssp, StartSet::single(3));
+  auto want = ref::sssp_distances(g, 3);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (std::isinf(want[v])) {
+      EXPECT_TRUE(std::isinf(r.values[v]));
+    } else {
+      EXPECT_NEAR(r.values[v], want[v], 1e-4);
+    }
+  }
+}
+
+TEST(ChiEngineTest, SsspMatchesReference) {
+  EdgeList g = gen::with_random_weights(gen::rmat(8, 8.0, 5), 5);
+  ScratchDir dir("csssp");
+  auto store = ChiStore::build(g, dir.path(), 4);
+  ChiEngine engine(store, ChiEngine::Options{});
+  SsspProgram sssp{.source = 3};
+  auto r = engine.run(sssp, StartSet::single(3));
+  auto want = ref::sssp_distances(g, 3);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!std::isinf(want[v])) {
+      EXPECT_NEAR(r.values[v], want[v], 1e-4);
+    }
+  }
+}
+
+TEST(XsEngineTest, SsspMatchesReference) {
+  EdgeList g = gen::with_random_weights(gen::rmat(8, 8.0, 5), 5);
+  ScratchDir dir("xsssp");
+  auto store = XStreamStore::build(g, dir.path(), 4);
+  XStreamEngine engine(store, XStreamEngine::Options{});
+  SsspProgram sssp{.source = 3};
+  auto r = engine.run(sssp, StartSet::single(3));
+  auto want = ref::sssp_distances(g, 3);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!std::isinf(want[v])) {
+      EXPECT_NEAR(r.values[v], want[v], 1e-4);
+    }
+  }
+}
+
+// --- PageRank ------------------------------------------------------------------
+
+TEST(GridEngineTest, PageRankMatchesJacobiReference) {
+  EdgeList g = gen::rmat(8, 7.0, 11);
+  ScratchDir dir("gpr");
+  auto store = GridStore::build(g, dir.path(), 4);
+  GridEngine::Options opts;
+  opts.max_iterations = 5;
+  GridEngine engine(store, opts);
+  PageRankProgram pr;
+  auto r = engine.run(pr, StartSet::all());
+  auto want = ref::pagerank(g, 5);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(r.values[v], want[v], 1e-3);
+  }
+}
+
+TEST(XsEngineTest, PageRankMatchesJacobiReference) {
+  EdgeList g = gen::rmat(8, 7.0, 11);
+  ScratchDir dir("xpr");
+  auto store = XStreamStore::build(g, dir.path(), 4);
+  XStreamEngine::Options opts;
+  opts.max_iterations = 5;
+  XStreamEngine engine(store, opts);
+  PageRankProgram pr;
+  auto r = engine.run(pr, StartSet::all());
+  auto want = ref::pagerank(g, 5);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(r.values[v], want[v], 1e-3);
+  }
+}
+
+TEST(ChiEngineTest, PageRankConvergesToFixedPoint) {
+  // The PSW engine is asynchronous, so compare at (near) convergence.
+  EdgeList g = gen::rmat(7, 6.0, 13);
+  ScratchDir dir("cpr");
+  auto store = ChiStore::build(g, dir.path(), 4);
+  ChiEngine::Options opts;
+  opts.max_iterations = 200;
+  ChiEngine engine(store, opts);
+  PageRankProgram pr;
+  pr.tolerance = 1e-5f;
+  auto r = engine.run(pr, StartSet::all());
+  auto want = ref::pagerank(g, 300);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(r.values[v], want[v], 5e-3);
+  }
+}
+
+// --- FlashGraph-like semi-external engine -------------------------------------------
+
+TEST(FlashEngineTest, BfsMatchesReference) {
+  EdgeList g = gen::rmat(9, 6.0, 42);
+  ScratchDir dir("fbfs");
+  auto store = baselines::FlashStore::build(g, dir.path());
+  baselines::FlashEngine engine(store, baselines::FlashEngine::Options{});
+  BfsProgram bfs{.source = 1};
+  auto r = engine.run(bfs, StartSet::single(1));
+  auto want = ref::bfs_levels(g, 1);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(r.values[v], want[v]) << "vertex " << v;
+  }
+}
+
+TEST(FlashEngineTest, WccMatchesReference) {
+  EdgeList g = gen::erdos_renyi(300, 600, 7).symmetrized();
+  ScratchDir dir("fwcc");
+  auto store = baselines::FlashStore::build(g, dir.path());
+  baselines::FlashEngine engine(store, baselines::FlashEngine::Options{});
+  WccProgram wcc;
+  auto r = engine.run(wcc, StartSet::all());
+  auto want = ref::wcc_labels(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(r.values[v], want[v]);
+  }
+}
+
+TEST(FlashEngineTest, SsspMatchesReference) {
+  EdgeList g = gen::with_random_weights(gen::rmat(8, 8.0, 5), 5);
+  ScratchDir dir("fsssp");
+  auto store = baselines::FlashStore::build(g, dir.path());
+  ASSERT_TRUE(store.meta().weighted);
+  baselines::FlashEngine engine(store, baselines::FlashEngine::Options{});
+  SsspProgram sssp{.source = 3};
+  auto r = engine.run(sssp, StartSet::single(3));
+  auto want = ref::sssp_distances(g, 3);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!std::isinf(want[v])) {
+      ASSERT_NEAR(r.values[v], want[v], 1e-4);
+    }
+  }
+}
+
+TEST(FlashEngineTest, PageRankMatchesJacobiReference) {
+  EdgeList g = gen::rmat(8, 7.0, 11);
+  ScratchDir dir("fpr");
+  auto store = baselines::FlashStore::build(g, dir.path());
+  baselines::FlashEngine::Options opts;
+  opts.max_iterations = 5;
+  baselines::FlashEngine engine(store, opts);
+  PageRankProgram pr;
+  auto r = engine.run(pr, StartSet::all());
+  auto want = ref::pagerank(g, 5);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(r.values[v], want[v], 1e-3);
+  }
+}
+
+TEST(FlashEngineTest, SparseIterationsReadSelectively) {
+  EdgeList g = gen::rmat(10, 8.0, 31);
+  ScratchDir dir("fsel");
+  auto store = baselines::FlashStore::build(g, dir.path());
+  baselines::FlashEngine engine(store, baselines::FlashEngine::Options{});
+  BfsProgram bfs{.source = 5};
+  auto r = engine.run(bfs, StartSet::single(5));
+  // Total adjacency traffic must be far below iterations * full-file size
+  // (semi-external selective access), and there is no vertex-value write
+  // traffic at all.
+  std::uint64_t full = g.num_edges() * sizeof(VertexId);
+  EXPECT_LT(r.stats.total_io.total_read_bytes(),
+            full * r.stats.iterations_run() / 2);
+  EXPECT_EQ(r.stats.total_io.write_bytes, 0u);
+}
+
+TEST(FlashEngineTest, RequestMergingReducesOps) {
+  EdgeList g = gen::rmat(10, 8.0, 37);
+  ScratchDir dir("fmerge");
+  auto store = baselines::FlashStore::build(g, dir.path());
+  BfsProgram bfs{.source = 2};
+  baselines::FlashEngine::Options merged;
+  merged.merge_gap_records = 64;
+  baselines::FlashEngine::Options unmerged;
+  unmerged.merge_gap_records = 0;
+  auto a = baselines::FlashEngine(store, merged).run(bfs, StartSet::single(2));
+  auto b =
+      baselines::FlashEngine(store, unmerged).run(bfs, StartSet::single(2));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(a.values[v], b.values[v]);
+  }
+  EXPECT_LT(a.stats.total_io.rand_read_ops, b.stats.total_io.rand_read_ops);
+}
+
+// --- I/O architecture behaviours ---------------------------------------------------
+
+TEST(BaselineIo, GraphChiWritesIntermediateData) {
+  EdgeList g = gen::rmat(9, 8.0, 17);
+  ScratchDir dir("iow");
+  auto store = ChiStore::build(g, dir.path(), 4);
+  ChiEngine engine(store, ChiEngine::Options{});
+  WccProgram wcc;
+  auto r = engine.run(wcc, StartSet::all());
+  // Edge-value rewrite: every iteration writes ~|E| values.
+  EXPECT_GT(r.stats.total_io.write_bytes,
+            g.num_edges() * sizeof(VertexId) * r.stats.iterations_run() / 2);
+}
+
+TEST(BaselineIo, GridGraphReadsLessThanGraphChi) {
+  EdgeList g = gen::rmat(10, 8.0, 19);
+  ScratchDir dir1("cmp1"), dir2("cmp2");
+  auto grid = GridStore::build(g, dir1.path(), 4);
+  auto chi = ChiStore::build(g, dir2.path(), 4);
+  PageRankProgram pr;
+  GridEngine::Options go;
+  go.max_iterations = 3;
+  ChiEngine::Options co;
+  co.max_iterations = 3;
+  auto rg = GridEngine(grid, go).run(pr, StartSet::all());
+  auto rc = ChiEngine(chi, co).run(pr, StartSet::all());
+  EXPECT_LT(rg.stats.total_io.total_bytes(), rc.stats.total_io.total_bytes());
+}
+
+TEST(BaselineIo, SelectiveSchedulingReducesGridIo) {
+  // A chain keeps exactly one vertex active, so with selective scheduling
+  // GridGraph skips most rows of blocks each iteration.
+  EdgeList g = gen::chain(4096);
+  ScratchDir dir1("sel1"), dir2("sel2");
+  auto s1 = GridStore::build(g, dir1.path(), 8);
+  auto s2 = GridStore::build(g, dir2.path(), 8);
+  BfsProgram bfs{.source = 0};
+  GridEngine::Options sel;
+  sel.selective_scheduling = true;
+  GridEngine::Options nosel;
+  nosel.selective_scheduling = false;
+  auto r1 = GridEngine(s1, sel).run(bfs, StartSet::single(0));
+  auto r2 = GridEngine(s2, nosel).run(bfs, StartSet::single(0));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(r1.values[v], r2.values[v]);
+  }
+  EXPECT_LT(r1.stats.total_io.total_read_bytes(),
+            r2.stats.total_io.total_read_bytes() / 2);
+}
+
+TEST(BaselineIo, XStreamUpdateTrafficScalesWithActiveEdges) {
+  EdgeList g = gen::rmat(9, 8.0, 23);
+  ScratchDir dir("xsio");
+  auto store = XStreamStore::build(g, dir.path(), 4);
+  XStreamEngine engine(store, XStreamEngine::Options{});
+  BfsProgram bfs{.source = 0};
+  auto r = engine.run(bfs, StartSet::single(0));
+  // Scatter writes and gather reads the update files; sparse iterations must
+  // write far less than |E| updates, but edge streaming still reads
+  // everything every iteration.
+  ASSERT_GE(r.stats.iterations.size(), 2u);
+  const auto& first = r.stats.iterations.front();
+  EXPECT_EQ(first.edges_processed, g.num_edges());
+  EXPECT_LT(first.io.write_bytes, g.num_edges() * 4);  // few updates
+  EXPECT_GT(first.io.seq_read_bytes,
+            g.num_edges() * sizeof(baselines::XsRecord));
+}
+
+TEST(BaselineIo, StoresRejectCorruption) {
+  EdgeList g = gen::chain(32);
+  {
+    ScratchDir dir("bcorr1");
+    GridStore::build(g, dir.path(), 2);
+    std::filesystem::resize_file(
+        dir / "grid.dat", std::filesystem::file_size(dir / "grid.dat") - 4);
+    EXPECT_THROW(GridStore::open(dir.path()), DataError);
+  }
+  {
+    ScratchDir dir("bcorr2");
+    ChiStore::build(g, dir.path(), 2);
+    std::filesystem::resize_file(
+        dir / "shards.dat",
+        std::filesystem::file_size(dir / "shards.dat") - 4);
+    EXPECT_THROW(ChiStore::open(dir.path()), DataError);
+  }
+  {
+    ScratchDir dir("bcorr3");
+    XStreamStore::build(g, dir.path(), 2);
+    std::filesystem::resize_file(
+        dir / "xs_edges.dat",
+        std::filesystem::file_size(dir / "xs_edges.dat") - 4);
+    EXPECT_THROW(XStreamStore::open(dir.path()), DataError);
+  }
+  {
+    ScratchDir dir("bcorr4");
+    baselines::FlashStore::build(g, dir.path());
+    std::filesystem::resize_file(
+        dir / "flash.adj", std::filesystem::file_size(dir / "flash.adj") - 4);
+    EXPECT_THROW(baselines::FlashStore::open(dir.path()), DataError);
+  }
+}
+
+TEST(BaselineIo, ChiWindowsCoverShards) {
+  EdgeList g = gen::rmat(8, 8.0, 29);
+  ScratchDir dir("cwin");
+  auto store = ChiStore::build(g, dir.path(), 4);
+  const auto& meta = store.meta();
+  std::uint64_t total = 0;
+  for (std::uint32_t j = 0; j < meta.p; ++j) {
+    EXPECT_EQ(meta.window_begin(j, 0), 0u);
+    EXPECT_EQ(meta.window_begin(j, meta.p), meta.shards[j].edge_count);
+    for (std::uint32_t i = 0; i < meta.p; ++i) {
+      EXPECT_LE(meta.window_begin(j, i), meta.window_begin(j, i + 1));
+      total += meta.window_begin(j, i + 1) - meta.window_begin(j, i);
+    }
+  }
+  EXPECT_EQ(total, g.num_edges());
+}
+
+}  // namespace
+}  // namespace husg

@@ -1,0 +1,64 @@
+#!/bin/sh
+# End-to-end test of the husg_cli pipeline: generate -> build -> info -> run,
+# plus error handling. Invoked by ctest with the binary path as $1.
+set -eu
+
+CLI="$1"
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/husg_cli_test.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+# generate (binary and text)
+"$CLI" generate --type rmat --scale 10 --degree 6 --seed 3 --out "$WORK/g.bin" \
+  | grep -q '1024 vertices' || fail "generate rmat"
+"$CLI" generate --type grid --scale 8 --weighted --out "$WORK/g.txt" \
+  | grep -q 'weighted' || fail "generate weighted text"
+
+# build + info
+"$CLI" build --graph "$WORK/g.bin" --store "$WORK/store" --partitions 4 \
+  | grep -q 'P=4' || fail "build"
+"$CLI" info --store "$WORK/store" | grep -q 'partitions: 4' || fail "info"
+
+# degree-balanced + symmetrized build
+"$CLI" build --graph "$WORK/g.bin" --store "$WORK/store_deg" \
+  --partitions 4 --scheme degree --symmetrize > /dev/null || fail "build degree"
+
+# external-memory build + compressed in-blocks; results must match
+"$CLI" build --graph "$WORK/g.bin" --store "$WORK/store_ext" \
+  --external --compress > /dev/null || fail "build external+compress"
+"$CLI" run --store "$WORK/store" --algo wcc --out "$WORK/wcc_a.txt" > /dev/null
+"$CLI" run --store "$WORK/store_ext" --algo wcc --out "$WORK/wcc_b.txt" > /dev/null
+cmp -s "$WORK/wcc_a.txt" "$WORK/wcc_b.txt" || fail "compressed store results differ"
+
+# run every algorithm
+"$CLI" run --store "$WORK/store" --algo bfs --source 1 --trace \
+  | grep -q 'iterations' || fail "run bfs"
+"$CLI" run --store "$WORK/store" --algo wcc --mode cop > /dev/null || fail "run wcc"
+"$CLI" run --store "$WORK/store" --algo pagerank --iters 3 --out "$WORK/pr.txt" \
+  | grep -q '3 iterations' || fail "run pagerank"
+[ "$(wc -l < "$WORK/pr.txt")" = "1024" ] || fail "pagerank output size"
+"$CLI" run --store "$WORK/store" --algo prdelta > /dev/null || fail "run prdelta"
+"$CLI" run --store "$WORK/store_deg" --algo kcore --k 3 \
+  | grep -q '3-core size' || fail "run kcore"
+"$CLI" run --store "$WORK/store" --algo spmv --iters 2 > /dev/null || fail "run spmv"
+
+# weighted store + sssp
+"$CLI" generate --type er --scale 9 --degree 5 --weighted --out "$WORK/w.bin" > /dev/null
+"$CLI" build --graph "$WORK/w.bin" --store "$WORK/wstore" > /dev/null
+"$CLI" run --store "$WORK/wstore" --algo sssp --source 0 --device hdd \
+  --seek-scale 0.001 > /dev/null || fail "run sssp"
+
+# checksum verification
+"$CLI" verify --store "$WORK/store" | grep -q 'verified OK' || fail "verify clean"
+printf 'X' | dd of="$WORK/store_ext/in.adj" bs=1 seek=5 conv=notrunc 2>/dev/null
+"$CLI" verify --store "$WORK/store_ext" 2>/dev/null && fail "verify accepted corruption"
+
+# error handling: unknown algo, missing store, corrupt store
+"$CLI" run --store "$WORK/store" --algo nope 2>/dev/null && fail "unknown algo accepted"
+"$CLI" run --store "$WORK/missing" --algo bfs 2>/dev/null && fail "missing store accepted"
+"$CLI" generate --type nope --out "$WORK/x.bin" 2>/dev/null && fail "unknown type accepted"
+truncate -s 10 "$WORK/store/out.adj"
+"$CLI" run --store "$WORK/store" --algo bfs 2>/dev/null && fail "corrupt store accepted"
+
+echo "cli_test OK"

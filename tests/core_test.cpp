@@ -1,0 +1,226 @@
+// Frontier, predictor, and value-store unit tests.
+#include <gtest/gtest.h>
+
+#include "core/frontier.hpp"
+#include "core/predictor.hpp"
+#include "core/value_store.hpp"
+#include "graph/generators.hpp"
+#include "storage/store.hpp"
+#include "test_util.hpp"
+
+namespace husg {
+namespace {
+
+using testing::ScratchDir;
+
+// --- Frontier -------------------------------------------------------------------
+
+TEST(FrontierTest, SingleAndAll) {
+  EdgeList g = gen::rmat(6, 4.0, 3);
+  ScratchDir dir("fr");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{4});
+  auto single = Frontier::single(store.meta(), 5, store.out_degrees());
+  EXPECT_EQ(single.active_vertices(), 1u);
+  EXPECT_TRUE(single.is_active(5));
+  EXPECT_FALSE(single.is_active(6));
+  EXPECT_EQ(single.active_out_degree(), store.out_degrees()[5]);
+
+  auto all = Frontier::all(store.meta(), store.out_degrees());
+  EXPECT_EQ(all.active_vertices(), g.num_vertices());
+  EXPECT_EQ(all.active_out_degree(), g.num_edges());
+
+  auto none = Frontier::none(store.meta());
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(FrontierTest, PerIntervalCounts) {
+  EdgeList g = gen::chain(16);
+  ScratchDir dir("fr2");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{4});
+  AtomicBitmap bits(16);
+  bits.set(0);
+  bits.set(1);
+  bits.set(4);
+  bits.set(15);
+  auto f = Frontier::from_bits(store.meta(), bits, store.out_degrees());
+  EXPECT_EQ(f.active_vertices(), 4u);
+  EXPECT_EQ(f.active_in(0), 2u);
+  EXPECT_EQ(f.active_in(1), 1u);
+  EXPECT_EQ(f.active_in(2), 0u);
+  EXPECT_EQ(f.active_in(3), 1u);
+  // Chain: outdeg 1 for all but the last vertex.
+  EXPECT_EQ(f.active_degree_in(3), 0u);
+  EXPECT_EQ(f.active_degree_in(0), 2u);
+}
+
+TEST(FrontierTest, ForEachActiveOrdered) {
+  EdgeList g = gen::chain(32);
+  ScratchDir dir("fr3");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{2});
+  AtomicBitmap bits(32);
+  for (VertexId v : {3u, 9u, 17u, 31u}) bits.set(v);
+  auto f = Frontier::from_bits(store.meta(), bits, store.out_degrees());
+  std::vector<VertexId> seen;
+  f.for_each_active(0, 32, [&](VertexId v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<VertexId>{3, 9, 17, 31}));
+  seen.clear();
+  f.for_each_active(4, 18, [&](VertexId v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<VertexId>{9, 17}));
+}
+
+TEST(FrontierTest, SingleOutOfRangeThrows) {
+  EdgeList g = gen::chain(4);
+  ScratchDir dir("fr4");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{2});
+  EXPECT_THROW(Frontier::single(store.meta(), 99, store.out_degrees()),
+               DataError);
+}
+
+// --- Predictor --------------------------------------------------------------------
+
+PredictionInputs base_inputs() {
+  PredictionInputs in;
+  in.num_vertices = 1'000'000;
+  in.num_edges = 16'000'000;
+  in.p = 8;
+  in.edge_bytes = 4;
+  in.value_bytes = 4;
+  in.column_edge_bytes = in.num_edges / in.p * in.edge_bytes;
+  return in;
+}
+
+TEST(Predictor, SparseFrontierChoosesRop) {
+  IoCostPredictor pred(DeviceProfile::hdd7200(), PredictorFlavor::kPaper,
+                       0.05);
+  PredictionInputs in = base_inputs();
+  in.active_vertices = 10;
+  in.active_degree_sum = 200;
+  Prediction p = pred.predict(in);
+  EXPECT_TRUE(p.choose_rop);
+  EXPECT_LT(p.c_rop, p.c_cop);
+}
+
+TEST(Predictor, DenseFrontierHitsAlphaShortcut) {
+  IoCostPredictor pred(DeviceProfile::hdd7200(), PredictorFlavor::kPaper,
+                       0.05);
+  PredictionInputs in = base_inputs();
+  in.active_vertices = 100'000;  // 10 % of |V| > α = 5 %
+  in.active_degree_sum = 1'600'000;
+  Prediction p = pred.predict(in);
+  EXPECT_FALSE(p.choose_rop);
+  EXPECT_TRUE(p.alpha_shortcut);
+}
+
+TEST(Predictor, AlphaCanBeDisabledPerCall) {
+  IoCostPredictor pred(DeviceProfile::hdd7200(), PredictorFlavor::kPaper,
+                       0.05);
+  PredictionInputs in = base_inputs();
+  in.active_vertices = 100'000;
+  in.active_degree_sum = 100;  // absurdly cheap ROP
+  Prediction p = pred.predict(in, /*use_alpha=*/false);
+  EXPECT_FALSE(p.alpha_shortcut);
+  EXPECT_TRUE(p.choose_rop);
+}
+
+TEST(Predictor, MidDensityComparesCosts) {
+  IoCostPredictor pred(DeviceProfile::hdd7200(), PredictorFlavor::kPaper,
+                       0.05);
+  PredictionInputs in = base_inputs();
+  // ROP edge bytes above the column size => COP despite being under α.
+  in.active_vertices = 40'000;  // 4 % < α
+  in.active_degree_sum = 10'000'000;
+  Prediction p = pred.predict(in);
+  EXPECT_FALSE(p.alpha_shortcut);
+  EXPECT_FALSE(p.choose_rop);
+}
+
+TEST(Predictor, SsdShiftsCrossoverTowardRop) {
+  // A workload the HDD rejects (random I/O too dear) can be ROP-worthy on
+  // SSD, where seeks are ~100x cheaper.
+  PredictionInputs in = base_inputs();
+  in.active_vertices = 30'000;
+  in.active_degree_sum = 200'000;
+  IoCostPredictor hdd(DeviceProfile::hdd7200(), PredictorFlavor::kPaper, 0.05);
+  IoCostPredictor ssd(DeviceProfile::sata_ssd(), PredictorFlavor::kPaper, 0.05);
+  EXPECT_FALSE(hdd.predict(in).choose_rop);
+  EXPECT_TRUE(ssd.predict(in).choose_rop);
+}
+
+TEST(Predictor, DeviceExactUsesColumnBytes) {
+  IoCostPredictor pred(DeviceProfile::hdd7200(), PredictorFlavor::kDeviceExact,
+                       0.05);
+  PredictionInputs in = base_inputs();
+  in.active_vertices = 100;
+  in.active_degree_sum = 2000;
+  Prediction small_col = pred.predict(in);
+  in.column_edge_bytes *= 10;
+  Prediction big_col = pred.predict(in);
+  EXPECT_GT(big_col.c_cop, small_col.c_cop);
+  EXPECT_DOUBLE_EQ(big_col.c_rop, small_col.c_rop);
+}
+
+// --- ValueStore ---------------------------------------------------------------------
+
+TEST(ValueStoreTest, MemoryModeSnapshotAndSwap) {
+  EdgeList g = gen::chain(8);
+  ScratchDir dir("vs");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{2});
+  ValueStore<int> vs(store.meta(), dir / "vals.tmp", /*file_backed=*/false,
+                     nullptr);
+  for (int i = 0; i < 8; ++i) vs.values()[i] = i;
+  vs.snapshot_all();
+  vs.values()[3] = 99;
+  EXPECT_EQ(vs.prev()[3], 3);
+  EXPECT_EQ(vs.values()[3], 99);
+}
+
+TEST(ValueStoreTest, FileBackedLoadIsLoadBearing) {
+  EdgeList g = gen::chain(8);
+  ScratchDir dir("vs2");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{2});
+  IoStats io;
+  ValueStore<int> vs(store.meta(), dir / "vals.tmp", /*file_backed=*/true,
+                     &io);
+  for (int i = 0; i < 8; ++i) vs.values()[i] = i * 10;
+  vs.flush_all();
+  // Clobber memory; load must restore from file.
+  for (int i = 0; i < 8; ++i) vs.values()[i] = -1;
+  vs.load_interval(0);
+  vs.load_interval(1);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(vs.values()[i], i * 10);
+  EXPECT_GT(io.snapshot().seq_read_bytes, 0u);
+  EXPECT_GT(io.snapshot().write_bytes, 0u);
+}
+
+TEST(ValueStoreTest, StoreIntervalPersists) {
+  EdgeList g = gen::chain(8);
+  ScratchDir dir("vs3");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{2});
+  IoStats io;
+  ValueStore<int> vs(store.meta(), dir / "vals.tmp", true, &io);
+  for (int i = 0; i < 8; ++i) vs.values()[i] = 1;
+  vs.flush_all();
+  vs.values()[5] = 42;
+  vs.store_interval(1);
+  vs.values()[5] = 0;
+  vs.load_interval(1);
+  EXPECT_EQ(vs.values()[5], 42);
+}
+
+TEST(ValueStoreTest, DiscardLoadChargesWithoutClobbering) {
+  EdgeList g = gen::chain(8);
+  ScratchDir dir("vs4");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{2});
+  IoStats io;
+  ValueStore<int> vs(store.meta(), dir / "vals.tmp", true, &io);
+  for (int i = 0; i < 8; ++i) vs.values()[i] = 7;
+  vs.flush_all();
+  vs.values()[0] = 123;  // dirty, unstored
+  IoSnapshot before = io.snapshot();
+  vs.load_interval_discard(0);
+  EXPECT_EQ(vs.values()[0], 123);  // not clobbered
+  EXPECT_GT((io.snapshot() - before).seq_read_bytes, 0u);  // but charged
+}
+
+}  // namespace
+}  // namespace husg

@@ -1,0 +1,344 @@
+// Cross-engine equivalence property tests: every engine in the repository
+// (HUS ROP / COP / Hybrid and the four baseline systems) must compute the
+// same fixed points as the in-memory reference, across generator families,
+// seeds and algorithms. These sweeps are the repository's strongest
+// correctness net: a bug in any store format, update model or
+// synchronization path shows up as a cross-engine mismatch.
+#include <gtest/gtest.h>
+
+#include "baselines/flashgraph/flash_engine.hpp"
+#include "baselines/graphchi/chi_engine.hpp"
+#include "baselines/gridgraph/grid_engine.hpp"
+#include "baselines/xstream/xstream_engine.hpp"
+#include "husg/husg.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace husg {
+namespace {
+
+using baselines::ChiEngine;
+using baselines::ChiStore;
+using baselines::GridEngine;
+using baselines::GridStore;
+using baselines::StartSet;
+using baselines::XStreamEngine;
+using baselines::XStreamStore;
+using testing::ScratchDir;
+
+struct GraphCase {
+  std::string family;  // "rmat", "er", "web", "grid"
+  std::uint64_t seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<GraphCase>& info) {
+  return info.param.family + "_s" + std::to_string(info.param.seed);
+}
+
+EdgeList make_graph(const GraphCase& c) {
+  switch (c.family[0]) {
+    case 'r':
+      return gen::rmat(8, 6.0, c.seed);
+    case 'e':
+      return gen::erdos_renyi(200, 900, c.seed);
+    case 'w':
+      return gen::webgraph(8, 6.0, c.seed);
+    default:
+      return gen::grid2d(12, 18);
+  }
+}
+
+std::vector<GraphCase> all_cases() {
+  std::vector<GraphCase> cases;
+  for (std::uint64_t seed : {1ULL, 17ULL, 99ULL}) {
+    cases.push_back({"rmat", seed});
+    cases.push_back({"er", seed});
+  }
+  cases.push_back({"web", 5});
+  cases.push_back({"grid", 0});
+  return cases;
+}
+
+/// Runs BFS on every engine, returns one value vector per engine.
+template <class Prog>
+std::vector<std::vector<typename Prog::Value>> run_everywhere(
+    const EdgeList& g, const ScratchDir& dir, const Prog& prog,
+    bool from_single, VertexId source) {
+  std::vector<std::vector<typename Prog::Value>> results;
+
+  auto hus_store = DualBlockStore::build(g, dir / "hus", StoreOptions{3});
+  for (UpdateMode mode :
+       {UpdateMode::kRop, UpdateMode::kCop, UpdateMode::kHybrid}) {
+    EngineOptions o;
+    o.mode = mode;
+    o.threads = 2;
+    Engine e(hus_store, o);
+    Frontier f = from_single
+                     ? Frontier::single(hus_store.meta(), source,
+                                        hus_store.out_degrees())
+                     : Frontier::all(hus_store.meta(), hus_store.out_degrees());
+    results.push_back(e.run(prog, f).values);
+  }
+
+  StartSet start = from_single ? StartSet::single(source) : StartSet::all();
+  {
+    auto store = GridStore::build(g, dir / "grid", 3);
+    results.push_back(
+        GridEngine(store, GridEngine::Options{}).run(prog, start).values);
+  }
+  {
+    auto store = ChiStore::build(g, dir / "chi", 3);
+    results.push_back(
+        ChiEngine(store, ChiEngine::Options{}).run(prog, start).values);
+  }
+  {
+    auto store = XStreamStore::build(g, dir / "xs", 3);
+    results.push_back(
+        XStreamEngine(store, XStreamEngine::Options{}).run(prog, start).values);
+  }
+  {
+    auto store = baselines::FlashStore::build(g, dir / "flash");
+    results.push_back(baselines::FlashEngine(
+                          store, baselines::FlashEngine::Options{})
+                          .run(prog, start)
+                          .values);
+  }
+  return results;
+}
+
+class CrossEngine : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(CrossEngine, BfsAgreesEverywhere) {
+  EdgeList g = make_graph(GetParam());
+  ScratchDir dir("xe_bfs");
+  VertexId source = 2 % g.num_vertices();
+  auto all = run_everywhere(g, dir, BfsProgram{.source = source}, true, source);
+  auto want = ref::bfs_levels(g, source);
+  for (std::size_t e = 0; e < all.size(); ++e) {
+    ASSERT_EQ(all[e].size(), want.size());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(all[e][v], want[v]) << "engine " << e << " vertex " << v;
+    }
+  }
+}
+
+TEST_P(CrossEngine, WccAgreesEverywhere) {
+  EdgeList g = make_graph(GetParam()).symmetrized();
+  ScratchDir dir("xe_wcc");
+  auto all = run_everywhere(g, dir, WccProgram{}, false, 0);
+  auto want = ref::wcc_labels(g);
+  for (std::size_t e = 0; e < all.size(); ++e) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(all[e][v], want[v]) << "engine " << e << " vertex " << v;
+    }
+  }
+}
+
+TEST_P(CrossEngine, SsspAgreesEverywhere) {
+  EdgeList g = gen::with_random_weights(make_graph(GetParam()), GetParam().seed);
+  ScratchDir dir("xe_sssp");
+  VertexId source = 2 % g.num_vertices();
+  auto all =
+      run_everywhere(g, dir, SsspProgram{.source = source}, true, source);
+  auto want = ref::sssp_distances(g, source);
+  for (std::size_t e = 0; e < all.size(); ++e) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (std::isinf(want[v])) {
+        ASSERT_TRUE(std::isinf(all[e][v])) << "engine " << e << " vertex " << v;
+      } else {
+        ASSERT_NEAR(all[e][v], want[v], 1e-4)
+            << "engine " << e << " vertex " << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, CrossEngine, ::testing::ValuesIn(all_cases()),
+                         case_name);
+
+// --- New algorithm programs ---------------------------------------------------
+
+TEST(MultiBfs, MatchesPerSourceReachability) {
+  EdgeList g = gen::rmat(8, 5.0, 31);
+  ScratchDir dir("mbfs");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{4});
+  MultiBfsProgram prog;
+  prog.roots = {0, 7, 50, 199};
+  Engine engine(store, EngineOptions{});
+  // Frontier = all roots.
+  AtomicBitmap bits(g.num_vertices());
+  for (VertexId r : prog.roots) bits.set(r);
+  auto frontier = Frontier::from_bits(store.meta(), bits, store.out_degrees());
+  auto result = engine.run(prog, frontier);
+
+  for (std::size_t i = 0; i < prog.roots.size(); ++i) {
+    auto levels = ref::bfs_levels(g, prog.roots[i]);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      bool reached_ref = levels[v] != ref::kUnreachedLevel;
+      bool reached_engine = (result.values[v] >> i) & 1;
+      ASSERT_EQ(reached_engine, reached_ref)
+          << "root " << prog.roots[i] << " vertex " << v;
+    }
+  }
+}
+
+TEST(MultiBfs, SixtyFourRootsInOnePass) {
+  EdgeList g = gen::erdos_renyi(500, 3000, 41).symmetrized();
+  ScratchDir dir("mbfs64");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{4});
+  MultiBfsProgram prog;
+  SplitMix64 rng(5);
+  for (int i = 0; i < 64; ++i) {
+    prog.roots.push_back(static_cast<VertexId>(rng.next_below(500)));
+  }
+  AtomicBitmap bits(g.num_vertices());
+  for (VertexId r : prog.roots) bits.set(r);
+  Engine engine(store, EngineOptions{});
+  auto result = engine.run(
+      prog, Frontier::from_bits(store.meta(), bits, store.out_degrees()));
+  // Spot-check two roots exhaustively.
+  for (std::size_t i : std::vector<std::size_t>{0, 63}) {
+    auto levels = ref::bfs_levels(g, prog.roots[i]);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(((result.values[v] >> i) & 1) != 0,
+                levels[v] != ref::kUnreachedLevel);
+    }
+  }
+}
+
+TEST(Eccentricity, LevelsMatchMaxReferenceBfsDistance) {
+  EdgeList g = gen::rmat(8, 5.0, 83).symmetrized();
+  ScratchDir dir("ecc");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{4});
+  EccentricityProgram prog;
+  prog.roots = {1, 10, 100, 200};
+  AtomicBitmap bits(g.num_vertices());
+  for (VertexId r : prog.roots) bits.set(r);
+  Engine engine(store, EngineOptions{});  // Jacobi: levels == hop counts
+  auto result = engine.run(
+      prog, Frontier::from_bits(store.meta(), bits, store.out_degrees()));
+
+  std::vector<std::vector<std::uint32_t>> levels;
+  for (VertexId r : prog.roots) levels.push_back(ref::bfs_levels(g, r));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::uint32_t want = 0;
+    std::uint64_t want_bits = 0;
+    for (std::size_t i = 0; i < prog.roots.size(); ++i) {
+      if (levels[i][v] != ref::kUnreachedLevel) {
+        want = std::max(want, levels[i][v]);
+        want_bits |= (1ULL << i);
+      }
+    }
+    ASSERT_EQ(result.values[v].bits, want_bits) << "vertex " << v;
+    if (want_bits != 0) {
+      ASSERT_EQ(result.values[v].level, want) << "vertex " << v;
+    }
+  }
+}
+
+TEST(Eccentricity, DiameterLowerBoundOnChain) {
+  // Chain of 40 with roots at both ends: the middle sees max distance ~20+,
+  // the far ends see 39.
+  EdgeList g = gen::chain(40).symmetrized();
+  ScratchDir dir("ecc2");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{4});
+  EccentricityProgram prog;
+  prog.roots = {0, 39};
+  AtomicBitmap bits(40);
+  bits.set(0);
+  bits.set(39);
+  Engine engine(store, EngineOptions{});
+  auto r = engine.run(
+      prog, Frontier::from_bits(store.meta(), bits, store.out_degrees()));
+  std::uint32_t diameter_bound = 0;
+  for (VertexId v = 0; v < 40; ++v) {
+    diameter_bound = std::max(diameter_bound, r.values[v].level);
+  }
+  EXPECT_EQ(diameter_bound, 39u);
+}
+
+class KCoreSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(KCoreSweep, MembershipMatchesPeelingReference) {
+  std::uint32_t k = GetParam();
+  EdgeList g = gen::rmat(8, 6.0, 71).symmetrized();
+  ScratchDir dir("kcore");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{4});
+  KCoreProgram prog;
+  prog.k = k;
+  Engine engine(store, EngineOptions{});
+  auto result = engine.run(prog, kcore_initial_frontier(store, k));
+  auto want = ref::kcore_membership(g, k);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(result.values[v].removed == 0, want[v])
+        << "k=" << k << " vertex " << v;
+  }
+}
+
+TEST_P(KCoreSweep, CoresAreNested) {
+  std::uint32_t k = GetParam();
+  EdgeList g = gen::erdos_renyi(300, 2400, 73).symmetrized();
+  ScratchDir dir("kcore2");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{4});
+  Engine engine(store, EngineOptions{});
+  KCoreProgram lo;
+  lo.k = k;
+  KCoreProgram hi;
+  hi.k = k + 2;
+  auto core_lo = engine.run(lo, kcore_initial_frontier(store, lo.k));
+  auto core_hi = engine.run(hi, kcore_initial_frontier(store, hi.k));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (core_hi.values[v].removed == 0) {
+      ASSERT_EQ(core_lo.values[v].removed, 0u)
+          << "vertex " << v << " in " << hi.k << "-core but not " << lo.k
+          << "-core";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KCoreSweep, ::testing::Values(2, 3, 5, 8));
+
+TEST(Spmv, SingleIterationMatchesDirectComputation) {
+  EdgeList g = gen::with_random_weights(gen::erdos_renyi(128, 700, 3), 3);
+  ScratchDir dir("spmv");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{4});
+  std::vector<float> x(g.num_vertices());
+  SplitMix64 rng(9);
+  for (auto& v : x) v = rng.next_float(-1.0f, 1.0f);
+
+  SpmvProgram prog;
+  prog.x = x;
+  EngineOptions opts;
+  opts.mode = UpdateMode::kCop;
+  opts.max_iterations = 1;
+  Engine engine(store, opts);
+  auto result =
+      engine.run(prog, Frontier::all(store.meta(), store.out_degrees()));
+
+  std::vector<double> want(g.num_vertices(), 0.0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    want[g.edge(e).dst] += static_cast<double>(g.weight(e)) * x[g.edge(e).src];
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_NEAR(result.values[v], want[v], 1e-3) << "vertex " << v;
+  }
+}
+
+TEST(Spmv, PowerIterationGrowsWithSpectralRadius) {
+  // On the all-ones vector over a cycle, A^k * 1 = 1 for every k (each
+  // vertex has exactly one in-edge of weight 1).
+  EdgeList cyc(8, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7},
+                   {7, 0}});
+  ScratchDir dir("spmv2");
+  auto store = DualBlockStore::build(cyc, dir.path(), StoreOptions{2});
+  SpmvProgram prog;
+  EngineOptions opts;
+  opts.mode = UpdateMode::kCop;
+  opts.max_iterations = 5;
+  Engine engine(store, opts);
+  auto r = engine.run(prog, Frontier::all(store.meta(), store.out_degrees()));
+  for (VertexId v = 0; v < 8; ++v) ASSERT_FLOAT_EQ(r.values[v], 1.0f);
+}
+
+}  // namespace
+}  // namespace husg

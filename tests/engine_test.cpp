@@ -1,0 +1,441 @@
+// Engine correctness: ROP, COP and Hybrid must all reach the reference fixed
+// points, across sync modes, decision granularities, partition counts and
+// thread counts.
+#include <gtest/gtest.h>
+
+#include "husg/husg.hpp"
+#include "test_util.hpp"
+
+namespace husg {
+namespace {
+
+using testing::ScratchDir;
+
+struct EngineCase {
+  UpdateMode mode;
+  SyncMode sync;
+  DecisionGranularity granularity;
+  std::uint32_t p;
+  std::size_t threads;
+  bool file_backed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<EngineCase>& info) {
+  const EngineCase& c = info.param;
+  std::string s = to_string(c.mode);
+  s += c.sync == SyncMode::kJacobi ? "_jacobi" : "_async";
+  s += c.granularity == DecisionGranularity::kGlobal ? "_global" : "_perint";
+  s += "_p" + std::to_string(c.p) + "_t" + std::to_string(c.threads);
+  s += c.file_backed ? "_file" : "_mem";
+  return s;
+}
+
+std::vector<EngineCase> all_cases() {
+  std::vector<EngineCase> cases;
+  for (UpdateMode mode :
+       {UpdateMode::kRop, UpdateMode::kCop, UpdateMode::kHybrid}) {
+    for (SyncMode sync : {SyncMode::kJacobi, SyncMode::kPaperAsync}) {
+      for (DecisionGranularity g : {DecisionGranularity::kGlobal,
+                                    DecisionGranularity::kPerInterval}) {
+        if (g == DecisionGranularity::kPerInterval &&
+            mode != UpdateMode::kHybrid) {
+          continue;  // granularity only matters for hybrid decisions
+        }
+        cases.push_back(EngineCase{mode, sync, g, 4, 3, true});
+      }
+    }
+  }
+  // Partition/thread sweeps on the default mode.
+  for (std::uint32_t p : {1u, 2u, 7u, 16u}) {
+    cases.push_back(
+        EngineCase{UpdateMode::kHybrid, SyncMode::kJacobi,
+                   DecisionGranularity::kGlobal, p, 2, true});
+  }
+  for (std::size_t t : {1u, 2u, 8u}) {
+    cases.push_back(EngineCase{UpdateMode::kHybrid, SyncMode::kJacobi,
+                               DecisionGranularity::kGlobal, 4, t, false});
+  }
+  return cases;
+}
+
+EngineOptions make_options(const EngineCase& c) {
+  EngineOptions o;
+  o.mode = c.mode;
+  o.sync = c.sync;
+  o.granularity = c.granularity;
+  o.threads = c.threads;
+  o.file_backed_values = c.file_backed;
+  o.device = DeviceProfile::hdd7200();
+  return o;
+}
+
+class EngineSweep : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(EngineSweep, BfsMatchesReference) {
+  const EngineCase& c = GetParam();
+  EdgeList g = gen::rmat(9, 6.0, /*seed=*/42);
+  ScratchDir dir("bfs");
+  auto store = DualBlockStore::build(g, dir.path(),
+                                     StoreOptions{c.p, PartitionScheme::kEqualVertices});
+  Engine engine(store, make_options(c));
+  BfsProgram bfs{.source = 1};
+  auto result =
+      engine.run(bfs, Frontier::single(store.meta(), 1, store.out_degrees()));
+  auto expect = ref::bfs_levels(g, 1);
+  ASSERT_EQ(result.values.size(), expect.size());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(result.values[v], expect[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(EngineSweep, WccMatchesReference) {
+  const EngineCase& c = GetParam();
+  EdgeList g = gen::erdos_renyi(300, 500, /*seed=*/7).symmetrized();
+  ScratchDir dir("wcc");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{c.p});
+  Engine engine(store, make_options(c));
+  WccProgram wcc;
+  auto result =
+      engine.run(wcc, Frontier::all(store.meta(), store.out_degrees()));
+  auto expect = ref::wcc_labels(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(result.values[v], expect[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(EngineSweep, SsspMatchesReference) {
+  const EngineCase& c = GetParam();
+  EdgeList g =
+      gen::with_random_weights(gen::rmat(8, 8.0, /*seed=*/5), /*seed=*/5);
+  ScratchDir dir("sssp");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{c.p});
+  Engine engine(store, make_options(c));
+  SsspProgram sssp{.source = 3};
+  auto result =
+      engine.run(sssp, Frontier::single(store.meta(), 3, store.out_degrees()));
+  auto expect = ref::sssp_distances(g, 3);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (std::isinf(expect[v])) {
+      EXPECT_TRUE(std::isinf(result.values[v])) << "vertex " << v;
+    } else {
+      EXPECT_NEAR(result.values[v], expect[v], 1e-4) << "vertex " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, EngineSweep,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+// --- PageRank ---------------------------------------------------------------
+
+TEST(EnginePageRank, MatchesJacobiReference) {
+  EdgeList g = gen::rmat(8, 7.0, /*seed=*/11);
+  ScratchDir dir("pr");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{4});
+  EngineOptions opts;
+  opts.mode = UpdateMode::kCop;
+  opts.sync = SyncMode::kJacobi;
+  opts.max_iterations = 5;
+  Engine engine(store, opts);
+  PageRankProgram pr;
+  auto result =
+      engine.run(pr, Frontier::all(store.meta(), store.out_degrees()));
+  auto expect = ref::pagerank(g, 5);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(result.values[v], expect[v], 1e-3) << "vertex " << v;
+  }
+  EXPECT_EQ(result.stats.iterations_run(), 5);
+}
+
+TEST(EnginePageRank, RopScatterEqualsCopGather) {
+  EdgeList g = gen::rmat(8, 6.0, /*seed=*/13);
+  ScratchDir dir("pr2");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{4});
+  PageRankProgram pr;
+  EngineOptions cop_opts;
+  cop_opts.mode = UpdateMode::kCop;
+  cop_opts.max_iterations = 4;
+  EngineOptions rop_opts = cop_opts;
+  rop_opts.mode = UpdateMode::kRop;
+  Engine cop_engine(store, cop_opts);
+  Engine rop_engine(store, rop_opts);
+  auto all = Frontier::all(store.meta(), store.out_degrees());
+  auto cop = cop_engine.run(pr, all);
+  auto rop = rop_engine.run(pr, all);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(cop.values[v], rop.values[v], 1e-4) << "vertex " << v;
+  }
+}
+
+TEST(EnginePageRank, GaussSeidelConvergesToSameFixedPoint) {
+  EdgeList g = gen::rmat(7, 6.0, /*seed=*/17);
+  ScratchDir dir("pr3");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{4});
+  PageRankProgram pr;
+  pr.tolerance = 1e-4f;
+  EngineOptions opts;
+  opts.mode = UpdateMode::kCop;
+  opts.sync = SyncMode::kPaperAsync;
+  opts.max_iterations = 200;
+  Engine engine(store, opts);
+  auto result =
+      engine.run(pr, Frontier::all(store.meta(), store.out_degrees()));
+  auto expect = ref::pagerank(g, 300);  // effectively converged
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(result.values[v], expect[v], 5e-3) << "vertex " << v;
+  }
+  // Gauss-Seidel must converge well before the cap (Jacobi at this
+  // tolerance needs ~60+ damped sweeps).
+  EXPECT_LT(result.stats.iterations_run(), 200);
+}
+
+// --- PageRank-Delta ----------------------------------------------------------
+
+TEST(EnginePageRankDelta, ConvergesToPageRankFixedPoint) {
+  EdgeList g = gen::rmat(8, 6.0, /*seed=*/23);
+  ScratchDir dir("prd");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{4});
+  EngineOptions opts;
+  opts.mode = UpdateMode::kHybrid;
+  opts.max_iterations = 2000;
+  Engine engine(store, opts);
+  PageRankDeltaProgram prd;
+  prd.epsilon = 1e-5f;
+  auto result =
+      engine.run(prd, Frontier::all(store.meta(), store.out_degrees()));
+  auto expect = ref::pagerank(g, 300);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(result.values[v].rank, expect[v], 2e-2) << "vertex " << v;
+  }
+  // The run must actually converge rather than hit the iteration cap.
+  EXPECT_LT(result.stats.iterations_run(), 2000);
+}
+
+TEST(EnginePageRankDelta, FrontierShrinksOverTime) {
+  EdgeList g = gen::rmat(9, 8.0, /*seed=*/29);
+  ScratchDir dir("prd2");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{4});
+  EngineOptions opts;
+  opts.max_iterations = 500;
+  Engine engine(store, opts);
+  PageRankDeltaProgram prd;
+  auto result =
+      engine.run(prd, Frontier::all(store.meta(), store.out_degrees()));
+  const auto& iters = result.stats.iterations;
+  ASSERT_GE(iters.size(), 3u);
+  EXPECT_LT(iters.back().active_vertices, iters.front().active_vertices);
+}
+
+// --- I/O behaviour -----------------------------------------------------------
+
+TEST(EngineIo, RopReadsLessThanCopOnSparseFrontier) {
+  EdgeList g = gen::rmat(10, 8.0, /*seed=*/31);
+  ScratchDir dir("io");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{4});
+  BfsProgram bfs{.source = 0};
+  auto run_mode = [&](UpdateMode m) {
+    EngineOptions o;
+    o.mode = m;
+    Engine e(store, o);
+    auto r = e.run(bfs, Frontier::single(store.meta(), 0, store.out_degrees()));
+    return r.stats.total_io.total_read_bytes();
+  };
+  std::uint64_t rop = run_mode(UpdateMode::kRop);
+  std::uint64_t cop = run_mode(UpdateMode::kCop);
+  EXPECT_LT(rop, cop);
+}
+
+TEST(EngineIo, HybridDecisionsAreRecorded) {
+  EdgeList g = gen::rmat(11, 8.0, /*seed=*/37);
+  ScratchDir dir("io2");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{4});
+  EngineOptions opts;
+  // Scale the seek latency to this toy graph's size so the ROP/COP
+  // crossover exists (see DeviceProfile::with_seek_scale).
+  opts.device = DeviceProfile::hdd7200().with_seek_scale(1e-3);
+  Engine engine(store, opts);
+  // Start from a low-degree source so the first frontier is genuinely
+  // sparse (vertex 0 is the R-MAT hub).
+  VertexId source = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (store.out_degrees()[v] >= 1 && store.out_degrees()[v] <= 3) {
+      source = v;
+      break;
+    }
+  }
+  BfsProgram bfs{.source = source};
+  auto r = engine.run(
+      bfs, Frontier::single(store.meta(), source, store.out_degrees()));
+  ASSERT_FALSE(r.stats.iterations.empty());
+  for (const auto& it : r.stats.iterations) {
+    ASSERT_EQ(it.decisions.size(), store.meta().p());
+    // Global granularity: all intervals share one decision.
+    for (const auto& d : it.decisions) {
+      EXPECT_EQ(d.used_rop, it.decisions.front().used_rop);
+    }
+  }
+  // A BFS from one source must start sparse (ROP) and, on this skewed graph,
+  // hit at least one dense iteration (COP).
+  EXPECT_TRUE(r.stats.iterations.front().any_rop());
+  bool any_cop = false;
+  for (const auto& it : r.stats.iterations) any_cop |= it.any_cop();
+  EXPECT_TRUE(any_cop);
+}
+
+TEST(EngineIo, ModeledTimePositiveOnRealDevice) {
+  EdgeList g = gen::rmat(8, 6.0, /*seed=*/41);
+  ScratchDir dir("io3");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{4});
+  EngineOptions opts;
+  opts.device = DeviceProfile::hdd7200();
+  Engine engine(store, opts);
+  WccProgram wcc;
+  auto r = engine.run(wcc, Frontier::all(store.meta(), store.out_degrees()));
+  EXPECT_GT(r.stats.modeled_seconds(), 0.0);
+  EXPECT_GT(r.stats.total_io.total_read_bytes(), 0u);
+  EXPECT_GT(r.stats.edges_processed, 0u);
+}
+
+// --- Edge cases ---------------------------------------------------------------
+
+TEST(EngineEdgeCases, EmptyFrontierTerminatesImmediately) {
+  EdgeList g = gen::chain(16);
+  ScratchDir dir("edge1");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{4});
+  Engine engine(store, EngineOptions{});
+  BfsProgram bfs{.source = 0};
+  auto r = engine.run(bfs, Frontier::none(store.meta()));
+  EXPECT_EQ(r.stats.iterations_run(), 0);
+  EXPECT_EQ(r.values[0], 0u);  // initial values preserved
+  EXPECT_EQ(r.values[5], BfsProgram::kUnreached);
+}
+
+TEST(EngineEdgeCases, SingleVertexGraph) {
+  EdgeList g(1, {});
+  ScratchDir dir("edge2");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{2});
+  Engine engine(store, EngineOptions{});
+  BfsProgram bfs{.source = 0};
+  auto r = engine.run(bfs, Frontier::single(store.meta(), 0, store.out_degrees()));
+  EXPECT_EQ(r.values[0], 0u);
+}
+
+TEST(EngineEdgeCases, SelfLoopsAndDuplicateEdges) {
+  std::vector<Edge> edges = {{0, 0}, {0, 1}, {0, 1}, {1, 2}, {2, 2}, {2, 0}};
+  EdgeList g(3, std::move(edges));
+  ScratchDir dir("edge3");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{2});
+  Engine engine(store, EngineOptions{});
+  BfsProgram bfs{.source = 0};
+  auto r = engine.run(bfs, Frontier::single(store.meta(), 0, store.out_degrees()));
+  EXPECT_EQ(r.values[0], 0u);
+  EXPECT_EQ(r.values[1], 1u);
+  EXPECT_EQ(r.values[2], 2u);
+}
+
+TEST(EngineEdgeCases, ChainNeedsManyIterations) {
+  EdgeList g = gen::chain(64);
+  ScratchDir dir("edge4");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{4});
+  Engine engine(store, EngineOptions{});
+  BfsProgram bfs{.source = 0};
+  auto r = engine.run(bfs, Frontier::single(store.meta(), 0, store.out_degrees()));
+  EXPECT_EQ(r.values[63], 63u);
+  EXPECT_EQ(r.stats.iterations_run(), 63);
+}
+
+TEST(EngineEdgeCases, MaxIterationsCapRespected) {
+  EdgeList g = gen::chain(64);
+  ScratchDir dir("edge5");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{4});
+  EngineOptions opts;
+  opts.max_iterations = 5;
+  Engine engine(store, opts);
+  BfsProgram bfs{.source = 0};
+  auto r = engine.run(bfs, Frontier::single(store.meta(), 0, store.out_degrees()));
+  EXPECT_EQ(r.stats.iterations_run(), 5);
+  EXPECT_EQ(r.values[5], 5u);
+  EXPECT_EQ(r.values[6], BfsProgram::kUnreached);
+}
+
+TEST(EngineEdgeCases, DegreeBalancedPartitioningGivesSameResults) {
+  // Uneven interval boundaries exercise every local-index computation.
+  EdgeList g = gen::rmat(9, 8.0, 43);
+  ScratchDir dir("edgedeg");
+  auto store = DualBlockStore::build(
+      g, dir.path(), StoreOptions{5, PartitionScheme::kEqualDegree});
+  // Hub-heavy R-MAT: the first interval must be much smaller than |V|/5.
+  ASSERT_LT(store.meta().interval_size(0), g.num_vertices() / 5);
+  for (UpdateMode mode :
+       {UpdateMode::kRop, UpdateMode::kCop, UpdateMode::kHybrid}) {
+    EngineOptions o;
+    o.mode = mode;
+    o.threads = 3;
+    Engine engine(store, o);
+    BfsProgram bfs{.source = 2};
+    auto r = engine.run(
+        bfs, Frontier::single(store.meta(), 2, store.out_degrees()));
+    auto want = ref::bfs_levels(g, 2);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(r.values[v], want[v]) << to_string(mode) << " vertex " << v;
+    }
+  }
+}
+
+TEST(EngineStress, RepeatedParallelRunsAreDeterministic) {
+  // Race smoke test: many threads, repeated runs, identical results.
+  EdgeList g = gen::rmat(10, 10.0, 47);
+  ScratchDir dir("stress");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{8});
+  EngineOptions o;
+  o.threads = 8;
+  o.file_backed_values = false;
+  Engine engine(store, o);
+  WccProgram wcc;
+  auto first =
+      engine.run(wcc, Frontier::all(store.meta(), store.out_degrees()));
+  for (int round = 0; round < 3; ++round) {
+    auto again =
+        engine.run(wcc, Frontier::all(store.meta(), store.out_degrees()));
+    ASSERT_EQ(again.values, first.values) << "round " << round;
+    ASSERT_EQ(again.stats.iterations_run(), first.stats.iterations_run());
+  }
+}
+
+TEST(EngineIo, OverlapIoChangesNothingButWallTime) {
+  EdgeList g = gen::rmat(9, 8.0, 53);
+  ScratchDir dir("ovl");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{6});
+  WccProgram wcc;
+  RunResult<WccProgram::Value> results[2];
+  IoSnapshot io[2];
+  for (int on = 0; on < 2; ++on) {
+    EngineOptions o;
+    o.mode = UpdateMode::kCop;
+    o.overlap_io = on == 1;
+    Engine engine(store, o);
+    IoSnapshot before = store.io().snapshot();
+    results[on] =
+        engine.run(wcc, Frontier::all(store.meta(), store.out_degrees()));
+    io[on] = store.io().snapshot() - before;
+  }
+  EXPECT_EQ(results[0].values, results[1].values);
+  EXPECT_EQ(io[0].total_bytes(), io[1].total_bytes());
+  EXPECT_EQ(io[0].seq_read_ops, io[1].seq_read_ops);
+}
+
+TEST(EngineEdgeCases, PerIntervalRequiresIdempotent) {
+  EdgeList g = gen::chain(8);
+  ScratchDir dir("edge6");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{2});
+  EngineOptions opts;
+  opts.granularity = DecisionGranularity::kPerInterval;
+  Engine engine(store, opts);
+  PageRankDeltaProgram prd;  // additive, not idempotent
+  EXPECT_THROW(
+      engine.run(prd, Frontier::all(store.meta(), store.out_degrees())),
+      DataError);
+}
+
+}  // namespace
+}  // namespace husg

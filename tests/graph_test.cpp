@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+
+#include "graph/edge_list.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/reference.hpp"
+#include "test_util.hpp"
+
+namespace husg {
+namespace {
+
+using testing::ScratchDir;
+
+// --- EdgeList -------------------------------------------------------------------
+
+TEST(EdgeList, DegreesAndTranspose) {
+  EdgeList g(4, {{0, 1}, {0, 2}, {1, 2}, {3, 0}});
+  auto od = g.out_degrees();
+  auto id = g.in_degrees();
+  EXPECT_EQ(od, (std::vector<VertexId>{2, 1, 0, 1}));
+  EXPECT_EQ(id, (std::vector<VertexId>{1, 1, 2, 0}));
+  EdgeList t = g.transposed();
+  EXPECT_EQ(t.out_degrees(), id);
+  EXPECT_EQ(t.in_degrees(), od);
+}
+
+TEST(EdgeList, OutOfRangeEdgeThrows) {
+  EXPECT_THROW(EdgeList(3, {{0, 3}}), DataError);
+  EXPECT_THROW(EdgeList(3, {{7, 0}}), DataError);
+}
+
+TEST(EdgeList, SymmetrizeDoublesNonLoops) {
+  EdgeList g(3, {{0, 1}, {2, 2}});
+  EdgeList s = g.symmetrized();
+  EXPECT_EQ(s.num_edges(), 3u);  // (0,1),(1,0),(2,2)
+}
+
+TEST(EdgeList, SortAndDedupe) {
+  EdgeList g(3, {{2, 1}, {0, 1}, {0, 1}, {1, 0}});
+  g.sort_and_maybe_dedupe(true);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.edge(0), (Edge{0, 1}));
+  EXPECT_EQ(g.edge(1), (Edge{1, 0}));
+  EXPECT_EQ(g.edge(2), (Edge{2, 1}));
+}
+
+TEST(EdgeList, WeightsFollowSort) {
+  EdgeList g(3, {{2, 1}, {0, 1}}, {5.0f, 7.0f});
+  g.sort_and_maybe_dedupe(false);
+  EXPECT_EQ(g.edge(0), (Edge{0, 1}));
+  EXPECT_FLOAT_EQ(g.weight(0), 7.0f);
+  EXPECT_FLOAT_EQ(g.weight(1), 5.0f);
+}
+
+TEST(EdgeList, AddEdgeUpgradesToWeighted) {
+  EdgeList g(3, {{0, 1}});
+  EXPECT_FALSE(g.weighted());
+  g.add_edge(1, 2, 3.5f);
+  EXPECT_TRUE(g.weighted());
+  EXPECT_FLOAT_EQ(g.weight(0), 1.0f);
+  EXPECT_FLOAT_EQ(g.weight(1), 3.5f);
+}
+
+// --- Generators ------------------------------------------------------------------
+
+TEST(Generators, RmatDeterministicAndSized) {
+  EdgeList a = gen::rmat(10, 8.0, 42);
+  EdgeList b = gen::rmat(10, 8.0, 42);
+  EXPECT_EQ(a.num_vertices(), 1024u);
+  EXPECT_EQ(a.num_edges(), 8192u);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId i = 0; i < a.num_edges(); ++i) EXPECT_EQ(a.edge(i), b.edge(i));
+  EdgeList c = gen::rmat(10, 8.0, 43);
+  bool differs = false;
+  for (EdgeId i = 0; i < a.num_edges() && !differs; ++i) {
+    differs = !(a.edge(i) == c.edge(i));
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generators, RmatIsSkewed) {
+  EdgeList g = gen::rmat(12, 16.0, 1);
+  auto deg = g.out_degrees();
+  auto max_deg = *std::max_element(deg.begin(), deg.end());
+  double avg = static_cast<double>(g.num_edges()) / g.num_vertices();
+  // Power-law-ish: hub degree far above the average.
+  EXPECT_GT(max_deg, 20 * avg);
+}
+
+TEST(Generators, ErdosRenyiUniformish) {
+  EdgeList g = gen::erdos_renyi(1000, 8000, 3);
+  EXPECT_EQ(g.num_edges(), 8000u);
+  auto deg = g.out_degrees();
+  auto max_deg = *std::max_element(deg.begin(), deg.end());
+  EXPECT_LT(max_deg, 40u);  // mean 8, Poisson tail
+}
+
+TEST(Generators, ChainStarGrid) {
+  EdgeList c = gen::chain(5);
+  EXPECT_EQ(c.num_edges(), 4u);
+  EdgeList s = gen::star(5);
+  EXPECT_EQ(s.num_edges(), 4u);
+  EXPECT_EQ(s.out_degrees()[0], 4u);
+  EdgeList g = gen::grid2d(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  // 3*3 horizontal + 2*4 vertical = 17 undirected -> 34 directed.
+  EXPECT_EQ(g.num_edges(), 34u);
+}
+
+TEST(Generators, WebgraphHasLargerDiameterThanRmat) {
+  EdgeList social = gen::rmat(10, 8.0, 5);
+  EdgeList web = gen::webgraph(10, 8.0, 5);
+  auto social_prof = ref::bfs_activity(social.symmetrized(), 0);
+  auto web_prof = ref::bfs_activity(web.symmetrized(), 0);
+  EXPECT_GT(web_prof.active_edges_per_iter.size(),
+            social_prof.active_edges_per_iter.size());
+}
+
+TEST(Generators, RandomWeightsInRange) {
+  EdgeList g = gen::with_random_weights(gen::chain(100), 9, 0.5f, 2.0f);
+  ASSERT_TRUE(g.weighted());
+  for (EdgeId i = 0; i < g.num_edges(); ++i) {
+    EXPECT_GE(g.weight(i), 0.5f);
+    EXPECT_LT(g.weight(i), 2.0f);
+  }
+}
+
+// --- Graph I/O ---------------------------------------------------------------------
+
+TEST(GraphIo, TextRoundTrip) {
+  ScratchDir dir("gio");
+  EdgeList g = gen::erdos_renyi(50, 200, 1);
+  save_text_edges(g, dir / "g.txt");
+  EdgeList back = load_text_edges(dir / "g.txt", g.num_vertices());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (EdgeId i = 0; i < g.num_edges(); ++i) EXPECT_EQ(back.edge(i), g.edge(i));
+}
+
+TEST(GraphIo, TextWeightedRoundTrip) {
+  ScratchDir dir("gio2");
+  EdgeList g = gen::with_random_weights(gen::chain(20), 2);
+  save_text_edges(g, dir / "g.txt");
+  EdgeList back = load_text_edges(dir / "g.txt");
+  ASSERT_TRUE(back.weighted());
+  for (EdgeId i = 0; i < g.num_edges(); ++i) {
+    EXPECT_NEAR(back.weight(i), g.weight(i), 1e-5);
+  }
+}
+
+TEST(GraphIo, TextCommentsAndErrors) {
+  ScratchDir dir("gio3");
+  {
+    std::ofstream out(dir / "ok.txt");
+    out << "# comment\n% comment\n1 2\n3 4\n";
+  }
+  EdgeList g = load_text_edges(dir / "ok.txt");
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  {
+    std::ofstream out(dir / "bad.txt");
+    out << "1 two\n";
+  }
+  EXPECT_THROW(load_text_edges(dir / "bad.txt"), DataError);
+}
+
+TEST(GraphIo, BinaryRoundTripAndCorruption) {
+  ScratchDir dir("gio4");
+  EdgeList g = gen::with_random_weights(gen::erdos_renyi(40, 150, 4), 4);
+  save_binary_edges(g, dir / "g.bin");
+  EdgeList back = load_binary_edges(dir / "g.bin");
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (EdgeId i = 0; i < g.num_edges(); ++i) {
+    EXPECT_EQ(back.edge(i), g.edge(i));
+    EXPECT_FLOAT_EQ(back.weight(i), g.weight(i));
+  }
+  // Truncate -> DataError.
+  std::filesystem::resize_file(dir / "g.bin",
+                               std::filesystem::file_size(dir / "g.bin") - 8);
+  EXPECT_THROW(load_binary_edges(dir / "g.bin"), DataError);
+  // Bad magic.
+  {
+    File f(dir / "bad.bin", File::Mode::kWrite);
+    std::uint64_t junk[4] = {0xdead, 1, 0, 0};
+    f.pwrite_exact(junk, sizeof(junk), 0);
+  }
+  EXPECT_THROW(load_binary_edges(dir / "bad.bin"), DataError);
+}
+
+// --- Reference algorithms -------------------------------------------------------------
+
+TEST(Reference, BfsOnChain) {
+  auto lv = ref::bfs_levels(gen::chain(6), 0);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(lv[v], v);
+  auto lv2 = ref::bfs_levels(gen::chain(6), 3);
+  EXPECT_EQ(lv2[2], ref::kUnreachedLevel);
+  EXPECT_EQ(lv2[5], 2u);
+}
+
+TEST(Reference, WccTwoComponents) {
+  EdgeList g(6, {{0, 1}, {1, 2}, {4, 5}});
+  auto labels = ref::wcc_labels(g);
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[1], 0u);
+  EXPECT_EQ(labels[2], 0u);
+  EXPECT_EQ(labels[3], 3u);
+  EXPECT_EQ(labels[4], 4u);
+  EXPECT_EQ(labels[5], 4u);
+}
+
+TEST(Reference, SsspTriangleShortcut) {
+  EdgeList g(3, {{0, 1}, {1, 2}, {0, 2}}, {1.0f, 1.0f, 5.0f});
+  auto d = ref::sssp_distances(g, 0);
+  EXPECT_FLOAT_EQ(d[2], 2.0f);  // through 1, not the direct 5.0 edge
+}
+
+TEST(Reference, PageRankStarMass) {
+  // Star: hub 0 -> {1..4}; leaves have outdeg 0.
+  auto pr = ref::pagerank(gen::star(5), 50);
+  // Hub receives nothing: pr = 0.15.
+  EXPECT_NEAR(pr[0], 0.15, 1e-9);
+  // Leaves: 0.15 + 0.85 * pr(hub)/4.
+  EXPECT_NEAR(pr[1], 0.15 + 0.85 * 0.15 / 4, 1e-9);
+}
+
+TEST(Reference, PageRankSumBounded) {
+  EdgeList g = gen::rmat(8, 8.0, 2);
+  auto pr = ref::pagerank(g, 20);
+  double sum = std::accumulate(pr.begin(), pr.end(), 0.0);
+  // Without dangling redistribution the sum leaks below |V| but stays
+  // within (0.15|V|, |V|].
+  EXPECT_GT(sum, 0.15 * g.num_vertices());
+  EXPECT_LE(sum, 1.0 * g.num_vertices() + 1e-6);
+}
+
+TEST(Reference, BfsActivityProfileShape) {
+  EdgeList g = gen::rmat(10, 8.0, 6).symmetrized();
+  auto prof = ref::bfs_activity(g, 0);
+  ASSERT_GE(prof.active_edges_per_iter.size(), 3u);
+  EXPECT_EQ(prof.active_vertices_per_iter[0], 1u);
+  // Frontier grows then shrinks: peak is interior.
+  auto peak = std::max_element(prof.active_edges_per_iter.begin(),
+                               prof.active_edges_per_iter.end());
+  EXPECT_NE(peak, prof.active_edges_per_iter.begin());
+  EXPECT_NE(peak, prof.active_edges_per_iter.end() - 1);
+}
+
+TEST(Reference, WccActivityStartsDense) {
+  EdgeList g = gen::erdos_renyi(500, 2000, 8);
+  auto prof = ref::wcc_activity(g);
+  ASSERT_FALSE(prof.active_vertices_per_iter.empty());
+  EXPECT_EQ(prof.active_vertices_per_iter[0], 500u);
+  if (prof.active_vertices_per_iter.size() > 2) {
+    EXPECT_LT(prof.active_vertices_per_iter.back(),
+              prof.active_vertices_per_iter[0]);
+  }
+}
+
+TEST(Reference, PagerankActivityAllActive) {
+  EdgeList g = gen::chain(10);
+  auto prof = ref::pagerank_activity(g, 5);
+  ASSERT_EQ(prof.active_edges_per_iter.size(), 5u);
+  for (auto e : prof.active_edges_per_iter) EXPECT_EQ(e, g.num_edges());
+}
+
+}  // namespace
+}  // namespace husg

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "io/buffered.hpp"
+#include "io/device.hpp"
+#include "io/file.hpp"
+#include "io/io_stats.hpp"
+#include "io/tracked_file.hpp"
+#include "test_util.hpp"
+
+namespace husg {
+namespace {
+
+using testing::ScratchDir;
+
+TEST(File, WriteReadRoundTrip) {
+  ScratchDir dir("file");
+  File w(dir / "a.bin", File::Mode::kWrite);
+  std::vector<int> data(100);
+  std::iota(data.begin(), data.end(), 0);
+  w.pwrite_exact(data.data(), data.size() * sizeof(int), 0);
+  w.close();
+
+  File r(dir / "a.bin", File::Mode::kRead);
+  EXPECT_EQ(r.size(), 100 * sizeof(int));
+  std::vector<int> back(100);
+  r.pread_exact(back.data(), back.size() * sizeof(int), 0);
+  EXPECT_EQ(back, data);
+}
+
+TEST(File, ShortReadThrows) {
+  ScratchDir dir("file2");
+  File w(dir / "b.bin", File::Mode::kWrite);
+  char c = 'x';
+  w.pwrite_exact(&c, 1, 0);
+  w.close();
+  File r(dir / "b.bin", File::Mode::kRead);
+  char buf[16];
+  EXPECT_THROW(r.pread_exact(buf, 16, 0), IoError);
+}
+
+TEST(File, OpenMissingThrows) {
+  ScratchDir dir("file3");
+  EXPECT_THROW(File(dir / "missing.bin", File::Mode::kRead), IoError);
+}
+
+TEST(File, AppendAdvancesCursor) {
+  ScratchDir dir("file4");
+  File f(dir / "c.bin", File::Mode::kReadWrite);
+  EXPECT_EQ(f.append("abc", 3), 0u);
+  EXPECT_EQ(f.append("de", 2), 3u);
+  EXPECT_EQ(f.size(), 5u);
+}
+
+TEST(File, MoveTransfersOwnership) {
+  ScratchDir dir("file5");
+  File a(dir / "d.bin", File::Mode::kWrite);
+  a.pwrite_exact("hi", 2, 0);
+  File b = std::move(a);
+  EXPECT_FALSE(a.is_open());  // NOLINT(bugprone-use-after-move): testing move
+  EXPECT_TRUE(b.is_open());
+  EXPECT_EQ(b.size(), 2u);
+}
+
+// --- IoStats -----------------------------------------------------------------
+
+TEST(IoStats, CountersAccumulate) {
+  IoStats s;
+  s.add_seq_read(100);
+  s.add_seq_read(50);
+  s.add_rand_read(8);
+  s.add_write(20);
+  IoSnapshot snap = s.snapshot();
+  EXPECT_EQ(snap.seq_read_bytes, 150u);
+  EXPECT_EQ(snap.seq_read_ops, 2u);
+  EXPECT_EQ(snap.rand_read_bytes, 8u);
+  EXPECT_EQ(snap.rand_read_ops, 1u);
+  EXPECT_EQ(snap.write_bytes, 20u);
+  EXPECT_EQ(snap.total_read_bytes(), 158u);
+  EXPECT_EQ(snap.total_bytes(), 178u);
+  EXPECT_EQ(snap.total_ops(), 4u);
+}
+
+TEST(IoStats, SnapshotDiff) {
+  IoStats s;
+  s.add_seq_read(100);
+  IoSnapshot before = s.snapshot();
+  s.add_seq_read(40);
+  s.add_rand_read(4);
+  IoSnapshot delta = s.snapshot() - before;
+  EXPECT_EQ(delta.seq_read_bytes, 40u);
+  EXPECT_EQ(delta.rand_read_bytes, 4u);
+  EXPECT_EQ(delta.seq_read_ops, 1u);
+}
+
+TEST(IoStats, PlusEquals) {
+  IoSnapshot a, b;
+  a.seq_read_bytes = 10;
+  a.write_ops = 2;
+  b.seq_read_bytes = 5;
+  b.write_ops = 1;
+  a += b;
+  EXPECT_EQ(a.seq_read_bytes, 15u);
+  EXPECT_EQ(a.write_ops, 3u);
+}
+
+// --- TrackedFile ---------------------------------------------------------------
+
+TEST(TrackedFile, ClassifiesAccess) {
+  ScratchDir dir("tracked");
+  IoStats stats;
+  {
+    TrackedFile f(dir / "t.bin", File::Mode::kWrite, &stats);
+    std::vector<char> big(10000, 'a');
+    f.write(big.data(), big.size(), 0);
+  }
+  TrackedFile f(dir / "t.bin", File::Mode::kRead, &stats);
+  char buf[100];
+  f.read_random(buf, 100, 50);
+  f.read_sequential(buf, 100, 0);
+  IoSnapshot s = stats.snapshot();
+  EXPECT_EQ(s.write_bytes, 10000u);
+  EXPECT_EQ(s.rand_read_bytes, 100u);
+  EXPECT_EQ(s.seq_read_bytes, 100u);
+  EXPECT_EQ(s.rand_read_ops, 1u);
+  EXPECT_EQ(s.seq_read_ops, 1u);
+}
+
+// --- Device model -----------------------------------------------------------------
+
+TEST(DeviceProfile, ModeledSecondsComposition) {
+  DeviceProfile d;
+  d.seq_read_bw = 100e6;
+  d.rand_read_bw = 100e6;
+  d.write_bw = 50e6;
+  d.seek_seconds = 0.01;
+  IoSnapshot io;
+  io.seq_read_bytes = 100'000'000;  // 1 s
+  io.rand_read_bytes = 50'000'000;  // 0.5 s transfer
+  io.rand_read_ops = 10;            // 0.1 s seeks
+  io.write_bytes = 50'000'000;      // 1 s
+  EXPECT_NEAR(d.modeled_seconds(io), 2.6, 1e-9);
+}
+
+TEST(DeviceProfile, HddRandomMuchSlowerThanSequential) {
+  DeviceProfile hdd = DeviceProfile::hdd7200();
+  // At 4 KiB requests an HDD delivers well under 1 MB/s effective.
+  EXPECT_LT(hdd.t_random(4096), 1e6);
+  EXPECT_GT(hdd.t_sequential(), 1e8);
+}
+
+TEST(DeviceProfile, SsdNarrowsRandomPenalty) {
+  DeviceProfile hdd = DeviceProfile::hdd7200();
+  DeviceProfile ssd = DeviceProfile::sata_ssd();
+  double hdd_ratio = hdd.t_sequential() / hdd.t_random(4096);
+  double ssd_ratio = ssd.t_sequential() / ssd.t_random(4096);
+  EXPECT_GT(hdd_ratio, 50.0);
+  EXPECT_LT(ssd_ratio, 10.0);
+}
+
+TEST(DeviceProfile, NullDeviceModelsZero) {
+  IoSnapshot io;
+  io.seq_read_bytes = 1 << 30;
+  io.rand_read_ops = 1000;
+  EXPECT_EQ(DeviceProfile::null_device().modeled_seconds(io), 0.0);
+}
+
+// --- Buffered streaming -------------------------------------------------------------
+
+TEST(Buffered, StreamRecordsInChunks) {
+  ScratchDir dir("buf");
+  IoStats stats;
+  std::vector<std::uint64_t> data(10000);
+  std::iota(data.begin(), data.end(), 0);
+  {
+    TrackedFile f(dir / "r.bin", File::Mode::kWrite, &stats);
+    f.write(data.data(), data.size() * sizeof(std::uint64_t), 0);
+  }
+  TrackedFile f(dir / "r.bin", File::Mode::kRead, &stats);
+  std::vector<std::uint64_t> seen;
+  stream_records<std::uint64_t>(
+      f, 0, data.size() * sizeof(std::uint64_t),
+      [&](const std::uint64_t& r) { seen.push_back(r); },
+      /*chunk=*/4096);
+  EXPECT_EQ(seen, data);
+  // 80000 bytes at 4096-per-chunk => 20 sequential ops.
+  EXPECT_EQ(stats.snapshot().seq_read_ops, 20u);
+}
+
+TEST(Buffered, StreamRecordsRejectsMisalignedRegion) {
+  ScratchDir dir("buf2");
+  IoStats stats;
+  TrackedFile f(dir / "r.bin", File::Mode::kReadWrite, &stats);
+  char zeros[16] = {};
+  f.write(zeros, 16, 0);
+  EXPECT_THROW(stream_records<std::uint64_t>(f, 0, 12, [](auto&) {}),
+               DataError);
+}
+
+TEST(Buffered, RecordWriterFlushes) {
+  ScratchDir dir("buf3");
+  IoStats stats;
+  {
+    TrackedFile f(dir / "w.bin", File::Mode::kReadWrite, &stats);
+    RecordWriter<std::uint32_t> w(f, /*chunk=*/64);
+    for (std::uint32_t i = 0; i < 100; ++i) w.push(i);
+    EXPECT_EQ(w.records_written(), 100u);
+  }
+  TrackedFile f(dir / "w.bin", File::Mode::kRead, &stats);
+  EXPECT_EQ(f.size(), 400u);
+  std::vector<std::uint32_t> back(100);
+  f.read_sequential(back.data(), 400, 0);
+  for (std::uint32_t i = 0; i < 100; ++i) EXPECT_EQ(back[i], i);
+}
+
+}  // namespace
+}  // namespace husg

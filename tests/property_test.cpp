@@ -1,0 +1,210 @@
+// Property-based invariants across modules, swept over seeds with
+// parameterized gtest. These complement the exact-value tests: they assert
+// relationships that must hold for *any* input.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "husg/husg.hpp"
+#include "io/tracked_file.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace husg {
+namespace {
+
+using testing::ScratchDir;
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// --- Reference-algorithm cross-properties -------------------------------------
+
+TEST_P(SeedSweep, BfsEqualsUnitWeightSssp) {
+  EdgeList g = gen::rmat(8, 6.0, GetParam());
+  auto levels = ref::bfs_levels(g, 1);
+  auto dists = ref::sssp_distances(g, 1);  // unweighted edges count as 1
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (levels[v] == ref::kUnreachedLevel) {
+      EXPECT_TRUE(std::isinf(dists[v]));
+    } else {
+      EXPECT_FLOAT_EQ(dists[v], static_cast<float>(levels[v]));
+    }
+  }
+}
+
+TEST_P(SeedSweep, BfsLevelsAreLipschitzAlongEdges) {
+  EdgeList g = gen::erdos_renyi(300, 1500, GetParam());
+  auto levels = ref::bfs_levels(g, 0);
+  for (const Edge& e : g.edges()) {
+    if (levels[e.src] != ref::kUnreachedLevel) {
+      ASSERT_NE(levels[e.dst], ref::kUnreachedLevel);
+      EXPECT_LE(levels[e.dst], levels[e.src] + 1);
+    }
+  }
+}
+
+TEST_P(SeedSweep, WccLabelsAreComponentMinima) {
+  EdgeList g = gen::erdos_renyi(200, 300, GetParam());
+  auto labels = ref::wcc_labels(g);
+  // The label is a member of its own component and is minimal.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(labels[v], v);
+    EXPECT_EQ(labels[labels[v]], labels[v]);
+  }
+  // Edge endpoints share a label.
+  for (const Edge& e : g.edges()) EXPECT_EQ(labels[e.src], labels[e.dst]);
+}
+
+// --- Engine decision invariants -------------------------------------------------
+
+TEST_P(SeedSweep, PerIntervalGranularityMatchesGlobalResults) {
+  EdgeList g = gen::rmat(8, 7.0, GetParam());
+  ScratchDir dir("prop_gran");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{4});
+  BfsProgram bfs{.source = 1};
+  RunResult<BfsProgram::Value> results[2];
+  for (int gi = 0; gi < 2; ++gi) {
+    EngineOptions o;
+    o.granularity = gi == 0 ? DecisionGranularity::kGlobal
+                            : DecisionGranularity::kPerInterval;
+    o.device = DeviceProfile::hdd7200().with_seek_scale(1e-3);
+    Engine e(store, o);
+    results[gi] =
+        e.run(bfs, Frontier::single(store.meta(), 1, store.out_degrees()));
+  }
+  EXPECT_EQ(results[0].values, results[1].values);
+}
+
+TEST_P(SeedSweep, IterationIoSumsToTotal) {
+  EdgeList g = gen::rmat(8, 6.0, GetParam());
+  ScratchDir dir("prop_io");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{4});
+  Engine engine(store, EngineOptions{});
+  WccProgram wcc;
+  auto r = engine.run(wcc, Frontier::all(store.meta(), store.out_degrees()));
+  IoSnapshot sum;
+  std::uint64_t edges = 0;
+  for (const auto& it : r.stats.iterations) {
+    sum += it.io;
+    edges += it.edges_processed;
+  }
+  EXPECT_EQ(sum.total_bytes(), r.stats.total_io.total_bytes());
+  EXPECT_EQ(sum.seq_read_ops, r.stats.total_io.seq_read_ops);
+  EXPECT_EQ(sum.rand_read_ops, r.stats.total_io.rand_read_ops);
+  EXPECT_EQ(edges, r.stats.edges_processed);
+}
+
+TEST_P(SeedSweep, FrontierCountsMatchChangedValues) {
+  EdgeList g = gen::rmat(8, 6.0, GetParam());
+  ScratchDir dir("prop_fr");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{4});
+  Engine engine(store, EngineOptions{});
+  BfsProgram bfs{.source = 0};
+  auto r = engine.run(
+      bfs, Frontier::single(store.meta(), 0, store.out_degrees()));
+  // Every vertex that ends reachable (other than the source) must have been
+  // counted in exactly one frontier.
+  std::uint64_t total_activations = 0;
+  for (const auto& it : r.stats.iterations) {
+    total_activations += it.active_vertices;
+  }
+  std::uint64_t reached = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    reached += r.values[v] != BfsProgram::kUnreached ? 1 : 0;
+  }
+  // BFS activates each reached vertex exactly once (+ the source's own
+  // initial activation). The final frontier may not have been processed if
+  // it had no out-edges.
+  EXPECT_GE(total_activations, reached - 1);
+  EXPECT_LE(total_activations, reached);
+}
+
+// --- Predictor monotonicity -----------------------------------------------------
+
+TEST_P(SeedSweep, PredictorCostsAreMonotone) {
+  SplitMix64 rng(GetParam());
+  IoCostPredictor pred(DeviceProfile::hdd7200(), PredictorFlavor::kPaper, 0);
+  PredictionInputs in;
+  in.num_vertices = 1'000'000;
+  in.num_edges = 10'000'000 + rng.next_below(10'000'000);
+  in.p = 4 + static_cast<std::uint32_t>(rng.next_below(12));
+  in.edge_bytes = 4;
+  in.value_bytes = 4;
+  in.column_edge_bytes = in.num_edges / in.p * 4;
+  in.active_vertices = 1000;
+  in.active_degree_sum = 10'000 + rng.next_below(100'000);
+
+  Prediction base = pred.predict(in);
+  // More active edges -> ROP strictly costlier, COP unchanged.
+  PredictionInputs denser = in;
+  denser.active_degree_sum *= 2;
+  Prediction d = pred.predict(denser);
+  EXPECT_GT(d.c_rop, base.c_rop);
+  EXPECT_DOUBLE_EQ(d.c_cop, base.c_cop);
+  // More edges overall -> COP costlier, ROP unchanged.
+  PredictionInputs bigger = in;
+  bigger.num_edges *= 2;
+  Prediction b = pred.predict(bigger);
+  EXPECT_GT(b.c_cop, base.c_cop);
+  EXPECT_DOUBLE_EQ(b.c_rop, base.c_rop);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- Concurrency ------------------------------------------------------------------
+
+TEST(TrackedFileConcurrency, ParallelReadsAccountExactly) {
+  ScratchDir dir("conc");
+  IoStats stats;
+  std::vector<std::uint32_t> data(100000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint32_t>(i);
+  }
+  {
+    TrackedFile w(dir / "f.bin", File::Mode::kWrite, &stats);
+    w.write(data.data(), data.size() * sizeof(std::uint32_t), 0);
+  }
+  TrackedFile f(dir / "f.bin", File::Mode::kRead, &stats);
+  constexpr int kThreads = 8;
+  constexpr int kReadsPerThread = 200;
+  std::vector<std::thread> threads;
+  std::atomic<int> errors{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      SplitMix64 rng(t + 1);
+      std::uint32_t buf[16];
+      for (int k = 0; k < kReadsPerThread; ++k) {
+        std::uint64_t idx = rng.next_below(data.size() - 16);
+        f.read_random(buf, sizeof(buf), idx * sizeof(std::uint32_t));
+        for (int j = 0; j < 16; ++j) {
+          if (buf[j] != idx + static_cast<std::uint32_t>(j)) ++errors;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  IoSnapshot s = stats.snapshot();
+  EXPECT_EQ(s.rand_read_ops, kThreads * kReadsPerThread);
+  EXPECT_EQ(s.rand_read_bytes,
+            static_cast<std::uint64_t>(kThreads) * kReadsPerThread * 64);
+}
+
+TEST(EngineConcurrency, ManyThreadsManyPartitions) {
+  EdgeList g = gen::rmat(10, 8.0, 61).symmetrized();
+  ScratchDir dir("conc2");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{16});
+  EngineOptions o;
+  o.threads = 8;
+  Engine engine(store, o);
+  WccProgram wcc;
+  auto r = engine.run(wcc, Frontier::all(store.meta(), store.out_degrees()));
+  auto want = ref::wcc_labels(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(r.values[v], want[v]);
+  }
+}
+
+}  // namespace
+}  // namespace husg

@@ -1,0 +1,58 @@
+// Shared helpers for the test suite: scratch directories and small graphs.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "graph/edge_list.hpp"
+#include "io/file.hpp"
+
+namespace husg::testing {
+
+/// RAII scratch directory under the system temp dir, removed on destruction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag) {
+    static std::atomic<int> counter{0};
+    dir_ = std::filesystem::temp_directory_path() /
+           ("husg_test_" + tag + "_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter.fetch_add(1)));
+    ensure_directory(dir_);
+  }
+  ~ScratchDir() { remove_tree(dir_); }
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+
+  const std::filesystem::path& path() const { return dir_; }
+  std::filesystem::path operator/(const std::string& sub) const {
+    return dir_ / sub;
+  }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+/// The paper's Figure 4 example graph: 10 vertices (here 0-indexed 0..9).
+/// Edges transcribed from the in-block illustration.
+inline EdgeList figure4_graph() {
+  // Paper vertices 1..10 -> 0..9.
+  std::vector<Edge> edges;
+  auto add = [&](int u, int v) {
+    edges.push_back(Edge{static_cast<VertexId>(u - 1),
+                         static_cast<VertexId>(v - 1)});
+  };
+  // in-block (1,1): 2,4->1; 4->2; 2,4->3; 1->4
+  add(2, 1); add(4, 1); add(4, 2); add(2, 3); add(4, 3); add(1, 4);
+  // in-block (2,1): 6->1; 6,9->2; 6,9,10->3; 6,7,10->5
+  add(6, 1); add(6, 2); add(9, 2); add(6, 3); add(9, 3); add(10, 3);
+  add(6, 5); add(7, 5); add(10, 5);
+  // in-block (1,2): 1,2->6; 1,5->7; 1,2->9; 5->10
+  add(1, 6); add(2, 6); add(1, 7); add(5, 7); add(1, 9); add(2, 9);
+  add(5, 10);
+  // in-block (2,2): 7,9->6; 9,10->7; 6,7,9->8
+  add(7, 6); add(9, 6); add(9, 7); add(10, 7); add(6, 8); add(7, 8);
+  add(9, 8);
+  return EdgeList(10, std::move(edges));
+}
+
+}  // namespace husg::testing

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "util/bitmap.hpp"
+#include "util/format.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+#include "util/threadpool.hpp"
+
+namespace husg {
+namespace {
+
+// --- Bitmap -------------------------------------------------------------------
+
+TEST(Bitmap, SetGetClear) {
+  Bitmap b(130);
+  EXPECT_EQ(b.count(), 0u);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.get(0));
+  EXPECT_TRUE(b.get(63));
+  EXPECT_TRUE(b.get(64));
+  EXPECT_TRUE(b.get(129));
+  EXPECT_FALSE(b.get(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.clear(63);
+  EXPECT_FALSE(b.get(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(Bitmap, SetAllMasksTail) {
+  Bitmap b(70);
+  b.set_all();
+  EXPECT_EQ(b.count(), 70u);
+}
+
+TEST(Bitmap, ForEachSetRange) {
+  Bitmap b(200);
+  std::set<std::size_t> expected = {3, 64, 65, 127, 128, 199};
+  for (auto i : expected) b.set(i);
+  std::set<std::size_t> seen;
+  b.for_each_set(0, 200, [&](std::size_t i) { seen.insert(i); });
+  EXPECT_EQ(seen, expected);
+
+  seen.clear();
+  b.for_each_set(64, 128, [&](std::size_t i) { seen.insert(i); });
+  EXPECT_EQ(seen, (std::set<std::size_t>{64, 65, 127}));
+  EXPECT_EQ(b.count_range(64, 128), 3u);
+}
+
+TEST(Bitmap, ForEachSetEmptyRange) {
+  Bitmap b(100);
+  b.set(50);
+  int calls = 0;
+  b.for_each_set(50, 50, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(AtomicBitmap, SetReturnsTransition) {
+  AtomicBitmap b(100);
+  EXPECT_TRUE(b.set(42));
+  EXPECT_FALSE(b.set(42));
+  EXPECT_TRUE(b.get(42));
+}
+
+TEST(AtomicBitmap, SnapshotInto) {
+  AtomicBitmap a(130);
+  a.set(0);
+  a.set(129);
+  Bitmap b(130);
+  a.snapshot_into(b);
+  EXPECT_TRUE(b.get(0));
+  EXPECT_TRUE(b.get(129));
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(AtomicBitmap, SnapshotSizeMismatchThrows) {
+  AtomicBitmap a(10);
+  Bitmap b(11);
+  EXPECT_THROW(a.snapshot_into(b), DataError);
+}
+
+// --- ThreadPool ----------------------------------------------------------------
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(1000, 7, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForReusableAcrossCalls) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(100, 3, [&](std::size_t i) { sum += i; });
+  }
+  EXPECT_EQ(sum.load(), 50ull * (99 * 100 / 2));
+}
+
+TEST(ThreadPool, ParallelRangesPartition) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1003);
+  pool.parallel_ranges(1003, [&](std::size_t lo, std::size_t hi, std::size_t) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(100, 1,
+                                 [&](std::size_t i) {
+                                   if (i == 57) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+  // Pool still usable afterwards.
+  std::atomic<int> n{0};
+  pool.parallel_for(10, 1, [&](std::size_t) { ++n; });
+  EXPECT_EQ(n.load(), 10);
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, 1, [](std::size_t) { FAIL(); });
+  pool.parallel_ranges(0, [](std::size_t, std::size_t, std::size_t) { FAIL(); });
+}
+
+// --- RNG -----------------------------------------------------------------------
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowBounds) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, FloatRange) {
+  SplitMix64 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    float f = rng.next_float(2.0f, 5.0f);
+    EXPECT_GE(f, 2.0f);
+    EXPECT_LT(f, 5.0f);
+  }
+}
+
+// --- Options ---------------------------------------------------------------------
+
+TEST(Options, ParseForms) {
+  // Note: a bare "--flag" consumes a following non-flag token as its value,
+  // so positionals must precede flag-form options.
+  const char* argv[] = {"prog",      "positional", "--alpha=0.07",
+                        "--threads", "8",          "--verbose"};
+  Options o = Options::parse(6, argv);
+  EXPECT_DOUBLE_EQ(o.get_double("alpha", 0), 0.07);
+  EXPECT_EQ(o.get_int("threads", 0), 8);
+  EXPECT_TRUE(o.get_bool("verbose", false));
+  EXPECT_FALSE(o.get_bool("quiet", false));
+  EXPECT_EQ(o.get("missing", "dflt"), "dflt");
+  ASSERT_EQ(o.positional().size(), 1u);
+  EXPECT_EQ(o.positional()[0], "positional");
+}
+
+// --- Format ----------------------------------------------------------------------
+
+TEST(Format, HumanBytes) {
+  EXPECT_EQ(human_bytes(17), "17 B");
+  EXPECT_EQ(human_bytes(1536), "1.50 KB");
+  EXPECT_EQ(human_bytes(3ull << 30), "3.00 GB");
+}
+
+TEST(Format, HumanSeconds) {
+  EXPECT_EQ(human_seconds(2.5), "2.50 s");
+  EXPECT_EQ(human_seconds(0.0125), "12.50 ms");
+  EXPECT_EQ(human_seconds(42e-6), "42.00 us");
+}
+
+TEST(Format, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace husg

@@ -1,0 +1,302 @@
+// husg_cli: command-line front end for the HUS-Graph library.
+//
+//   husg_cli generate --type rmat --scale 18 --degree 16 --out graph.bin
+//   husg_cli build    --graph graph.bin --store /data/store --partitions 16
+//   husg_cli info     --store /data/store
+//   husg_cli run      --store /data/store --algo bfs --source 0
+//                     [--mode hybrid|rop|cop] [--threads 8]
+//                     [--device hdd|ssd|nvme] [--seek-scale 1.0]
+//                     [--iters 5] [--alpha 0.05] [--sync jacobi|async]
+//                     [--out values.txt] [--trace]
+//
+// Text graphs ("src dst [w]" per line) and the compact binary format are
+// both accepted wherever a graph file is expected (picked by extension:
+// .txt/.el -> text, anything else -> binary).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "husg/husg.hpp"
+
+namespace husg {
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: husg_cli <generate|build|info|verify|run> [options]\n"
+      "  generate --type rmat|er|web|chain|grid --scale N [--degree D]\n"
+      "           [--seed S] [--weighted] --out FILE\n"
+      "  build    --graph FILE --store DIR [--partitions P]\n"
+      "           [--scheme vertices|degree] [--symmetrize] [--external]\n"
+      "           [--compress]\n"
+      "  info     --store DIR\n"
+      "  verify   --store DIR     (recompute and check file checksums)\n"
+      "  run      --store DIR --algo "
+      "bfs|wcc|sssp|pagerank|prdelta|spmv|kcore\n"
+      "           [--source V] [--mode hybrid|rop|cop] [--threads T]\n"
+      "           [--device hdd|ssd|nvme] [--seek-scale F] [--iters K]\n"
+      "           [--alpha A] [--sync jacobi|async] [--out FILE] [--trace]\n");
+  return 2;
+}
+
+EdgeList load_graph(const std::string& path) {
+  if (path.size() > 4 && (path.ends_with(".txt") || path.ends_with(".el"))) {
+    return load_text_edges(path);
+  }
+  return load_binary_edges(path);
+}
+
+void save_graph(const EdgeList& g, const std::string& path) {
+  if (path.ends_with(".txt") || path.ends_with(".el")) {
+    save_text_edges(g, path);
+  } else {
+    save_binary_edges(g, path);
+  }
+}
+
+int cmd_generate(const Options& opts) {
+  std::string type = opts.get("type", "rmat");
+  unsigned scale = static_cast<unsigned>(opts.get_int("scale", 16));
+  double degree = opts.get_double("degree", 16.0);
+  std::uint64_t seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  std::string out = opts.get("out", "");
+  if (out.empty()) return usage();
+
+  EdgeList g(1, {});
+  if (type == "rmat") {
+    g = gen::rmat(scale, degree, seed);
+  } else if (type == "er") {
+    VertexId n = VertexId{1} << scale;
+    g = gen::erdos_renyi(n, static_cast<EdgeId>(degree * n), seed);
+  } else if (type == "web") {
+    g = gen::webgraph(scale, degree, seed);
+  } else if (type == "chain") {
+    g = gen::chain(VertexId{1} << scale);
+  } else if (type == "grid") {
+    VertexId side = VertexId{1} << (scale / 2);
+    g = gen::grid2d(side, side);
+  } else {
+    std::fprintf(stderr, "unknown --type '%s'\n", type.c_str());
+    return 2;
+  }
+  if (opts.get_bool("weighted", false)) {
+    g = gen::with_random_weights(g, seed ^ 0xBEEF);
+  }
+  save_graph(g, out);
+  std::printf("wrote %s: %u vertices, %llu edges%s\n", out.c_str(),
+              g.num_vertices(), static_cast<unsigned long long>(g.num_edges()),
+              g.weighted() ? " (weighted)" : "");
+  return 0;
+}
+
+int cmd_build(const Options& opts) {
+  std::string graph = opts.get("graph", "");
+  std::string store_dir = opts.get("store", "");
+  if (graph.empty() || store_dir.empty()) return usage();
+  EdgeList g = load_graph(graph);
+  if (opts.get_bool("symmetrize", false)) g = g.symmetrized();
+  StoreOptions so;
+  so.num_partitions =
+      static_cast<std::uint32_t>(opts.get_int("partitions", 8));
+  so.scheme = opts.get("scheme", "vertices") == "degree"
+                  ? PartitionScheme::kEqualDegree
+                  : PartitionScheme::kEqualVertices;
+  if (opts.get_bool("external", false)) {
+    so.build_mode = BuildMode::kExternal;
+  }
+  so.compress_in_blocks = opts.get_bool("compress", false);
+  Timer timer;
+  DualBlockStore store = DualBlockStore::build(g, store_dir, so);
+  std::printf("built dual-block store at %s in %s\n", store_dir.c_str(),
+              human_seconds(timer.seconds()).c_str());
+  std::printf("  |V|=%llu |E|=%llu P=%u record=%uB\n",
+              static_cast<unsigned long long>(store.meta().num_vertices),
+              static_cast<unsigned long long>(store.meta().num_edges),
+              store.meta().p(), store.meta().edge_record_bytes());
+  return 0;
+}
+
+int cmd_verify(const Options& opts) {
+  std::string store_dir = opts.get("store", "");
+  if (store_dir.empty()) return usage();
+  DualBlockStore store = DualBlockStore::open(store_dir);
+  Timer timer;
+  store.verify();  // throws on mismatch -> error path in main()
+  std::printf("store %s verified OK (%llu edges, %s)\n", store_dir.c_str(),
+              static_cast<unsigned long long>(store.meta().num_edges),
+              human_seconds(timer.seconds()).c_str());
+  return 0;
+}
+
+int cmd_info(const Options& opts) {
+  std::string store_dir = opts.get("store", "");
+  if (store_dir.empty()) return usage();
+  DualBlockStore store = DualBlockStore::open(store_dir);
+  const StoreMeta& m = store.meta();
+  std::printf("dual-block store %s\n", store_dir.c_str());
+  std::printf("  vertices:   %llu\n",
+              static_cast<unsigned long long>(m.num_vertices));
+  std::printf("  edges:      %llu (%s)\n",
+              static_cast<unsigned long long>(m.num_edges),
+              m.weighted ? "weighted, 8B records" : "unweighted, 4B records");
+  std::printf("  partitions: %u (%zu edge blocks per side)\n", m.p(),
+              static_cast<std::size_t>(m.p()) * m.p());
+  for (std::uint32_t i = 0; i < m.p(); ++i) {
+    std::uint64_t row_edges = 0, col_edges = 0;
+    for (std::uint32_t j = 0; j < m.p(); ++j) {
+      row_edges += m.out_block(i, j).edge_count;
+      col_edges += m.in_block(j, i).edge_count;
+    }
+    std::printf("  interval %2u: [%u, %u)  out-edges %llu  in-edges %llu\n",
+                i, m.interval_begin(i), m.interval_end(i),
+                static_cast<unsigned long long>(row_edges),
+                static_cast<unsigned long long>(col_edges));
+  }
+  return 0;
+}
+
+DeviceProfile parse_device(const Options& opts) {
+  std::string name = opts.get("device", "ssd");
+  DeviceProfile dev = name == "hdd"    ? DeviceProfile::hdd7200()
+                      : name == "nvme" ? DeviceProfile::nvme_ssd()
+                                       : DeviceProfile::sata_ssd();
+  double scale = opts.get_double("seek-scale", 1.0);
+  if (scale != 1.0) dev = dev.with_seek_scale(scale);
+  return dev;
+}
+
+template <class V, class Fmt>
+void maybe_dump(const Options& opts, const std::vector<V>& values, Fmt&& fmt) {
+  std::string out = opts.get("out", "");
+  if (out.empty()) return;
+  std::ofstream f(out);
+  for (VertexId v = 0; v < values.size(); ++v) {
+    f << v << ' ' << fmt(values[v]) << '\n';
+  }
+  std::printf("wrote %zu values to %s\n", values.size(), out.c_str());
+}
+
+void print_trace(const RunStats& stats, bool trace) {
+  std::printf("%s\n", stats.summary().c_str());
+  if (!trace) return;
+  for (const auto& it : stats.iterations) {
+    std::printf("  iter %3d: active=%llu model=%s io=%s modeled=%s\n",
+                it.iteration,
+                static_cast<unsigned long long>(it.active_vertices),
+                it.any_rop() ? (it.any_cop() ? "mixed" : "ROP") : "COP",
+                human_bytes(it.io.total_bytes()).c_str(),
+                human_seconds(it.modeled_seconds()).c_str());
+  }
+}
+
+int cmd_run(const Options& opts) {
+  std::string store_dir = opts.get("store", "");
+  std::string algo = opts.get("algo", "");
+  if (store_dir.empty() || algo.empty()) return usage();
+  DualBlockStore store = DualBlockStore::open(store_dir);
+
+  EngineOptions eo;
+  std::string mode = opts.get("mode", "hybrid");
+  eo.mode = mode == "rop"   ? UpdateMode::kRop
+            : mode == "cop" ? UpdateMode::kCop
+                            : UpdateMode::kHybrid;
+  eo.sync = opts.get("sync", "jacobi") == "async" ? SyncMode::kPaperAsync
+                                                  : SyncMode::kJacobi;
+  eo.threads = static_cast<std::size_t>(opts.get_int("threads", 4));
+  eo.device = parse_device(opts);
+  eo.alpha = opts.get_double("alpha", 0.05);
+  int iters = static_cast<int>(opts.get_int("iters", 0));
+  bool trace = opts.get_bool("trace", false);
+  VertexId source = static_cast<VertexId>(opts.get_int("source", 0));
+
+  Engine engine(store, eo);
+  auto single = [&] {
+    return Frontier::single(store.meta(), source, store.out_degrees());
+  };
+  auto all = [&] {
+    return Frontier::all(store.meta(), store.out_degrees());
+  };
+
+  if (algo == "bfs") {
+    BfsProgram p{.source = source};
+    auto r = engine.run(p, single());
+    print_trace(r.stats, trace);
+    maybe_dump(opts, r.values, [](std::uint32_t v) { return v; });
+  } else if (algo == "wcc") {
+    WccProgram p;
+    auto r = engine.run(p, all());
+    print_trace(r.stats, trace);
+    maybe_dump(opts, r.values, [](VertexId v) { return v; });
+  } else if (algo == "sssp") {
+    SsspProgram p{.source = source};
+    auto r = engine.run(p, single());
+    print_trace(r.stats, trace);
+    maybe_dump(opts, r.values, [](float v) { return v; });
+  } else if (algo == "pagerank") {
+    Engine pr_engine(store, [&] {
+      EngineOptions o = eo;
+      o.max_iterations = iters > 0 ? iters : 5;
+      return o;
+    }());
+    PageRankProgram p;
+    auto r = pr_engine.run(p, all());
+    print_trace(r.stats, trace);
+    maybe_dump(opts, r.values, [](float v) { return v; });
+  } else if (algo == "prdelta") {
+    PageRankDeltaProgram p;
+    auto r = engine.run(p, all());
+    print_trace(r.stats, trace);
+    maybe_dump(opts, r.values,
+               [](const PageRankDeltaValue& v) { return v.rank; });
+  } else if (algo == "kcore") {
+    std::uint32_t k = static_cast<std::uint32_t>(opts.get_int("k", 3));
+    KCoreProgram p;
+    p.k = k;
+    auto r = engine.run(p, kcore_initial_frontier(store, k));
+    std::uint64_t survivors = 0;
+    for (const auto& val : r.values) survivors += val.removed == 0 ? 1 : 0;
+    print_trace(r.stats, trace);
+    std::printf("%u-core size: %llu of %llu vertices (run on a symmetrized "
+                "store for the undirected k-core)\n",
+                k, static_cast<unsigned long long>(survivors),
+                static_cast<unsigned long long>(store.meta().num_vertices));
+    maybe_dump(opts, r.values,
+               [](const KCoreValue& v) { return v.removed == 0 ? 1 : 0; });
+  } else if (algo == "spmv") {
+    Engine spmv_engine(store, [&] {
+      EngineOptions o = eo;
+      o.max_iterations = iters > 0 ? iters : 1;
+      return o;
+    }());
+    SpmvProgram p;
+    auto r = spmv_engine.run(p, all());
+    print_trace(r.stats, trace);
+    maybe_dump(opts, r.values, [](float v) { return v; });
+  } else {
+    std::fprintf(stderr, "unknown --algo '%s'\n", algo.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace husg
+
+int main(int argc, char** argv) {
+  using namespace husg;
+  if (argc < 2) return usage();
+  std::string cmd = argv[1];
+  Options opts = Options::parse(argc - 1, argv + 1);
+  try {
+    if (cmd == "generate") return cmd_generate(opts);
+    if (cmd == "build") return cmd_build(opts);
+    if (cmd == "info") return cmd_info(opts);
+    if (cmd == "verify") return cmd_verify(opts);
+    if (cmd == "run") return cmd_run(opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
