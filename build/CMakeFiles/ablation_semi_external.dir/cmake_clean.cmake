@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_semi_external.dir/bench/ablation_semi_external.cpp.o"
+  "CMakeFiles/ablation_semi_external.dir/bench/ablation_semi_external.cpp.o.d"
+  "bench/ablation_semi_external"
+  "bench/ablation_semi_external.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_semi_external.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_active_edges.dir/bench/fig01_active_edges.cpp.o"
+  "CMakeFiles/fig01_active_edges.dir/bench/fig01_active_edges.cpp.o.d"
+  "bench/fig01_active_edges"
+  "bench/fig01_active_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_active_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_hybrid_effect.dir/bench/fig07_hybrid_effect.cpp.o"
+  "CMakeFiles/fig07_hybrid_effect.dir/bench/fig07_hybrid_effect.cpp.o.d"
+  "bench/fig07_hybrid_effect"
+  "bench/fig07_hybrid_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_hybrid_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_prediction.dir/bench/fig08_prediction.cpp.o"
+  "CMakeFiles/fig08_prediction.dir/bench/fig08_prediction.cpp.o.d"
+  "bench/fig08_prediction"
+  "bench/fig08_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

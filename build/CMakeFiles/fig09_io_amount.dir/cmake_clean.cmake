@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_io_amount.dir/bench/fig09_io_amount.cpp.o"
+  "CMakeFiles/fig09_io_amount.dir/bench/fig09_io_amount.cpp.o.d"
+  "bench/fig09_io_amount"
+  "bench/fig09_io_amount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_io_amount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_threads.dir/bench/fig10_threads.cpp.o"
+  "CMakeFiles/fig10_threads.dir/bench/fig10_threads.cpp.o.d"
+  "bench/fig10_threads"
+  "bench/fig10_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_devices.dir/bench/fig11_devices.cpp.o"
+  "CMakeFiles/fig11_devices.dir/bench/fig11_devices.cpp.o.d"
+  "bench/fig11_devices"
+  "bench/fig11_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_exec_time.dir/bench/table3_exec_time.cpp.o"
+  "CMakeFiles/table3_exec_time.dir/bench/table3_exec_time.cpp.o.d"
+  "bench/table3_exec_time"
+  "bench/table3_exec_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_exec_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/flashgraph/flash_store.cpp" "src/CMakeFiles/husg.dir/baselines/flashgraph/flash_store.cpp.o" "gcc" "src/CMakeFiles/husg.dir/baselines/flashgraph/flash_store.cpp.o.d"
+  "/root/repo/src/baselines/graphchi/chi_store.cpp" "src/CMakeFiles/husg.dir/baselines/graphchi/chi_store.cpp.o" "gcc" "src/CMakeFiles/husg.dir/baselines/graphchi/chi_store.cpp.o.d"
+  "/root/repo/src/baselines/gridgraph/grid_store.cpp" "src/CMakeFiles/husg.dir/baselines/gridgraph/grid_store.cpp.o" "gcc" "src/CMakeFiles/husg.dir/baselines/gridgraph/grid_store.cpp.o.d"
+  "/root/repo/src/baselines/xstream/xstream_store.cpp" "src/CMakeFiles/husg.dir/baselines/xstream/xstream_store.cpp.o" "gcc" "src/CMakeFiles/husg.dir/baselines/xstream/xstream_store.cpp.o.d"
+  "/root/repo/src/bench_support/datasets.cpp" "src/CMakeFiles/husg.dir/bench_support/datasets.cpp.o" "gcc" "src/CMakeFiles/husg.dir/bench_support/datasets.cpp.o.d"
+  "/root/repo/src/bench_support/harness.cpp" "src/CMakeFiles/husg.dir/bench_support/harness.cpp.o" "gcc" "src/CMakeFiles/husg.dir/bench_support/harness.cpp.o.d"
+  "/root/repo/src/bench_support/report.cpp" "src/CMakeFiles/husg.dir/bench_support/report.cpp.o" "gcc" "src/CMakeFiles/husg.dir/bench_support/report.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/CMakeFiles/husg.dir/core/engine.cpp.o" "gcc" "src/CMakeFiles/husg.dir/core/engine.cpp.o.d"
+  "/root/repo/src/core/frontier.cpp" "src/CMakeFiles/husg.dir/core/frontier.cpp.o" "gcc" "src/CMakeFiles/husg.dir/core/frontier.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/CMakeFiles/husg.dir/core/predictor.cpp.o" "gcc" "src/CMakeFiles/husg.dir/core/predictor.cpp.o.d"
+  "/root/repo/src/core/run_stats.cpp" "src/CMakeFiles/husg.dir/core/run_stats.cpp.o" "gcc" "src/CMakeFiles/husg.dir/core/run_stats.cpp.o.d"
+  "/root/repo/src/graph/edge_list.cpp" "src/CMakeFiles/husg.dir/graph/edge_list.cpp.o" "gcc" "src/CMakeFiles/husg.dir/graph/edge_list.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/husg.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/husg.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph_io.cpp" "src/CMakeFiles/husg.dir/graph/graph_io.cpp.o" "gcc" "src/CMakeFiles/husg.dir/graph/graph_io.cpp.o.d"
+  "/root/repo/src/graph/reference.cpp" "src/CMakeFiles/husg.dir/graph/reference.cpp.o" "gcc" "src/CMakeFiles/husg.dir/graph/reference.cpp.o.d"
+  "/root/repo/src/io/device.cpp" "src/CMakeFiles/husg.dir/io/device.cpp.o" "gcc" "src/CMakeFiles/husg.dir/io/device.cpp.o.d"
+  "/root/repo/src/io/file.cpp" "src/CMakeFiles/husg.dir/io/file.cpp.o" "gcc" "src/CMakeFiles/husg.dir/io/file.cpp.o.d"
+  "/root/repo/src/io/io_stats.cpp" "src/CMakeFiles/husg.dir/io/io_stats.cpp.o" "gcc" "src/CMakeFiles/husg.dir/io/io_stats.cpp.o.d"
+  "/root/repo/src/storage/layout.cpp" "src/CMakeFiles/husg.dir/storage/layout.cpp.o" "gcc" "src/CMakeFiles/husg.dir/storage/layout.cpp.o.d"
+  "/root/repo/src/storage/store.cpp" "src/CMakeFiles/husg.dir/storage/store.cpp.o" "gcc" "src/CMakeFiles/husg.dir/storage/store.cpp.o.d"
+  "/root/repo/src/util/bitmap.cpp" "src/CMakeFiles/husg.dir/util/bitmap.cpp.o" "gcc" "src/CMakeFiles/husg.dir/util/bitmap.cpp.o.d"
+  "/root/repo/src/util/common.cpp" "src/CMakeFiles/husg.dir/util/common.cpp.o" "gcc" "src/CMakeFiles/husg.dir/util/common.cpp.o.d"
+  "/root/repo/src/util/format.cpp" "src/CMakeFiles/husg.dir/util/format.cpp.o" "gcc" "src/CMakeFiles/husg.dir/util/format.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/husg.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/husg.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/options.cpp" "src/CMakeFiles/husg.dir/util/options.cpp.o" "gcc" "src/CMakeFiles/husg.dir/util/options.cpp.o.d"
+  "/root/repo/src/util/threadpool.cpp" "src/CMakeFiles/husg.dir/util/threadpool.cpp.o" "gcc" "src/CMakeFiles/husg.dir/util/threadpool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

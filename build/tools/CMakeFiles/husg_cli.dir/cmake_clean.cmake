@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/husg_cli.dir/husg_cli.cpp.o"
+  "CMakeFiles/husg_cli.dir/husg_cli.cpp.o.d"
+  "husg_cli"
+  "husg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/husg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
