@@ -32,6 +32,7 @@ husg_bench(fig11_devices)
 husg_bench(ablation_predictor)
 husg_bench(ablation_partitioning)
 husg_bench(ablation_semi_external)
+husg_bench(ablation_cache)
 
 husg_microbench(micro_storage)
 husg_microbench(micro_engine)

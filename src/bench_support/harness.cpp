@@ -89,6 +89,10 @@ RunOutcome run_hus(Dataset& ds, const RunConfig& cfg) {
   opts.threads = cfg.threads;
   opts.device = cfg.device;
   opts.alpha = cfg.alpha;
+  opts.cache_budget_bytes = cfg.cache_budget_bytes;
+  opts.cache_max_block_fraction = cfg.cache_max_block_fraction;
+  opts.cache_fill_rop = cfg.cache_fill_rop;
+  opts.file_backed_values = cfg.file_backed_values;
   if (cfg.algo == AlgoKind::kPageRank) {
     opts.max_iterations = cfg.pagerank_iterations;
   }

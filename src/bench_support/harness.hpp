@@ -53,6 +53,13 @@ struct RunConfig {
   PredictorFlavor predictor = PredictorFlavor::kDeviceExact;
   DecisionGranularity granularity = DecisionGranularity::kGlobal;
   double alpha = 0.05;
+  /// Block-cache budget (0 disables the cache; HUS engines only).
+  std::uint64_t cache_budget_bytes = 0;
+  double cache_max_block_fraction = 0.25;
+  bool cache_fill_rop = true;
+  /// false = semi-external vertex values (HUS engines only); the cache
+  /// ablation uses this to isolate edge-block traffic.
+  bool file_backed_values = true;
 };
 
 struct RunOutcome {

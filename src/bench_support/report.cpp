@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 namespace husg::bench {
 
@@ -62,6 +64,50 @@ std::string fmt_ratio(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.1fx", v);
   return buf;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void JsonReport::add_run(const std::string& label, const RunStats& stats) {
+  std::ostringstream os;
+  os << "    {\"label\": \"" << json_escape(label) << "\","
+     << " \"iterations\": " << stats.iterations_run() << ","
+     << " \"modeled_seconds\": " << stats.modeled_seconds() << ","
+     << " \"wall_seconds\": " << stats.wall_seconds << ","
+     << " \"io_total_bytes\": " << stats.total_io.total_bytes() << ","
+     << " \"io_seq_read_bytes\": " << stats.total_io.seq_read_bytes << ","
+     << " \"io_rand_read_bytes\": " << stats.total_io.rand_read_bytes << ","
+     << " \"io_rand_read_ops\": " << stats.total_io.rand_read_ops << ","
+     << " \"cache_hits\": " << stats.cache.hits << ","
+     << " \"cache_misses\": " << stats.cache.misses << ","
+     << " \"cache_hit_rate\": " << stats.cache.hit_rate() << ","
+     << " \"cache_bytes_saved\": " << stats.cache.bytes_saved << ","
+     << " \"cache_evictions\": " << stats.cache.evictions << "}";
+  entries_.push_back(os.str());
+}
+
+std::string JsonReport::write(const std::string& dir) const {
+  std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream f(path);
+  f << "{\n  \"bench\": \"" << json_escape(name_) << "\",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    f << entries_[i] << (i + 1 < entries_.size() ? ",\n" : "\n");
+  }
+  f << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+  return path;
 }
 
 }  // namespace husg::bench

@@ -1,8 +1,12 @@
-// Paper-style fixed-width table and series printers for the bench binaries.
+// Paper-style fixed-width table and series printers for the bench binaries,
+// plus a machine-readable JSON run log (BENCH_<name>.json) so successive
+// checkouts can be compared as a trajectory.
 #pragma once
 
 #include <string>
 #include <vector>
+
+#include "core/run_stats.hpp"
 
 namespace husg::bench {
 
@@ -31,5 +35,24 @@ void print_series(const std::string& name, const std::vector<double>& ys,
 /// Formats helpers.
 std::string fmt(double v, int precision = 2);
 std::string fmt_ratio(double v);
+
+/// Machine-readable run log. Each add_run records the uniform measurement
+/// schema — iterations, modeled/wall seconds, I/O byte counts, and the
+/// block-cache counters (hit rate, bytes saved) when the run used a cache.
+/// write() emits `BENCH_<name>.json` so trajectories of the same bench
+/// across checkouts can be diffed/plotted without parsing table output.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : name_(std::move(bench_name)) {}
+
+  void add_run(const std::string& label, const RunStats& stats);
+  /// Writes BENCH_<name>.json into `dir`; returns the path written.
+  std::string write(const std::string& dir = ".") const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> entries_;  ///< pre-serialized JSON objects
+};
 
 }  // namespace husg::bench

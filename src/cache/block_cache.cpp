@@ -1,0 +1,140 @@
+#include "cache/block_cache.hpp"
+
+#include <algorithm>
+
+#include "util/common.hpp"
+
+namespace husg {
+
+const char* to_string(BlockKind kind) {
+  switch (kind) {
+    case BlockKind::kOutAdj:
+      return "out.adj";
+    case BlockKind::kOutIdx:
+      return "out.idx";
+    case BlockKind::kInAdj:
+      return "in.adj";
+    case BlockKind::kInIdx:
+      return "in.idx";
+  }
+  return "?";
+}
+
+BlockCache::BlockCache(Options options) : opts_(options) {
+  HUSG_CHECK(opts_.max_block_fraction > 0,
+             "cache max_block_fraction must be positive");
+  double cap = std::min(opts_.max_block_fraction, 1.0) *
+               static_cast<double>(opts_.budget_bytes);
+  max_payload_bytes_ = static_cast<std::uint64_t>(cap);
+}
+
+BlockCache::PinnedBytes BlockCache::find(const BlockKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  Entry& e = ring_[it->second];
+  e.referenced = true;
+  ++stats_.hits;
+  return e.payload;
+}
+
+BlockCache::PinnedBytes BlockCache::insert(const BlockKey& key,
+                                           std::vector<char> payload,
+                                           std::uint64_t disk_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Another worker inserted the same block between our miss and now; keep
+    // the resident copy (payloads for one key are identical by construction).
+    Entry& e = ring_[it->second];
+    e.referenced = true;
+    return e.payload;
+  }
+  const std::uint64_t size = payload.size();
+  if (size > max_payload_bytes_ || !make_room(size)) {
+    ++stats_.admission_rejects;
+    return nullptr;
+  }
+  Entry e;
+  e.key = key;
+  e.payload = std::make_shared<const std::vector<char>>(std::move(payload));
+  e.disk_bytes = disk_bytes;
+  index_[key] = ring_.size();
+  ring_.push_back(e);
+  resident_bytes_ += size;
+  ++stats_.insertions;
+  stats_.bytes_inserted += size;
+  return e.payload;
+}
+
+bool BlockCache::make_room(std::uint64_t needed) {
+  if (needed > opts_.budget_bytes) return false;
+  // CLOCK sweep: referenced entries get a second chance, pinned entries
+  // (use_count > 1: some worker holds a handle) are skipped outright. Two
+  // full revolutions without an eviction means everything left is pinned.
+  std::size_t examined_since_evict = 0;
+  while (resident_bytes_ + needed > opts_.budget_bytes) {
+    if (ring_.empty() || examined_since_evict > 2 * ring_.size()) return false;
+    Entry& e = ring_[hand_];
+    const bool pinned = e.payload.use_count() > 1;
+    if (!pinned && !e.referenced) {
+      const std::uint64_t size = e.payload->size();
+      index_.erase(e.key);
+      if (hand_ != ring_.size() - 1) {
+        ring_[hand_] = std::move(ring_.back());
+        index_[ring_[hand_].key] = hand_;
+      }
+      ring_.pop_back();
+      if (hand_ >= ring_.size()) hand_ = 0;
+      resident_bytes_ -= size;
+      ++stats_.evictions;
+      stats_.bytes_evicted += size;
+      examined_since_evict = 0;
+      continue;
+    }
+    if (!pinned) e.referenced = false;
+    hand_ = (hand_ + 1) % ring_.size();
+    ++examined_since_evict;
+  }
+  return true;
+}
+
+bool BlockCache::contains(const BlockKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.contains(key);
+}
+
+std::uint64_t BlockCache::resident_disk_bytes(const BlockKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  return it == index_.end() ? 0 : ring_[it->second].disk_bytes;
+}
+
+void BlockCache::add_bytes_saved(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.bytes_saved += bytes;
+}
+
+CacheStats BlockCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats out = stats_;
+  out.resident_bytes = resident_bytes_;
+  out.resident_blocks = ring_.size();
+  return out;
+}
+
+std::uint64_t BlockCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+bool BlockCache::is_pinned(const BlockKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  return it != index_.end() && ring_[it->second].payload.use_count() > 1;
+}
+
+}  // namespace husg

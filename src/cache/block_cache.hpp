@@ -1,0 +1,136 @@
+// Memory-budgeted block cache (buffer manager) for the dual-block store.
+//
+// The engine re-reads every out-/in-block from disk on every iteration even
+// when the machine has spare RAM for the hot working set (GraphMP-style
+// semi-external caching is the single biggest lever for iterative
+// algorithms). BlockCache sits between the engine and the store and keeps
+// decoded block payloads — adjacency bytes and CSR indices — under a
+// byte-accurate budget:
+//
+//  * keyed by (BlockKind, row, col), one entry per on-disk block;
+//  * CLOCK (second-chance) eviction with per-entry reference bits;
+//  * pinning: find()/insert() return shared-ownership handles; an entry is
+//    pinned exactly while a handle to it is alive, and the evictor never
+//    reclaims a pinned entry (pool workers process blocks in parallel, so a
+//    block being scanned by one worker must survive another worker's
+//    insert-triggered eviction sweep);
+//  * admission policy: a payload larger than max_block_fraction * budget is
+//    never cached (one huge block must not wipe the whole working set), and
+//    an insert that cannot free enough unpinned bytes is rejected rather
+//    than blocked.
+//
+// With a zero budget the engine bypasses the cache entirely, so per-iteration
+// I/O is bit-identical to the uncached engine (verified by cache_test).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_stats.hpp"
+
+namespace husg {
+
+/// Which of the store's four block-granular shard files an entry caches.
+enum class BlockKind : std::uint8_t { kOutAdj, kOutIdx, kInAdj, kInIdx };
+
+const char* to_string(BlockKind kind);
+
+struct BlockKey {
+  BlockKind kind = BlockKind::kOutAdj;
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+
+  bool operator==(const BlockKey&) const = default;
+};
+
+struct BlockKeyHash {
+  std::size_t operator()(const BlockKey& k) const {
+    std::uint64_t packed = (static_cast<std::uint64_t>(k.kind) << 60) ^
+                           (static_cast<std::uint64_t>(k.row) << 30) ^
+                           static_cast<std::uint64_t>(k.col);
+    // splitmix64 finalizer.
+    packed ^= packed >> 30;
+    packed *= 0xbf58476d1ce4e5b9ULL;
+    packed ^= packed >> 27;
+    packed *= 0x94d049bb133111ebULL;
+    packed ^= packed >> 31;
+    return static_cast<std::size_t>(packed);
+  }
+};
+
+class BlockCache {
+ public:
+  struct Options {
+    std::uint64_t budget_bytes = 0;
+    /// Admission: never cache a payload larger than this fraction of the
+    /// budget.
+    double max_block_fraction = 0.25;
+  };
+
+  /// Shared-ownership view of a cached payload. Holding one pins the entry:
+  /// the evictor skips it and the bytes stay valid until the handle dies.
+  using PinnedBytes = std::shared_ptr<const std::vector<char>>;
+
+  explicit BlockCache(Options options);
+
+  /// Lookup; counts a hit or miss. A hit marks the CLOCK reference bit and
+  /// returns a pinned handle; a miss returns nullptr.
+  PinnedBytes find(const BlockKey& key);
+
+  /// Inserts a payload (the caller just read/decoded it from disk), evicting
+  /// unpinned entries CLOCK-wise until it fits. `disk_bytes` is what a future
+  /// hit saves in disk reads (== payload size except for compressed blocks).
+  /// Returns a pinned handle to the resident entry — the existing one if the
+  /// key was concurrently inserted by another worker — or nullptr if the
+  /// admission policy rejected the payload.
+  PinnedBytes insert(const BlockKey& key, std::vector<char> payload,
+                     std::uint64_t disk_bytes);
+
+  /// Read-only peek (no stats, no reference bit): is the block resident?
+  /// Used by the cache-aware predictor to cost the uncached residual.
+  bool contains(const BlockKey& key) const;
+
+  /// Disk bytes a hit on this key would save, or 0 if not resident.
+  std::uint64_t resident_disk_bytes(const BlockKey& key) const;
+
+  /// Charge disk bytes avoided by a hit (the reader knows how much of the
+  /// payload a request actually covered, e.g. one ROP point-load range).
+  void add_bytes_saved(std::uint64_t bytes);
+
+  CacheStats stats() const;
+  std::uint64_t resident_bytes() const;
+  std::uint64_t budget_bytes() const { return opts_.budget_bytes; }
+  std::uint64_t max_admissible_bytes() const { return max_payload_bytes_; }
+
+  /// True while some handle to the key's entry is held outside the cache.
+  /// Test hook for the pinning contract.
+  bool is_pinned(const BlockKey& key) const;
+
+ private:
+  struct Entry {
+    BlockKey key;
+    std::shared_ptr<const std::vector<char>> payload;
+    std::uint64_t disk_bytes = 0;
+    bool referenced = true;  ///< CLOCK second-chance bit
+  };
+
+  /// Evicts unpinned entries until `needed` bytes fit under the budget.
+  /// Returns false if a full sweep frees too little (everything pinned).
+  /// Caller holds mu_.
+  bool make_room(std::uint64_t needed);
+
+  Options opts_;
+  std::uint64_t max_payload_bytes_ = 0;
+
+  mutable std::mutex mu_;
+  std::unordered_map<BlockKey, std::size_t, BlockKeyHash> index_;
+  std::vector<Entry> ring_;  ///< CLOCK ring; erase is swap-with-back
+  std::size_t hand_ = 0;
+  std::uint64_t resident_bytes_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace husg

@@ -1,0 +1,47 @@
+#include "cache/cache_stats.hpp"
+
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace husg {
+
+CacheStats CacheStats::operator-(const CacheStats& rhs) const {
+  CacheStats out = *this;
+  out.hits -= rhs.hits;
+  out.misses -= rhs.misses;
+  out.insertions -= rhs.insertions;
+  out.evictions -= rhs.evictions;
+  out.admission_rejects -= rhs.admission_rejects;
+  out.bytes_saved -= rhs.bytes_saved;
+  out.bytes_inserted -= rhs.bytes_inserted;
+  out.bytes_evicted -= rhs.bytes_evicted;
+  // resident_* are gauges: keep the current (minuend) values.
+  return out;
+}
+
+CacheStats& CacheStats::operator+=(const CacheStats& rhs) {
+  hits += rhs.hits;
+  misses += rhs.misses;
+  insertions += rhs.insertions;
+  evictions += rhs.evictions;
+  admission_rejects += rhs.admission_rejects;
+  bytes_saved += rhs.bytes_saved;
+  bytes_inserted += rhs.bytes_inserted;
+  bytes_evicted += rhs.bytes_evicted;
+  resident_bytes = rhs.resident_bytes;
+  resident_blocks = rhs.resident_blocks;
+  return *this;
+}
+
+std::string CacheStats::to_string() const {
+  std::ostringstream os;
+  os << hits << " hits / " << misses << " misses ("
+     << static_cast<int>(hit_rate() * 100.0) << "%), saved "
+     << human_bytes(bytes_saved) << ", resident "
+     << human_bytes(resident_bytes) << " in " << resident_blocks
+     << " blocks, " << evictions << " evictions";
+  return os.str();
+}
+
+}  // namespace husg

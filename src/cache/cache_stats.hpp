@@ -1,0 +1,46 @@
+// Counters for the memory-budgeted block cache. Hits are bytes the engine
+// did NOT read from disk, so they are deliberately kept out of IoStats (which
+// stays pure measured traffic); RunStats carries a CacheStats alongside every
+// IoSnapshot so reports can show both sides of the ledger.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace husg {
+
+/// Point-in-time snapshot of block-cache counters (plain values; copyable).
+/// The monotone counters support per-iteration deltas via operator-; the
+/// resident_* fields are gauges and keep the minuend's (current) value.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  /// Inserts refused by the admission policy (block larger than the
+  /// configured fraction of the budget, or nothing evictable).
+  std::uint64_t admission_rejects = 0;
+  /// Disk bytes avoided by serving from the cache (what the miss path would
+  /// have read; for compressed in-blocks this is the on-disk size, not the
+  /// decompressed payload size).
+  std::uint64_t bytes_saved = 0;
+  std::uint64_t bytes_inserted = 0;
+  std::uint64_t bytes_evicted = 0;
+  /// Gauges at snapshot time.
+  std::uint64_t resident_bytes = 0;
+  std::uint64_t resident_blocks = 0;
+
+  std::uint64_t lookups() const { return hits + misses; }
+  double hit_rate() const {
+    return lookups() == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(lookups());
+  }
+
+  CacheStats operator-(const CacheStats& rhs) const;
+  CacheStats& operator+=(const CacheStats& rhs);
+
+  std::string to_string() const;
+};
+
+}  // namespace husg

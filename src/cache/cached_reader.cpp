@@ -1,0 +1,154 @@
+#include "cache/cached_reader.hpp"
+
+#include <cstring>
+
+namespace husg {
+
+std::vector<char> CachedBlockReader::to_payload(const std::uint32_t* data,
+                                                std::size_t count) {
+  std::vector<char> bytes(count * sizeof(std::uint32_t));
+  std::memcpy(bytes.data(), data, bytes.size());
+  return bytes;
+}
+
+AdjacencySlice CachedBlockReader::decode_payload(
+    const BlockCache::PinnedBytes& payload, std::size_t first,
+    std::size_t count, bool weighted, AdjacencyBuffer& buf) const {
+  if (!weighted) {
+    // Payload is a bare uint32 id array (decompressed at insert time for
+    // varint in-blocks); serve a zero-copy view, pinned via buf.guard.
+    const auto* ids = reinterpret_cast<const VertexId*>(payload->data());
+    buf.guard = payload;
+    return AdjacencySlice{std::span<const VertexId>(ids + first, count), {}};
+  }
+  const auto* recs = reinterpret_cast<const WeightedRecord*>(payload->data());
+  buf.ids.resize(count);
+  buf.ws.resize(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    buf.ids[k] = recs[first + k].vid;
+    buf.ws[k] = recs[first + k].weight;
+  }
+  buf.guard.reset();
+  return AdjacencySlice{std::span<const VertexId>(buf.ids),
+                        std::span<const Weight>(buf.ws)};
+}
+
+void CachedBlockReader::load_out_index(std::uint32_t i, std::uint32_t j,
+                                       std::vector<std::uint32_t>& out) const {
+  if (cache_ == nullptr) {
+    store_->load_out_index(i, j, out);
+    return;
+  }
+  BlockKey key{BlockKind::kOutIdx, i, j};
+  if (BlockCache::PinnedBytes hit = cache_->find(key)) {
+    out.resize(hit->size() / sizeof(std::uint32_t));
+    std::memcpy(out.data(), hit->data(), hit->size());
+    cache_->add_bytes_saved(hit->size());
+    return;
+  }
+  store_->load_out_index(i, j, out);
+  cache_->insert(key, to_payload(out.data(), out.size()),
+                 out.size() * sizeof(std::uint32_t));
+}
+
+void CachedBlockReader::load_in_index(std::uint32_t i, std::uint32_t j,
+                                      std::vector<std::uint32_t>& out) const {
+  if (cache_ == nullptr) {
+    store_->load_in_index(i, j, out);
+    return;
+  }
+  BlockKey key{BlockKind::kInIdx, i, j};
+  if (BlockCache::PinnedBytes hit = cache_->find(key)) {
+    out.resize(hit->size() / sizeof(std::uint32_t));
+    std::memcpy(out.data(), hit->data(), hit->size());
+    cache_->add_bytes_saved(hit->size());
+    return;
+  }
+  store_->load_in_index(i, j, out);
+  cache_->insert(key, to_payload(out.data(), out.size()),
+                 out.size() * sizeof(std::uint32_t));
+}
+
+AdjacencySlice CachedBlockReader::load_out_edges(std::uint32_t i,
+                                                 std::uint32_t j,
+                                                 std::uint32_t lo,
+                                                 std::uint32_t hi,
+                                                 AdjacencyBuffer& buf) const {
+  if (cache_ == nullptr) return store_->load_out_edges(i, j, lo, hi, buf);
+  const StoreMeta& meta = store_->meta();
+  const bool weighted = meta.weighted;
+  const std::uint32_t rec = meta.edge_record_bytes();
+  BlockKey key{BlockKind::kOutAdj, i, j};
+  if (BlockCache::PinnedBytes hit = cache_->find(key)) {
+    cache_->add_bytes_saved(static_cast<std::uint64_t>(hi - lo) * rec);
+    return decode_payload(hit, lo, hi - lo, weighted, buf);
+  }
+  const BlockExtent& block = meta.out_block(i, j);
+  if (fill_rop_ && block.adj_bytes <= cache_->max_admissible_bytes()) {
+    // Fill: one whole-block read replaces this and all future point loads.
+    buf.guard.reset();
+    store_->load_out_edges(i, j, 0,
+                           static_cast<std::uint32_t>(block.edge_count), buf);
+    std::vector<char> payload(buf.raw.begin(), buf.raw.end());
+    if (BlockCache::PinnedBytes pinned =
+            cache_->insert(key, std::move(payload), block.adj_bytes)) {
+      return decode_payload(pinned, lo, hi - lo, weighted, buf);
+    }
+    // Admission raced or was rejected; serve from the just-read bytes.
+    return decode_payload(
+        std::make_shared<const std::vector<char>>(buf.raw.begin(),
+                                                  buf.raw.end()),
+        lo, hi - lo, weighted, buf);
+  }
+  buf.guard.reset();
+  return store_->load_out_edges(i, j, lo, hi, buf);
+}
+
+AdjacencySlice CachedBlockReader::stream_in_block(
+    std::uint32_t i, std::uint32_t j, AdjacencyBuffer& buf,
+    const std::vector<std::uint32_t>* run_index) const {
+  if (cache_ == nullptr) return store_->stream_in_block(i, j, buf, run_index);
+  const StoreMeta& meta = store_->meta();
+  const BlockExtent& block = meta.in_block(i, j);
+  BlockKey key{BlockKind::kInAdj, i, j};
+  if (BlockCache::PinnedBytes hit = cache_->find(key)) {
+    // Payloads are stored decompressed, so a hit on a varint block saves its
+    // (smaller) on-disk size while serving fixed-width records.
+    cache_->add_bytes_saved(block.adj_bytes);
+    return decode_payload(hit, 0, block.edge_count, meta.weighted, buf);
+  }
+  buf.guard.reset();
+  AdjacencySlice slice = store_->stream_in_block(i, j, buf, run_index);
+  std::vector<char> payload =
+      meta.in_blocks_compressed
+          ? to_payload(slice.neighbors.data(), slice.neighbors.size())
+          : std::vector<char>(buf.raw.begin(), buf.raw.end());
+  cache_->insert(key, std::move(payload), block.adj_bytes);
+  return slice;
+}
+
+std::uint64_t CachedBlockReader::cached_row_bytes(std::uint32_t i) const {
+  if (cache_ == nullptr) return 0;
+  const StoreMeta& meta = store_->meta();
+  std::uint64_t bytes = 0;
+  for (std::uint32_t j = 0; j < meta.p(); ++j) {
+    if (cache_->contains(BlockKey{BlockKind::kOutAdj, i, j})) {
+      bytes += meta.out_block(i, j).adj_bytes;
+    }
+  }
+  return bytes;
+}
+
+std::uint64_t CachedBlockReader::cached_column_bytes(std::uint32_t i) const {
+  if (cache_ == nullptr) return 0;
+  const StoreMeta& meta = store_->meta();
+  std::uint64_t bytes = 0;
+  for (std::uint32_t j = 0; j < meta.p(); ++j) {
+    if (cache_->contains(BlockKey{BlockKind::kInAdj, j, i})) {
+      bytes += meta.in_block(j, i).adj_bytes;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace husg

@@ -1,0 +1,72 @@
+// CachedBlockReader: the engine's view of the dual-block store through the
+// block cache. Mirrors the store's four access methods; every consult goes
+// cache-first, misses fall through to the store (charged to IoStats exactly
+// as before) and are admitted into the cache. With no cache attached every
+// method is a direct passthrough, so a zero-budget engine performs
+// bit-identical I/O to the uncached one.
+//
+// ROP fill policy: a point-load miss on an admissible out-block reads the
+// WHOLE block once (one positioning + one transfer) and caches it, so every
+// later point load of the row — this iteration's remaining active vertices
+// and all future iterations — is served from memory. This front-loads some
+// transfer bytes to kill the per-vertex seeks that dominate ROP on spinning
+// media; `fill_rop` off restores the paper's per-vertex loads with caching
+// only on the COP/streaming side.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/block_cache.hpp"
+#include "storage/store.hpp"
+
+namespace husg {
+
+class CachedBlockReader {
+ public:
+  CachedBlockReader(const DualBlockStore& store, BlockCache* cache,
+                    bool fill_rop)
+      : store_(&store), cache_(cache), fill_rop_(fill_rop) {}
+
+  const DualBlockStore& store() const { return *store_; }
+  BlockCache* cache() const { return cache_; }
+  bool enabled() const { return cache_ != nullptr; }
+
+  void load_out_index(std::uint32_t i, std::uint32_t j,
+                      std::vector<std::uint32_t>& out) const;
+
+  AdjacencySlice load_out_edges(std::uint32_t i, std::uint32_t j,
+                                std::uint32_t lo, std::uint32_t hi,
+                                AdjacencyBuffer& buf) const;
+
+  void load_in_index(std::uint32_t i, std::uint32_t j,
+                     std::vector<std::uint32_t>& out) const;
+
+  AdjacencySlice stream_in_block(
+      std::uint32_t i, std::uint32_t j, AdjacencyBuffer& buf,
+      const std::vector<std::uint32_t>* run_index = nullptr) const;
+
+  /// Resident out-adjacency bytes of row i / in-adjacency bytes of column i
+  /// (on-disk sizes). The cache-aware predictor costs the uncached residual.
+  std::uint64_t cached_row_bytes(std::uint32_t i) const;
+  std::uint64_t cached_column_bytes(std::uint32_t i) const;
+
+ private:
+  /// Copies a uint32 array into a cache payload byte vector.
+  static std::vector<char> to_payload(const std::uint32_t* data,
+                                      std::size_t count);
+
+  /// Decodes `count` fixed-width records starting at record `first` of a
+  /// cached block payload. Unweighted payloads are served zero-copy: the
+  /// returned spans point into the cache entry and `buf.guard` keeps it
+  /// pinned until the caller's next decode.
+  AdjacencySlice decode_payload(const BlockCache::PinnedBytes& payload,
+                                std::size_t first, std::size_t count,
+                                bool weighted, AdjacencyBuffer& buf) const;
+
+  const DualBlockStore* store_;
+  BlockCache* cache_;
+  bool fill_rop_;
+};
+
+}  // namespace husg

@@ -9,10 +9,24 @@ Engine::Engine(const DualBlockStore& store, EngineOptions options)
     : store_(&store),
       opts_(std::move(options)),
       pool_(opts_.threads),
-      predictor_(opts_.device, opts_.predictor, opts_.alpha) {
+      predictor_(opts_.device, opts_.predictor, opts_.alpha),
+      cache_(opts_.cache_budget_bytes > 0
+                 ? std::make_unique<BlockCache>(BlockCache::Options{
+                       opts_.cache_budget_bytes,
+                       opts_.cache_max_block_fraction})
+                 : nullptr),
+      reader_(store, cache_.get(), opts_.cache_fill_rop) {
   HUSG_CHECK(opts_.max_iterations > 0, "max_iterations must be positive");
   HUSG_CHECK(opts_.alpha >= 0 && opts_.alpha <= 1,
              "alpha must be in [0,1], got " << opts_.alpha);
+  HUSG_CHECK(opts_.cache_max_block_fraction > 0 &&
+                 opts_.cache_max_block_fraction <= 1,
+             "cache_max_block_fraction must be in (0,1], got "
+                 << opts_.cache_max_block_fraction);
+}
+
+CacheStats Engine::cache_stats() const {
+  return cache_ ? cache_->stats() : CacheStats{};
 }
 
 std::uint64_t Engine::column_bytes(std::uint32_t i) const {
@@ -20,6 +34,15 @@ std::uint64_t Engine::column_bytes(std::uint32_t i) const {
   std::uint64_t bytes = 0;
   for (std::uint32_t j = 0; j < meta.p(); ++j) {
     bytes += meta.in_block(j, i).adj_bytes;
+  }
+  return bytes;
+}
+
+std::uint64_t Engine::row_bytes(std::uint32_t i) const {
+  const StoreMeta& meta = store_->meta();
+  std::uint64_t bytes = 0;
+  for (std::uint32_t j = 0; j < meta.p(); ++j) {
+    bytes += meta.out_block(i, j).adj_bytes;
   }
   return bytes;
 }
@@ -47,6 +70,14 @@ std::vector<DecisionRecord> Engine::decide(const Frontier& frontier,
     in.edge_bytes = meta.edge_record_bytes();
     in.value_bytes = value_bytes;  // N
     in.column_edge_bytes = column_bytes(i);
+    if (opts_.predictor == PredictorFlavor::kCacheAware) {
+      // §3.4, cache-aware: resident bytes cost zero I/O, so both models are
+      // costed over the uncached residual of the interval. As the cache
+      // warms, the residual shrinks and the ROP/COP crossover moves.
+      in.row_edge_bytes = row_bytes(i);
+      in.cached_row_edge_bytes = reader_.cached_row_bytes(i);
+      in.cached_column_edge_bytes = reader_.cached_column_bytes(i);
+    }
     // With global granularity the α shortcut is applied to the whole-graph
     // active fraction below, not interval by interval.
     bool per_interval_alpha =

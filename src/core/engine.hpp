@@ -36,6 +36,8 @@
 #include <future>
 #include <vector>
 
+#include "cache/block_cache.hpp"
+#include "cache/cached_reader.hpp"
 #include "core/frontier.hpp"
 #include "core/predictor.hpp"
 #include "core/program.hpp"
@@ -83,6 +85,17 @@ struct EngineOptions {
   /// time = modeled device time + edge work / effective parallelism).
   double cpu_ns_per_edge = 4.0;
   std::filesystem::path scratch_dir;  ///< default: the store directory
+  /// Memory budget for the block cache (bytes). 0 (default) disables the
+  /// cache entirely; per-iteration I/O is then bit-identical to the
+  /// pre-cache engine. See src/cache/block_cache.hpp.
+  std::uint64_t cache_budget_bytes = 0;
+  /// Admission policy: never cache a block whose payload exceeds this
+  /// fraction of the budget.
+  double cache_max_block_fraction = 0.25;
+  /// On a ROP miss of an admissible out-block, read and cache the whole
+  /// block (one positioning + one transfer) instead of point-loading a
+  /// single vertex's run; later point loads of the block are then free.
+  bool cache_fill_rop = true;
 };
 
 template <class V>
@@ -97,6 +110,9 @@ class Engine {
 
   const EngineOptions& options() const { return opts_; }
   const DualBlockStore& store() const { return *store_; }
+  /// Block-cache counters since construction (zero-valued when the cache is
+  /// disabled). Per-iteration deltas land in IterationStats::cache.
+  CacheStats cache_stats() const;
 
   /// Runs `prog` to convergence (empty frontier) or max_iterations.
   template <VertexProgram P>
@@ -110,6 +126,9 @@ class Engine {
 
   /// Exact byte size of the in-blocks in interval i's column.
   std::uint64_t column_bytes(std::uint32_t i) const;
+
+  /// Exact byte size of the out-blocks in interval i's row.
+  std::uint64_t row_bytes(std::uint32_t i) const;
 
   std::filesystem::path scratch_file() const;
 
@@ -145,6 +164,11 @@ class Engine {
   EngineOptions opts_;
   mutable ThreadPool pool_;
   IoCostPredictor predictor_;
+  /// Buffer manager between the engine and the store. cache_ is null at
+  /// budget 0 (reader_ then passes through untouched); declared before
+  /// reader_ which borrows it.
+  std::unique_ptr<BlockCache> cache_;
+  CachedBlockReader reader_;
 };
 
 // ---------------------------------------------------------------------------
@@ -195,6 +219,7 @@ RunResult<typename P::Value> Engine::run(const P& prog,
       }
       Timer iter_timer;
       IoSnapshot io_before = store_->io().snapshot();
+      CacheStats cache_before = cache_stats();
 
       IterationStats istats;
       istats.iteration = iter;
@@ -286,6 +311,7 @@ RunResult<typename P::Value> Engine::run(const P& prog,
       frontier = Frontier::from_bits(meta, next, store_->out_degrees());
 
       istats.io = store_->io().snapshot() - io_before;
+      istats.cache = cache_stats() - cache_before;
       istats.wall_seconds = iter_timer.seconds();
       istats.modeled_io_seconds = opts_.device.modeled_seconds(istats.io);
       std::uint64_t re = rop_scanned.load(), ce = cop_scanned.load();
@@ -337,7 +363,7 @@ void Engine::rop_row(const P& prog, const ProgramContext& ctx, std::uint32_t i,
     const BlockExtent& block = meta.out_block(i, j);
     if (block.edge_count == 0) return;
     std::vector<std::uint32_t> idx;
-    store_->load_out_index(i, j, idx);
+    reader_.load_out_index(i, j, idx);
     // Load D_j only if some active vertex actually has edges in this block
     // (Alg. 2 loads D_j to apply updates; a block none of the frontier
     // touches needs neither the values nor any edge I/O).
@@ -358,7 +384,7 @@ void Engine::rop_row(const P& prog, const ProgramContext& ctx, std::uint32_t i,
                              std::size_t first_active) {
       // Load one contiguous run covering [lo,hi) of the block's CSR and walk
       // the active vertices whose edges fall inside it.
-      AdjacencySlice slice = store_->load_out_edges(i, j, lo, hi, buf);
+      AdjacencySlice slice = reader_.load_out_edges(i, j, lo, hi, buf);
       std::size_t a = first_active;
       while (a < actives.size()) {
         VertexId v = actives[a];
@@ -397,7 +423,7 @@ void Engine::rop_row(const P& prog, const ProgramContext& ctx, std::uint32_t i,
         std::uint32_t lo = idx[actives[a] - base];
         std::uint32_t hi = idx[actives[a] - base + 1];
         if (hi > lo) {
-          AdjacencySlice slice = store_->load_out_edges(i, j, lo, hi, buf);
+          AdjacencySlice slice = reader_.load_out_edges(i, j, lo, hi, buf);
           VertexId v = actives[a];
           for (std::uint32_t k = lo; k < hi; ++k) {
             VertexId d = slice.neighbors[k - lo];
@@ -458,8 +484,8 @@ void Engine::cop_blocks(const P& prog, const ProgramContext& ctx,
   };
   Slot slots[2];
   auto fetch = [&](std::uint32_t j, Slot& slot) {
-    store_->load_in_index(j, i, slot.inidx);
-    slot.slice = store_->stream_in_block(j, i, slot.buf, &slot.inidx);
+    reader_.load_in_index(j, i, slot.inidx);
+    slot.slice = reader_.stream_in_block(j, i, slot.buf, &slot.inidx);
   };
   std::future<void> pending;
 
@@ -541,14 +567,14 @@ void Engine::rop_row_accumulating(const P& prog, const ProgramContext& ctx,
     if (block.edge_count == 0) return;
     values.load_interval(j);
     std::vector<std::uint32_t> idx;
-    store_->load_out_index(i, j, idx);
+    reader_.load_out_index(i, j, idx);
     AdjacencyBuffer buf;
     std::uint64_t local_scanned = 0;
     for (VertexId local = 0; local < meta.interval_size(i); ++local) {
       std::uint32_t lo = idx[local], hi = idx[local + 1];
       if (lo == hi) continue;
       VertexId v = base + local;
-      AdjacencySlice slice = store_->load_out_edges(i, j, lo, hi, buf);
+      AdjacencySlice slice = reader_.load_out_edges(i, j, lo, hi, buf);
       for (std::uint32_t k = lo; k < hi; ++k) {
         prog.gather(ctx, acc[slice.neighbors[k - lo]], prev[v], v,
                     slice.weight(k - lo));
@@ -587,8 +613,8 @@ void Engine::cop_column_accumulating(const P& prog, const ProgramContext& ctx,
   };
   Slot slots[2];
   auto fetch = [&](std::uint32_t j, Slot& slot) {
-    store_->load_in_index(j, i, slot.inidx);
-    slot.slice = store_->stream_in_block(j, i, slot.buf, &slot.inidx);
+    reader_.load_in_index(j, i, slot.inidx);
+    slot.slice = reader_.stream_in_block(j, i, slot.buf, &slot.inidx);
   };
   std::future<void> pending;
 

@@ -34,12 +34,29 @@ Prediction IoCostPredictor::predict(const PredictionInputs& in,
     // active in the interval triggers up to one point load per block of the
     // row, so ops ≈ |A_i| · P (upper bound — empty runs are skipped).
     const double rand_bw = std::max(device_.rand_read_bw, 1.0);
-    const double ops =
-        static_cast<double>(in.active_vertices) * p;
-    out.c_rop = ops * device_.seek_seconds + rop_edge_bytes / rand_bw +
+    double ops = static_cast<double>(in.active_vertices) * p;
+    double rop_bytes = rop_edge_bytes;
+    double cop_bytes = static_cast<double>(in.column_edge_bytes);
+    if (flavor_ == PredictorFlavor::kCacheAware) {
+      // Resident bytes cost no I/O. Point loads land uniformly over the row
+      // for prediction purposes, so the cached row fraction discounts both
+      // the positioning ops and the transferred bytes; the column residual
+      // is exact (COP streams whole blocks).
+      if (in.row_edge_bytes > 0) {
+        double uncached =
+            1.0 - std::min<double>(1.0, static_cast<double>(
+                                            in.cached_row_edge_bytes) /
+                                            static_cast<double>(
+                                                in.row_edge_bytes));
+        ops *= uncached;
+        rop_bytes *= uncached;
+      }
+      cop_bytes -= std::min<double>(
+          cop_bytes, static_cast<double>(in.cached_column_edge_bytes));
+    }
+    out.c_rop = ops * device_.seek_seconds + rop_bytes / rand_bw +
                 vertex_bytes / t_seq;
-    out.c_cop =
-        (static_cast<double>(in.column_edge_bytes) + vertex_bytes) / t_seq;
+    out.c_cop = (cop_bytes + vertex_bytes) / t_seq;
   }
   out.choose_rop = out.c_rop <= out.c_cop;
   return out;

@@ -20,6 +20,12 @@
 //                    "more accurate and fine-grained" predictor the paper's
 //                    §4.3 closes by calling for; the ablation bench compares
 //                    both against the oracle.
+//  * kCacheAware   — kDeviceExact extended for the block cache: bytes
+//                    resident in the cache cost zero I/O, so C_rop / C_cop
+//                    are computed over the *uncached residual* of each
+//                    interval. As the cache warms, both costs shrink and the
+//                    ROP/COP crossover shifts (a fully-cached column makes
+//                    COP nearly free regardless of frontier density).
 #pragma once
 
 #include <cstdint>
@@ -28,7 +34,7 @@
 
 namespace husg {
 
-enum class PredictorFlavor { kPaper, kDeviceExact };
+enum class PredictorFlavor { kPaper, kDeviceExact, kCacheAware };
 
 struct PredictionInputs {
   std::uint64_t active_vertices = 0;    ///< |A_i|
@@ -40,6 +46,12 @@ struct PredictionInputs {
   std::uint32_t value_bytes = 4;        ///< N
   /// Exact bytes of the in-blocks of this interval's column (kDeviceExact).
   std::uint64_t column_edge_bytes = 0;
+  /// kCacheAware only: exact bytes of the out-blocks of this interval's row,
+  /// and how many of the row/column bytes are resident in the block cache
+  /// (zero I/O cost). Left zero by cache-less engines.
+  std::uint64_t row_edge_bytes = 0;
+  std::uint64_t cached_row_edge_bytes = 0;
+  std::uint64_t cached_column_edge_bytes = 0;
 };
 
 struct Prediction {

@@ -31,6 +31,7 @@ bool IterationStats::any_cop() const {
 
 void RunStats::add_iteration(IterationStats it) {
   total_io += it.io;
+  cache += it.cache;
   wall_seconds += it.wall_seconds;
   modeled_io_seconds += it.modeled_io_seconds;
   modeled_cpu_seconds += it.modeled_cpu_seconds;
@@ -46,6 +47,7 @@ std::string RunStats::summary() const {
      << human_bytes(total_io.total_bytes()) << " ("
      << total_io.to_string() << "), edges processed "
      << with_commas(edges_processed);
+  if (cache.lookups() > 0) os << ", cache " << cache.to_string();
   return os.str();
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache_stats.hpp"
 #include "core/predictor.hpp"
 #include "io/io_stats.hpp"
 
@@ -30,6 +31,7 @@ struct IterationStats {
   std::uint64_t active_vertices = 0;
   std::uint64_t active_edges = 0;  ///< Σ out-degree over active vertices
   IoSnapshot io;                   ///< traffic of this iteration only
+  CacheStats cache;                ///< block-cache activity of this iteration
   double wall_seconds = 0;
   double modeled_io_seconds = 0;
   double modeled_cpu_seconds = 0;
@@ -47,6 +49,7 @@ struct IterationStats {
 struct RunStats {
   std::vector<IterationStats> iterations;
   IoSnapshot total_io;
+  CacheStats cache;  ///< block-cache activity across the whole run
   double wall_seconds = 0;
   double modeled_io_seconds = 0;
   double modeled_cpu_seconds = 0;

@@ -21,6 +21,9 @@
 #include "algos/spmv.hpp"
 #include "algos/sssp.hpp"
 #include "algos/wcc.hpp"
+#include "cache/block_cache.hpp"
+#include "cache/cache_stats.hpp"
+#include "cache/cached_reader.hpp"
 #include "core/engine.hpp"
 #include "core/frontier.hpp"
 #include "core/predictor.hpp"

@@ -35,6 +35,9 @@ class AdjacencyBuffer {
   std::vector<char> raw;
   std::vector<VertexId> ids;
   std::vector<Weight> ws;
+  /// Keep-alive for zero-copy slices served out of shared storage (e.g. the
+  /// block cache): the slice points into *guard's* bytes, not raw/ids/ws.
+  std::shared_ptr<const void> guard;
 };
 
 class DualBlockStore {

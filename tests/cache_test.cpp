@@ -1,0 +1,377 @@
+// Tests for the memory-budgeted block cache (src/cache/): the BlockCache
+// contract (budget, CLOCK eviction, pinning, admission), the cached reader's
+// engine integration (budget 0 == bit-identical I/O; warm cache == zero edge
+// reads; results always match the uncached engine), and the cache-aware
+// predictor flavor.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "husg/husg.hpp"
+#include "test_util.hpp"
+
+namespace husg {
+namespace {
+
+using testing::ScratchDir;
+
+std::vector<char> payload_of(std::uint32_t row, std::uint32_t col,
+                             std::size_t size) {
+  return std::vector<char>(size, static_cast<char>((row * 31 + col) & 0xff));
+}
+
+TEST(BlockCacheTest, InsertFindAndStats) {
+  BlockCache cache({/*budget_bytes=*/1024, /*max_block_fraction=*/1.0});
+  BlockKey key{BlockKind::kOutAdj, 1, 2};
+  EXPECT_EQ(cache.find(key), nullptr);
+  auto handle = cache.insert(key, payload_of(1, 2, 100), 100);
+  ASSERT_NE(handle, nullptr);
+  EXPECT_EQ(handle->size(), 100u);
+  auto hit = cache.find(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), handle.get());
+
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.resident_bytes, 100u);
+  EXPECT_EQ(s.resident_blocks, 1u);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.5);
+}
+
+TEST(BlockCacheTest, AdmissionRejectsOversizedBlock) {
+  // 25% of 1000 = 250 bytes max; a 300-byte payload is never admitted.
+  BlockCache cache({1000, 0.25});
+  EXPECT_EQ(cache.max_admissible_bytes(), 250u);
+  BlockKey key{BlockKind::kInAdj, 0, 0};
+  EXPECT_EQ(cache.insert(key, payload_of(0, 0, 300), 300), nullptr);
+  EXPECT_FALSE(cache.contains(key));
+  EXPECT_EQ(cache.stats().admission_rejects, 1u);
+  EXPECT_EQ(cache.resident_bytes(), 0u);
+
+  // A 250-byte payload fits exactly.
+  ASSERT_NE(cache.insert(key, payload_of(0, 0, 250), 250), nullptr);
+  EXPECT_TRUE(cache.contains(key));
+}
+
+TEST(BlockCacheTest, EvictionNeverReclaimsPinnedEntry) {
+  BlockCache cache({1000, 0.5});
+  BlockKey a{BlockKind::kOutAdj, 0, 0};
+  BlockKey b{BlockKind::kOutAdj, 0, 1};
+  BlockKey c{BlockKind::kOutAdj, 0, 2};
+  auto pin_a = cache.insert(a, payload_of(0, 0, 400), 400);  // held -> pinned
+  ASSERT_NE(pin_a, nullptr);
+  cache.insert(b, payload_of(0, 1, 400), 400);  // handle dropped
+  EXPECT_TRUE(cache.is_pinned(a));
+  EXPECT_FALSE(cache.is_pinned(b));
+
+  // Inserting c needs 200 free bytes: the sweep must skip pinned a and
+  // evict b (after clearing its second-chance bit).
+  ASSERT_NE(cache.insert(c, payload_of(0, 2, 400), 400), nullptr);
+  EXPECT_TRUE(cache.contains(a));
+  EXPECT_FALSE(cache.contains(b));
+  EXPECT_TRUE(cache.contains(c));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // The pinned entry's bytes stayed valid throughout.
+  EXPECT_EQ((*pin_a)[0], payload_of(0, 0, 1)[0]);
+  pin_a.reset();
+  EXPECT_FALSE(cache.is_pinned(a));
+}
+
+TEST(BlockCacheTest, InsertRejectedWhenEverythingPinned) {
+  BlockCache cache({800, 1.0});
+  auto pin_a =
+      cache.insert(BlockKey{BlockKind::kInIdx, 0, 0}, payload_of(0, 0, 400),
+                   400);
+  auto pin_b =
+      cache.insert(BlockKey{BlockKind::kInIdx, 0, 1}, payload_of(0, 1, 400),
+                   400);
+  ASSERT_NE(pin_a, nullptr);
+  ASSERT_NE(pin_b, nullptr);
+  // Nothing evictable: the insert is rejected, not blocked, and both pinned
+  // payloads survive.
+  EXPECT_EQ(cache.insert(BlockKey{BlockKind::kInIdx, 0, 2},
+                         payload_of(0, 2, 400), 400),
+            nullptr);
+  EXPECT_EQ(cache.stats().admission_rejects, 1u);
+  EXPECT_EQ(cache.resident_bytes(), 800u);
+}
+
+TEST(BlockCacheTest, DuplicateInsertKeepsResidentCopy) {
+  BlockCache cache({1024, 1.0});
+  BlockKey key{BlockKind::kOutIdx, 3, 4};
+  auto first = cache.insert(key, payload_of(3, 4, 64), 64);
+  auto second = cache.insert(key, payload_of(3, 4, 64), 64);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_EQ(cache.resident_bytes(), 64u);
+}
+
+TEST(BlockCacheTest, ConcurrentFindAndInsert) {
+  // Hammer a small cache from several threads; every returned payload must
+  // carry its key's content pattern, and the budget must hold at the end.
+  BlockCache cache({1 << 14, 0.25});
+  constexpr int kThreads = 4;
+  constexpr int kOps = 2000;
+  constexpr std::uint32_t kKeys = 64;
+  std::vector<std::thread> threads;
+  std::atomic<int> bad{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int op = 0; op < kOps; ++op) {
+        std::uint32_t row = static_cast<std::uint32_t>((op * 7 + t) % kKeys);
+        std::uint32_t col = row % 8;
+        BlockKey key{BlockKind::kOutAdj, row, col};
+        std::size_t size = 64 + (row % 17) * 8;
+        BlockCache::PinnedBytes bytes = cache.find(key);
+        if (!bytes) bytes = cache.insert(key, payload_of(row, col, size), size);
+        if (!bytes) continue;  // admission raced; fine
+        if (bytes->size() != size ||
+            (*bytes)[0] != static_cast<char>((row * 31 + col) & 0xff)) {
+          bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_LE(cache.resident_bytes(), cache.budget_bytes());
+  CacheStats s = cache.stats();
+  EXPECT_GT(s.hits, 0u);
+  EXPECT_EQ(s.bytes_inserted - s.bytes_evicted, s.resident_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration.
+
+EdgeList test_graph() { return gen::rmat(10, 8.0, /*seed=*/7); }
+
+EngineOptions base_options() {
+  EngineOptions o;
+  o.threads = 2;
+  o.file_backed_values = false;  // isolate edge-block I/O
+  return o;
+}
+
+void expect_same_io(const IoSnapshot& a, const IoSnapshot& b,
+                    const char* what) {
+  EXPECT_EQ(a.seq_read_bytes, b.seq_read_bytes) << what;
+  EXPECT_EQ(a.seq_read_ops, b.seq_read_ops) << what;
+  EXPECT_EQ(a.rand_read_bytes, b.rand_read_bytes) << what;
+  EXPECT_EQ(a.rand_read_ops, b.rand_read_ops) << what;
+  EXPECT_EQ(a.write_bytes, b.write_bytes) << what;
+  EXPECT_EQ(a.write_ops, b.write_ops) << what;
+}
+
+TEST(CachedEngineTest, BudgetZeroIoBitIdenticalToUncached) {
+  ScratchDir scratch("cache_budget0");
+  DualBlockStore store =
+      DualBlockStore::build(test_graph(), scratch / "store", StoreOptions{4});
+
+  auto run_bfs = [&](EngineOptions o) {
+    Engine e(store, o);
+    BfsProgram p{.source = 0};
+    return e.run(p, Frontier::single(store.meta(), 0, store.out_degrees()));
+  };
+  auto run_pr = [&](EngineOptions o) {
+    o.max_iterations = 3;
+    Engine e(store, o);
+    PageRankProgram p;
+    return e.run(p, Frontier::all(store.meta(), store.out_degrees()));
+  };
+
+  EngineOptions plain = base_options();
+  EngineOptions zero = base_options();
+  zero.cache_budget_bytes = 0;
+  zero.cache_fill_rop = true;
+
+  auto bfs_a = run_bfs(plain), bfs_b = run_bfs(zero);
+  ASSERT_EQ(bfs_a.stats.iterations_run(), bfs_b.stats.iterations_run());
+  for (int i = 0; i < bfs_a.stats.iterations_run(); ++i) {
+    expect_same_io(bfs_a.stats.iterations[i].io, bfs_b.stats.iterations[i].io,
+                   "bfs iteration");
+  }
+  EXPECT_EQ(bfs_a.values, bfs_b.values);
+  EXPECT_EQ(bfs_b.stats.cache.lookups(), 0u);
+
+  auto pr_a = run_pr(plain), pr_b = run_pr(zero);
+  ASSERT_EQ(pr_a.stats.iterations_run(), pr_b.stats.iterations_run());
+  for (int i = 0; i < pr_a.stats.iterations_run(); ++i) {
+    expect_same_io(pr_a.stats.iterations[i].io, pr_b.stats.iterations[i].io,
+                   "pagerank iteration");
+  }
+  EXPECT_EQ(pr_a.values, pr_b.values);
+}
+
+TEST(CachedEngineTest, FullBudgetPageRankReadsNothingAfterWarmup) {
+  ScratchDir scratch("cache_full");
+  DualBlockStore store =
+      DualBlockStore::build(test_graph(), scratch / "store", StoreOptions{4});
+
+  EngineOptions o = base_options();
+  o.cache_budget_bytes = 256ull << 20;  // far larger than the whole store
+  o.max_iterations = 4;
+  Engine e(store, o);
+  PageRankProgram p;
+  auto r = e.run(p, Frontier::all(store.meta(), store.out_degrees()));
+
+  ASSERT_GE(r.stats.iterations_run(), 2);
+  EXPECT_GT(r.stats.iterations[0].io.total_read_bytes(), 0u);
+  for (int i = 1; i < r.stats.iterations_run(); ++i) {
+    EXPECT_EQ(r.stats.iterations[i].io.total_read_bytes(), 0u)
+        << "iteration " << i << " should be served fully from the cache";
+    EXPECT_GT(r.stats.iterations[i].cache.hits, 0u);
+  }
+  EXPECT_GT(r.stats.cache.bytes_saved, 0u);
+}
+
+TEST(CachedEngineTest, ResultsMatchUncachedAcrossBudgets) {
+  ScratchDir scratch("cache_budgets");
+  EdgeList g = test_graph();
+  DualBlockStore store =
+      DualBlockStore::build(g, scratch / "store", StoreOptions{4});
+
+  auto run_pr = [&](std::uint64_t budget) {
+    EngineOptions o = base_options();
+    o.cache_budget_bytes = budget;
+    o.max_iterations = 4;
+    Engine e(store, o);
+    PageRankProgram p;
+    return e.run(p, Frontier::all(store.meta(), store.out_degrees()));
+  };
+  auto run_bfs = [&](std::uint64_t budget) {
+    EngineOptions o = base_options();
+    o.cache_budget_bytes = budget;
+    Engine e(store, o);
+    BfsProgram p{.source = 0};
+    return e.run(p, Frontier::single(store.meta(), 0, store.out_degrees()));
+  };
+
+  auto pr_ref = run_pr(0);
+  auto bfs_ref = run_bfs(0);
+  // 16 KiB forces constant churn; 256 MiB holds everything.
+  for (std::uint64_t budget : {std::uint64_t{16} << 10, std::uint64_t{256}
+                                                            << 20}) {
+    auto pr = run_pr(budget);
+    EXPECT_EQ(pr.values, pr_ref.values) << "budget " << budget;
+    auto bfs = run_bfs(budget);
+    EXPECT_EQ(bfs.values, bfs_ref.values) << "budget " << budget;
+    EXPECT_GT(pr.stats.cache.lookups(), 0u);
+  }
+  // The tiny budget must have cycled entries.
+  auto churn = run_pr(std::uint64_t{16} << 10);
+  EXPECT_GT(churn.stats.cache.evictions + churn.stats.cache.admission_rejects,
+            0u);
+}
+
+TEST(CachedEngineTest, WeightedAndCompressedStoresServeCorrectHits) {
+  ScratchDir scratch("cache_variants");
+  EdgeList g = gen::with_random_weights(test_graph(), /*seed=*/99);
+
+  // Weighted store: SSSP exercises the weighted decode path of cached blocks.
+  DualBlockStore wstore =
+      DualBlockStore::build(g, scratch / "wstore", StoreOptions{4});
+  auto run_sssp = [&](std::uint64_t budget) {
+    EngineOptions o = base_options();
+    o.cache_budget_bytes = budget;
+    Engine e(wstore, o);
+    SsspProgram p{.source = 0};
+    return e.run(p, Frontier::single(wstore.meta(), 0, wstore.out_degrees()));
+  };
+  auto ref = run_sssp(0);
+  auto cached = run_sssp(256ull << 20);
+  EXPECT_EQ(cached.values, ref.values);
+  EXPECT_GT(cached.stats.cache.hits, 0u);
+
+  // Compressed in-blocks: cached payloads are the decompressed ids, hits
+  // save the (smaller) on-disk bytes.
+  StoreOptions copts{4};
+  copts.compress_in_blocks = true;
+  DualBlockStore cstore = DualBlockStore::build(gen::rmat(10, 8.0, 7),
+                                                scratch / "cstore", copts);
+  EngineOptions o = base_options();
+  o.mode = UpdateMode::kCop;
+  o.cache_budget_bytes = 256ull << 20;
+  o.max_iterations = 3;
+  Engine e(cstore, o);
+  PageRankProgram p;
+  auto pr = e.run(p, Frontier::all(cstore.meta(), cstore.out_degrees()));
+
+  EngineOptions uo = base_options();
+  uo.mode = UpdateMode::kCop;
+  uo.max_iterations = 3;
+  Engine ue(cstore, uo);
+  PageRankProgram up;
+  auto upr = ue.run(up, Frontier::all(cstore.meta(), cstore.out_degrees()));
+  EXPECT_EQ(pr.values, upr.values);
+  EXPECT_GT(pr.stats.cache.hits, 0u);
+  EXPECT_GT(pr.stats.cache.bytes_saved, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cache-aware predictor.
+
+TEST(CacheAwarePredictorTest, CachedBytesShrinkBothCosts) {
+  DeviceProfile dev = DeviceProfile::hdd7200();
+  IoCostPredictor exact(dev, PredictorFlavor::kDeviceExact, /*alpha=*/0);
+  IoCostPredictor aware(dev, PredictorFlavor::kCacheAware, /*alpha=*/0);
+
+  PredictionInputs in;
+  in.active_vertices = 100;
+  in.active_degree_sum = 1600;
+  in.num_vertices = 1 << 16;
+  in.num_edges = 1 << 20;
+  in.p = 8;
+  in.column_edge_bytes = 4ull << 20;
+  in.row_edge_bytes = 4ull << 20;
+
+  // Nothing cached: identical to device-exact.
+  Prediction base = exact.predict(in);
+  Prediction cold = aware.predict(in);
+  EXPECT_DOUBLE_EQ(cold.c_rop, base.c_rop);
+  EXPECT_DOUBLE_EQ(cold.c_cop, base.c_cop);
+
+  // Half the row cached halves the ROP cost's edge component.
+  in.cached_row_edge_bytes = in.row_edge_bytes / 2;
+  Prediction half = aware.predict(in);
+  EXPECT_LT(half.c_rop, base.c_rop);
+  EXPECT_DOUBLE_EQ(half.c_cop, base.c_cop);
+
+  // A fully cached column makes COP stream only vertex values.
+  in.cached_row_edge_bytes = 0;
+  in.cached_column_edge_bytes = in.column_edge_bytes;
+  Prediction warm = aware.predict(in);
+  EXPECT_LT(warm.c_cop, base.c_cop);
+  EXPECT_DOUBLE_EQ(warm.c_rop, base.c_rop);
+}
+
+TEST(CacheAwarePredictorTest, WarmColumnFlipsDecisionToCop) {
+  // A sparse frontier on an HDD: device-exact picks ROP. With the whole
+  // column resident, the cache-aware flavor must flip to (free) COP.
+  DeviceProfile dev = DeviceProfile::hdd7200();
+  IoCostPredictor exact(dev, PredictorFlavor::kDeviceExact, /*alpha=*/0);
+  IoCostPredictor aware(dev, PredictorFlavor::kCacheAware, /*alpha=*/0);
+
+  PredictionInputs in;
+  in.active_vertices = 1;
+  in.active_degree_sum = 8;
+  in.num_vertices = 1 << 16;
+  in.num_edges = 1 << 22;
+  in.p = 4;
+  in.column_edge_bytes = 64ull << 20;
+  in.row_edge_bytes = 64ull << 20;
+
+  ASSERT_TRUE(exact.predict(in).choose_rop);
+  EXPECT_TRUE(aware.predict(in).choose_rop);
+
+  in.cached_column_edge_bytes = in.column_edge_bytes;
+  EXPECT_FALSE(aware.predict(in).choose_rop);
+  // The exact flavor ignores cache state by design.
+  EXPECT_TRUE(exact.predict(in).choose_rop);
+}
+
+}  // namespace
+}  // namespace husg

@@ -7,6 +7,8 @@
 //                     [--mode hybrid|rop|cop] [--threads 8]
 //                     [--device hdd|ssd|nvme] [--seek-scale 1.0]
 //                     [--iters 5] [--alpha 0.05] [--sync jacobi|async]
+//                     [--cache-budget 67108864] [--cache-fraction 0.25]
+//                     [--predictor paper|exact|cache-aware]
 //                     [--out values.txt] [--trace]
 //
 // Text graphs ("src dst [w]" per line) and the compact binary format are
@@ -36,7 +38,10 @@ int usage() {
       "bfs|wcc|sssp|pagerank|prdelta|spmv|kcore\n"
       "           [--source V] [--mode hybrid|rop|cop] [--threads T]\n"
       "           [--device hdd|ssd|nvme] [--seek-scale F] [--iters K]\n"
-      "           [--alpha A] [--sync jacobi|async] [--out FILE] [--trace]\n");
+      "           [--alpha A] [--sync jacobi|async] [--out FILE] [--trace]\n"
+      "           [--cache-budget BYTES] [--cache-fraction F]\n"
+      "           [--no-cache-fill-rop]\n"
+      "           [--predictor paper|exact|cache-aware]\n");
   return 2;
 }
 
@@ -181,12 +186,17 @@ void print_trace(const RunStats& stats, bool trace) {
   std::printf("%s\n", stats.summary().c_str());
   if (!trace) return;
   for (const auto& it : stats.iterations) {
-    std::printf("  iter %3d: active=%llu model=%s io=%s modeled=%s\n",
+    std::printf("  iter %3d: active=%llu model=%s io=%s modeled=%s",
                 it.iteration,
                 static_cast<unsigned long long>(it.active_vertices),
                 it.any_rop() ? (it.any_cop() ? "mixed" : "ROP") : "COP",
                 human_bytes(it.io.total_bytes()).c_str(),
                 human_seconds(it.modeled_seconds()).c_str());
+    if (it.cache.lookups() > 0) {
+      std::printf(" cache-hit=%.0f%% saved=%s", 100.0 * it.cache.hit_rate(),
+                  human_bytes(it.cache.bytes_saved).c_str());
+    }
+    std::printf("\n");
   }
 }
 
@@ -206,6 +216,21 @@ int cmd_run(const Options& opts) {
   eo.threads = static_cast<std::size_t>(opts.get_int("threads", 4));
   eo.device = parse_device(opts);
   eo.alpha = opts.get_double("alpha", 0.05);
+  eo.cache_budget_bytes =
+      static_cast<std::uint64_t>(opts.get_int("cache-budget", 0));
+  eo.cache_max_block_fraction = opts.get_double("cache-fraction", 0.25);
+  eo.cache_fill_rop = !opts.get_bool("no-cache-fill-rop", false);
+  std::string predictor = opts.get("predictor", "exact");
+  if (predictor == "paper") {
+    eo.predictor = PredictorFlavor::kPaper;
+  } else if (predictor == "cache-aware") {
+    eo.predictor = PredictorFlavor::kCacheAware;
+  } else if (predictor == "exact") {
+    eo.predictor = PredictorFlavor::kDeviceExact;
+  } else {
+    std::fprintf(stderr, "unknown --predictor '%s'\n", predictor.c_str());
+    return 2;
+  }
   int iters = static_cast<int>(opts.get_int("iters", 0));
   bool trace = opts.get_bool("trace", false);
   VertexId source = static_cast<VertexId>(opts.get_int("source", 0));
