@@ -1,0 +1,116 @@
+// Micro-bench: concurrent graph service (DESIGN.md §8).
+//
+// Sweeps 1/2/4/8 jobs in flight over one GraphService on twitter-sim. Every
+// level submits the same 8-job batch — two rounds of [pagerank, bfs, sssp,
+// spmv] — so the work is fixed and only the concurrency varies. Reported per
+// level: batch makespan, per-job latency, aggregate throughput over the
+// shared store, and the shared block cache's ledger including cross-job
+// hits (a hit on a block some other job faulted in), the quantity that
+// makes one cache per service cheaper than one cache per job.
+#include <cstdio>
+#include <vector>
+
+#include "bench_support/harness.hpp"
+#include "bench_support/report.hpp"
+#include "husg/husg.hpp"
+#include "util/timer.hpp"
+
+using namespace husg;
+using namespace husg::bench;
+
+namespace {
+
+/// On-disk adjacency bytes of both block grids (cache sizing base).
+std::uint64_t edge_bytes(const StoreMeta& m) {
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < m.p(); ++i) {
+    for (std::uint32_t j = 0; j < m.p(); ++j) {
+      total += m.out_block(i, j).adj_bytes + m.in_block(i, j).adj_bytes;
+    }
+  }
+  return total;
+}
+
+/// The fixed 8-job batch. SSSP runs on the directed store's unit weights;
+/// WCC is omitted because the service holds one directed store.
+std::vector<JobSpec> batch(VertexId source) {
+  const ServiceAlgo cycle[] = {ServiceAlgo::kPageRank, ServiceAlgo::kBfs,
+                               ServiceAlgo::kSssp, ServiceAlgo::kSpmv};
+  std::vector<JobSpec> jobs;
+  for (int round = 0; round < 2; ++round) {
+    for (ServiceAlgo algo : cycle) {
+      JobSpec spec;
+      spec.name = std::string(to_string(algo)) + "#" +
+                  std::to_string(round + 1);
+      spec.algo = algo;
+      spec.source = source;
+      jobs.push_back(spec);
+    }
+  }
+  return jobs;
+}
+
+}  // namespace
+
+int main() {
+  banner("micro: concurrent graph service",
+         "one store + one shared cache serving 1/2/4/8 jobs in flight");
+  Dataset ds(dataset("twitter-sim"));
+  const DualBlockStore& store = ds.hus_store(GraphVariant::kDirected);
+  const std::uint64_t cache_budget = edge_bytes(store.meta()) / 2;
+  const VertexId source = ds.traversal_source();
+  std::printf("  cache budget: %s (half the edge bytes)\n",
+              human_bytes(cache_budget).c_str());
+
+  JsonReport report("service");
+  Table t({"jobs in flight", "makespan s", "mean job s", "max job s",
+           "Medges/s", "hit rate", "cross-job hits"});
+  for (std::size_t level : {1u, 2u, 4u, 8u}) {
+    ServiceOptions opts;
+    opts.max_concurrent_jobs = level;
+    opts.max_queued_jobs = 16;
+    opts.threads_per_job = 2;
+    opts.cache_budget_bytes = cache_budget;
+    opts.device = bench_ssd();
+    GraphService svc(store, opts);
+
+    Timer timer;
+    std::vector<JobTicket> tickets;
+    for (JobSpec& spec : batch(source)) tickets.push_back(svc.submit(spec));
+    std::vector<double> latencies;
+    double latency_sum = 0, latency_max = 0;
+    for (JobTicket& ticket : tickets) {
+      const JobResult& res = ticket.result.get();
+      HUSG_CHECK(res.status == JobStatus::kCompleted,
+                 "service bench job failed: " + res.error);
+      latencies.push_back(res.wall_seconds);
+      latency_sum += res.wall_seconds;
+      latency_max = std::max(latency_max, res.wall_seconds);
+      report.add_run("jobs=" + std::to_string(level) + "/" + res.name,
+                     res.stats);
+    }
+    const double makespan = timer.seconds();
+    const ServiceStats st = svc.stats();
+    svc.shutdown();
+
+    const std::string label = "jobs=" + std::to_string(level);
+    print_series(label + " per-job latency", latencies, "s");
+    t.add_row({std::to_string(level), fmt(makespan, 3),
+               fmt(latency_sum / static_cast<double>(tickets.size()), 3),
+               fmt(latency_max, 3),
+               fmt(static_cast<double>(st.edges_processed) / makespan / 1e6, 1),
+               fmt(100.0 * st.cache.hit_rate(), 1) + "%",
+               std::to_string(st.cache.cross_job_hits)});
+    // Aggregate row: the whole batch as one measurement at this level.
+    RunStats agg;
+    agg.total_io = st.io;
+    agg.cache = st.cache;
+    agg.edges_processed = st.edges_processed;
+    agg.wall_seconds = makespan;
+    report.add_run(label, agg);
+  }
+  std::printf("\n");
+  t.print();
+  report.write();
+  return 0;
+}

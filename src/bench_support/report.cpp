@@ -94,7 +94,8 @@ void JsonReport::add_run(const std::string& label, const RunStats& stats) {
      << " \"cache_misses\": " << stats.cache.misses << ","
      << " \"cache_hit_rate\": " << stats.cache.hit_rate() << ","
      << " \"cache_bytes_saved\": " << stats.cache.bytes_saved << ","
-     << " \"cache_evictions\": " << stats.cache.evictions << "}";
+     << " \"cache_evictions\": " << stats.cache.evictions << ","
+     << " \"cache_cross_job_hits\": " << stats.cache.cross_job_hits << "}";
   entries_.push_back(os.str());
 }
 

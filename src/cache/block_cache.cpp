@@ -28,7 +28,8 @@ BlockCache::BlockCache(Options options) : opts_(options) {
   max_payload_bytes_ = static_cast<std::uint64_t>(cap);
 }
 
-BlockCache::PinnedBytes BlockCache::find(const BlockKey& key) {
+BlockCache::PinnedBytes BlockCache::find(const BlockKey& key,
+                                         std::uint32_t owner) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
@@ -38,12 +39,14 @@ BlockCache::PinnedBytes BlockCache::find(const BlockKey& key) {
   Entry& e = ring_[it->second];
   e.referenced = true;
   ++stats_.hits;
+  if (e.owner != owner) ++stats_.cross_job_hits;
   return e.payload;
 }
 
 BlockCache::PinnedBytes BlockCache::insert(const BlockKey& key,
                                            std::vector<char> payload,
-                                           std::uint64_t disk_bytes) {
+                                           std::uint64_t disk_bytes,
+                                           std::uint32_t owner) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
@@ -62,6 +65,7 @@ BlockCache::PinnedBytes BlockCache::insert(const BlockKey& key,
   e.key = key;
   e.payload = std::make_shared<const std::vector<char>>(std::move(payload));
   e.disk_bytes = disk_bytes;
+  e.owner = owner;
   index_[key] = ring_.size();
   ring_.push_back(e);
   resident_bytes_ += size;

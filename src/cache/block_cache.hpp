@@ -77,17 +77,20 @@ class BlockCache {
   explicit BlockCache(Options options);
 
   /// Lookup; counts a hit or miss. A hit marks the CLOCK reference bit and
-  /// returns a pinned handle; a miss returns nullptr.
-  PinnedBytes find(const BlockKey& key);
+  /// returns a pinned handle; a miss returns nullptr. `owner` tags the caller
+  /// (the service passes the job id); a hit on an entry inserted by a
+  /// different owner is additionally counted as a cross-job hit.
+  PinnedBytes find(const BlockKey& key, std::uint32_t owner = 0);
 
   /// Inserts a payload (the caller just read/decoded it from disk), evicting
   /// unpinned entries CLOCK-wise until it fits. `disk_bytes` is what a future
-  /// hit saves in disk reads (== payload size except for compressed blocks).
-  /// Returns a pinned handle to the resident entry — the existing one if the
-  /// key was concurrently inserted by another worker — or nullptr if the
-  /// admission policy rejected the payload.
+  /// hit saves in disk reads (== payload size except for compressed blocks);
+  /// `owner` is recorded for cross-job hit attribution. Returns a pinned
+  /// handle to the resident entry — the existing one if the key was
+  /// concurrently inserted by another worker — or nullptr if the admission
+  /// policy rejected the payload.
   PinnedBytes insert(const BlockKey& key, std::vector<char> payload,
-                     std::uint64_t disk_bytes);
+                     std::uint64_t disk_bytes, std::uint32_t owner = 0);
 
   /// Read-only peek (no stats, no reference bit): is the block resident?
   /// Used by the cache-aware predictor to cost the uncached residual.
@@ -114,7 +117,8 @@ class BlockCache {
     BlockKey key;
     std::shared_ptr<const std::vector<char>> payload;
     std::uint64_t disk_bytes = 0;
-    bool referenced = true;  ///< CLOCK second-chance bit
+    std::uint32_t owner = 0;  ///< inserting job (cross-job hit attribution)
+    bool referenced = true;   ///< CLOCK second-chance bit
   };
 
   /// Evicts unpinned entries until `needed` bytes fit under the budget.

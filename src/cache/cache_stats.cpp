@@ -10,6 +10,7 @@ CacheStats CacheStats::operator-(const CacheStats& rhs) const {
   CacheStats out = *this;
   out.hits -= rhs.hits;
   out.misses -= rhs.misses;
+  out.cross_job_hits -= rhs.cross_job_hits;
   out.insertions -= rhs.insertions;
   out.evictions -= rhs.evictions;
   out.admission_rejects -= rhs.admission_rejects;
@@ -23,6 +24,7 @@ CacheStats CacheStats::operator-(const CacheStats& rhs) const {
 CacheStats& CacheStats::operator+=(const CacheStats& rhs) {
   hits += rhs.hits;
   misses += rhs.misses;
+  cross_job_hits += rhs.cross_job_hits;
   insertions += rhs.insertions;
   evictions += rhs.evictions;
   admission_rejects += rhs.admission_rejects;

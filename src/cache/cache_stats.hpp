@@ -15,6 +15,10 @@ namespace husg {
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  /// Hits on an entry inserted by a different owner (job). Zero unless
+  /// callers tag their accesses with distinct owner ids — the service does,
+  /// so this measures cross-job sharing (one job warming another's blocks).
+  std::uint64_t cross_job_hits = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
   /// Inserts refused by the admission policy (block larger than the

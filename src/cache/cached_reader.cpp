@@ -4,6 +4,42 @@
 
 namespace husg {
 
+CacheStats CachedBlockReader::local_stats() const {
+  CacheStats s;
+  s.hits = local_hits_.load(std::memory_order_relaxed);
+  s.misses = local_misses_.load(std::memory_order_relaxed);
+  s.insertions = local_insertions_.load(std::memory_order_relaxed);
+  s.admission_rejects = local_rejects_.load(std::memory_order_relaxed);
+  s.bytes_saved = local_bytes_saved_.load(std::memory_order_relaxed);
+  return s;
+}
+
+BlockCache::PinnedBytes CachedBlockReader::consult(
+    const BlockKey& key, std::uint64_t saved_bytes) const {
+  BlockCache::PinnedBytes hit = cache_->find(key, owner_);
+  if (hit != nullptr) {
+    cache_->add_bytes_saved(saved_bytes);
+    local_hits_.fetch_add(1, std::memory_order_relaxed);
+    local_bytes_saved_.fetch_add(saved_bytes, std::memory_order_relaxed);
+  } else {
+    local_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return hit;
+}
+
+BlockCache::PinnedBytes CachedBlockReader::admit(const BlockKey& key,
+                                                 std::vector<char> payload,
+                                                 std::uint64_t disk_bytes) const {
+  BlockCache::PinnedBytes in =
+      cache_->insert(key, std::move(payload), disk_bytes, owner_);
+  // A non-null return may be another worker's racing copy; attributing it
+  // here keeps the local ledger monotone and at worst over-credits one
+  // insert per race.
+  (in != nullptr ? local_insertions_ : local_rejects_)
+      .fetch_add(1, std::memory_order_relaxed);
+  return in;
+}
+
 std::vector<char> CachedBlockReader::to_payload(const std::uint32_t* data,
                                                 std::size_t count) {
   std::vector<char> bytes(count * sizeof(std::uint32_t));
@@ -40,15 +76,17 @@ void CachedBlockReader::load_out_index(std::uint32_t i, std::uint32_t j,
     return;
   }
   BlockKey key{BlockKind::kOutIdx, i, j};
-  if (BlockCache::PinnedBytes hit = cache_->find(key)) {
+  std::uint64_t idx_bytes =
+      (static_cast<std::uint64_t>(store_->meta().interval_size(i)) + 1) *
+      sizeof(std::uint32_t);
+  if (BlockCache::PinnedBytes hit = consult(key, idx_bytes)) {
     out.resize(hit->size() / sizeof(std::uint32_t));
     std::memcpy(out.data(), hit->data(), hit->size());
-    cache_->add_bytes_saved(hit->size());
     return;
   }
   store_->load_out_index(i, j, out);
-  cache_->insert(key, to_payload(out.data(), out.size()),
-                 out.size() * sizeof(std::uint32_t));
+  admit(key, to_payload(out.data(), out.size()),
+        out.size() * sizeof(std::uint32_t));
 }
 
 void CachedBlockReader::load_in_index(std::uint32_t i, std::uint32_t j,
@@ -58,15 +96,17 @@ void CachedBlockReader::load_in_index(std::uint32_t i, std::uint32_t j,
     return;
   }
   BlockKey key{BlockKind::kInIdx, i, j};
-  if (BlockCache::PinnedBytes hit = cache_->find(key)) {
+  std::uint64_t idx_bytes =
+      (static_cast<std::uint64_t>(store_->meta().interval_size(j)) + 1) *
+      sizeof(std::uint32_t);
+  if (BlockCache::PinnedBytes hit = consult(key, idx_bytes)) {
     out.resize(hit->size() / sizeof(std::uint32_t));
     std::memcpy(out.data(), hit->data(), hit->size());
-    cache_->add_bytes_saved(hit->size());
     return;
   }
   store_->load_in_index(i, j, out);
-  cache_->insert(key, to_payload(out.data(), out.size()),
-                 out.size() * sizeof(std::uint32_t));
+  admit(key, to_payload(out.data(), out.size()),
+        out.size() * sizeof(std::uint32_t));
 }
 
 AdjacencySlice CachedBlockReader::load_out_edges(std::uint32_t i,
@@ -79,8 +119,8 @@ AdjacencySlice CachedBlockReader::load_out_edges(std::uint32_t i,
   const bool weighted = meta.weighted;
   const std::uint32_t rec = meta.edge_record_bytes();
   BlockKey key{BlockKind::kOutAdj, i, j};
-  if (BlockCache::PinnedBytes hit = cache_->find(key)) {
-    cache_->add_bytes_saved(static_cast<std::uint64_t>(hi - lo) * rec);
+  if (BlockCache::PinnedBytes hit =
+          consult(key, static_cast<std::uint64_t>(hi - lo) * rec)) {
     return decode_payload(hit, lo, hi - lo, weighted, buf);
   }
   const BlockExtent& block = meta.out_block(i, j);
@@ -91,7 +131,7 @@ AdjacencySlice CachedBlockReader::load_out_edges(std::uint32_t i,
                            static_cast<std::uint32_t>(block.edge_count), buf);
     std::vector<char> payload(buf.raw.begin(), buf.raw.end());
     if (BlockCache::PinnedBytes pinned =
-            cache_->insert(key, std::move(payload), block.adj_bytes)) {
+            admit(key, std::move(payload), block.adj_bytes)) {
       return decode_payload(pinned, lo, hi - lo, weighted, buf);
     }
     // Admission raced or was rejected; serve from the just-read bytes.
@@ -111,10 +151,9 @@ AdjacencySlice CachedBlockReader::stream_in_block(
   const StoreMeta& meta = store_->meta();
   const BlockExtent& block = meta.in_block(i, j);
   BlockKey key{BlockKind::kInAdj, i, j};
-  if (BlockCache::PinnedBytes hit = cache_->find(key)) {
-    // Payloads are stored decompressed, so a hit on a varint block saves its
-    // (smaller) on-disk size while serving fixed-width records.
-    cache_->add_bytes_saved(block.adj_bytes);
+  // Payloads are stored decompressed, so a hit on a varint block saves its
+  // (smaller) on-disk size while serving fixed-width records.
+  if (BlockCache::PinnedBytes hit = consult(key, block.adj_bytes)) {
     return decode_payload(hit, 0, block.edge_count, meta.weighted, buf);
   }
   buf.guard.reset();
@@ -123,7 +162,7 @@ AdjacencySlice CachedBlockReader::stream_in_block(
       meta.in_blocks_compressed
           ? to_payload(slice.neighbors.data(), slice.neighbors.size())
           : std::vector<char>(buf.raw.begin(), buf.raw.end());
-  cache_->insert(key, std::move(payload), block.adj_bytes);
+  admit(key, std::move(payload), block.adj_bytes);
   return slice;
 }
 

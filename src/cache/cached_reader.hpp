@@ -14,6 +14,7 @@
 // only on the COP/streaming side.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -24,13 +25,24 @@ namespace husg {
 
 class CachedBlockReader {
  public:
+  /// `owner` tags this reader's cache accesses for per-job charge accounting
+  /// and cross-job hit attribution (the service passes the job id; standalone
+  /// engines use the default 0).
   CachedBlockReader(const DualBlockStore& store, BlockCache* cache,
-                    bool fill_rop)
-      : store_(&store), cache_(cache), fill_rop_(fill_rop) {}
+                    bool fill_rop, std::uint32_t owner = 0)
+      : store_(&store), cache_(cache), fill_rop_(fill_rop), owner_(owner) {}
 
   const DualBlockStore& store() const { return *store_; }
   BlockCache* cache() const { return cache_; }
   bool enabled() const { return cache_ != nullptr; }
+  std::uint32_t owner() const { return owner_; }
+
+  /// This reader's share of the (possibly shared) cache's activity: hits,
+  /// misses, bytes saved and inserts issued through *this* reader. Eviction
+  /// counters and residency gauges stay zero — they are global properties of
+  /// the cache, not attributable to one reader. Thread-safe (pool workers
+  /// drive one reader concurrently).
+  CacheStats local_stats() const;
 
   void load_out_index(std::uint32_t i, std::uint32_t j,
                       std::vector<std::uint32_t>& out) const;
@@ -64,9 +76,27 @@ class CachedBlockReader {
                                 std::size_t first, std::size_t count,
                                 bool weighted, AdjacencyBuffer& buf) const;
 
+  /// Cache-first lookup that also charges this reader's local ledger. On a
+  /// hit, `saved_bytes` (the disk bytes this request would otherwise read)
+  /// are credited both globally and locally.
+  BlockCache::PinnedBytes consult(const BlockKey& key,
+                                  std::uint64_t saved_bytes) const;
+
+  /// Insert through the cache, charging the local ledger.
+  BlockCache::PinnedBytes admit(const BlockKey& key, std::vector<char> payload,
+                                std::uint64_t disk_bytes) const;
+
   const DualBlockStore* store_;
   BlockCache* cache_;
   bool fill_rop_;
+  std::uint32_t owner_ = 0;
+
+  /// Per-reader counters (relaxed atomics; snapshot via local_stats()).
+  mutable std::atomic<std::uint64_t> local_hits_{0};
+  mutable std::atomic<std::uint64_t> local_misses_{0};
+  mutable std::atomic<std::uint64_t> local_insertions_{0};
+  mutable std::atomic<std::uint64_t> local_rejects_{0};
+  mutable std::atomic<std::uint64_t> local_bytes_saved_{0};
 };
 
 }  // namespace husg

@@ -1,0 +1,74 @@
+// Cooperative cancellation for engine runs (and anything else long-running).
+//
+// A CancellationToken is a latch: once requested it stays cancelled, and it
+// records whether the request came from an explicit cancel or a deadline
+// (the service's per-job timeout watchdog). The engine polls the token at its
+// cancellation points — the top of every iteration and between edge blocks —
+// and unwinds by throwing OperationCancelled, which the run path converts
+// into clean partial-result teardown (scratch files removed, ValueStore
+// closed). Polling is a relaxed atomic load, so the checks are free on the
+// hot path.
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace husg {
+
+enum class CancelKind : int {
+  kNone = 0,
+  kExplicit = 1,  ///< cancel() / service-initiated shutdown
+  kTimeout = 2,   ///< per-job deadline expired
+};
+
+/// Thrown from a cancellation point once the token fires.
+class OperationCancelled : public std::runtime_error {
+ public:
+  OperationCancelled(const std::string& what, CancelKind kind)
+      : std::runtime_error(what), kind_(kind) {}
+
+  CancelKind kind() const { return kind_; }
+  bool timed_out() const { return kind_ == CancelKind::kTimeout; }
+
+ private:
+  CancelKind kind_;
+};
+
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Fires the token. First request wins; a later request (e.g. a timeout
+  /// racing an explicit cancel) does not change the recorded kind.
+  void request(CancelKind kind) {
+    int expected = 0;
+    state_.compare_exchange_strong(expected, static_cast<int>(kind),
+                                   std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return state_.load(std::memory_order_relaxed) != 0;
+  }
+
+  CancelKind kind() const {
+    return static_cast<CancelKind>(state_.load(std::memory_order_relaxed));
+  }
+
+  /// Cancellation point: throws OperationCancelled once the token has fired.
+  void check() const {
+    int s = state_.load(std::memory_order_relaxed);
+    if (s == 0) return;
+    CancelKind k = static_cast<CancelKind>(s);
+    throw OperationCancelled(
+        k == CancelKind::kTimeout ? "operation timed out" : "operation cancelled",
+        k);
+  }
+
+ private:
+  std::atomic<int> state_{0};
+};
+
+}  // namespace husg

@@ -10,12 +10,14 @@ Engine::Engine(const DualBlockStore& store, EngineOptions options)
       opts_(std::move(options)),
       pool_(opts_.threads),
       predictor_(opts_.device, opts_.predictor, opts_.alpha),
-      cache_(opts_.cache_budget_bytes > 0
+      cache_(opts_.shared_cache == nullptr && opts_.cache_budget_bytes > 0
                  ? std::make_unique<BlockCache>(BlockCache::Options{
                        opts_.cache_budget_bytes,
                        opts_.cache_max_block_fraction})
                  : nullptr),
-      reader_(store, cache_.get(), opts_.cache_fill_rop) {
+      reader_(store,
+              opts_.shared_cache != nullptr ? opts_.shared_cache : cache_.get(),
+              opts_.cache_fill_rop, opts_.cache_owner) {
   HUSG_CHECK(opts_.max_iterations > 0, "max_iterations must be positive");
   HUSG_CHECK(opts_.alpha >= 0 && opts_.alpha <= 1,
              "alpha must be in [0,1], got " << opts_.alpha);
@@ -26,7 +28,11 @@ Engine::Engine(const DualBlockStore& store, EngineOptions options)
 }
 
 CacheStats Engine::cache_stats() const {
-  return cache_ ? cache_->stats() : CacheStats{};
+  if (cache_) return cache_->stats();
+  // A shared cache's global counters mix every job's traffic; report this
+  // engine's own share instead (eviction/residency gauges stay zero).
+  if (opts_.shared_cache != nullptr) return reader_.local_stats();
+  return CacheStats{};
 }
 
 std::uint64_t Engine::column_bytes(std::uint32_t i) const {

@@ -33,11 +33,13 @@
 #include <algorithm>
 #include <atomic>
 #include <filesystem>
+#include <functional>
 #include <future>
 #include <vector>
 
 #include "cache/block_cache.hpp"
 #include "cache/cached_reader.hpp"
+#include "core/cancellation.hpp"
 #include "core/frontier.hpp"
 #include "core/predictor.hpp"
 #include "core/program.hpp"
@@ -96,6 +98,18 @@ struct EngineOptions {
   /// block (one positioning + one transfer) instead of point-loading a
   /// single vertex's run; later point loads of the block are then free.
   bool cache_fill_rop = true;
+  /// Borrow an externally-owned cache instead of building a private one
+  /// (GraphService shares one cache across concurrent jobs). Takes precedence
+  /// over cache_budget_bytes; the engine never evicts-on-destroy or resizes a
+  /// shared cache. cache_owner tags this engine's accesses for per-job charge
+  /// accounting and cross-job hit attribution.
+  BlockCache* shared_cache = nullptr;
+  std::uint32_t cache_owner = 0;
+  /// Cooperative cancellation: when set, run() polls the token at the top of
+  /// every iteration and between edge blocks/intervals, unwinding with
+  /// OperationCancelled (scratch files are still cleaned up). The token must
+  /// outlive the engine run.
+  const CancellationToken* cancel = nullptr;
 };
 
 template <class V>
@@ -131,6 +145,11 @@ class Engine {
   std::uint64_t row_bytes(std::uint32_t i) const;
 
   std::filesystem::path scratch_file() const;
+
+  /// Cancellation point (no-op without a token).
+  void check_cancelled() const {
+    if (opts_.cancel != nullptr) opts_.cancel->check();
+  }
 
   template <class P>
   void rop_row(const P& prog, const ProgramContext& ctx, std::uint32_t i,
@@ -199,7 +218,10 @@ RunResult<typename P::Value> Engine::run(const P& prog,
 
   std::filesystem::path scratch = scratch_file();
   RunResult<V> result;
-  {
+  // Unwind path (cancellation, timeout, I/O failure): the ValueStore closes
+  // and the scratch file is removed either way, so a cancelled job tears
+  // down without leaking partial results on disk.
+  try {
     ValueStore<V> values(meta, scratch, opts_.file_backed_values,
                          &store_->io());
     for (VertexId v = 0; v < n; ++v) values.values()[v] = prog.initial(ctx, v);
@@ -211,6 +233,7 @@ RunResult<typename P::Value> Engine::run(const P& prog,
 
     for (int iter = 0; iter < opts_.max_iterations && !frontier.empty();
          ++iter) {
+      check_cancelled();
       if constexpr (!kHasOnProcessed) {
         // Active vertices without out-edges cannot propagate anything; only
         // programs with an on_processed hook still need the pass (e.g.
@@ -240,6 +263,7 @@ RunResult<typename P::Value> Engine::run(const P& prog,
         bool used_rop = istats.decisions.front().used_rop;
         if (used_rop) {
           for (std::uint32_t i = 0; i < p; ++i) {
+            check_cancelled();
             rop_row_accumulating(prog, ctx, i, values, acc, frontier,
                                  rop_scanned);
           }
@@ -257,6 +281,7 @@ RunResult<typename P::Value> Engine::run(const P& prog,
           }
         } else {
           for (std::uint32_t i = 0; i < p; ++i) {
+            check_cancelled();
             cop_column_accumulating(prog, ctx, i, values, acc, next,
                                     cop_scanned);
           }
@@ -266,6 +291,7 @@ RunResult<typename P::Value> Engine::run(const P& prog,
         std::vector<std::uint32_t> all_sources(p);
         for (std::uint32_t j = 0; j < p; ++j) all_sources[j] = j;
         for (std::uint32_t i = 0; i < p; ++i) {
+          check_cancelled();
           if (istats.decisions[i].used_rop) {
             rop_row(prog, ctx, i, values, frontier, next, rop_scanned);
           } else {
@@ -326,6 +352,12 @@ RunResult<typename P::Value> Engine::run(const P& prog,
     }
 
     result.values = values.values();
+  } catch (...) {
+    if (opts_.file_backed_values) {
+      std::error_code ec;
+      std::filesystem::remove(scratch, ec);
+    }
+    throw;
   }
   if (opts_.file_backed_values) {
     std::error_code ec;
@@ -476,7 +508,9 @@ void Engine::cop_blocks(const P& prog, const ProgramContext& ctx,
   }
 
   // §3.5 CPU/I-O overlap: ping-pong slots; while one block is processed the
-  // next one's index and adjacency stream in on a prefetch thread.
+  // next one's index and adjacency stream in on a pool worker (one-shot
+  // lane — the pool bounds prefetch parallelism, where std::async spawned a
+  // fresh thread per block and concurrent jobs would multiply them).
   struct Slot {
     std::vector<std::uint32_t> inidx;
     AdjacencyBuffer buf;
@@ -488,8 +522,19 @@ void Engine::cop_blocks(const P& prog, const ProgramContext& ctx,
     slot.slice = reader_.stream_in_block(j, i, slot.buf, &slot.inidx);
   };
   std::future<void> pending;
+  std::function<void()> deferred;
+  // Unlike a std::async future, a packaged-task future does not block in its
+  // destructor; an exception (cancellation, I/O error) must not unwind this
+  // frame while a prefetch still references the slots.
+  struct PendingGuard {
+    std::future<void>* fut;
+    ~PendingGuard() {
+      if (fut->valid()) fut->wait();
+    }
+  } guard{&pending};
 
   for (std::size_t k = 0; k < blocks.size(); ++k) {
+    check_cancelled();
     std::uint32_t j = blocks[k];
     const BlockExtent& block = meta.in_block(j, i);
     if (j == i) {
@@ -502,16 +547,20 @@ void Engine::cop_blocks(const P& prog, const ProgramContext& ctx,
     Slot& cur = slots[k % 2];
     if (k == 0) {
       fetch(j, cur);
-    } else {
+    } else if (pending.valid()) {
       pending.get();  // the prefetch of this block
+    } else {
+      deferred();  // no overlap: fetch at the consume point, same I/O order
+      deferred = nullptr;
     }
-    if (opts_.overlap_io && k + 1 < blocks.size()) {
-      pending = std::async(std::launch::async, fetch, blocks[k + 1],
-                           std::ref(slots[(k + 1) % 2]));
-    } else if (k + 1 < blocks.size()) {
-      // No overlap requested: fetch synchronously on the next loop entry.
-      pending = std::async(std::launch::deferred, fetch, blocks[k + 1],
-                           std::ref(slots[(k + 1) % 2]));
+    if (k + 1 < blocks.size()) {
+      std::uint32_t nj = blocks[k + 1];
+      Slot& nslot = slots[(k + 1) % 2];
+      if (opts_.overlap_io) {
+        pending = pool_.submit([&fetch, nj, &nslot] { fetch(nj, nslot); });
+      } else {
+        deferred = [&fetch, nj, &nslot] { fetch(nj, nslot); };
+      }
     }
     const std::vector<std::uint32_t>& inidx = cur.inidx;
     const AdjacencySlice& slice = cur.slice;
@@ -617,21 +666,36 @@ void Engine::cop_column_accumulating(const P& prog, const ProgramContext& ctx,
     slot.slice = reader_.stream_in_block(j, i, slot.buf, &slot.inidx);
   };
   std::future<void> pending;
+  std::function<void()> deferred;
+  struct PendingGuard {
+    std::future<void>* fut;
+    ~PendingGuard() {
+      if (fut->valid()) fut->wait();
+    }
+  } guard{&pending};
 
   for (std::size_t k = 0; k < blocks.size(); ++k) {
+    check_cancelled();
     std::uint32_t j = blocks[k];
     const BlockExtent& block = meta.in_block(j, i);
     values.load_interval(j);  // S_j
     Slot& cur = slots[k % 2];
     if (k == 0) {
       fetch(j, cur);
-    } else {
+    } else if (pending.valid()) {
       pending.get();
+    } else {
+      deferred();
+      deferred = nullptr;
     }
     if (k + 1 < blocks.size()) {
-      pending = std::async(opts_.overlap_io ? std::launch::async
-                                            : std::launch::deferred,
-                           fetch, blocks[k + 1], std::ref(slots[(k + 1) % 2]));
+      std::uint32_t nj = blocks[k + 1];
+      Slot& nslot = slots[(k + 1) % 2];
+      if (opts_.overlap_io) {
+        pending = pool_.submit([&fetch, nj, &nslot] { fetch(nj, nslot); });
+      } else {
+        deferred = [&fetch, nj, &nslot] { fetch(nj, nslot); };
+      }
     }
     const std::vector<std::uint32_t>& inidx = cur.inidx;
     const AdjacencySlice& slice = cur.slice;

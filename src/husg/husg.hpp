@@ -24,6 +24,7 @@
 #include "cache/block_cache.hpp"
 #include "cache/cache_stats.hpp"
 #include "cache/cached_reader.hpp"
+#include "core/cancellation.hpp"
 #include "core/engine.hpp"
 #include "core/frontier.hpp"
 #include "core/predictor.hpp"
@@ -35,6 +36,10 @@
 #include "graph/reference.hpp"
 #include "io/device.hpp"
 #include "io/io_stats.hpp"
+#include "service/graph_service.hpp"
+#include "service/job.hpp"
+#include "service/jobs_json.hpp"
+#include "service/scheduler.hpp"
 #include "storage/store.hpp"
 #include "util/format.hpp"
 #include "util/logging.hpp"

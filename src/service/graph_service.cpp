@@ -1,0 +1,176 @@
+#include "service/graph_service.hpp"
+
+#include <algorithm>
+
+#include "algos/bfs.hpp"
+#include "algos/pagerank.hpp"
+#include "algos/spmv.hpp"
+#include "algos/sssp.hpp"
+#include "algos/wcc.hpp"
+#include "util/timer.hpp"
+
+namespace husg {
+namespace {
+
+bool accumulating(ServiceAlgo algo) {
+  return algo == ServiceAlgo::kPageRank || algo == ServiceAlgo::kSpmv;
+}
+
+/// Widens a typed engine result into the JobResult payload.
+template <class V>
+void fill_result(JobResult& res, RunResult<V>&& run) {
+  res.stats = std::move(run.stats);
+  res.values.assign(run.values.begin(), run.values.end());
+}
+
+}  // namespace
+
+int default_iterations(ServiceAlgo algo) {
+  switch (algo) {
+    case ServiceAlgo::kPageRank:
+      return 5;
+    case ServiceAlgo::kSpmv:
+      return 1;
+    default:
+      return 100000;  // traversals: run to convergence
+  }
+}
+
+std::uint64_t estimate_job_bytes(const StoreMeta& meta, const JobSpec& spec,
+                                 std::size_t threads) {
+  const std::uint64_t n = meta.num_vertices;
+  // Every service algorithm uses a 4-byte value (uint32 hops/labels, float
+  // ranks/distances/products).
+  const std::uint64_t value_bytes = 4;
+  std::uint64_t bytes = 2 * n * value_bytes;  // ValueStore: vals + prev
+  if (accumulating(spec.algo)) bytes += n * value_bytes;  // gather acc
+  bytes += 2 * (n / 8 + 1);  // frontier + next-frontier bitmaps
+  // §3.5 ping-pong slots: two decompressed in-blocks + their CSR indices.
+  // Varint blocks are held decoded, so size by records, not disk bytes.
+  std::uint64_t max_block = 0;
+  std::uint64_t max_index = 0;
+  const std::uint32_t p = meta.p();
+  for (std::uint32_t i = 0; i < p; ++i) {
+    max_index = std::max<std::uint64_t>(
+        max_index, (static_cast<std::uint64_t>(meta.interval_size(i)) + 1) *
+                       sizeof(std::uint32_t));
+    for (std::uint32_t j = 0; j < p; ++j) {
+      max_block = std::max(max_block, meta.in_block(i, j).edge_count *
+                                          meta.edge_record_bytes());
+    }
+  }
+  bytes += 2 * (max_block + max_index);
+  // Per-worker ROP scratch: an index plus point-load buffers (bounded by an
+  // index-sized slab in practice).
+  bytes += static_cast<std::uint64_t>(threads) * max_index;
+  return bytes;
+}
+
+GraphService::GraphService(const DualBlockStore& store, ServiceOptions options)
+    : store_(&store),
+      opts_(options),
+      cache_(opts_.cache_budget_bytes > 0
+                 ? std::make_unique<BlockCache>(BlockCache::Options{
+                       opts_.cache_budget_bytes,
+                       opts_.cache_max_block_fraction})
+                 : nullptr),
+      // +1: ThreadPool(n) spawns n-1 workers (the caller is a gang
+      // participant); job bodies run as one-shots, which only workers serve.
+      pool_(opts_.max_concurrent_jobs + 1) {
+  HUSG_CHECK(opts_.max_concurrent_jobs > 0,
+             "max_concurrent_jobs must be positive");
+  HUSG_CHECK(opts_.threads_per_job > 0, "threads_per_job must be positive");
+  SchedulerOptions sched;
+  sched.max_concurrent = opts_.max_concurrent_jobs;
+  sched.max_queue = opts_.max_queued_jobs;
+  sched.memory_budget_bytes = opts_.memory_budget_bytes;
+  scheduler_ = std::make_unique<JobScheduler>(
+      pool_, sched,
+      [this](const JobSpec& spec, JobId id, const CancellationToken& token) {
+        return execute(spec, id, token);
+      });
+}
+
+GraphService::~GraphService() { shutdown(); }
+
+std::uint64_t GraphService::estimate_bytes(const JobSpec& spec) const {
+  return estimate_job_bytes(store_->meta(), spec, opts_.threads_per_job);
+}
+
+JobTicket GraphService::submit(JobSpec spec) {
+  std::uint64_t estimate = estimate_bytes(spec);
+  return scheduler_->submit(std::move(spec), estimate);
+}
+
+bool GraphService::cancel(JobId id) { return scheduler_->cancel(id); }
+
+void GraphService::wait_idle() { scheduler_->wait_idle(); }
+
+void GraphService::shutdown() { scheduler_->stop(); }
+
+ServiceStats GraphService::stats() const {
+  ServiceStats out = scheduler_->stats();
+  if (cache_) out.cache = cache_->stats();
+  return out;
+}
+
+JobResult GraphService::execute(const JobSpec& spec, JobId id,
+                                const CancellationToken& token) {
+  const StoreMeta& meta = store_->meta();
+  EngineOptions eo;
+  eo.mode = spec.mode;
+  eo.threads = opts_.threads_per_job;
+  eo.device = opts_.device;
+  eo.predictor = opts_.predictor;
+  eo.alpha = opts_.alpha;
+  eo.file_backed_values = opts_.file_backed_values;
+  eo.scratch_dir = opts_.scratch_dir;
+  eo.cache_fill_rop = opts_.cache_fill_rop;
+  eo.shared_cache = cache_.get();
+  eo.cache_owner = static_cast<std::uint32_t>(id);
+  eo.cancel = &token;
+  eo.max_iterations = spec.max_iterations > 0 ? spec.max_iterations
+                                              : default_iterations(spec.algo);
+  HUSG_CHECK(spec.source < meta.num_vertices,
+             "job source vertex " << spec.source << " out of range (|V| = "
+                                  << meta.num_vertices << ")");
+  Engine engine(*store_, eo);
+  JobResult res;
+  switch (spec.algo) {
+    case ServiceAlgo::kBfs: {
+      BfsProgram prog;
+      prog.source = spec.source;
+      fill_result(res, engine.run(prog, Frontier::single(meta, spec.source,
+                                                         store_->out_degrees())));
+      break;
+    }
+    case ServiceAlgo::kWcc: {
+      WccProgram prog;
+      fill_result(res, engine.run(prog, Frontier::all(meta,
+                                                      store_->out_degrees())));
+      break;
+    }
+    case ServiceAlgo::kSssp: {
+      SsspProgram prog;
+      prog.source = spec.source;
+      fill_result(res, engine.run(prog, Frontier::single(meta, spec.source,
+                                                         store_->out_degrees())));
+      break;
+    }
+    case ServiceAlgo::kPageRank: {
+      PageRankProgram prog;
+      fill_result(res, engine.run(prog, Frontier::all(meta,
+                                                      store_->out_degrees())));
+      break;
+    }
+    case ServiceAlgo::kSpmv: {
+      SpmvProgram prog;
+      fill_result(res, engine.run(prog, Frontier::all(meta,
+                                                      store_->out_degrees())));
+      break;
+    }
+  }
+  return res;
+}
+
+}  // namespace husg

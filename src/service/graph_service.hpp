@@ -1,0 +1,101 @@
+// GraphService: one open dual-block store served to many concurrent jobs.
+//
+// The service owns the shared pieces — a single BlockCache (all jobs hit
+// each other's resident blocks; cross-job hits are counted) and a ThreadPool
+// whose one-shot lane runs the job bodies — and a JobScheduler for admission
+// and dispatch. Each admitted job gets its own Engine (own gang pool of
+// `threads_per_job`, own scratch value file) wired to the shared cache with
+// its job id as the cache owner tag, and a CancellationToken the engine
+// polls, so explicit cancels and deadline timeouts unwind mid-iteration
+// with scratch files cleaned up and the service staying fully usable.
+//
+// Admission charges each job a working-set estimate derived from the §3.4
+// cost-model quantities (value arrays, accumulator, frontier bitmaps, COP
+// ping-pong block slots, per-worker index scratch) against
+// `memory_budget_bytes`; the shared cache's budget is accounted separately
+// because cache bytes are reclaimable at any time while a job's working set
+// is not. See DESIGN.md §8.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+
+#include "cache/block_cache.hpp"
+#include "core/engine.hpp"
+#include "service/scheduler.hpp"
+#include "storage/store.hpp"
+
+namespace husg {
+
+struct ServiceOptions {
+  /// Total non-cache working-set bytes running jobs may reserve.
+  std::uint64_t memory_budget_bytes = 1ull << 30;
+  /// Shared block-cache budget (0 disables the cache; jobs still run).
+  std::uint64_t cache_budget_bytes = 256ull << 20;
+  std::size_t max_concurrent_jobs = 2;
+  std::size_t max_queued_jobs = 16;
+  /// Gang-pool width of each job's engine.
+  std::size_t threads_per_job = 2;
+  DeviceProfile device = DeviceProfile::sata_ssd();
+  PredictorFlavor predictor = PredictorFlavor::kDeviceExact;
+  double alpha = 0.05;
+  double cache_max_block_fraction = 0.25;
+  bool cache_fill_rop = true;
+  bool file_backed_values = true;
+  std::filesystem::path scratch_dir;  ///< default: the store directory
+};
+
+/// Working-set bytes one job reserves while running: value arrays (current +
+/// previous), the accumulator for gather/apply programs, two frontier
+/// bitmaps, the two §3.5 ping-pong slots sized for the largest decompressed
+/// in-block plus its CSR index, and per-worker index scratch. Deliberately a
+/// slight over-estimate — admission errs toward rejecting, never toward
+/// thrashing.
+std::uint64_t estimate_job_bytes(const StoreMeta& meta, const JobSpec& spec,
+                                 std::size_t threads);
+
+/// Per-algorithm max_iterations when JobSpec::max_iterations == 0 (PageRank
+/// runs the paper's 5 sweeps, SpMV a single multiply, traversals to
+/// convergence).
+int default_iterations(ServiceAlgo algo);
+
+class GraphService {
+ public:
+  GraphService(const DualBlockStore& store, ServiceOptions options);
+  ~GraphService();  ///< shutdown()s if the caller has not.
+
+  GraphService(const GraphService&) = delete;
+  GraphService& operator=(const GraphService&) = delete;
+
+  /// Admission + enqueue; see JobScheduler::submit. The working-set estimate
+  /// is computed here from the store's metadata.
+  JobTicket submit(JobSpec spec);
+
+  bool cancel(JobId id);
+  void wait_idle();
+  /// Stops the scheduler (cancels queued and running jobs). Idempotent.
+  void shutdown();
+
+  /// Scheduler ledger merged with the shared cache's global counters.
+  ServiceStats stats() const;
+  std::uint64_t estimate_bytes(const JobSpec& spec) const;
+  std::uint64_t reserved_bytes() const { return scheduler_->reserved_bytes(); }
+  const BlockCache* cache() const { return cache_.get(); }
+  const DualBlockStore& store() const { return *store_; }
+  const ServiceOptions& options() const { return opts_; }
+
+ private:
+  /// Scheduler Runner: builds an engine against the shared cache and runs
+  /// the requested algorithm. Executes on a pool worker.
+  JobResult execute(const JobSpec& spec, JobId id,
+                    const CancellationToken& token);
+
+  const DualBlockStore* store_;
+  ServiceOptions opts_;
+  std::unique_ptr<BlockCache> cache_;  ///< null when cache_budget_bytes == 0
+  ThreadPool pool_;                    ///< one-shot lane runs job bodies
+  std::unique_ptr<JobScheduler> scheduler_;
+};
+
+}  // namespace husg

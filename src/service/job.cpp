@@ -1,0 +1,70 @@
+#include "service/job.hpp"
+
+namespace husg {
+
+const char* to_string(ServiceAlgo algo) {
+  switch (algo) {
+    case ServiceAlgo::kBfs:
+      return "bfs";
+    case ServiceAlgo::kWcc:
+      return "wcc";
+    case ServiceAlgo::kSssp:
+      return "sssp";
+    case ServiceAlgo::kPageRank:
+      return "pagerank";
+    case ServiceAlgo::kSpmv:
+      return "spmv";
+  }
+  return "?";
+}
+
+bool parse_service_algo(const std::string& name, ServiceAlgo& out) {
+  if (name == "bfs") {
+    out = ServiceAlgo::kBfs;
+  } else if (name == "wcc") {
+    out = ServiceAlgo::kWcc;
+  } else if (name == "sssp") {
+    out = ServiceAlgo::kSssp;
+  } else if (name == "pagerank") {
+    out = ServiceAlgo::kPageRank;
+  } else if (name == "spmv") {
+    out = ServiceAlgo::kSpmv;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kQueued:
+      return "queued";
+    case JobStatus::kRunning:
+      return "running";
+    case JobStatus::kCompleted:
+      return "completed";
+    case JobStatus::kFailed:
+      return "failed";
+    case JobStatus::kCancelled:
+      return "cancelled";
+    case JobStatus::kTimedOut:
+      return "timed_out";
+  }
+  return "?";
+}
+
+const char* to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kQueueFull:
+      return "queue_full";
+    case RejectReason::kMemoryBudget:
+      return "memory_budget";
+    case RejectReason::kShuttingDown:
+      return "shutting_down";
+  }
+  return "?";
+}
+
+}  // namespace husg

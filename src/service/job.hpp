@@ -1,0 +1,115 @@
+// Job model for the concurrent graph service: what a caller submits
+// (JobSpec), what admission hands back (JobTicket), what a finished job
+// reports (JobResult), and the service-wide ledger (ServiceStats).
+//
+// A job is one engine run of a named algorithm over the service's store.
+// Results carry the full RunStats so per-job I/O, per-iteration decisions
+// and cache charge accounting survive into the service report.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "core/run_stats.hpp"
+#include "util/common.hpp"
+
+namespace husg {
+
+/// Algorithms the service can run. WCC is included for symmetrized stores;
+/// on a directed store its fixed point is the min-reachable-ancestor label
+/// (see src/algos/wcc.hpp).
+enum class ServiceAlgo { kBfs, kWcc, kSssp, kPageRank, kSpmv };
+
+const char* to_string(ServiceAlgo algo);
+
+/// Parses "bfs" / "wcc" / "sssp" / "pagerank" / "spmv"; returns false on an
+/// unknown name (the caller decides whether that is a usage error).
+bool parse_service_algo(const std::string& name, ServiceAlgo& out);
+
+using JobId = std::uint64_t;
+
+enum class JobStatus {
+  kQueued,
+  kRunning,
+  kCompleted,
+  kFailed,     ///< runner threw a non-cancellation exception
+  kCancelled,  ///< explicit cancel() or service shutdown
+  kTimedOut,   ///< per-job deadline fired
+};
+
+const char* to_string(JobStatus status);
+
+/// Why admission refused a submit. Typed backpressure: the caller can tell
+/// "retry later" (kQueueFull) from "will never fit" (kMemoryBudget) from
+/// "stop submitting" (kShuttingDown).
+enum class RejectReason { kNone, kQueueFull, kMemoryBudget, kShuttingDown };
+
+const char* to_string(RejectReason reason);
+
+struct JobSpec {
+  std::string name;  ///< caller's label, echoed in results and reports
+  ServiceAlgo algo = ServiceAlgo::kPageRank;
+  VertexId source = 0;     ///< BFS / SSSP start vertex (ignored otherwise)
+  int max_iterations = 0;  ///< 0 = per-algorithm default (PageRank 5, SpMV 1)
+  /// Strictly higher priority admits first; ties run in submit order.
+  int priority = 0;
+  /// Wall-clock budget measured from the moment the job starts running;
+  /// 0 = unlimited. Expiry cancels cooperatively (status kTimedOut).
+  std::int64_t timeout_ms = 0;
+  UpdateMode mode = UpdateMode::kHybrid;
+};
+
+struct JobResult {
+  JobId id = 0;
+  std::string name;
+  JobStatus status = JobStatus::kQueued;
+  std::string error;  ///< set for kFailed / kCancelled / kTimedOut
+  RunStats stats;     ///< engine stats; cache counters are this job's share
+  /// Final vertex values widened to double (empty unless kCompleted).
+  std::vector<double> values;
+  double wall_seconds = 0;  ///< queue-exit to finish (includes engine setup)
+};
+
+/// Admission outcome. `result` is valid only when `accepted`; it becomes
+/// ready when the job reaches a terminal status (including cancellation).
+struct JobTicket {
+  bool accepted = false;
+  JobId id = 0;
+  RejectReason reject = RejectReason::kNone;
+  std::string message;
+  std::shared_future<JobResult> result;
+};
+
+/// Service-wide ledger, aggregated from every terminal job plus the shared
+/// cache's global counters.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_memory = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t edges_processed = 0;
+  /// Summed over terminal jobs' reported stats (a cancelled run unwinds
+  /// before reporting, so it contributes nothing here; the store's global
+  /// IoStats still saw its traffic).
+  IoSnapshot io;
+  /// High-water mark of concurrently reserved working-set bytes.
+  std::uint64_t peak_reserved_bytes = 0;
+  /// Shared-cache global counters (includes cross_job_hits).
+  CacheStats cache;
+
+  std::uint64_t rejected() const {
+    return rejected_queue_full + rejected_memory + rejected_shutdown;
+  }
+  std::uint64_t terminal() const {
+    return completed + failed + cancelled + timed_out;
+  }
+};
+
+}  // namespace husg

@@ -1,0 +1,300 @@
+#include "service/jobs_json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/common.hpp"
+
+namespace husg {
+namespace {
+
+/// Just enough JSON for jobs.json: null/bool/number/string/array/object.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  const JsonValue* get(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t k = 0; k < pos_ && k < text_.size(); ++k) {
+      if (text_[k] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    std::ostringstream msg;
+    msg << "jobs.json:" << line << ":" << col << ": " << what;
+    throw DataError(msg.str());
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const std::string& lit) {
+    if (text_.compare(pos_, lit.size(), lit) != 0) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue value() {
+    char c = peek();
+    JsonValue v;
+    switch (c) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        v.kind = JsonValue::Kind::kString;
+        v.str = string();
+        return v;
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        v.kind = JsonValue::Kind::kBool;
+        v.b = true;
+        return v;
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        v.kind = JsonValue::Kind::kBool;
+        return v;
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        return v;
+      default:
+        return number();
+    }
+  }
+
+  JsonValue number() {
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    double num = std::strtod(begin, &end);
+    if (end == begin) fail("expected a JSON value");
+    pos_ += static_cast<std::size_t>(end - begin);
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.num = num;
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(esc);
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        default:
+          fail("unsupported string escape");
+      }
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.arr.push_back(value());
+      char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      std::string key = (peek(), string());
+      expect(':');
+      v.obj.emplace_back(std::move(key), value());
+      char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+[[noreturn]] void schema_fail(std::size_t job_index, const std::string& what) {
+  std::ostringstream msg;
+  msg << "jobs.json: job " << job_index << ": " << what;
+  throw DataError(msg.str());
+}
+
+std::int64_t require_int(const JsonValue& v, std::size_t job_index,
+                         const std::string& key) {
+  if (v.kind != JsonValue::Kind::kNumber ||
+      v.num != static_cast<double>(static_cast<std::int64_t>(v.num))) {
+    schema_fail(job_index, "\"" + key + "\" must be an integer");
+  }
+  return static_cast<std::int64_t>(v.num);
+}
+
+JobSpec parse_job(const JsonValue& v, std::size_t job_index) {
+  if (v.kind != JsonValue::Kind::kObject) {
+    schema_fail(job_index, "expected an object");
+  }
+  JobSpec spec;
+  spec.name = "job" + std::to_string(job_index);
+  bool saw_algo = false;
+  for (const auto& [key, val] : v.obj) {
+    if (key == "name") {
+      if (val.kind != JsonValue::Kind::kString) {
+        schema_fail(job_index, "\"name\" must be a string");
+      }
+      spec.name = val.str;
+    } else if (key == "algo") {
+      if (val.kind != JsonValue::Kind::kString ||
+          !parse_service_algo(val.str, spec.algo)) {
+        schema_fail(job_index,
+                    "\"algo\" must be one of bfs|wcc|sssp|pagerank|spmv");
+      }
+      saw_algo = true;
+    } else if (key == "source") {
+      std::int64_t s = require_int(val, job_index, key);
+      if (s < 0) schema_fail(job_index, "\"source\" must be non-negative");
+      spec.source = static_cast<VertexId>(s);
+    } else if (key == "iterations") {
+      std::int64_t it = require_int(val, job_index, key);
+      if (it < 0) schema_fail(job_index, "\"iterations\" must be >= 0");
+      spec.max_iterations = static_cast<int>(it);
+    } else if (key == "priority") {
+      spec.priority = static_cast<int>(require_int(val, job_index, key));
+    } else if (key == "timeout_ms") {
+      std::int64_t t = require_int(val, job_index, key);
+      if (t < 0) schema_fail(job_index, "\"timeout_ms\" must be >= 0");
+      spec.timeout_ms = t;
+    } else if (key == "mode") {
+      if (val.kind != JsonValue::Kind::kString ||
+          (val.str != "hybrid" && val.str != "rop" && val.str != "cop")) {
+        schema_fail(job_index, "\"mode\" must be hybrid|rop|cop");
+      }
+      spec.mode = val.str == "rop"   ? UpdateMode::kRop
+                  : val.str == "cop" ? UpdateMode::kCop
+                                     : UpdateMode::kHybrid;
+    } else {
+      schema_fail(job_index, "unknown key \"" + key + "\"");
+    }
+  }
+  if (!saw_algo) schema_fail(job_index, "missing required key \"algo\"");
+  return spec;
+}
+
+}  // namespace
+
+std::vector<JobSpec> parse_jobs_json(const std::string& text) {
+  JsonValue root = JsonParser(text).parse();
+  const JsonValue* jobs = &root;
+  if (root.kind == JsonValue::Kind::kObject) {
+    jobs = root.get("jobs");
+    if (jobs == nullptr) {
+      throw DataError("jobs.json: top-level object has no \"jobs\" array");
+    }
+  }
+  if (jobs->kind != JsonValue::Kind::kArray) {
+    throw DataError("jobs.json: expected an array of job objects");
+  }
+  std::vector<JobSpec> out;
+  out.reserve(jobs->arr.size());
+  for (std::size_t k = 0; k < jobs->arr.size(); ++k) {
+    out.push_back(parse_job(jobs->arr[k], k));
+  }
+  return out;
+}
+
+std::vector<JobSpec> load_jobs_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw DataError("cannot open jobs file: " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_jobs_json(buf.str());
+}
+
+}  // namespace husg

@@ -1,0 +1,35 @@
+// jobs.json: the batch input of `husg_cli serve`. Parsed with a minimal
+// recursive-descent JSON reader (the repo takes no third-party
+// dependencies) that accepts the standard grammar minus exotica we do not
+// emit: no \u escapes beyond Latin-1, numbers via strtod.
+//
+// Schema — either a top-level array of job objects or {"jobs": [...]}:
+//
+//   [
+//     {"name": "ranks",  "algo": "pagerank", "iterations": 5,
+//      "priority": 1},
+//     {"name": "reach",  "algo": "bfs", "source": 0,
+//      "timeout_ms": 2000, "mode": "hybrid"}
+//   ]
+//
+// "algo" is required; everything else defaults as in JobSpec ("name"
+// defaults to "job<N>"). Unknown keys are a DataError — a typoed field
+// silently meaning "default" is how jobs run with the wrong parameters.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "service/job.hpp"
+
+namespace husg {
+
+/// Parses jobs.json text. Throws DataError with a position-annotated message
+/// on malformed JSON or schema violations.
+std::vector<JobSpec> parse_jobs_json(const std::string& text);
+
+/// Reads and parses a jobs.json file.
+std::vector<JobSpec> load_jobs_file(const std::filesystem::path& path);
+
+}  // namespace husg

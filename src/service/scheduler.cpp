@@ -1,0 +1,251 @@
+#include "service/scheduler.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/timer.hpp"
+
+namespace husg {
+
+JobScheduler::JobScheduler(ThreadPool& pool, SchedulerOptions options,
+                           Runner runner)
+    : pool_(pool), opts_(options), runner_(std::move(runner)) {
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+JobScheduler::~JobScheduler() { stop(); }
+
+JobTicket JobScheduler::submit(JobSpec spec, std::uint64_t estimate_bytes) {
+  JobTicket ticket;
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.submitted;
+  if (stopping_) {
+    ++stats_.rejected_shutdown;
+    ticket.reject = RejectReason::kShuttingDown;
+    ticket.message = "service is shutting down";
+    return ticket;
+  }
+  if (estimate_bytes > opts_.memory_budget_bytes) {
+    // Would never fit even alone; rejecting here is also what guarantees the
+    // dispatcher's head-of-line wait always terminates.
+    ++stats_.rejected_memory;
+    ticket.reject = RejectReason::kMemoryBudget;
+    std::ostringstream msg;
+    msg << "estimated working set " << estimate_bytes
+        << " B exceeds the service memory budget "
+        << opts_.memory_budget_bytes << " B";
+    ticket.message = msg.str();
+    return ticket;
+  }
+  if (pending_.size() >= opts_.max_queue) {
+    ++stats_.rejected_queue_full;
+    ticket.reject = RejectReason::kQueueFull;
+    std::ostringstream msg;
+    msg << "pending queue is full (" << opts_.max_queue << " jobs); retry";
+    ticket.message = msg.str();
+    return ticket;
+  }
+  auto job = std::make_unique<Pending>();
+  job->spec = std::move(spec);
+  job->id = next_id_++;
+  job->estimate = estimate_bytes;
+  job->token = std::make_shared<CancellationToken>();
+  ticket.accepted = true;
+  ticket.id = job->id;
+  ticket.result = job->promise.get_future().share();
+  ++stats_.accepted;
+  pending_.push_back(std::move(job));
+  lock.unlock();
+  cv_dispatch_.notify_all();
+  return ticket;
+}
+
+std::size_t JobScheduler::best_pending_index() const {
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < pending_.size(); ++k) {
+    if (pending_[k]->spec.priority > pending_[best]->spec.priority) best = k;
+    // ids are monotone in submit order, so equal priority keeps the earlier
+    // submit (smaller index) — FIFO within a priority class.
+  }
+  return best;
+}
+
+void JobScheduler::start_locked(std::size_t index) {
+  std::shared_ptr<Pending> job(std::move(pending_[index]));
+  pending_.erase(pending_.begin() +
+                 static_cast<std::ptrdiff_t>(index));
+  reserved_bytes_ += job->estimate;
+  stats_.peak_reserved_bytes =
+      std::max(stats_.peak_reserved_bytes, reserved_bytes_);
+  Running r;
+  r.estimate = job->estimate;
+  r.token = job->token;
+  if (job->spec.timeout_ms > 0) {
+    r.has_deadline = true;
+    r.deadline = Clock::now() + std::chrono::milliseconds(job->spec.timeout_ms);
+  }
+  running_.emplace(job->id, std::move(r));
+  pool_.submit([this, job] { run_one(job); });
+}
+
+void JobScheduler::dispatcher_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // Start the head job while slots and memory allow. Memory shortfall
+    // blocks the queue (see header) until running reservations release.
+    while (!stopping_ && !pending_.empty() &&
+           running_.size() < opts_.max_concurrent) {
+      std::size_t best = best_pending_index();
+      if (reserved_bytes_ + pending_[best]->estimate >
+          opts_.memory_budget_bytes) {
+        break;
+      }
+      start_locked(best);
+    }
+    if (stopping_ && pending_.empty() && running_.empty()) return;
+    // Deadline watchdog: fire expired timeouts, find the next wake-up.
+    // Scanned after the start loop so a just-started job's deadline is
+    // armed before this pass sleeps.
+    const Clock::time_point now = Clock::now();
+    Clock::time_point next_deadline = Clock::time_point::max();
+    for (auto& [id, r] : running_) {
+      if (!r.has_deadline || r.token->cancelled()) continue;
+      if (r.deadline <= now) {
+        r.token->request(CancelKind::kTimeout);
+      } else {
+        next_deadline = std::min(next_deadline, r.deadline);
+      }
+    }
+    if (next_deadline == Clock::time_point::max()) {
+      cv_dispatch_.wait(lock);
+    } else {
+      cv_dispatch_.wait_until(lock, next_deadline);
+    }
+  }
+}
+
+void JobScheduler::run_one(std::shared_ptr<Pending> job) {
+  Timer timer;
+  JobResult res;
+  try {
+    res = runner_(job->spec, job->id, *job->token);
+    res.status = JobStatus::kCompleted;
+  } catch (const OperationCancelled& e) {
+    res = JobResult{};
+    res.status = e.timed_out() ? JobStatus::kTimedOut : JobStatus::kCancelled;
+    res.error = e.what();
+  } catch (const std::exception& e) {
+    res = JobResult{};
+    res.status = JobStatus::kFailed;
+    res.error = e.what();
+  }
+  res.id = job->id;
+  res.name = job->spec.name;
+  res.wall_seconds = timer.seconds();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    reserved_bytes_ -= job->estimate;
+    running_.erase(job->id);
+    switch (res.status) {
+      case JobStatus::kCompleted:
+        ++stats_.completed;
+        break;
+      case JobStatus::kFailed:
+        ++stats_.failed;
+        break;
+      case JobStatus::kTimedOut:
+        ++stats_.timed_out;
+        break;
+      default:
+        ++stats_.cancelled;
+        break;
+    }
+    stats_.edges_processed += res.stats.edges_processed;
+    stats_.io += res.stats.total_io;
+    // Notify while still holding the mutex: once `running_` is observed
+    // empty (wait_idle acquires mu_), the caller may destroy the scheduler,
+    // so the condvars must not be touched after the unlock.
+    cv_dispatch_.notify_all();
+    cv_idle_.notify_all();
+  }
+  // Fulfil last: a waiter observing the future ready sees the ledger and the
+  // released reservation.
+  job->promise.set_value(std::move(res));
+}
+
+bool JobScheduler::cancel(JobId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (std::size_t k = 0; k < pending_.size(); ++k) {
+    if (pending_[k]->id != id) continue;
+    std::unique_ptr<Pending> job = std::move(pending_[k]);
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(k));
+    ++stats_.cancelled;
+    // A removed pending job can unblock the head-of-line memory wait.
+    // Notified under the lock for the same lifetime reason as run_one.
+    cv_dispatch_.notify_all();
+    cv_idle_.notify_all();
+    lock.unlock();
+    JobResult res;
+    res.id = job->id;
+    res.name = job->spec.name;
+    res.status = JobStatus::kCancelled;
+    res.error = "cancelled before start";
+    job->promise.set_value(std::move(res));
+    return true;
+  }
+  auto it = running_.find(id);
+  if (it == running_.end()) return false;
+  it->second.token->request(CancelKind::kExplicit);
+  return true;
+}
+
+void JobScheduler::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return pending_.empty() && running_.empty(); });
+}
+
+void JobScheduler::stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (!dispatcher_.joinable()) return;  // already stopped
+  std::vector<std::unique_ptr<Pending>> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    dropped.swap(pending_);
+    stats_.cancelled += dropped.size();
+    for (auto& [id, r] : running_) r.token->request(CancelKind::kExplicit);
+  }
+  cv_dispatch_.notify_all();
+  cv_idle_.notify_all();
+  for (auto& job : dropped) {
+    JobResult res;
+    res.id = job->id;
+    res.name = job->spec.name;
+    res.status = JobStatus::kCancelled;
+    res.error = "service shutting down";
+    job->promise.set_value(std::move(res));
+  }
+  dispatcher_.join();
+}
+
+ServiceStats JobScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::uint64_t JobScheduler::reserved_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reserved_bytes_;
+}
+
+std::size_t JobScheduler::pending_jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+std::size_t JobScheduler::running_jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_.size();
+}
+
+}  // namespace husg

@@ -1,0 +1,137 @@
+// JobScheduler: admission control + dispatch for concurrent jobs.
+//
+// Admission is typed backpressure, not unbounded queueing: a submit is
+// rejected outright when the pending queue is full (kQueueFull), when the
+// job's working-set estimate can never fit the memory budget
+// (kMemoryBudget), or after stop() (kShuttingDown). Accepted jobs wait in a
+// strict-priority queue (higher priority first, FIFO within a priority) and
+// start when (a) a concurrency slot is free and (b) the head job's estimate
+// fits under `memory_budget_bytes` minus the bytes reserved by running
+// jobs. The head job blocks lower-priority jobs even when those would fit
+// (head-of-line blocking) — that is deliberate: skipping the head would
+// starve large jobs forever under a stream of small ones. Progress is
+// guaranteed because submit() rejects any estimate larger than the whole
+// budget, so the head always fits once the running set drains.
+//
+// Each running job gets a CancellationToken. cancel() cancels a pending job
+// immediately (its future completes with kCancelled) or requests
+// cooperative cancellation of a running one; a per-job timeout is a
+// deadline the dispatcher converts into a kTimeout request, so the engine
+// unwinds at its next cancellation point and the job reports kTimedOut.
+//
+// The scheduler is generic over a Runner callback so it can be unit-tested
+// with stub runners (no store, no engine).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cancellation.hpp"
+#include "service/job.hpp"
+#include "util/threadpool.hpp"
+
+namespace husg {
+
+struct SchedulerOptions {
+  std::size_t max_concurrent = 2;
+  /// Pending (accepted, not yet running) jobs beyond this are rejected.
+  std::size_t max_queue = 16;
+  /// Total working-set bytes running jobs may reserve concurrently.
+  std::uint64_t memory_budget_bytes = 1ull << 30;
+};
+
+class JobScheduler {
+ public:
+  /// Executes one job. Runs on a pool worker; must poll `token` (the engine
+  /// does via EngineOptions::cancel) and may throw: OperationCancelled maps
+  /// to kCancelled/kTimedOut, anything else to kFailed. On normal return the
+  /// result's status is forced to kCompleted and id/name are filled in.
+  using Runner = std::function<JobResult(const JobSpec&, JobId,
+                                         const CancellationToken&)>;
+
+  /// Jobs execute as one-shot tasks on `pool`, which must outlive the
+  /// scheduler and have at least one worker thread (ThreadPool(n >= 2));
+  /// with zero workers submit() would run jobs inline in the dispatcher and
+  /// deadline watchdogs could never fire.
+  JobScheduler(ThreadPool& pool, SchedulerOptions options, Runner runner);
+  ~JobScheduler();  ///< stop()s if the caller has not.
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Admission: rejects (typed) or accepts and returns a ticket whose
+  /// shared_future completes when the job reaches a terminal status.
+  /// `estimate_bytes` is the job's working-set reservation (see
+  /// estimate_job_bytes in graph_service.hpp).
+  JobTicket submit(JobSpec spec, std::uint64_t estimate_bytes);
+
+  /// Cancels a pending job (future completes with kCancelled now) or
+  /// requests cooperative cancellation of a running one (future completes
+  /// when it unwinds). False if the id is unknown or already terminal.
+  bool cancel(JobId id);
+
+  /// Blocks until no job is pending or running.
+  void wait_idle();
+
+  /// Rejects future submits, cancels pending and running jobs, waits for
+  /// running jobs to unwind, joins the dispatcher. Idempotent.
+  void stop();
+
+  ServiceStats stats() const;
+  std::uint64_t reserved_bytes() const;
+  std::size_t pending_jobs() const;
+  std::size_t running_jobs() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    JobSpec spec;
+    JobId id = 0;
+    std::uint64_t estimate = 0;
+    std::promise<JobResult> promise;
+    std::shared_ptr<CancellationToken> token;
+  };
+
+  struct Running {
+    std::uint64_t estimate = 0;
+    std::shared_ptr<CancellationToken> token;
+    bool has_deadline = false;
+    Clock::time_point deadline;
+  };
+
+  void dispatcher_loop();
+  /// Highest priority, then lowest id. Caller holds mu_.
+  std::size_t best_pending_index() const;
+  /// Moves pending_[index] into running_ and launches it. Caller holds mu_.
+  void start_locked(std::size_t index);
+  /// Job body on a pool worker: run, classify outcome, release reservation.
+  void run_one(std::shared_ptr<Pending> job);
+
+  ThreadPool& pool_;
+  SchedulerOptions opts_;
+  Runner runner_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_dispatch_;  ///< wakes the dispatcher
+  std::condition_variable cv_idle_;      ///< wakes wait_idle()
+  std::vector<std::unique_ptr<Pending>> pending_;
+  std::unordered_map<JobId, Running> running_;
+  std::uint64_t reserved_bytes_ = 0;
+  JobId next_id_ = 1;  ///< 0 is the cache's "no job" owner tag
+  bool stopping_ = false;
+  ServiceStats stats_;
+
+  std::mutex stop_mu_;  ///< serializes stop() (join is not reentrant)
+  std::thread dispatcher_;
+};
+
+}  // namespace husg

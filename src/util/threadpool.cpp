@@ -76,19 +76,50 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen_generation = 0;
   for (;;) {
     Task* task = nullptr;
+    std::packaged_task<void()> oneshot;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_task_.wait(lock, [this, seen_generation] {
-        return shutdown_ || generation_ != seen_generation;
+        return shutdown_ || generation_ != seen_generation ||
+               !oneshots_.empty();
       });
-      if (shutdown_) return;
-      seen_generation = generation_;
-      task = current_;
+      // Gang work first: a pending generation cannot complete without every
+      // worker's participation, so it outranks queued one-shots. Shutdown is
+      // honoured only once the one-shot queue is drained (pending futures
+      // must complete).
+      if (generation_ != seen_generation) {
+        seen_generation = generation_;
+        task = current_;
+      } else if (!oneshots_.empty()) {
+        oneshot = std::move(oneshots_.front());
+        oneshots_.pop_front();
+      } else {
+        return;  // shutdown_, no work left
+      }
     }
-    // Every worker participates in each generation exactly once; the atomic
-    // cursors inside the task partition the work.
-    run_task(*task);
+    if (task != nullptr) {
+      // Every worker participates in each generation exactly once; the atomic
+      // cursors inside the task partition the work.
+      run_task(*task);
+    } else {
+      oneshot();  // exceptions land in the task's future
+    }
   }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> fut = task.get_future();
+  if (threads_ == 1) {
+    task();  // no workers; run inline (future carries any exception)
+    return fut;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    oneshots_.push_back(std::move(task));
+  }
+  cv_task_.notify_all();
+  return fut;
 }
 
 void ThreadPool::submit_and_wait(Task& task) {

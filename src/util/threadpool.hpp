@@ -2,12 +2,26 @@
 // only parallelism primitive: ROP overlaps the out-blocks of a row across
 // workers; COP splits the destination range of one in-block across workers
 // (paper §3.5, "Fine-grained Parallelism").
+//
+// Besides the gang lanes (parallel_for / parallel_ranges, one collective task
+// at a time, driven by the submitting thread plus every worker) the pool has
+// a one-shot lane: submit() queues an independent task that any single worker
+// picks up. The engine's §3.5 COP prefetch and the service's job execution
+// both ride this lane, so no code path ever spawns threads beyond the pool
+// (the old prefetch used std::launch::async, one fresh thread per block).
+// Workers prefer a pending gang generation over one-shots; a worker busy in a
+// one-shot joins the gang when it finishes, so a gang barrier completes no
+// earlier than the one-shots running at its start — exactly the overlap
+// semantics the prefetch wants, but callers mixing long one-shots with gang
+// work on one pool should expect the gang to wait for them.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -40,6 +54,13 @@ class ThreadPool {
       std::size_t n,
       const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
 
+  /// One-shot lane: queues fn for execution by one worker and returns a
+  /// future that completes (or rethrows fn's exception) when it ran. With
+  /// thread_count() == 1 there are no workers, so fn runs inline before
+  /// submit returns — callers get synchronous, still-correct behaviour.
+  /// Queued one-shots are drained (not dropped) at pool destruction.
+  std::future<void> submit(std::function<void()> fn);
+
  private:
   struct Task;
   void worker_loop();
@@ -53,6 +74,7 @@ class ThreadPool {
   std::condition_variable cv_done_;
   Task* current_ = nullptr;
   std::uint64_t generation_ = 0;
+  std::deque<std::packaged_task<void()>> oneshots_;
   bool shutdown_ = false;
 };
 

@@ -10,10 +10,20 @@
 //                     [--cache-budget 67108864] [--cache-fraction 0.25]
 //                     [--predictor paper|exact|cache-aware]
 //                     [--out values.txt] [--trace]
+//   husg_cli serve    --store /data/store --jobs jobs.json
+//                     [--max-concurrent 2] [--queue 16]
+//                     [--threads-per-job 2] [--memory-budget BYTES]
+//                     [--cache-budget BYTES] [--report report.json]
 //
 // Text graphs ("src dst [w]" per line) and the compact binary format are
 // both accepted wherever a graph file is expected (picked by extension:
 // .txt/.el -> text, anything else -> binary).
+//
+// Exit codes: 0 success, 1 runtime error (and `serve` with any job not
+// completed), 2 usage (missing command/required option), 3 invalid option
+// value. Option values are validated up front, before any store or graph
+// I/O, so a typo fails in milliseconds with a pointed message instead of
+// silently running with a default.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -41,8 +51,59 @@ int usage() {
       "           [--alpha A] [--sync jacobi|async] [--out FILE] [--trace]\n"
       "           [--cache-budget BYTES] [--cache-fraction F]\n"
       "           [--no-cache-fill-rop]\n"
-      "           [--predictor paper|exact|cache-aware]\n");
+      "           [--predictor paper|exact|cache-aware]\n"
+      "  serve    --store DIR --jobs FILE [--max-concurrent N] [--queue N]\n"
+      "           [--threads-per-job T] [--memory-budget BYTES]\n"
+      "           [--cache-budget BYTES] [--cache-fraction F]\n"
+      "           [--device hdd|ssd|nvme] [--seek-scale F] [--alpha A]\n"
+      "           [--predictor paper|exact|cache-aware] [--report FILE]\n");
   return 2;
+}
+
+/// Exit code for a syntactically present but invalid option value; distinct
+/// from usage (2) so scripts can tell "you called it wrong" from "that value
+/// is out of range".
+constexpr int kInvalidOption = 3;
+
+int invalid_option(const std::string& flag, const std::string& got,
+                   const char* expect) {
+  std::fprintf(stderr, "invalid %s '%s': expected %s\n", flag.c_str(),
+               got.c_str(), expect);
+  return kInvalidOption;
+}
+
+/// Validates the option values shared by `run` and `serve` (strings that
+/// used to fall back to a default silently, plus numeric ranges). Returns 0
+/// or kInvalidOption.
+int validate_engine_flags(const Options& opts) {
+  std::string device = opts.get("device", "ssd");
+  if (device != "hdd" && device != "ssd" && device != "nvme") {
+    return invalid_option("--device", device, "hdd|ssd|nvme");
+  }
+  double seek = opts.get_double("seek-scale", 1.0);
+  if (seek <= 0) {
+    return invalid_option("--seek-scale", opts.get("seek-scale", ""),
+                          "a positive factor");
+  }
+  std::string predictor = opts.get("predictor", "exact");
+  if (predictor != "paper" && predictor != "exact" &&
+      predictor != "cache-aware") {
+    return invalid_option("--predictor", predictor, "paper|exact|cache-aware");
+  }
+  double alpha = opts.get_double("alpha", 0.05);
+  if (alpha < 0 || alpha > 1) {
+    return invalid_option("--alpha", opts.get("alpha", ""), "a value in [0,1]");
+  }
+  if (opts.get_int("cache-budget", 0) < 0) {
+    return invalid_option("--cache-budget", opts.get("cache-budget", ""),
+                          "a non-negative byte count");
+  }
+  double fraction = opts.get_double("cache-fraction", 0.25);
+  if (fraction <= 0 || fraction > 1) {
+    return invalid_option("--cache-fraction", opts.get("cache-fraction", ""),
+                          "a fraction in (0,1]");
+  }
+  return 0;
 }
 
 EdgeList load_graph(const std::string& path) {
@@ -82,8 +143,7 @@ int cmd_generate(const Options& opts) {
     VertexId side = VertexId{1} << (scale / 2);
     g = gen::grid2d(side, side);
   } else {
-    std::fprintf(stderr, "unknown --type '%s'\n", type.c_str());
-    return 2;
+    return invalid_option("--type", type, "rmat|er|web|chain|grid");
   }
   if (opts.get_bool("weighted", false)) {
     g = gen::with_random_weights(g, seed ^ 0xBEEF);
@@ -200,19 +260,52 @@ void print_trace(const RunStats& stats, bool trace) {
   }
 }
 
+PredictorFlavor parse_predictor(const Options& opts) {
+  std::string predictor = opts.get("predictor", "exact");
+  if (predictor == "paper") return PredictorFlavor::kPaper;
+  if (predictor == "cache-aware") return PredictorFlavor::kCacheAware;
+  return PredictorFlavor::kDeviceExact;
+}
+
 int cmd_run(const Options& opts) {
   std::string store_dir = opts.get("store", "");
   std::string algo = opts.get("algo", "");
   if (store_dir.empty() || algo.empty()) return usage();
+  // Validate every option value before touching the store (exit 3 with a
+  // pointed message; see the exit-code contract at the top of this file).
+  if (algo != "bfs" && algo != "wcc" && algo != "sssp" && algo != "pagerank" &&
+      algo != "prdelta" && algo != "kcore" && algo != "spmv") {
+    return invalid_option("--algo", algo,
+                          "bfs|wcc|sssp|pagerank|prdelta|spmv|kcore");
+  }
+  std::string mode = opts.get("mode", "hybrid");
+  if (mode != "hybrid" && mode != "rop" && mode != "cop") {
+    return invalid_option("--mode", mode, "hybrid|rop|cop");
+  }
+  std::string sync = opts.get("sync", "jacobi");
+  if (sync != "jacobi" && sync != "async") {
+    return invalid_option("--sync", sync, "jacobi|async");
+  }
+  if (opts.get_int("threads", 4) <= 0) {
+    return invalid_option("--threads", opts.get("threads", ""),
+                          "a positive thread count");
+  }
+  if (opts.get_int("iters", 0) < 0) {
+    return invalid_option("--iters", opts.get("iters", ""),
+                          "a non-negative count");
+  }
+  if (opts.get_int("source", 0) < 0) {
+    return invalid_option("--source", opts.get("source", ""),
+                          "a non-negative vertex id");
+  }
+  if (int rc = validate_engine_flags(opts)) return rc;
   DualBlockStore store = DualBlockStore::open(store_dir);
 
   EngineOptions eo;
-  std::string mode = opts.get("mode", "hybrid");
   eo.mode = mode == "rop"   ? UpdateMode::kRop
             : mode == "cop" ? UpdateMode::kCop
                             : UpdateMode::kHybrid;
-  eo.sync = opts.get("sync", "jacobi") == "async" ? SyncMode::kPaperAsync
-                                                  : SyncMode::kJacobi;
+  eo.sync = sync == "async" ? SyncMode::kPaperAsync : SyncMode::kJacobi;
   eo.threads = static_cast<std::size_t>(opts.get_int("threads", 4));
   eo.device = parse_device(opts);
   eo.alpha = opts.get_double("alpha", 0.05);
@@ -220,17 +313,7 @@ int cmd_run(const Options& opts) {
       static_cast<std::uint64_t>(opts.get_int("cache-budget", 0));
   eo.cache_max_block_fraction = opts.get_double("cache-fraction", 0.25);
   eo.cache_fill_rop = !opts.get_bool("no-cache-fill-rop", false);
-  std::string predictor = opts.get("predictor", "exact");
-  if (predictor == "paper") {
-    eo.predictor = PredictorFlavor::kPaper;
-  } else if (predictor == "cache-aware") {
-    eo.predictor = PredictorFlavor::kCacheAware;
-  } else if (predictor == "exact") {
-    eo.predictor = PredictorFlavor::kDeviceExact;
-  } else {
-    std::fprintf(stderr, "unknown --predictor '%s'\n", predictor.c_str());
-    return 2;
-  }
+  eo.predictor = parse_predictor(opts);
   int iters = static_cast<int>(opts.get_int("iters", 0));
   bool trace = opts.get_bool("trace", false);
   VertexId source = static_cast<VertexId>(opts.get_int("source", 0));
@@ -305,6 +388,188 @@ int cmd_run(const Options& opts) {
   return 0;
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Per-job + service-level JSON report of a `serve` batch.
+void write_serve_report(const std::string& path, const std::string& store_dir,
+                        const std::vector<JobSpec>& jobs,
+                        const std::vector<JobTicket>& tickets,
+                        const std::vector<JobResult>& results,
+                        const ServiceStats& st) {
+  std::ofstream f(path);
+  f << "{\n  \"store\": \"" << json_escape(store_dir) << "\",\n"
+    << "  \"jobs\": [\n";
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    const JobTicket& t = tickets[k];
+    f << "    {\"name\": \"" << json_escape(jobs[k].name) << "\", \"algo\": \""
+      << to_string(jobs[k].algo) << "\", \"accepted\": "
+      << (t.accepted ? "true" : "false");
+    if (!t.accepted) {
+      f << ", \"reject\": \"" << to_string(t.reject) << "\", \"message\": \""
+        << json_escape(t.message) << "\"}";
+    } else {
+      const JobResult& r = results[k];
+      f << ", \"id\": " << r.id << ", \"status\": \"" << to_string(r.status)
+        << "\", \"error\": \"" << json_escape(r.error) << "\""
+        << ", \"wall_seconds\": " << r.wall_seconds
+        << ", \"iterations\": " << r.stats.iterations_run()
+        << ", \"edges_processed\": " << r.stats.edges_processed
+        << ", \"read_bytes\": " << r.stats.total_io.total_read_bytes()
+        << ", \"write_bytes\": " << r.stats.total_io.write_bytes
+        << ", \"cache_hits\": " << r.stats.cache.hits
+        << ", \"cache_misses\": " << r.stats.cache.misses
+        << ", \"cache_bytes_saved\": " << r.stats.cache.bytes_saved << "}";
+    }
+    f << (k + 1 < jobs.size() ? ",\n" : "\n");
+  }
+  f << "  ],\n  \"service\": {"
+    << "\"submitted\": " << st.submitted << ", \"accepted\": " << st.accepted
+    << ", \"rejected_queue_full\": " << st.rejected_queue_full
+    << ", \"rejected_memory\": " << st.rejected_memory
+    << ", \"rejected_shutdown\": " << st.rejected_shutdown
+    << ", \"completed\": " << st.completed << ", \"failed\": " << st.failed
+    << ", \"cancelled\": " << st.cancelled
+    << ", \"timed_out\": " << st.timed_out
+    << ", \"edges_processed\": " << st.edges_processed
+    << ", \"read_bytes\": " << st.io.total_read_bytes()
+    << ", \"peak_reserved_bytes\": " << st.peak_reserved_bytes
+    << ", \"cache_hits\": " << st.cache.hits
+    << ", \"cache_misses\": " << st.cache.misses
+    << ", \"cache_cross_job_hits\": " << st.cache.cross_job_hits
+    << ", \"cache_bytes_saved\": " << st.cache.bytes_saved << "}\n}\n";
+}
+
+int cmd_serve(const Options& opts) {
+  std::string store_dir = opts.get("store", "");
+  std::string jobs_path = opts.get("jobs", "");
+  if (store_dir.empty() || jobs_path.empty()) return usage();
+  if (opts.get_int("max-concurrent", 2) <= 0) {
+    return invalid_option("--max-concurrent", opts.get("max-concurrent", ""),
+                          "a positive job count");
+  }
+  if (opts.get_int("queue", 16) <= 0) {
+    return invalid_option("--queue", opts.get("queue", ""),
+                          "a positive queue length");
+  }
+  if (opts.get_int("threads-per-job", 2) <= 0) {
+    return invalid_option("--threads-per-job", opts.get("threads-per-job", ""),
+                          "a positive thread count");
+  }
+  if (opts.get_int("memory-budget", 0) < 0) {
+    return invalid_option("--memory-budget", opts.get("memory-budget", ""),
+                          "a non-negative byte count");
+  }
+  if (int rc = validate_engine_flags(opts)) return rc;
+
+  // Jobs are validated before the store is opened: a bad jobs.json fails
+  // fast (main() maps DataError to exit 1).
+  std::vector<JobSpec> jobs = load_jobs_file(jobs_path);
+  if (jobs.empty()) {
+    std::fprintf(stderr, "no jobs in %s\n", jobs_path.c_str());
+    return kInvalidOption;
+  }
+
+  DualBlockStore store = DualBlockStore::open(store_dir);
+  ServiceOptions so;
+  so.max_concurrent_jobs =
+      static_cast<std::size_t>(opts.get_int("max-concurrent", 2));
+  so.max_queued_jobs = static_cast<std::size_t>(opts.get_int("queue", 16));
+  so.threads_per_job =
+      static_cast<std::size_t>(opts.get_int("threads-per-job", 2));
+  if (opts.get_int("memory-budget", 0) > 0) {
+    so.memory_budget_bytes =
+        static_cast<std::uint64_t>(opts.get_int("memory-budget", 0));
+  }
+  so.cache_budget_bytes = static_cast<std::uint64_t>(
+      opts.get_int("cache-budget", 64ll << 20));
+  so.cache_max_block_fraction = opts.get_double("cache-fraction", 0.25);
+  so.device = parse_device(opts);
+  so.alpha = opts.get_double("alpha", 0.05);
+  so.predictor = parse_predictor(opts);
+
+  GraphService service(store, so);
+  std::vector<JobTicket> tickets;
+  tickets.reserve(jobs.size());
+  for (const JobSpec& spec : jobs) tickets.push_back(service.submit(spec));
+
+  std::vector<JobResult> results(jobs.size());
+  bool all_completed = true;
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    if (!tickets[k].accepted) {
+      std::printf("job %-16s REJECTED (%s): %s\n", jobs[k].name.c_str(),
+                  to_string(tickets[k].reject), tickets[k].message.c_str());
+      all_completed = false;
+      continue;
+    }
+    results[k] = tickets[k].result.get();
+    const JobResult& r = results[k];
+    std::printf("job %-16s %-9s %s  iters=%d  io=%s", r.name.c_str(),
+                to_string(r.status), human_seconds(r.wall_seconds).c_str(),
+                r.stats.iterations_run(),
+                human_bytes(r.stats.total_io.total_bytes()).c_str());
+    if (r.stats.cache.lookups() > 0) {
+      std::printf("  cache-hit=%.0f%%", 100.0 * r.stats.cache.hit_rate());
+    }
+    if (!r.error.empty()) std::printf("  (%s)", r.error.c_str());
+    std::printf("\n");
+    if (r.status != JobStatus::kCompleted) all_completed = false;
+  }
+  service.shutdown();
+
+  ServiceStats st = service.stats();
+  std::printf(
+      "service: %llu submitted, %llu completed, %llu failed, %llu "
+      "cancelled, %llu timed out, %llu rejected\n",
+      static_cast<unsigned long long>(st.submitted),
+      static_cast<unsigned long long>(st.completed),
+      static_cast<unsigned long long>(st.failed),
+      static_cast<unsigned long long>(st.cancelled),
+      static_cast<unsigned long long>(st.timed_out),
+      static_cast<unsigned long long>(st.rejected()));
+  if (st.cache.lookups() > 0) {
+    std::printf("  shared cache: %.0f%% hit rate, %llu cross-job hits, %s "
+                "saved\n",
+                100.0 * st.cache.hit_rate(),
+                static_cast<unsigned long long>(st.cache.cross_job_hits),
+                human_bytes(st.cache.bytes_saved).c_str());
+  }
+
+  std::string report = opts.get("report", "");
+  if (!report.empty()) {
+    write_serve_report(report, store_dir, jobs, tickets, results, st);
+    std::printf("wrote %s\n", report.c_str());
+  }
+  return all_completed ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace husg
 
@@ -319,6 +584,7 @@ int main(int argc, char** argv) {
     if (cmd == "info") return cmd_info(opts);
     if (cmd == "verify") return cmd_verify(opts);
     if (cmd == "run") return cmd_run(opts);
+    if (cmd == "serve") return cmd_serve(opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
