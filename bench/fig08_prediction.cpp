@@ -26,12 +26,14 @@ std::vector<double> per_iteration_seconds(const RunStats& stats) {
   return out;
 }
 
-void run_algo(Dataset& ds, AlgoKind algo) {
+void run_algo(Dataset& ds, AlgoKind algo, JsonReport& report) {
   std::printf("\n--- %s on ukunion-sim ---\n", to_string(algo));
   std::vector<double> series[3];
   const SystemKind kModes[] = {SystemKind::kHusRop, SystemKind::kHusCop,
                                SystemKind::kHusHybrid};
   const char* kNames[] = {"ROP", "COP", "Hybrid"};
+  RunStats hybrid_stats;
+  DeviceProfile device;
   for (int m = 0; m < 3; ++m) {
     RunConfig cfg;
     cfg.system = kModes[m];
@@ -39,7 +41,24 @@ void run_algo(Dataset& ds, AlgoKind algo) {
     RunOutcome r = run_system(ds, cfg);
     series[m] = per_iteration_seconds(r.stats);
     print_series(kNames[m], series[m], "modeled s/iter");
+    if (kModes[m] == SystemKind::kHusHybrid) {
+      hybrid_stats = std::move(r.stats);
+      device = cfg.device;
+    }
   }
+
+  // Predictor accuracy: pair each hybrid interval decision's predicted
+  // C_rop/C_cop with the observed traffic of executing it (priced by the
+  // same device profile) and report the symmetric relative error.
+  obs::PredictorAudit audit = obs::PredictorAudit::from_run(hybrid_stats,
+                                                            device);
+  obs::AuditSummary acc = audit.summarize();
+  std::printf("predictor accuracy (hybrid run):\n");
+  std::printf("  decisions=%zu evaluated=%zu\n", acc.entries, acc.evaluated);
+  std::printf("  mean rel error %.3f (rop %.3f, cop %.3f), max %.3f\n",
+              acc.mean_rel_error, acc.mean_rel_error_rop,
+              acc.mean_rel_error_cop, acc.max_rel_error);
+  report.add_run(std::string(to_string(algo)) + "/hybrid", hybrid_stats, acc);
 
   // Shape checks over the common iteration range.
   std::size_t iters =
@@ -71,7 +90,9 @@ int main() {
          "hybrid selects the optimal model in most iterations; wrong "
          "predictions cluster near the ROP/COP crossover");
   Dataset ds(dataset("ukunion-sim"));
-  run_algo(ds, AlgoKind::kBfs);
-  run_algo(ds, AlgoKind::kWcc);
+  JsonReport report("fig08_prediction");
+  run_algo(ds, AlgoKind::kBfs, report);
+  run_algo(ds, AlgoKind::kWcc, report);
+  report.write();
   return 0;
 }

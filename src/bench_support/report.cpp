@@ -80,7 +80,10 @@ std::string json_escape(const std::string& s) {
 
 }  // namespace
 
-void JsonReport::add_run(const std::string& label, const RunStats& stats) {
+namespace {
+
+/// Common run-object body, without the closing brace so callers can append.
+std::string run_json(const std::string& label, const RunStats& stats) {
   std::ostringstream os;
   os << "    {\"label\": \"" << json_escape(label) << "\","
      << " \"iterations\": " << stats.iterations_run() << ","
@@ -95,7 +98,27 @@ void JsonReport::add_run(const std::string& label, const RunStats& stats) {
      << " \"cache_hit_rate\": " << stats.cache.hit_rate() << ","
      << " \"cache_bytes_saved\": " << stats.cache.bytes_saved << ","
      << " \"cache_evictions\": " << stats.cache.evictions << ","
-     << " \"cache_cross_job_hits\": " << stats.cache.cross_job_hits << "}";
+     << " \"cache_cross_job_hits\": " << stats.cache.cross_job_hits;
+  return os.str();
+}
+
+}  // namespace
+
+void JsonReport::add_run(const std::string& label, const RunStats& stats) {
+  entries_.push_back(run_json(label, stats) + "}");
+}
+
+void JsonReport::add_run(const std::string& label, const RunStats& stats,
+                         const obs::AuditSummary& audit) {
+  std::ostringstream os;
+  os << run_json(label, stats) << ","
+     << " \"predictor_entries\": " << audit.entries << ","
+     << " \"predictor_evaluated\": " << audit.evaluated << ","
+     << " \"predictor_mean_rel_error\": " << audit.mean_rel_error << ","
+     << " \"predictor_mean_rel_error_rop\": " << audit.mean_rel_error_rop
+     << "," << " \"predictor_mean_rel_error_cop\": "
+     << audit.mean_rel_error_cop << ","
+     << " \"predictor_max_rel_error\": " << audit.max_rel_error << "}";
   entries_.push_back(os.str());
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/run_stats.hpp"
+#include "obs/audit.hpp"
 
 namespace husg::bench {
 
@@ -47,6 +48,10 @@ class JsonReport {
       : name_(std::move(bench_name)) {}
 
   void add_run(const std::string& label, const RunStats& stats);
+  /// Same, with predictor-audit accuracy fields (predictor_entries,
+  /// predictor_mean_rel_error, ...) appended to the run object.
+  void add_run(const std::string& label, const RunStats& stats,
+               const obs::AuditSummary& audit);
   /// Writes BENCH_<name>.json into `dir`; returns the path written.
   std::string write(const std::string& dir = ".") const;
 

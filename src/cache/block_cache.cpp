@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/common.hpp"
 
 namespace husg {
@@ -76,6 +77,8 @@ BlockCache::PinnedBytes BlockCache::insert(const BlockKey& key,
 
 bool BlockCache::make_room(std::uint64_t needed) {
   if (needed > opts_.budget_bytes) return false;
+  HUSG_SPAN("cache", "evict_sweep", "needed_bytes",
+            static_cast<std::int64_t>(needed));
   // CLOCK sweep: referenced entries get a second chance, pinned entries
   // (use_count > 1: some worker holds a handle) are skipped outright. Two
   // full revolutions without an eviction means everything left is pinned.

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/format.hpp"
 
 namespace husg {
@@ -34,6 +35,28 @@ CacheStats& CacheStats::operator+=(const CacheStats& rhs) {
   resident_bytes = rhs.resident_bytes;
   resident_blocks = rhs.resident_blocks;
   return *this;
+}
+
+void CacheStats::publish(obs::Registry& reg) const {
+  reg.counter("husg_cache_hits_total", "Block-cache hits").inc(hits);
+  reg.counter("husg_cache_misses_total", "Block-cache misses").inc(misses);
+  reg.counter("husg_cache_cross_job_hits_total",
+              "Hits on blocks inserted by a different job")
+      .inc(cross_job_hits);
+  reg.counter("husg_cache_insertions_total", "Block-cache insertions")
+      .inc(insertions);
+  reg.counter("husg_cache_evictions_total", "Block-cache evictions")
+      .inc(evictions);
+  reg.counter("husg_cache_admission_rejects_total",
+              "Inserts refused by the admission policy")
+      .inc(admission_rejects);
+  reg.counter("husg_cache_bytes_saved_total",
+              "Disk bytes avoided by serving from the cache")
+      .inc(bytes_saved);
+  reg.gauge("husg_cache_resident_bytes", "Bytes resident in the cache")
+      .set(static_cast<double>(resident_bytes));
+  reg.gauge("husg_cache_resident_blocks", "Blocks resident in the cache")
+      .set(static_cast<double>(resident_blocks));
 }
 
 std::string CacheStats::to_string() const {

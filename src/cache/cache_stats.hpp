@@ -9,6 +9,10 @@
 
 namespace husg {
 
+namespace obs {
+class Registry;
+}
+
 /// Point-in-time snapshot of block-cache counters (plain values; copyable).
 /// The monotone counters support per-iteration deltas via operator-; the
 /// resident_* fields are gauges and keep the minuend's (current) value.
@@ -43,6 +47,10 @@ struct CacheStats {
 
   CacheStats operator-(const CacheStats& rhs) const;
   CacheStats& operator+=(const CacheStats& rhs);
+
+  /// Exports into the metrics registry (`husg_cache_*`). Call once per
+  /// finished run — counters accumulate across calls by design.
+  void publish(obs::Registry& registry) const;
 
   std::string to_string() const;
 };

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/trace.hpp"
+
 namespace husg {
 
 CacheStats CachedBlockReader::local_stats() const {
@@ -71,6 +73,8 @@ AdjacencySlice CachedBlockReader::decode_payload(
 
 void CachedBlockReader::load_out_index(std::uint32_t i, std::uint32_t j,
                                        std::vector<std::uint32_t>& out) const {
+  HUSG_SPAN("cache", "load_out_index", "i", static_cast<std::int64_t>(i), "j",
+            static_cast<std::int64_t>(j));
   if (cache_ == nullptr) {
     store_->load_out_index(i, j, out);
     return;
@@ -91,6 +95,8 @@ void CachedBlockReader::load_out_index(std::uint32_t i, std::uint32_t j,
 
 void CachedBlockReader::load_in_index(std::uint32_t i, std::uint32_t j,
                                       std::vector<std::uint32_t>& out) const {
+  HUSG_SPAN("cache", "load_in_index", "i", static_cast<std::int64_t>(i), "j",
+            static_cast<std::int64_t>(j));
   if (cache_ == nullptr) {
     store_->load_in_index(i, j, out);
     return;
@@ -126,6 +132,9 @@ AdjacencySlice CachedBlockReader::load_out_edges(std::uint32_t i,
   const BlockExtent& block = meta.out_block(i, j);
   if (fill_rop_ && block.adj_bytes <= cache_->max_admissible_bytes()) {
     // Fill: one whole-block read replaces this and all future point loads.
+    // (No span on the per-vertex point-load path above — it is too hot.)
+    HUSG_SPAN("cache", "fill_out_block", "i", static_cast<std::int64_t>(i),
+              "j", static_cast<std::int64_t>(j));
     buf.guard.reset();
     store_->load_out_edges(i, j, 0,
                            static_cast<std::uint32_t>(block.edge_count), buf);
@@ -147,6 +156,8 @@ AdjacencySlice CachedBlockReader::load_out_edges(std::uint32_t i,
 AdjacencySlice CachedBlockReader::stream_in_block(
     std::uint32_t i, std::uint32_t j, AdjacencyBuffer& buf,
     const std::vector<std::uint32_t>* run_index) const {
+  HUSG_SPAN("cache", "stream_in_block", "i", static_cast<std::int64_t>(i), "j",
+            static_cast<std::int64_t>(j));
   if (cache_ == nullptr) return store_->stream_in_block(i, j, buf, run_index);
   const StoreMeta& meta = store_->meta();
   const BlockExtent& block = meta.in_block(i, j);

@@ -46,7 +46,9 @@
 #include "core/run_stats.hpp"
 #include "core/value_store.hpp"
 #include "io/device.hpp"
+#include "obs/trace.hpp"
 #include "storage/store.hpp"
+#include "util/logging.hpp"
 #include "util/threadpool.hpp"
 #include "util/timer.hpp"
 
@@ -240,6 +242,8 @@ RunResult<typename P::Value> Engine::run(const P& prog,
         // PageRank-Delta consuming the final residuals).
         if (frontier.active_out_degree() == 0) break;
       }
+      HUSG_SPAN("engine", "iteration", "iter", iter, "active_vertices",
+                static_cast<std::int64_t>(frontier.active_vertices()));
       Timer iter_timer;
       IoSnapshot io_before = store_->io().snapshot();
       CacheStats cache_before = cache_stats();
@@ -264,13 +268,24 @@ RunResult<typename P::Value> Engine::run(const P& prog,
         if (used_rop) {
           for (std::uint32_t i = 0; i < p; ++i) {
             check_cancelled();
+            DecisionRecord& dec = istats.decisions[i];
+            HUSG_SPAN("engine", "interval", "interval",
+                      static_cast<std::int64_t>(i), "rop", 1);
+            const IoSnapshot iv_io = store_->io().snapshot();
+            Timer iv_timer;
             rop_row_accumulating(prog, ctx, i, values, acc, frontier,
                                  rop_scanned);
+            dec.observed = true;
+            dec.observed_io = store_->io().snapshot() - iv_io;
+            dec.observed_wall_seconds = iv_timer.seconds();
           }
           // Apply phase: all rows gathered; commit every interval. The
           // pre-overwrite value is the previous iteration's (rows gather into
-          // acc and never touch vals).
+          // acc and never touch vals). The commit traffic belongs to the
+          // interval's ROP cost, so it accrues to the same audit record.
           for (std::uint32_t i = 0; i < p; ++i) {
+            const IoSnapshot iv_io = store_->io().snapshot();
+            Timer iv_timer;
             VertexId b = meta.interval_begin(i), e = meta.interval_end(i);
             for (VertexId v = b; v < e; ++v) {
               V a = acc[v];
@@ -278,12 +293,22 @@ RunResult<typename P::Value> Engine::run(const P& prog,
               values.values()[v] = a;
             }
             values.store_interval(i);
+            istats.decisions[i].observed_io += store_->io().snapshot() - iv_io;
+            istats.decisions[i].observed_wall_seconds += iv_timer.seconds();
           }
         } else {
           for (std::uint32_t i = 0; i < p; ++i) {
             check_cancelled();
+            DecisionRecord& dec = istats.decisions[i];
+            HUSG_SPAN("engine", "interval", "interval",
+                      static_cast<std::int64_t>(i), "rop", 0);
+            const IoSnapshot iv_io = store_->io().snapshot();
+            Timer iv_timer;
             cop_column_accumulating(prog, ctx, i, values, acc, next,
                                     cop_scanned);
+            dec.observed = true;
+            dec.observed_io = store_->io().snapshot() - iv_io;
+            dec.observed_wall_seconds = iv_timer.seconds();
           }
         }
       } else {
@@ -292,12 +317,24 @@ RunResult<typename P::Value> Engine::run(const P& prog,
         for (std::uint32_t j = 0; j < p; ++j) all_sources[j] = j;
         for (std::uint32_t i = 0; i < p; ++i) {
           check_cancelled();
-          if (istats.decisions[i].used_rop) {
+          DecisionRecord& dec = istats.decisions[i];
+          HUSG_SPAN("engine", "interval", "interval",
+                    static_cast<std::int64_t>(i), "rop", dec.used_rop ? 1 : 0);
+          // Predicted-vs-observed for the audit log (obs/audit.hpp). The
+          // store's IoStats is store-wide, so with a shared store concurrent
+          // jobs' traffic can bleed into the delta — the same caveat as
+          // IterationStats::io.
+          const IoSnapshot iv_io = store_->io().snapshot();
+          Timer iv_timer;
+          if (dec.used_rop) {
             rop_row(prog, ctx, i, values, frontier, next, rop_scanned);
           } else {
             cop_blocks(prog, ctx, i, all_sources, values, frontier, next,
                        cop_scanned);
           }
+          dec.observed = true;
+          dec.observed_io = store_->io().snapshot() - iv_io;
+          dec.observed_wall_seconds = iv_timer.seconds();
         }
         // Coverage repair for mixed per-interval decisions (see file header).
         if (opts_.granularity == DecisionGranularity::kPerInterval) {
@@ -309,10 +346,16 @@ RunResult<typename P::Value> Engine::run(const P& prog,
           }
           if (!cop_sources.empty()) {
             for (std::uint32_t b = 0; b < p; ++b) {
-              if (istats.decisions[b].used_rop) {
-                cop_blocks(prog, ctx, b, cop_sources, values, frontier, next,
-                           cop_scanned);
-              }
+              if (!istats.decisions[b].used_rop) continue;
+              // Repair traffic is part of the real cost of having chosen ROP
+              // for interval b, so the audit charges it to b's record.
+              DecisionRecord& dec = istats.decisions[b];
+              const IoSnapshot iv_io = store_->io().snapshot();
+              Timer iv_timer;
+              cop_blocks(prog, ctx, b, cop_sources, values, frontier, next,
+                         cop_scanned);
+              dec.observed_io += store_->io().snapshot() - iv_io;
+              dec.observed_wall_seconds += iv_timer.seconds();
             }
           }
         }
@@ -348,6 +391,13 @@ RunResult<typename P::Value> Engine::run(const P& prog,
       istats.modeled_cpu_seconds =
           opts_.cpu_ns_per_edge * 1e-9 *
           (static_cast<double>(re) / eff_rop + static_cast<double>(ce) / eff_cop);
+      HUSG_INFO << "iter " << iter << ": active=" << istats.active_vertices
+                << " edges=" << istats.edges_processed
+                << " io=" << istats.io.total_bytes() << "B mode="
+                << (istats.any_rop() && istats.any_cop()
+                        ? "mixed"
+                        : (istats.any_rop() ? "rop" : "cop"))
+                << " wall=" << istats.wall_seconds << "s";
       result.stats.add_iteration(std::move(istats));
     }
 
@@ -373,6 +423,7 @@ void Engine::rop_row(const P& prog, const ProgramContext& ctx, std::uint32_t i,
                      std::atomic<std::uint64_t>& scanned) const {
   const StoreMeta& meta = store_->meta();
   if (frontier.active_in(i) == 0) return;  // nothing to push from this row
+  HUSG_SPAN("engine", "rop_row", "interval", static_cast<std::int64_t>(i));
 
   values.load_interval(i);  // S_i
   if (opts_.sync == SyncMode::kPaperAsync) values.snapshot_interval(i);
@@ -491,6 +542,7 @@ void Engine::cop_blocks(const P& prog, const ProgramContext& ctx,
   const VertexId base = meta.interval_begin(i);
   const VertexId count = meta.interval_size(i);
   if (count == 0) return;
+  HUSG_SPAN("engine", "cop_column", "interval", static_cast<std::int64_t>(i));
 
   values.load_interval(i);  // D_i
   if (opts_.sync == SyncMode::kPaperAsync) values.snapshot_interval(i);
@@ -518,6 +570,8 @@ void Engine::cop_blocks(const P& prog, const ProgramContext& ctx,
   };
   Slot slots[2];
   auto fetch = [&](std::uint32_t j, Slot& slot) {
+    HUSG_SPAN("engine", "cop_prefetch", "src", static_cast<std::int64_t>(j),
+              "dst", static_cast<std::int64_t>(i));
     reader_.load_in_index(j, i, slot.inidx);
     slot.slice = reader_.stream_in_block(j, i, slot.buf, &slot.inidx);
   };
@@ -601,6 +655,7 @@ void Engine::rop_row_accumulating(const P& prog, const ProgramContext& ctx,
                                   std::atomic<std::uint64_t>& scanned) const {
   const StoreMeta& meta = store_->meta();
   const VertexId base = meta.interval_begin(i);
+  HUSG_SPAN("engine", "rop_row", "interval", static_cast<std::int64_t>(i));
   values.load_interval(i);
   const auto& prev = values.prev();
 
@@ -645,6 +700,7 @@ void Engine::cop_column_accumulating(const P& prog, const ProgramContext& ctx,
   const VertexId base = meta.interval_begin(i);
   const VertexId count = meta.interval_size(i);
   if (count == 0) return;
+  HUSG_SPAN("engine", "cop_column", "interval", static_cast<std::int64_t>(i));
   values.load_interval(i);  // D_i
 
   const bool jacobi = (opts_.sync == SyncMode::kJacobi);
@@ -662,6 +718,8 @@ void Engine::cop_column_accumulating(const P& prog, const ProgramContext& ctx,
   };
   Slot slots[2];
   auto fetch = [&](std::uint32_t j, Slot& slot) {
+    HUSG_SPAN("engine", "cop_prefetch", "src", static_cast<std::int64_t>(j),
+              "dst", static_cast<std::int64_t>(i));
     reader_.load_in_index(j, i, slot.inidx);
     slot.slice = reader_.stream_in_block(j, i, slot.buf, &slot.inidx);
   };

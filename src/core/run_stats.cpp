@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/format.hpp"
 
 namespace husg {
@@ -37,6 +38,47 @@ void RunStats::add_iteration(IterationStats it) {
   modeled_cpu_seconds += it.modeled_cpu_seconds;
   edges_processed += it.edges_processed;
   iterations.push_back(std::move(it));
+}
+
+void RunStats::publish(obs::Registry& reg) const {
+  reg.gauge("husg_run_iterations", "Iterations executed by the last run")
+      .set(static_cast<double>(iterations.size()));
+  reg.gauge("husg_run_wall_seconds", "Measured wall time of the last run")
+      .set(wall_seconds);
+  reg.gauge("husg_run_modeled_io_seconds",
+            "Device-model I/O time of the last run")
+      .set(modeled_io_seconds);
+  reg.gauge("husg_run_modeled_cpu_seconds",
+            "CPU-model edge-work time of the last run")
+      .set(modeled_cpu_seconds);
+  reg.counter("husg_run_edges_processed_total", "Edges scanned across runs")
+      .inc(edges_processed);
+  reg.counter("husg_run_io_seq_read_bytes_total",
+              "Sequential bytes read across runs")
+      .inc(total_io.seq_read_bytes);
+  reg.counter("husg_run_io_rand_read_bytes_total",
+              "Random bytes read across runs")
+      .inc(total_io.rand_read_bytes);
+  reg.counter("husg_run_io_rand_read_ops_total",
+              "Random read operations across runs")
+      .inc(total_io.rand_read_ops);
+  reg.counter("husg_run_io_write_bytes_total", "Bytes written across runs")
+      .inc(total_io.write_bytes);
+  obs::Histogram& iter_hist = reg.histogram(
+      "husg_run_iteration_seconds", "Wall time per engine iteration", 1e-9);
+  std::uint64_t rop_intervals = 0, cop_intervals = 0;
+  for (const IterationStats& it : iterations) {
+    iter_hist.record(static_cast<std::uint64_t>(it.wall_seconds * 1e9));
+    for (const DecisionRecord& d : it.decisions) {
+      (d.used_rop ? rop_intervals : cop_intervals) += 1;
+    }
+  }
+  reg.counter("husg_run_rop_intervals_total",
+              "Interval executions that used ROP across runs")
+      .inc(rop_intervals);
+  reg.counter("husg_run_cop_intervals_total",
+              "Interval executions that used COP across runs")
+      .inc(cop_intervals);
 }
 
 std::string RunStats::summary() const {

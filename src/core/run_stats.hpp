@@ -14,16 +14,27 @@
 
 namespace husg {
 
+namespace obs {
+class Registry;
+}
+
 enum class UpdateMode { kRop, kCop, kHybrid };
 
 const char* to_string(UpdateMode mode);
 
 /// One hybrid decision (per interval, or one per iteration with global
-/// granularity).
+/// granularity), plus — when the engine observed the interval it covers —
+/// the actual traffic and wall time of executing it. Predicted vs observed
+/// is the predictor audit's raw material (obs/audit.hpp).
 struct DecisionRecord {
   std::uint32_t interval = 0;
   Prediction prediction;
   bool used_rop = false;
+  /// True once the engine filled in the observed_* fields below. Global
+  /// decisions and engines that don't instrument per-interval leave false.
+  bool observed = false;
+  IoSnapshot observed_io;  ///< traffic attributable to this interval
+  double observed_wall_seconds = 0;
 };
 
 struct IterationStats {
@@ -61,6 +72,11 @@ struct RunStats {
   int iterations_run() const { return static_cast<int>(iterations.size()); }
 
   void add_iteration(IterationStats it);
+
+  /// Exports this run into the metrics registry (`husg_run_*` gauges and
+  /// counters, plus the per-iteration wall-time histogram). Call once per
+  /// finished run — counters accumulate across calls by design.
+  void publish(obs::Registry& registry) const;
 
   std::string summary() const;
 };

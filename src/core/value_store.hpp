@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "io/tracked_file.hpp"
+#include "obs/trace.hpp"
 #include "storage/layout.hpp"
 
 namespace husg {
@@ -60,6 +61,7 @@ class ValueStore {
   /// LoadFromDisk(S_i / D_i): sequential read of one interval's values.
   void load_interval(std::uint32_t i) {
     if (!file_backed_) return;
+    HUSG_SPAN("values", "swap_in", "interval", static_cast<std::int64_t>(i));
     VertexId b = meta_->interval_begin(i);
     VertexId e = meta_->interval_end(i);
     if (e > b) {
@@ -74,6 +76,7 @@ class ValueStore {
   /// keeps S and D as separate on-disk copies, we keep one plus a snapshot).
   void load_interval_discard(std::uint32_t i) {
     if (!file_backed_) return;
+    HUSG_SPAN("values", "swap_in", "interval", static_cast<std::int64_t>(i));
     VertexId b = meta_->interval_begin(i);
     VertexId e = meta_->interval_end(i);
     if (e > b) {
@@ -86,6 +89,7 @@ class ValueStore {
   /// Write one interval's values back.
   void store_interval(std::uint32_t i) {
     if (!file_backed_) return;
+    HUSG_SPAN("values", "swap_out", "interval", static_cast<std::int64_t>(i));
     VertexId b = meta_->interval_begin(i);
     VertexId e = meta_->interval_end(i);
     if (e > b) {

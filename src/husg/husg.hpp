@@ -36,6 +36,9 @@
 #include "graph/reference.hpp"
 #include "io/device.hpp"
 #include "io/io_stats.hpp"
+#include "obs/audit.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/graph_service.hpp"
 #include "service/job.hpp"
 #include "service/jobs_json.hpp"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace husg {
 
 double DeviceProfile::t_random(double mean_request_bytes) const {
@@ -24,6 +26,21 @@ double DeviceProfile::modeled_seconds(const IoSnapshot& io) const {
     t += static_cast<double>(io.write_bytes) / write_bw;
   }
   return t;
+}
+
+void DeviceProfile::publish(obs::Registry& reg) const {
+  reg.gauge("husg_device_seq_read_bw_bytes_per_second",
+            "Cost-model sequential read bandwidth")
+      .set(seq_read_bw);
+  reg.gauge("husg_device_rand_read_bw_bytes_per_second",
+            "Cost-model random read transfer bandwidth")
+      .set(rand_read_bw);
+  reg.gauge("husg_device_write_bw_bytes_per_second",
+            "Cost-model write bandwidth")
+      .set(write_bw);
+  reg.gauge("husg_device_seek_seconds",
+            "Cost-model per-random-op positioning latency")
+      .set(seek_seconds);
 }
 
 DeviceProfile DeviceProfile::hdd7200() {

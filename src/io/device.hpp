@@ -21,6 +21,10 @@
 
 namespace husg {
 
+namespace obs {
+class Registry;
+}
+
 struct DeviceProfile {
   std::string name;
   double seq_read_bw = 0;   ///< bytes/second, large sequential reads
@@ -37,6 +41,10 @@ struct DeviceProfile {
 
   /// Modeled seconds for a traffic snapshot.
   double modeled_seconds(const IoSnapshot& io) const;
+
+  /// Exports the profile's parameters as `husg_device_*` gauges so a metrics
+  /// scrape records which cost model priced the run.
+  void publish(obs::Registry& registry) const;
 
   /// Presets loosely matching the paper's testbed. Values are representative
   /// of the device classes, not of any specific drive.

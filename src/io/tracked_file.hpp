@@ -1,5 +1,10 @@
 // File wrapper that classifies each access as sequential or random and
 // charges it to an IoStats instance. Engines never bypass this wrapper.
+//
+// When obs::set_io_timing(true) is active (the CLI enables it with
+// --metrics-out), every access is additionally timed into the global
+// husg_io_{seq_read,rand_read,write}_seconds latency histograms. The gate is
+// one relaxed atomic load, so the default path pays no clock reads.
 #pragma once
 
 #include <cstddef>
@@ -8,6 +13,8 @@
 
 #include "io/file.hpp"
 #include "io/io_stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace husg {
 
@@ -24,24 +31,49 @@ class TrackedFile {
 
   /// Random (point) read: charged as one random op regardless of position.
   void read_random(void* buf, std::size_t len, std::uint64_t offset) const {
-    file_.pread_exact(buf, len, offset);
+    if (obs::io_timing_enabled()) {
+      const std::uint64_t t0 = obs::now_ns();
+      file_.pread_exact(buf, len, offset);
+      obs::io_latency().rand_read->record(obs::now_ns() - t0);
+    } else {
+      file_.pread_exact(buf, len, offset);
+    }
     if (stats_ != nullptr) stats_->add_rand_read(len);
   }
 
   /// Sequential (streaming) read: charged as sequential traffic. Callers use
   /// this when they stream a contiguous region (COP block scans, shard loads).
   void read_sequential(void* buf, std::size_t len, std::uint64_t offset) const {
-    file_.pread_exact(buf, len, offset);
+    if (obs::io_timing_enabled()) {
+      const std::uint64_t t0 = obs::now_ns();
+      file_.pread_exact(buf, len, offset);
+      obs::io_latency().seq_read->record(obs::now_ns() - t0);
+    } else {
+      file_.pread_exact(buf, len, offset);
+    }
     if (stats_ != nullptr) stats_->add_seq_read(len);
   }
 
   void write(const void* buf, std::size_t len, std::uint64_t offset) {
-    file_.pwrite_exact(buf, len, offset);
+    if (obs::io_timing_enabled()) {
+      const std::uint64_t t0 = obs::now_ns();
+      file_.pwrite_exact(buf, len, offset);
+      obs::io_latency().write->record(obs::now_ns() - t0);
+    } else {
+      file_.pwrite_exact(buf, len, offset);
+    }
     if (stats_ != nullptr) stats_->add_write(len);
   }
 
   std::uint64_t append(const void* buf, std::size_t len) {
-    std::uint64_t at = file_.append(buf, len);
+    std::uint64_t at;
+    if (obs::io_timing_enabled()) {
+      const std::uint64_t t0 = obs::now_ns();
+      at = file_.append(buf, len);
+      obs::io_latency().write->record(obs::now_ns() - t0);
+    } else {
+      at = file_.append(buf, len);
+    }
     if (stats_ != nullptr) stats_->add_write(len);
     return at;
   }

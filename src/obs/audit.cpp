@@ -1,0 +1,109 @@
+#include "obs/audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+
+namespace husg::obs {
+
+PredictorAudit PredictorAudit::from_run(const RunStats& stats,
+                                        const DeviceProfile& device) {
+  PredictorAudit audit;
+  for (const IterationStats& it : stats.iterations) {
+    for (const DecisionRecord& d : it.decisions) {
+      AuditEntry e;
+      e.iteration = it.iteration;
+      e.interval = d.interval;
+      e.c_rop = d.prediction.c_rop;
+      e.c_cop = d.prediction.c_cop;
+      e.chose_rop = d.used_rop;
+      e.alpha_shortcut = d.prediction.alpha_shortcut;
+      if (d.observed) {
+        e.observed_bytes = d.observed_io.total_bytes();
+        e.observed_seconds = device.modeled_seconds(d.observed_io);
+        e.observed_wall_seconds = d.observed_wall_seconds;
+        // The α shortcut picks COP without evaluating either formula; its
+        // entries carry zero predicted cost and cannot be error-scored.
+        e.evaluated = !d.prediction.alpha_shortcut;
+      }
+      if (e.evaluated) {
+        const double pred = e.chose_rop ? e.c_rop : e.c_cop;
+        const double denom =
+            std::max(std::max(pred, e.observed_seconds), 1e-12);
+        e.rel_error = std::abs(pred - e.observed_seconds) / denom;
+      }
+      audit.entries_.push_back(e);
+    }
+  }
+  return audit;
+}
+
+AuditSummary PredictorAudit::summarize() const {
+  AuditSummary s;
+  s.entries = entries_.size();
+  double sum = 0, sum_rop = 0, sum_cop = 0;
+  std::size_t n_rop = 0, n_cop = 0;
+  for (const AuditEntry& e : entries_) {
+    if (!e.evaluated) continue;
+    ++s.evaluated;
+    sum += e.rel_error;
+    s.max_rel_error = std::max(s.max_rel_error, e.rel_error);
+    if (e.chose_rop) {
+      sum_rop += e.rel_error;
+      ++n_rop;
+    } else {
+      sum_cop += e.rel_error;
+      ++n_cop;
+    }
+  }
+  if (s.evaluated > 0) sum /= static_cast<double>(s.evaluated);
+  s.mean_rel_error = sum;
+  s.mean_rel_error_rop = n_rop > 0 ? sum_rop / static_cast<double>(n_rop) : 0;
+  s.mean_rel_error_cop = n_cop > 0 ? sum_cop / static_cast<double>(n_cop) : 0;
+  return s;
+}
+
+void PredictorAudit::publish(Registry& registry) const {
+  // Histogram records integers; rel_error ∈ [0,1] is stored in micro-units
+  // and exported back at scale 1e-6.
+  Histogram& hist = registry.histogram(
+      "husg_predictor_rel_error",
+      "Symmetric relative error of the chosen C_rop/C_cop prediction vs "
+      "observed modeled I/O, per evaluated interval decision",
+      1e-6);
+  for (const AuditEntry& e : entries_) {
+    if (!e.evaluated) continue;
+    hist.record(static_cast<std::uint64_t>(std::llround(e.rel_error * 1e6)));
+  }
+  const AuditSummary s = summarize();
+  registry
+      .counter("husg_predictor_decisions_total",
+               "Hybrid ROP/COP decisions recorded in the audit log")
+      .inc(s.entries);
+  registry
+      .counter("husg_predictor_decisions_evaluated_total",
+               "Audit entries with both a formula prediction and an observed "
+               "measurement")
+      .inc(s.evaluated);
+  // Gauge semantics: the most recently published run's mean (the histogram
+  // above carries the cross-run aggregate).
+  registry
+      .gauge("husg_predictor_mean_rel_error",
+             "Mean symmetric relative error over evaluated decisions")
+      .set(s.mean_rel_error);
+}
+
+void PredictorAudit::write_csv(std::ostream& os) const {
+  os << "iteration,interval,c_rop,c_cop,chose_rop,alpha_shortcut,evaluated,"
+        "observed_bytes,observed_seconds,observed_wall_seconds,rel_error\n";
+  for (const AuditEntry& e : entries_) {
+    os << e.iteration << ',' << e.interval << ',' << e.c_rop << ',' << e.c_cop
+       << ',' << (e.chose_rop ? 1 : 0) << ',' << (e.alpha_shortcut ? 1 : 0)
+       << ',' << (e.evaluated ? 1 : 0) << ',' << e.observed_bytes << ','
+       << e.observed_seconds << ',' << e.observed_wall_seconds << ','
+       << e.rel_error << '\n';
+  }
+}
+
+}  // namespace husg::obs

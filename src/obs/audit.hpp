@@ -1,0 +1,82 @@
+// Predictor audit log (observability layer, DESIGN.md §9).
+//
+// The hybrid engine's value rests on §3.4's claim that C_rop / C_cop track
+// real I/O cost. The audit makes that claim queryable: for every evaluated
+// per-interval decision it pairs the predicted costs with the *observed*
+// traffic of executing the interval (priced through the same DeviceProfile,
+// so both sides are in modeled seconds on equal footing) and reports the
+// relative error.
+//
+// Error metric: symmetric relative error
+//
+//   rel = |pred − obs| / max(pred, obs, ε)
+//
+// bounded to [0, 1] — robust to near-zero observations (null_device prices
+// all traffic at 0) where a conventional |pred−obs|/obs blows up.
+//
+// Entries where the predictor never ran its formulas (α shortcut, forced
+// ROP/COP mode, global granularity) are kept in the log for completeness but
+// excluded from the error aggregates.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "core/run_stats.hpp"
+#include "io/device.hpp"
+
+namespace husg::obs {
+
+class Registry;
+
+/// One decision with both sides of the ledger; all costs in modeled seconds.
+struct AuditEntry {
+  int iteration = 0;
+  std::uint32_t interval = 0;
+  double c_rop = 0;
+  double c_cop = 0;
+  bool chose_rop = false;
+  bool alpha_shortcut = false;
+  /// True when the engine measured the interval AND the predictor evaluated
+  /// its formulas — only then is rel_error meaningful.
+  bool evaluated = false;
+  std::uint64_t observed_bytes = 0;
+  double observed_seconds = 0;  ///< observed traffic priced by the device
+  double observed_wall_seconds = 0;
+  double rel_error = 0;  ///< chosen-cost vs observed, in [0, 1]
+};
+
+struct AuditSummary {
+  std::size_t entries = 0;
+  std::size_t evaluated = 0;  ///< entries contributing to the means
+  double mean_rel_error = 0;
+  double mean_rel_error_rop = 0;  ///< over evaluated entries that chose ROP
+  double mean_rel_error_cop = 0;  ///< over evaluated entries that chose COP
+  double max_rel_error = 0;
+};
+
+class PredictorAudit {
+ public:
+  /// Builds the audit from a finished run: every DecisionRecord with
+  /// observed per-interval traffic becomes an entry, priced by `device`
+  /// (use the same profile the run was configured with).
+  static PredictorAudit from_run(const RunStats& stats,
+                                 const DeviceProfile& device);
+
+  const std::vector<AuditEntry>& entries() const { return entries_; }
+
+  AuditSummary summarize() const;
+
+  /// Records every evaluated entry's rel_error into the registry's
+  /// `husg_predictor_rel_error` histogram and sets the summary gauges.
+  void publish(Registry& registry) const;
+
+  /// CSV dump (header + one row per entry) for offline analysis.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<AuditEntry> entries_;
+};
+
+}  // namespace husg::obs

@@ -1,0 +1,226 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace husg::obs {
+
+std::size_t Histogram::bucket_index(std::uint64_t v) {
+  if (v < 4) return static_cast<std::size_t>(v);
+  // `msb` is the position of the highest set bit (>= 2 here). The octave
+  // [2^msb, 2^(msb+1)) splits into 4 linear sub-buckets selected by the two
+  // mantissa bits below the msb.
+  const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(v));
+  const std::uint64_t sub = (v >> (msb - kSubShift)) & 3u;
+  return (static_cast<std::size_t>(msb - 1) << kSubShift) +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t Histogram::bucket_lower(std::size_t index) {
+  if (index < 4) return index;
+  const unsigned msb = static_cast<unsigned>(index >> kSubShift) + 1;
+  const std::uint64_t sub = index & 3u;
+  return (std::uint64_t{1} << msb) + (sub << (msb - kSubShift));
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t index) {
+  if (index < 4) return index;
+  const unsigned msb = static_cast<unsigned>(index >> kSubShift) + 1;
+  const std::uint64_t width = std::uint64_t{1} << (msb - kSubShift);
+  return bucket_lower(index) + width - 1;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.scale = scale_;
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    snap.counts[k] = buckets_[k].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  const std::uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.min = snap.count == 0 ? 0 : min;
+  return snap;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation (1-based), then walk the cumulative
+  // counts and linearly interpolate inside the bucket that crosses it.
+  const double rank = q * static_cast<double>(count - 1) + 1.0;
+  std::uint64_t cum = 0;
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    if (counts[k] == 0) continue;
+    const std::uint64_t prev = cum;
+    cum += counts[k];
+    if (static_cast<double>(cum) >= rank) {
+      const double lo = static_cast<double>(bucket_lower(k));
+      const double hi = static_cast<double>(bucket_upper(k));
+      const double frac =
+          counts[k] <= 1
+              ? 0.0
+              : (rank - static_cast<double>(prev) - 1.0) /
+                    static_cast<double>(counts[k] - 1);
+      double v = lo + frac * (hi - lo);
+      // Clamp to the observed range: bucket bounds can exceed the true
+      // extremes, which are tracked exactly.
+      v = std::min(v, static_cast<double>(max));
+      v = std::max(v, static_cast<double>(min));
+      return scale * v;
+    }
+  }
+  return scale * static_cast<double>(max);
+}
+
+LatencySummary LatencySummary::from(const Histogram::Snapshot& snap) {
+  LatencySummary s;
+  s.count = snap.count;
+  if (snap.count == 0) return s;
+  s.min_seconds = snap.min_value();
+  s.mean_seconds = snap.mean();
+  s.max_seconds = snap.max_value();
+  s.p50_seconds = snap.quantile(0.50);
+  s.p95_seconds = snap.quantile(0.95);
+  s.p99_seconds = snap.quantile(0.99);
+  return s;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help) {
+  Metric& m = get_or_create(name, help, Metric::Kind::kCounter, 1.0);
+  return *m.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help) {
+  Metric& m = get_or_create(name, help, Metric::Kind::kGauge, 1.0);
+  return *m.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, const std::string& help,
+                               double scale) {
+  Metric& m = get_or_create(name, help, Metric::Kind::kHistogram, scale);
+  return *m.histogram;
+}
+
+Registry::Metric& Registry::get_or_create(const std::string& name,
+                                          const std::string& help,
+                                          Metric::Kind kind, double scale) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    HUSG_CHECK(it->second.kind == kind,
+               "metric registered twice with different kinds: " + name);
+    return it->second;
+  }
+  Metric m;
+  m.kind = kind;
+  m.help = help;
+  switch (kind) {
+    case Metric::Kind::kCounter:
+      m.counter = std::make_unique<Counter>();
+      break;
+    case Metric::Kind::kGauge:
+      m.gauge = std::make_unique<Gauge>();
+      break;
+    case Metric::Kind::kHistogram:
+      m.histogram = std::make_unique<Histogram>(scale);
+      break;
+  }
+  return metrics_.emplace(name, std::move(m)).first->second;
+}
+
+namespace {
+
+/// Prometheus floats: plain decimal for integers-as-doubles, scientific for
+/// the rest; never locale-dependent.
+void write_value(std::ostream& os, double v) {
+  if (std::isinf(v)) {
+    os << (v > 0 ? "+Inf" : "-Inf");
+    return;
+  }
+  if (std::isnan(v)) {
+    os << "NaN";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void Registry::write_prometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, m] : metrics_) {
+    os << "# HELP " << name << " " << m.help << "\n";
+    switch (m.kind) {
+      case Metric::Kind::kCounter:
+        os << "# TYPE " << name << " counter\n";
+        os << name << " " << m.counter->value() << "\n";
+        break;
+      case Metric::Kind::kGauge:
+        os << "# TYPE " << name << " gauge\n";
+        os << name << " ";
+        write_value(os, m.gauge->value());
+        os << "\n";
+        break;
+      case Metric::Kind::kHistogram: {
+        os << "# TYPE " << name << " histogram\n";
+        const Histogram::Snapshot snap = m.histogram->snapshot();
+        std::uint64_t cum = 0;
+        for (std::size_t k = 0; k < Histogram::kBuckets; ++k) {
+          if (snap.counts[k] == 0) continue;
+          cum += snap.counts[k];
+          os << name << "_bucket{le=\"";
+          write_value(os, snap.scale *
+                              static_cast<double>(Histogram::bucket_upper(k)));
+          os << "\"} " << cum << "\n";
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << snap.count << "\n";
+        os << name << "_sum ";
+        write_value(os, snap.scale * static_cast<double>(snap.sum));
+        os << "\n";
+        os << name << "_count " << snap.count << "\n";
+        break;
+      }
+    }
+  }
+}
+
+Registry& Registry::global() {
+  static Registry* registry = new Registry();  // leaked: outlives all threads
+  return *registry;
+}
+
+namespace detail {
+std::atomic<bool> g_io_timing{false};
+}  // namespace detail
+
+void set_io_timing(bool enabled) {
+  detail::g_io_timing.store(enabled, std::memory_order_relaxed);
+}
+
+const IoLatency& io_latency() {
+  static const IoLatency lat = [] {
+    Registry& reg = Registry::global();
+    IoLatency l;
+    l.seq_read = &reg.histogram(
+        "husg_io_seq_read_seconds",
+        "Device-layer sequential read latency (enabled by --metrics-out)",
+        1e-9);
+    l.rand_read = &reg.histogram(
+        "husg_io_rand_read_seconds",
+        "Device-layer random read latency (enabled by --metrics-out)", 1e-9);
+    l.write = &reg.histogram(
+        "husg_io_write_seconds",
+        "Device-layer write/append latency (enabled by --metrics-out)", 1e-9);
+    return l;
+  }();
+  return lat;
+}
+
+}  // namespace husg::obs

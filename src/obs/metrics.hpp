@@ -1,0 +1,193 @@
+// Metrics registry (observability layer, DESIGN.md §9).
+//
+// Three primitives — Counter (monotone), Gauge (level), Histogram
+// (log-scaled latency/size distribution with p50/p95/p99) — owned by a
+// Registry that exports the whole set in Prometheus text exposition format.
+// The registry is the single export sink behind RunStats / CacheStats /
+// ServiceStats: each ledger keeps its exact per-run bookkeeping (snapshots
+// and deltas need per-instance counters) and publishes into the registry via
+// its `publish()` method, while live distributions (device I/O latency,
+// per-job wall time) are recorded directly into histograms as they happen.
+//
+// Histogram buckets are logarithmic with four linear sub-buckets per
+// power of two (HdrHistogram-lite): relative quantile error is bounded by
+// one sub-bucket width (< 25%), memory is a fixed 252 atomic counters, and
+// record() is two relaxed fetch_adds plus two CAS min/max updates — safe and
+// cheap under the thread pool.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace husg::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Histogram {
+ public:
+  /// Sub-bucket resolution: 2 bits = 4 linear sub-buckets per octave.
+  static constexpr unsigned kSubShift = 2;
+  /// Indices 0..3 are exact; 62 octaves of 4 sub-buckets cover all uint64.
+  static constexpr std::size_t kBuckets = ((64 - kSubShift) << kSubShift) + 4;
+
+  /// `scale` converts recorded integer units to exported values (a latency
+  /// histogram records nanoseconds and exports seconds with scale 1e-9).
+  explicit Histogram(double scale = 1.0) : scale_(scale) {}
+
+  void record(std::uint64_t value) {
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (value < cur &&
+           !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  double scale() const { return scale_; }
+
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> counts{};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    double scale = 1.0;
+
+    /// Interpolated quantile in exported units; q in [0, 1].
+    double quantile(double q) const;
+    double mean() const {
+      return count == 0
+                 ? 0.0
+                 : scale * static_cast<double>(sum) / static_cast<double>(count);
+    }
+    double min_value() const { return scale * static_cast<double>(min); }
+    double max_value() const { return scale * static_cast<double>(max); }
+  };
+
+  Snapshot snapshot() const;
+
+  /// Bucket index for a recorded value: values < 4 map exactly, larger ones
+  /// to (octave, top-2-mantissa-bits).
+  static std::size_t bucket_index(std::uint64_t v);
+  /// Inclusive [lower, upper] value range of a bucket.
+  static std::uint64_t bucket_lower(std::size_t index);
+  static std::uint64_t bucket_upper(std::size_t index);
+
+ private:
+  double scale_;
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{std::numeric_limits<std::uint64_t>::max()};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Compact latency digest derived from a Histogram snapshot; plain values so
+/// ledgers (ServiceStats) can carry it by copy.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double min_seconds = 0;
+  double mean_seconds = 0;
+  double max_seconds = 0;
+  double p50_seconds = 0;
+  double p95_seconds = 0;
+  double p99_seconds = 0;
+
+  static LatencySummary from(const Histogram::Snapshot& snap);
+};
+
+/// Named metrics, exported together. Metric names must match the Prometheus
+/// grammar ([a-zA-Z_:][a-zA-Z0-9_:]*); registering the same name twice
+/// returns the existing instance (the kind must match).
+class Registry {
+ public:
+  Counter& counter(const std::string& name, const std::string& help);
+  Gauge& gauge(const std::string& name, const std::string& help);
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       double scale = 1.0);
+
+  /// Prometheus text exposition format: # HELP / # TYPE preambles, counter
+  /// and gauge samples, histograms as cumulative `_bucket{le=...}` series
+  /// plus `_sum` and `_count`.
+  void write_prometheus(std::ostream& os) const;
+
+  /// The process-wide registry the CLI exports with --metrics-out.
+  static Registry& global();
+
+ private:
+  struct Metric {
+    enum class Kind { kCounter, kGauge, kHistogram } kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Metric& get_or_create(const std::string& name, const std::string& help,
+                        Metric::Kind kind, double scale);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Metric> metrics_;  ///< sorted => stable export order
+};
+
+/// Device-layer I/O latency histograms (registered in Registry::global();
+/// see TrackedFile). Recording is gated on set_io_timing so the default
+/// engine path never pays the clock reads.
+struct IoLatency {
+  Histogram* seq_read = nullptr;
+  Histogram* rand_read = nullptr;
+  Histogram* write = nullptr;
+};
+
+const IoLatency& io_latency();
+
+void set_io_timing(bool enabled);
+
+namespace detail {
+extern std::atomic<bool> g_io_timing;
+}  // namespace detail
+
+inline bool io_timing_enabled() {
+  return detail::g_io_timing.load(std::memory_order_relaxed);
+}
+
+}  // namespace husg::obs

@@ -1,0 +1,194 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace husg::obs {
+
+namespace detail {
+std::atomic<bool> g_tracing{false};
+}  // namespace detail
+
+std::uint64_t now_ns() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
+
+struct Tracer::ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> ring;
+  std::size_t capacity = 0;
+  std::size_t head = 0;  ///< next write slot
+  std::size_t size = 0;
+  std::uint64_t dropped = 0;
+  std::uint32_t tid = 0;
+};
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::start(std::size_t events_per_thread) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.clear();
+  next_tid_ = 1;
+  capacity_ = events_per_thread == 0 ? 1 : events_per_thread;
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  detail::g_tracing.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop() {
+  detail::g_tracing.store(false, std::memory_order_relaxed);
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.clear();
+  next_tid_ = 1;
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tracer::ThreadBuffer* Tracer::local_buffer() {
+  // Per-thread cache of the registered buffer. `epoch` detects a tracer
+  // restart: start()/clear() invalidate every thread's cached pointer, and
+  // the thread re-registers on its next record.
+  thread_local std::shared_ptr<ThreadBuffer> t_buffer;
+  thread_local std::uint64_t t_epoch = 0;
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  if (t_buffer == nullptr || t_epoch != epoch) {
+    auto buf = std::make_shared<ThreadBuffer>();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      buf->capacity = capacity_;
+      buf->ring.resize(capacity_);
+      buf->tid = next_tid_++;
+      buffers_.push_back(buf);
+    }
+    t_buffer = std::move(buf);
+    t_epoch = epoch;
+  }
+  return t_buffer.get();
+}
+
+void Tracer::record(const char* cat, const char* name, std::uint64_t start_ns,
+                    std::uint64_t dur_ns, const char* arg1_key,
+                    std::int64_t arg1, const char* arg2_key,
+                    std::int64_t arg2) {
+  if (!enabled()) return;
+  ThreadBuffer* buf = local_buffer();
+  TraceEvent ev;
+  ev.cat = cat;
+  ev.name = name;
+  ev.start_ns = start_ns;
+  ev.dur_ns = dur_ns;
+  ev.tid = buf->tid;
+  ev.arg1_key = arg1_key;
+  ev.arg1 = arg1;
+  ev.arg2_key = arg2_key;
+  ev.arg2 = arg2;
+  std::lock_guard<std::mutex> lock(buf->mu);
+  buf->ring[buf->head] = ev;
+  buf->head = (buf->head + 1) % buf->capacity;
+  if (buf->size < buf->capacity) {
+    ++buf->size;
+  } else {
+    ++buf->dropped;  // overwrote the oldest event
+  }
+}
+
+void Span::arm(const char* cat, const char* name, const char* arg1_key,
+               std::int64_t arg1, const char* arg2_key, std::int64_t arg2) {
+  cat_ = cat;
+  name_ = name;
+  arg1_key_ = arg1_key;
+  arg1_ = arg1;
+  arg2_key_ = arg2_key;
+  arg2_ = arg2;
+  start_ns_ = now_ns();
+  armed_ = true;
+}
+
+void Span::finish() {
+  Tracer::instance().record(cat_, name_, start_ns_, now_ns() - start_ns_,
+                            arg1_key_, arg1_, arg2_key_, arg2_);
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    // Oldest first: the ring's logical start is head - size (mod capacity).
+    std::size_t first = (buf->head + buf->capacity - buf->size) % buf->capacity;
+    for (std::size_t k = 0; k < buf->size; ++k) {
+      out.push_back(buf->ring[(first + k) % buf->capacity]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return out;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    n += buf->size;
+  }
+  return n;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    n += buf->dropped;
+  }
+  return n;
+}
+
+std::size_t Tracer::thread_buffer_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffers_.size();
+}
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+  std::vector<TraceEvent> evs = events();
+  os << "{\"traceEvents\": [\n";
+  for (std::size_t k = 0; k < evs.size(); ++k) {
+    const TraceEvent& e = evs[k];
+    // Chrome trace timestamps are microseconds; fractional values keep the
+    // nanosecond resolution.
+    os << "  {\"ph\": \"X\", \"pid\": 1, \"tid\": " << e.tid
+       << ", \"ts\": " << static_cast<double>(e.start_ns) / 1e3
+       << ", \"dur\": " << static_cast<double>(e.dur_ns) / 1e3 << ", \"cat\": \""
+       << (e.cat != nullptr ? e.cat : "") << "\", \"name\": \""
+       << (e.name != nullptr ? e.name : "") << "\"";
+    if (e.arg1_key != nullptr || e.arg2_key != nullptr) {
+      os << ", \"args\": {";
+      if (e.arg1_key != nullptr) {
+        os << "\"" << e.arg1_key << "\": " << e.arg1;
+        if (e.arg2_key != nullptr) os << ", ";
+      }
+      if (e.arg2_key != nullptr) os << "\"" << e.arg2_key << "\": " << e.arg2;
+      os << "}";
+    }
+    os << "}" << (k + 1 < evs.size() ? ",\n" : "\n");
+  }
+  os << "], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+}  // namespace husg::obs

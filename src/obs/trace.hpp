@@ -1,0 +1,167 @@
+// Low-overhead span tracer (observability layer, DESIGN.md §9).
+//
+// Spans cover the engine's iteration → interval → ROP-row / COP-column /
+// prefetch / value-swap hierarchy, block reads and evictions in the cache,
+// and job lifecycle in the service. Design constraints, in order:
+//
+//  1. Disabled tracing must cost nothing measurable on the hot paths: a Span
+//     constructor is one relaxed atomic load and a branch, no clock read, no
+//     allocation, no thread registration. Defining HUSG_OBS_DISABLE_TRACING
+//     compiles every HUSG_SPAN site out entirely.
+//  2. Enabled tracing must not serialize the pool: events land in per-thread
+//     ring buffers (registered once per thread per session); the only global
+//     lock is taken at registration and export time.
+//  3. The output is Chrome-trace/Perfetto JSON ("traceEvents" with "ph":"X"
+//     complete events), so `--trace-out` files open directly in
+//     chrome://tracing or ui.perfetto.dev.
+//
+// Ring semantics: each thread keeps the most recent `events_per_thread`
+// spans; older ones are overwritten and counted in dropped(). Span names and
+// categories must be string literals (the tracer stores the pointers).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace husg::obs {
+
+/// Nanoseconds since a process-wide steady-clock epoch (first call).
+std::uint64_t now_ns();
+
+namespace detail {
+extern std::atomic<bool> g_tracing;
+}  // namespace detail
+
+/// Inline fast-path check: disabled span sites pay this relaxed load and a
+/// branch, with no out-of-line call to perturb the surrounding codegen.
+inline bool tracing_enabled() {
+  return detail::g_tracing.load(std::memory_order_relaxed);
+}
+
+/// One completed span. `cat`/`name`/arg keys must be string literals.
+struct TraceEvent {
+  const char* cat = nullptr;
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;  ///< tracer-assigned, dense from 1
+  const char* arg1_key = nullptr;
+  std::int64_t arg1 = 0;
+  const char* arg2_key = nullptr;
+  std::int64_t arg2 = 0;
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+  /// The process-wide tracer every HUSG_SPAN records into.
+  static Tracer& instance();
+
+  /// Clears any previous session and enables recording. Each thread that
+  /// records gets its own ring of `events_per_thread` events.
+  void start(std::size_t events_per_thread = kDefaultCapacity);
+
+  /// Disables recording; captured events stay available for export.
+  void stop();
+
+  /// Drops all captured events and thread buffers (recording threads
+  /// re-register lazily).
+  void clear();
+
+  bool enabled() const { return tracing_enabled(); }
+
+  /// Records one completed span on the calling thread's ring. No-op when
+  /// disabled. Key/name pointers must outlive the tracer session.
+  void record(const char* cat, const char* name, std::uint64_t start_ns,
+              std::uint64_t dur_ns, const char* arg1_key = nullptr,
+              std::int64_t arg1 = 0, const char* arg2_key = nullptr,
+              std::int64_t arg2 = 0);
+
+  /// All captured events merged across threads, sorted by start time.
+  std::vector<TraceEvent> events() const;
+
+  std::size_t event_count() const;
+  std::uint64_t dropped() const;
+  /// Number of registered per-thread rings (0 until something records).
+  std::size_t thread_buffer_count() const;
+
+  /// Chrome-trace JSON: {"traceEvents": [...]} with "ph":"X" complete
+  /// events, timestamps in microseconds. Loads in chrome://tracing and
+  /// Perfetto as-is.
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  struct ThreadBuffer;
+
+  /// The calling thread's buffer for the current session (registers one on
+  /// first use after each start()/clear()).
+  ThreadBuffer* local_buffer();
+
+  std::atomic<std::uint64_t> epoch_{1};  ///< bumped by start()/clear()
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::uint32_t next_tid_ = 1;
+};
+
+/// RAII span: captures the start time if the tracer is enabled at
+/// construction and records on destruction. Cheap enough for block-level
+/// call sites; do not put one inside per-edge loops.
+class Span {
+ public:
+  explicit Span(const char* cat, const char* name,
+                const char* arg1_key = nullptr, std::int64_t arg1 = 0,
+                const char* arg2_key = nullptr, std::int64_t arg2 = 0)
+      : armed_(false) {
+    if (tracing_enabled()) [[unlikely]] {
+      arm(cat, name, arg1_key, arg1, arg2_key, arg2);
+    }
+  }
+
+  ~Span() {
+    if (armed_) [[unlikely]] {
+      finish();
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  // Outlined so a disabled span site is just the load, the branch, and one
+  // dead store — no clock reads or calls in the inlined fast path.
+  void arm(const char* cat, const char* name, const char* arg1_key,
+           std::int64_t arg1, const char* arg2_key, std::int64_t arg2);
+  void finish();
+
+  // Only armed_ is initialized on the fast path; the rest is written by
+  // arm() and read by finish(), both guarded on armed_.
+  bool armed_;
+  const char* cat_;
+  const char* name_;
+  const char* arg1_key_;
+  std::int64_t arg1_;
+  const char* arg2_key_;
+  std::int64_t arg2_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace husg::obs
+
+// HUSG_SPAN("cat", "name"[, "key", value[, "key2", value2]]) — scoped span.
+#if defined(HUSG_OBS_DISABLE_TRACING)
+#define HUSG_SPAN(...) \
+  do {                 \
+  } while (0)
+#else
+#define HUSG_SPAN_CONCAT2(a, b) a##b
+#define HUSG_SPAN_CONCAT(a, b) HUSG_SPAN_CONCAT2(a, b)
+#define HUSG_SPAN(...) \
+  ::husg::obs::Span HUSG_SPAN_CONCAT(husg_span_, __COUNTER__)(__VA_ARGS__)
+#endif

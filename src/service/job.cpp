@@ -53,6 +53,36 @@ const char* to_string(JobStatus status) {
   return "?";
 }
 
+void ServiceStats::publish(obs::Registry& reg) const {
+  reg.counter("husg_service_jobs_submitted_total", "Jobs submitted")
+      .inc(submitted);
+  reg.counter("husg_service_jobs_accepted_total", "Jobs admitted")
+      .inc(accepted);
+  reg.counter("husg_service_jobs_rejected_queue_full_total",
+              "Submits rejected because the pending queue was full")
+      .inc(rejected_queue_full);
+  reg.counter("husg_service_jobs_rejected_memory_total",
+              "Submits rejected because the estimate exceeds the budget")
+      .inc(rejected_memory);
+  reg.counter("husg_service_jobs_rejected_shutdown_total",
+              "Submits rejected during shutdown")
+      .inc(rejected_shutdown);
+  reg.counter("husg_service_jobs_completed_total", "Jobs completed")
+      .inc(completed);
+  reg.counter("husg_service_jobs_failed_total", "Jobs failed").inc(failed);
+  reg.counter("husg_service_jobs_cancelled_total", "Jobs cancelled")
+      .inc(cancelled);
+  reg.counter("husg_service_jobs_timed_out_total", "Jobs timed out")
+      .inc(timed_out);
+  reg.counter("husg_service_edges_processed_total",
+              "Edges scanned by terminal jobs")
+      .inc(edges_processed);
+  reg.gauge("husg_service_peak_reserved_bytes",
+            "High-water mark of reserved working-set bytes")
+      .set(static_cast<double>(peak_reserved_bytes));
+  cache.publish(reg);
+}
+
 const char* to_string(RejectReason reason) {
   switch (reason) {
     case RejectReason::kNone:

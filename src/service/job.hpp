@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/run_stats.hpp"
+#include "obs/metrics.hpp"
 #include "util/common.hpp"
 
 namespace husg {
@@ -103,6 +104,9 @@ struct ServiceStats {
   std::uint64_t peak_reserved_bytes = 0;
   /// Shared-cache global counters (includes cross_job_hits).
   CacheStats cache;
+  /// Per-job wall-clock distribution over terminal jobs (queue-exit to
+  /// finish): min/mean/max plus p50/p95/p99 from the scheduler's histogram.
+  obs::LatencySummary job_wall;
 
   std::uint64_t rejected() const {
     return rejected_queue_full + rejected_memory + rejected_shutdown;
@@ -110,6 +114,11 @@ struct ServiceStats {
   std::uint64_t terminal() const {
     return completed + failed + cancelled + timed_out;
   }
+
+  /// Exports into the metrics registry (`husg_service_*`, including the
+  /// cache ledger). Call once per service snapshot — counters accumulate
+  /// across calls by design.
+  void publish(obs::Registry& registry) const;
 };
 
 }  // namespace husg

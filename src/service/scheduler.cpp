@@ -50,6 +50,7 @@ JobTicket JobScheduler::submit(JobSpec spec, std::uint64_t estimate_bytes) {
   job->id = next_id_++;
   job->estimate = estimate_bytes;
   job->token = std::make_shared<CancellationToken>();
+  job->submit_ns = obs::now_ns();
   ticket.accepted = true;
   ticket.id = job->id;
   ticket.result = job->promise.get_future().share();
@@ -74,6 +75,13 @@ void JobScheduler::start_locked(std::size_t index) {
   std::shared_ptr<Pending> job(std::move(pending_[index]));
   pending_.erase(pending_.begin() +
                  static_cast<std::ptrdiff_t>(index));
+  // Trace the queued phase as a completed span: submit time to admission.
+  if (obs::Tracer::instance().enabled()) {
+    obs::Tracer::instance().record(
+        "service", "job_queued", job->submit_ns,
+        obs::now_ns() - job->submit_ns, "job",
+        static_cast<std::int64_t>(job->id), "priority", job->spec.priority);
+  }
   reserved_bytes_ += job->estimate;
   stats_.peak_reserved_bytes =
       std::max(stats_.peak_reserved_bytes, reserved_bytes_);
@@ -125,6 +133,7 @@ void JobScheduler::dispatcher_loop() {
 }
 
 void JobScheduler::run_one(std::shared_ptr<Pending> job) {
+  HUSG_SPAN("service", "job_run", "job", static_cast<std::int64_t>(job->id));
   Timer timer;
   JobResult res;
   try {
@@ -142,6 +151,7 @@ void JobScheduler::run_one(std::shared_ptr<Pending> job) {
   res.id = job->id;
   res.name = job->spec.name;
   res.wall_seconds = timer.seconds();
+  job_wall_ns_.record(static_cast<std::uint64_t>(res.wall_seconds * 1e9));
   {
     std::lock_guard<std::mutex> lock(mu_);
     reserved_bytes_ -= job->estimate;
@@ -230,7 +240,9 @@ void JobScheduler::stop() {
 
 ServiceStats JobScheduler::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ServiceStats out = stats_;
+  out.job_wall = obs::LatencySummary::from(job_wall_ns_.snapshot());
+  return out;
 }
 
 std::uint64_t JobScheduler::reserved_bytes() const {

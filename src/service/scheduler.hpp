@@ -35,6 +35,8 @@
 #include <vector>
 
 #include "core/cancellation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/job.hpp"
 #include "util/threadpool.hpp"
 
@@ -99,6 +101,7 @@ class JobScheduler {
     std::uint64_t estimate = 0;
     std::promise<JobResult> promise;
     std::shared_ptr<CancellationToken> token;
+    std::uint64_t submit_ns = 0;  ///< queue-entry time for the trace
   };
 
   struct Running {
@@ -129,6 +132,9 @@ class JobScheduler {
   JobId next_id_ = 1;  ///< 0 is the cache's "no job" owner tag
   bool stopping_ = false;
   ServiceStats stats_;
+  /// Wall time of every terminal job in nanoseconds (exported in seconds);
+  /// lock-free, so run_one records outside mu_.
+  obs::Histogram job_wall_ns_{1e-9};
 
   std::mutex stop_mu_;  ///< serializes stop() (join is not reentrant)
   std::thread dispatcher_;

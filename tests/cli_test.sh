@@ -49,6 +49,28 @@ cmp -s "$WORK/wcc_a.txt" "$WORK/wcc_b.txt" || fail "compressed store results dif
 "$CLI" run --store "$WORK/wstore" --algo sssp --source 0 --device hdd \
   --seek-scale 0.001 > /dev/null || fail "run sssp"
 
+# observability: trace + metrics artifacts, log levels
+"$CLI" run --store "$WORK/store" --algo bfs --source 1 \
+  --trace-out "$WORK/trace.json" --metrics-out "$WORK/metrics.prom" \
+  > /dev/null || fail "run with telemetry flags"
+[ -s "$WORK/trace.json" ] || fail "trace file missing"
+[ -s "$WORK/metrics.prom" ] || fail "metrics file missing"
+grep -q '"traceEvents"' "$WORK/trace.json" || fail "trace not chrome format"
+grep -q '^husg_run_iterations ' "$WORK/metrics.prom" || fail "run metrics missing"
+grep -q '^husg_predictor_decisions_total ' "$WORK/metrics.prom" \
+  || fail "predictor metrics missing"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$WORK/trace.json" > /dev/null || fail "trace not JSON"
+  python3 "$(dirname "$0")/../tools/check_prom.py" "$WORK/metrics.prom" \
+    > /dev/null || fail "metrics not valid Prometheus exposition"
+fi
+"$CLI" run --store "$WORK/store" --algo bfs --log-level info 2>&1 \
+  | grep -q 'iter 0:' || fail "log-level info silent"
+"$CLI" run --store "$WORK/store" --algo bfs --log-level quiet 2>&1 \
+  | grep -q 'iter 0:' && fail "log-level quiet chatty"
+"$CLI" run --store "$WORK/store" --algo bfs --log-level loud 2>/dev/null \
+  && fail "bad log level accepted"
+
 # checksum verification
 "$CLI" verify --store "$WORK/store" | grep -q 'verified OK' || fail "verify clean"
 printf 'X' | dd of="$WORK/store_ext/in.adj" bs=1 seek=5 conv=notrunc 2>/dev/null

@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "obs/audit.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+#include "util/threadpool.hpp"
+
+namespace husg {
+namespace {
+
+using obs::Histogram;
+using obs::Tracer;
+
+// --- Histogram -----------------------------------------------------------------
+
+TEST(Histogram, BucketIndexRoundTrips) {
+  // Every value must land in a bucket whose [lower, upper] range contains it.
+  std::vector<std::uint64_t> values = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17,
+                                       100, 1000, 4095, 4096, 1u << 20};
+  values.push_back(std::uint64_t{1} << 40);
+  values.push_back(std::numeric_limits<std::uint64_t>::max());
+  for (std::uint64_t v : values) {
+    std::size_t idx = Histogram::bucket_index(v);
+    ASSERT_LT(idx, Histogram::kBuckets) << "value " << v;
+    EXPECT_LE(Histogram::bucket_lower(idx), v) << "value " << v;
+    EXPECT_GE(Histogram::bucket_upper(idx), v) << "value " << v;
+  }
+}
+
+TEST(Histogram, BucketBoundariesAreContiguous) {
+  for (std::size_t i = 1; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(Histogram::bucket_lower(i), Histogram::bucket_upper(i - 1) + 1)
+        << "bucket " << i;
+  }
+}
+
+TEST(Histogram, QuantilesMatchSortedVectorOracle) {
+  // Log-normal-ish latencies: the relative quantile error must stay within
+  // one sub-bucket width (25%) of the exact order statistic.
+  SplitMix64 rng(7);
+  Histogram hist;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    double u = rng.next_double();
+    auto v = static_cast<std::uint64_t>(std::exp(4 + 8 * u)) + 1;
+    values.push_back(v);
+    hist.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  Histogram::Snapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, values.size());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    double exact = static_cast<double>(
+        values[static_cast<std::size_t>(q * (values.size() - 1))]);
+    double approx = snap.quantile(q);
+    EXPECT_LE(std::abs(approx - exact) / exact, 0.30)
+        << "q=" << q << " exact=" << exact << " approx=" << approx;
+  }
+  // Extremes are tracked exactly, not bucketed.
+  EXPECT_DOUBLE_EQ(snap.min_value(), static_cast<double>(values.front()));
+  EXPECT_DOUBLE_EQ(snap.max_value(), static_cast<double>(values.back()));
+}
+
+TEST(Histogram, ScaleConvertsExportedUnits) {
+  Histogram hist(1e-9);  // records ns, exports seconds
+  hist.record(2'000'000'000);
+  Histogram::Snapshot snap = hist.snapshot();
+  EXPECT_DOUBLE_EQ(snap.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(snap.min_value(), 2.0);
+  EXPECT_NEAR(snap.quantile(0.5), 2.0, 0.5);
+}
+
+TEST(Histogram, EmptySnapshotIsZero) {
+  Histogram hist;
+  Histogram::Snapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 0.0);
+}
+
+// --- Concurrency ----------------------------------------------------------------
+
+TEST(Metrics, ConcurrentIncrementsAreLossless) {
+  obs::Registry reg;
+  obs::Counter& counter = reg.counter("test_ops_total", "ops");
+  obs::Histogram& hist = reg.histogram("test_latency", "lat");
+  constexpr std::size_t kPerTask = 1000;
+  constexpr std::size_t kTasks = 64;
+  ThreadPool pool(8);
+  pool.parallel_for(kTasks, 1, [&](std::size_t t) {
+    for (std::size_t i = 0; i < kPerTask; ++i) {
+      counter.inc();
+      hist.record(t * kPerTask + i + 1);
+    }
+  });
+  EXPECT_EQ(counter.value(), kTasks * kPerTask);
+  EXPECT_EQ(hist.snapshot().count, kTasks * kPerTask);
+}
+
+// --- Registry / Prometheus export ----------------------------------------------
+
+TEST(Registry, SameNameReturnsSameMetric) {
+  obs::Registry reg;
+  obs::Counter& a = reg.counter("x_total", "x");
+  obs::Counter& b = reg.counter("x_total", "x");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(Registry, PrometheusExposition) {
+  obs::Registry reg;
+  reg.counter("husg_test_ops_total", "Operations").inc(42);
+  reg.gauge("husg_test_level", "Level").set(1.5);
+  obs::Histogram& h = reg.histogram("husg_test_seconds", "Latency", 1e-9);
+  h.record(1000);
+  h.record(2000);
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE husg_test_ops_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("husg_test_ops_total 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE husg_test_level gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE husg_test_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("husg_test_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("husg_test_seconds_count 2"), std::string::npos);
+}
+
+// --- Tracer ---------------------------------------------------------------------
+
+TEST(Tracer, DisabledRecordsNothing) {
+  Tracer& tracer = Tracer::instance();
+  tracer.clear();
+  ASSERT_FALSE(tracer.enabled());
+  {
+    HUSG_SPAN("test", "noop");
+    obs::Span manual("test", "noop2");
+  }
+  tracer.record("test", "direct", 0, 1);
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_EQ(tracer.thread_buffer_count(), 0u);
+}
+
+TEST(Tracer, CapturesNestedSpansWithMonotonicTimestamps) {
+  Tracer& tracer = Tracer::instance();
+  tracer.start();
+  {
+    HUSG_SPAN("test", "outer", "i", 1);
+    for (int i = 0; i < 3; ++i) {
+      HUSG_SPAN("test", "inner", "i", i);
+    }
+  }
+  tracer.stop();
+  std::vector<obs::TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Sorted by start time; the outer span starts first and contains the rest.
+  EXPECT_STREQ(events[0].name, "outer");
+  std::uint64_t outer_end = events[0].start_ns + events[0].dur_ns;
+  std::uint64_t prev_start = 0;
+  for (const obs::TraceEvent& e : events) {
+    EXPECT_GE(e.start_ns, prev_start);
+    prev_start = e.start_ns;
+    EXPECT_LE(e.start_ns + e.dur_ns, outer_end);
+  }
+  EXPECT_EQ(events[1].arg1, 0);
+  EXPECT_EQ(events[3].arg1, 2);
+  tracer.clear();
+}
+
+TEST(Tracer, ChromeJsonIsBalancedAndParseable) {
+  Tracer& tracer = Tracer::instance();
+  tracer.start();
+  ThreadPool pool(4);
+  pool.parallel_for(16, 1, [&](std::size_t i) {
+    HUSG_SPAN("test", "task", "i", static_cast<std::int64_t>(i));
+  });
+  tracer.stop();
+  EXPECT_EQ(tracer.event_count(), 16u);
+  std::ostringstream os;
+  tracer.write_chrome_json(os);
+  std::string json = os.str();
+  tracer.clear();
+  // Structural well-formedness: balanced braces/brackets, one complete
+  // ("ph":"X") event per span, no trailing comma before a closer.
+  std::int64_t braces = 0, brackets = 0;
+  std::size_t events = 0;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+    if (c == ',') {
+      std::size_t j = json.find_first_not_of(" \n\t", i + 1);
+      ASSERT_NE(json[j], '}');
+      ASSERT_NE(json[j], ']');
+    }
+    if (json.compare(i, 9, "\"ph\": \"X\"") == 0 ||
+        json.compare(i, 8, "\"ph\":\"X\"") == 0) {
+      ++events;
+    }
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_EQ(events, 16u);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(Tracer, RingDropsOldestAndCounts) {
+  Tracer& tracer = Tracer::instance();
+  tracer.start(/*events_per_thread=*/8);
+  for (int i = 0; i < 20; ++i) {
+    tracer.record("test", "e", static_cast<std::uint64_t>(i), 1, "i", i);
+  }
+  tracer.stop();
+  EXPECT_EQ(tracer.event_count(), 8u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+  // The survivors are the most recent records.
+  std::vector<obs::TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(events.front().arg1, 12);
+  EXPECT_EQ(events.back().arg1, 19);
+  tracer.clear();
+}
+
+// --- LatencySummary -------------------------------------------------------------
+
+TEST(LatencySummary, FromSnapshot) {
+  Histogram hist(1e-9);
+  for (int i = 1; i <= 100; ++i) {
+    hist.record(static_cast<std::uint64_t>(i) * 1'000'000);  // 1..100 ms
+  }
+  obs::LatencySummary s = obs::LatencySummary::from(hist.snapshot());
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min_seconds, 0.001);
+  EXPECT_DOUBLE_EQ(s.max_seconds, 0.100);
+  EXPECT_NEAR(s.mean_seconds, 0.0505, 1e-4);
+  EXPECT_NEAR(s.p50_seconds, 0.050, 0.015);
+  EXPECT_NEAR(s.p95_seconds, 0.095, 0.025);
+  EXPECT_GE(s.p99_seconds, s.p95_seconds);
+  EXPECT_LE(s.p99_seconds, s.max_seconds);
+}
+
+// --- Predictor audit ------------------------------------------------------------
+
+RunStats make_run(double c_rop, double c_cop, bool used_rop,
+                  std::uint64_t seq_bytes) {
+  RunStats stats;
+  IterationStats it;
+  it.iteration = 0;
+  DecisionRecord d;
+  d.interval = 0;
+  d.prediction.c_rop = c_rop;
+  d.prediction.c_cop = c_cop;
+  d.used_rop = used_rop;
+  d.observed = true;
+  d.observed_io.seq_read_bytes = seq_bytes;
+  d.observed_wall_seconds = 0.5;
+  it.decisions.push_back(d);
+  stats.iterations.push_back(it);
+  return stats;
+}
+
+TEST(PredictorAudit, RelativeErrorAgainstObservedTraffic) {
+  // Device: 100 B/s sequential => 100 bytes price at exactly 1 s.
+  DeviceProfile dev;
+  dev.seq_read_bw = 100;
+  // Prediction 2 s vs observation 1 s: symmetric rel error = 1/2.
+  RunStats stats = make_run(2.0, 9.0, /*used_rop=*/true, /*seq_bytes=*/100);
+  obs::PredictorAudit audit = obs::PredictorAudit::from_run(stats, dev);
+  ASSERT_EQ(audit.entries().size(), 1u);
+  const obs::AuditEntry& e = audit.entries()[0];
+  EXPECT_TRUE(e.evaluated);
+  EXPECT_TRUE(e.chose_rop);
+  EXPECT_DOUBLE_EQ(e.observed_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(e.rel_error, 0.5);
+  obs::AuditSummary s = audit.summarize();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.evaluated, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_rel_error, 0.5);
+  EXPECT_DOUBLE_EQ(s.mean_rel_error_rop, 0.5);
+  EXPECT_DOUBLE_EQ(s.mean_rel_error_cop, 0.0);
+}
+
+TEST(PredictorAudit, AlphaShortcutEntriesExcludedFromMeans) {
+  DeviceProfile dev;
+  dev.seq_read_bw = 100;
+  RunStats stats = make_run(0.0, 0.0, /*used_rop=*/false, /*seq_bytes=*/100);
+  stats.iterations[0].decisions[0].prediction.alpha_shortcut = true;
+  obs::PredictorAudit audit = obs::PredictorAudit::from_run(stats, dev);
+  ASSERT_EQ(audit.entries().size(), 1u);
+  EXPECT_FALSE(audit.entries()[0].evaluated);
+  obs::AuditSummary s = audit.summarize();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.evaluated, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_rel_error, 0.0);
+}
+
+TEST(PredictorAudit, CsvHasHeaderAndOneRowPerEntry) {
+  DeviceProfile dev;
+  dev.seq_read_bw = 100;
+  RunStats stats = make_run(1.0, 2.0, true, 100);
+  obs::PredictorAudit audit = obs::PredictorAudit::from_run(stats, dev);
+  std::ostringstream os;
+  audit.write_csv(os);
+  std::string csv = os.str();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+  EXPECT_EQ(csv.find("iteration,interval,"), 0u);
+}
+
+}  // namespace
+}  // namespace husg

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition file (as written by --metrics-out).
+
+Checks, per the text format spec:
+  * every non-comment line is `name[{labels}] value` with a valid metric
+    name and a parseable float value;
+  * each sample is preceded by # HELP / # TYPE lines for its family, and
+    the family's samples are contiguous;
+  * histogram families expose `_bucket{le=...}` series with non-decreasing
+    cumulative counts, a final le="+Inf" bucket, and `_sum` / `_count`
+    samples where count equals the +Inf bucket.
+
+Usage: check_prom.py FILE    (exit 0 = valid, 1 = malformed)
+"""
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<ts>-?\d+))?$"
+)
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def fail(lineno, msg):
+    print(f"check_prom: line {lineno}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(path):
+    helps = {}
+    types = {}
+    samples = []  # (lineno, name, labels, value)
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.rstrip("\n")
+            if not line.strip():
+                continue
+            if line.startswith("# HELP "):
+                parts = line.split(None, 3)
+                if len(parts) < 3 or not NAME_RE.match(parts[2]):
+                    fail(lineno, f"malformed HELP line: {line!r}")
+                helps[parts[2]] = parts[3] if len(parts) > 3 else ""
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                if len(parts) != 4 or not NAME_RE.match(parts[2]):
+                    fail(lineno, f"malformed TYPE line: {line!r}")
+                if parts[3] not in ("counter", "gauge", "histogram",
+                                    "summary", "untyped"):
+                    fail(lineno, f"unknown metric type {parts[3]!r}")
+                if parts[2] in types:
+                    fail(lineno, f"duplicate TYPE for {parts[2]}")
+                types[parts[2]] = parts[3]
+                continue
+            if line.startswith("#"):
+                continue  # plain comment
+            m = SAMPLE_RE.match(line)
+            if not m:
+                fail(lineno, f"malformed sample line: {line!r}")
+            labels = {}
+            if m.group("labels"):
+                for pair in m.group("labels").split(","):
+                    pair = pair.strip()
+                    if not LABEL_RE.match(pair):
+                        fail(lineno, f"malformed label {pair!r}")
+                    key, val = pair.split("=", 1)
+                    labels[key] = val[1:-1]
+            value = m.group("value")
+            if value not in ("+Inf", "-Inf", "NaN"):
+                try:
+                    float(value)
+                except ValueError:
+                    fail(lineno, f"unparseable value {value!r}")
+            samples.append((lineno, m.group("name"), labels, value))
+
+    if not samples:
+        fail(0, "no samples found")
+
+    # Each sample must belong to a declared family, and families must be
+    # contiguous blocks (the spec forbids interleaving).
+    seen_families = []
+    for lineno, name, _, _ in samples:
+        family = name
+        if name not in types:
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and name[: -len(suffix)] in types:
+                    family = name[: -len(suffix)]
+                    break
+        if family not in types:
+            fail(lineno, f"sample {name} has no # TYPE declaration")
+        if family not in helps:
+            fail(lineno, f"sample {name} has no # HELP declaration")
+        if not seen_families or seen_families[-1] != family:
+            if family in seen_families:
+                fail(lineno, f"family {family} is not contiguous")
+            seen_families.append(family)
+
+    # Histogram invariants.
+    for family, typ in types.items():
+        if typ != "histogram":
+            continue
+        buckets = [(ln, lb, v) for ln, n, lb, v in samples
+                   if n == family + "_bucket"]
+        if not buckets:
+            fail(0, f"histogram {family} has no _bucket samples")
+        prev = -1.0
+        prev_le = None
+        for ln, labels, value in buckets:
+            if "le" not in labels:
+                fail(ln, f"{family}_bucket sample missing le label")
+            le = labels["le"]
+            if le != "+Inf":
+                le_num = float(le)
+                if prev_le is not None and le_num <= prev_le:
+                    fail(ln, f"{family} bucket bounds not increasing")
+                prev_le = le_num
+            count = float(value)
+            if count < prev:
+                fail(ln, f"{family} cumulative bucket counts decrease")
+            prev = count
+        if buckets[-1][1].get("le") != "+Inf":
+            fail(buckets[-1][0], f"{family} missing le=\"+Inf\" bucket")
+        counts = [v for ln, n, lb, v in samples if n == family + "_count"]
+        sums = [v for ln, n, lb, v in samples if n == family + "_sum"]
+        if len(counts) != 1 or len(sums) != 1:
+            fail(0, f"histogram {family} needs exactly one _sum and _count")
+        if float(counts[0]) != float(buckets[-1][2]):
+            fail(0, f"{family}_count != le=\"+Inf\" bucket count")
+
+    print(f"check_prom: {path}: OK "
+          f"({len(samples)} samples, {len(types)} families)")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1]))

@@ -36,7 +36,8 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: husg_cli <generate|build|info|verify|run> [options]\n"
+      "usage: husg_cli <generate|build|info|verify|run|serve> [options]\n"
+      "  global   [--log-level quiet|warn|info|debug]\n"
       "  generate --type rmat|er|web|chain|grid --scale N [--degree D]\n"
       "           [--seed S] [--weighted] --out FILE\n"
       "  build    --graph FILE --store DIR [--partitions P]\n"
@@ -52,11 +53,16 @@ int usage() {
       "           [--cache-budget BYTES] [--cache-fraction F]\n"
       "           [--no-cache-fill-rop]\n"
       "           [--predictor paper|exact|cache-aware]\n"
+      "           [--trace-out FILE] [--metrics-out FILE]\n"
       "  serve    --store DIR --jobs FILE [--max-concurrent N] [--queue N]\n"
       "           [--threads-per-job T] [--memory-budget BYTES]\n"
       "           [--cache-budget BYTES] [--cache-fraction F]\n"
       "           [--device hdd|ssd|nvme] [--seek-scale F] [--alpha A]\n"
-      "           [--predictor paper|exact|cache-aware] [--report FILE]\n");
+      "           [--predictor paper|exact|cache-aware] [--report FILE]\n"
+      "           [--trace-out FILE] [--metrics-out FILE]\n"
+      "--trace-out writes a Chrome-trace/Perfetto JSON span timeline;\n"
+      "--metrics-out writes Prometheus text exposition (and enables\n"
+      "device-layer I/O latency histograms for the run).\n");
   return 2;
 }
 
@@ -105,6 +111,51 @@ int validate_engine_flags(const Options& opts) {
   }
   return 0;
 }
+
+/// Arms the span tracer and/or I/O latency timing per the --trace-out /
+/// --metrics-out flags; exports both files when the command finishes. The
+/// metrics side expects the caller to have publish()ed its ledgers into the
+/// global registry before finish().
+class Telemetry {
+ public:
+  explicit Telemetry(const Options& opts)
+      : trace_out_(opts.get("trace-out", "")),
+        metrics_out_(opts.get("metrics-out", "")) {
+    if (!trace_out_.empty()) obs::Tracer::instance().start();
+    if (!metrics_out_.empty()) obs::set_io_timing(true);
+  }
+
+  bool metrics_enabled() const { return !metrics_out_.empty(); }
+
+  void finish() {
+    if (!trace_out_.empty()) {
+      obs::Tracer& tracer = obs::Tracer::instance();
+      tracer.stop();
+      std::ofstream f(trace_out_);
+      tracer.write_chrome_json(f);
+      std::printf("wrote %zu trace events to %s", tracer.event_count(),
+                  trace_out_.c_str());
+      if (tracer.dropped() > 0) {
+        std::printf(" (%llu dropped; rings are bounded)",
+                    static_cast<unsigned long long>(tracer.dropped()));
+      }
+      std::printf("\n");
+      tracer.clear();
+      trace_out_.clear();
+    }
+    if (!metrics_out_.empty()) {
+      obs::set_io_timing(false);
+      std::ofstream f(metrics_out_);
+      obs::Registry::global().write_prometheus(f);
+      std::printf("wrote metrics to %s\n", metrics_out_.c_str());
+      metrics_out_.clear();
+    }
+  }
+
+ private:
+  std::string trace_out_;
+  std::string metrics_out_;
+};
 
 EdgeList load_graph(const std::string& path) {
   if (path.size() > 4 && (path.ends_with(".txt") || path.ends_with(".el"))) {
@@ -318,6 +369,8 @@ int cmd_run(const Options& opts) {
   bool trace = opts.get_bool("trace", false);
   VertexId source = static_cast<VertexId>(opts.get_int("source", 0));
 
+  Telemetry telemetry(opts);
+  RunStats last_stats;
   Engine engine(store, eo);
   auto single = [&] {
     return Frontier::single(store.meta(), source, store.out_degrees());
@@ -330,16 +383,19 @@ int cmd_run(const Options& opts) {
     BfsProgram p{.source = source};
     auto r = engine.run(p, single());
     print_trace(r.stats, trace);
+    last_stats = std::move(r.stats);
     maybe_dump(opts, r.values, [](std::uint32_t v) { return v; });
   } else if (algo == "wcc") {
     WccProgram p;
     auto r = engine.run(p, all());
     print_trace(r.stats, trace);
+    last_stats = std::move(r.stats);
     maybe_dump(opts, r.values, [](VertexId v) { return v; });
   } else if (algo == "sssp") {
     SsspProgram p{.source = source};
     auto r = engine.run(p, single());
     print_trace(r.stats, trace);
+    last_stats = std::move(r.stats);
     maybe_dump(opts, r.values, [](float v) { return v; });
   } else if (algo == "pagerank") {
     Engine pr_engine(store, [&] {
@@ -350,11 +406,13 @@ int cmd_run(const Options& opts) {
     PageRankProgram p;
     auto r = pr_engine.run(p, all());
     print_trace(r.stats, trace);
+    last_stats = std::move(r.stats);
     maybe_dump(opts, r.values, [](float v) { return v; });
   } else if (algo == "prdelta") {
     PageRankDeltaProgram p;
     auto r = engine.run(p, all());
     print_trace(r.stats, trace);
+    last_stats = std::move(r.stats);
     maybe_dump(opts, r.values,
                [](const PageRankDeltaValue& v) { return v.rank; });
   } else if (algo == "kcore") {
@@ -365,6 +423,7 @@ int cmd_run(const Options& opts) {
     std::uint64_t survivors = 0;
     for (const auto& val : r.values) survivors += val.removed == 0 ? 1 : 0;
     print_trace(r.stats, trace);
+    last_stats = std::move(r.stats);
     std::printf("%u-core size: %llu of %llu vertices (run on a symmetrized "
                 "store for the undirected k-core)\n",
                 k, static_cast<unsigned long long>(survivors),
@@ -380,11 +439,20 @@ int cmd_run(const Options& opts) {
     SpmvProgram p;
     auto r = spmv_engine.run(p, all());
     print_trace(r.stats, trace);
+    last_stats = std::move(r.stats);
     maybe_dump(opts, r.values, [](float v) { return v; });
   } else {
     std::fprintf(stderr, "unknown --algo '%s'\n", algo.c_str());
     return 2;
   }
+  if (telemetry.metrics_enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    last_stats.publish(reg);
+    last_stats.cache.publish(reg);
+    eo.device.publish(reg);
+    obs::PredictorAudit::from_run(last_stats, eo.device).publish(reg);
+  }
+  telemetry.finish();
   return 0;
 }
 
@@ -464,7 +532,15 @@ void write_serve_report(const std::string& path, const std::string& store_dir,
     << ", \"cache_hits\": " << st.cache.hits
     << ", \"cache_misses\": " << st.cache.misses
     << ", \"cache_cross_job_hits\": " << st.cache.cross_job_hits
-    << ", \"cache_bytes_saved\": " << st.cache.bytes_saved << "}\n}\n";
+    << ", \"cache_bytes_saved\": " << st.cache.bytes_saved
+    << ", \"job_wall\": {"
+    << "\"count\": " << st.job_wall.count
+    << ", \"min_seconds\": " << st.job_wall.min_seconds
+    << ", \"mean_seconds\": " << st.job_wall.mean_seconds
+    << ", \"max_seconds\": " << st.job_wall.max_seconds
+    << ", \"p50_seconds\": " << st.job_wall.p50_seconds
+    << ", \"p95_seconds\": " << st.job_wall.p95_seconds
+    << ", \"p99_seconds\": " << st.job_wall.p99_seconds << "}}\n}\n";
 }
 
 int cmd_serve(const Options& opts) {
@@ -515,6 +591,7 @@ int cmd_serve(const Options& opts) {
   so.alpha = opts.get_double("alpha", 0.05);
   so.predictor = parse_predictor(opts);
 
+  Telemetry telemetry(opts);
   GraphService service(store, so);
   std::vector<JobTicket> tickets;
   tickets.reserve(jobs.size());
@@ -567,6 +644,20 @@ int cmd_serve(const Options& opts) {
     write_serve_report(report, store_dir, jobs, tickets, results, st);
     std::printf("wrote %s\n", report.c_str());
   }
+  if (telemetry.metrics_enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    st.publish(reg);
+    so.device.publish(reg);
+    reg.gauge("husg_service_job_wall_p95_seconds",
+              "95th percentile per-job wall time")
+        .set(st.job_wall.p95_seconds);
+    // Per-job predictor audits, aggregated into one error histogram.
+    for (const JobResult& r : results) {
+      if (r.status != JobStatus::kCompleted) continue;
+      obs::PredictorAudit::from_run(r.stats, so.device).publish(reg);
+    }
+  }
+  telemetry.finish();
   return all_completed ? 0 : 1;
 }
 
@@ -578,6 +669,21 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   std::string cmd = argv[1];
   Options opts = Options::parse(argc - 1, argv + 1);
+  std::string log_level = opts.get("log-level", "");
+  if (!log_level.empty()) {
+    if (log_level == "quiet") {
+      log::set_level(log::Level::kError);
+    } else if (log_level == "warn") {
+      log::set_level(log::Level::kWarn);
+    } else if (log_level == "info") {
+      log::set_level(log::Level::kInfo);
+    } else if (log_level == "debug") {
+      log::set_level(log::Level::kDebug);
+    } else {
+      return invalid_option("--log-level", log_level,
+                            "quiet|warn|info|debug");
+    }
+  }
   try {
     if (cmd == "generate") return cmd_generate(opts);
     if (cmd == "build") return cmd_build(opts);
