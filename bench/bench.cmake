@@ -34,6 +34,13 @@ husg_bench(ablation_partitioning)
 husg_bench(ablation_semi_external)
 husg_bench(ablation_cache)
 husg_bench(micro_service)
+husg_bench(perf_smoke)
+
+# Regression gate: perf_smoke output must match the checked-in baseline
+# (and the comparator must reject a doctored one).
+add_test(NAME perf_regress
+         COMMAND sh ${CMAKE_SOURCE_DIR}/tests/perf_regress_test.sh
+                 $<TARGET_FILE:perf_smoke> ${CMAKE_SOURCE_DIR})
 
 husg_microbench(micro_storage)
 husg_microbench(micro_engine)

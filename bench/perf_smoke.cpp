@@ -1,0 +1,142 @@
+// Deterministic performance smoke bench for the regression gate
+// (tools/bench_regress.py). Unlike the figure/table benches this one is not
+// reproducing a paper claim: it pins a tiny fixed workload whose I/O and
+// cache counters are bit-stable across runs of the same binary, so a diff
+// against bench/baselines/perf_smoke.json flags any change in engine
+// traffic. Everything that could wobble is nailed down: fixed R-MAT seed,
+// one thread (two pool workers racing a cold block would both read it),
+// in-memory vertex values, and a modeled device so modeled_seconds is a
+// pure function of the byte counts. Only wall_seconds varies run to run;
+// the comparator treats it as advisory.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "husg/husg.hpp"
+
+#include "bench_support/report.hpp"
+
+using namespace husg;
+using namespace husg::bench;
+
+namespace {
+
+struct SmokeOptions {
+  unsigned scale = 11;
+  double degree = 8.0;
+  std::uint32_t partitions = 4;
+  std::string out_dir = ".";
+  std::string data_dir;  ///< default: <out_dir>/perf_smoke_data
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: perf_smoke [--scale N] [--degree D] [--partitions P]"
+               " [--out-dir DIR] [--data-dir DIR]\n");
+  return 2;
+}
+
+EngineOptions base_options() {
+  EngineOptions o;
+  o.threads = 1;
+  o.file_backed_values = false;
+  o.device = DeviceProfile::sata_ssd();
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SmokeOptions opt;
+  for (int k = 1; k < argc; ++k) {
+    std::string flag = argv[k];
+    if (k + 1 >= argc) return usage();
+    std::string val = argv[++k];
+    if (flag == "--scale") {
+      opt.scale = static_cast<unsigned>(std::stoul(val));
+    } else if (flag == "--degree") {
+      opt.degree = std::stod(val);
+    } else if (flag == "--partitions") {
+      opt.partitions = static_cast<std::uint32_t>(std::stoul(val));
+    } else if (flag == "--out-dir") {
+      opt.out_dir = val;
+    } else if (flag == "--data-dir") {
+      opt.data_dir = val;
+    } else {
+      return usage();
+    }
+  }
+  if (opt.data_dir.empty()) opt.data_dir = opt.out_dir + "/perf_smoke_data";
+
+  banner("Perf smoke (regression gate)",
+         "");  // not a paper figure: fixed workload for bench_regress.py
+  std::printf("workload: rmat scale=%u degree=%.1f seed=42, P=%u, 1 thread\n",
+              opt.scale, opt.degree, opt.partitions);
+
+  EdgeList graph = gen::rmat(opt.scale, opt.degree, /*seed=*/42);
+  std::filesystem::create_directories(opt.data_dir);
+  DualBlockStore store = DualBlockStore::build(
+      graph, std::filesystem::path(opt.data_dir) / "store",
+      StoreOptions{opt.partitions});
+
+  JsonReport report("perf_smoke");
+  Table t({"run", "iters", "modeled s", "I/O MB", "rand ops", "hit rate"});
+  auto record = [&](const char* label, const RunStats& stats) {
+    t.add_row({label, std::to_string(stats.iterations_run()),
+               fmt(stats.modeled_seconds(), 4),
+               fmt(static_cast<double>(stats.total_io.total_bytes()) / 1e6, 3),
+               std::to_string(stats.total_io.rand_read_ops),
+               fmt(100.0 * stats.cache.hit_rate(), 1) + "%"});
+    report.add_run(label, stats);
+  };
+
+  {
+    EngineOptions o = base_options();
+    o.max_iterations = 5;
+    Engine e(store, o);
+    PageRankProgram p;
+    record("pagerank/hybrid",
+           e.run(p, Frontier::all(store.meta(), store.out_degrees())).stats);
+  }
+  {
+    EngineOptions o = base_options();
+    o.mode = UpdateMode::kCop;
+    o.max_iterations = 5;
+    Engine e(store, o);
+    PageRankProgram p;
+    record("pagerank/cop",
+           e.run(p, Frontier::all(store.meta(), store.out_degrees())).stats);
+  }
+  {
+    EngineOptions o = base_options();
+    Engine e(store, o);
+    BfsProgram b{.source = 1};
+    record("bfs/hybrid",
+           e.run(b, Frontier::single(store.meta(), 1, store.out_degrees()))
+               .stats);
+  }
+  {
+    // Cache path: ROP point loads against a budget that holds ~half the
+    // out-blocks, exercising fill, hits, and evictions deterministically
+    // (one thread keeps the CLOCK sweep order stable).
+    std::uint64_t out_adj = 0;
+    for (std::uint32_t i = 0; i < store.meta().p(); ++i) {
+      for (std::uint32_t j = 0; j < store.meta().p(); ++j) {
+        out_adj += store.meta().out_block(i, j).adj_bytes;
+      }
+    }
+    EngineOptions o = base_options();
+    o.mode = UpdateMode::kRop;
+    o.max_iterations = 5;
+    o.cache_budget_bytes = out_adj / 2;
+    Engine e(store, o);
+    PageRankProgram p;
+    record("pagerank/rop+cache",
+           e.run(p, Frontier::all(store.meta(), store.out_degrees())).stats);
+  }
+
+  t.print();
+  report.write(opt.out_dir);
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/heatmap.hpp"
 #include "obs/trace.hpp"
 #include "util/common.hpp"
 
@@ -89,6 +90,15 @@ bool BlockCache::make_room(std::uint64_t needed) {
     const bool pinned = e.payload.use_count() > 1;
     if (!pinned && !e.referenced) {
       const std::uint64_t size = e.payload->size();
+      // Heatmap tracks adjacency payloads only (index kinds excluded, see
+      // obs/heatmap.hpp).
+      if (obs::heatmap_enabled() && (e.key.kind == BlockKind::kOutAdj ||
+                                     e.key.kind == BlockKind::kInAdj)) {
+        obs::Heatmap::instance().record_eviction(
+            e.key.kind == BlockKind::kOutAdj ? obs::HeatDir::kOut
+                                             : obs::HeatDir::kIn,
+            e.key.row, e.key.col);
+      }
       index_.erase(e.key);
       if (hand_ != ring_.size() - 1) {
         ring_[hand_] = std::move(ring_.back());

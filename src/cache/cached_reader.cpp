@@ -2,9 +2,36 @@
 
 #include <cstring>
 
+#include "obs/heatmap.hpp"
 #include "obs/trace.hpp"
 
 namespace husg {
+
+namespace {
+
+// Heatmap feeds (adjacency payloads only; index I/O is excluded by design —
+// see obs/heatmap.hpp). One relaxed-ish atomic load and a branch when the
+// profiler is disarmed.
+inline void heat_read(obs::HeatDir dir, std::uint32_t i, std::uint32_t j,
+                      std::uint64_t bytes) {
+  if (obs::heatmap_enabled()) [[unlikely]] {
+    obs::Heatmap::instance().record_read(dir, i, j, bytes);
+  }
+}
+
+inline void heat_hit(obs::HeatDir dir, std::uint32_t i, std::uint32_t j) {
+  if (obs::heatmap_enabled()) [[unlikely]] {
+    obs::Heatmap::instance().record_hit(dir, i, j);
+  }
+}
+
+inline void heat_miss(obs::HeatDir dir, std::uint32_t i, std::uint32_t j) {
+  if (obs::heatmap_enabled()) [[unlikely]] {
+    obs::Heatmap::instance().record_miss(dir, i, j);
+  }
+}
+
+}  // namespace
 
 CacheStats CachedBlockReader::local_stats() const {
   CacheStats s;
@@ -120,21 +147,28 @@ AdjacencySlice CachedBlockReader::load_out_edges(std::uint32_t i,
                                                  std::uint32_t lo,
                                                  std::uint32_t hi,
                                                  AdjacencyBuffer& buf) const {
-  if (cache_ == nullptr) return store_->load_out_edges(i, j, lo, hi, buf);
+  const std::uint32_t rec = store_->meta().edge_record_bytes();
+  if (cache_ == nullptr) {
+    heat_read(obs::HeatDir::kOut, i, j,
+              static_cast<std::uint64_t>(hi - lo) * rec);
+    return store_->load_out_edges(i, j, lo, hi, buf);
+  }
   const StoreMeta& meta = store_->meta();
   const bool weighted = meta.weighted;
-  const std::uint32_t rec = meta.edge_record_bytes();
   BlockKey key{BlockKind::kOutAdj, i, j};
   if (BlockCache::PinnedBytes hit =
           consult(key, static_cast<std::uint64_t>(hi - lo) * rec)) {
+    heat_hit(obs::HeatDir::kOut, i, j);
     return decode_payload(hit, lo, hi - lo, weighted, buf);
   }
+  heat_miss(obs::HeatDir::kOut, i, j);
   const BlockExtent& block = meta.out_block(i, j);
   if (fill_rop_ && block.adj_bytes <= cache_->max_admissible_bytes()) {
     // Fill: one whole-block read replaces this and all future point loads.
     // (No span on the per-vertex point-load path above — it is too hot.)
     HUSG_SPAN("cache", "fill_out_block", "i", static_cast<std::int64_t>(i),
               "j", static_cast<std::int64_t>(j));
+    heat_read(obs::HeatDir::kOut, i, j, block.adj_bytes);
     buf.guard.reset();
     store_->load_out_edges(i, j, 0,
                            static_cast<std::uint32_t>(block.edge_count), buf);
@@ -149,6 +183,8 @@ AdjacencySlice CachedBlockReader::load_out_edges(std::uint32_t i,
                                                   buf.raw.end()),
         lo, hi - lo, weighted, buf);
   }
+  heat_read(obs::HeatDir::kOut, i, j,
+            static_cast<std::uint64_t>(hi - lo) * rec);
   buf.guard.reset();
   return store_->load_out_edges(i, j, lo, hi, buf);
 }
@@ -158,15 +194,21 @@ AdjacencySlice CachedBlockReader::stream_in_block(
     const std::vector<std::uint32_t>* run_index) const {
   HUSG_SPAN("cache", "stream_in_block", "i", static_cast<std::int64_t>(i), "j",
             static_cast<std::int64_t>(j));
-  if (cache_ == nullptr) return store_->stream_in_block(i, j, buf, run_index);
+  if (cache_ == nullptr) {
+    heat_read(obs::HeatDir::kIn, i, j, store_->meta().in_block(i, j).adj_bytes);
+    return store_->stream_in_block(i, j, buf, run_index);
+  }
   const StoreMeta& meta = store_->meta();
   const BlockExtent& block = meta.in_block(i, j);
   BlockKey key{BlockKind::kInAdj, i, j};
   // Payloads are stored decompressed, so a hit on a varint block saves its
   // (smaller) on-disk size while serving fixed-width records.
   if (BlockCache::PinnedBytes hit = consult(key, block.adj_bytes)) {
+    heat_hit(obs::HeatDir::kIn, i, j);
     return decode_payload(hit, 0, block.edge_count, meta.weighted, buf);
   }
+  heat_miss(obs::HeatDir::kIn, i, j);
+  heat_read(obs::HeatDir::kIn, i, j, block.adj_bytes);
   buf.guard.reset();
   AdjacencySlice slice = store_->stream_in_block(i, j, buf, run_index);
   std::vector<char> payload =

@@ -67,6 +67,7 @@ std::vector<DecisionRecord> Engine::decide(const Frontier& frontier,
   }
 
   for (std::uint32_t i = 0; i < p; ++i) {
+    HUSG_SPAN("engine", "predict", "interval", static_cast<std::int64_t>(i));
     PredictionInputs in;
     in.active_vertices = frontier.active_in(i);
     in.active_degree_sum = frontier.active_degree_in(i);

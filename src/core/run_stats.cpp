@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/heatmap.hpp"
 #include "obs/metrics.hpp"
 #include "util/format.hpp"
 
@@ -79,6 +80,8 @@ void RunStats::publish(obs::Registry& reg) const {
   reg.counter("husg_run_cop_intervals_total",
               "Interval executions that used COP across runs")
       .inc(cop_intervals);
+  const obs::Heatmap& heat = obs::Heatmap::instance();
+  if (heat.has_data()) heat.publish(reg);
 }
 
 std::string RunStats::summary() const {

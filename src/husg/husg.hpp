@@ -37,6 +37,8 @@
 #include "io/device.hpp"
 #include "io/io_stats.hpp"
 #include "obs/audit.hpp"
+#include "obs/heatmap.hpp"
+#include "obs/http_server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "service/graph_service.hpp"

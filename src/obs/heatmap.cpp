@@ -1,0 +1,244 @@
+#include "obs/heatmap.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace husg::obs {
+
+namespace detail {
+std::atomic<bool> g_heatmap{false};
+}  // namespace detail
+
+const char* to_string(HeatDir dir) {
+  return dir == HeatDir::kOut ? "out" : "in";
+}
+
+Heatmap& Heatmap::instance() {
+  static Heatmap* heatmap = new Heatmap();  // leaked: outlives all threads
+  return *heatmap;
+}
+
+void Heatmap::start(std::uint32_t p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  detail::g_heatmap.store(false, std::memory_order_release);
+  p_ = p;
+  const std::size_t n = 2ull * p * p * kFields;
+  cells_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cells_[k].store(0, std::memory_order_relaxed);
+  }
+  // Release-publish the array: recorders gate on an acquire load.
+  detail::g_heatmap.store(p > 0, std::memory_order_release);
+}
+
+void Heatmap::stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  detail::g_heatmap.store(false, std::memory_order_release);
+}
+
+void Heatmap::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  detail::g_heatmap.store(false, std::memory_order_release);
+  p_ = 0;
+  cells_.reset();
+}
+
+bool Heatmap::has_data() const {
+  if (p_ == 0 || cells_ == nullptr) return false;
+  const std::size_t n = 2ull * p_ * p_ * kFields;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (cells_[k].load(std::memory_order_relaxed) != 0) return true;
+  }
+  return false;
+}
+
+void Heatmap::bump(HeatDir dir, std::uint32_t row, std::uint32_t col,
+                   std::size_t field, std::uint64_t delta) {
+  // Recorders re-check the gate (call sites already did, but stop() can land
+  // between their check and this call; the array itself stays valid until
+  // clear(), which must not race recording).
+  if (!heatmap_enabled()) return;
+  if (row >= p_ || col >= p_) return;
+  cells_[index(dir, row, col) + field].fetch_add(delta,
+                                                 std::memory_order_relaxed);
+}
+
+void Heatmap::record_read(HeatDir dir, std::uint32_t row, std::uint32_t col,
+                          std::uint64_t bytes) {
+  bump(dir, row, col, 0, 1);
+  bump(dir, row, col, 1, bytes);
+}
+
+void Heatmap::record_hit(HeatDir dir, std::uint32_t row, std::uint32_t col) {
+  bump(dir, row, col, 2, 1);
+}
+
+void Heatmap::record_miss(HeatDir dir, std::uint32_t row, std::uint32_t col) {
+  bump(dir, row, col, 3, 1);
+}
+
+void Heatmap::record_eviction(HeatDir dir, std::uint32_t row,
+                              std::uint32_t col) {
+  bump(dir, row, col, 4, 1);
+}
+
+HeatCell Heatmap::cell(HeatDir dir, std::uint32_t row,
+                       std::uint32_t col) const {
+  HeatCell c;
+  if (p_ == 0 || cells_ == nullptr || row >= p_ || col >= p_) return c;
+  const std::size_t base = index(dir, row, col);
+  c.reads = cells_[base + 0].load(std::memory_order_relaxed);
+  c.bytes = cells_[base + 1].load(std::memory_order_relaxed);
+  c.hits = cells_[base + 2].load(std::memory_order_relaxed);
+  c.misses = cells_[base + 3].load(std::memory_order_relaxed);
+  c.evictions = cells_[base + 4].load(std::memory_order_relaxed);
+  return c;
+}
+
+std::vector<HotBlock> Heatmap::hottest(std::size_t k) const {
+  std::vector<HotBlock> all;
+  for (HeatDir dir : {HeatDir::kOut, HeatDir::kIn}) {
+    for (std::uint32_t i = 0; i < p_; ++i) {
+      for (std::uint32_t j = 0; j < p_; ++j) {
+        HeatCell c = cell(dir, i, j);
+        if (c.empty()) continue;
+        all.push_back(HotBlock{dir, i, j, c});
+      }
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const HotBlock& a, const HotBlock& b) {
+    if (a.cell.accesses() != b.cell.accesses()) {
+      return a.cell.accesses() > b.cell.accesses();
+    }
+    return a.cell.bytes > b.cell.bytes;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+namespace {
+
+double skew(const std::vector<std::uint64_t>& totals) {
+  std::uint64_t sum = 0, max = 0;
+  for (std::uint64_t t : totals) {
+    sum += t;
+    max = std::max(max, t);
+  }
+  if (sum == 0 || totals.empty()) return 0.0;
+  const double mean =
+      static_cast<double>(sum) / static_cast<double>(totals.size());
+  return static_cast<double>(max) / mean;
+}
+
+}  // namespace
+
+double Heatmap::row_skew() const {
+  std::vector<std::uint64_t> rows(p_, 0);
+  for (HeatDir dir : {HeatDir::kOut, HeatDir::kIn}) {
+    for (std::uint32_t i = 0; i < p_; ++i) {
+      for (std::uint32_t j = 0; j < p_; ++j) {
+        rows[i] += cell(dir, i, j).accesses();
+      }
+    }
+  }
+  return skew(rows);
+}
+
+double Heatmap::col_skew() const {
+  std::vector<std::uint64_t> cols(p_, 0);
+  for (HeatDir dir : {HeatDir::kOut, HeatDir::kIn}) {
+    for (std::uint32_t i = 0; i < p_; ++i) {
+      for (std::uint32_t j = 0; j < p_; ++j) {
+        cols[j] += cell(dir, i, j).accesses();
+      }
+    }
+  }
+  return skew(cols);
+}
+
+namespace {
+
+void write_cell_json(std::ostream& os, HeatDir dir, std::uint32_t row,
+                     std::uint32_t col, const HeatCell& c) {
+  os << "{\"dir\": \"" << to_string(dir) << "\", \"row\": " << row
+     << ", \"col\": " << col << ", \"reads\": " << c.reads
+     << ", \"bytes\": " << c.bytes << ", \"hits\": " << c.hits
+     << ", \"misses\": " << c.misses << ", \"evictions\": " << c.evictions
+     << "}";
+}
+
+}  // namespace
+
+void Heatmap::write_json(std::ostream& os, std::size_t top_k) const {
+  os << "{\n  \"p\": " << p_ << ",\n  \"blocks\": [\n";
+  bool first = true;
+  for (HeatDir dir : {HeatDir::kOut, HeatDir::kIn}) {
+    for (std::uint32_t i = 0; i < p_; ++i) {
+      for (std::uint32_t j = 0; j < p_; ++j) {
+        HeatCell c = cell(dir, i, j);
+        if (c.empty()) continue;
+        if (!first) os << ",\n";
+        first = false;
+        os << "    ";
+        write_cell_json(os, dir, i, j, c);
+      }
+    }
+  }
+  os << "\n  ],\n  \"hottest\": [\n";
+  std::vector<HotBlock> top = hottest(top_k);
+  for (std::size_t k = 0; k < top.size(); ++k) {
+    os << "    ";
+    write_cell_json(os, top[k].dir, top[k].row, top[k].col, top[k].cell);
+    os << (k + 1 < top.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n  \"row_skew\": " << row_skew()
+     << ",\n  \"col_skew\": " << col_skew() << "\n}\n";
+}
+
+void Heatmap::write_csv(std::ostream& os) const {
+  os << "dir,row,col,reads,bytes,hits,misses,evictions\n";
+  for (HeatDir dir : {HeatDir::kOut, HeatDir::kIn}) {
+    for (std::uint32_t i = 0; i < p_; ++i) {
+      for (std::uint32_t j = 0; j < p_; ++j) {
+        HeatCell c = cell(dir, i, j);
+        if (c.empty()) continue;
+        os << to_string(dir) << "," << i << "," << j << "," << c.reads << ","
+           << c.bytes << "," << c.hits << "," << c.misses << ","
+           << c.evictions << "\n";
+      }
+    }
+  }
+}
+
+void Heatmap::publish(Registry& reg) const {
+  std::uint64_t touched = 0;
+  for (HeatDir dir : {HeatDir::kOut, HeatDir::kIn}) {
+    for (std::uint32_t i = 0; i < p_; ++i) {
+      for (std::uint32_t j = 0; j < p_; ++j) {
+        if (!cell(dir, i, j).empty()) ++touched;
+      }
+    }
+  }
+  reg.gauge("husg_heatmap_blocks_touched",
+            "Adjacency blocks with any recorded access")
+      .set(static_cast<double>(touched));
+  reg.gauge("husg_heatmap_row_skew",
+            "max/mean of per-interval-row block accesses (1 = uniform)")
+      .set(row_skew());
+  reg.gauge("husg_heatmap_col_skew",
+            "max/mean of per-interval-col block accesses (1 = uniform)")
+      .set(col_skew());
+  std::vector<HotBlock> top = hottest(1);
+  if (!top.empty()) {
+    reg.gauge("husg_heatmap_hottest_accesses",
+              "Disk reads + cache hits of the hottest block")
+        .set(static_cast<double>(top[0].cell.accesses()));
+    reg.gauge("husg_heatmap_hottest_row", "Interval row of the hottest block")
+        .set(static_cast<double>(top[0].row));
+    reg.gauge("husg_heatmap_hottest_col", "Interval col of the hottest block")
+        .set(static_cast<double>(top[0].col));
+  }
+}
+
+}  // namespace husg::obs

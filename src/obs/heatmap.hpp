@@ -1,0 +1,143 @@
+// Block-access heatmap profiler (observability layer, DESIGN.md §9).
+//
+// The engine's entire I/O behaviour is decided block by block over the P×P
+// grid — which rows ROP point-loads, which columns COP streams, which blocks
+// the cache keeps resident — yet until now the only record of it was
+// run-level byte totals. The heatmap keeps one cell of atomic counters per
+// (direction, interval-row, interval-col) adjacency block:
+//
+//   reads      disk reads of the block (cache miss fills and pass-throughs)
+//   bytes      disk bytes those reads transferred
+//   hits       cache hits served without touching disk
+//   misses     cache lookups that fell through to disk
+//   evictions  times the cache evicted this block
+//
+// Index (CSR offset) I/O is deliberately excluded: it scales with vertices,
+// not edges, and would blur the edge-traffic map the ROP/COP and cache-budget
+// tuning questions are about.
+//
+// Gating mirrors the span tracer: recording sites pay one inline atomic load
+// and a branch when disabled (see heatmap_enabled()); arming allocates a
+// dense 2·P² cell array once. Arm before the run starts — start() must not
+// race recording threads. Feeds live in CachedBlockReader (reads, bytes,
+// hits, misses — the passthrough path records too, so an uncached engine
+// still produces a heatmap) and BlockCache::make_room (evictions).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace husg::obs {
+
+class Registry;
+
+/// Which block grid a cell describes: out-blocks (ROP rows) or in-blocks
+/// (COP columns).
+enum class HeatDir : std::uint8_t { kOut = 0, kIn = 1 };
+
+const char* to_string(HeatDir dir);
+
+/// Plain snapshot of one block's counters.
+struct HeatCell {
+  std::uint64_t reads = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+
+  /// Total demand on the block, however it was served.
+  std::uint64_t accesses() const { return reads + hits; }
+  bool empty() const {
+    return reads == 0 && bytes == 0 && hits == 0 && misses == 0 &&
+           evictions == 0;
+  }
+};
+
+/// One entry of the top-k ranking (ordered by accesses(), descending).
+struct HotBlock {
+  HeatDir dir = HeatDir::kOut;
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+  HeatCell cell;
+};
+
+namespace detail {
+extern std::atomic<bool> g_heatmap;
+}  // namespace detail
+
+/// Inline gate for recording sites. Acquire pairs with start()'s release so
+/// an enabled observer also sees the allocated cell array.
+inline bool heatmap_enabled() {
+  return detail::g_heatmap.load(std::memory_order_acquire);
+}
+
+class Heatmap {
+ public:
+  /// The process-wide heatmap every recording site feeds.
+  static Heatmap& instance();
+
+  /// Allocates (or re-allocates, zeroed) the 2·p·p cell array and enables
+  /// recording. Must not race active recorders — arm before the run.
+  void start(std::uint32_t p);
+
+  /// Disables recording; captured counters stay available for export.
+  void stop();
+
+  /// Disables recording and drops the cell array.
+  void clear();
+
+  std::uint32_t p() const { return p_; }
+  bool has_data() const;
+
+  /// Recording (relaxed fetch_adds). Out-of-range coordinates and calls
+  /// while disabled are dropped.
+  void record_read(HeatDir dir, std::uint32_t row, std::uint32_t col,
+                   std::uint64_t bytes);
+  void record_hit(HeatDir dir, std::uint32_t row, std::uint32_t col);
+  void record_miss(HeatDir dir, std::uint32_t row, std::uint32_t col);
+  void record_eviction(HeatDir dir, std::uint32_t row, std::uint32_t col);
+
+  HeatCell cell(HeatDir dir, std::uint32_t row, std::uint32_t col) const;
+
+  /// Top-k blocks by accesses() (disk reads + cache hits), hottest first.
+  std::vector<HotBlock> hottest(std::size_t k) const;
+
+  /// max/mean of per-row (per-col) access totals across both directions;
+  /// 1.0 = perfectly uniform, 0 when there is no data. High row skew says a
+  /// few intervals dominate ROP traffic; high col skew the COP side.
+  double row_skew() const;
+  double col_skew() const;
+
+  /// {"p": N, "blocks": [...nonzero cells...], "hottest": [...top_k...],
+  ///  "row_skew": x, "col_skew": y} — the --heatmap-out JSON schema.
+  void write_json(std::ostream& os, std::size_t top_k = 8) const;
+
+  /// dir,row,col,reads,bytes,hits,misses,evictions — nonzero cells only.
+  void write_csv(std::ostream& os) const;
+
+  /// Summary gauges (husg_heatmap_*: hottest block coordinates and load,
+  /// blocks touched, row/col skew). RunStats::publish() calls this when the
+  /// heatmap holds data, so ROP-vs-COP tuning reports see the skew next to
+  /// the run counters.
+  void publish(Registry& registry) const;
+
+ private:
+  Heatmap() = default;
+
+  static constexpr std::size_t kFields = 5;  // reads,bytes,hits,misses,evict
+  std::size_t index(HeatDir dir, std::uint32_t row, std::uint32_t col) const {
+    return ((static_cast<std::size_t>(dir) * p_ + row) * p_ + col) * kFields;
+  }
+  void bump(HeatDir dir, std::uint32_t row, std::uint32_t col,
+            std::size_t field, std::uint64_t delta);
+
+  std::mutex mu_;  ///< serializes start/stop/clear
+  std::uint32_t p_ = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> cells_;
+};
+
+}  // namespace husg::obs

@@ -1,0 +1,370 @@
+#include "obs/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/common.hpp"
+#include "util/logging.hpp"
+
+namespace husg::obs {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 409:
+      return "Conflict";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // client went away; nothing useful to do on an admin plane
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Parses "ms=N" style queries; returns false on absent/garbage values.
+bool query_uint(const std::string& query, const std::string& key,
+                std::uint64_t& out) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    std::size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      const std::string value = query.substr(eq + 1, amp - eq - 1);
+      if (value.empty()) return false;
+      std::uint64_t v = 0;
+      for (char c : value) {
+        if (c < '0' || c > '9') return false;
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+        if (v > 1'000'000'000ull) return false;  // caller caps anyway
+      }
+      out = v;
+      return true;
+    }
+    pos = amp + 1;
+  }
+  return false;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+AdminServer::AdminServer(AdminOptions options, Registry& registry)
+    : opts_(std::move(options)), registry_(&registry) {}
+
+AdminServer::~AdminServer() { stop(); }
+
+void AdminServer::start() {
+  HUSG_CHECK(listen_fd_ < 0, "admin server already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw IoError("admin server: socket() failed: " +
+                  std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw IoError("admin server: invalid bind address '" + opts_.bind_address +
+                  "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw IoError("admin server: cannot bind " + opts_.bind_address + ":" +
+                  std::to_string(opts_.port) + ": " + err);
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw IoError("admin server: listen() failed: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  bound_port_ = ntohs(addr.sin_port);
+  if (::pipe(wake_pipe_) < 0) {
+    std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw IoError("admin server: pipe() failed: " + err);
+  }
+  serving_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  HUSG_INFO << "admin server listening on " << opts_.bind_address << ":"
+            << bound_port_;
+}
+
+void AdminServer::stop() {
+  if (!serving_.exchange(false, std::memory_order_acq_rel)) {
+    // Not serving; still release a bound-but-never-started listener.
+    if (listen_fd_ >= 0 && !thread_.joinable()) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  char b = 'q';
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+}
+
+void AdminServer::serve_loop() {
+  while (serving_.load(std::memory_order_acquire)) {
+    pollfd fds[2];
+    fds[0].fd = listen_fd_;
+    fds[0].events = POLLIN;
+    fds[1].fd = wake_pipe_[0];
+    fds[1].events = POLLIN;
+    int r = ::poll(fds, 2, -1);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // stop() poked the pipe
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    // A stalled client must not wedge the (single) admin thread.
+    timeval tv{};
+    tv.tv_sec = 2;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void AdminServer::handle_connection(int fd) {
+  // Read headers (bounded), then the Content-Length body if any.
+  std::string req;
+  constexpr std::size_t kMaxRequest = 64 * 1024;
+  std::size_t header_end = std::string::npos;
+  char buf[4096];
+  while (header_end == std::string::npos && req.size() < kMaxRequest) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return;
+    req.append(buf, static_cast<std::size_t>(n));
+    header_end = req.find("\r\n\r\n");
+  }
+  if (header_end == std::string::npos) return;
+
+  std::istringstream head(req.substr(0, header_end));
+  std::string method, target, version;
+  head >> method >> target >> version;
+  if (method.empty() || target.empty()) return;
+
+  std::size_t content_length = 0;
+  std::string line;
+  std::getline(head, line);  // consume the rest of the request line
+  while (std::getline(head, line)) {
+    std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = line.substr(0, colon);
+    for (char& c : name) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (name == "content-length") {
+      try {
+        content_length = static_cast<std::size_t>(
+            std::stoul(trim(line.substr(colon + 1))));
+      } catch (...) {
+        content_length = 0;
+      }
+      if (content_length > kMaxRequest) return;
+    }
+  }
+  std::string body = req.substr(header_end + 4);
+  while (body.size() < content_length) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    body.append(buf, static_cast<std::size_t>(n));
+  }
+  body.resize(std::min(body.size(), content_length));
+
+  Response res = handle_request(method, target, body);
+  std::ostringstream out;
+  out << "HTTP/1.1 " << res.status << " " << status_text(res.status)
+      << "\r\nContent-Type: " << res.content_type
+      << "\r\nContent-Length: " << res.body.size()
+      << "\r\nConnection: close\r\n\r\n";
+  send_all(fd, out.str());
+  if (method != "HEAD") send_all(fd, res.body);
+}
+
+AdminServer::Response AdminServer::handle_request(const std::string& method,
+                                                  const std::string& target,
+                                                  const std::string& body) {
+  Response res;
+  std::string path = target;
+  std::string query;
+  if (std::size_t q = target.find('?'); q != std::string::npos) {
+    path = target.substr(0, q);
+    query = target.substr(q + 1);
+  }
+  const bool is_get = method == "GET" || method == "HEAD";
+
+  if (path == "/healthz") {
+    if (!is_get) {
+      res.status = 405;
+      res.body = "method not allowed\n";
+      return res;
+    }
+    res.body = "ok\n";
+    return res;
+  }
+  if (path == "/readyz") {
+    if (!is_get) {
+      res.status = 405;
+      res.body = "method not allowed\n";
+      return res;
+    }
+    if (ready_ && !ready_()) {
+      res.status = 503;
+      res.body = "not ready\n";
+    } else {
+      res.body = "ready\n";
+    }
+    return res;
+  }
+  if (path == "/metrics") {
+    if (!is_get) {
+      res.status = 405;
+      res.body = "method not allowed\n";
+      return res;
+    }
+    if (pre_scrape_) pre_scrape_(*registry_);
+    std::ostringstream os;
+    registry_->write_prometheus(os);
+    res.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    res.body = os.str();
+    return res;
+  }
+  if (path == "/jobs") {
+    if (!is_get) {
+      res.status = 405;
+      res.body = "method not allowed\n";
+      return res;
+    }
+    if (!jobs_) {
+      res.status = 404;
+      res.body = "no job scheduler attached\n";
+      return res;
+    }
+    res.content_type = "application/json";
+    res.body = jobs_();
+    return res;
+  }
+  if (path == "/trace") {
+    if (!is_get) {
+      res.status = 405;
+      res.body = "method not allowed\n";
+      return res;
+    }
+    std::uint64_t ms = 0;
+    if (!query_uint(query, "ms", ms) || ms == 0) {
+      res.status = 400;
+      res.body = "usage: /trace?ms=N (capture window in milliseconds)\n";
+      return res;
+    }
+    Tracer& tracer = Tracer::instance();
+    if (tracer.enabled()) {
+      // A --trace-out session owns the tracer; stealing it would truncate
+      // that file's window.
+      res.status = 409;
+      res.body = "a trace session is already running\n";
+      return res;
+    }
+    ms = std::min<std::uint64_t>(ms, opts_.max_trace_ms);
+    tracer.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    tracer.stop();
+    std::ostringstream os;
+    tracer.write_chrome_json(os);
+    tracer.clear();
+    res.content_type = "application/json";
+    res.body = os.str();
+    return res;
+  }
+  if (path == "/loglevel") {
+    if (method != "POST") {
+      res.status = 405;
+      res.body = "POST a level: debug | info | warn | quiet\n";
+      return res;
+    }
+    const std::string level = trim(body);
+    if (level == "debug") {
+      log::set_level(log::Level::kDebug);
+    } else if (level == "info") {
+      log::set_level(log::Level::kInfo);
+    } else if (level == "warn") {
+      log::set_level(log::Level::kWarn);
+    } else if (level == "quiet") {
+      log::set_level(log::Level::kError);
+    } else {
+      res.status = 400;
+      res.body = "unknown level '" + level +
+                 "' (want debug | info | warn | quiet)\n";
+      return res;
+    }
+    res.body = "log level set to " + level + "\n";
+    return res;
+  }
+  res.status = 404;
+  res.body = "unknown path (try /healthz /readyz /metrics /jobs "
+             "/trace?ms=N /loglevel)\n";
+  return res;
+}
+
+}  // namespace husg::obs

@@ -1,0 +1,115 @@
+// Embedded admin HTTP server (observability layer, DESIGN.md §9).
+//
+// Everything the telemetry layer produced before this was dump-at-exit; a
+// long `husg_cli serve` run was a black box until it finished. AdminServer
+// is the live counterpart: a tiny HTTP/1.1 responder over plain POSIX
+// sockets (no dependencies) that a curl or a Prometheus scraper can hit
+// while jobs are in flight:
+//
+//   GET  /healthz       process is up → 200 "ok"
+//   GET  /readyz        ready hook (store open, scheduler accepting) → 200,
+//                       else 503
+//   GET  /metrics       live Prometheus exposition of the attached Registry;
+//                       the pre-scrape hook refreshes point-in-time gauges
+//                       first (gauges only — counters that accumulate per
+//                       publish() call must not run per scrape)
+//   GET  /jobs          live per-job JSON (queued + running) from the jobs
+//                       hook; 404 when no hook is installed (single-run CLI)
+//   GET  /trace?ms=N    arm the span tracer for N ms (capped), then return
+//                       the Chrome-trace JSON of that window; 409 if a trace
+//                       session (e.g. --trace-out) is already running
+//   POST /loglevel      body "debug"|"info"|"warn"|"quiet" adjusts the log
+//                       threshold at runtime
+//
+// Scope boundaries, deliberately: one serving thread handles one connection
+// at a time (admin plane, not a data plane — /trace blocks it for the
+// capture window); binds 127.0.0.1 by default (operator-local, no auth);
+// `Connection: close` per request (no keep-alive state machine). Port 0
+// binds an ephemeral port, readable via port() — tests and parallel CI use
+// this to avoid collisions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace husg::obs {
+
+class Registry;
+
+struct AdminOptions {
+  /// IPv4 dotted-quad to bind. Default loopback: the admin plane is
+  /// unauthenticated, so exposing it wider is an explicit operator choice.
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral, read back via port()
+  /// Upper bound on a /trace?ms=N capture window (the serving thread sleeps
+  /// through it, so it also bounds admin-plane unavailability).
+  std::uint32_t max_trace_ms = 10'000;
+};
+
+class AdminServer {
+ public:
+  /// Returns the /jobs JSON body (see jobs_json in service/job.hpp).
+  using JobsFn = std::function<std::string()>;
+  /// Liveness of the thing being served; false → /readyz returns 503.
+  using ReadyFn = std::function<bool()>;
+  /// Runs before every /metrics scrape. Must only set gauges: publish()
+  /// methods that inc() counters accumulate per call and would inflate
+  /// under repeated scrapes.
+  using PreScrapeFn = std::function<void(Registry&)>;
+
+  /// `registry` must outlive the server (Registry::global() qualifies).
+  AdminServer(AdminOptions options, Registry& registry);
+  ~AdminServer();  ///< stop()s if the caller has not.
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  void set_ready(ReadyFn fn) { ready_ = std::move(fn); }
+  void set_jobs(JobsFn fn) { jobs_ = std::move(fn); }
+  void set_pre_scrape(PreScrapeFn fn) { pre_scrape_ = std::move(fn); }
+
+  /// Binds, listens, and launches the serving thread. Throws IoError when
+  /// the address or port cannot be bound. Install hooks before start().
+  void start();
+
+  /// Shuts the listener down and joins the serving thread. Idempotent.
+  void stop();
+
+  /// The bound port (resolves port 0 after start()).
+  std::uint16_t port() const { return bound_port_; }
+  bool running() const { return serving_.load(std::memory_order_acquire); }
+
+  /// One request/response cycle on an accepted connection; exposed for the
+  /// route unit tests via handle_request below.
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+
+  /// Pure route dispatch (no sockets): `method` + `target` (path?query) +
+  /// request body in, Response out. The socket loop and the tests share it.
+  Response handle_request(const std::string& method, const std::string& target,
+                          const std::string& body);
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  AdminOptions opts_;
+  Registry* registry_;
+  ReadyFn ready_;
+  JobsFn jobs_;
+  PreScrapeFn pre_scrape_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< stop() writes, serve_loop poll()s
+  std::uint16_t bound_port_ = 0;
+  std::atomic<bool> serving_{false};
+  std::thread thread_;
+};
+
+}  // namespace husg::obs

@@ -79,6 +79,10 @@ class GraphService {
 
   /// Scheduler ledger merged with the shared cache's global counters.
   ServiceStats stats() const;
+  /// Live queued + running jobs (admin /jobs route).
+  std::vector<JobView> snapshot_jobs() const {
+    return scheduler_->snapshot_jobs();
+  }
   std::uint64_t estimate_bytes(const JobSpec& spec) const;
   std::uint64_t reserved_bytes() const { return scheduler_->reserved_bytes(); }
   const BlockCache* cache() const { return cache_.get(); }

@@ -1,6 +1,61 @@
 #include "service/job.hpp"
 
+#include <cstdio>
+#include <sstream>
+
 namespace husg {
+
+namespace {
+
+void append_json_escaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string jobs_view_json(const std::vector<JobView>& jobs) {
+  std::ostringstream os;
+  os << "{\"jobs\": [";
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    const JobView& j = jobs[k];
+    if (k != 0) os << ", ";
+    os << "{\"id\": " << j.id << ", \"name\": \"";
+    append_json_escaped(os, j.name);
+    os << "\", \"status\": \"" << to_string(j.status) << "\", \"algo\": \""
+       << j.algo << "\", \"priority\": " << j.priority
+       << ", \"estimate_bytes\": " << j.estimate_bytes
+       << ", \"wall_seconds\": " << j.wall_seconds << "}";
+  }
+  os << "]}\n";
+  return os.str();
+}
 
 const char* to_string(ServiceAlgo algo) {
   switch (algo) {

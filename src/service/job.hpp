@@ -121,4 +121,23 @@ struct ServiceStats {
   void publish(obs::Registry& registry) const;
 };
 
+/// Live snapshot of one non-terminal job, as served by the admin plane's
+/// /jobs route (status is kQueued or kRunning; terminal jobs leave the
+/// scheduler and are visible only through the service counters).
+struct JobView {
+  JobId id = 0;
+  std::string name;
+  JobStatus status = JobStatus::kQueued;
+  std::string algo;
+  int priority = 0;
+  /// Working-set reservation: charged against the budget when running,
+  /// what admission will charge when queued.
+  std::uint64_t estimate_bytes = 0;
+  /// Seconds since submit (queued) or since dispatch (running).
+  double wall_seconds = 0;
+};
+
+/// {"jobs": [...]} for the admin /jobs route. Names are JSON-escaped.
+std::string jobs_view_json(const std::vector<JobView>& jobs);
+
 }  // namespace husg

@@ -88,6 +88,10 @@ void JobScheduler::start_locked(std::size_t index) {
   Running r;
   r.estimate = job->estimate;
   r.token = job->token;
+  r.name = job->spec.name;
+  r.algo = job->spec.algo;
+  r.priority = job->spec.priority;
+  r.start_ns = obs::now_ns();
   if (job->spec.timeout_ms > 0) {
     r.has_deadline = true;
     r.deadline = Clock::now() + std::chrono::milliseconds(job->spec.timeout_ms);
@@ -258,6 +262,40 @@ std::size_t JobScheduler::pending_jobs() const {
 std::size_t JobScheduler::running_jobs() const {
   std::lock_guard<std::mutex> lock(mu_);
   return running_.size();
+}
+
+std::vector<JobView> JobScheduler::snapshot_jobs() const {
+  const std::uint64_t now = obs::now_ns();
+  std::vector<JobView> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(pending_.size() + running_.size());
+  for (const auto& job : pending_) {
+    JobView v;
+    v.id = job->id;
+    v.name = job->spec.name;
+    v.status = JobStatus::kQueued;
+    v.algo = to_string(job->spec.algo);
+    v.priority = job->spec.priority;
+    v.estimate_bytes = job->estimate;
+    v.wall_seconds =
+        static_cast<double>(now - std::min(now, job->submit_ns)) * 1e-9;
+    out.push_back(std::move(v));
+  }
+  for (const auto& [id, r] : running_) {
+    JobView v;
+    v.id = id;
+    v.name = r.name;
+    v.status = JobStatus::kRunning;
+    v.algo = to_string(r.algo);
+    v.priority = r.priority;
+    v.estimate_bytes = r.estimate;
+    v.wall_seconds =
+        static_cast<double>(now - std::min(now, r.start_ns)) * 1e-9;
+    out.push_back(std::move(v));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const JobView& a, const JobView& b) { return a.id < b.id; });
+  return out;
 }
 
 }  // namespace husg

@@ -92,6 +92,9 @@ class JobScheduler {
   std::size_t pending_jobs() const;
   std::size_t running_jobs() const;
 
+  /// Live queued + running jobs for the admin /jobs route, sorted by id.
+  std::vector<JobView> snapshot_jobs() const;
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -109,6 +112,12 @@ class JobScheduler {
     std::shared_ptr<CancellationToken> token;
     bool has_deadline = false;
     Clock::time_point deadline;
+    // Snapshot fields for /jobs: the Pending moves to the pool worker at
+    // dispatch, so the bits the admin plane reports are copied here.
+    std::string name;
+    ServiceAlgo algo = ServiceAlgo::kPageRank;
+    int priority = 0;
+    std::uint64_t start_ns = 0;  ///< dispatch time (obs::now_ns)
   };
 
   void dispatcher_loop();

@@ -1,0 +1,293 @@
+// Tests for the embedded admin HTTP server (src/obs/http_server.{hpp,cpp})
+// and the /jobs JSON snapshot: route dispatch through handle_request (no
+// sockets), a raw-socket end-to-end pass against an ephemeral port, and the
+// scheduler's live JobView snapshots.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "husg/husg.hpp"
+
+namespace husg {
+namespace {
+
+using obs::AdminOptions;
+using obs::AdminServer;
+
+// ---------------------------------------------------------------------------
+// Route dispatch (pure, no sockets).
+
+TEST(AdminRoutesTest, HealthzAndReadyz) {
+  obs::Registry reg;
+  AdminServer server(AdminOptions{}, reg);
+  auto res = server.handle_request("GET", "/healthz", "");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(res.body, "ok\n");
+
+  // Default: ready (no hook installed).
+  EXPECT_EQ(server.handle_request("GET", "/readyz", "").status, 200);
+
+  bool ready = false;
+  server.set_ready([&ready] { return ready; });
+  EXPECT_EQ(server.handle_request("GET", "/readyz", "").status, 503);
+  ready = true;
+  EXPECT_EQ(server.handle_request("GET", "/readyz", "").status, 200);
+
+  EXPECT_EQ(server.handle_request("POST", "/healthz", "").status, 405);
+}
+
+TEST(AdminRoutesTest, MetricsScrapesRegistryWithPreScrapeHook) {
+  obs::Registry reg;
+  reg.counter("admin_test_requests_total", "Requests seen").inc(7);
+  AdminServer server(AdminOptions{}, reg);
+  int scrapes = 0;
+  server.set_pre_scrape([&scrapes](obs::Registry& r) {
+    ++scrapes;
+    r.gauge("admin_test_live_gauge", "Refreshed per scrape")
+        .set(static_cast<double>(scrapes));
+  });
+
+  auto res = server.handle_request("GET", "/metrics", "");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_NE(res.content_type.find("text/plain"), std::string::npos);
+  EXPECT_NE(res.body.find("# TYPE admin_test_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(res.body.find("admin_test_requests_total 7"), std::string::npos);
+  EXPECT_NE(res.body.find("admin_test_live_gauge 1"), std::string::npos);
+
+  // The hook runs on every scrape and gauges track the latest value —
+  // repeated scrapes must not accumulate anything.
+  res = server.handle_request("GET", "/metrics", "");
+  EXPECT_NE(res.body.find("admin_test_live_gauge 2"), std::string::npos);
+  EXPECT_NE(res.body.find("admin_test_requests_total 7"), std::string::npos);
+  EXPECT_EQ(scrapes, 2);
+}
+
+TEST(AdminRoutesTest, JobsRouteUsesHookOr404) {
+  obs::Registry reg;
+  AdminServer server(AdminOptions{}, reg);
+  EXPECT_EQ(server.handle_request("GET", "/jobs", "").status, 404);
+
+  server.set_jobs([] {
+    std::vector<JobView> jobs(1);
+    jobs[0].id = 42;
+    jobs[0].name = "pagerank \"hot\"";
+    jobs[0].status = JobStatus::kRunning;
+    jobs[0].algo = "pagerank";
+    jobs[0].priority = 3;
+    jobs[0].estimate_bytes = 1024;
+    jobs[0].wall_seconds = 0.5;
+    return jobs_view_json(jobs);
+  });
+  auto res = server.handle_request("GET", "/jobs", "");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(res.content_type, "application/json");
+  EXPECT_NE(res.body.find("\"id\": 42"), std::string::npos);
+  EXPECT_NE(res.body.find("\"status\": \"running\""), std::string::npos);
+  EXPECT_NE(res.body.find("\\\"hot\\\""), std::string::npos)
+      << "job names must be JSON-escaped";
+  EXPECT_NE(res.body.find("\"priority\": 3"), std::string::npos);
+}
+
+TEST(AdminRoutesTest, LogLevelRoundTrip) {
+  obs::Registry reg;
+  AdminServer server(AdminOptions{}, reg);
+  const log::Level before = log::level();
+
+  EXPECT_EQ(server.handle_request("POST", "/loglevel", "debug").status, 200);
+  EXPECT_EQ(log::level(), log::Level::kDebug);
+  EXPECT_EQ(server.handle_request("POST", "/loglevel", "quiet\n").status, 200);
+  EXPECT_EQ(log::level(), log::Level::kError);
+  EXPECT_EQ(server.handle_request("POST", "/loglevel", "bogus").status, 400);
+  EXPECT_EQ(server.handle_request("GET", "/loglevel", "").status, 405);
+
+  log::set_level(before);
+}
+
+TEST(AdminRoutesTest, TraceValidatesWindowAndConflicts) {
+  obs::Registry reg;
+  AdminServer server(AdminOptions{}, reg);
+  EXPECT_EQ(server.handle_request("GET", "/trace", "").status, 400);
+  EXPECT_EQ(server.handle_request("GET", "/trace?ms=", "").status, 400);
+  EXPECT_EQ(server.handle_request("GET", "/trace?ms=abc", "").status, 400);
+
+  // A --trace-out style session owns the tracer: /trace must refuse.
+  obs::Tracer::instance().start();
+  EXPECT_EQ(server.handle_request("GET", "/trace?ms=5", "").status, 409);
+  obs::Tracer::instance().stop();
+  obs::Tracer::instance().clear();
+
+  auto res = server.handle_request("GET", "/trace?ms=5", "");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_NE(res.body.find("\"traceEvents\""), std::string::npos);
+  EXPECT_FALSE(obs::Tracer::instance().enabled())
+      << "/trace must disarm the tracer when its window closes";
+}
+
+TEST(AdminRoutesTest, UnknownPathIs404) {
+  obs::Registry reg;
+  AdminServer server(AdminOptions{}, reg);
+  EXPECT_EQ(server.handle_request("GET", "/nope", "").status, 404);
+}
+
+// ---------------------------------------------------------------------------
+// Socket end-to-end on an ephemeral port.
+
+/// Minimal HTTP client: one request, reads until the server closes.
+std::string http_request(std::uint16_t port, const std::string& raw) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::size_t off = 0;
+  while (off < raw.size()) {
+    ssize_t n = ::send(fd, raw.data() + off, raw.size() - off, 0);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+std::string get(std::uint16_t port, const std::string& target) {
+  return http_request(port, "GET " + target +
+                                " HTTP/1.1\r\nHost: localhost\r\n"
+                                "Connection: close\r\n\r\n");
+}
+
+TEST(AdminServerTest, ServesOverRealSockets) {
+  obs::Registry reg;
+  reg.counter("admin_e2e_total", "E2E marker").inc(3);
+  AdminOptions opts;
+  opts.port = 0;  // ephemeral: parallel test runs must not collide
+  AdminServer server(opts, reg);
+  server.start();
+  ASSERT_TRUE(server.running());
+  ASSERT_GT(server.port(), 0);
+
+  std::string health = get(server.port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(health.find("\r\n\r\nok\n"), std::string::npos);
+
+  std::string metrics = get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("admin_e2e_total 3"), std::string::npos);
+  EXPECT_NE(metrics.find("Content-Type: text/plain"), std::string::npos);
+
+  const log::Level before = log::level();
+  std::string post = http_request(
+      server.port(),
+      "POST /loglevel HTTP/1.1\r\nHost: localhost\r\n"
+      "Content-Length: 4\r\nConnection: close\r\n\r\ninfo");
+  EXPECT_NE(post.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_EQ(log::level(), log::Level::kInfo);
+  log::set_level(before);
+
+  EXPECT_NE(get(server.port(), "/missing").find("HTTP/1.1 404"),
+            std::string::npos);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+}
+
+TEST(AdminServerTest, SequentialRequestsAndRestartFreesPort) {
+  obs::Registry reg;
+  AdminOptions opts;
+  opts.port = 0;
+  {
+    AdminServer server(opts, reg);
+    server.start();
+    for (int k = 0; k < 5; ++k) {
+      EXPECT_NE(get(server.port(), "/healthz").find("200 OK"),
+                std::string::npos);
+    }
+  }  // destructor stops and releases the port
+  AdminServer second(opts, reg);
+  second.start();
+  EXPECT_NE(get(second.port(), "/healthz").find("200 OK"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Live JobView snapshots from the scheduler.
+
+TEST(JobSnapshotTest, SchedulerReportsQueuedAndRunningJobs) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+
+  SchedulerOptions so;
+  so.max_concurrent = 1;  // job 2 must stay queued while job 1 runs
+  JobScheduler sched(pool, so,
+                     [&](const JobSpec&, JobId, const CancellationToken&) {
+                       std::unique_lock<std::mutex> lock(mu);
+                       cv.wait(lock, [&] { return release; });
+                       return JobResult{};
+                     });
+
+  JobSpec first;
+  first.name = "blocker";
+  first.algo = ServiceAlgo::kBfs;
+  first.priority = 2;
+  JobTicket t1 = sched.submit(first, 1000);
+  ASSERT_TRUE(t1.accepted);
+  JobSpec second;
+  second.name = "waiter";
+  second.algo = ServiceAlgo::kPageRank;
+  JobTicket t2 = sched.submit(second, 2000);
+  ASSERT_TRUE(t2.accepted);
+
+  // Wait until the dispatcher has actually started job 1.
+  while (sched.running_jobs() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::vector<JobView> jobs = sched.snapshot_jobs();
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].id, t1.id);
+  EXPECT_EQ(jobs[0].status, JobStatus::kRunning);
+  EXPECT_EQ(jobs[0].name, "blocker");
+  EXPECT_EQ(jobs[0].algo, "bfs");
+  EXPECT_EQ(jobs[0].priority, 2);
+  EXPECT_EQ(jobs[0].estimate_bytes, 1000u);
+  EXPECT_GE(jobs[0].wall_seconds, 0.0);
+  EXPECT_EQ(jobs[1].id, t2.id);
+  EXPECT_EQ(jobs[1].status, JobStatus::kQueued);
+  EXPECT_EQ(jobs[1].estimate_bytes, 2000u);
+
+  // The JSON body carries both jobs.
+  std::string json = jobs_view_json(jobs);
+  EXPECT_NE(json.find("\"name\": \"blocker\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"queued\""), std::string::npos);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  sched.wait_idle();
+  EXPECT_TRUE(sched.snapshot_jobs().empty());
+}
+
+}  // namespace
+}  // namespace husg

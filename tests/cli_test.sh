@@ -49,21 +49,32 @@ cmp -s "$WORK/wcc_a.txt" "$WORK/wcc_b.txt" || fail "compressed store results dif
 "$CLI" run --store "$WORK/wstore" --algo sssp --source 0 --device hdd \
   --seek-scale 0.001 > /dev/null || fail "run sssp"
 
-# observability: trace + metrics artifacts, log levels
+# observability: trace + metrics + heatmap artifacts, log levels
 "$CLI" run --store "$WORK/store" --algo bfs --source 1 \
   --trace-out "$WORK/trace.json" --metrics-out "$WORK/metrics.prom" \
+  --heatmap-out "$WORK/heatmap.csv" --io-timing \
   > /dev/null || fail "run with telemetry flags"
 [ -s "$WORK/trace.json" ] || fail "trace file missing"
 [ -s "$WORK/metrics.prom" ] || fail "metrics file missing"
+[ -s "$WORK/heatmap.csv" ] || fail "heatmap file missing"
 grep -q '"traceEvents"' "$WORK/trace.json" || fail "trace not chrome format"
 grep -q '^husg_run_iterations ' "$WORK/metrics.prom" || fail "run metrics missing"
 grep -q '^husg_predictor_decisions_total ' "$WORK/metrics.prom" \
   || fail "predictor metrics missing"
+grep -q '^husg_heatmap_blocks_touched ' "$WORK/metrics.prom" \
+  || fail "heatmap summary gauges missing from metrics"
+grep -q '^dir,row,col,reads,bytes,hits,misses,evictions$' "$WORK/heatmap.csv" \
+  || fail "heatmap CSV header missing"
+grep -q '^in,' "$WORK/heatmap.csv" || fail "heatmap CSV has no in-block rows"
 if command -v python3 > /dev/null 2>&1; then
   python3 -m json.tool "$WORK/trace.json" > /dev/null || fail "trace not JSON"
   python3 "$(dirname "$0")/../tools/check_prom.py" "$WORK/metrics.prom" \
     > /dev/null || fail "metrics not valid Prometheus exposition"
 fi
+# a .json heatmap suffix selects the JSON exporter
+"$CLI" run --store "$WORK/store" --algo bfs --source 1 \
+  --heatmap-out "$WORK/heatmap.json" > /dev/null || fail "run with json heatmap"
+grep -q '"blocks"' "$WORK/heatmap.json" || fail "json heatmap missing blocks"
 "$CLI" run --store "$WORK/store" --algo bfs --log-level info 2>&1 \
   | grep -q 'iter 0:' || fail "log-level info silent"
 "$CLI" run --store "$WORK/store" --algo bfs --log-level quiet 2>&1 \

@@ -1,0 +1,252 @@
+// Tests for the block-access heatmap profiler (src/obs/heatmap.{hpp,cpp}):
+// counter mechanics and gating, exact per-block read counts against the
+// engine on the paper's Figure 4 graph with P=2 (the heatmap must agree
+// block-for-block with what the engine actually read), cache hit/miss and
+// eviction attribution, and the JSON/CSV exports.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "husg/husg.hpp"
+#include "test_util.hpp"
+
+namespace husg {
+namespace {
+
+using obs::HeatCell;
+using obs::HeatDir;
+using obs::Heatmap;
+using obs::HotBlock;
+using testing::ScratchDir;
+
+/// The heatmap is process-wide; every test arms its own session and clears
+/// on exit so counters never leak across tests.
+class HeatmapTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Heatmap::instance().clear(); }
+  void TearDown() override { Heatmap::instance().clear(); }
+};
+
+TEST_F(HeatmapTest, DisabledRecordsNothing) {
+  Heatmap& heat = Heatmap::instance();
+  EXPECT_FALSE(obs::heatmap_enabled());
+  heat.record_read(HeatDir::kOut, 0, 0, 100);  // dropped: not armed
+  EXPECT_FALSE(heat.has_data());
+
+  heat.start(2);
+  EXPECT_TRUE(obs::heatmap_enabled());
+  heat.record_read(HeatDir::kOut, 0, 0, 100);
+  heat.stop();
+  EXPECT_FALSE(obs::heatmap_enabled());
+  heat.record_read(HeatDir::kOut, 0, 0, 100);  // dropped: stopped
+
+  HeatCell c = heat.cell(HeatDir::kOut, 0, 0);
+  EXPECT_EQ(c.reads, 1u);
+  EXPECT_EQ(c.bytes, 100u);
+}
+
+TEST_F(HeatmapTest, CountersLandInTheRightCell) {
+  Heatmap& heat = Heatmap::instance();
+  heat.start(3);
+  heat.record_read(HeatDir::kOut, 1, 2, 64);
+  heat.record_read(HeatDir::kOut, 1, 2, 36);
+  heat.record_hit(HeatDir::kIn, 2, 0);
+  heat.record_miss(HeatDir::kIn, 2, 0);
+  heat.record_eviction(HeatDir::kIn, 2, 0);
+
+  HeatCell out = heat.cell(HeatDir::kOut, 1, 2);
+  EXPECT_EQ(out.reads, 2u);
+  EXPECT_EQ(out.bytes, 100u);
+  EXPECT_EQ(out.hits, 0u);
+
+  HeatCell in = heat.cell(HeatDir::kIn, 2, 0);
+  EXPECT_EQ(in.hits, 1u);
+  EXPECT_EQ(in.misses, 1u);
+  EXPECT_EQ(in.evictions, 1u);
+  EXPECT_EQ(in.accesses(), 1u);  // reads + hits
+
+  // Same (row, col) in the other direction stayed untouched.
+  EXPECT_TRUE(heat.cell(HeatDir::kOut, 2, 0).empty());
+  // Out-of-range coordinates are dropped, not UB.
+  heat.record_read(HeatDir::kOut, 3, 0, 1);
+  heat.record_read(HeatDir::kOut, 0, 7, 1);
+  EXPECT_TRUE(heat.cell(HeatDir::kOut, 0, 0).empty());
+}
+
+TEST_F(HeatmapTest, HottestRankingAndSkew) {
+  Heatmap& heat = Heatmap::instance();
+  heat.start(2);
+  // (out,0,0): 5 accesses; (in,1,1): 3; (out,1,0): 1.
+  for (int k = 0; k < 5; ++k) heat.record_read(HeatDir::kOut, 0, 0, 10);
+  for (int k = 0; k < 3; ++k) heat.record_hit(HeatDir::kIn, 1, 1);
+  heat.record_read(HeatDir::kOut, 1, 0, 10);
+
+  std::vector<HotBlock> top = heat.hottest(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].dir, HeatDir::kOut);
+  EXPECT_EQ(top[0].row, 0u);
+  EXPECT_EQ(top[0].col, 0u);
+  EXPECT_EQ(top[0].cell.accesses(), 5u);
+  EXPECT_EQ(top[1].cell.accesses(), 3u);
+
+  // Row totals: row0 = 5, row1 = 4 -> max/mean = 5/4.5.
+  EXPECT_NEAR(heat.row_skew(), 5.0 / 4.5, 1e-9);
+  // Col totals: col0 = 6, col1 = 3 -> 6/4.5.
+  EXPECT_NEAR(heat.col_skew(), 6.0 / 4.5, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: exact block counts on the Figure 4 graph with P=2.
+
+EngineOptions engine_options() {
+  EngineOptions o;
+  o.threads = 2;
+  o.file_backed_values = false;  // isolate edge-block I/O
+  return o;
+}
+
+TEST_F(HeatmapTest, CopStreamsEveryInBlockOncePerIteration) {
+  ScratchDir scratch("heat_cop");
+  DualBlockStore store = DualBlockStore::build(testing::figure4_graph(),
+                                               scratch / "store",
+                                               StoreOptions{2});
+  ASSERT_EQ(store.meta().p(), 2u);
+  Heatmap::instance().start(store.meta().p());
+
+  constexpr int kIters = 3;
+  EngineOptions o = engine_options();
+  o.mode = UpdateMode::kCop;  // force column pulls, no cache
+  o.max_iterations = kIters;
+  Engine e(store, o);
+  PageRankProgram p;
+  e.run(p, Frontier::all(store.meta(), store.out_degrees()));
+
+  const Heatmap& heat = Heatmap::instance();
+  // All four Figure 4 in-blocks are nonempty; with the full frontier, COP
+  // streams each exactly once per iteration, and the recorded bytes are the
+  // block's on-disk adjacency payload. Index I/O must not appear.
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    for (std::uint32_t j = 0; j < 2; ++j) {
+      HeatCell c = heat.cell(HeatDir::kIn, i, j);
+      ASSERT_GT(store.meta().in_block(i, j).edge_count, 0u);
+      EXPECT_EQ(c.reads, static_cast<std::uint64_t>(kIters))
+          << "in-block (" << i << "," << j << ")";
+      EXPECT_EQ(c.bytes, static_cast<std::uint64_t>(kIters) *
+                             store.meta().in_block(i, j).adj_bytes)
+          << "in-block (" << i << "," << j << ")";
+      EXPECT_EQ(c.hits, 0u);    // no cache in play
+      EXPECT_EQ(c.misses, 0u);  // consult() never ran
+      EXPECT_TRUE(heat.cell(HeatDir::kOut, i, j).empty())
+          << "COP run must not touch out-blocks";
+    }
+  }
+}
+
+TEST_F(HeatmapTest, RopWithCacheFillReadsEachBlockOnce) {
+  ScratchDir scratch("heat_rop");
+  DualBlockStore store = DualBlockStore::build(testing::figure4_graph(),
+                                               scratch / "store",
+                                               StoreOptions{2});
+  Heatmap::instance().start(store.meta().p());
+
+  EngineOptions o = engine_options();
+  o.threads = 1;  // two workers racing one cold block would both read it
+  o.mode = UpdateMode::kRop;
+  o.max_iterations = 3;
+  o.cache_budget_bytes = 1 << 20;  // everything fits; fill_rop default on
+  Engine e(store, o);
+  PageRankProgram p;
+  e.run(p, Frontier::all(store.meta(), store.out_degrees()));
+
+  const Heatmap& heat = Heatmap::instance();
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    for (std::uint32_t j = 0; j < 2; ++j) {
+      if (store.meta().out_block(i, j).edge_count == 0) continue;
+      HeatCell c = heat.cell(HeatDir::kOut, i, j);
+      // First point load misses and fills the whole block; every later
+      // vertex in every iteration is a cache hit — exactly one disk read.
+      EXPECT_EQ(c.reads, 1u) << "out-block (" << i << "," << j << ")";
+      EXPECT_EQ(c.misses, 1u) << "out-block (" << i << "," << j << ")";
+      EXPECT_EQ(c.bytes, store.meta().out_block(i, j).adj_bytes);
+      EXPECT_GT(c.hits, 0u);
+      EXPECT_TRUE(heat.cell(HeatDir::kIn, i, j).empty());
+    }
+  }
+}
+
+TEST_F(HeatmapTest, EvictionFeedRecordsAdjacencyKindsOnly) {
+  Heatmap& heat = Heatmap::instance();
+  heat.start(4);
+  // 1000-byte budget: inserting three 400-byte unpinned adjacency blocks
+  // forces an eviction of the first.
+  BlockCache cache({/*budget_bytes=*/1000, /*max_block_fraction=*/0.5});
+  cache.insert(BlockKey{BlockKind::kOutAdj, 0, 1},
+               std::vector<char>(400, 'a'), 400);
+  cache.insert(BlockKey{BlockKind::kInAdj, 2, 3},
+               std::vector<char>(400, 'b'), 400);
+  cache.insert(BlockKey{BlockKind::kOutAdj, 1, 1},
+               std::vector<char>(400, 'c'), 400);
+  // CLOCK with all second-chance bits set sweeps once, clears them, then
+  // evicts the first entry inserted.
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(heat.cell(HeatDir::kOut, 0, 1).evictions, 1u);
+  EXPECT_EQ(heat.cell(HeatDir::kIn, 2, 3).evictions, 0u);
+
+  // Index-kind evictions never reach the heatmap.
+  Heatmap::instance().clear();
+  heat.start(4);
+  BlockCache idx_cache({1000, 0.5});
+  idx_cache.insert(BlockKey{BlockKind::kOutIdx, 0, 0},
+                   std::vector<char>(400, 'x'), 400);
+  idx_cache.insert(BlockKey{BlockKind::kInIdx, 0, 1},
+                   std::vector<char>(400, 'y'), 400);
+  idx_cache.insert(BlockKey{BlockKind::kOutIdx, 0, 2},
+                   std::vector<char>(400, 'z'), 400);
+  EXPECT_EQ(idx_cache.stats().evictions, 1u);
+  EXPECT_FALSE(heat.has_data());
+}
+
+TEST_F(HeatmapTest, JsonAndCsvExports) {
+  Heatmap& heat = Heatmap::instance();
+  heat.start(2);
+  heat.record_read(HeatDir::kOut, 0, 1, 128);
+  heat.record_hit(HeatDir::kIn, 1, 0);
+
+  std::ostringstream json;
+  heat.write_json(json, /*top_k=*/4);
+  const std::string j = json.str();
+  EXPECT_NE(j.find("\"p\": 2"), std::string::npos);
+  EXPECT_NE(j.find("\"dir\": \"out\", \"row\": 0, \"col\": 1"),
+            std::string::npos);
+  EXPECT_NE(j.find("\"bytes\": 128"), std::string::npos);
+  EXPECT_NE(j.find("\"row_skew\""), std::string::npos);
+  EXPECT_NE(j.find("\"hottest\""), std::string::npos);
+
+  std::ostringstream csv;
+  heat.write_csv(csv);
+  const std::string c = csv.str();
+  EXPECT_NE(c.find("dir,row,col,reads,bytes,hits,misses,evictions"),
+            std::string::npos);
+  EXPECT_NE(c.find("out,0,1,1,128,0,0,0"), std::string::npos);
+  EXPECT_NE(c.find("in,1,0,0,0,1,0,0"), std::string::npos);
+}
+
+TEST_F(HeatmapTest, PublishSetsSummaryGauges) {
+  Heatmap& heat = Heatmap::instance();
+  heat.start(2);
+  for (int k = 0; k < 4; ++k) heat.record_read(HeatDir::kOut, 1, 0, 32);
+  heat.record_read(HeatDir::kIn, 0, 0, 16);
+
+  obs::Registry reg;
+  heat.publish(reg);
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("husg_heatmap_blocks_touched 2"), std::string::npos);
+  EXPECT_NE(text.find("husg_heatmap_hottest_accesses 4"), std::string::npos);
+  EXPECT_NE(text.find("husg_heatmap_hottest_row 1"), std::string::npos);
+  EXPECT_NE(text.find("husg_heatmap_row_skew"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace husg

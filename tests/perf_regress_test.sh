@@ -1,0 +1,46 @@
+#!/bin/sh
+# Perf-regression gate self-test: run the deterministic smoke bench and
+# compare it against the checked-in baseline (must pass), then against a
+# doctored baseline with shrunken I/O counts (must fail). Invoked by ctest
+# with the perf_smoke binary as $1 and the source dir as $2.
+set -eu
+
+BENCH="$1"
+SRC="$2"
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/husg_perf_regress.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+if ! command -v python3 > /dev/null 2>&1; then
+  echo "perf_regress_test SKIPPED (no python3)"
+  exit 0
+fi
+
+"$BENCH" --out-dir "$WORK" --data-dir "$WORK/data" > "$WORK/bench.log" \
+  || fail "perf_smoke exited nonzero"
+[ -s "$WORK/BENCH_perf_smoke.json" ] || fail "bench wrote no JSON report"
+
+# Same binary vs the checked-in baseline: zero regressions.
+python3 "$SRC/tools/bench_regress.py" \
+  --baseline "$SRC/bench/baselines/perf_smoke.json" \
+  --current "$WORK/BENCH_perf_smoke.json" \
+  || fail "regression against checked-in baseline (regenerate \
+bench/baselines/perf_smoke.json if the I/O change is intentional)"
+
+# Negative control: a baseline with 20% less I/O must trip the gate.
+python3 - "$SRC/bench/baselines/perf_smoke.json" "$WORK/doctored.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+d["runs"][0]["io_total_bytes"] = int(d["runs"][0]["io_total_bytes"] * 0.8)
+with open(sys.argv[2], "w") as f:
+    json.dump(d, f)
+EOF
+if python3 "$SRC/tools/bench_regress.py" \
+    --baseline "$WORK/doctored.json" \
+    --current "$WORK/BENCH_perf_smoke.json" > /dev/null 2>&1; then
+  fail "gate passed against a doctored baseline"
+fi
+
+echo "perf_regress_test OK"

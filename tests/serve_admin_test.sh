@@ -1,0 +1,121 @@
+#!/bin/sh
+# End-to-end test of the admin HTTP plane on a live `husg_cli serve` run:
+# start serve with --admin-port 0 (ephemeral), scrape /healthz /readyz
+# /jobs /metrics while a job is in flight, flip the log level over POST
+# /loglevel, and validate the /metrics output with check_prom.py. Invoked by
+# ctest with the binary path as $1.
+set -eu
+
+CLI="$1"
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/husg_serve_admin.XXXXXX")
+SERVE_PID=""
+trap 'test -n "$SERVE_PID" && kill "$SERVE_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+# Plain-HTTP GET/POST helper: curl when available, python3 otherwise.
+fetch() { # fetch METHOD PORT PATH [BODY]
+  _method="$1"; _port="$2"; _path="$3"; _body="${4:-}"
+  if command -v curl > /dev/null 2>&1; then
+    if [ "$_method" = "POST" ]; then
+      curl -fsS -X POST --data "$_body" "http://127.0.0.1:$_port$_path"
+    else
+      curl -fsS "http://127.0.0.1:$_port$_path"
+    fi
+  else
+    python3 - "$_method" "$_port" "$_path" "$_body" <<'EOF'
+import sys, urllib.request
+method, port, path, body = sys.argv[1:5]
+data = body.encode() if method == "POST" else None
+req = urllib.request.Request(f"http://127.0.0.1:{port}{path}", data=data,
+                             method=method)
+sys.stdout.write(urllib.request.urlopen(req, timeout=5).read().decode())
+EOF
+  fi
+}
+
+# A store big enough that the first job runs for a second or two: the admin
+# scrapes below must land while it is in flight.
+"$CLI" generate --type rmat --scale 10 --degree 6 --seed 5 \
+  --out "$WORK/g.bin" > /dev/null
+"$CLI" build --graph "$WORK/g.bin" --store "$WORK/store" --partitions 4 \
+  > /dev/null
+
+cat > "$WORK/jobs.json" <<'EOF'
+[
+  {"name": "long-ranks", "algo": "pagerank", "iterations": 20000,
+   "timeout_ms": 120000},
+  {"name": "queued-bfs", "algo": "bfs", "source": 1, "priority": -1}
+]
+EOF
+
+# --max-concurrent 1 keeps queued-bfs pending for the whole long-ranks run,
+# so the /jobs scrape below is race-free.
+"$CLI" serve --store "$WORK/store" --jobs "$WORK/jobs.json" \
+  --max-concurrent 1 --admin-port 0 --io-timing \
+  --heatmap-out "$WORK/heatmap.json" \
+  > "$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+
+# The CLI prints (and flushes) the bound ephemeral port before submitting.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^admin server listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+    "$WORK/serve.log" | head -n1)
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || fail "serve exited before listening"
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "admin port never announced"
+
+fetch GET "$PORT" /healthz | grep -q '^ok$' || fail "/healthz"
+fetch GET "$PORT" /readyz | grep -q '^ready$' || fail "/readyz"
+
+# /jobs must show the in-flight batch: long-ranks running, queued-bfs queued.
+JOBS_OK=""
+for _ in $(seq 1 50); do
+  JOBS=$(fetch GET "$PORT" /jobs 2>/dev/null || true)
+  if echo "$JOBS" | grep -q '"status": "running"' &&
+     echo "$JOBS" | grep -q '"name": "queued-bfs"'; then
+    JOBS_OK=1
+    break
+  fi
+  sleep 0.05
+done
+[ -n "$JOBS_OK" ] || fail "/jobs never showed a running + queued job"
+echo "$JOBS" | grep -q '"name": "long-ranks"' || fail "/jobs missing job name"
+
+# Live /metrics scrape while the job runs: service gauges + valid exposition.
+fetch GET "$PORT" /metrics > "$WORK/metrics.live"
+grep -q '^husg_service_jobs_running 1$' "$WORK/metrics.live" \
+  || fail "live metrics missing running-jobs gauge"
+grep -q '^husg_service_jobs_pending 1$' "$WORK/metrics.live" \
+  || fail "live metrics missing pending-jobs gauge"
+grep -q '^husg_service_reserved_bytes' "$WORK/metrics.live" \
+  || fail "live metrics missing reserved-bytes gauge"
+if command -v python3 > /dev/null 2>&1; then
+  python3 "$(dirname "$0")/../tools/check_prom.py" "$WORK/metrics.live" \
+    > /dev/null || fail "live metrics not valid Prometheus exposition"
+fi
+
+# Runtime log-level adjustment round trip.
+fetch POST "$PORT" /loglevel debug | grep -q 'debug' || fail "POST /loglevel"
+fetch POST "$PORT" /loglevel warn > /dev/null || fail "restore log level"
+
+# Let the batch finish; both jobs must complete and serve must exit 0.
+wait "$SERVE_PID" || fail "serve exited nonzero"
+SERVE_PID=""
+grep -q 'long-ranks.*completed' "$WORK/serve.log" || fail "job 1 not completed"
+grep -q 'queued-bfs.*completed' "$WORK/serve.log" || fail "job 2 not completed"
+
+# --heatmap-out wrote the per-block profile, fed by the jobs' cached readers.
+[ -s "$WORK/heatmap.json" ] || fail "heatmap file missing"
+grep -q '"blocks"' "$WORK/heatmap.json" || fail "heatmap has no blocks array"
+grep -q '"dir": "in"' "$WORK/heatmap.json" \
+  || fail "heatmap recorded no in-block traffic"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$WORK/heatmap.json" > /dev/null \
+    || fail "heatmap not valid JSON"
+fi
+
+echo "serve_admin_test OK"

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a BENCH_<name>.json run against a baseline.
+
+The smoke bench (bench/perf_smoke.cpp) pins a deterministic workload, so
+I/O byte counts, random-op counts, iteration counts, and cache counters
+must match the checked-in baseline exactly (tolerance 0 by default;
+--io-tol loosens it to a relative fraction). modeled_seconds is a pure
+function of those counts and the device model, compared with a tiny float
+tolerance. wall_seconds is machine noise and is only reported — it gates
+nothing unless --strict-wall is given.
+
+Exit codes: 0 = no regression, 1 = regression (or schema mismatch between
+the two reports), 2 = usage / unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+# Deterministic per-run counters: must match within --io-tol (default: exact).
+EXACT_FIELDS = [
+    "iterations",
+    "io_total_bytes",
+    "io_seq_read_bytes",
+    "io_rand_read_bytes",
+    "io_rand_read_ops",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+    "cache_bytes_saved",
+    "cache_cross_job_hits",
+]
+MODEL_FIELD = "modeled_seconds"
+WALL_FIELD = "wall_seconds"
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_regress: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if "runs" not in data or not isinstance(data["runs"], list):
+        print(f"bench_regress: {path} has no 'runs' array", file=sys.stderr)
+        sys.exit(2)
+    runs = {}
+    for run in data["runs"]:
+        label = run.get("label")
+        if not label:
+            print(f"bench_regress: {path}: run without a label",
+                  file=sys.stderr)
+            sys.exit(2)
+        if label in runs:
+            print(f"bench_regress: {path}: duplicate label {label!r}",
+                  file=sys.stderr)
+            sys.exit(2)
+        runs[label] = run
+    return data.get("bench", "?"), runs
+
+
+def rel_delta(base, cur):
+    if base == cur:
+        return 0.0
+    if base == 0:
+        return float("inf")
+    return (cur - base) / base
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="compare a bench JSON report against a baseline")
+    ap.add_argument("--baseline", required=True,
+                    help="checked-in BENCH_<name>.json to compare against")
+    ap.add_argument("--current", required=True,
+                    help="freshly produced BENCH_<name>.json")
+    ap.add_argument("--io-tol", type=float, default=0.0,
+                    help="relative tolerance for I/O and cache counters "
+                         "(default 0: exact match)")
+    ap.add_argument("--model-tol", type=float, default=1e-4,
+                    help="relative tolerance for modeled_seconds")
+    ap.add_argument("--wall-tol", type=float, default=0.5,
+                    help="relative wall-clock tolerance (only enforced "
+                         "with --strict-wall)")
+    ap.add_argument("--strict-wall", action="store_true",
+                    help="fail on wall_seconds regressions beyond "
+                         "--wall-tol (off by default: wall time is "
+                         "machine noise)")
+    args = ap.parse_args()
+
+    base_name, base_runs = load_report(args.baseline)
+    cur_name, cur_runs = load_report(args.current)
+    failures = []
+
+    if base_name != cur_name:
+        failures.append(
+            f"bench name mismatch: baseline={base_name!r} "
+            f"current={cur_name!r}")
+    missing = sorted(set(base_runs) - set(cur_runs))
+    extra = sorted(set(cur_runs) - set(base_runs))
+    for label in missing:
+        failures.append(f"run {label!r} missing from current report")
+    for label in extra:
+        failures.append(f"run {label!r} not in baseline "
+                        "(regenerate bench/baselines)")
+
+    for label in sorted(set(base_runs) & set(cur_runs)):
+        base, cur = base_runs[label], cur_runs[label]
+        for field in EXACT_FIELDS:
+            if field not in base:
+                continue  # older baseline schema: skip, don't crash
+            if field not in cur:
+                failures.append(f"{label}: field {field!r} missing from "
+                                "current report")
+                continue
+            d = rel_delta(base[field], cur[field])
+            if abs(d) > args.io_tol:
+                failures.append(
+                    f"{label}: {field} changed {base[field]} -> "
+                    f"{cur[field]} ({d:+.2%}, tol {args.io_tol:.2%})")
+        if MODEL_FIELD in base and MODEL_FIELD in cur:
+            d = rel_delta(base[MODEL_FIELD], cur[MODEL_FIELD])
+            if abs(d) > args.model_tol:
+                failures.append(
+                    f"{label}: {MODEL_FIELD} changed {base[MODEL_FIELD]} "
+                    f"-> {cur[MODEL_FIELD]} ({d:+.2%})")
+        if WALL_FIELD in base and WALL_FIELD in cur:
+            d = rel_delta(base[WALL_FIELD], cur[WALL_FIELD])
+            note = ""
+            if args.strict_wall and d > args.wall_tol:
+                failures.append(
+                    f"{label}: {WALL_FIELD} regressed "
+                    f"{base[WALL_FIELD]:.4f}s -> {cur[WALL_FIELD]:.4f}s "
+                    f"({d:+.2%}, tol {args.wall_tol:.2%})")
+                note = "  FAIL"
+            print(f"  {label}: wall {base[WALL_FIELD]:.4f}s -> "
+                  f"{cur[WALL_FIELD]:.4f}s ({d:+.2%}, advisory){note}")
+
+    if failures:
+        print(f"\nbench_regress: {len(failures)} regression(s) vs "
+              f"{args.baseline}:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"bench_regress: OK — {len(base_runs)} run(s) match "
+          f"{args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

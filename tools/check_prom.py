@@ -8,7 +8,10 @@ Checks, per the text format spec:
     the family's samples are contiguous;
   * histogram families expose `_bucket{le=...}` series with non-decreasing
     cumulative counts, a final le="+Inf" bucket, and `_sum` / `_count`
-    samples where count equals the +Inf bucket.
+    samples where count equals the +Inf bucket;
+  * label values use only the escapes the format defines (\\, \", \n);
+  * no family declares # HELP or # TYPE twice, and no two samples share
+    the same name and label set.
 
 Usage: check_prom.py FILE    (exit 0 = valid, 1 = malformed)
 """
@@ -42,6 +45,8 @@ def main(path):
                 parts = line.split(None, 3)
                 if len(parts) < 3 or not NAME_RE.match(parts[2]):
                     fail(lineno, f"malformed HELP line: {line!r}")
+                if parts[2] in helps:
+                    fail(lineno, f"duplicate HELP for {parts[2]}")
                 helps[parts[2]] = parts[3] if len(parts) > 3 else ""
                 continue
             if line.startswith("# TYPE "):
@@ -67,7 +72,23 @@ def main(path):
                     if not LABEL_RE.match(pair):
                         fail(lineno, f"malformed label {pair!r}")
                     key, val = pair.split("=", 1)
-                    labels[key] = val[1:-1]
+                    raw_val = val[1:-1]
+                    # The exposition format defines exactly three escapes
+                    # inside label values: \\ , \" and \n.
+                    k = 0
+                    while k < len(raw_val):
+                        if raw_val[k] == "\\":
+                            if (k + 1 >= len(raw_val)
+                                    or raw_val[k + 1] not in ('\\', '"', 'n')):
+                                fail(lineno,
+                                     f"invalid escape in label value "
+                                     f"{raw_val!r}")
+                            k += 2
+                        else:
+                            k += 1
+                    if key in labels:
+                        fail(lineno, f"duplicate label name {key!r}")
+                    labels[key] = raw_val
             value = m.group("value")
             if value not in ("+Inf", "-Inf", "NaN"):
                 try:
@@ -78,6 +99,15 @@ def main(path):
 
     if not samples:
         fail(0, "no samples found")
+
+    # Two samples with the same name and label set would be ambiguous to a
+    # scraper (last-one-wins or rejection, depending on the consumer).
+    seen_series = set()
+    for lineno, name, labels, _ in samples:
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen_series:
+            fail(lineno, f"duplicate sample for {name} {labels}")
+        seen_series.add(key)
 
     # Each sample must belong to a declared family, and families must be
     # contiguous blocks (the spec forbids interleaving).

@@ -27,6 +27,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 
 #include "husg/husg.hpp"
 
@@ -54,15 +55,22 @@ int usage() {
       "           [--no-cache-fill-rop]\n"
       "           [--predictor paper|exact|cache-aware]\n"
       "           [--trace-out FILE] [--metrics-out FILE]\n"
+      "           [--heatmap-out FILE] [--io-timing] [--admin-port N]\n"
       "  serve    --store DIR --jobs FILE [--max-concurrent N] [--queue N]\n"
       "           [--threads-per-job T] [--memory-budget BYTES]\n"
       "           [--cache-budget BYTES] [--cache-fraction F]\n"
       "           [--device hdd|ssd|nvme] [--seek-scale F] [--alpha A]\n"
       "           [--predictor paper|exact|cache-aware] [--report FILE]\n"
       "           [--trace-out FILE] [--metrics-out FILE]\n"
+      "           [--heatmap-out FILE] [--io-timing] [--admin-port N]\n"
       "--trace-out writes a Chrome-trace/Perfetto JSON span timeline;\n"
       "--metrics-out writes Prometheus text exposition (and enables\n"
-      "device-layer I/O latency histograms for the run).\n");
+      "device-layer I/O latency histograms for the run); --io-timing\n"
+      "enables those histograms without the file (scrape them live);\n"
+      "--heatmap-out writes per-block access counters (.csv -> CSV, else\n"
+      "JSON); --admin-port starts the admin HTTP server on 127.0.0.1 (0 =\n"
+      "ephemeral; GET /healthz /readyz /metrics /jobs /trace?ms=N,\n"
+      "POST /loglevel).\n");
   return 2;
 }
 
@@ -109,23 +117,56 @@ int validate_engine_flags(const Options& opts) {
     return invalid_option("--cache-fraction", opts.get("cache-fraction", ""),
                           "a fraction in (0,1]");
   }
+  long long admin_port = opts.get_int("admin-port", -1);
+  if (admin_port < -1 || admin_port > 65535) {
+    return invalid_option("--admin-port", opts.get("admin-port", ""),
+                          "a port in [0, 65535] (0 = ephemeral)");
+  }
   return 0;
 }
 
-/// Arms the span tracer and/or I/O latency timing per the --trace-out /
-/// --metrics-out flags; exports both files when the command finishes. The
-/// metrics side expects the caller to have publish()ed its ledgers into the
-/// global registry before finish().
+/// Starts the admin HTTP server when --admin-port was given (0 binds an
+/// ephemeral port). The bound port is printed to stdout (and flushed) so
+/// scripts can scrape a server started with port 0.
+std::unique_ptr<obs::AdminServer> maybe_start_admin(const Options& opts) {
+  long long port = opts.get_int("admin-port", -1);
+  if (port < 0) return nullptr;
+  obs::AdminOptions ao;
+  ao.port = static_cast<std::uint16_t>(port);
+  auto admin =
+      std::make_unique<obs::AdminServer>(ao, obs::Registry::global());
+  return admin;
+}
+
+void announce_admin(const obs::AdminServer& admin) {
+  std::printf("admin server listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(admin.port()));
+  std::fflush(stdout);
+}
+
+/// Arms the span tracer, I/O latency timing, and the block heatmap per the
+/// --trace-out / --metrics-out / --io-timing / --heatmap-out flags; exports
+/// the files when the command finishes. The metrics side expects the caller
+/// to have publish()ed its ledgers into the global registry before
+/// finish(). The heatmap needs the store's partition count, so it is armed
+/// separately via arm_heatmap() once the store is open.
 class Telemetry {
  public:
   explicit Telemetry(const Options& opts)
       : trace_out_(opts.get("trace-out", "")),
-        metrics_out_(opts.get("metrics-out", "")) {
+        metrics_out_(opts.get("metrics-out", "")),
+        heatmap_out_(opts.get("heatmap-out", "")),
+        io_timing_(opts.get_bool("io-timing", false)) {
     if (!trace_out_.empty()) obs::Tracer::instance().start();
-    if (!metrics_out_.empty()) obs::set_io_timing(true);
+    if (io_timing_ || !metrics_out_.empty()) obs::set_io_timing(true);
   }
 
   bool metrics_enabled() const { return !metrics_out_.empty(); }
+
+  /// Call after the store is open; no-op without --heatmap-out.
+  void arm_heatmap(std::uint32_t p) {
+    if (!heatmap_out_.empty()) obs::Heatmap::instance().start(p);
+  }
 
   void finish() {
     if (!trace_out_.empty()) {
@@ -143,8 +184,20 @@ class Telemetry {
       tracer.clear();
       trace_out_.clear();
     }
+    if (!heatmap_out_.empty()) {
+      obs::Heatmap& heat = obs::Heatmap::instance();
+      heat.stop();
+      std::ofstream f(heatmap_out_);
+      if (heatmap_out_.ends_with(".csv")) {
+        heat.write_csv(f);
+      } else {
+        heat.write_json(f);
+      }
+      std::printf("wrote block heatmap to %s\n", heatmap_out_.c_str());
+      heatmap_out_.clear();
+    }
+    if (io_timing_ || !metrics_out_.empty()) obs::set_io_timing(false);
     if (!metrics_out_.empty()) {
-      obs::set_io_timing(false);
       std::ofstream f(metrics_out_);
       obs::Registry::global().write_prometheus(f);
       std::printf("wrote metrics to %s\n", metrics_out_.c_str());
@@ -155,6 +208,8 @@ class Telemetry {
  private:
   std::string trace_out_;
   std::string metrics_out_;
+  std::string heatmap_out_;
+  bool io_timing_ = false;
 };
 
 EdgeList load_graph(const std::string& path) {
@@ -370,6 +425,12 @@ int cmd_run(const Options& opts) {
   VertexId source = static_cast<VertexId>(opts.get_int("source", 0));
 
   Telemetry telemetry(opts);
+  telemetry.arm_heatmap(store.meta().p());
+  std::unique_ptr<obs::AdminServer> admin = maybe_start_admin(opts);
+  if (admin) {
+    admin->start();
+    announce_admin(*admin);
+  }
   RunStats last_stats;
   Engine engine(store, eo);
   auto single = [&] {
@@ -592,7 +653,37 @@ int cmd_serve(const Options& opts) {
   so.predictor = parse_predictor(opts);
 
   Telemetry telemetry(opts);
+  telemetry.arm_heatmap(store.meta().p());
   GraphService service(store, so);
+  // Declared after the service so hooks (which reference it) are stopped
+  // first on scope exit.
+  std::unique_ptr<obs::AdminServer> admin = maybe_start_admin(opts);
+  if (admin) {
+    admin->set_jobs(
+        [&service] { return jobs_view_json(service.snapshot_jobs()); });
+    // Point-in-time gauges refreshed per scrape. Gauges only: the
+    // ServiceStats publish() counters accumulate per call and belong to the
+    // end-of-batch export below.
+    admin->set_pre_scrape([&service](obs::Registry& reg) {
+      std::size_t pending = 0, running = 0;
+      for (const JobView& v : service.snapshot_jobs()) {
+        (v.status == JobStatus::kRunning ? running : pending) += 1;
+      }
+      reg.gauge("husg_service_jobs_pending", "Jobs queued, not yet running")
+          .set(static_cast<double>(pending));
+      reg.gauge("husg_service_jobs_running", "Jobs currently running")
+          .set(static_cast<double>(running));
+      reg.gauge("husg_service_reserved_bytes",
+                "Working-set bytes reserved by running jobs")
+          .set(static_cast<double>(service.reserved_bytes()));
+      if (service.cache() != nullptr) {
+        reg.gauge("husg_cache_resident_bytes", "Bytes resident in the cache")
+            .set(static_cast<double>(service.cache()->resident_bytes()));
+      }
+    });
+    admin->start();
+    announce_admin(*admin);
+  }
   std::vector<JobTicket> tickets;
   tickets.reserve(jobs.size());
   for (const JobSpec& spec : jobs) tickets.push_back(service.submit(spec));
