@@ -16,6 +16,8 @@
 #include "husg/husg.hpp"
 
 #include "bench_support/report.hpp"
+#include "obs/heatmap.hpp"
+#include "obs/iotrace.hpp"
 
 using namespace husg;
 using namespace husg::bench;
@@ -27,13 +29,14 @@ struct SmokeOptions {
   double degree = 8.0;
   std::uint32_t partitions = 4;
   std::string out_dir = ".";
-  std::string data_dir;  ///< default: <out_dir>/perf_smoke_data
+  std::string data_dir;     ///< default: <out_dir>/perf_smoke_data
+  std::string iotrace_out;  ///< record the cache run's block I/O trace here
 };
 
 int usage() {
   std::fprintf(stderr,
                "usage: perf_smoke [--scale N] [--degree D] [--partitions P]"
-               " [--out-dir DIR] [--data-dir DIR]\n");
+               " [--out-dir DIR] [--data-dir DIR] [--iotrace-out FILE]\n");
   return 2;
 }
 
@@ -63,6 +66,8 @@ int main(int argc, char** argv) {
       opt.out_dir = val;
     } else if (flag == "--data-dir") {
       opt.data_dir = val;
+    } else if (flag == "--iotrace-out") {
+      opt.iotrace_out = val;
     } else {
       return usage();
     }
@@ -82,13 +87,38 @@ int main(int argc, char** argv) {
 
   JsonReport report("perf_smoke");
   Table t({"run", "iters", "modeled s", "I/O MB", "rand ops", "hit rate"});
+  // Heatmap totals ride along in the JSON report so bench_regress.py gates
+  // cache behaviour (hits/misses/evictions per block grid), not just engine
+  // byte counts. The heatmap is re-armed (zeroed) per run and cleared after
+  // the totals are taken.
+  auto heat_totals = [] {
+    const obs::Heatmap& h = obs::Heatmap::instance();
+    std::uint64_t reads = 0, hits = 0, misses = 0, evictions = 0;
+    for (obs::HeatDir dir : {obs::HeatDir::kOut, obs::HeatDir::kIn}) {
+      for (std::uint32_t i = 0; i < h.p(); ++i) {
+        for (std::uint32_t j = 0; j < h.p(); ++j) {
+          const obs::HeatCell c = h.cell(dir, i, j);
+          reads += c.reads;
+          hits += c.hits;
+          misses += c.misses;
+          evictions += c.evictions;
+        }
+      }
+    }
+    return std::vector<std::pair<std::string, std::uint64_t>>{
+        {"heatmap_reads", reads},
+        {"heatmap_hits", hits},
+        {"heatmap_misses", misses},
+        {"heatmap_evictions", evictions}};
+  };
   auto record = [&](const char* label, const RunStats& stats) {
     t.add_row({label, std::to_string(stats.iterations_run()),
                fmt(stats.modeled_seconds(), 4),
                fmt(static_cast<double>(stats.total_io.total_bytes()) / 1e6, 3),
                std::to_string(stats.total_io.rand_read_ops),
                fmt(100.0 * stats.cache.hit_rate(), 1) + "%"});
-    report.add_run(label, stats);
+    report.add_run(label, stats, heat_totals());
+    obs::Heatmap::instance().clear();
   };
 
   {
@@ -96,6 +126,7 @@ int main(int argc, char** argv) {
     o.max_iterations = 5;
     Engine e(store, o);
     PageRankProgram p;
+    obs::Heatmap::instance().start(opt.partitions);
     record("pagerank/hybrid",
            e.run(p, Frontier::all(store.meta(), store.out_degrees())).stats);
   }
@@ -105,6 +136,7 @@ int main(int argc, char** argv) {
     o.max_iterations = 5;
     Engine e(store, o);
     PageRankProgram p;
+    obs::Heatmap::instance().start(opt.partitions);
     record("pagerank/cop",
            e.run(p, Frontier::all(store.meta(), store.out_degrees())).stats);
   }
@@ -112,6 +144,7 @@ int main(int argc, char** argv) {
     EngineOptions o = base_options();
     Engine e(store, o);
     BfsProgram b{.source = 1};
+    obs::Heatmap::instance().start(opt.partitions);
     record("bfs/hybrid",
            e.run(b, Frontier::single(store.meta(), 1, store.out_degrees()))
                .stats);
@@ -132,8 +165,37 @@ int main(int argc, char** argv) {
     o.cache_budget_bytes = out_adj / 2;
     Engine e(store, o);
     PageRankProgram p;
-    record("pagerank/rop+cache",
-           e.run(p, Frontier::all(store.meta(), store.out_degrees())).stats);
+    obs::Heatmap::instance().start(opt.partitions);
+    // Record the cache run's block I/O trace for the replay fidelity gate
+    // (tools/husg_replay --check): single-threaded, so the simulated CLOCK
+    // must reproduce the live counters exactly.
+    if (!opt.iotrace_out.empty()) {
+      obs::TraceRunInfo info;
+      info.p = opt.partitions;
+      info.budget_bytes = o.cache_budget_bytes;
+      info.max_block_fraction = o.cache_max_block_fraction;
+      info.fill_rop = o.cache_fill_rop;
+      info.flavor = static_cast<std::uint8_t>(o.predictor);
+      info.granularity = static_cast<std::uint8_t>(o.granularity);
+      info.alpha = o.alpha;
+      info.seq_read_bw = o.device.seq_read_bw;
+      info.rand_read_bw = o.device.rand_read_bw;
+      info.write_bw = o.device.write_bw;
+      info.seek_seconds = o.device.seek_seconds;
+      info.num_vertices = store.meta().num_vertices;
+      info.num_edges = store.meta().num_edges;
+      info.edge_bytes = store.meta().edge_record_bytes();
+      obs::IoTrace::instance().start(opt.iotrace_out, info);
+    }
+    RunStats stats =
+        e.run(p, Frontier::all(store.meta(), store.out_degrees())).stats;
+    if (!opt.iotrace_out.empty()) {
+      obs::IoTrace::instance().stop();
+      std::printf("iotrace: %s (%llu events)\n", opt.iotrace_out.c_str(),
+                  static_cast<unsigned long long>(
+                      obs::IoTrace::instance().events_recorded()));
+    }
+    record("pagerank/rop+cache", stats);
   }
 
   t.print();

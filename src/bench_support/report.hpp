@@ -3,7 +3,9 @@
 // checkouts can be compared as a trajectory.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/run_stats.hpp"
@@ -52,6 +54,10 @@ class JsonReport {
   /// predictor_mean_rel_error, ...) appended to the run object.
   void add_run(const std::string& label, const RunStats& stats,
                const obs::AuditSummary& audit);
+  /// Same, with arbitrary extra counters appended to the run object (e.g.
+  /// perf_smoke's heatmap totals). Keys must be unique within the run.
+  void add_run(const std::string& label, const RunStats& stats,
+               const std::vector<std::pair<std::string, std::uint64_t>>& extras);
   /// Writes BENCH_<name>.json into `dir`; returns the path written.
   std::string write(const std::string& dir = ".") const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/heatmap.hpp"
+#include "obs/iotrace.hpp"
 #include "obs/trace.hpp"
 #include "util/common.hpp"
 
@@ -98,6 +99,13 @@ bool BlockCache::make_room(std::uint64_t needed) {
             e.key.kind == BlockKind::kOutAdj ? obs::HeatDir::kOut
                                              : obs::HeatDir::kIn,
             e.key.row, e.key.col);
+      }
+      // The iotrace records every kind — its eviction stream must add up to
+      // stats_.evictions for the replay fidelity check.
+      if (obs::iotrace_enabled()) [[unlikely]] {
+        obs::IoTrace::instance().record_evict(
+            static_cast<obs::TraceBlockKind>(e.key.kind), e.key.row,
+            e.key.col, size);
       }
       index_.erase(e.key);
       if (hand_ != ring_.size() - 1) {

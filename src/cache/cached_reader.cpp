@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "obs/heatmap.hpp"
+#include "obs/iotrace.hpp"
 #include "obs/trace.hpp"
 
 namespace husg {
@@ -29,6 +30,30 @@ inline void heat_miss(obs::HeatDir dir, std::uint32_t i, std::uint32_t j) {
   if (obs::heatmap_enabled()) [[unlikely]] {
     obs::Heatmap::instance().record_miss(dir, i, j);
   }
+}
+
+// I/O trace feed (obs/iotrace.hpp). Every call site records the
+// budget-INDEPENDENT facts of the request — what a hit saves (`saved`), what
+// a miss would insert (`payload`) and read (`disk`) — alongside the observed
+// outcome, so the offline replay can take either branch at any budget. Call
+// sites gate on iotrace_enabled() so the disarmed cost is one acquire load.
+inline void trace_access(obs::TraceBlockKind kind, obs::TraceOutcome outcome,
+                         obs::TraceInsertMode mode, obs::TraceAdmit admit,
+                         std::uint32_t row, std::uint32_t col,
+                         std::uint32_t owner, std::uint64_t saved,
+                         std::uint64_t payload, std::uint64_t disk) {
+  obs::AccessEvent e;
+  e.kind = kind;
+  e.outcome = outcome;
+  e.insert_mode = mode;
+  e.admit = admit;
+  e.row = row;
+  e.col = col;
+  e.owner = owner;
+  e.saved_bytes = saved;
+  e.payload_bytes = payload;
+  e.disk_bytes = disk;
+  obs::IoTrace::instance().record_access(e);
 }
 
 }  // namespace
@@ -102,44 +127,78 @@ void CachedBlockReader::load_out_index(std::uint32_t i, std::uint32_t j,
                                        std::vector<std::uint32_t>& out) const {
   HUSG_SPAN("cache", "load_out_index", "i", static_cast<std::int64_t>(i), "j",
             static_cast<std::int64_t>(j));
-  if (cache_ == nullptr) {
-    store_->load_out_index(i, j, out);
-    return;
-  }
-  BlockKey key{BlockKind::kOutIdx, i, j};
   std::uint64_t idx_bytes =
       (static_cast<std::uint64_t>(store_->meta().interval_size(i)) + 1) *
       sizeof(std::uint32_t);
+  if (cache_ == nullptr) {
+    store_->load_out_index(i, j, out);
+    if (obs::iotrace_enabled()) [[unlikely]] {
+      trace_access(obs::TraceBlockKind::kOutIdx, obs::TraceOutcome::kBypass,
+                   obs::TraceInsertMode::kAlways, obs::TraceAdmit::kNone, i, j,
+                   owner_, idx_bytes, idx_bytes, idx_bytes);
+    }
+    return;
+  }
+  BlockKey key{BlockKind::kOutIdx, i, j};
   if (BlockCache::PinnedBytes hit = consult(key, idx_bytes)) {
     out.resize(hit->size() / sizeof(std::uint32_t));
     std::memcpy(out.data(), hit->data(), hit->size());
+    if (obs::iotrace_enabled()) [[unlikely]] {
+      trace_access(obs::TraceBlockKind::kOutIdx, obs::TraceOutcome::kHit,
+                   obs::TraceInsertMode::kAlways, obs::TraceAdmit::kNone, i, j,
+                   owner_, idx_bytes, idx_bytes, idx_bytes);
+    }
     return;
   }
   store_->load_out_index(i, j, out);
-  admit(key, to_payload(out.data(), out.size()),
-        out.size() * sizeof(std::uint32_t));
+  BlockCache::PinnedBytes in = admit(key, to_payload(out.data(), out.size()),
+                                     out.size() * sizeof(std::uint32_t));
+  if (obs::iotrace_enabled()) [[unlikely]] {
+    trace_access(obs::TraceBlockKind::kOutIdx, obs::TraceOutcome::kMiss,
+                 obs::TraceInsertMode::kAlways,
+                 in != nullptr ? obs::TraceAdmit::kInserted
+                               : obs::TraceAdmit::kRejected,
+                 i, j, owner_, idx_bytes, idx_bytes, idx_bytes);
+  }
 }
 
 void CachedBlockReader::load_in_index(std::uint32_t i, std::uint32_t j,
                                       std::vector<std::uint32_t>& out) const {
   HUSG_SPAN("cache", "load_in_index", "i", static_cast<std::int64_t>(i), "j",
             static_cast<std::int64_t>(j));
-  if (cache_ == nullptr) {
-    store_->load_in_index(i, j, out);
-    return;
-  }
-  BlockKey key{BlockKind::kInIdx, i, j};
   std::uint64_t idx_bytes =
       (static_cast<std::uint64_t>(store_->meta().interval_size(j)) + 1) *
       sizeof(std::uint32_t);
+  if (cache_ == nullptr) {
+    store_->load_in_index(i, j, out);
+    if (obs::iotrace_enabled()) [[unlikely]] {
+      trace_access(obs::TraceBlockKind::kInIdx, obs::TraceOutcome::kBypass,
+                   obs::TraceInsertMode::kAlways, obs::TraceAdmit::kNone, i, j,
+                   owner_, idx_bytes, idx_bytes, idx_bytes);
+    }
+    return;
+  }
+  BlockKey key{BlockKind::kInIdx, i, j};
   if (BlockCache::PinnedBytes hit = consult(key, idx_bytes)) {
     out.resize(hit->size() / sizeof(std::uint32_t));
     std::memcpy(out.data(), hit->data(), hit->size());
+    if (obs::iotrace_enabled()) [[unlikely]] {
+      trace_access(obs::TraceBlockKind::kInIdx, obs::TraceOutcome::kHit,
+                   obs::TraceInsertMode::kAlways, obs::TraceAdmit::kNone, i, j,
+                   owner_, idx_bytes, idx_bytes, idx_bytes);
+    }
     return;
   }
   store_->load_in_index(i, j, out);
-  admit(key, to_payload(out.data(), out.size()),
-        out.size() * sizeof(std::uint32_t));
+  BlockCache::PinnedBytes in = admit(key, to_payload(out.data(), out.size()),
+                                     out.size() * sizeof(std::uint32_t));
+  if (obs::iotrace_enabled()) [[unlikely]] {
+    trace_access(obs::TraceBlockKind::kInIdx, obs::TraceOutcome::kMiss,
+                 obs::TraceInsertMode::kAlways,
+                 in != nullptr ? obs::TraceAdmit::kInserted
+                               : obs::TraceAdmit::kRejected,
+                 i, j, owner_, idx_bytes, idx_bytes, idx_bytes);
+  }
 }
 
 AdjacencySlice CachedBlockReader::load_out_edges(std::uint32_t i,
@@ -147,18 +206,36 @@ AdjacencySlice CachedBlockReader::load_out_edges(std::uint32_t i,
                                                  std::uint32_t lo,
                                                  std::uint32_t hi,
                                                  AdjacencyBuffer& buf) const {
-  const std::uint32_t rec = store_->meta().edge_record_bytes();
+  const StoreMeta& meta = store_->meta();
+  const std::uint32_t rec = meta.edge_record_bytes();
+  const std::uint64_t point_bytes = static_cast<std::uint64_t>(hi - lo) * rec;
+  // Budget-independent insert facts for the trace: whether this block WOULD
+  // be fill-admitted depends on the replaying cache's budget, so the trace
+  // records the policy (kIfAdmissible) and the whole-block payload, not the
+  // live gate's verdict.
+  const obs::TraceInsertMode fill_mode =
+      fill_rop_ ? obs::TraceInsertMode::kIfAdmissible
+                : obs::TraceInsertMode::kNone;
   if (cache_ == nullptr) {
-    heat_read(obs::HeatDir::kOut, i, j,
-              static_cast<std::uint64_t>(hi - lo) * rec);
+    heat_read(obs::HeatDir::kOut, i, j, point_bytes);
+    if (obs::iotrace_enabled()) [[unlikely]] {
+      const std::uint64_t adj = meta.out_block(i, j).adj_bytes;
+      trace_access(obs::TraceBlockKind::kOutAdj, obs::TraceOutcome::kBypass,
+                   fill_mode, obs::TraceAdmit::kNone, i, j, owner_,
+                   point_bytes, adj, adj);
+    }
     return store_->load_out_edges(i, j, lo, hi, buf);
   }
-  const StoreMeta& meta = store_->meta();
   const bool weighted = meta.weighted;
   BlockKey key{BlockKind::kOutAdj, i, j};
-  if (BlockCache::PinnedBytes hit =
-          consult(key, static_cast<std::uint64_t>(hi - lo) * rec)) {
+  if (BlockCache::PinnedBytes hit = consult(key, point_bytes)) {
     heat_hit(obs::HeatDir::kOut, i, j);
+    if (obs::iotrace_enabled()) [[unlikely]] {
+      const std::uint64_t adj = meta.out_block(i, j).adj_bytes;
+      trace_access(obs::TraceBlockKind::kOutAdj, obs::TraceOutcome::kHit,
+                   fill_mode, obs::TraceAdmit::kNone, i, j, owner_,
+                   point_bytes, adj, adj);
+    }
     return decode_payload(hit, lo, hi - lo, weighted, buf);
   }
   heat_miss(obs::HeatDir::kOut, i, j);
@@ -173,8 +250,17 @@ AdjacencySlice CachedBlockReader::load_out_edges(std::uint32_t i,
     store_->load_out_edges(i, j, 0,
                            static_cast<std::uint32_t>(block.edge_count), buf);
     std::vector<char> payload(buf.raw.begin(), buf.raw.end());
-    if (BlockCache::PinnedBytes pinned =
-            admit(key, std::move(payload), block.adj_bytes)) {
+    BlockCache::PinnedBytes pinned =
+        admit(key, std::move(payload), block.adj_bytes);
+    if (obs::iotrace_enabled()) [[unlikely]] {
+      trace_access(obs::TraceBlockKind::kOutAdj, obs::TraceOutcome::kMiss,
+                   fill_mode,
+                   pinned != nullptr ? obs::TraceAdmit::kInserted
+                                     : obs::TraceAdmit::kRejected,
+                   i, j, owner_, point_bytes, block.adj_bytes,
+                   block.adj_bytes);
+    }
+    if (pinned != nullptr) {
       return decode_payload(pinned, lo, hi - lo, weighted, buf);
     }
     // Admission raced or was rejected; serve from the just-read bytes.
@@ -183,8 +269,12 @@ AdjacencySlice CachedBlockReader::load_out_edges(std::uint32_t i,
                                                   buf.raw.end()),
         lo, hi - lo, weighted, buf);
   }
-  heat_read(obs::HeatDir::kOut, i, j,
-            static_cast<std::uint64_t>(hi - lo) * rec);
+  heat_read(obs::HeatDir::kOut, i, j, point_bytes);
+  if (obs::iotrace_enabled()) [[unlikely]] {
+    trace_access(obs::TraceBlockKind::kOutAdj, obs::TraceOutcome::kMiss,
+                 fill_mode, obs::TraceAdmit::kNone, i, j, owner_, point_bytes,
+                 block.adj_bytes, block.adj_bytes);
+  }
   buf.guard.reset();
   return store_->load_out_edges(i, j, lo, hi, buf);
 }
@@ -194,17 +284,33 @@ AdjacencySlice CachedBlockReader::stream_in_block(
     const std::vector<std::uint32_t>* run_index) const {
   HUSG_SPAN("cache", "stream_in_block", "i", static_cast<std::int64_t>(i), "j",
             static_cast<std::int64_t>(j));
-  if (cache_ == nullptr) {
-    heat_read(obs::HeatDir::kIn, i, j, store_->meta().in_block(i, j).adj_bytes);
-    return store_->stream_in_block(i, j, buf, run_index);
-  }
   const StoreMeta& meta = store_->meta();
   const BlockExtent& block = meta.in_block(i, j);
+  // Varint blocks are cached decompressed, so the in-memory payload a miss
+  // would insert can exceed the on-disk size (what a hit saves).
+  const std::uint64_t payload_bytes =
+      meta.in_blocks_compressed
+          ? block.edge_count * sizeof(std::uint32_t)
+          : block.adj_bytes;
+  if (cache_ == nullptr) {
+    heat_read(obs::HeatDir::kIn, i, j, block.adj_bytes);
+    if (obs::iotrace_enabled()) [[unlikely]] {
+      trace_access(obs::TraceBlockKind::kInAdj, obs::TraceOutcome::kBypass,
+                   obs::TraceInsertMode::kAlways, obs::TraceAdmit::kNone, i, j,
+                   owner_, block.adj_bytes, payload_bytes, block.adj_bytes);
+    }
+    return store_->stream_in_block(i, j, buf, run_index);
+  }
   BlockKey key{BlockKind::kInAdj, i, j};
   // Payloads are stored decompressed, so a hit on a varint block saves its
   // (smaller) on-disk size while serving fixed-width records.
   if (BlockCache::PinnedBytes hit = consult(key, block.adj_bytes)) {
     heat_hit(obs::HeatDir::kIn, i, j);
+    if (obs::iotrace_enabled()) [[unlikely]] {
+      trace_access(obs::TraceBlockKind::kInAdj, obs::TraceOutcome::kHit,
+                   obs::TraceInsertMode::kAlways, obs::TraceAdmit::kNone, i, j,
+                   owner_, block.adj_bytes, payload_bytes, block.adj_bytes);
+    }
     return decode_payload(hit, 0, block.edge_count, meta.weighted, buf);
   }
   heat_miss(obs::HeatDir::kIn, i, j);
@@ -215,7 +321,15 @@ AdjacencySlice CachedBlockReader::stream_in_block(
       meta.in_blocks_compressed
           ? to_payload(slice.neighbors.data(), slice.neighbors.size())
           : std::vector<char>(buf.raw.begin(), buf.raw.end());
-  admit(key, std::move(payload), block.adj_bytes);
+  BlockCache::PinnedBytes in = admit(key, std::move(payload), block.adj_bytes);
+  if (obs::iotrace_enabled()) [[unlikely]] {
+    trace_access(obs::TraceBlockKind::kInAdj, obs::TraceOutcome::kMiss,
+                 obs::TraceInsertMode::kAlways,
+                 in != nullptr ? obs::TraceAdmit::kInserted
+                               : obs::TraceAdmit::kRejected,
+                 i, j, owner_, block.adj_bytes, payload_bytes,
+                 block.adj_bytes);
+  }
   return slice;
 }
 

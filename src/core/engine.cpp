@@ -3,6 +3,8 @@
 #include <atomic>
 #include <unistd.h>
 
+#include "obs/iotrace.hpp"
+
 namespace husg {
 
 Engine::Engine(const DualBlockStore& store, EngineOptions options)
@@ -54,7 +56,8 @@ std::uint64_t Engine::row_bytes(std::uint32_t i) const {
 }
 
 std::vector<DecisionRecord> Engine::decide(const Frontier& frontier,
-                                           std::uint32_t value_bytes) const {
+                                           std::uint32_t value_bytes,
+                                           std::uint32_t iter) const {
   const StoreMeta& meta = store_->meta();
   const std::uint32_t p = meta.p();
   std::vector<DecisionRecord> out(p);
@@ -65,6 +68,12 @@ std::vector<DecisionRecord> Engine::decide(const Frontier& frontier,
     for (auto& d : out) d.used_rop = rop;
     return out;
   }
+
+  // When the I/O trace is armed, keep each interval's PredictionInputs so
+  // the decision events can be written AFTER the global-granularity pass
+  // overwrites used_rop (the trace records the final decision).
+  const bool tracing = obs::iotrace_enabled();
+  std::vector<PredictionInputs> traced(tracing ? p : 0);
 
   for (std::uint32_t i = 0; i < p; ++i) {
     HUSG_SPAN("engine", "predict", "interval", static_cast<std::int64_t>(i));
@@ -77,10 +86,12 @@ std::vector<DecisionRecord> Engine::decide(const Frontier& frontier,
     in.edge_bytes = meta.edge_record_bytes();
     in.value_bytes = value_bytes;  // N
     in.column_edge_bytes = column_bytes(i);
-    if (opts_.predictor == PredictorFlavor::kCacheAware) {
+    if (opts_.predictor == PredictorFlavor::kCacheAware || tracing) {
       // §3.4, cache-aware: resident bytes cost zero I/O, so both models are
       // costed over the uncached residual of the interval. As the cache
       // warms, the residual shrinks and the ROP/COP crossover moves.
+      // (Filled under tracing for every flavor — only kCacheAware reads
+      // them, and the trace wants the inputs any what-if flavor needs.)
       in.row_edge_bytes = row_bytes(i);
       in.cached_row_edge_bytes = reader_.cached_row_bytes(i);
       in.cached_column_edge_bytes = reader_.cached_column_bytes(i);
@@ -91,6 +102,7 @@ std::vector<DecisionRecord> Engine::decide(const Frontier& frontier,
         opts_.granularity == DecisionGranularity::kPerInterval;
     out[i].prediction = predictor_.predict(in, per_interval_alpha);
     out[i].used_rop = out[i].prediction.choose_rop;
+    if (tracing) traced[i] = in;
   }
 
   if (opts_.granularity == DecisionGranularity::kGlobal) {
@@ -107,6 +119,26 @@ std::vector<DecisionRecord> Engine::decide(const Frontier& frontier,
     }
     bool rop = !shortcut && c_rop <= c_cop;
     for (auto& d : out) d.used_rop = rop;
+  }
+
+  if (tracing) [[unlikely]] {
+    for (std::uint32_t i = 0; i < p; ++i) {
+      obs::DecisionEvent e;
+      e.iteration = iter;
+      e.interval = i;
+      e.active_vertices = traced[i].active_vertices;
+      e.active_degree_sum = traced[i].active_degree_sum;
+      e.value_bytes = value_bytes;
+      e.column_edge_bytes = traced[i].column_edge_bytes;
+      e.row_edge_bytes = traced[i].row_edge_bytes;
+      e.cached_row_edge_bytes = traced[i].cached_row_edge_bytes;
+      e.cached_column_edge_bytes = traced[i].cached_column_edge_bytes;
+      e.c_rop = out[i].prediction.c_rop;
+      e.c_cop = out[i].prediction.c_cop;
+      e.used_rop = out[i].used_rop;
+      e.alpha_shortcut = out[i].prediction.alpha_shortcut;
+      obs::IoTrace::instance().record_decision(e);
+    }
   }
   return out;
 }

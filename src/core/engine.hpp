@@ -136,9 +136,11 @@ class Engine {
 
  private:
   /// Per-interval ROP/COP decisions for one iteration. value_bytes is the
-  /// program's sizeof(Value) (the N of §3.4).
+  /// program's sizeof(Value) (the N of §3.4); iter tags the I/O-trace
+  /// decision events (obs/iotrace.hpp).
   std::vector<DecisionRecord> decide(const Frontier& frontier,
-                                     std::uint32_t value_bytes) const;
+                                     std::uint32_t value_bytes,
+                                     std::uint32_t iter) const;
 
   /// Exact byte size of the in-blocks in interval i's column.
   std::uint64_t column_bytes(std::uint32_t i) const;
@@ -253,7 +255,7 @@ RunResult<typename P::Value> Engine::run(const P& prog,
       ctx.iteration = iter;
       istats.active_vertices = frontier.active_vertices();
       istats.active_edges = frontier.active_out_degree();
-      istats.decisions = decide(frontier, sizeof(V));
+      istats.decisions = decide(frontier, sizeof(V), iter);
 
       if (opts_.sync == SyncMode::kJacobi) values.snapshot_all();
 

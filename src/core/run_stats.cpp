@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "obs/heatmap.hpp"
+#include "obs/iotrace.hpp"
 #include "obs/metrics.hpp"
 #include "util/format.hpp"
 
@@ -82,6 +83,10 @@ void RunStats::publish(obs::Registry& reg) const {
       .inc(cop_intervals);
   const obs::Heatmap& heat = obs::Heatmap::instance();
   if (heat.has_data()) heat.publish(reg);
+  const obs::IoTrace& iotrace = obs::IoTrace::instance();
+  if (iotrace.events_recorded() > 0 || iotrace.dropped() > 0) {
+    iotrace.publish(reg);
+  }
 }
 
 std::string RunStats::summary() const {

@@ -39,6 +39,8 @@
 #include "obs/audit.hpp"
 #include "obs/heatmap.hpp"
 #include "obs/http_server.hpp"
+#include "obs/iotrace.hpp"
+#include "obs/iotrace_replay.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "service/graph_service.hpp"

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/heatmap.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/common.hpp"
@@ -306,6 +307,18 @@ AdminServer::Response AdminServer::handle_request(const std::string& method,
     res.body = jobs_();
     return res;
   }
+  if (path == "/heatmap") {
+    if (!is_get) {
+      res.status = 405;
+      res.body = "method not allowed\n";
+      return res;
+    }
+    std::ostringstream os;
+    Heatmap::instance().write_json(os);
+    res.content_type = "application/json";
+    res.body = os.str();
+    return res;
+  }
   if (path == "/trace") {
     if (!is_get) {
       res.status = 405;
@@ -362,7 +375,7 @@ AdminServer::Response AdminServer::handle_request(const std::string& method,
     return res;
   }
   res.status = 404;
-  res.body = "unknown path (try /healthz /readyz /metrics /jobs "
+  res.body = "unknown path (try /healthz /readyz /metrics /jobs /heatmap "
              "/trace?ms=N /loglevel)\n";
   return res;
 }

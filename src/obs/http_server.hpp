@@ -15,6 +15,9 @@
 //                       publish() call must not run per scrape)
 //   GET  /jobs          live per-job JSON (queued + running) from the jobs
 //                       hook; 404 when no hook is installed (single-run CLI)
+//   GET  /heatmap       block-access heatmap JSON (Heatmap::write_json) for
+//                       the process-wide heatmap; {"p": 0, ...} when not
+//                       armed — scrape mid-run to watch the access pattern
 //   GET  /trace?ms=N    arm the span tracer for N ms (capped), then return
 //                       the Chrome-trace JSON of that window; 409 if a trace
 //                       session (e.g. --trace-out) is already running

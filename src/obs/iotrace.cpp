@@ -1,0 +1,520 @@
+#include "obs/iotrace.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+#include "util/common.hpp"
+
+namespace husg::obs {
+
+namespace detail {
+std::atomic<bool> g_iotrace{false};
+}  // namespace detail
+
+const char* to_string(TraceBlockKind kind) {
+  switch (kind) {
+    case TraceBlockKind::kOutAdj:
+      return "out.adj";
+    case TraceBlockKind::kOutIdx:
+      return "out.idx";
+    case TraceBlockKind::kInAdj:
+      return "in.adj";
+    case TraceBlockKind::kInIdx:
+      return "in.idx";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'U', 'S', 'G', 'I', 'O', 'T', '1'};
+constexpr std::uint32_t kVersion = 1;
+/// Flush a thread buffer to the file once it holds this many bytes.
+constexpr std::size_t kFlushBytes = 256 * 1024;
+
+// Little-endian field-by-field serialization: the in-memory structs never
+// touch the disk directly, so there is no padding/ABI coupling.
+void put_u8(std::vector<char>& b, std::uint8_t v) {
+  b.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::vector<char>& b, std::uint32_t v) {
+  for (int k = 0; k < 4; ++k) b.push_back(static_cast<char>(v >> (8 * k)));
+}
+
+void put_u64(std::vector<char>& b, std::uint64_t v) {
+  for (int k = 0; k < 8; ++k) b.push_back(static_cast<char>(v >> (8 * k)));
+}
+
+void put_f64(std::vector<char>& b, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(b, bits);
+}
+
+void serialize_access(std::vector<char>& b, const AccessEvent& e) {
+  put_u8(b, static_cast<std::uint8_t>(TraceRecord::Type::kAccess));
+  put_u64(b, e.seq);
+  put_u8(b, static_cast<std::uint8_t>(e.kind));
+  put_u8(b, static_cast<std::uint8_t>(e.outcome));
+  put_u8(b, static_cast<std::uint8_t>(e.insert_mode));
+  put_u8(b, static_cast<std::uint8_t>(e.admit));
+  put_u32(b, e.row);
+  put_u32(b, e.col);
+  put_u32(b, e.owner);
+  put_u64(b, e.saved_bytes);
+  put_u64(b, e.payload_bytes);
+  put_u64(b, e.disk_bytes);
+}
+
+void serialize_evict(std::vector<char>& b, const EvictEvent& e) {
+  put_u8(b, static_cast<std::uint8_t>(TraceRecord::Type::kEvict));
+  put_u64(b, e.seq);
+  put_u8(b, static_cast<std::uint8_t>(e.kind));
+  put_u32(b, e.row);
+  put_u32(b, e.col);
+  put_u64(b, e.bytes);
+}
+
+void serialize_decision(std::vector<char>& b, const DecisionEvent& e) {
+  put_u8(b, static_cast<std::uint8_t>(TraceRecord::Type::kDecision));
+  put_u64(b, e.seq);
+  put_u32(b, e.iteration);
+  put_u32(b, e.interval);
+  put_u64(b, e.active_vertices);
+  put_u64(b, e.active_degree_sum);
+  put_u32(b, e.value_bytes);
+  put_u64(b, e.column_edge_bytes);
+  put_u64(b, e.row_edge_bytes);
+  put_u64(b, e.cached_row_edge_bytes);
+  put_u64(b, e.cached_column_edge_bytes);
+  put_f64(b, e.c_rop);
+  put_f64(b, e.c_cop);
+  put_u8(b, e.used_rop ? 1 : 0);
+  put_u8(b, e.alpha_shortcut ? 1 : 0);
+}
+
+}  // namespace
+
+std::uint64_t TraceRecord::seq() const {
+  switch (type) {
+    case Type::kAccess:
+      return access.seq;
+    case Type::kEvict:
+      return evict.seq;
+    case Type::kDecision:
+      return decision.seq;
+  }
+  return 0;
+}
+
+/// Recorder internals: per-thread byte buffers registered on first use, one
+/// output stream guarded by a file mutex. The gate (detail::g_iotrace) stays
+/// the hot-path filter; buffer mutexes are leaves taken per event
+/// (uncontended except when stop() drains).
+struct IoTrace::Impl {
+  struct Buffer {
+    std::mutex mu;
+    std::vector<char> bytes;
+  };
+
+  std::mutex mu;  ///< guards file, buffers registry, armed transitions
+  std::ofstream file;
+  bool open = false;
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  std::atomic<std::uint64_t> seq{0};
+
+  Buffer& local() {
+    thread_local std::shared_ptr<Buffer> buf;
+    if (!buf) {
+      buf = std::make_shared<Buffer>();
+      std::lock_guard<std::mutex> lock(mu);
+      buffers.push_back(buf);
+    }
+    return *buf;
+  }
+
+  /// Appends `bytes` to the calling thread's buffer, spilling to the file
+  /// when full. Returns false when recording stopped underneath the caller.
+  bool append(IoTrace& owner, const std::vector<char>& bytes) {
+    Buffer& b = local();
+    std::vector<char> spill;
+    {
+      std::lock_guard<std::mutex> lock(b.mu);
+      // Re-check under the buffer lock: stop() flips the gate first, then
+      // drains buffers, so an append that lost the race lands here.
+      if (!iotrace_enabled()) return false;
+      b.bytes.insert(b.bytes.end(), bytes.begin(), bytes.end());
+      if (b.bytes.size() < kFlushBytes) return true;
+      spill.swap(b.bytes);
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    if (!open) return false;
+    file.write(spill.data(), static_cast<std::streamsize>(spill.size()));
+    owner.bytes_written_.fetch_add(spill.size(), std::memory_order_relaxed);
+    return true;
+  }
+};
+
+IoTrace& IoTrace::instance() {
+  static IoTrace* trace = new IoTrace();  // leaked: outlives all threads
+  return *trace;
+}
+
+IoTrace::Impl* IoTrace::impl() {
+  static Impl* impl = new Impl();
+  return impl;
+}
+
+void IoTrace::start(const std::string& path, const TraceRunInfo& info) {
+  Impl& im = *impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  HUSG_CHECK(!im.open, "iotrace already recording");
+  im.file.open(path, std::ios::binary | std::ios::trunc);
+  if (!im.file) {
+    throw IoError("iotrace: cannot open '" + path + "' for writing");
+  }
+  std::vector<char> header;
+  header.insert(header.end(), kMagic, kMagic + sizeof(kMagic));
+  put_u32(header, kVersion);
+  put_u32(header, info.p);
+  put_u64(header, info.budget_bytes);  // offset 16, see header comment
+  put_f64(header, info.max_block_fraction);
+  put_f64(header, info.alpha);
+  put_f64(header, info.seq_read_bw);
+  put_f64(header, info.rand_read_bw);
+  put_f64(header, info.write_bw);
+  put_f64(header, info.seek_seconds);
+  put_u64(header, info.num_vertices);
+  put_u64(header, info.num_edges);
+  put_u32(header, info.edge_bytes);
+  put_u8(header, info.fill_rop ? 1 : 0);
+  put_u8(header, info.flavor);
+  put_u8(header, info.granularity);
+  put_u8(header, 0);  // pad
+  im.file.write(header.data(), static_cast<std::streamsize>(header.size()));
+  im.open = true;
+  im.seq.store(0, std::memory_order_relaxed);
+  events_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  bytes_written_.store(header.size(), std::memory_order_relaxed);
+  detail::g_iotrace.store(true, std::memory_order_release);
+}
+
+void IoTrace::stop() {
+  Impl& im = *impl();
+  detail::g_iotrace.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(im.mu);
+  if (!im.open) return;
+  for (const auto& buf : im.buffers) {
+    std::lock_guard<std::mutex> block(buf->mu);
+    if (buf->bytes.empty()) continue;
+    im.file.write(buf->bytes.data(),
+                  static_cast<std::streamsize>(buf->bytes.size()));
+    bytes_written_.fetch_add(buf->bytes.size(), std::memory_order_relaxed);
+    buf->bytes.clear();
+  }
+  im.file.close();
+  im.open = false;
+}
+
+void IoTrace::record_access(AccessEvent e) {
+  Impl& im = *impl();
+  e.seq = im.seq.fetch_add(1, std::memory_order_relaxed);
+  std::vector<char> bytes;
+  serialize_access(bytes, e);
+  if (im.append(*this, bytes)) {
+    events_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void IoTrace::record_evict(TraceBlockKind kind, std::uint32_t row,
+                           std::uint32_t col, std::uint64_t bytes_freed) {
+  Impl& im = *impl();
+  EvictEvent e;
+  e.seq = im.seq.fetch_add(1, std::memory_order_relaxed);
+  e.kind = kind;
+  e.row = row;
+  e.col = col;
+  e.bytes = bytes_freed;
+  std::vector<char> bytes;
+  serialize_evict(bytes, e);
+  if (im.append(*this, bytes)) {
+    events_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void IoTrace::record_decision(DecisionEvent e) {
+  Impl& im = *impl();
+  e.seq = im.seq.fetch_add(1, std::memory_order_relaxed);
+  std::vector<char> bytes;
+  serialize_decision(bytes, e);
+  if (im.append(*this, bytes)) {
+    events_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void IoTrace::publish(Registry& reg) const {
+  reg.gauge("husg_iotrace_events", "I/O trace events recorded by the last run")
+      .set(static_cast<double>(events_recorded()));
+  reg.gauge("husg_iotrace_dropped",
+            "I/O trace events dropped (recorded while stopping)")
+      .set(static_cast<double>(dropped()));
+  reg.gauge("husg_iotrace_file_bytes", "Bytes written to the I/O trace file")
+      .set(static_cast<double>(bytes_written()));
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Cursor {
+  const char* data;
+  std::size_t size;
+  std::size_t pos = 0;
+  const std::string* path;
+
+  void need(std::size_t n) const {
+    if (pos + n > size) {
+      throw DataError("iotrace: truncated record in '" + *path + "'");
+    }
+  }
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data[pos++]);
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int k = 0; k < 4; ++k) {
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[pos++]))
+           << (8 * k);
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int k = 0; k < 8; ++k) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data[pos++]))
+           << (8 * k);
+    }
+    return v;
+  }
+  double f64() {
+    std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+};
+
+}  // namespace
+
+TraceFile load_trace(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw IoError("iotrace: cannot open '" + path + "'");
+  std::vector<char> bytes((std::istreambuf_iterator<char>(f)),
+                          std::istreambuf_iterator<char>());
+  Cursor c{bytes.data(), bytes.size(), 0, &path};
+
+  c.need(sizeof(kMagic));
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw DataError("iotrace: bad magic in '" + path + "'");
+  }
+  c.pos = sizeof(kMagic);
+  std::uint32_t version = c.u32();
+  if (version != kVersion) {
+    throw DataError("iotrace: unsupported version " + std::to_string(version) +
+                    " in '" + path + "'");
+  }
+  TraceFile out;
+  out.info.p = c.u32();
+  out.info.budget_bytes = c.u64();
+  out.info.max_block_fraction = c.f64();
+  out.info.alpha = c.f64();
+  out.info.seq_read_bw = c.f64();
+  out.info.rand_read_bw = c.f64();
+  out.info.write_bw = c.f64();
+  out.info.seek_seconds = c.f64();
+  out.info.num_vertices = c.u64();
+  out.info.num_edges = c.u64();
+  out.info.edge_bytes = c.u32();
+  out.info.fill_rop = c.u8() != 0;
+  out.info.flavor = c.u8();
+  out.info.granularity = c.u8();
+  c.u8();  // pad
+
+  while (c.pos < c.size) {
+    TraceRecord rec;
+    std::uint8_t type = c.u8();
+    switch (type) {
+      case static_cast<std::uint8_t>(TraceRecord::Type::kAccess): {
+        rec.type = TraceRecord::Type::kAccess;
+        AccessEvent& e = rec.access;
+        e.seq = c.u64();
+        e.kind = static_cast<TraceBlockKind>(c.u8());
+        e.outcome = static_cast<TraceOutcome>(c.u8());
+        e.insert_mode = static_cast<TraceInsertMode>(c.u8());
+        e.admit = static_cast<TraceAdmit>(c.u8());
+        e.row = c.u32();
+        e.col = c.u32();
+        e.owner = c.u32();
+        e.saved_bytes = c.u64();
+        e.payload_bytes = c.u64();
+        e.disk_bytes = c.u64();
+        break;
+      }
+      case static_cast<std::uint8_t>(TraceRecord::Type::kEvict): {
+        rec.type = TraceRecord::Type::kEvict;
+        EvictEvent& e = rec.evict;
+        e.seq = c.u64();
+        e.kind = static_cast<TraceBlockKind>(c.u8());
+        e.row = c.u32();
+        e.col = c.u32();
+        e.bytes = c.u64();
+        break;
+      }
+      case static_cast<std::uint8_t>(TraceRecord::Type::kDecision): {
+        rec.type = TraceRecord::Type::kDecision;
+        DecisionEvent& e = rec.decision;
+        e.seq = c.u64();
+        e.iteration = c.u32();
+        e.interval = c.u32();
+        e.active_vertices = c.u64();
+        e.active_degree_sum = c.u64();
+        e.value_bytes = c.u32();
+        e.column_edge_bytes = c.u64();
+        e.row_edge_bytes = c.u64();
+        e.cached_row_edge_bytes = c.u64();
+        e.cached_column_edge_bytes = c.u64();
+        e.c_rop = c.f64();
+        e.c_cop = c.f64();
+        e.used_rop = c.u8() != 0;
+        e.alpha_shortcut = c.u8() != 0;
+        break;
+      }
+      default:
+        throw DataError("iotrace: unknown record type " +
+                        std::to_string(type) + " in '" + path + "'");
+    }
+    out.records.push_back(rec);
+  }
+  // Thread buffers flush independently, so file order is per-thread; the
+  // global seq restores the recording order.
+  std::stable_sort(out.records.begin(), out.records.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.seq() < b.seq();
+                   });
+  return out;
+}
+
+namespace {
+
+const char* outcome_name(TraceOutcome o) {
+  switch (o) {
+    case TraceOutcome::kMiss:
+      return "miss";
+    case TraceOutcome::kHit:
+      return "hit";
+    case TraceOutcome::kBypass:
+      return "bypass";
+  }
+  return "?";
+}
+
+const char* insert_mode_name(TraceInsertMode m) {
+  switch (m) {
+    case TraceInsertMode::kNone:
+      return "none";
+    case TraceInsertMode::kAlways:
+      return "always";
+    case TraceInsertMode::kIfAdmissible:
+      return "if_admissible";
+  }
+  return "?";
+}
+
+const char* admit_name(TraceAdmit a) {
+  switch (a) {
+    case TraceAdmit::kNone:
+      return "none";
+    case TraceAdmit::kInserted:
+      return "inserted";
+    case TraceAdmit::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void write_jsonl(const TraceFile& trace, std::ostream& os) {
+  const TraceRunInfo& h = trace.info;
+  os << "{\"type\": \"header\", \"p\": " << h.p
+     << ", \"budget_bytes\": " << h.budget_bytes
+     << ", \"max_block_fraction\": " << h.max_block_fraction
+     << ", \"alpha\": " << h.alpha << ", \"fill_rop\": "
+     << (h.fill_rop ? "true" : "false")
+     << ", \"flavor\": " << static_cast<int>(h.flavor)
+     << ", \"granularity\": " << static_cast<int>(h.granularity)
+     << ", \"num_vertices\": " << h.num_vertices
+     << ", \"num_edges\": " << h.num_edges
+     << ", \"edge_bytes\": " << h.edge_bytes << "}\n";
+  for (const TraceRecord& rec : trace.records) {
+    switch (rec.type) {
+      case TraceRecord::Type::kAccess: {
+        const AccessEvent& e = rec.access;
+        os << "{\"type\": \"access\", \"seq\": " << e.seq << ", \"kind\": \""
+           << to_string(e.kind) << "\", \"outcome\": \""
+           << outcome_name(e.outcome) << "\", \"insert_mode\": \""
+           << insert_mode_name(e.insert_mode) << "\", \"admit\": \""
+           << admit_name(e.admit) << "\", \"row\": " << e.row
+           << ", \"col\": " << e.col << ", \"owner\": " << e.owner
+           << ", \"saved_bytes\": " << e.saved_bytes
+           << ", \"payload_bytes\": " << e.payload_bytes
+           << ", \"disk_bytes\": " << e.disk_bytes << "}\n";
+        break;
+      }
+      case TraceRecord::Type::kEvict: {
+        const EvictEvent& e = rec.evict;
+        os << "{\"type\": \"evict\", \"seq\": " << e.seq << ", \"kind\": \""
+           << to_string(e.kind) << "\", \"row\": " << e.row
+           << ", \"col\": " << e.col << ", \"bytes\": " << e.bytes << "}\n";
+        break;
+      }
+      case TraceRecord::Type::kDecision: {
+        const DecisionEvent& e = rec.decision;
+        os << "{\"type\": \"decision\", \"seq\": " << e.seq
+           << ", \"iteration\": " << e.iteration
+           << ", \"interval\": " << e.interval
+           << ", \"active_vertices\": " << e.active_vertices
+           << ", \"active_degree_sum\": " << e.active_degree_sum
+           << ", \"value_bytes\": " << e.value_bytes
+           << ", \"column_edge_bytes\": " << e.column_edge_bytes
+           << ", \"row_edge_bytes\": " << e.row_edge_bytes
+           << ", \"cached_row_edge_bytes\": " << e.cached_row_edge_bytes
+           << ", \"cached_column_edge_bytes\": " << e.cached_column_edge_bytes
+           << ", \"c_rop\": " << e.c_rop << ", \"c_cop\": " << e.c_cop
+           << ", \"used_rop\": " << (e.used_rop ? "true" : "false")
+           << ", \"alpha_shortcut\": " << (e.alpha_shortcut ? "true" : "false")
+           << "}\n";
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace husg::obs

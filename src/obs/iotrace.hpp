@@ -1,0 +1,251 @@
+// Block I/O trace capture (observability layer, DESIGN.md §9).
+//
+// The heatmap aggregates block traffic; this recorder keeps the *stream*:
+// every cache consult/admission the CachedBlockReader performs (all four
+// BlockKinds, hit and miss and uncached passthrough alike), every BlockCache
+// eviction, and every §3.4 ROP/COP decision with its full PredictionInputs.
+// One recorded run is then enough to answer sizing questions offline — the
+// replay simulator (obs/iotrace_replay.hpp, tools/husg_replay.cpp) re-drives
+// the access stream through a simulated BlockCache at any budget and
+// re-evaluates the recorded decisions under any PredictorFlavor, no disk or
+// re-run required.
+//
+// Every access event carries the budget-INDEPENDENT facts of the request
+// (what a hit saves, what a miss would insert and read) next to the observed
+// outcome, so a replay at a different budget can take the other branch with
+// exact byte accounting. The fidelity invariant — replaying at the recorded
+// budget reproduces the live hit/miss/insert/reject/eviction counters and
+// disk bytes — holds for single-threaded runs (multi-threaded runs record
+// events in completion order and live pinning perturbs CLOCK, so replay is
+// then an approximation; ctest and CI assert exactness on the 1-thread
+// perf_smoke workload).
+//
+// Recording mirrors the tracer/heatmap gating idiom: sites pay one inline
+// acquire load and a branch when disarmed; armed, events serialize into
+// per-thread buffers (one leaf mutex each, uncontended off the flush path)
+// that spill to the output file in ~256 KiB batches under a file mutex.
+// A process-wide atomic sequence number gives the merged stream a total
+// order. Arm via `husg_cli run|serve --iotrace-out FILE` or
+// IoTrace::start(); volume/drop gauges surface as `husg_iotrace_*` through
+// RunStats::publish().
+//
+// Binary format (version 1, little-endian, field-by-field — no struct
+// padding on disk):
+//
+//   header:  magic "HUSGIOT1"            offset  0, 8 bytes
+//            version        u32          offset  8
+//            p              u32          offset 12
+//            budget_bytes   u64          offset 16  <- doctored-trace CI
+//            max_block_fraction f64      offset 24     control patches here
+//            alpha          f64          offset 32
+//            seq_read_bw    f64          offset 40
+//            rand_read_bw   f64          offset 48
+//            write_bw       f64          offset 56
+//            seek_seconds   f64          offset 64
+//            num_vertices   u64          offset 72
+//            num_edges      u64          offset 80
+//            edge_bytes     u32          offset 88
+//            fill_rop u8, flavor u8, granularity u8, pad u8   offset 92
+//   records: type u8 (1 access, 2 evict, 3 decision) followed by the
+//            fixed fields of that record type (see the structs below).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace husg::obs {
+
+class Registry;
+
+/// Mirrors husg::BlockKind (kept separate so the trace layer has no cache
+/// dependency and the on-disk values are pinned).
+enum class TraceBlockKind : std::uint8_t {
+  kOutAdj = 0,
+  kOutIdx = 1,
+  kInAdj = 2,
+  kInIdx = 3,
+};
+
+const char* to_string(TraceBlockKind kind);
+
+/// What the live run observed for this request.
+enum class TraceOutcome : std::uint8_t {
+  kMiss = 0,
+  kHit = 1,
+  /// No cache attached (uncached engine): the request went straight to
+  /// disk. Replay still simulates these as consults, so a trace of an
+  /// uncached run yields a full miss-ratio curve.
+  kBypass = 2,
+};
+
+/// What the miss path does with the block, independent of the live outcome.
+enum class TraceInsertMode : std::uint8_t {
+  kNone = 0,    ///< never admitted (e.g. out-adj point loads with fill off)
+  kAlways = 1,  ///< admit() is always called (index blocks, in-adj streams)
+  /// Whole-block ROP fill, gated on payload_bytes <= max_admissible_bytes();
+  /// an oversize block skips admit() entirely (no reject is counted).
+  kIfAdmissible = 2,
+};
+
+/// Live admission result (kNone when no insert was attempted).
+enum class TraceAdmit : std::uint8_t {
+  kNone = 0,
+  kInserted = 1,
+  kRejected = 2,
+};
+
+struct AccessEvent {
+  std::uint64_t seq = 0;  ///< assigned by the recorder (process-wide order)
+  TraceBlockKind kind = TraceBlockKind::kOutAdj;
+  TraceOutcome outcome = TraceOutcome::kMiss;
+  TraceInsertMode insert_mode = TraceInsertMode::kNone;
+  TraceAdmit admit = TraceAdmit::kNone;
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+  std::uint32_t owner = 0;  ///< job id for shared-cache (serve) traces
+  /// Disk bytes a hit avoids == the direct-read size of this request.
+  std::uint64_t saved_bytes = 0;
+  /// In-memory payload a miss inserts (decompressed size for varint
+  /// in-blocks); 0 with insert_mode kNone.
+  std::uint64_t payload_bytes = 0;
+  /// Disk bytes the miss-with-insert path reads (the whole block for a ROP
+  /// fill; == saved_bytes for the always-admit kinds).
+  std::uint64_t disk_bytes = 0;
+};
+
+struct EvictEvent {
+  std::uint64_t seq = 0;
+  TraceBlockKind kind = TraceBlockKind::kOutAdj;
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+  std::uint64_t bytes = 0;  ///< payload bytes freed
+};
+
+/// One §3.4 interval decision with everything predict() consumed, so a
+/// replay can re-run any flavor over the exact same inputs. row/column
+/// bytes are recorded for every flavor (the live engine only needs
+/// row_edge_bytes for kCacheAware, but a what-if under kCacheAware needs
+/// them regardless of what the live run used).
+struct DecisionEvent {
+  std::uint64_t seq = 0;
+  std::uint32_t iteration = 0;
+  std::uint32_t interval = 0;
+  std::uint64_t active_vertices = 0;    ///< |A_i|
+  std::uint64_t active_degree_sum = 0;  ///< Σ_{v∈A_i} d_v
+  std::uint32_t value_bytes = 4;        ///< N
+  std::uint64_t column_edge_bytes = 0;
+  std::uint64_t row_edge_bytes = 0;
+  std::uint64_t cached_row_edge_bytes = 0;
+  std::uint64_t cached_column_edge_bytes = 0;
+  double c_rop = 0;  ///< live prediction (0 under the α shortcut)
+  double c_cop = 0;
+  bool used_rop = false;  ///< the live decision, post global-granularity
+  bool alpha_shortcut = false;
+};
+
+/// Run parameters the replay needs, written into the trace header.
+struct TraceRunInfo {
+  std::uint32_t p = 0;
+  std::uint64_t budget_bytes = 0;  ///< 0 = uncached run
+  double max_block_fraction = 0.25;
+  bool fill_rop = true;
+  std::uint8_t flavor = 0;       ///< PredictorFlavor as int
+  std::uint8_t granularity = 0;  ///< DecisionGranularity as int
+  double alpha = 0.05;
+  /// DeviceProfile parameters (the what-if cost model).
+  double seq_read_bw = 0;
+  double rand_read_bw = 0;
+  double write_bw = 0;
+  double seek_seconds = 0;
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  std::uint32_t edge_bytes = 4;  ///< M
+};
+
+namespace detail {
+extern std::atomic<bool> g_iotrace;
+}  // namespace detail
+
+/// Inline gate for recording sites (same contract as heatmap_enabled()).
+inline bool iotrace_enabled() {
+  return detail::g_iotrace.load(std::memory_order_acquire);
+}
+
+class IoTrace {
+ public:
+  /// The process-wide recorder every instrumented site feeds.
+  static IoTrace& instance();
+
+  /// Opens `path`, writes the header, and enables recording. Throws IoError
+  /// when the file cannot be opened. Must not race active recorders — arm
+  /// before the run, like Heatmap::start().
+  void start(const std::string& path, const TraceRunInfo& info);
+
+  /// Disables recording, drains every thread buffer, and closes the file.
+  /// Safe to call when not started (no-op).
+  void stop();
+
+  /// The event's seq is assigned internally; calls while disarmed are
+  /// dropped (uncounted before the first start, counted while stopping).
+  void record_access(AccessEvent e);
+  void record_evict(TraceBlockKind kind, std::uint32_t row, std::uint32_t col,
+                    std::uint64_t bytes);
+  void record_decision(DecisionEvent e);
+
+  bool armed() const { return iotrace_enabled(); }
+  std::uint64_t events_recorded() const {
+    return events_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+
+  /// `husg_iotrace_*` volume/drop gauges. RunStats::publish() calls this
+  /// when any events were recorded.
+  void publish(Registry& registry) const;
+
+ private:
+  IoTrace() = default;
+  struct Impl;
+  Impl* impl();  // lazily built, leaked (outlives recording threads)
+
+  std::atomic<std::uint64_t> events_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Reading traces back (the replay side).
+// ---------------------------------------------------------------------------
+
+/// One record of the merged stream; `type` selects the active member.
+struct TraceRecord {
+  enum class Type : std::uint8_t { kAccess = 1, kEvict = 2, kDecision = 3 };
+  Type type = Type::kAccess;
+  AccessEvent access;
+  EvictEvent evict;
+  DecisionEvent decision;
+
+  std::uint64_t seq() const;
+};
+
+struct TraceFile {
+  TraceRunInfo info;
+  std::vector<TraceRecord> records;  ///< sorted by seq
+};
+
+/// Parses a trace written by IoTrace. Throws DataError on a bad magic,
+/// unknown version, or truncated record.
+TraceFile load_trace(const std::string& path);
+
+/// One JSON object per line ({"type":"access",...}), the trace's
+/// human-greppable export path (husg_replay --jsonl).
+void write_jsonl(const TraceFile& trace, std::ostream& os);
+
+}  // namespace husg::obs

@@ -1,0 +1,283 @@
+#include "obs/iotrace_replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "cache/block_cache.hpp"
+#include "io/device.hpp"
+#include "util/common.hpp"
+
+namespace husg::obs {
+
+namespace {
+
+// TraceBlockKind is pinned to BlockKind's values (iotrace.hpp); the replay is
+// where the two layers meet.
+BlockKey to_key(const AccessEvent& a) {
+  return BlockKey{static_cast<BlockKind>(a.kind), a.row, a.col};
+}
+
+}  // namespace
+
+ReplayCounters live_counters(const TraceFile& trace) {
+  ReplayCounters c;
+  for (const TraceRecord& r : trace.records) {
+    if (r.type == TraceRecord::Type::kEvict) {
+      ++c.evictions;
+      continue;
+    }
+    if (r.type != TraceRecord::Type::kAccess) continue;
+    const AccessEvent& a = r.access;
+    switch (a.outcome) {
+      case TraceOutcome::kBypass:
+        // Uncached passthrough: a direct read, no cache consult.
+        c.disk_read_bytes += a.saved_bytes;
+        break;
+      case TraceOutcome::kHit:
+        ++c.hits;
+        c.bytes_saved += a.saved_bytes;
+        break;
+      case TraceOutcome::kMiss:
+        ++c.misses;
+        switch (a.admit) {
+          case TraceAdmit::kInserted:
+            ++c.insertions;
+            c.disk_read_bytes += a.disk_bytes;
+            break;
+          case TraceAdmit::kRejected:
+            ++c.admission_rejects;
+            // The insert-path read happened before admission was refused.
+            c.disk_read_bytes += a.disk_bytes;
+            break;
+          case TraceAdmit::kNone:
+            c.disk_read_bytes += a.saved_bytes;
+            break;
+        }
+        break;
+    }
+  }
+  return c;
+}
+
+ReplayCounters replay_cache(const TraceFile& trace, std::uint64_t budget_bytes,
+                            double max_block_fraction) {
+  ReplayCounters c;
+  if (budget_bytes == 0) {
+    // A zero-budget engine bypasses the cache entirely: every access is the
+    // direct read, no consults, no counters — bit-identical to uncached.
+    for (const TraceRecord& r : trace.records) {
+      if (r.type == TraceRecord::Type::kAccess) {
+        c.disk_read_bytes += r.access.saved_bytes;
+      }
+    }
+    return c;
+  }
+  BlockCache cache(BlockCache::Options{budget_bytes, max_block_fraction});
+  for (const TraceRecord& r : trace.records) {
+    if (r.type != TraceRecord::Type::kAccess) continue;
+    const AccessEvent& a = r.access;
+    const BlockKey key = to_key(a);
+    if (BlockCache::PinnedBytes hit = cache.find(key, a.owner)) {
+      cache.add_bytes_saved(a.saved_bytes);
+      continue;  // a hit reads nothing; the handle unpins immediately
+    }
+    // Miss: take the recorded miss path. kIfAdmissible mirrors the reader's
+    // fill gate — an oversize payload skips insert() entirely and the live
+    // path falls back to the point load (saved_bytes of direct reads).
+    const bool attempt =
+        a.insert_mode == TraceInsertMode::kAlways ||
+        (a.insert_mode == TraceInsertMode::kIfAdmissible &&
+         a.payload_bytes <= cache.max_admissible_bytes());
+    if (attempt) {
+      cache.insert(key, std::vector<char>(a.payload_bytes), a.disk_bytes,
+                   a.owner);
+      c.disk_read_bytes += a.disk_bytes;
+    } else {
+      c.disk_read_bytes += a.saved_bytes;
+    }
+  }
+  const CacheStats s = cache.stats();
+  c.hits = s.hits;
+  c.misses = s.misses;
+  c.insertions = s.insertions;
+  c.evictions = s.evictions;
+  c.admission_rejects = s.admission_rejects;
+  c.bytes_saved = s.bytes_saved;
+  return c;
+}
+
+MissRatioCurve miss_ratio_curve(const TraceFile& trace,
+                                std::size_t num_points) {
+  MissRatioCurve curve;
+
+  // Working-set upper bound: Σ over distinct keys of the largest payload a
+  // miss would insert.
+  std::unordered_map<BlockKey, std::uint64_t, BlockKeyHash> largest;
+  for (const TraceRecord& r : trace.records) {
+    if (r.type != TraceRecord::Type::kAccess) continue;
+    const AccessEvent& a = r.access;
+    if (a.insert_mode == TraceInsertMode::kNone) continue;
+    std::uint64_t& slot = largest[to_key(a)];
+    slot = std::max(slot, a.payload_bytes);
+  }
+  for (const auto& [key, bytes] : largest) curve.unique_payload_bytes += bytes;
+
+  // Budget 0 is degenerate (no cache, no lookups, miss_ratio undefined) and
+  // would distort the curve's shape; the sweep starts at a real budget.
+  std::set<std::uint64_t> budgets;
+  if (trace.info.budget_bytes > 0) budgets.insert(trace.info.budget_bytes);
+  const std::uint64_t u = curve.unique_payload_bytes;
+  if (u > 0 && num_points >= 2) {
+    const double lo = static_cast<double>(std::max<std::uint64_t>(4096, u / 64));
+    const double hi = std::max(lo + 1, 1.25 * static_cast<double>(u));
+    const double ratio = std::pow(hi / lo, 1.0 / static_cast<double>(num_points - 1));
+    double b = lo;
+    for (std::size_t k = 0; k < num_points; ++k, b *= ratio) {
+      budgets.insert(static_cast<std::uint64_t>(std::llround(b)));
+    }
+  }
+
+  for (std::uint64_t b : budgets) {
+    curve.points.push_back(MissRatioPoint{
+        b, replay_cache(trace, b, trace.info.max_block_fraction)});
+  }
+
+  // Knee: the point farthest from the chord between the endpoints of the
+  // (budget, miss_ratio) curve, both axes normalized to [0,1]. Falls back to
+  // the smallest budget reaching the final miss ratio when the curve is flat.
+  if (!curve.points.empty()) {
+    const double max_b =
+        std::max<double>(1.0, static_cast<double>(curve.points.back().budget_bytes));
+    const double x0 = static_cast<double>(curve.points.front().budget_bytes) / max_b;
+    const double y0 = curve.points.front().counters.miss_ratio();
+    const double x1 = static_cast<double>(curve.points.back().budget_bytes) / max_b;
+    const double y1 = curve.points.back().counters.miss_ratio();
+    double best = 0;
+    curve.knee_budget_bytes = curve.points.front().budget_bytes;
+    for (const MissRatioPoint& pt : curve.points) {
+      const double x = static_cast<double>(pt.budget_bytes) / max_b;
+      const double y = pt.counters.miss_ratio();
+      const double dist = std::abs((x1 - x0) * (y0 - y) - (x0 - x) * (y1 - y0));
+      if (dist > best) {
+        best = dist;
+        curve.knee_budget_bytes = pt.budget_bytes;
+      }
+    }
+    if (best <= 0) {
+      for (const MissRatioPoint& pt : curve.points) {
+        if (pt.counters.miss_ratio() <= y1 + 1e-12) {
+          curve.knee_budget_bytes = pt.budget_bytes;
+          break;
+        }
+      }
+    }
+  }
+  return curve;
+}
+
+WhatIfResult whatif_predictor(const TraceFile& trace, PredictorFlavor flavor) {
+  WhatIfResult r;
+  r.flavor = flavor;
+
+  const TraceRunInfo& info = trace.info;
+  DeviceProfile dev;
+  dev.name = "trace";
+  dev.seq_read_bw = info.seq_read_bw;
+  dev.rand_read_bw = info.rand_read_bw;
+  dev.write_bw = info.write_bw;
+  dev.seek_seconds = info.seek_seconds;
+
+  const IoCostPredictor what(dev, flavor, info.alpha);
+  const IoCostPredictor base(
+      dev, static_cast<PredictorFlavor>(info.flavor), info.alpha);
+  // TraceRunInfo::granularity pins DecisionGranularity's values: 0 = global,
+  // 1 = per-interval.
+  const bool per_interval = info.granularity == 1;
+
+  // One engine iteration = one decision per interval; regroup the stream so
+  // the global granularity rule (summed costs + whole-graph α) can be
+  // mirrored exactly.
+  std::map<std::uint32_t, std::vector<const DecisionEvent*>> iterations;
+  for (const TraceRecord& rec : trace.records) {
+    if (rec.type == TraceRecord::Type::kDecision) {
+      iterations[rec.decision.iteration].push_back(&rec.decision);
+    }
+  }
+
+  for (const auto& [iter, decisions] : iterations) {
+    struct Costed {
+      const DecisionEvent* e;
+      Prediction what_cost;  // use_alpha=false: always real numbers
+      Prediction base_cost;
+      bool what_rop = false;
+      bool base_rop = false;
+    };
+    std::vector<Costed> costed;
+    costed.reserve(decisions.size());
+    std::uint64_t total_active = 0;
+    for (const DecisionEvent* e : decisions) {
+      PredictionInputs in;
+      in.active_vertices = e->active_vertices;
+      in.active_degree_sum = e->active_degree_sum;
+      in.num_vertices = info.num_vertices;
+      in.num_edges = info.num_edges;
+      in.p = info.p;
+      in.edge_bytes = info.edge_bytes;
+      in.value_bytes = e->value_bytes;
+      in.column_edge_bytes = e->column_edge_bytes;
+      in.row_edge_bytes = e->row_edge_bytes;
+      in.cached_row_edge_bytes = e->cached_row_edge_bytes;
+      in.cached_column_edge_bytes = e->cached_column_edge_bytes;
+      total_active += e->active_vertices;
+
+      Costed c;
+      c.e = e;
+      c.what_cost = what.predict(in, /*use_alpha=*/false);
+      c.base_cost = base.predict(in, /*use_alpha=*/false);
+      if (per_interval) {
+        c.what_rop = what.predict(in, /*use_alpha=*/true).choose_rop;
+        c.base_rop = base.predict(in, /*use_alpha=*/true).choose_rop;
+      }
+      costed.push_back(c);
+    }
+
+    if (!per_interval) {
+      // Engine::decide, global granularity: α on the whole-graph active
+      // fraction, then one comparison of the summed predicted costs.
+      const bool shortcut =
+          info.alpha > 0 &&
+          static_cast<double>(total_active) >
+              info.alpha * static_cast<double>(info.num_vertices);
+      double what_rop_sum = 0, what_cop_sum = 0, base_rop_sum = 0,
+             base_cop_sum = 0;
+      for (const Costed& c : costed) {
+        what_rop_sum += c.what_cost.c_rop;
+        what_cop_sum += c.what_cost.c_cop;
+        base_rop_sum += c.base_cost.c_rop;
+        base_cop_sum += c.base_cost.c_cop;
+      }
+      const bool what_rop = !shortcut && what_rop_sum <= what_cop_sum;
+      const bool base_rop = !shortcut && base_rop_sum <= base_cop_sum;
+      for (Costed& c : costed) {
+        c.what_rop = what_rop;
+        c.base_rop = base_rop;
+      }
+    }
+
+    for (const Costed& c : costed) {
+      ++r.decisions;
+      if (c.what_rop != c.e->used_rop) ++r.flips;
+      if (c.base_rop != c.e->used_rop) ++r.baseline_mismatches;
+      r.modeled_io_seconds +=
+          c.what_rop ? c.what_cost.c_rop : c.what_cost.c_cop;
+      r.baseline_modeled_io_seconds +=
+          c.base_rop ? c.base_cost.c_rop : c.base_cost.c_cop;
+    }
+  }
+  return r;
+}
+
+}  // namespace husg::obs

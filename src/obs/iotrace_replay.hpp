@@ -1,0 +1,108 @@
+// Offline replay simulator for block I/O traces (DESIGN.md §9).
+//
+// Re-drives a recorded access stream (obs/iotrace.hpp) through a simulated
+// BlockCache — the REAL cache class, so CLOCK second-chance order, the
+// admission policy, and duplicate-key handling are the production code, not
+// a model — with no disk I/O: payloads are re-materialized at their recorded
+// sizes. Three questions a single trace answers:
+//
+//  * fidelity  — replay_cache() at the recorded budget must equal
+//                live_counters() (the outcomes written in the trace) on
+//                every counter, including modeled disk bytes. ctest and CI
+//                assert this on the single-threaded perf_smoke workload;
+//                multi-threaded traces replay in completion order, so there
+//                it is an approximation.
+//  * sizing    — miss_ratio_curve() sweeps budgets and recommends the knee
+//                (max distance to the chord, the standard MRC heuristic).
+//                Note CLOCK is not a stack algorithm, so monotonicity in
+//                budget is an empirical property, not a theorem; the curve
+//                reports whatever the simulation produces.
+//  * what-if   — whatif_predictor() re-evaluates every recorded §3.4
+//                decision under another PredictorFlavor (each DecisionEvent
+//                carries the full PredictionInputs, including the live
+//                resident row/column bytes, so every flavor re-costs
+//                exactly) and reports how many ROP/COP choices flip plus
+//                the modeled I/O delta.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/predictor.hpp"
+#include "obs/iotrace.hpp"
+
+namespace husg::obs {
+
+/// Counters of one (simulated or live) pass over the access stream.
+struct ReplayCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t admission_rejects = 0;
+  std::uint64_t bytes_saved = 0;
+  /// Modeled disk read bytes of the adjacency/index stream: 0 per hit, the
+  /// insert-path read per admitted miss, the direct-read size otherwise.
+  std::uint64_t disk_read_bytes = 0;
+
+  std::uint64_t lookups() const { return hits + misses; }
+  double miss_ratio() const {
+    return lookups() == 0 ? 0.0
+                          : static_cast<double>(misses) /
+                                static_cast<double>(lookups());
+  }
+  bool operator==(const ReplayCounters&) const = default;
+};
+
+/// What the live run observed, reconstructed from the recorded outcomes
+/// (kBypass events — uncached runs — count toward nothing but disk bytes).
+ReplayCounters live_counters(const TraceFile& trace);
+
+/// Simulates the access stream against a fresh BlockCache of the given
+/// budget. Budget 0 skips the cache entirely (all counters zero, disk bytes
+/// = the direct-read stream), matching a live uncached run.
+ReplayCounters replay_cache(const TraceFile& trace,
+                            std::uint64_t budget_bytes,
+                            double max_block_fraction);
+
+struct MissRatioPoint {
+  std::uint64_t budget_bytes = 0;
+  ReplayCounters counters;
+};
+
+struct MissRatioCurve {
+  std::vector<MissRatioPoint> points;  ///< sorted by budget, ascending
+  /// Knee of (budget, miss_ratio): the point with maximum perpendicular
+  /// distance to the chord between the curve's endpoints (normalized axes).
+  std::uint64_t knee_budget_bytes = 0;
+  /// Σ over distinct keys of the largest payload seen — the budget beyond
+  /// which every block fits at once (the sweep's upper end is 1.25× this).
+  std::uint64_t unique_payload_bytes = 0;
+};
+
+/// Budget sweep: geometric steps from unique_payload_bytes/64 up to 1.25×
+/// unique_payload_bytes, plus the recorded budget when nonzero. Budget 0 is
+/// excluded — with no cache there are no lookups and no miss ratio.
+MissRatioCurve miss_ratio_curve(const TraceFile& trace,
+                                std::size_t num_points = 16);
+
+struct WhatIfResult {
+  PredictorFlavor flavor = PredictorFlavor::kPaper;
+  std::uint64_t decisions = 0;  ///< interval decisions re-evaluated
+  std::uint64_t flips = 0;      ///< decisions differing from the live run
+  /// Σ modeled seconds of the chosen model per interval, under `flavor` /
+  /// under the trace's own flavor (both recomputed from recorded inputs, so
+  /// α-shortcut intervals get real costs and the delta is apples-to-apples).
+  double modeled_io_seconds = 0;
+  double baseline_modeled_io_seconds = 0;
+  /// Recomputed baseline decisions that disagree with the recorded ones — a
+  /// consistency check, 0 when the trace came from a single-threaded run.
+  std::uint64_t baseline_mismatches = 0;
+};
+
+/// Re-evaluates every recorded decision under `flavor`, mirroring the
+/// engine's decision rule at the trace's recorded granularity (global α
+/// shortcut + summed costs, or per-interval predict()).
+WhatIfResult whatif_predictor(const TraceFile& trace, PredictorFlavor flavor);
+
+}  // namespace husg::obs

@@ -98,6 +98,31 @@ TEST(AdminRoutesTest, JobsRouteUsesHookOr404) {
   EXPECT_NE(res.body.find("\"priority\": 3"), std::string::npos);
 }
 
+TEST(AdminRoutesTest, HeatmapRouteServesLiveProfile) {
+  obs::Registry reg;
+  AdminServer server(AdminOptions{}, reg);
+
+  // Not armed: still a valid JSON document, with an empty grid.
+  auto res = server.handle_request("GET", "/heatmap", "");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(res.content_type, "application/json");
+  EXPECT_NE(res.body.find("\"p\": 0"), std::string::npos);
+
+  // Armed mid-"run": the route exposes whatever the profiler has so far.
+  obs::Heatmap::instance().start(2);
+  obs::Heatmap::instance().record_read(obs::HeatDir::kOut, 1, 0, 512);
+  obs::Heatmap::instance().record_hit(obs::HeatDir::kOut, 1, 0);
+  res = server.handle_request("GET", "/heatmap", "");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_NE(res.body.find("\"p\": 2"), std::string::npos);
+  EXPECT_NE(res.body.find("\"reads\": 1"), std::string::npos);
+  EXPECT_NE(res.body.find("\"hits\": 1"), std::string::npos);
+  EXPECT_NE(res.body.find("\"row_skew\""), std::string::npos);
+  obs::Heatmap::instance().clear();
+
+  EXPECT_EQ(server.handle_request("POST", "/heatmap", "").status, 405);
+}
+
 TEST(AdminRoutesTest, LogLevelRoundTrip) {
   obs::Registry reg;
   AdminServer server(AdminOptions{}, reg);

@@ -311,6 +311,59 @@ TEST(CachedEngineTest, WeightedAndCompressedStoresServeCorrectHits) {
   EXPECT_GT(pr.stats.cache.bytes_saved, 0u);
 }
 
+TEST(CachedEngineTest, AdmissionRaceFallbackServesJustReadBytes) {
+  // Exercises the fill path's "admission raced or was rejected" branch in
+  // CachedBlockReader::load_out_edges: the block passes the admissibility
+  // gate (it fits the budget) but insert() fails because the whole budget is
+  // pinned, and the reader must serve the just-read bytes anyway.
+  ScratchDir scratch("cache_admit_race");
+  DualBlockStore store =
+      DualBlockStore::build(test_graph(), scratch / "store", StoreOptions{4});
+  const StoreMeta& meta = store.meta();
+  std::uint32_t ti = 0, tj = 0;
+  for (std::uint32_t i = 0; i < meta.p(); ++i) {
+    for (std::uint32_t j = 0; j < meta.p(); ++j) {
+      if (meta.out_block(i, j).edge_count > 0) {
+        ti = i;
+        tj = j;
+      }
+    }
+  }
+  const BlockExtent& block = meta.out_block(ti, tj);
+  ASSERT_GT(block.edge_count, 0u);
+
+  // Budget exactly one target block, then pin an unrelated entry that fills
+  // it completely: make_room cannot evict a pinned entry, so the fill's
+  // insert is rejected even though the block itself is admissible.
+  BlockCache cache({block.adj_bytes, /*max_block_fraction=*/1.0});
+  ASSERT_EQ(cache.max_admissible_bytes(), block.adj_bytes);
+  BlockCache::PinnedBytes pin =
+      cache.insert(BlockKey{BlockKind::kInIdx, 999, 999},
+                   std::vector<char>(block.adj_bytes, '\x5a'), block.adj_bytes);
+  ASSERT_NE(pin, nullptr);
+
+  CachedBlockReader reader(store, &cache, /*fill_rop=*/true);
+  AdjacencyBuffer buf;
+  AdjacencySlice served = reader.load_out_edges(
+      ti, tj, 0, static_cast<std::uint32_t>(block.edge_count), buf);
+
+  AdjacencyBuffer direct_buf;
+  AdjacencySlice direct = store.load_out_edges(
+      ti, tj, 0, static_cast<std::uint32_t>(block.edge_count), direct_buf);
+  ASSERT_EQ(served.neighbors.size(), direct.neighbors.size());
+  for (std::size_t k = 0; k < served.neighbors.size(); ++k) {
+    EXPECT_EQ(served.neighbors[k], direct.neighbors[k]) << "edge " << k;
+  }
+
+  CacheStats local = reader.local_stats();
+  EXPECT_EQ(local.misses, 1u);
+  EXPECT_EQ(local.admission_rejects, 1u);
+  EXPECT_EQ(local.insertions, 0u);
+  EXPECT_FALSE(cache.contains(BlockKey{BlockKind::kOutAdj, ti, tj}));
+  // The pinned filler survived the failed sweep untouched.
+  EXPECT_EQ((*pin)[0], '\x5a');
+}
+
 // ---------------------------------------------------------------------------
 // Cache-aware predictor.
 

@@ -1,0 +1,78 @@
+#!/bin/sh
+# I/O trace replay fidelity gate: record the perf_smoke cache run's block
+# trace, replay it through the simulated cache at the recorded budget, and
+# require the simulated counters to match (a) the live outcomes in the trace
+# and (b) the engine's own counters in BENCH_perf_smoke.json. Then doctor the
+# trace header's budget field and require the check to fail — proof the gate
+# can actually detect divergence. Invoked by ctest with the perf_smoke binary
+# as $1 and the husg_replay binary as $2.
+set -eu
+
+BENCH="$1"
+REPLAY="$2"
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/husg_iotrace_replay.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+if ! command -v python3 > /dev/null 2>&1; then
+  echo "iotrace_replay_test SKIPPED (no python3)"
+  exit 0
+fi
+
+"$BENCH" --out-dir "$WORK" --data-dir "$WORK/data" \
+  --iotrace-out "$WORK/trace.bin" > "$WORK/bench.log" \
+  || fail "perf_smoke exited nonzero"
+[ -s "$WORK/trace.bin" ] || fail "perf_smoke wrote no trace"
+
+# Fidelity at the recorded budget, plus the miss-ratio curve for the
+# monotonicity check below.
+"$REPLAY" --trace "$WORK/trace.bin" --check --curve \
+  --json "$WORK/replay.json" > "$WORK/replay.log" \
+  || fail "replay fidelity check failed (simulated cache diverged from live)"
+
+# The trace's live counters must equal the engine's own cache counters from
+# the bench report: the recorder saw every consult the engine made.
+python3 - "$WORK/replay.json" "$WORK/BENCH_perf_smoke.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    replay = json.load(f)
+with open(sys.argv[2]) as f:
+    bench = json.load(f)
+live = next(r for r in replay["runs"] if r["label"] == "live")
+engine = next(r for r in bench["runs"] if r["label"] == "pagerank/rop+cache")
+for field in ("cache_hits", "cache_misses", "cache_evictions",
+              "cache_bytes_saved"):
+    if live[field] != engine[field]:
+        sys.exit(f"trace live {field}={live[field]} != engine "
+                 f"{field}={engine[field]}")
+if not replay["fidelity_ok"]:
+    sys.exit("replay report says fidelity_ok=false")
+curve = replay["curve"]
+if len(curve) < 4:
+    sys.exit(f"curve has only {len(curve)} points")
+ratios = [p["miss_ratio"] for p in curve]
+for a, b in zip(ratios, ratios[1:]):
+    if b > a + 1e-9:
+        sys.exit(f"miss-ratio curve not monotone non-increasing: {ratios}")
+if not any(w["flavor"] == "paper" for w in replay["whatif"]):
+    sys.exit("what-if panel missing the paper flavor")
+EOF
+
+# Negative control: halving the recorded budget (u64 at header offset 16)
+# must make the replayed counters diverge and the check exit nonzero.
+python3 - "$WORK/trace.bin" "$WORK/doctored.bin" <<'EOF'
+import struct, sys
+with open(sys.argv[1], "rb") as f:
+    data = bytearray(f.read())
+(budget,) = struct.unpack_from("<Q", data, 16)
+struct.pack_into("<Q", data, 16, budget // 2)
+with open(sys.argv[2], "wb") as f:
+    f.write(data)
+EOF
+if "$REPLAY" --trace "$WORK/doctored.bin" --check --quiet \
+    > /dev/null 2>&1; then
+  fail "fidelity check passed against a doctored trace"
+fi
+
+echo "iotrace_replay_test OK"

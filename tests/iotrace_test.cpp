@@ -1,0 +1,404 @@
+// Tests for the block I/O trace recorder (src/obs/iotrace.{hpp,cpp}) and the
+// offline replay simulator (src/obs/iotrace_replay.{hpp,cpp}): binary
+// roundtrip, disarmed no-op cost, in-process engine fidelity (replay at the
+// recorded budget == the live counters), the zero-budget bypass, miss-ratio
+// curves (including from an uncached trace), the predictor what-if, and
+// concurrent recording.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "husg/husg.hpp"
+#include "test_util.hpp"
+#include "util/common.hpp"
+
+namespace husg {
+namespace {
+
+using obs::AccessEvent;
+using obs::DecisionEvent;
+using obs::IoTrace;
+using obs::ReplayCounters;
+using obs::TraceAdmit;
+using obs::TraceBlockKind;
+using obs::TraceFile;
+using obs::TraceInsertMode;
+using obs::TraceOutcome;
+using obs::TraceRecord;
+using obs::TraceRunInfo;
+using testing::ScratchDir;
+
+TraceRunInfo info_for(const StoreMeta& meta, const EngineOptions& o) {
+  TraceRunInfo info;
+  info.p = meta.p();
+  info.budget_bytes = o.cache_budget_bytes;
+  info.max_block_fraction = o.cache_max_block_fraction;
+  info.fill_rop = o.cache_fill_rop;
+  info.flavor = static_cast<std::uint8_t>(o.predictor);
+  info.granularity = static_cast<std::uint8_t>(o.granularity);
+  info.alpha = o.alpha;
+  info.seq_read_bw = o.device.seq_read_bw;
+  info.rand_read_bw = o.device.rand_read_bw;
+  info.write_bw = o.device.write_bw;
+  info.seek_seconds = o.device.seek_seconds;
+  info.num_vertices = meta.num_vertices;
+  info.num_edges = meta.num_edges;
+  info.edge_bytes = meta.edge_record_bytes();
+  return info;
+}
+
+std::uint64_t half_out_adj_budget(const DualBlockStore& store) {
+  std::uint64_t out_adj = 0;
+  for (std::uint32_t i = 0; i < store.meta().p(); ++i) {
+    for (std::uint32_t j = 0; j < store.meta().p(); ++j) {
+      out_adj += store.meta().out_block(i, j).adj_bytes;
+    }
+  }
+  return out_adj / 2;
+}
+
+/// Runs hybrid PageRank over a cached engine with the trace armed and
+/// returns the loaded trace plus the engine's own stats.
+struct TracedRun {
+  TraceFile trace;
+  RunStats stats;
+};
+
+TracedRun record_engine_run(const DualBlockStore& store,
+                            const std::string& path, EngineOptions o) {
+  IoTrace::instance().start(path, info_for(store.meta(), o));
+  Engine e(store, o);
+  PageRankProgram p;
+  RunStats stats =
+      e.run(p, Frontier::all(store.meta(), store.out_degrees())).stats;
+  IoTrace::instance().stop();
+  return TracedRun{obs::load_trace(path), stats};
+}
+
+TEST(IoTraceTest, DisarmedRecordingIsDropped) {
+  IoTrace& t = IoTrace::instance();
+  ASSERT_FALSE(t.armed());
+  const std::uint64_t before = t.events_recorded();
+  t.record_access(AccessEvent{});
+  t.record_evict(TraceBlockKind::kOutAdj, 0, 0, 64);
+  t.record_decision(DecisionEvent{});
+  EXPECT_EQ(t.events_recorded(), before);
+}
+
+TEST(IoTraceTest, BinaryRoundtripPreservesHeaderAndRecords) {
+  ScratchDir scratch("iotrace_roundtrip");
+  const std::string path = scratch / "trace.bin";
+
+  TraceRunInfo info;
+  info.p = 4;
+  info.budget_bytes = 123456;
+  info.max_block_fraction = 0.5;
+  info.fill_rop = false;
+  info.flavor = static_cast<std::uint8_t>(PredictorFlavor::kCacheAware);
+  info.granularity = 1;
+  info.alpha = 0.07;
+  info.seq_read_bw = 500e6;
+  info.rand_read_bw = 30e6;
+  info.write_bw = 400e6;
+  info.seek_seconds = 1e-4;
+  info.num_vertices = 1024;
+  info.num_edges = 8192;
+  info.edge_bytes = 8;
+
+  IoTrace& t = IoTrace::instance();
+  t.start(path, info);
+  ASSERT_TRUE(t.armed());
+
+  AccessEvent a;
+  a.kind = TraceBlockKind::kInAdj;
+  a.outcome = TraceOutcome::kMiss;
+  a.insert_mode = TraceInsertMode::kAlways;
+  a.admit = TraceAdmit::kInserted;
+  a.row = 3;
+  a.col = 1;
+  a.owner = 7;
+  a.saved_bytes = 100;
+  a.payload_bytes = 160;
+  a.disk_bytes = 100;
+  t.record_access(a);
+  t.record_evict(TraceBlockKind::kOutAdj, 2, 2, 4096);
+  DecisionEvent d;
+  d.iteration = 5;
+  d.interval = 2;
+  d.active_vertices = 33;
+  d.active_degree_sum = 177;
+  d.value_bytes = 8;
+  d.column_edge_bytes = 1 << 20;
+  d.row_edge_bytes = 1 << 19;
+  d.cached_row_edge_bytes = 512;
+  d.cached_column_edge_bytes = 1024;
+  d.c_rop = 0.25;
+  d.c_cop = 0.75;
+  d.used_rop = true;
+  d.alpha_shortcut = false;
+  t.record_decision(d);
+  t.stop();
+  EXPECT_FALSE(t.armed());
+  EXPECT_GT(t.bytes_written(), 96u);
+
+  TraceFile f = obs::load_trace(path);
+  EXPECT_EQ(f.info.p, info.p);
+  EXPECT_EQ(f.info.budget_bytes, info.budget_bytes);
+  EXPECT_DOUBLE_EQ(f.info.max_block_fraction, info.max_block_fraction);
+  EXPECT_EQ(f.info.fill_rop, info.fill_rop);
+  EXPECT_EQ(f.info.flavor, info.flavor);
+  EXPECT_EQ(f.info.granularity, info.granularity);
+  EXPECT_DOUBLE_EQ(f.info.alpha, info.alpha);
+  EXPECT_DOUBLE_EQ(f.info.rand_read_bw, info.rand_read_bw);
+  EXPECT_EQ(f.info.num_vertices, info.num_vertices);
+  EXPECT_EQ(f.info.num_edges, info.num_edges);
+  EXPECT_EQ(f.info.edge_bytes, info.edge_bytes);
+
+  ASSERT_EQ(f.records.size(), 3u);
+  // Sorted by seq: the order we recorded in (single thread).
+  ASSERT_EQ(f.records[0].type, TraceRecord::Type::kAccess);
+  const AccessEvent& ra = f.records[0].access;
+  EXPECT_EQ(ra.kind, a.kind);
+  EXPECT_EQ(ra.outcome, a.outcome);
+  EXPECT_EQ(ra.insert_mode, a.insert_mode);
+  EXPECT_EQ(ra.admit, a.admit);
+  EXPECT_EQ(ra.row, a.row);
+  EXPECT_EQ(ra.col, a.col);
+  EXPECT_EQ(ra.owner, a.owner);
+  EXPECT_EQ(ra.saved_bytes, a.saved_bytes);
+  EXPECT_EQ(ra.payload_bytes, a.payload_bytes);
+  EXPECT_EQ(ra.disk_bytes, a.disk_bytes);
+  ASSERT_EQ(f.records[1].type, TraceRecord::Type::kEvict);
+  EXPECT_EQ(f.records[1].evict.kind, TraceBlockKind::kOutAdj);
+  EXPECT_EQ(f.records[1].evict.bytes, 4096u);
+  ASSERT_EQ(f.records[2].type, TraceRecord::Type::kDecision);
+  const DecisionEvent& rd = f.records[2].decision;
+  EXPECT_EQ(rd.iteration, d.iteration);
+  EXPECT_EQ(rd.interval, d.interval);
+  EXPECT_EQ(rd.active_vertices, d.active_vertices);
+  EXPECT_EQ(rd.active_degree_sum, d.active_degree_sum);
+  EXPECT_EQ(rd.cached_row_edge_bytes, d.cached_row_edge_bytes);
+  EXPECT_EQ(rd.cached_column_edge_bytes, d.cached_column_edge_bytes);
+  EXPECT_DOUBLE_EQ(rd.c_rop, d.c_rop);
+  EXPECT_DOUBLE_EQ(rd.c_cop, d.c_cop);
+  EXPECT_TRUE(rd.used_rop);
+  EXPECT_FALSE(rd.alpha_shortcut);
+  EXPECT_LT(f.records[0].seq(), f.records[1].seq());
+  EXPECT_LT(f.records[1].seq(), f.records[2].seq());
+
+  // The JSONL export carries every record type.
+  std::ostringstream jsonl;
+  obs::write_jsonl(f, jsonl);
+  const std::string text = jsonl.str();
+  EXPECT_NE(text.find("\"access\""), std::string::npos);
+  EXPECT_NE(text.find("\"evict\""), std::string::npos);
+  EXPECT_NE(text.find("\"decision\""), std::string::npos);
+}
+
+TEST(IoTraceTest, LoadRejectsGarbage) {
+  ScratchDir scratch("iotrace_garbage");
+  const std::string path = scratch / "bogus.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "NOTATRACE_________";
+  }
+  EXPECT_THROW(obs::load_trace(path), DataError);
+  EXPECT_THROW(obs::load_trace(scratch / "missing.bin"), std::exception);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-recorded traces: fidelity, curves, what-if.
+
+TEST(IoTraceReplayTest, ReplayAtRecordedBudgetMatchesLiveRun) {
+  ScratchDir scratch("iotrace_fidelity");
+  DualBlockStore store =
+      DualBlockStore::build(gen::rmat(10, 8.0, 7), scratch / "store",
+                            StoreOptions{4});
+  EngineOptions o;
+  o.threads = 1;  // fidelity is exact only without racing workers
+  o.file_backed_values = false;
+  // ROP point loads with fill: a half-out-adj budget produces hits, misses,
+  // rejects and evictions in one run (COP's cyclic streaming is CLOCK's
+  // worst case — zero hits — so it exercises nothing).
+  o.mode = UpdateMode::kRop;
+  o.max_iterations = 4;
+  o.cache_budget_bytes = half_out_adj_budget(store);
+  TracedRun run =
+      record_engine_run(store, scratch / "trace.bin", o);
+
+  const ReplayCounters live = obs::live_counters(run.trace);
+  const ReplayCounters replayed = obs::replay_cache(
+      run.trace, run.trace.info.budget_bytes,
+      run.trace.info.max_block_fraction);
+  EXPECT_EQ(replayed, live);
+
+  // The trace's live outcomes are the engine's own cache counters.
+  EXPECT_EQ(live.hits, run.stats.cache.hits);
+  EXPECT_EQ(live.misses, run.stats.cache.misses);
+  EXPECT_EQ(live.evictions, run.stats.cache.evictions);
+  EXPECT_EQ(live.bytes_saved, run.stats.cache.bytes_saved);
+  EXPECT_GT(live.hits, 0u);
+  EXPECT_GT(live.evictions, 0u);
+
+  // Zero-budget replay: no consults, pure direct reads.
+  const ReplayCounters uncached = obs::replay_cache(run.trace, 0, 0.25);
+  EXPECT_EQ(uncached.hits, 0u);
+  EXPECT_EQ(uncached.misses, 0u);
+  EXPECT_EQ(uncached.evictions, 0u);
+  std::uint64_t direct = 0;
+  for (const TraceRecord& r : run.trace.records) {
+    if (r.type == TraceRecord::Type::kAccess) direct += r.access.saved_bytes;
+  }
+  EXPECT_EQ(uncached.disk_read_bytes, direct);
+
+  // The volume gauges surface through RunStats::publish().
+  obs::Registry reg;
+  run.stats.publish(reg);
+  std::ostringstream prom;
+  reg.write_prometheus(prom);
+  EXPECT_NE(prom.str().find("husg_iotrace_events"), std::string::npos);
+}
+
+TEST(IoTraceReplayTest, MissRatioCurveIsMonotoneWithSaneKnee) {
+  ScratchDir scratch("iotrace_curve");
+  DualBlockStore store =
+      DualBlockStore::build(gen::rmat(10, 8.0, 7), scratch / "store",
+                            StoreOptions{4});
+  EngineOptions o;
+  o.threads = 1;
+  o.file_backed_values = false;
+  o.mode = UpdateMode::kRop;  // point-load reuse: a well-behaved MRC
+  o.max_iterations = 4;
+  o.cache_budget_bytes = half_out_adj_budget(store);
+  TracedRun run = record_engine_run(store, scratch / "trace.bin", o);
+
+  obs::MissRatioCurve curve = obs::miss_ratio_curve(run.trace, 12);
+  ASSERT_GE(curve.points.size(), 12u);
+  EXPECT_GT(curve.unique_payload_bytes, 0u);
+  for (std::size_t k = 1; k < curve.points.size(); ++k) {
+    EXPECT_GT(curve.points[k].budget_bytes, curve.points[k - 1].budget_bytes);
+    EXPECT_LE(curve.points[k].counters.miss_ratio(),
+              curve.points[k - 1].counters.miss_ratio() + 1e-9)
+        << "miss ratio rose from budget "
+        << curve.points[k - 1].budget_bytes << " to "
+        << curve.points[k].budget_bytes;
+  }
+  // The largest budget holds the whole working set: every consult after the
+  // first touch hits, and the knee lies inside the swept range.
+  EXPECT_LT(curve.points.back().counters.miss_ratio(),
+            curve.points.front().counters.miss_ratio());
+  EXPECT_GE(curve.knee_budget_bytes, curve.points.front().budget_bytes);
+  EXPECT_LE(curve.knee_budget_bytes, curve.points.back().budget_bytes);
+}
+
+TEST(IoTraceReplayTest, UncachedTraceStillYieldsACurve) {
+  ScratchDir scratch("iotrace_uncached");
+  DualBlockStore store =
+      DualBlockStore::build(gen::rmat(9, 6.0, 3), scratch / "store",
+                            StoreOptions{4});
+  EngineOptions o;
+  o.threads = 1;
+  o.file_backed_values = false;
+  o.max_iterations = 3;
+  o.cache_budget_bytes = 0;  // bypass events only
+  TracedRun run = record_engine_run(store, scratch / "trace.bin", o);
+
+  const ReplayCounters live = obs::live_counters(run.trace);
+  EXPECT_EQ(live.lookups(), 0u);
+  EXPECT_GT(live.disk_read_bytes, 0u);
+
+  // Replaying bypass events against a simulated cache answers "what would a
+  // cache of budget B have done for this run".
+  obs::MissRatioCurve curve = obs::miss_ratio_curve(run.trace, 8);
+  ASSERT_GE(curve.points.size(), 8u);
+  EXPECT_GT(curve.points.back().counters.hits, 0u);
+  EXPECT_LT(curve.points.back().counters.miss_ratio(), 1.0);
+}
+
+TEST(IoTraceReplayTest, WhatIfReportsFlipsAndModeledDelta) {
+  ScratchDir scratch("iotrace_whatif");
+  DualBlockStore store =
+      DualBlockStore::build(gen::rmat(10, 8.0, 7), scratch / "store",
+                            StoreOptions{4});
+  EngineOptions o;
+  o.threads = 1;
+  o.file_backed_values = false;
+  o.max_iterations = 4;
+  o.cache_budget_bytes = half_out_adj_budget(store);
+  o.alpha = 0;  // no shortcut: every decision carries real predicted costs
+  TracedRun run = record_engine_run(store, scratch / "trace.bin", o);
+
+  std::uint64_t decision_records = 0;
+  for (const TraceRecord& r : run.trace.records) {
+    if (r.type == TraceRecord::Type::kDecision) ++decision_records;
+  }
+  ASSERT_GT(decision_records, 0u);
+
+  // Re-running the recorded flavor over the recorded inputs must reproduce
+  // the recorded decisions bit-for-bit on a single-threaded trace.
+  obs::WhatIfResult same = obs::whatif_predictor(
+      run.trace, static_cast<PredictorFlavor>(run.trace.info.flavor));
+  EXPECT_EQ(same.decisions, decision_records);
+  EXPECT_EQ(same.flips, 0u);
+  EXPECT_EQ(same.baseline_mismatches, 0u);
+  EXPECT_DOUBLE_EQ(same.modeled_io_seconds,
+                   same.baseline_modeled_io_seconds);
+  EXPECT_GT(same.modeled_io_seconds, 0.0);
+
+  // The ISSUE's headline comparison: kPaper vs kCacheAware over the same
+  // inputs. Both report against the same recorded baseline.
+  obs::WhatIfResult paper =
+      obs::whatif_predictor(run.trace, PredictorFlavor::kPaper);
+  obs::WhatIfResult aware =
+      obs::whatif_predictor(run.trace, PredictorFlavor::kCacheAware);
+  EXPECT_EQ(paper.decisions, decision_records);
+  EXPECT_EQ(aware.decisions, decision_records);
+  EXPECT_EQ(paper.baseline_mismatches, 0u);
+  EXPECT_EQ(aware.baseline_mismatches, 0u);
+  EXPECT_GT(paper.modeled_io_seconds, 0.0);
+  EXPECT_GT(aware.modeled_io_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(paper.baseline_modeled_io_seconds,
+                   aware.baseline_modeled_io_seconds);
+}
+
+TEST(IoTraceTest, ConcurrentRecordingKeepsEveryEvent) {
+  ScratchDir scratch("iotrace_concurrent");
+  const std::string path = scratch / "trace.bin";
+  IoTrace& t = IoTrace::instance();
+  t.start(path, TraceRunInfo{});
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&t, w] {
+      for (int k = 0; k < kPerThread; ++k) {
+        AccessEvent e;
+        e.kind = TraceBlockKind::kOutAdj;
+        e.outcome = TraceOutcome::kHit;
+        e.row = static_cast<std::uint32_t>(w);
+        e.col = static_cast<std::uint32_t>(k);
+        e.saved_bytes = 64;
+        t.record_access(e);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  t.stop();
+
+  TraceFile f = obs::load_trace(path);
+  ASSERT_EQ(f.records.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  // seq gives the merged stream a strict total order.
+  for (std::size_t k = 1; k < f.records.size(); ++k) {
+    EXPECT_LT(f.records[k - 1].seq(), f.records[k].seq());
+  }
+  const ReplayCounters live = obs::live_counters(f);
+  EXPECT_EQ(live.hits, static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace husg

@@ -1,12 +1,13 @@
 #!/bin/sh
 # End-to-end test of the admin HTTP plane on a live `husg_cli serve` run:
 # start serve with --admin-port 0 (ephemeral), scrape /healthz /readyz
-# /jobs /metrics while a job is in flight, flip the log level over POST
-# /loglevel, and validate the /metrics output with check_prom.py. Invoked by
-# ctest with the binary path as $1.
+# /jobs /heatmap /metrics while a job is in flight, flip the log level over
+# POST /loglevel, and validate the /metrics output with check_prom.py.
+# Invoked by ctest with the CLI binary as $1 and husg_replay as $2.
 set -eu
 
 CLI="$1"
+REPLAY="$2"
 WORK=$(mktemp -d "${TMPDIR:-/tmp}/husg_serve_admin.XXXXXX")
 SERVE_PID=""
 trap 'test -n "$SERVE_PID" && kill "$SERVE_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
@@ -54,6 +55,7 @@ EOF
 "$CLI" serve --store "$WORK/store" --jobs "$WORK/jobs.json" \
   --max-concurrent 1 --admin-port 0 --io-timing \
   --heatmap-out "$WORK/heatmap.json" \
+  --iotrace-out "$WORK/serve_trace.bin" \
   > "$WORK/serve.log" 2>&1 &
 SERVE_PID=$!
 
@@ -84,6 +86,15 @@ for _ in $(seq 1 50); do
 done
 [ -n "$JOBS_OK" ] || fail "/jobs never showed a running + queued job"
 echo "$JOBS" | grep -q '"name": "long-ranks"' || fail "/jobs missing job name"
+
+# Live /heatmap scrape mid-run: the armed profiler serves its current state.
+fetch GET "$PORT" /heatmap > "$WORK/heatmap.live" || fail "GET /heatmap"
+grep -q '"p": 4' "$WORK/heatmap.live" || fail "/heatmap not armed (p != 4)"
+grep -q '"row_skew"' "$WORK/heatmap.live" || fail "/heatmap missing skew"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$WORK/heatmap.live" > /dev/null \
+    || fail "/heatmap not valid JSON"
+fi
 
 # Live /metrics scrape while the job runs: service gauges + valid exposition.
 fetch GET "$PORT" /metrics > "$WORK/metrics.live"
@@ -117,5 +128,12 @@ if command -v python3 > /dev/null 2>&1; then
   python3 -m json.tool "$WORK/heatmap.json" > /dev/null \
     || fail "heatmap not valid JSON"
 fi
+
+# --iotrace-out recorded the jobs' block traffic; the trace must load and
+# replay. No --check: service jobs run on pool workers, so replay fidelity is
+# approximate for multi-threaded traces (see obs/iotrace.hpp).
+[ -s "$WORK/serve_trace.bin" ] || fail "serve trace missing"
+"$REPLAY" --trace "$WORK/serve_trace.bin" --quiet \
+  > /dev/null || fail "serve trace failed to load/replay"
 
 echo "serve_admin_test OK"

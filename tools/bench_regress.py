@@ -29,6 +29,10 @@ EXACT_FIELDS = [
     "cache_evictions",
     "cache_bytes_saved",
     "cache_cross_job_hits",
+    "heatmap_reads",
+    "heatmap_hits",
+    "heatmap_misses",
+    "heatmap_evictions",
 ]
 MODEL_FIELD = "modeled_seconds"
 WALL_FIELD = "wall_seconds"
@@ -106,6 +110,14 @@ def main():
 
     for label in sorted(set(base_runs) & set(cur_runs)):
         base, cur = base_runs[label], cur_runs[label]
+        # A baseline key absent from the fresh report is easy to lose
+        # silently when a bench stops emitting a counter: warn so the gap is
+        # visible, but only gate the fields this script understands.
+        gated = set(EXACT_FIELDS) | {MODEL_FIELD, WALL_FIELD}
+        dropped = sorted(set(base) - set(cur) - gated)
+        for key in dropped:
+            print(f"bench_regress: warning: {label}: baseline key {key!r} "
+                  "absent from current report", file=sys.stderr)
         for field in EXACT_FIELDS:
             if field not in base:
                 continue  # older baseline schema: skip, don't crash

@@ -55,21 +55,25 @@ int usage() {
       "           [--no-cache-fill-rop]\n"
       "           [--predictor paper|exact|cache-aware]\n"
       "           [--trace-out FILE] [--metrics-out FILE]\n"
-      "           [--heatmap-out FILE] [--io-timing] [--admin-port N]\n"
+      "           [--heatmap-out FILE] [--iotrace-out FILE] [--io-timing]\n"
+      "           [--admin-port N]\n"
       "  serve    --store DIR --jobs FILE [--max-concurrent N] [--queue N]\n"
       "           [--threads-per-job T] [--memory-budget BYTES]\n"
       "           [--cache-budget BYTES] [--cache-fraction F]\n"
       "           [--device hdd|ssd|nvme] [--seek-scale F] [--alpha A]\n"
       "           [--predictor paper|exact|cache-aware] [--report FILE]\n"
       "           [--trace-out FILE] [--metrics-out FILE]\n"
-      "           [--heatmap-out FILE] [--io-timing] [--admin-port N]\n"
+      "           [--heatmap-out FILE] [--iotrace-out FILE] [--io-timing]\n"
+      "           [--admin-port N]\n"
       "--trace-out writes a Chrome-trace/Perfetto JSON span timeline;\n"
       "--metrics-out writes Prometheus text exposition (and enables\n"
       "device-layer I/O latency histograms for the run); --io-timing\n"
       "enables those histograms without the file (scrape them live);\n"
       "--heatmap-out writes per-block access counters (.csv -> CSV, else\n"
-      "JSON); --admin-port starts the admin HTTP server on 127.0.0.1 (0 =\n"
-      "ephemeral; GET /healthz /readyz /metrics /jobs /trace?ms=N,\n"
+      "JSON); --iotrace-out records the block I/O access stream for offline\n"
+      "replay with husg_replay (miss-ratio curves, predictor what-ifs);\n"
+      "--admin-port starts the admin HTTP server on 127.0.0.1 (0 =\n"
+      "ephemeral; GET /healthz /readyz /metrics /jobs /heatmap /trace?ms=N,\n"
       "POST /loglevel).\n");
   return 2;
 }
@@ -156,6 +160,7 @@ class Telemetry {
       : trace_out_(opts.get("trace-out", "")),
         metrics_out_(opts.get("metrics-out", "")),
         heatmap_out_(opts.get("heatmap-out", "")),
+        iotrace_out_(opts.get("iotrace-out", "")),
         io_timing_(opts.get_bool("io-timing", false)) {
     if (!trace_out_.empty()) obs::Tracer::instance().start();
     if (io_timing_ || !metrics_out_.empty()) obs::set_io_timing(true);
@@ -166,6 +171,12 @@ class Telemetry {
   /// Call after the store is open; no-op without --heatmap-out.
   void arm_heatmap(std::uint32_t p) {
     if (!heatmap_out_.empty()) obs::Heatmap::instance().start(p);
+  }
+
+  /// Call after the store is open and run parameters are final (the replay
+  /// needs them in the trace header); no-op without --iotrace-out.
+  void arm_iotrace(const obs::TraceRunInfo& info) {
+    if (!iotrace_out_.empty()) obs::IoTrace::instance().start(iotrace_out_, info);
   }
 
   void finish() {
@@ -196,6 +207,20 @@ class Telemetry {
       std::printf("wrote block heatmap to %s\n", heatmap_out_.c_str());
       heatmap_out_.clear();
     }
+    if (!iotrace_out_.empty()) {
+      obs::IoTrace& iotrace = obs::IoTrace::instance();
+      iotrace.stop();
+      std::printf("wrote %llu iotrace events to %s",
+                  static_cast<unsigned long long>(iotrace.events_recorded()),
+                  iotrace_out_.c_str());
+      if (iotrace.dropped() > 0) {
+        std::printf(" (%llu dropped)",
+                    static_cast<unsigned long long>(iotrace.dropped()));
+      }
+      std::printf(" — replay with: husg_replay --trace %s --check --curve\n",
+                  iotrace_out_.c_str());
+      iotrace_out_.clear();
+    }
     if (io_timing_ || !metrics_out_.empty()) obs::set_io_timing(false);
     if (!metrics_out_.empty()) {
       std::ofstream f(metrics_out_);
@@ -209,8 +234,29 @@ class Telemetry {
   std::string trace_out_;
   std::string metrics_out_;
   std::string heatmap_out_;
+  std::string iotrace_out_;
   bool io_timing_ = false;
 };
+
+/// Trace-header snapshot of a standalone run's parameters.
+obs::TraceRunInfo iotrace_info(const StoreMeta& meta, const EngineOptions& eo) {
+  obs::TraceRunInfo info;
+  info.p = meta.p();
+  info.budget_bytes = eo.cache_budget_bytes;
+  info.max_block_fraction = eo.cache_max_block_fraction;
+  info.fill_rop = eo.cache_fill_rop;
+  info.flavor = static_cast<std::uint8_t>(eo.predictor);
+  info.granularity = static_cast<std::uint8_t>(eo.granularity);
+  info.alpha = eo.alpha;
+  info.seq_read_bw = eo.device.seq_read_bw;
+  info.rand_read_bw = eo.device.rand_read_bw;
+  info.write_bw = eo.device.write_bw;
+  info.seek_seconds = eo.device.seek_seconds;
+  info.num_vertices = meta.num_vertices;
+  info.num_edges = meta.num_edges;
+  info.edge_bytes = meta.edge_record_bytes();
+  return info;
+}
 
 EdgeList load_graph(const std::string& path) {
   if (path.size() > 4 && (path.ends_with(".txt") || path.ends_with(".el"))) {
@@ -426,6 +472,7 @@ int cmd_run(const Options& opts) {
 
   Telemetry telemetry(opts);
   telemetry.arm_heatmap(store.meta().p());
+  telemetry.arm_iotrace(iotrace_info(store.meta(), eo));
   std::unique_ptr<obs::AdminServer> admin = maybe_start_admin(opts);
   if (admin) {
     admin->start();
@@ -654,6 +701,18 @@ int cmd_serve(const Options& opts) {
 
   Telemetry telemetry(opts);
   telemetry.arm_heatmap(store.meta().p());
+  {
+    // Shared-cache trace: events carry per-job owner tags; jobs' engines use
+    // the service defaults (global granularity).
+    EngineOptions eo;
+    eo.device = so.device;
+    eo.predictor = so.predictor;
+    eo.alpha = so.alpha;
+    eo.cache_budget_bytes = so.cache_budget_bytes;
+    eo.cache_max_block_fraction = so.cache_max_block_fraction;
+    eo.cache_fill_rop = so.cache_fill_rop;
+    telemetry.arm_iotrace(iotrace_info(store.meta(), eo));
+  }
   GraphService service(store, so);
   // Declared after the service so hooks (which reference it) are stopped
   // first on scope exit.

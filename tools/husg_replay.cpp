@@ -1,0 +1,307 @@
+// husg_replay: offline analysis of block I/O traces recorded with
+// `husg_cli run|serve --iotrace-out FILE` (obs/iotrace.hpp).
+//
+//   husg_replay --trace FILE [--check] [--curve] [--curve-points N]
+//               [--whatif paper,device,cache-aware] [--json OUT]
+//               [--jsonl OUT] [--quiet]
+//
+// Modes (combinable; all come from one loaded trace, no disk re-run):
+//   --check   replay the access stream through a simulated BlockCache at the
+//             RECORDED budget and compare every counter against the live
+//             outcomes written in the trace. Exit 1 on divergence — this is
+//             the CI fidelity gate.
+//   --curve   budget sweep -> miss-ratio curve + recommended knee budget.
+//   --whatif  re-evaluate the recorded ROP/COP decisions under the given
+//             predictor flavors; reports decision flips and the modeled I/O
+//             delta vs the recorded run.
+//   --json    write a BENCH_*-style report ({"bench": ..., "runs": [...]},
+//             parseable by tools/bench_regress.py) plus curve/whatif arrays.
+//   --jsonl   dump the raw trace as JSON lines (one record per line).
+//
+// Exit codes: 0 ok, 1 fidelity check failed, 2 bad usage / unreadable trace.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/iotrace.hpp"
+#include "obs/iotrace_replay.hpp"
+#include "util/common.hpp"
+
+namespace {
+
+using husg::PredictorFlavor;
+using husg::obs::MissRatioCurve;
+using husg::obs::ReplayCounters;
+using husg::obs::TraceFile;
+using husg::obs::WhatIfResult;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --trace FILE [--check] [--curve] [--curve-points N]\n"
+      "          [--whatif paper,device,cache-aware] [--json OUT]\n"
+      "          [--jsonl OUT] [--quiet]\n",
+      argv0);
+  return 2;
+}
+
+const char* flavor_name(PredictorFlavor f) {
+  switch (f) {
+    case PredictorFlavor::kPaper:
+      return "paper";
+    case PredictorFlavor::kDeviceExact:
+      return "device";
+    case PredictorFlavor::kCacheAware:
+      return "cache-aware";
+  }
+  return "?";
+}
+
+bool parse_flavor(const std::string& name, PredictorFlavor& out) {
+  if (name == "paper") {
+    out = PredictorFlavor::kPaper;
+  } else if (name == "device" || name == "device-exact") {
+    out = PredictorFlavor::kDeviceExact;
+  } else if (name == "cache-aware" || name == "cache") {
+    out = PredictorFlavor::kCacheAware;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void counters_json(std::ostream& os, const std::string& label,
+                   const ReplayCounters& c) {
+  os << "    {\"label\": \"" << label << "\","
+     << " \"cache_hits\": " << c.hits << ","
+     << " \"cache_misses\": " << c.misses << ","
+     << " \"cache_insertions\": " << c.insertions << ","
+     << " \"cache_evictions\": " << c.evictions << ","
+     << " \"cache_admission_rejects\": " << c.admission_rejects << ","
+     << " \"cache_bytes_saved\": " << c.bytes_saved << ","
+     << " \"disk_read_bytes\": " << c.disk_read_bytes << ","
+     << " \"cache_hit_rate\": " << (1.0 - c.miss_ratio()) << "}";
+}
+
+void print_counters(const char* label, const ReplayCounters& c) {
+  std::printf(
+      "  %-18s hits=%llu misses=%llu inserts=%llu evictions=%llu "
+      "rejects=%llu bytes_saved=%llu disk_read=%llu\n",
+      label, static_cast<unsigned long long>(c.hits),
+      static_cast<unsigned long long>(c.misses),
+      static_cast<unsigned long long>(c.insertions),
+      static_cast<unsigned long long>(c.evictions),
+      static_cast<unsigned long long>(c.admission_rejects),
+      static_cast<unsigned long long>(c.bytes_saved),
+      static_cast<unsigned long long>(c.disk_read_bytes));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path, json_out, jsonl_out, whatif_arg;
+  bool do_check = false, do_curve = false, quiet = false;
+  std::size_t curve_points = 16;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--trace") {
+      trace_path = next("--trace");
+    } else if (arg == "--check") {
+      do_check = true;
+    } else if (arg == "--curve") {
+      do_curve = true;
+    } else if (arg == "--curve-points") {
+      curve_points = static_cast<std::size_t>(
+          std::strtoull(next("--curve-points"), nullptr, 10));
+      do_curve = true;
+    } else if (arg == "--whatif") {
+      whatif_arg = next("--whatif");
+    } else if (arg == "--json") {
+      json_out = next("--json");
+    } else if (arg == "--jsonl") {
+      jsonl_out = next("--jsonl");
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (trace_path.empty()) return usage(argv[0]);
+
+  // Default what-if panel: every flavor (each is one pass over the recorded
+  // decisions, there is no reason to be stingy).
+  std::vector<PredictorFlavor> flavors;
+  {
+    const std::string list =
+        whatif_arg.empty() ? "paper,device,cache-aware" : whatif_arg;
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+      std::size_t comma = list.find(',', pos);
+      if (comma == std::string::npos) comma = list.size();
+      const std::string name = list.substr(pos, comma - pos);
+      PredictorFlavor f;
+      if (!parse_flavor(name, f)) {
+        std::fprintf(stderr, "unknown predictor flavor: %s\n", name.c_str());
+        return 2;
+      }
+      flavors.push_back(f);
+      pos = comma + 1;
+    }
+  }
+
+  TraceFile trace;
+  try {
+    trace = husg::obs::load_trace(trace_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "failed to load %s: %s\n", trace_path.c_str(),
+                 e.what());
+    return 2;
+  }
+
+  const auto& info = trace.info;
+  if (!quiet) {
+    std::printf(
+        "trace %s: %zu records, p=%u, budget=%llu, fraction=%g, "
+        "fill_rop=%d, flavor=%s, granularity=%s, V=%llu, E=%llu\n",
+        trace_path.c_str(), trace.records.size(), info.p,
+        static_cast<unsigned long long>(info.budget_bytes),
+        info.max_block_fraction, info.fill_rop ? 1 : 0,
+        flavor_name(static_cast<PredictorFlavor>(info.flavor)),
+        info.granularity == 1 ? "per-interval" : "global",
+        static_cast<unsigned long long>(info.num_vertices),
+        static_cast<unsigned long long>(info.num_edges));
+  }
+
+  if (!jsonl_out.empty()) {
+    std::ofstream f(jsonl_out);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", jsonl_out.c_str());
+      return 2;
+    }
+    husg::obs::write_jsonl(trace, f);
+    if (!quiet) std::printf("wrote %s\n", jsonl_out.c_str());
+  }
+
+  const ReplayCounters live = husg::obs::live_counters(trace);
+  const ReplayCounters replayed = husg::obs::replay_cache(
+      trace, info.budget_bytes, info.max_block_fraction);
+  const bool fidelity_ok = replayed == live;
+  if (!quiet) {
+    print_counters("live", live);
+    print_counters("replay@recorded", replayed);
+  }
+  if (do_check) {
+    if (fidelity_ok) {
+      std::printf("fidelity: OK (replay at recorded budget == live)\n");
+    } else {
+      std::fprintf(stderr,
+                   "fidelity: FAIL — simulated counters diverge from the "
+                   "recorded live run\n");
+    }
+  }
+
+  MissRatioCurve curve;
+  if (do_curve) {
+    curve = husg::obs::miss_ratio_curve(trace, curve_points);
+    if (!quiet) {
+      std::printf("miss-ratio curve (%zu points, working set ~%llu bytes):\n",
+                  curve.points.size(),
+                  static_cast<unsigned long long>(curve.unique_payload_bytes));
+      for (const auto& pt : curve.points) {
+        std::printf("  budget %12llu  miss_ratio %.4f  disk_read %llu\n",
+                    static_cast<unsigned long long>(pt.budget_bytes),
+                    pt.counters.miss_ratio(),
+                    static_cast<unsigned long long>(
+                        pt.counters.disk_read_bytes));
+      }
+      std::printf("  knee budget: %llu bytes\n",
+                  static_cast<unsigned long long>(curve.knee_budget_bytes));
+    }
+  }
+
+  std::vector<WhatIfResult> whatifs;
+  for (PredictorFlavor f : flavors) {
+    whatifs.push_back(husg::obs::whatif_predictor(trace, f));
+  }
+  if (!quiet && !whatifs.empty()) {
+    std::printf("predictor what-if (recorded flavor: %s):\n",
+                flavor_name(static_cast<PredictorFlavor>(info.flavor)));
+    for (const WhatIfResult& w : whatifs) {
+      std::printf(
+          "  %-12s decisions=%llu flips=%llu modeled_io=%.6gs "
+          "(recorded-flavor modeled_io=%.6gs, delta=%+.6gs, "
+          "baseline_mismatches=%llu)\n",
+          flavor_name(w.flavor),
+          static_cast<unsigned long long>(w.decisions),
+          static_cast<unsigned long long>(w.flips), w.modeled_io_seconds,
+          w.baseline_modeled_io_seconds,
+          w.modeled_io_seconds - w.baseline_modeled_io_seconds,
+          static_cast<unsigned long long>(w.baseline_mismatches));
+    }
+  }
+
+  if (!json_out.empty()) {
+    std::ofstream f(json_out);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", json_out.c_str());
+      return 2;
+    }
+    f << "{\n  \"bench\": \"iotrace_replay\",\n"
+      << "  \"trace\": \"" << trace_path << "\",\n"
+      << "  \"budget_bytes\": " << info.budget_bytes << ",\n"
+      << "  \"fidelity_ok\": " << (fidelity_ok ? "true" : "false") << ",\n"
+      << "  \"runs\": [\n";
+    counters_json(f, "live", live);
+    f << ",\n";
+    counters_json(f, "replay", replayed);
+    f << "\n  ]";
+    if (do_curve) {
+      f << ",\n  \"unique_payload_bytes\": " << curve.unique_payload_bytes
+        << ",\n  \"knee_budget_bytes\": " << curve.knee_budget_bytes
+        << ",\n  \"curve\": [\n";
+      for (std::size_t i = 0; i < curve.points.size(); ++i) {
+        const auto& pt = curve.points[i];
+        f << "    {\"budget_bytes\": " << pt.budget_bytes
+          << ", \"miss_ratio\": " << pt.counters.miss_ratio()
+          << ", \"hits\": " << pt.counters.hits
+          << ", \"misses\": " << pt.counters.misses
+          << ", \"disk_read_bytes\": " << pt.counters.disk_read_bytes << "}"
+          << (i + 1 < curve.points.size() ? ",\n" : "\n");
+      }
+      f << "  ]";
+    }
+    if (!whatifs.empty()) {
+      f << ",\n  \"whatif\": [\n";
+      for (std::size_t i = 0; i < whatifs.size(); ++i) {
+        const WhatIfResult& w = whatifs[i];
+        f << "    {\"flavor\": \"" << flavor_name(w.flavor) << "\""
+          << ", \"decisions\": " << w.decisions << ", \"flips\": " << w.flips
+          << ", \"modeled_io_seconds\": " << w.modeled_io_seconds
+          << ", \"baseline_modeled_io_seconds\": "
+          << w.baseline_modeled_io_seconds
+          << ", \"baseline_mismatches\": " << w.baseline_mismatches << "}"
+          << (i + 1 < whatifs.size() ? ",\n" : "\n");
+      }
+      f << "  ]";
+    }
+    f << "\n}\n";
+    if (!quiet) std::printf("wrote %s\n", json_out.c_str());
+  }
+
+  return do_check && !fidelity_ok ? 1 : 0;
+}
