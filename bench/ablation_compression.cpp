@@ -1,0 +1,204 @@
+// Ablation: the block codec (delta-gap varint) and frontier-driven skip
+// filters, swept over R-MAT scales.
+//
+// For each scale the same edge list is packed twice — codec=none (raw
+// fixed-width ids, the paper's layout) and codec=delta-varint — and the two
+// stores run identical workloads: PageRank (dense, every block touched
+// every sweep) and BFS with the skip filter armed (sparse frontiers, where
+// Bloom signatures cancel whole block reads before any I/O). Reported per
+// (codec, scale): at-rest adjacency bytes/edge, read traffic bytes/edge,
+// modeled and wall end-to-end time, and the codec's own decode/skip ledger.
+//
+// The binary enforces the subsystem's headline claim itself: delta-varint
+// must come in strictly below codec=none on at-rest bytes/edge at EVERY
+// scale, or it exits non-zero — so the CI smoke run doubles as a
+// compression-ratio regression gate.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "husg/husg.hpp"
+
+#include "bench_support/report.hpp"
+
+using namespace husg;
+using namespace husg::bench;
+
+namespace {
+
+struct BenchOptions {
+  std::vector<unsigned> scales{10, 12, 14};
+  double degree = 8.0;
+  std::uint32_t partitions = 4;
+  std::string out_dir = ".";
+  std::string data_dir;  ///< default: <out_dir>/ablation_compression_data
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ablation_compression [--scales N,N,...] [--degree D]"
+               " [--partitions P] [--out-dir DIR] [--data-dir DIR]\n");
+  return 2;
+}
+
+bool parse_scales(const std::string& val, std::vector<unsigned>* out) {
+  out->clear();
+  std::size_t pos = 0;
+  while (pos < val.size()) {
+    std::size_t comma = val.find(',', pos);
+    if (comma == std::string::npos) comma = val.size();
+    try {
+      out->push_back(
+          static_cast<unsigned>(std::stoul(val.substr(pos, comma - pos))));
+    } catch (const std::exception&) {
+      return false;
+    }
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
+/// At-rest adjacency bytes of both block grids (what the codec shrinks).
+std::uint64_t store_adj_bytes(const StoreMeta& m) {
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < m.p(); ++i) {
+    for (std::uint32_t j = 0; j < m.p(); ++j) {
+      total += m.out_block(i, j).adj_bytes + m.in_block(i, j).adj_bytes;
+    }
+  }
+  return total;
+}
+
+EngineOptions base_options() {
+  EngineOptions o;
+  o.threads = 1;  // deterministic I/O counters, same rationale as perf_smoke
+  o.file_backed_values = false;
+  o.device = DeviceProfile::sata_ssd();
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opt;
+  for (int k = 1; k < argc; ++k) {
+    std::string flag = argv[k];
+    if (k + 1 >= argc) return usage();
+    std::string val = argv[++k];
+    if (flag == "--scales") {
+      if (!parse_scales(val, &opt.scales)) return usage();
+    } else if (flag == "--degree") {
+      opt.degree = std::stod(val);
+    } else if (flag == "--partitions") {
+      opt.partitions = static_cast<std::uint32_t>(std::stoul(val));
+    } else if (flag == "--out-dir") {
+      opt.out_dir = val;
+    } else if (flag == "--data-dir") {
+      opt.data_dir = val;
+    } else {
+      return usage();
+    }
+  }
+  if (opt.data_dir.empty()) {
+    opt.data_dir = opt.out_dir + "/ablation_compression_data";
+  }
+
+  banner("Ablation: block codec x scale (compressed blocks + skip filters)",
+         "");  // repo extension, not a paper figure (DESIGN.md section 11)
+
+  JsonReport report("ablation_compression");
+  Table t({"scale", "codec", "algo", "adj B/edge", "read B/edge", "modeled s",
+           "wall s", "skipped"});
+
+  struct CodecRow {
+    const char* label;
+    BlockCodecKind kind;
+  };
+  const CodecRow codecs[] = {{"none", BlockCodecKind::kNone},
+                             {"delta-varint", BlockCodecKind::kDeltaVarint}};
+
+  bool ratio_ok = true;
+  for (unsigned scale : opt.scales) {
+    EdgeList graph = gen::rmat(scale, opt.degree, /*seed=*/42);
+    const double edges = static_cast<double>(graph.edges().size());
+    // Per-codec at-rest footprint, for the strict-shrink gate below.
+    double adj_per_edge[2] = {0, 0};
+
+    for (std::size_t c = 0; c < 2; ++c) {
+      const CodecRow& codec = codecs[c];
+      std::filesystem::path dir = std::filesystem::path(opt.data_dir) /
+                                  ("scale" + std::to_string(scale)) /
+                                  codec.label;
+      std::filesystem::create_directories(dir);
+      StoreOptions so{opt.partitions};
+      so.codec = codec.kind;
+      DualBlockStore store = DualBlockStore::build(graph, dir / "store", so);
+      // Both grids store every edge once, hence the 2x in the denominator.
+      adj_per_edge[c] =
+          static_cast<double>(store_adj_bytes(store.meta())) / (2.0 * edges);
+
+      auto record = [&](const char* algo, const RunStats& stats) {
+        const double read_per_edge =
+            static_cast<double>(stats.total_io.total_read_bytes()) / edges;
+        t.add_row({std::to_string(scale), codec.label, algo,
+                   fmt(adj_per_edge[c], 3), fmt(read_per_edge, 3),
+                   fmt(stats.modeled_seconds(), 4), fmt(stats.wall_seconds, 4),
+                   std::to_string(stats.codec.blocks_skipped)});
+        report.add_run(
+            "scale" + std::to_string(scale) + "/" + codec.label + "/" + algo,
+            stats,
+            {{"codec_blocks_decoded", stats.codec.blocks_decoded},
+             {"codec_encoded_bytes", stats.codec.encoded_bytes},
+             {"codec_decoded_bytes", stats.codec.decoded_bytes},
+             {"skip_blocks_skipped", stats.codec.blocks_skipped},
+             {"skip_skipped_bytes", stats.codec.skipped_bytes}},
+            {{"store_adj_bytes_per_edge", adj_per_edge[c]},
+             {"read_bytes_per_edge", read_per_edge}});
+      };
+
+      {
+        EngineOptions o = base_options();
+        o.max_iterations = 5;
+        Engine e(store, o);
+        PageRankProgram p;
+        record("pagerank",
+               e.run(p, Frontier::all(store.meta(), store.out_degrees()))
+                   .stats);
+      }
+      {
+        EngineOptions o = base_options();
+        o.skip_filter = true;  // sparse BFS tails are where skips pay off
+        Engine e(store, o);
+        BfsProgram b{.source = 1};
+        record("bfs+skip",
+               e.run(b, Frontier::single(store.meta(), 1, store.out_degrees()))
+                   .stats);
+      }
+    }
+
+    std::printf("scale %u: adj bytes/edge none=%.3f delta-varint=%.3f "
+                "(%.1f%% of raw)\n",
+                scale, adj_per_edge[0], adj_per_edge[1],
+                100.0 * adj_per_edge[1] / adj_per_edge[0]);
+    if (!(adj_per_edge[1] < adj_per_edge[0])) {
+      std::fprintf(stderr,
+                   "FAIL: delta-varint did not shrink the store at scale %u "
+                   "(%.3f vs %.3f bytes/edge)\n",
+                   scale, adj_per_edge[1], adj_per_edge[0]);
+      ratio_ok = false;
+    }
+  }
+
+  t.print();
+  report.write(opt.out_dir);
+  if (!ratio_ok) {
+    std::fprintf(stderr,
+                 "ablation_compression: compression-ratio gate FAILED\n");
+    return 1;
+  }
+  std::printf("compression-ratio gate: OK (delta-varint < none at every "
+              "scale)\n");
+  return 0;
+}

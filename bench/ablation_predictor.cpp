@@ -148,7 +148,7 @@ void engine_extensions(Dataset& ds) {
     auto dir = std::filesystem::temp_directory_path() / "husg_abl_comp";
     remove_tree(dir);
     StoreOptions copts{ds.p()};
-    copts.compress_in_blocks = true;
+    copts.codec = BlockCodecKind::kDeltaVarint;
     auto cstore = DualBlockStore::build(
         ds.graph(GraphVariant::kDirected), dir, copts);
     EngineOptions o;

@@ -33,6 +33,7 @@ husg_bench(ablation_predictor)
 husg_bench(ablation_partitioning)
 husg_bench(ablation_semi_external)
 husg_bench(ablation_cache)
+husg_bench(ablation_compression)
 husg_bench(micro_service)
 husg_bench(perf_smoke)
 

@@ -111,13 +111,32 @@ int main(int argc, char** argv) {
         {"heatmap_misses", misses},
         {"heatmap_evictions", evictions}};
   };
+  // bytes/edge ratios (float-gated by bench_regress.py): read traffic per
+  // processed edge, and the store's at-rest adjacency footprint per edge —
+  // codec=none must keep both byte-identical to the pre-codec baseline.
+  auto store_adj_bytes = [&store] {
+    std::uint64_t total = 0;
+    for (std::uint32_t i = 0; i < store.meta().p(); ++i) {
+      for (std::uint32_t j = 0; j < store.meta().p(); ++j) {
+        total += store.meta().out_block(i, j).adj_bytes +
+                 store.meta().in_block(i, j).adj_bytes;
+      }
+    }
+    return total;
+  };
   auto record = [&](const char* label, const RunStats& stats) {
     t.add_row({label, std::to_string(stats.iterations_run()),
                fmt(stats.modeled_seconds(), 4),
                fmt(static_cast<double>(stats.total_io.total_bytes()) / 1e6, 3),
                std::to_string(stats.total_io.rand_read_ops),
                fmt(100.0 * stats.cache.hit_rate(), 1) + "%"});
-    report.add_run(label, stats, heat_totals());
+    const double edges = static_cast<double>(store.meta().num_edges);
+    report.add_run(
+        label, stats, heat_totals(),
+        {{"read_bytes_per_edge",
+          static_cast<double>(stats.total_io.total_read_bytes()) / edges},
+         {"store_adj_bytes_per_edge",
+          static_cast<double>(store_adj_bytes()) / (2.0 * edges)}});
     obs::Heatmap::instance().clear();
   };
 

@@ -120,6 +120,22 @@ void JsonReport::add_run(
   entries_.push_back(os.str());
 }
 
+void JsonReport::add_run(
+    const std::string& label, const RunStats& stats,
+    const std::vector<std::pair<std::string, std::uint64_t>>& extras,
+    const std::vector<std::pair<std::string, double>>& ratios) {
+  std::ostringstream os;
+  os << run_json(label, stats);
+  for (const auto& [key, value] : extras) {
+    os << ", \"" << json_escape(key) << "\": " << value;
+  }
+  for (const auto& [key, value] : ratios) {
+    os << ", \"" << json_escape(key) << "\": " << value;
+  }
+  os << "}";
+  entries_.push_back(os.str());
+}
+
 void JsonReport::add_run(const std::string& label, const RunStats& stats,
                          const obs::AuditSummary& audit) {
   std::ostringstream os;

@@ -58,6 +58,11 @@ class JsonReport {
   /// perf_smoke's heatmap totals). Keys must be unique within the run.
   void add_run(const std::string& label, const RunStats& stats,
                const std::vector<std::pair<std::string, std::uint64_t>>& extras);
+  /// Same, with both integer counters and derived float metrics (e.g.
+  /// bytes/edge ratios, gated by bench_regress.py with --model-tol).
+  void add_run(const std::string& label, const RunStats& stats,
+               const std::vector<std::pair<std::string, std::uint64_t>>& extras,
+               const std::vector<std::pair<std::string, double>>& ratios);
   /// Writes BENCH_<name>.json into `dir`; returns the path written.
   std::string write(const std::string& dir = ".") const;
 

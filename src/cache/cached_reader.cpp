@@ -20,6 +20,14 @@ inline void heat_read(obs::HeatDir dir, std::uint32_t i, std::uint32_t j,
   }
 }
 
+// Codec reads: disk bytes (encoded) and logical payload bytes differ.
+inline void heat_read(obs::HeatDir dir, std::uint32_t i, std::uint32_t j,
+                      std::uint64_t bytes, std::uint64_t payload_bytes) {
+  if (obs::heatmap_enabled()) [[unlikely]] {
+    obs::Heatmap::instance().record_read(dir, i, j, bytes, payload_bytes);
+  }
+}
+
 inline void heat_hit(obs::HeatDir dir, std::uint32_t i, std::uint32_t j) {
   if (obs::heatmap_enabled()) [[unlikely]] {
     obs::Heatmap::instance().record_hit(dir, i, j);
@@ -57,6 +65,14 @@ inline void trace_access(obs::TraceBlockKind kind, obs::TraceOutcome outcome,
 }
 
 }  // namespace
+
+CodecStats CachedBlockReader::codec_stats() const {
+  CodecStats s;
+  s.blocks_decoded = blocks_decoded_.load(std::memory_order_relaxed);
+  s.encoded_bytes = encoded_bytes_.load(std::memory_order_relaxed);
+  s.decoded_bytes = decoded_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
 
 CacheStats CachedBlockReader::local_stats() const {
   CacheStats s;
@@ -105,8 +121,9 @@ AdjacencySlice CachedBlockReader::decode_payload(
     const BlockCache::PinnedBytes& payload, std::size_t first,
     std::size_t count, bool weighted, AdjacencyBuffer& buf) const {
   if (!weighted) {
-    // Payload is a bare uint32 id array (decompressed at insert time for
-    // varint in-blocks); serve a zero-copy view, pinned via buf.guard.
+    // Payload is a bare uint32 id array; serve a zero-copy view, pinned via
+    // buf.guard. (Codec payloads never reach here — they decode via
+    // decode_codec into buf.ids.)
     const auto* ids = reinterpret_cast<const VertexId*>(payload->data());
     buf.guard = payload;
     return AdjacencySlice{std::span<const VertexId>(ids + first, count), {}};
@@ -201,12 +218,145 @@ void CachedBlockReader::load_in_index(std::uint32_t i, std::uint32_t j,
   }
 }
 
+std::size_t CachedBlockReader::decode_codec(const char* data, std::size_t size,
+                                            std::uint8_t kind, std::uint32_t i,
+                                            std::uint32_t j,
+                                            std::uint64_t expected,
+                                            AdjacencyBuffer& buf) const {
+  buf.guard.reset();
+  std::size_t n = decode_block(data, size, buf.ids);
+  HUSG_CHECK(n == expected, (kind == 0 ? "out" : "in")
+                                << "-block (" << i << "," << j << ") decoded "
+                                << n << " ids, directory says " << expected);
+  buf.memo_set(kind, i, j);
+  blocks_decoded_.fetch_add(1, std::memory_order_relaxed);
+  encoded_bytes_.fetch_add(size, std::memory_order_relaxed);
+  decoded_bytes_.fetch_add(n * sizeof(VertexId), std::memory_order_relaxed);
+  return n;
+}
+
+AdjacencySlice CachedBlockReader::load_out_edges_codec(
+    std::uint32_t i, std::uint32_t j, std::uint32_t lo, std::uint32_t hi,
+    AdjacencyBuffer& buf) const {
+  const StoreMeta& meta = store_->meta();
+  const BlockExtent& block = meta.out_block(i, j);
+  const std::uint64_t adj = block.adj_bytes;
+  const std::uint64_t logical = block.edge_count * sizeof(VertexId);
+  auto serve = [&]() -> AdjacencySlice {
+    HUSG_CHECK(lo <= hi && hi <= buf.ids.size(),
+               "load_out_edges: range beyond block");
+    return AdjacencySlice{
+        std::span<const VertexId>(buf.ids).subspan(lo, hi - lo), {}};
+  };
+  // Memoized whole-block decode: every later point load of this block through
+  // this buffer is pure memory — no I/O, no cache event, no heat.
+  if (buf.memo_matches(0, i, j)) return serve();
+  const obs::TraceInsertMode fill_mode =
+      fill_rop_ ? obs::TraceInsertMode::kIfAdmissible
+                : obs::TraceInsertMode::kNone;
+  if (cache_ == nullptr) {
+    heat_read(obs::HeatDir::kOut, i, j, adj, logical);
+    if (obs::iotrace_enabled()) [[unlikely]] {
+      trace_access(obs::TraceBlockKind::kOutAdj, obs::TraceOutcome::kBypass,
+                   fill_mode, obs::TraceAdmit::kNone, i, j, owner_, adj, adj,
+                   adj);
+    }
+    store_->read_out_block_raw(i, j, buf.raw);
+    decode_codec(buf.raw.data(), buf.raw.size(), 0, i, j, block.edge_count,
+                 buf);
+    return serve();
+  }
+  BlockKey key{BlockKind::kOutAdj, i, j};
+  // Cached payloads are the ENCODED bytes (admission charges the compressed
+  // size); a hit skips the disk read but still decodes into the buffer memo.
+  if (BlockCache::PinnedBytes hit = consult(key, adj)) {
+    heat_hit(obs::HeatDir::kOut, i, j);
+    if (obs::iotrace_enabled()) [[unlikely]] {
+      trace_access(obs::TraceBlockKind::kOutAdj, obs::TraceOutcome::kHit,
+                   fill_mode, obs::TraceAdmit::kNone, i, j, owner_, adj, adj,
+                   adj);
+    }
+    decode_codec(hit->data(), hit->size(), 0, i, j, block.edge_count, buf);
+    return serve();
+  }
+  heat_miss(obs::HeatDir::kOut, i, j);
+  heat_read(obs::HeatDir::kOut, i, j, adj, logical);
+  store_->read_out_block_raw(i, j, buf.raw);
+  BlockCache::PinnedBytes pinned;
+  bool attempted = fill_rop_ && adj <= cache_->max_admissible_bytes();
+  if (attempted) {
+    pinned = admit(key, std::vector<char>(buf.raw.begin(), buf.raw.end()), adj);
+  }
+  if (obs::iotrace_enabled()) [[unlikely]] {
+    trace_access(obs::TraceBlockKind::kOutAdj, obs::TraceOutcome::kMiss,
+                 fill_mode,
+                 pinned != nullptr ? obs::TraceAdmit::kInserted
+                 : attempted       ? obs::TraceAdmit::kRejected
+                                   : obs::TraceAdmit::kNone,
+                 i, j, owner_, adj, adj, adj);
+  }
+  decode_codec(buf.raw.data(), buf.raw.size(), 0, i, j, block.edge_count, buf);
+  return serve();
+}
+
+AdjacencySlice CachedBlockReader::stream_in_block_codec(
+    std::uint32_t i, std::uint32_t j, AdjacencyBuffer& buf) const {
+  const StoreMeta& meta = store_->meta();
+  const BlockExtent& block = meta.in_block(i, j);
+  const std::uint64_t adj = block.adj_bytes;
+  const std::uint64_t logical = block.edge_count * sizeof(VertexId);
+  auto serve = [&]() -> AdjacencySlice {
+    return AdjacencySlice{std::span<const VertexId>(buf.ids), {}};
+  };
+  if (buf.memo_matches(1, i, j)) return serve();
+  if (cache_ == nullptr) {
+    heat_read(obs::HeatDir::kIn, i, j, adj, logical);
+    if (obs::iotrace_enabled()) [[unlikely]] {
+      trace_access(obs::TraceBlockKind::kInAdj, obs::TraceOutcome::kBypass,
+                   obs::TraceInsertMode::kAlways, obs::TraceAdmit::kNone, i, j,
+                   owner_, adj, adj, adj);
+    }
+    store_->read_in_block_raw(i, j, buf.raw);
+    decode_codec(buf.raw.data(), buf.raw.size(), 1, i, j, block.edge_count,
+                 buf);
+    return serve();
+  }
+  BlockKey key{BlockKind::kInAdj, i, j};
+  if (BlockCache::PinnedBytes hit = consult(key, adj)) {
+    heat_hit(obs::HeatDir::kIn, i, j);
+    if (obs::iotrace_enabled()) [[unlikely]] {
+      trace_access(obs::TraceBlockKind::kInAdj, obs::TraceOutcome::kHit,
+                   obs::TraceInsertMode::kAlways, obs::TraceAdmit::kNone, i, j,
+                   owner_, adj, adj, adj);
+    }
+    decode_codec(hit->data(), hit->size(), 1, i, j, block.edge_count, buf);
+    return serve();
+  }
+  heat_miss(obs::HeatDir::kIn, i, j);
+  heat_read(obs::HeatDir::kIn, i, j, adj, logical);
+  store_->read_in_block_raw(i, j, buf.raw);
+  BlockCache::PinnedBytes in =
+      admit(key, std::vector<char>(buf.raw.begin(), buf.raw.end()), adj);
+  if (obs::iotrace_enabled()) [[unlikely]] {
+    trace_access(obs::TraceBlockKind::kInAdj, obs::TraceOutcome::kMiss,
+                 obs::TraceInsertMode::kAlways,
+                 in != nullptr ? obs::TraceAdmit::kInserted
+                               : obs::TraceAdmit::kRejected,
+                 i, j, owner_, adj, adj, adj);
+  }
+  decode_codec(buf.raw.data(), buf.raw.size(), 1, i, j, block.edge_count, buf);
+  return serve();
+}
+
 AdjacencySlice CachedBlockReader::load_out_edges(std::uint32_t i,
                                                  std::uint32_t j,
                                                  std::uint32_t lo,
                                                  std::uint32_t hi,
                                                  AdjacencyBuffer& buf) const {
   const StoreMeta& meta = store_->meta();
+  if (meta.codec != BlockCodecKind::kNone) {
+    return load_out_edges_codec(i, j, lo, hi, buf);
+  }
   const std::uint32_t rec = meta.edge_record_bytes();
   const std::uint64_t point_bytes = static_cast<std::uint64_t>(hi - lo) * rec;
   // Budget-independent insert facts for the trace: whether this block WOULD
@@ -279,55 +429,47 @@ AdjacencySlice CachedBlockReader::load_out_edges(std::uint32_t i,
   return store_->load_out_edges(i, j, lo, hi, buf);
 }
 
-AdjacencySlice CachedBlockReader::stream_in_block(
-    std::uint32_t i, std::uint32_t j, AdjacencyBuffer& buf,
-    const std::vector<std::uint32_t>* run_index) const {
+AdjacencySlice CachedBlockReader::stream_in_block(std::uint32_t i,
+                                                  std::uint32_t j,
+                                                  AdjacencyBuffer& buf) const {
   HUSG_SPAN("cache", "stream_in_block", "i", static_cast<std::int64_t>(i), "j",
             static_cast<std::int64_t>(j));
   const StoreMeta& meta = store_->meta();
+  if (meta.codec != BlockCodecKind::kNone) {
+    return stream_in_block_codec(i, j, buf);
+  }
   const BlockExtent& block = meta.in_block(i, j);
-  // Varint blocks are cached decompressed, so the in-memory payload a miss
-  // would insert can exceed the on-disk size (what a hit saves).
-  const std::uint64_t payload_bytes =
-      meta.in_blocks_compressed
-          ? block.edge_count * sizeof(std::uint32_t)
-          : block.adj_bytes;
   if (cache_ == nullptr) {
     heat_read(obs::HeatDir::kIn, i, j, block.adj_bytes);
     if (obs::iotrace_enabled()) [[unlikely]] {
       trace_access(obs::TraceBlockKind::kInAdj, obs::TraceOutcome::kBypass,
                    obs::TraceInsertMode::kAlways, obs::TraceAdmit::kNone, i, j,
-                   owner_, block.adj_bytes, payload_bytes, block.adj_bytes);
+                   owner_, block.adj_bytes, block.adj_bytes, block.adj_bytes);
     }
-    return store_->stream_in_block(i, j, buf, run_index);
+    return store_->stream_in_block(i, j, buf);
   }
   BlockKey key{BlockKind::kInAdj, i, j};
-  // Payloads are stored decompressed, so a hit on a varint block saves its
-  // (smaller) on-disk size while serving fixed-width records.
   if (BlockCache::PinnedBytes hit = consult(key, block.adj_bytes)) {
     heat_hit(obs::HeatDir::kIn, i, j);
     if (obs::iotrace_enabled()) [[unlikely]] {
       trace_access(obs::TraceBlockKind::kInAdj, obs::TraceOutcome::kHit,
                    obs::TraceInsertMode::kAlways, obs::TraceAdmit::kNone, i, j,
-                   owner_, block.adj_bytes, payload_bytes, block.adj_bytes);
+                   owner_, block.adj_bytes, block.adj_bytes, block.adj_bytes);
     }
     return decode_payload(hit, 0, block.edge_count, meta.weighted, buf);
   }
   heat_miss(obs::HeatDir::kIn, i, j);
   heat_read(obs::HeatDir::kIn, i, j, block.adj_bytes);
   buf.guard.reset();
-  AdjacencySlice slice = store_->stream_in_block(i, j, buf, run_index);
-  std::vector<char> payload =
-      meta.in_blocks_compressed
-          ? to_payload(slice.neighbors.data(), slice.neighbors.size())
-          : std::vector<char>(buf.raw.begin(), buf.raw.end());
+  AdjacencySlice slice = store_->stream_in_block(i, j, buf);
+  std::vector<char> payload(buf.raw.begin(), buf.raw.end());
   BlockCache::PinnedBytes in = admit(key, std::move(payload), block.adj_bytes);
   if (obs::iotrace_enabled()) [[unlikely]] {
     trace_access(obs::TraceBlockKind::kInAdj, obs::TraceOutcome::kMiss,
                  obs::TraceInsertMode::kAlways,
                  in != nullptr ? obs::TraceAdmit::kInserted
                                : obs::TraceAdmit::kRejected,
-                 i, j, owner_, block.adj_bytes, payload_bytes,
+                 i, j, owner_, block.adj_bytes, block.adj_bytes,
                  block.adj_bytes);
   }
   return slice;

@@ -54,9 +54,12 @@ class CachedBlockReader {
   void load_in_index(std::uint32_t i, std::uint32_t j,
                      std::vector<std::uint32_t>& out) const;
 
-  AdjacencySlice stream_in_block(
-      std::uint32_t i, std::uint32_t j, AdjacencyBuffer& buf,
-      const std::vector<std::uint32_t>* run_index = nullptr) const;
+  AdjacencySlice stream_in_block(std::uint32_t i, std::uint32_t j,
+                                 AdjacencyBuffer& buf) const;
+
+  /// Decode-side codec counters of this reader (blocks decoded, encoded and
+  /// decoded byte volumes). All-zero for kNone stores. Thread-safe.
+  CodecStats codec_stats() const;
 
   /// Resident out-adjacency bytes of row i / in-adjacency bytes of column i
   /// (on-disk sizes). The cache-aware predictor costs the uncached residual.
@@ -86,6 +89,21 @@ class CachedBlockReader {
   BlockCache::PinnedBytes admit(const BlockKey& key, std::vector<char> payload,
                                 std::uint64_t disk_bytes) const;
 
+  /// Decodes a codec block's raw bytes into buf.ids, memoizes the decode and
+  /// charges the codec counters. Returns the decoded id count.
+  std::size_t decode_codec(const char* data, std::size_t size,
+                           std::uint8_t kind, std::uint32_t i, std::uint32_t j,
+                           std::uint64_t expected, AdjacencyBuffer& buf) const;
+
+  /// Codec twins of the two adjacency paths: whole-block reads, encoded
+  /// payloads in the cache, per-buffer decode memo consulted before the
+  /// cache so repeated point loads of one block count one cache event.
+  AdjacencySlice load_out_edges_codec(std::uint32_t i, std::uint32_t j,
+                                      std::uint32_t lo, std::uint32_t hi,
+                                      AdjacencyBuffer& buf) const;
+  AdjacencySlice stream_in_block_codec(std::uint32_t i, std::uint32_t j,
+                                       AdjacencyBuffer& buf) const;
+
   const DualBlockStore* store_;
   BlockCache* cache_;
   bool fill_rop_;
@@ -97,6 +115,11 @@ class CachedBlockReader {
   mutable std::atomic<std::uint64_t> local_insertions_{0};
   mutable std::atomic<std::uint64_t> local_rejects_{0};
   mutable std::atomic<std::uint64_t> local_bytes_saved_{0};
+
+  /// Codec decode counters (skip-side counters live in the engine).
+  mutable std::atomic<std::uint64_t> blocks_decoded_{0};
+  mutable std::atomic<std::uint64_t> encoded_bytes_{0};
+  mutable std::atomic<std::uint64_t> decoded_bytes_{0};
 };
 
 }  // namespace husg

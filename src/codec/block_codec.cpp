@@ -1,0 +1,156 @@
+#include "codec/block_codec.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/checksum.hpp"
+#include "util/timer.hpp"
+#include "util/varint.hpp"
+
+namespace husg {
+
+const char* to_string(BlockCodecKind kind) {
+  switch (kind) {
+    case BlockCodecKind::kNone:
+      return "none";
+    case BlockCodecKind::kDeltaVarint:
+      return "delta-varint";
+  }
+  return "?";
+}
+
+bool parse_block_codec(const std::string& name, BlockCodecKind* out) {
+  if (name == "none") {
+    *out = BlockCodecKind::kNone;
+    return true;
+  }
+  if (name == "delta-varint") {
+    *out = BlockCodecKind::kDeltaVarint;
+    return true;
+  }
+  return false;
+}
+
+void encode_block(const VertexId* ids, std::size_t count,
+                  const std::uint32_t* run_offsets, std::size_t runs,
+                  std::vector<char>& out) {
+  out.clear();
+  if (count == 0) return;
+  HUSG_CHECK(run_offsets[runs] == count,
+             "encode_block: run offsets do not cover the id array");
+  out.resize(sizeof(CodecBlockHeader));  // patched after the payload is known
+  for (std::size_t r = 0; r < runs; ++r) {
+    std::uint32_t lo = run_offsets[r], hi = run_offsets[r + 1];
+    if (lo == hi) continue;
+    std::size_t len = hi - lo;
+    bool sorted = true;
+    for (std::size_t k = lo + 1; k < hi; ++k) {
+      if (ids[k] < ids[k - 1]) {
+        sorted = false;
+        break;
+      }
+    }
+    varint64_encode(2 * static_cast<std::uint64_t>(len) + (sorted ? 0 : 1),
+                    out);
+    varint_encode(ids[lo], out);
+    for (std::size_t k = lo + 1; k < hi; ++k) {
+      if (sorted) {
+        varint_encode(ids[k] - ids[k - 1], out);
+      } else {
+        varint64_encode(zigzag_encode(static_cast<std::int64_t>(ids[k]) -
+                                      static_cast<std::int64_t>(ids[k - 1])),
+                        out);
+      }
+    }
+  }
+  CodecBlockHeader hdr;
+  hdr.codec = static_cast<std::uint16_t>(BlockCodecKind::kDeltaVarint);
+  hdr.raw_bytes = count * sizeof(VertexId);
+  hdr.encoded_bytes = out.size() - sizeof(hdr);
+  hdr.checksum = fnv1a(out.data() + sizeof(hdr), hdr.encoded_bytes);
+  std::memcpy(out.data(), &hdr, sizeof(hdr));
+}
+
+std::size_t decode_block(const char* data, std::size_t size,
+                         std::vector<VertexId>& out) {
+  out.clear();
+  if (size == 0) return 0;
+  HUSG_CHECK(size >= sizeof(CodecBlockHeader),
+             "codec block truncated: " << size << " bytes, need at least "
+                                       << sizeof(CodecBlockHeader));
+  CodecBlockHeader hdr;
+  std::memcpy(&hdr, data, sizeof(hdr));
+  HUSG_CHECK(hdr.magic == kCodecBlockMagic, "bad codec block magic");
+  HUSG_CHECK(hdr.codec ==
+                 static_cast<std::uint16_t>(BlockCodecKind::kDeltaVarint),
+             "unknown block codec id " << hdr.codec);
+  HUSG_CHECK(hdr.raw_bytes % sizeof(VertexId) == 0,
+             "codec block raw size not a whole id count");
+  HUSG_CHECK(size == sizeof(hdr) + hdr.encoded_bytes,
+             "codec block size mismatch: " << size << " vs "
+                                           << sizeof(hdr) + hdr.encoded_bytes);
+  const char* payload = data + sizeof(hdr);
+  HUSG_CHECK(fnv1a(payload, hdr.encoded_bytes) == hdr.checksum,
+             "codec block payload checksum mismatch");
+  const std::size_t n = hdr.raw_bytes / sizeof(VertexId);
+  out.resize(n);
+  std::size_t pos = 0, at = 0;
+  while (at < n) {
+    std::uint64_t tag = varint64_decode(payload, hdr.encoded_bytes, pos);
+    std::size_t len = static_cast<std::size_t>(tag >> 1);
+    HUSG_CHECK(len > 0 && at + len <= n,
+               "codec block run overflows the declared id count");
+    out[at] = varint_decode(payload, hdr.encoded_bytes, pos);
+    if ((tag & 1) == 0) {
+      for (std::size_t k = 1; k < len; ++k) {
+        out[at + k] =
+            out[at + k - 1] + varint_decode(payload, hdr.encoded_bytes, pos);
+      }
+    } else {
+      for (std::size_t k = 1; k < len; ++k) {
+        std::int64_t delta =
+            zigzag_decode(varint64_decode(payload, hdr.encoded_bytes, pos));
+        out[at + k] = static_cast<VertexId>(
+            static_cast<std::int64_t>(out[at + k - 1]) + delta);
+      }
+    }
+    at += len;
+  }
+  HUSG_CHECK(pos == hdr.encoded_bytes, "codec block has trailing bytes");
+  return n;
+}
+
+double profile_decode_throughput(BlockCodecKind kind) {
+  if (kind == BlockCodecKind::kNone) return 0;
+  // Synthetic block: 64Ki ids in runs of 16 with small sorted gaps — the
+  // shape a power-law CSR block decodes as. Deterministic input; only the
+  // measured wall time varies across hosts, which is the point.
+  constexpr std::size_t kIds = 64 * 1024, kRun = 16;
+  std::vector<VertexId> ids(kIds);
+  std::vector<std::uint32_t> offsets;
+  std::uint64_t state = 0x9E3779B97F4A7C15ULL;
+  for (std::size_t r = 0; r * kRun < kIds; ++r) {
+    offsets.push_back(static_cast<std::uint32_t>(r * kRun));
+    VertexId v = static_cast<VertexId>(state % 1024);
+    for (std::size_t k = 0; k < kRun; ++k) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      v += static_cast<VertexId>(state % 7 + 1);
+      ids[r * kRun + k] = v;
+    }
+  }
+  offsets.push_back(static_cast<std::uint32_t>(kIds));
+  std::vector<char> encoded;
+  encode_block(ids.data(), kIds, offsets.data(), offsets.size() - 1, encoded);
+  std::vector<VertexId> decoded;
+  const double raw_bytes = static_cast<double>(kIds * sizeof(VertexId));
+  Timer timer;
+  std::size_t reps = 0;
+  do {
+    decode_block(encoded.data(), encoded.size(), decoded);
+    ++reps;
+  } while (timer.seconds() < 0.005);
+  return raw_bytes * static_cast<double>(reps) /
+         std::max(timer.seconds(), 1e-9);
+}
+
+}  // namespace husg

@@ -1,0 +1,162 @@
+// Pluggable block codec for the dual-block store (semi-external mode).
+//
+// A codec store packs every non-empty adjacency block — out-blocks and
+// in-blocks alike — as a 32-byte CodecBlockHeader followed by a
+// self-delimiting payload:
+//
+//   header   magic 'HBK1', codec id, raw/encoded byte sizes, FNV-1a checksum
+//            of the encoded payload
+//   payload  one varint group per non-empty CSR run:
+//              tag        varint64, 2*len + (sorted ? 0 : 1)
+//              first id   varint32
+//              deltas     len-1 gaps — plain varint32 for sorted runs,
+//                         zigzag varint64 otherwise
+//
+// The payload needs no external index to decode (the tag carries each run's
+// length), so blocks travel and cache compressed: the block cache admits the
+// encoded bytes — multiplying its effective capacity — and readers decode
+// into per-thread scratch only when a block is actually applied. kNone keeps
+// the fixed-width record format byte-identical to pre-codec stores.
+//
+// Codec blocks are unweighted only (weighted records interleave floats that
+// delta-coding would garble); the builder rejects the combination.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace husg {
+
+enum class BlockCodecKind : std::uint16_t {
+  kNone = 0,         ///< fixed-width records, byte-identical to v4 stores
+  kDeltaVarint = 1,  ///< delta-gap varint over CSR neighbor runs
+};
+
+const char* to_string(BlockCodecKind kind);
+
+/// Parses "none" / "delta-varint" into `out`; returns false on anything else
+/// (the CLI maps that to its invalid-option exit code).
+bool parse_block_codec(const std::string& name, BlockCodecKind* out);
+
+inline constexpr std::uint32_t kCodecBlockMagic = 0x314B4248;  // "HBK1"
+
+/// Per-block on-disk header preceding every non-empty encoded block.
+/// Empty blocks occupy zero bytes (no header), exactly like the raw format.
+struct CodecBlockHeader {
+  std::uint32_t magic = kCodecBlockMagic;
+  std::uint16_t codec = 0;     ///< BlockCodecKind
+  std::uint16_t reserved = 0;
+  std::uint64_t raw_bytes = 0;      ///< decoded size: edge_count * 4
+  std::uint64_t encoded_bytes = 0;  ///< payload size following this header
+  std::uint64_t checksum = 0;       ///< FNV-1a over the encoded payload
+};
+static_assert(sizeof(CodecBlockHeader) == 32);
+
+/// Encodes `count` neighbor ids split into `runs` CSR runs (run_offsets has
+/// runs+1 entries, run_offsets[runs] == count) as header + payload, replacing
+/// the contents of `out`. count == 0 leaves `out` empty.
+void encode_block(const VertexId* ids, std::size_t count,
+                  const std::uint32_t* run_offsets, std::size_t runs,
+                  std::vector<char>& out);
+
+/// Decodes a block written by encode_block into `out`, returning the id
+/// count. Validates magic, codec id, sizes, and the payload checksum; throws
+/// DataError on any mismatch or truncation. Empty input decodes to zero ids.
+std::size_t decode_block(const char* data, std::size_t size,
+                         std::vector<VertexId>& out);
+
+/// Measures decode throughput (raw bytes produced per second) of `kind` on a
+/// synthetic power-law-ish block. Backend-profiled input for the predictor's
+/// T_decode term; returns 0 for kNone (nothing to decode).
+double profile_decode_throughput(BlockCodecKind kind);
+
+/// Thread-safe freelist of byte buffers: codec read paths stage encoded
+/// block bytes in a pooled buffer instead of allocating per read. Lease
+/// returns the buffer on destruction.
+class ScratchPool {
+ public:
+  class Lease {
+   public:
+    Lease(ScratchPool* pool, std::vector<char> buf)
+        : pool_(pool), buf_(std::move(buf)) {}
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), buf_(std::move(other.buf_)) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() {
+      if (pool_ != nullptr) pool_->release(std::move(buf_));
+    }
+    std::vector<char>& operator*() { return buf_; }
+    std::vector<char>* operator->() { return &buf_; }
+
+   private:
+    ScratchPool* pool_;
+    std::vector<char> buf_;
+  };
+
+  Lease acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.empty()) return Lease(this, {});
+    std::vector<char> buf = std::move(free_.back());
+    free_.pop_back();
+    buf.clear();
+    return Lease(this, std::move(buf));
+  }
+
+ private:
+  void release(std::vector<char> buf) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(buf));
+  }
+
+  std::mutex mu_;
+  std::vector<std::vector<char>> free_;
+};
+
+/// Codec-layer activity of one run: decode work (the predictor's T_decode is
+/// calibrated against exactly these bytes) and what the skip filters saved.
+/// Published as husg_codec_* / husg_skip_* by RunStats::publish.
+struct CodecStats {
+  std::uint64_t blocks_decoded = 0;
+  std::uint64_t encoded_bytes = 0;  ///< compressed bytes fed to the decoder
+  std::uint64_t decoded_bytes = 0;  ///< raw id bytes the decoder produced
+  std::uint64_t skip_filter_rebuilds = 0;
+  std::uint64_t blocks_skipped = 0;
+  std::uint64_t skipped_bytes = 0;  ///< on-disk bytes the skips avoided
+
+  bool any() const {
+    return blocks_decoded != 0 || skip_filter_rebuilds != 0 ||
+           blocks_skipped != 0;
+  }
+
+  CodecStats& operator+=(const CodecStats& o) {
+    blocks_decoded += o.blocks_decoded;
+    encoded_bytes += o.encoded_bytes;
+    decoded_bytes += o.decoded_bytes;
+    skip_filter_rebuilds += o.skip_filter_rebuilds;
+    blocks_skipped += o.blocks_skipped;
+    skipped_bytes += o.skipped_bytes;
+    return *this;
+  }
+
+  CodecStats operator-(const CodecStats& o) const {
+    CodecStats d;
+    d.blocks_decoded = blocks_decoded - o.blocks_decoded;
+    d.encoded_bytes = encoded_bytes - o.encoded_bytes;
+    d.decoded_bytes = decoded_bytes - o.decoded_bytes;
+    d.skip_filter_rebuilds = skip_filter_rebuilds - o.skip_filter_rebuilds;
+    d.blocks_skipped = blocks_skipped - o.blocks_skipped;
+    d.skipped_bytes = skipped_bytes - o.skipped_bytes;
+    return d;
+  }
+};
+
+}  // namespace husg

@@ -1,0 +1,61 @@
+// Per-block Bloom signatures for active-block skipping.
+//
+// Each (i,j) block pair of the dual-block store gets one 1024-bit signature:
+// a 512-bit Bloom over the block's source vertices and another over its
+// destinations, built once at pack time (out-block (i,j) and in-block (i,j)
+// cover the same edge set, so one signature serves both grids). At run time
+// BlockSkipFilter Blooms the frontier per interval; a zero intersection with
+// a block's source words proves no active vertex has edges in that block, so
+// the engine skips it before any I/O is issued. False positives only cost a
+// wasted read — never a missed edge.
+//
+// Lives apart from the codec and the store layout so layout.hpp can embed
+// BlockSignature in StoreMeta without pulling in frontier/engine headers.
+#pragma once
+
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace husg {
+
+inline constexpr std::size_t kSignatureWords = 8;  // 512 bits per side
+
+/// splitmix64: cheap, well-mixed 64-bit hash for Bloom probes.
+inline std::uint64_t signature_hash(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Sets vertex v's probe bit in a 512-bit Bloom. One bit per vertex, not the
+/// classic k bits: the membership test here is an INTERSECTION (does the
+/// active Bloom share any bit with the signature?), which fires on any one
+/// shared bit — extra probes per vertex only add collision surface, so k=1
+/// minimizes the false-positive rate for this test.
+inline void signature_add(std::uint64_t (&words)[kSignatureWords], VertexId v) {
+  std::uint64_t h = signature_hash(v);
+  std::uint32_t b = static_cast<std::uint32_t>(h) & 511u;
+  words[b >> 6] |= 1ull << (b & 63u);
+}
+
+/// True when the two Blooms share any set bit. A zero intersection with an
+/// interval's active Bloom is a proof of absence (skips are always safe);
+/// a non-zero one may be a false positive.
+inline bool signature_intersects(const std::uint64_t (&a)[kSignatureWords],
+                                 const std::uint64_t (&b)[kSignatureWords]) {
+  std::uint64_t acc = 0;
+  for (std::size_t k = 0; k < kSignatureWords; ++k) acc |= a[k] & b[k];
+  return acc != 0;
+}
+
+/// On-disk signature of one block pair, stored row-major in meta.bin for
+/// stores built with StoreOptions::skip_filters.
+struct BlockSignature {
+  std::uint64_t src[kSignatureWords] = {};  ///< Bloom over source vertices
+  std::uint64_t dst[kSignatureWords] = {};  ///< Bloom over destinations
+};
+static_assert(sizeof(BlockSignature) == 128);
+
+}  // namespace husg

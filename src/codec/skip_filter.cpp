@@ -1,0 +1,36 @@
+#include "codec/skip_filter.hpp"
+
+#include <cstring>
+
+namespace husg {
+
+BlockSkipFilter::BlockSkipFilter(const StoreMeta& meta)
+    : meta_(&meta), active_(meta.p()) {}
+
+void BlockSkipFilter::rebuild(const Frontier& frontier) {
+  for (std::uint32_t k = 0; k < meta_->p(); ++k) {
+    ActiveBloom& bloom = active_[k];
+    std::memset(bloom.words, 0, sizeof(bloom.words));
+    if (frontier.active_in(k) == 0) continue;
+    frontier.for_each_active(
+        meta_->interval_begin(k), meta_->interval_end(k),
+        [&](VertexId v) { signature_add(bloom.words, v); });
+  }
+  ++rebuilds_;
+}
+
+bool BlockSkipFilter::may_have_active_source(std::uint32_t i,
+                                             std::uint32_t j) const {
+  if (!available()) return true;
+  return signature_intersects(meta_->block_signature(i, j).src,
+                              active_[i].words);
+}
+
+bool BlockSkipFilter::may_have_active_destination(std::uint32_t i,
+                                                  std::uint32_t j) const {
+  if (!available()) return true;
+  return signature_intersects(meta_->block_signature(i, j).dst,
+                              active_[j].words);
+}
+
+}  // namespace husg

@@ -1,0 +1,55 @@
+// BlockSkipFilter: frontier-side half of the block-skipping scheme (the
+// store-side half is the pack-time BlockSignature in meta.bin).
+//
+// rebuild() Blooms the active vertices of every interval — O(|A|) hashing,
+// done once per iteration before the ROP/COP decision — and the per-block
+// tests are then eight AND-OR words each: ROP consults them before loading a
+// block's out-index, COP while assembling its column's block list. An
+// interval with no active vertices yields an all-zero Bloom, so every one of
+// its blocks tests negative deterministically (no false-positive caveat on
+// the empty case).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/block_signature.hpp"
+#include "core/frontier.hpp"
+#include "storage/layout.hpp"
+
+namespace husg {
+
+class BlockSkipFilter {
+ public:
+  /// Borrows `meta`; the store must outlive the filter.
+  explicit BlockSkipFilter(const StoreMeta& meta);
+
+  /// True when the store carries block signatures (built with
+  /// StoreOptions::skip_filters); without them every may_* test passes.
+  bool available() const { return meta_->has_skip_filters; }
+
+  /// Re-Blooms the frontier per interval. Call at the top of each iteration,
+  /// before the first may_* test.
+  void rebuild(const Frontier& frontier);
+
+  /// May block (i,j) — sources in interval i, destinations in interval j —
+  /// contain an edge from a currently-active source? false is a proof (skip
+  /// is safe); true may be a Bloom false positive.
+  bool may_have_active_source(std::uint32_t i, std::uint32_t j) const;
+
+  /// Same test against the destination side of the signature.
+  bool may_have_active_destination(std::uint32_t i, std::uint32_t j) const;
+
+  std::uint64_t rebuilds() const { return rebuilds_; }
+
+ private:
+  struct ActiveBloom {
+    std::uint64_t words[kSignatureWords] = {};
+  };
+
+  const StoreMeta* meta_;
+  std::vector<ActiveBloom> active_;  ///< one Bloom per interval
+  std::uint64_t rebuilds_ = 0;
+};
+
+}  // namespace husg

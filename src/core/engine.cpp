@@ -27,6 +27,25 @@ Engine::Engine(const DualBlockStore& store, EngineOptions options)
                  opts_.cache_max_block_fraction <= 1,
              "cache_max_block_fraction must be in (0,1], got "
                  << opts_.cache_max_block_fraction);
+  if (opts_.skip_filter) {
+    HUSG_CHECK(store.meta().has_skip_filters,
+               "skip_filter requires a store built with block signatures "
+               "(StoreOptions::skip_filters)");
+    skip_ = std::make_unique<BlockSkipFilter>(store.meta());
+  }
+  if (store.meta().codec != BlockCodecKind::kNone) {
+    decode_bps_ = opts_.decode_bytes_per_sec > 0
+                      ? opts_.decode_bytes_per_sec
+                      : profile_decode_throughput(store.meta().codec);
+  }
+}
+
+CodecStats Engine::codec_stats() const {
+  CodecStats s = reader_.codec_stats();
+  s.blocks_skipped = blocks_skipped_.load(std::memory_order_relaxed);
+  s.skipped_bytes = skipped_bytes_.load(std::memory_order_relaxed);
+  if (skip_) s.skip_filter_rebuilds = skip_->rebuilds();
+  return s;
 }
 
 CacheStats Engine::cache_stats() const {
@@ -38,9 +57,12 @@ CacheStats Engine::cache_stats() const {
 }
 
 std::uint64_t Engine::column_bytes(std::uint32_t i) const {
+  // Skip-aware: blocks the filter proves inactive this iteration are never
+  // streamed, so they cost nothing in either model's byte estimate.
   const StoreMeta& meta = store_->meta();
   std::uint64_t bytes = 0;
   for (std::uint32_t j = 0; j < meta.p(); ++j) {
+    if (skip_ && !skip_->may_have_active_source(j, i)) continue;
     bytes += meta.in_block(j, i).adj_bytes;
   }
   return bytes;
@@ -50,6 +72,7 @@ std::uint64_t Engine::row_bytes(std::uint32_t i) const {
   const StoreMeta& meta = store_->meta();
   std::uint64_t bytes = 0;
   for (std::uint32_t j = 0; j < meta.p(); ++j) {
+    if (skip_ && !skip_->may_have_active_source(i, j)) continue;
     bytes += meta.out_block(i, j).adj_bytes;
   }
   return bytes;
@@ -73,6 +96,7 @@ std::vector<DecisionRecord> Engine::decide(const Frontier& frontier,
   // the decision events can be written AFTER the global-granularity pass
   // overwrites used_rop (the trace records the final decision).
   const bool tracing = obs::iotrace_enabled();
+  const bool codec = meta.codec != BlockCodecKind::kNone;
   std::vector<PredictionInputs> traced(tracing ? p : 0);
 
   for (std::uint32_t i = 0; i < p; ++i) {
@@ -86,7 +110,7 @@ std::vector<DecisionRecord> Engine::decide(const Frontier& frontier,
     in.edge_bytes = meta.edge_record_bytes();
     in.value_bytes = value_bytes;  // N
     in.column_edge_bytes = column_bytes(i);
-    if (opts_.predictor == PredictorFlavor::kCacheAware || tracing) {
+    if (opts_.predictor == PredictorFlavor::kCacheAware || tracing || codec) {
       // §3.4, cache-aware: resident bytes cost zero I/O, so both models are
       // costed over the uncached residual of the interval. As the cache
       // warms, the residual shrinks and the ROP/COP crossover moves.
@@ -95,6 +119,26 @@ std::vector<DecisionRecord> Engine::decide(const Frontier& frontier,
       in.row_edge_bytes = row_bytes(i);
       in.cached_row_edge_bytes = reader_.cached_row_bytes(i);
       in.cached_column_edge_bytes = reader_.cached_column_bytes(i);
+    }
+    if (codec) {
+      // Codec ROP reads whole blocks (decoded once, memoized); cost by
+      // surviving block count and charge T_decode for the raw CSR volume
+      // behind each model's reads. Skipped blocks contribute to neither.
+      in.whole_block_rop = true;
+      in.decode_bytes_per_sec = decode_bps_;
+      for (std::uint32_t j = 0; j < p; ++j) {
+        const BlockExtent& ob = meta.out_block(i, j);
+        if (in.active_vertices > 0 && ob.edge_count > 0 &&
+            !(skip_ && !skip_->may_have_active_source(i, j))) {
+          ++in.row_block_loads;
+          in.row_raw_bytes += ob.edge_count * sizeof(VertexId);
+        }
+        const BlockExtent& ib = meta.in_block(j, i);
+        if (ib.edge_count > 0 &&
+            !(skip_ && !skip_->may_have_active_source(j, i))) {
+          in.column_raw_bytes += ib.edge_count * sizeof(VertexId);
+        }
+      }
     }
     // With global granularity the α shortcut is applied to the whole-graph
     // active fraction below, not interval by interval.

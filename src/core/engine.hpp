@@ -39,6 +39,7 @@
 
 #include "cache/block_cache.hpp"
 #include "cache/cached_reader.hpp"
+#include "codec/skip_filter.hpp"
 #include "core/cancellation.hpp"
 #include "core/frontier.hpp"
 #include "core/predictor.hpp"
@@ -107,6 +108,16 @@ struct EngineOptions {
   /// accounting and cross-job hit attribution.
   BlockCache* shared_cache = nullptr;
   std::uint32_t cache_owner = 0;
+  /// Frontier-driven block skipping: rebuild a per-interval active Bloom each
+  /// iteration and test it against the store's pack-time block signatures, so
+  /// ROP rows and COP columns drop blocks with no active endpoints before any
+  /// I/O is issued. Requires a store built with StoreOptions::skip_filters.
+  bool skip_filter = false;
+  /// Codec decode throughput fed to the predictor's T_decode term (bytes of
+  /// DECODED output per second). 0 = micro-profile the store's codec at
+  /// engine construction; benches pin a fixed value for determinism. Ignored
+  /// for kNone stores.
+  double decode_bytes_per_sec = 0;
   /// Cooperative cancellation: when set, run() polls the token at the top of
   /// every iteration and between edge blocks/intervals, unwinding with
   /// OperationCancelled (scratch files are still cleaned up). The token must
@@ -129,6 +140,10 @@ class Engine {
   /// Block-cache counters since construction (zero-valued when the cache is
   /// disabled). Per-iteration deltas land in IterationStats::cache.
   CacheStats cache_stats() const;
+  /// Codec/skip counters since construction: the reader's decode side plus
+  /// this engine's skip-filter side. All-zero for kNone stores without a
+  /// skip filter. The run() delta lands in RunStats::codec.
+  CodecStats codec_stats() const;
 
   /// Runs `prog` to convergence (empty frontier) or max_iterations.
   template <VertexProgram P>
@@ -192,6 +207,13 @@ class Engine {
   /// reader_ which borrows it.
   std::unique_ptr<BlockCache> cache_;
   CachedBlockReader reader_;
+  /// Frontier-side skip filter (EngineOptions::skip_filter); null when off.
+  std::unique_ptr<BlockSkipFilter> skip_;
+  /// Resolved decode throughput for the predictor (0 for kNone stores).
+  double decode_bps_ = 0;
+  /// Skip-side codec counters (decode side lives in reader_).
+  mutable std::atomic<std::uint64_t> blocks_skipped_{0};
+  mutable std::atomic<std::uint64_t> skipped_bytes_{0};
 };
 
 // ---------------------------------------------------------------------------
@@ -222,6 +244,7 @@ RunResult<typename P::Value> Engine::run(const P& prog,
 
   std::filesystem::path scratch = scratch_file();
   RunResult<V> result;
+  const CodecStats codec_start = codec_stats();
   // Unwind path (cancellation, timeout, I/O failure): the ValueStore closes
   // and the scratch file is removed either way, so a cancelled job tears
   // down without leaking partial results on disk.
@@ -255,6 +278,9 @@ RunResult<typename P::Value> Engine::run(const P& prog,
       ctx.iteration = iter;
       istats.active_vertices = frontier.active_vertices();
       istats.active_edges = frontier.active_out_degree();
+      // Bloom the frontier before deciding: decide()'s skip-aware byte
+      // estimates and the row/column paths below consult the same filter.
+      if (skip_) skip_->rebuild(frontier);
       istats.decisions = decide(frontier, sizeof(V), iter);
 
       if (opts_.sync == SyncMode::kJacobi) values.snapshot_all();
@@ -404,6 +430,7 @@ RunResult<typename P::Value> Engine::run(const P& prog,
     }
 
     result.values = values.values();
+    result.stats.codec = codec_stats() - codec_start;
   } catch (...) {
     if (opts_.file_backed_values) {
       std::error_code ec;
@@ -447,6 +474,14 @@ void Engine::rop_row(const P& prog, const ProgramContext& ctx, std::uint32_t i,
     std::uint32_t j = static_cast<std::uint32_t>(jz);
     const BlockExtent& block = meta.out_block(i, j);
     if (block.edge_count == 0) return;
+    // Skip filter: a zero signature/frontier intersection proves no active
+    // source has edges in this block — drop it before any I/O (even the
+    // index load).
+    if (skip_ && !skip_->may_have_active_source(i, j)) {
+      blocks_skipped_.fetch_add(1, std::memory_order_relaxed);
+      skipped_bytes_.fetch_add(block.adj_bytes, std::memory_order_relaxed);
+      return;
+    }
     std::vector<std::uint32_t> idx;
     reader_.load_out_index(i, j, idx);
     // Load D_j only if some active vertex actually has edges in this block
@@ -556,8 +591,15 @@ void Engine::cop_blocks(const P& prog, const ProgramContext& ctx,
   // Blocks this column will actually stream.
   std::vector<std::uint32_t> blocks;
   for (std::uint32_t j : source_intervals) {
-    if (meta.in_block(j, i).edge_count == 0) continue;
+    const BlockExtent& blk = meta.in_block(j, i);
+    if (blk.edge_count == 0) continue;
     if (opts_.cop_skip_inactive_blocks && frontier.active_in(j) == 0) continue;
+    // Skip filter: no active source touches this block — never stream it.
+    if (skip_ && !skip_->may_have_active_source(j, i)) {
+      blocks_skipped_.fetch_add(1, std::memory_order_relaxed);
+      skipped_bytes_.fetch_add(blk.adj_bytes, std::memory_order_relaxed);
+      continue;
+    }
     blocks.push_back(j);
   }
 
@@ -575,7 +617,7 @@ void Engine::cop_blocks(const P& prog, const ProgramContext& ctx,
     HUSG_SPAN("engine", "cop_prefetch", "src", static_cast<std::int64_t>(j),
               "dst", static_cast<std::int64_t>(i));
     reader_.load_in_index(j, i, slot.inidx);
-    slot.slice = reader_.stream_in_block(j, i, slot.buf, &slot.inidx);
+    slot.slice = reader_.stream_in_block(j, i, slot.buf);
   };
   std::future<void> pending;
   std::function<void()> deferred;
@@ -723,7 +765,7 @@ void Engine::cop_column_accumulating(const P& prog, const ProgramContext& ctx,
     HUSG_SPAN("engine", "cop_prefetch", "src", static_cast<std::int64_t>(j),
               "dst", static_cast<std::int64_t>(i));
     reader_.load_in_index(j, i, slot.inidx);
-    slot.slice = reader_.stream_in_block(j, i, slot.buf, &slot.inidx);
+    slot.slice = reader_.stream_in_block(j, i, slot.buf);
   };
   std::future<void> pending;
   std::function<void()> deferred;

@@ -36,6 +36,13 @@ Prediction IoCostPredictor::predict(const PredictionInputs& in,
     const double rand_bw = std::max(device_.rand_read_bw, 1.0);
     double ops = static_cast<double>(in.active_vertices) * p;
     double rop_bytes = rop_edge_bytes;
+    if (in.whole_block_rop) {
+      // Codec ROP: every touched block is read whole exactly once (memoized
+      // decode), so the op count is the surviving block count and the bytes
+      // are the encoded row bytes — not per-vertex loads.
+      ops = static_cast<double>(in.row_block_loads);
+      rop_bytes = static_cast<double>(in.row_edge_bytes);
+    }
     double cop_bytes = static_cast<double>(in.column_edge_bytes);
     if (flavor_ == PredictorFlavor::kCacheAware) {
       // Resident bytes cost no I/O. Point loads land uniformly over the row
@@ -57,6 +64,15 @@ Prediction IoCostPredictor::predict(const PredictionInputs& in,
     out.c_rop = ops * device_.seek_seconds + rop_bytes / rand_bw +
                 vertex_bytes / t_seq;
     out.c_cop = (cop_bytes + vertex_bytes) / t_seq;
+    if (in.decode_bytes_per_sec > 0) {
+      // T_decode: codec blocks trade transfer bytes for decode CPU; charge
+      // the raw (decoded) volume behind each model's reads at the profiled
+      // throughput.
+      out.c_rop += static_cast<double>(in.row_raw_bytes) /
+                   in.decode_bytes_per_sec;
+      out.c_cop += static_cast<double>(in.column_raw_bytes) /
+                   in.decode_bytes_per_sec;
+    }
   }
   out.choose_rop = out.c_rop <= out.c_cop;
   return out;

@@ -52,6 +52,18 @@ struct PredictionInputs {
   std::uint64_t row_edge_bytes = 0;
   std::uint64_t cached_row_edge_bytes = 0;
   std::uint64_t cached_column_edge_bytes = 0;
+  /// Codec stores: ROP point loads become whole-block reads (one positioning
+  /// + one transfer per non-skipped block of the row), so cost by block
+  /// loads, not per-vertex ops. row_edge_bytes then carries the encoded
+  /// bytes of the non-skipped blocks.
+  bool whole_block_rop = false;
+  std::uint64_t row_block_loads = 0;  ///< non-skipped blocks in the row
+  /// Decoded (raw CSR) bytes behind the row/column byte estimates; the
+  /// T_decode CPU term charges raw/decode_bytes_per_sec on top of the I/O
+  /// cost. Zero for kNone stores (no decode cost).
+  std::uint64_t row_raw_bytes = 0;
+  std::uint64_t column_raw_bytes = 0;
+  double decode_bytes_per_sec = 0;
 };
 
 struct Prediction {

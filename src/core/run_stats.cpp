@@ -81,6 +81,26 @@ void RunStats::publish(obs::Registry& reg) const {
   reg.counter("husg_run_cop_intervals_total",
               "Interval executions that used COP across runs")
       .inc(cop_intervals);
+  if (codec.any()) {
+    reg.counter("husg_codec_blocks_decoded_total",
+                "Codec blocks decoded across runs")
+        .inc(codec.blocks_decoded);
+    reg.counter("husg_codec_encoded_bytes_total",
+                "Encoded (on-disk) bytes decoded across runs")
+        .inc(codec.encoded_bytes);
+    reg.counter("husg_codec_decoded_bytes_total",
+                "Decoded (raw CSR) bytes produced across runs")
+        .inc(codec.decoded_bytes);
+    reg.counter("husg_skip_filter_rebuilds_total",
+                "Skip-filter frontier Bloom rebuilds across runs")
+        .inc(codec.skip_filter_rebuilds);
+    reg.counter("husg_skip_blocks_skipped_total",
+                "Blocks proven inactive and skipped before I/O across runs")
+        .inc(codec.blocks_skipped);
+    reg.counter("husg_skip_bytes_total",
+                "On-disk bytes of skipped blocks across runs")
+        .inc(codec.skipped_bytes);
+  }
   const obs::Heatmap& heat = obs::Heatmap::instance();
   if (heat.has_data()) heat.publish(reg);
   const obs::IoTrace& iotrace = obs::IoTrace::instance();
@@ -98,6 +118,15 @@ std::string RunStats::summary() const {
      << total_io.to_string() << "), edges processed "
      << with_commas(edges_processed);
   if (cache.lookups() > 0) os << ", cache " << cache.to_string();
+  if (codec.any()) {
+    os << ", codec " << with_commas(codec.blocks_decoded) << " decodes ("
+       << human_bytes(codec.encoded_bytes) << " -> "
+       << human_bytes(codec.decoded_bytes) << ")";
+    if (codec.blocks_skipped > 0 || codec.skip_filter_rebuilds > 0) {
+      os << ", skipped " << with_commas(codec.blocks_skipped) << " blocks ("
+         << human_bytes(codec.skipped_bytes) << ")";
+    }
+  }
   return os.str();
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cache/cache_stats.hpp"
+#include "codec/block_codec.hpp"
 #include "core/predictor.hpp"
 #include "io/io_stats.hpp"
 
@@ -61,6 +62,7 @@ struct RunStats {
   std::vector<IterationStats> iterations;
   IoSnapshot total_io;
   CacheStats cache;  ///< block-cache activity across the whole run
+  CodecStats codec;  ///< decode + skip-filter activity across the whole run
   double wall_seconds = 0;
   double modeled_io_seconds = 0;
   double modeled_cpu_seconds = 0;

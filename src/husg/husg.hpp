@@ -24,6 +24,8 @@
 #include "cache/block_cache.hpp"
 #include "cache/cache_stats.hpp"
 #include "cache/cached_reader.hpp"
+#include "codec/block_codec.hpp"
+#include "codec/skip_filter.hpp"
 #include "core/cancellation.hpp"
 #include "core/engine.hpp"
 #include "core/frontier.hpp"

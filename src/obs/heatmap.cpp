@@ -66,8 +66,14 @@ void Heatmap::bump(HeatDir dir, std::uint32_t row, std::uint32_t col,
 
 void Heatmap::record_read(HeatDir dir, std::uint32_t row, std::uint32_t col,
                           std::uint64_t bytes) {
+  record_read(dir, row, col, bytes, bytes);
+}
+
+void Heatmap::record_read(HeatDir dir, std::uint32_t row, std::uint32_t col,
+                          std::uint64_t bytes, std::uint64_t payload_bytes) {
   bump(dir, row, col, 0, 1);
   bump(dir, row, col, 1, bytes);
+  bump(dir, row, col, 5, payload_bytes);
 }
 
 void Heatmap::record_hit(HeatDir dir, std::uint32_t row, std::uint32_t col) {
@@ -93,6 +99,7 @@ HeatCell Heatmap::cell(HeatDir dir, std::uint32_t row,
   c.hits = cells_[base + 2].load(std::memory_order_relaxed);
   c.misses = cells_[base + 3].load(std::memory_order_relaxed);
   c.evictions = cells_[base + 4].load(std::memory_order_relaxed);
+  c.payload_bytes = cells_[base + 5].load(std::memory_order_relaxed);
   return c;
 }
 
@@ -163,7 +170,8 @@ void write_cell_json(std::ostream& os, HeatDir dir, std::uint32_t row,
                      std::uint32_t col, const HeatCell& c) {
   os << "{\"dir\": \"" << to_string(dir) << "\", \"row\": " << row
      << ", \"col\": " << col << ", \"reads\": " << c.reads
-     << ", \"bytes\": " << c.bytes << ", \"hits\": " << c.hits
+     << ", \"bytes\": " << c.bytes
+     << ", \"payload_bytes\": " << c.payload_bytes << ", \"hits\": " << c.hits
      << ", \"misses\": " << c.misses << ", \"evictions\": " << c.evictions
      << "}";
 }
@@ -197,15 +205,15 @@ void Heatmap::write_json(std::ostream& os, std::size_t top_k) const {
 }
 
 void Heatmap::write_csv(std::ostream& os) const {
-  os << "dir,row,col,reads,bytes,hits,misses,evictions\n";
+  os << "dir,row,col,reads,bytes,payload_bytes,hits,misses,evictions\n";
   for (HeatDir dir : {HeatDir::kOut, HeatDir::kIn}) {
     for (std::uint32_t i = 0; i < p_; ++i) {
       for (std::uint32_t j = 0; j < p_; ++j) {
         HeatCell c = cell(dir, i, j);
         if (c.empty()) continue;
         os << to_string(dir) << "," << i << "," << j << "," << c.reads << ","
-           << c.bytes << "," << c.hits << "," << c.misses << ","
-           << c.evictions << "\n";
+           << c.bytes << "," << c.payload_bytes << "," << c.hits << ","
+           << c.misses << "," << c.evictions << "\n";
       }
     }
   }

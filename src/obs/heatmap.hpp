@@ -6,11 +6,14 @@
 // run-level byte totals. The heatmap keeps one cell of atomic counters per
 // (direction, interval-row, interval-col) adjacency block:
 //
-//   reads      disk reads of the block (cache miss fills and pass-throughs)
-//   bytes      disk bytes those reads transferred
-//   hits       cache hits served without touching disk
-//   misses     cache lookups that fell through to disk
-//   evictions  times the cache evicted this block
+//   reads          disk reads of the block (cache miss fills, pass-throughs)
+//   bytes          DISK bytes those reads transferred (encoded size for
+//                  codec stores — what actually crossed the device)
+//   payload_bytes  logical (decoded) bytes those reads delivered; equals
+//                  bytes for uncompressed stores
+//   hits           cache hits served without touching disk
+//   misses         cache lookups that fell through to disk
+//   evictions      times the cache evicted this block
 //
 // Index (CSR offset) I/O is deliberately excluded: it scales with vertices,
 // not edges, and would blur the edge-traffic map the ROP/COP and cache-budget
@@ -44,7 +47,8 @@ const char* to_string(HeatDir dir);
 /// Plain snapshot of one block's counters.
 struct HeatCell {
   std::uint64_t reads = 0;
-  std::uint64_t bytes = 0;
+  std::uint64_t bytes = 0;          ///< disk (encoded) bytes
+  std::uint64_t payload_bytes = 0;  ///< logical bytes; == bytes uncompressed
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
@@ -52,8 +56,8 @@ struct HeatCell {
   /// Total demand on the block, however it was served.
   std::uint64_t accesses() const { return reads + hits; }
   bool empty() const {
-    return reads == 0 && bytes == 0 && hits == 0 && misses == 0 &&
-           evictions == 0;
+    return reads == 0 && bytes == 0 && payload_bytes == 0 && hits == 0 &&
+           misses == 0 && evictions == 0;
   }
 };
 
@@ -94,9 +98,12 @@ class Heatmap {
   bool has_data() const;
 
   /// Recording (relaxed fetch_adds). Out-of-range coordinates and calls
-  /// while disabled are dropped.
+  /// while disabled are dropped. The 4-arg form is for uncompressed reads
+  /// (payload == disk bytes); codec reads pass both.
   void record_read(HeatDir dir, std::uint32_t row, std::uint32_t col,
                    std::uint64_t bytes);
+  void record_read(HeatDir dir, std::uint32_t row, std::uint32_t col,
+                   std::uint64_t bytes, std::uint64_t payload_bytes);
   void record_hit(HeatDir dir, std::uint32_t row, std::uint32_t col);
   void record_miss(HeatDir dir, std::uint32_t row, std::uint32_t col);
   void record_eviction(HeatDir dir, std::uint32_t row, std::uint32_t col);
@@ -116,7 +123,8 @@ class Heatmap {
   ///  "row_skew": x, "col_skew": y} — the --heatmap-out JSON schema.
   void write_json(std::ostream& os, std::size_t top_k = 8) const;
 
-  /// dir,row,col,reads,bytes,hits,misses,evictions — nonzero cells only.
+  /// dir,row,col,reads,bytes,payload_bytes,hits,misses,evictions — nonzero
+  /// cells only.
   void write_csv(std::ostream& os) const;
 
   /// Summary gauges (husg_heatmap_*: hottest block coordinates and load,
@@ -128,7 +136,9 @@ class Heatmap {
  private:
   Heatmap() = default;
 
-  static constexpr std::size_t kFields = 5;  // reads,bytes,hits,misses,evict
+  // reads,bytes,hits,misses,evictions,payload_bytes (payload appended last
+  // so the first five keep their historical indices)
+  static constexpr std::size_t kFields = 6;
   std::size_t index(HeatDir dir, std::uint32_t row, std::uint32_t col) const {
     return ((static_cast<std::size_t>(dir) * p_ + row) * p_ + col) * kFields;
   }

@@ -126,6 +126,7 @@ JobResult GraphService::execute(const JobSpec& spec, JobId id,
   eo.file_backed_values = opts_.file_backed_values;
   eo.scratch_dir = opts_.scratch_dir;
   eo.cache_fill_rop = opts_.cache_fill_rop;
+  eo.skip_filter = opts_.skip_filter;
   eo.shared_cache = cache_.get();
   eo.cache_owner = static_cast<std::uint32_t>(id);
   eo.cancel = &token;

@@ -42,6 +42,9 @@ struct ServiceOptions {
   double alpha = 0.05;
   double cache_max_block_fraction = 0.25;
   bool cache_fill_rop = true;
+  /// Rebuild frontier Bloom skip filters each iteration in every job's
+  /// engine; requires a store built with block signatures.
+  bool skip_filter = false;
   bool file_backed_values = true;
   std::filesystem::path scratch_dir;  ///< default: the store directory
 };

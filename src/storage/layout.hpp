@@ -21,21 +21,25 @@
 #include <cstdint>
 #include <vector>
 
+#include "codec/block_codec.hpp"
+#include "codec/block_signature.hpp"
 #include "util/common.hpp"
 
 namespace husg {
 
 inline constexpr std::uint64_t kStoreMagic = 0x4855534744423031ULL;  // HUSGDB01
-inline constexpr std::uint64_t kStoreVersion = 4;
+inline constexpr std::uint64_t kStoreVersion = 5;
 
 /// Number of checksummed data files (out.adj, out.idx, in.adj, in.idx,
 /// degrees.bin), in that order in StoreMeta::checksums.
 inline constexpr std::size_t kStoreDataFiles = 5;
 
-/// Extent of one block inside a packed .adj/.idx file pair.
+/// Extent of one block inside a packed .adj/.idx file pair. For codec
+/// stores adj_bytes is the true on-disk size (codec header + encoded
+/// payload); for kNone it is edge_count * record size as before.
 struct BlockExtent {
   std::uint64_t adj_offset = 0;  ///< byte offset into the .adj file
-  std::uint64_t adj_bytes = 0;   ///< adjacency bytes (edge_count * record size)
+  std::uint64_t adj_bytes = 0;   ///< on-disk adjacency bytes of the block
   std::uint64_t idx_offset = 0;  ///< byte offset into the .idx file
   std::uint64_t edge_count = 0;
 };
@@ -55,8 +59,8 @@ struct StoreHeader {
   std::uint64_t num_edges = 0;
   std::uint32_t num_partitions = 0;
   std::uint32_t weighted = 0;
-  std::uint32_t in_blocks_compressed = 0;
-  std::uint32_t reserved = 0;
+  std::uint32_t codec = 0;         ///< BlockCodecKind of every adjacency block
+  std::uint32_t skip_filters = 0;  ///< 1 when per-block signatures follow
 };
 
 /// Fully parsed metadata.
@@ -65,14 +69,20 @@ struct StoreMeta {
   std::uint64_t num_edges = 0;
   std::uint32_t num_partitions = 0;
   bool weighted = false;
-  /// In-blocks stored as delta-varint runs instead of fixed-width records
-  /// (see StoreOptions::compress_in_blocks).
-  bool in_blocks_compressed = false;
+  /// Codec every adjacency block (out and in side) was packed with (see
+  /// codec/block_codec.hpp). kNone keeps the v4 fixed-width record format.
+  BlockCodecKind codec = BlockCodecKind::kNone;
+  /// Per-block Bloom signatures present (StoreOptions::skip_filters).
+  bool has_skip_filters = false;
   /// boundaries[k] = first vertex of interval k; boundaries[P] = |V|.
   std::vector<VertexId> boundaries;
   /// Block directories, row-major: block (i,j) at index i*P+j.
   std::vector<BlockExtent> out_blocks;
   std::vector<BlockExtent> in_blocks;
+  /// Pack-time Bloom signatures, row-major like the directories; empty
+  /// unless has_skip_filters (out-block (i,j) and in-block (i,j) cover the
+  /// same edge set, so one signature serves both grids).
+  std::vector<BlockSignature> block_signatures;
   /// FNV-1a checksums of the data files (see kStoreDataFiles); checked on
   /// demand by DualBlockStore::verify().
   std::uint64_t checksums[kStoreDataFiles] = {0, 0, 0, 0, 0};
@@ -99,6 +109,11 @@ struct StoreMeta {
   const BlockExtent& in_block(std::uint32_t i, std::uint32_t j) const {
     return in_blocks[static_cast<std::size_t>(i) * num_partitions + j];
   }
+  /// Signature of block pair (i,j); only valid when has_skip_filters.
+  const BlockSignature& block_signature(std::uint32_t i,
+                                        std::uint32_t j) const {
+    return block_signatures[static_cast<std::size_t>(i) * num_partitions + j];
+  }
 };
 
 /// How vertices are split into the P disjoint intervals.
@@ -123,12 +138,15 @@ struct StoreOptions {
   std::uint32_t num_partitions = 8;
   PartitionScheme scheme = PartitionScheme::kEqualVertices;
   BuildMode build_mode = BuildMode::kInMemory;
-  /// Store in-blocks as sorted delta-varint runs (~40-60 % smaller on
-  /// power-law graphs). In-blocks are only ever consumed by COP's full
-  /// streaming, so variable-width encoding costs no random-access
-  /// capability; out-blocks keep fixed-width records because ROP point-loads
-  /// them by offset. Unweighted stores only.
-  bool compress_in_blocks = false;
+  /// Codec for every adjacency block, both sides (~40-60 % smaller on
+  /// power-law graphs with kDeltaVarint). Codec blocks are whole-block
+  /// reads — ROP trades its per-vertex point loads for one block read that
+  /// is memoized per worker and cached compressed. Unweighted stores only.
+  BlockCodecKind codec = BlockCodecKind::kNone;
+  /// Write per-block Bloom signatures into meta.bin (enables the engine's
+  /// frontier-driven block skipping). On by default: 128 bytes per block
+  /// pair in the unmeasured metadata file, no effect on data-file layout.
+  bool skip_filters = true;
 };
 
 }  // namespace husg

@@ -7,7 +7,6 @@
 #include "io/buffered.hpp"
 #include "util/checksum.hpp"
 #include "util/logging.hpp"
-#include "util/varint.hpp"
 
 namespace husg {
 
@@ -36,7 +35,8 @@ void write_meta(const std::filesystem::path& dir, const StoreMeta& meta) {
   hdr.num_edges = meta.num_edges;
   hdr.num_partitions = meta.num_partitions;
   hdr.weighted = meta.weighted ? 1 : 0;
-  hdr.in_blocks_compressed = meta.in_blocks_compressed ? 1 : 0;
+  hdr.codec = static_cast<std::uint32_t>(meta.codec);
+  hdr.skip_filters = meta.has_skip_filters ? 1 : 0;
   std::uint64_t off = 0;
   f.pwrite_exact(&hdr, sizeof(hdr), off);
   off += sizeof(hdr);
@@ -50,6 +50,11 @@ void write_meta(const std::filesystem::path& dir, const StoreMeta& meta) {
                  meta.in_blocks.size() * sizeof(BlockExtent), off);
   off += meta.in_blocks.size() * sizeof(BlockExtent);
   f.pwrite_exact(meta.checksums, sizeof(meta.checksums), off);
+  off += sizeof(meta.checksums);
+  if (meta.has_skip_filters) {
+    f.pwrite_exact(meta.block_signatures.data(),
+                   meta.block_signatures.size() * sizeof(BlockSignature), off);
+  }
 }
 
 /// FNV-1a over a whole file, streamed in chunks.
@@ -91,13 +96,17 @@ StoreMeta read_meta(const std::filesystem::path& dir) {
   meta.num_edges = hdr.num_edges;
   meta.num_partitions = hdr.num_partitions;
   meta.weighted = hdr.weighted != 0;
-  meta.in_blocks_compressed = hdr.in_blocks_compressed != 0;
-  HUSG_CHECK(!(meta.weighted && meta.in_blocks_compressed),
-             "compressed in-blocks are only supported for unweighted stores");
+  HUSG_CHECK(hdr.codec <= static_cast<std::uint32_t>(BlockCodecKind::kDeltaVarint),
+             "unknown block codec id " << hdr.codec << " in store meta");
+  meta.codec = static_cast<BlockCodecKind>(hdr.codec);
+  meta.has_skip_filters = hdr.skip_filters != 0;
+  HUSG_CHECK(!(meta.weighted && meta.codec != BlockCodecKind::kNone),
+             "codec blocks are only supported for unweighted stores");
   std::size_t p = meta.num_partitions;
   std::uint64_t expected = sizeof(hdr) + (p + 1) * sizeof(VertexId) +
                            2 * p * p * sizeof(BlockExtent) +
                            sizeof(meta.checksums);
+  if (meta.has_skip_filters) expected += p * p * sizeof(BlockSignature);
   HUSG_CHECK(f.size() == expected,
              "store meta size mismatch: " << f.size() << " vs " << expected);
   meta.boundaries.resize(p + 1);
@@ -111,6 +120,12 @@ StoreMeta read_meta(const std::filesystem::path& dir) {
   f.pread_exact(meta.in_blocks.data(), p * p * sizeof(BlockExtent), off);
   off += p * p * sizeof(BlockExtent);
   f.pread_exact(meta.checksums, sizeof(meta.checksums), off);
+  off += sizeof(meta.checksums);
+  if (meta.has_skip_filters) {
+    meta.block_signatures.resize(p * p);
+    f.pread_exact(meta.block_signatures.data(), p * p * sizeof(BlockSignature),
+                  off);
+  }
   // Basic sanity over boundaries.
   HUSG_CHECK(meta.boundaries.front() == 0 &&
                  meta.boundaries.back() == meta.num_vertices,
@@ -166,18 +181,23 @@ DualBlockStore DualBlockStore::build(const EdgeList& graph,
   const bool weighted = graph.weighted();
   const std::uint32_t rec = weighted ? sizeof(WeightedRecord) : sizeof(VertexId);
 
-  HUSG_CHECK(!(options.compress_in_blocks && weighted),
-             "compress_in_blocks requires an unweighted graph");
+  HUSG_CHECK(!(options.codec != BlockCodecKind::kNone && weighted),
+             "block codecs require an unweighted graph");
 
   StoreMeta meta;
   meta.num_vertices = graph.num_vertices();
   meta.num_edges = graph.num_edges();
   meta.num_partitions = p;
   meta.weighted = weighted;
-  meta.in_blocks_compressed = options.compress_in_blocks;
+  meta.codec = options.codec;
+  meta.has_skip_filters = options.skip_filters;
   meta.boundaries = compute_boundaries(graph, p, options.scheme);
   meta.out_blocks.assign(static_cast<std::size_t>(p) * p, BlockExtent{});
   meta.in_blocks.assign(static_cast<std::size_t>(p) * p, BlockExtent{});
+  if (meta.has_skip_filters) {
+    meta.block_signatures.assign(static_cast<std::size_t>(p) * p,
+                                 BlockSignature{});
+  }
 
   // Map vertex -> interval once (O(1) lookups during the scatter pass).
   std::vector<std::uint32_t> interval_of(graph.num_vertices());
@@ -196,6 +216,7 @@ DualBlockStore DualBlockStore::build(const EdgeList& graph,
   std::uint64_t in_adj_off = 0, in_idx_off = 0;
   std::vector<char> adj_buf;
   std::vector<std::uint32_t> idx_buf;
+  std::vector<VertexId> id_buf;  // codec staging: bare ids in CSR order
 
   auto emit_record = [&](std::size_t at, VertexId vid, Weight w) {
     if (weighted) {
@@ -209,6 +230,16 @@ DualBlockStore DualBlockStore::build(const EdgeList& graph,
   /// Emits one block's out- and in-side given its (unsorted) edge set.
   auto emit_block = [&](std::uint32_t i, std::uint32_t j,
                         std::vector<BuildEdge>& block_edges) {
+    // ---- pack-time Bloom signature over the block's endpoints -------------
+    if (meta.has_skip_filters) {
+      BlockSignature& sig =
+          meta.block_signatures[static_cast<std::size_t>(i) * p + j];
+      for (const BuildEdge& e : block_edges) {
+        signature_add(sig.src, e.src);
+        signature_add(sig.dst, e.dst);
+      }
+    }
+
     // ---- out-block (i,j): sort by (src,dst), record = dst ----------------
     std::sort(block_edges.begin(), block_edges.end(),
               [](const BuildEdge& a, const BuildEdge& b) {
@@ -218,13 +249,21 @@ DualBlockStore DualBlockStore::build(const EdgeList& graph,
     VertexId src_base = meta.boundaries[i];
     VertexId src_count = meta.boundaries[i + 1] - src_base;
     idx_buf.assign(static_cast<std::size_t>(src_count) + 1, 0);
-    adj_buf.resize(block_edges.size() * rec);
-    for (std::size_t k = 0; k < block_edges.size(); ++k) {
-      const BuildEdge& e = block_edges[k];
-      ++idx_buf[e.src - src_base + 1];
-      emit_record(k, e.dst, e.weight);
-    }
+    for (const BuildEdge& e : block_edges) ++idx_buf[e.src - src_base + 1];
     for (std::size_t k = 1; k < idx_buf.size(); ++k) idx_buf[k] += idx_buf[k - 1];
+    if (meta.codec != BlockCodecKind::kNone) {
+      id_buf.resize(block_edges.size());
+      for (std::size_t k = 0; k < block_edges.size(); ++k) {
+        id_buf[k] = block_edges[k].dst;
+      }
+      encode_block(id_buf.data(), id_buf.size(), idx_buf.data(), src_count,
+                   adj_buf);
+    } else {
+      adj_buf.resize(block_edges.size() * rec);
+      for (std::size_t k = 0; k < block_edges.size(); ++k) {
+        emit_record(k, block_edges[k].dst, block_edges[k].weight);
+      }
+    }
     BlockExtent& ob = meta.out_blocks[static_cast<std::size_t>(i) * p + j];
     ob.adj_offset = out_adj_off;
     ob.adj_bytes = adj_buf.size();
@@ -249,18 +288,13 @@ DualBlockStore DualBlockStore::build(const EdgeList& graph,
     idx_buf.assign(static_cast<std::size_t>(dst_count) + 1, 0);
     for (const BuildEdge& e : block_edges) ++idx_buf[e.dst - dst_base + 1];
     for (std::size_t k = 1; k < idx_buf.size(); ++k) idx_buf[k] += idx_buf[k - 1];
-    if (meta.in_blocks_compressed) {
-      // Per-destination source runs are sorted ascending: delta-varint them.
-      adj_buf.clear();
-      std::vector<VertexId> run;
-      std::size_t at = 0;
-      for (VertexId local = 0; local < dst_count; ++local) {
-        std::size_t len = idx_buf[local + 1] - idx_buf[local];
-        run.resize(len);
-        for (std::size_t k = 0; k < len; ++k) run[k] = block_edges[at + k].src;
-        varint_encode_run(run.data(), len, adj_buf);
-        at += len;
+    if (meta.codec != BlockCodecKind::kNone) {
+      id_buf.resize(block_edges.size());
+      for (std::size_t k = 0; k < block_edges.size(); ++k) {
+        id_buf[k] = block_edges[k].src;
       }
+      encode_block(id_buf.data(), id_buf.size(), idx_buf.data(), dst_count,
+                   adj_buf);
     } else {
       adj_buf.resize(block_edges.size() * rec);
       for (std::size_t k = 0; k < block_edges.size(); ++k) {
@@ -391,18 +425,35 @@ DualBlockStore DualBlockStore::open(const std::filesystem::path& dir) {
   s.in_adj_ = TrackedFile(dir / kInAdjFile, File::Mode::kRead, s.io_.get());
   s.in_idx_ = TrackedFile(dir / kInIdxFile, File::Mode::kRead, s.io_.get());
 
-  // Validate packed file sizes against the directory.
+  if (s.meta_.codec != BlockCodecKind::kNone) {
+    s.scratch_ = std::make_unique<ScratchPool>();
+  }
+
+  // Validate packed file sizes against the directory. For codec stores the
+  // extents are variable-sized; each non-empty block must at least hold its
+  // codec header.
   const std::uint32_t rec = s.meta_.edge_record_bytes();
+  const bool codec = s.meta_.codec != BlockCodecKind::kNone;
+  auto check_extent = [&](const BlockExtent& b, const char* side) {
+    if (codec) {
+      HUSG_CHECK((b.edge_count == 0) == (b.adj_bytes == 0) &&
+                     (b.adj_bytes == 0 || b.adj_bytes >= sizeof(CodecBlockHeader)),
+                 side << "-block extent inconsistent with codec framing");
+    } else {
+      HUSG_CHECK(b.adj_bytes == b.edge_count * rec,
+                 side << "-block extent inconsistent with record size");
+    }
+  };
   std::uint64_t out_bytes = 0, in_bytes = 0, out_edges = 0, in_edges = 0;
   for (const BlockExtent& b : s.meta_.out_blocks) {
     out_bytes += b.adj_bytes;
     out_edges += b.edge_count;
-    HUSG_CHECK(b.adj_bytes == b.edge_count * rec,
-               "out-block extent inconsistent with record size");
+    check_extent(b, "out");
   }
   for (const BlockExtent& b : s.meta_.in_blocks) {
     in_bytes += b.adj_bytes;
     in_edges += b.edge_count;
+    check_extent(b, "in");
   }
   HUSG_CHECK(out_edges == s.meta_.num_edges && in_edges == s.meta_.num_edges,
              "block directory edge counts do not sum to |E|: out=" << out_edges
@@ -446,6 +497,7 @@ void DualBlockStore::load_in_index(std::uint32_t i, std::uint32_t j,
 AdjacencySlice DualBlockStore::decode(const char* raw,
                                       std::uint64_t record_count,
                                       AdjacencyBuffer& buf) const {
+  buf.memo_valid = false;
   if (!meta_.weighted) {
     // Records are bare uint32 ids; reinterpret directly from raw bytes.
     buf.ids.resize(record_count);
@@ -463,12 +515,50 @@ AdjacencySlice DualBlockStore::decode(const char* raw,
                         std::span<const Weight>(buf.ws)};
 }
 
+void DualBlockStore::read_out_block_raw(std::uint32_t i, std::uint32_t j,
+                                        std::vector<char>& out) const {
+  const BlockExtent& b = meta_.out_block(i, j);
+  out.resize(b.adj_bytes);
+  if (b.adj_bytes > 0) {
+    out_adj_.read_random(out.data(), b.adj_bytes, b.adj_offset);
+  }
+}
+
+void DualBlockStore::read_in_block_raw(std::uint32_t i, std::uint32_t j,
+                                       std::vector<char>& out) const {
+  const BlockExtent& b = meta_.in_block(i, j);
+  out.resize(b.adj_bytes);
+  std::uint64_t pos = 0;
+  while (pos < b.adj_bytes) {
+    std::uint64_t len =
+        std::min<std::uint64_t>(kDefaultStreamChunk, b.adj_bytes - pos);
+    in_adj_.read_sequential(out.data() + pos, len, b.adj_offset + pos);
+    pos += len;
+  }
+}
+
 AdjacencySlice DualBlockStore::load_out_edges(std::uint32_t i, std::uint32_t j,
                                               std::uint32_t lo,
                                               std::uint32_t hi,
                                               AdjacencyBuffer& buf) const {
   HUSG_CHECK(lo <= hi, "load_out_edges: bad range");
   const BlockExtent& b = meta_.out_block(i, j);
+  if (meta_.codec != BlockCodecKind::kNone) {
+    // Codec blocks are whole-block reads: decode once per buffer, memoize,
+    // and serve every CSR range of the block from the decoded ids.
+    if (!buf.memo_matches(0, i, j)) {
+      auto lease = scratch_->acquire();
+      read_out_block_raw(i, j, *lease);
+      std::size_t n = decode_block(lease->data(), lease->size(), buf.ids);
+      HUSG_CHECK(n == b.edge_count,
+                 "out-block (" << i << "," << j << ") decoded " << n
+                               << " ids, directory says " << b.edge_count);
+      buf.memo_set(0, i, j);
+    }
+    HUSG_CHECK(hi <= buf.ids.size(), "load_out_edges: range beyond block");
+    return AdjacencySlice{
+        std::span<const VertexId>(buf.ids).subspan(lo, hi - lo), {}};
+  }
   const std::uint32_t rec = meta_.edge_record_bytes();
   std::uint64_t count = hi - lo;
   std::uint64_t bytes = count * rec;
@@ -482,10 +572,21 @@ AdjacencySlice DualBlockStore::load_out_edges(std::uint32_t i, std::uint32_t j,
   return decode(buf.raw.data(), count, buf);
 }
 
-AdjacencySlice DualBlockStore::stream_in_block(
-    std::uint32_t i, std::uint32_t j, AdjacencyBuffer& buf,
-    const std::vector<std::uint32_t>* run_index) const {
+AdjacencySlice DualBlockStore::stream_in_block(std::uint32_t i, std::uint32_t j,
+                                               AdjacencyBuffer& buf) const {
   const BlockExtent& b = meta_.in_block(i, j);
+  if (meta_.codec != BlockCodecKind::kNone) {
+    if (!buf.memo_matches(1, i, j)) {
+      auto lease = scratch_->acquire();
+      read_in_block_raw(i, j, *lease);
+      std::size_t n = decode_block(lease->data(), lease->size(), buf.ids);
+      HUSG_CHECK(n == b.edge_count,
+                 "in-block (" << i << "," << j << ") decoded " << n
+                              << " ids, directory says " << b.edge_count);
+      buf.memo_set(1, i, j);
+    }
+    return AdjacencySlice{std::span<const VertexId>(buf.ids), {}};
+  }
   buf.raw.resize(b.adj_bytes);
   if (b.adj_bytes > 0) {
     // One streaming pass over the block; charged sequential in chunk units.
@@ -497,23 +598,7 @@ AdjacencySlice DualBlockStore::stream_in_block(
       pos += len;
     }
   }
-  if (!meta_.in_blocks_compressed) {
-    return decode(buf.raw.data(), b.edge_count, buf);
-  }
-  HUSG_CHECK(run_index != nullptr,
-             "compressed in-block streaming needs the block's in-index");
-  HUSG_CHECK(run_index->size() ==
-                 static_cast<std::size_t>(meta_.interval_size(j)) + 1,
-             "run index size mismatch for in-block (" << i << "," << j << ")");
-  buf.ids.resize(b.edge_count);
-  std::size_t pos = 0;
-  for (std::size_t local = 0; local + 1 < run_index->size(); ++local) {
-    std::size_t len = (*run_index)[local + 1] - (*run_index)[local];
-    varint_decode_run(buf.raw.data(), b.adj_bytes, pos,
-                      buf.ids.data() + (*run_index)[local], len);
-  }
-  HUSG_CHECK(pos == b.adj_bytes, "compressed in-block has trailing bytes");
-  return AdjacencySlice{std::span<const VertexId>(buf.ids), {}};
+  return decode(buf.raw.data(), b.edge_count, buf);
 }
 
 void DualBlockStore::verify() const {

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "codec/block_codec.hpp"
 #include "graph/edge_list.hpp"
 #include "io/io_stats.hpp"
 #include "io/tracked_file.hpp"
@@ -38,6 +39,25 @@ class AdjacencyBuffer {
   /// Keep-alive for zero-copy slices served out of shared storage (e.g. the
   /// block cache): the slice points into *guard's* bytes, not raw/ids/ws.
   std::shared_ptr<const void> guard;
+
+  /// Whole-block decode memo for codec stores: point loads decode a block
+  /// once into `ids` and later loads of the same block reuse it. Any decode
+  /// of a different block through this buffer invalidates the memo.
+  bool memo_valid = false;
+  std::uint8_t memo_kind = 0;  ///< 0 = out-block, 1 = in-block
+  std::uint32_t memo_i = 0;
+  std::uint32_t memo_j = 0;
+
+  bool memo_matches(std::uint8_t kind, std::uint32_t i,
+                    std::uint32_t j) const {
+    return memo_valid && memo_kind == kind && memo_i == i && memo_j == j;
+  }
+  void memo_set(std::uint8_t kind, std::uint32_t i, std::uint32_t j) {
+    memo_valid = true;
+    memo_kind = kind;
+    memo_i = i;
+    memo_j = j;
+  }
 };
 
 class DualBlockStore {
@@ -85,13 +105,23 @@ class DualBlockStore {
                      std::vector<std::uint32_t>& out) const;
 
   /// Streams the whole adjacency of in-block (i,j) into `buf` (sequential)
-  /// and returns the decoded view over all its edges. For stores built with
-  /// compress_in_blocks the caller must pass the block's in-index
-  /// (`run_index`, from load_in_index) so the delta-varint runs can be
-  /// delimited during decoding.
-  AdjacencySlice stream_in_block(
-      std::uint32_t i, std::uint32_t j, AdjacencyBuffer& buf,
-      const std::vector<std::uint32_t>* run_index = nullptr) const;
+  /// and returns the decoded view over all its edges. Codec payloads are
+  /// self-delimiting, so no index is needed to decode.
+  AdjacencySlice stream_in_block(std::uint32_t i, std::uint32_t j,
+                                 AdjacencyBuffer& buf) const;
+
+  // --- Codec access ---------------------------------------------------------
+
+  /// Reads the full on-disk bytes (codec header + encoded payload) of
+  /// out-block (i,j) into `out`. One random I/O op — the codec-mode
+  /// equivalent of a point load, issued once per block thanks to the
+  /// AdjacencyBuffer memo.
+  void read_out_block_raw(std::uint32_t i, std::uint32_t j,
+                          std::vector<char>& out) const;
+
+  /// Same for in-block (i,j), charged sequential in stream-chunk units.
+  void read_in_block_raw(std::uint32_t i, std::uint32_t j,
+                         std::vector<char>& out) const;
 
   // --- Generic helpers ------------------------------------------------------
 
@@ -113,6 +143,9 @@ class DualBlockStore {
   std::filesystem::path dir_;
   StoreMeta meta_;
   std::unique_ptr<IoStats> io_;
+  /// Stages encoded block bytes in codec read paths; pooled so concurrent
+  /// workers reuse allocations. Null for kNone stores.
+  std::unique_ptr<ScratchPool> scratch_;
   TrackedFile out_adj_, out_idx_, in_adj_, in_idx_;
   std::vector<VertexId> out_degrees_;
   std::vector<VertexId> in_degrees_;

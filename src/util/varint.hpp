@@ -35,6 +35,44 @@ inline std::uint32_t varint_decode(const char* data, std::size_t size,
   }
 }
 
+/// Appends v to out; 1-10 bytes (64-bit LEB128). The block codec's run tags
+/// and zigzag deltas can exceed 32 bits even when the ids themselves fit.
+inline void varint64_encode(std::uint64_t v, std::vector<char>& out) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+/// Decodes one 64-bit varint starting at data[pos]; advances pos. Throws
+/// DataError on truncation or overlong encodings past 64 bits.
+inline std::uint64_t varint64_decode(const char* data, std::size_t size,
+                                     std::size_t& pos) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (;;) {
+    HUSG_CHECK(pos < size, "varint64 truncated at byte " << pos);
+    HUSG_CHECK(shift < 70, "varint64 longer than 64 bits");
+    std::uint8_t byte = static_cast<std::uint8_t>(data[pos++]);
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+/// Zigzag maps signed deltas onto small unsigned varints (0,-1,1,-2,... ->
+/// 0,1,2,3,...), so unsorted neighbor runs still encode compactly.
+inline std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
 /// Encodes a sorted (ascending) id run as first-value + deltas.
 inline void varint_encode_run(const VertexId* ids, std::size_t n,
                               std::vector<char>& out) {

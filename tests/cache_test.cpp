@@ -286,10 +286,10 @@ TEST(CachedEngineTest, WeightedAndCompressedStoresServeCorrectHits) {
   EXPECT_EQ(cached.values, ref.values);
   EXPECT_GT(cached.stats.cache.hits, 0u);
 
-  // Compressed in-blocks: cached payloads are the decompressed ids, hits
-  // save the (smaller) on-disk bytes.
+  // Codec store: cached payloads stay encoded (admission charges the smaller
+  // on-disk bytes) and hits decode from the resident copy.
   StoreOptions copts{4};
-  copts.compress_in_blocks = true;
+  copts.codec = BlockCodecKind::kDeltaVarint;
   DualBlockStore cstore = DualBlockStore::build(gen::rmat(10, 8.0, 7),
                                                 scratch / "cstore", copts);
   EngineOptions o = base_options();
@@ -499,7 +499,7 @@ TEST(SharedCacheTest, ConcurrentMixedReadersStayUnderBudgetAndBalance) {
             } else {
               // COP flavor: stream the whole in-block.
               reader.load_in_index(i, j, idx);
-              AdjacencySlice s = reader.stream_in_block(i, j, buf, &idx);
+              AdjacencySlice s = reader.stream_in_block(i, j, buf);
               if (s.neighbors.size() != meta.in_block(i, j).edge_count) {
                 bad.fetch_add(1);
               }

@@ -31,6 +31,24 @@ fail() { echo "FAIL: $1" >&2; exit 1; }
 "$CLI" run --store "$WORK/store_ext" --algo wcc --out "$WORK/wcc_b.txt" > /dev/null
 cmp -s "$WORK/wcc_a.txt" "$WORK/wcc_b.txt" || fail "compressed store results differ"
 
+# format validation: --block-codec / --skip-filter must match the store
+"$CLI" info --store "$WORK/store_ext" | grep -q 'delta-varint' \
+  || fail "info missing codec line"
+"$CLI" run --store "$WORK/store_ext" --algo wcc --block-codec delta-varint \
+  --skip-filter --out "$WORK/wcc_c.txt" > /dev/null || fail "run codec+skip"
+cmp -s "$WORK/wcc_a.txt" "$WORK/wcc_c.txt" || fail "skip-filter results differ"
+rc=0; "$CLI" run --store "$WORK/store" --algo wcc \
+  --block-codec delta-varint 2>/dev/null || rc=$?
+[ "$rc" = "3" ] || fail "codec mismatch not exit 3 (got $rc)"
+rc=0; "$CLI" run --store "$WORK/store" --algo wcc \
+  --block-codec zstd 2>/dev/null || rc=$?
+[ "$rc" = "3" ] || fail "bad codec value not exit 3 (got $rc)"
+"$CLI" build --graph "$WORK/g.bin" --store "$WORK/store_nosig" \
+  --no-skip-filters > /dev/null || fail "build no-skip-filters"
+rc=0; "$CLI" run --store "$WORK/store_nosig" --algo wcc \
+  --skip-filter 2>/dev/null || rc=$?
+[ "$rc" = "3" ] || fail "skip-filter without signatures not exit 3 (got $rc)"
+
 # run every algorithm
 "$CLI" run --store "$WORK/store" --algo bfs --source 1 --trace \
   | grep -q 'iterations' || fail "run bfs"
@@ -63,8 +81,8 @@ grep -q '^husg_predictor_decisions_total ' "$WORK/metrics.prom" \
   || fail "predictor metrics missing"
 grep -q '^husg_heatmap_blocks_touched ' "$WORK/metrics.prom" \
   || fail "heatmap summary gauges missing from metrics"
-grep -q '^dir,row,col,reads,bytes,hits,misses,evictions$' "$WORK/heatmap.csv" \
-  || fail "heatmap CSV header missing"
+grep -q '^dir,row,col,reads,bytes,payload_bytes,hits,misses,evictions$' \
+  "$WORK/heatmap.csv" || fail "heatmap CSV header missing"
 grep -q '^in,' "$WORK/heatmap.csv" || fail "heatmap CSV has no in-block rows"
 if command -v python3 > /dev/null 2>&1; then
   python3 -m json.tool "$WORK/trace.json" > /dev/null || fail "trace not JSON"

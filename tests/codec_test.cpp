@@ -1,0 +1,353 @@
+// Codec subsystem invariants: block codec roundtrips and negative cases,
+// scratch-pool reuse, Bloom signature false-positive rate, and the skip
+// filter's zero-I/O guarantee on provably inactive blocks.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "algos/bfs.hpp"
+#include "codec/block_codec.hpp"
+#include "codec/block_signature.hpp"
+#include "codec/skip_filter.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference.hpp"
+#include "obs/heatmap.hpp"
+#include "storage/store.hpp"
+#include "test_util.hpp"
+#include "util/varint.hpp"
+
+namespace husg {
+namespace {
+
+using testing::ScratchDir;
+
+// --- varint64 / zigzag helpers ------------------------------------------------
+
+TEST(Varint64, RoundTripAndZigzag) {
+  std::vector<char> out;
+  std::vector<std::uint64_t> values = {0, 1, 127, 128, 1ull << 20, 1ull << 40,
+                                       ~0ull};
+  for (auto v : values) varint64_encode(v, out);
+  std::size_t pos = 0;
+  for (auto v : values) {
+    EXPECT_EQ(varint64_decode(out.data(), out.size(), pos), v);
+  }
+  EXPECT_EQ(pos, out.size());
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{-1}, std::int64_t{1},
+                         std::int64_t{-123456}, std::int64_t{1} << 40}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+}
+
+// --- Block codec roundtrip -----------------------------------------------------
+
+/// Random CSR block: `runs` runs over ids < max_id, each sorted or shuffled.
+struct RandomBlock {
+  std::vector<VertexId> ids;
+  std::vector<std::uint32_t> offsets;  // runs + 1 entries
+};
+
+RandomBlock make_block(std::mt19937_64& rng, std::size_t runs, VertexId max_id,
+                       bool sorted, double empty_fraction = 0.2) {
+  RandomBlock b;
+  b.offsets.push_back(0);
+  std::uniform_int_distribution<VertexId> id(0, max_id);
+  std::uniform_int_distribution<int> len(1, 24);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (std::size_t r = 0; r < runs; ++r) {
+    if (coin(rng) >= empty_fraction) {
+      std::size_t n = static_cast<std::size_t>(len(rng));
+      std::vector<VertexId> run;
+      for (std::size_t k = 0; k < n; ++k) run.push_back(id(rng));
+      if (sorted) std::sort(run.begin(), run.end());
+      b.ids.insert(b.ids.end(), run.begin(), run.end());
+    }
+    b.offsets.push_back(static_cast<std::uint32_t>(b.ids.size()));
+  }
+  return b;
+}
+
+class CodecRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecRoundTrip, RandomizedSortedAndUnsorted) {
+  std::mt19937_64 rng(GetParam());
+  std::vector<char> enc;
+  std::vector<VertexId> dec;
+  for (bool sorted : {true, false}) {
+    for (std::size_t runs : {std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
+      RandomBlock b = make_block(rng, runs, /*max_id=*/1u << 20, sorted);
+      encode_block(b.ids.data(), b.ids.size(), b.offsets.data(), runs, enc);
+      ASSERT_EQ(decode_block(enc.data(), enc.size(), dec), b.ids.size());
+      EXPECT_EQ(dec, b.ids) << (sorted ? "sorted" : "unsorted") << " runs="
+                            << runs;
+      if (!b.ids.empty()) {
+        // Header accounting: encoded_bytes + header == total size.
+        ASSERT_GE(enc.size(), sizeof(CodecBlockHeader));
+        CodecBlockHeader hdr;
+        std::memcpy(&hdr, enc.data(), sizeof(hdr));
+        EXPECT_EQ(hdr.magic, kCodecBlockMagic);
+        EXPECT_EQ(hdr.raw_bytes, b.ids.size() * sizeof(VertexId));
+        EXPECT_EQ(enc.size(), sizeof(hdr) + hdr.encoded_bytes);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecRoundTrip, ::testing::Values(1, 42, 777));
+
+TEST(Codec, EmptyAndSingleVertexBlocks) {
+  std::vector<char> enc;
+  std::vector<VertexId> dec{99};
+  // Empty block: zero on-disk bytes, decodes to zero ids.
+  std::uint32_t offsets1[] = {0};
+  encode_block(nullptr, 0, offsets1, 0, enc);
+  EXPECT_TRUE(enc.empty());
+  EXPECT_EQ(decode_block(enc.data(), enc.size(), dec), 0u);
+  EXPECT_TRUE(dec.empty());
+  // All-empty runs behave like an empty block.
+  std::uint32_t offsets2[] = {0, 0, 0, 0};
+  encode_block(nullptr, 0, offsets2, 3, enc);
+  EXPECT_TRUE(enc.empty());
+  // Single run of one id.
+  VertexId one = 123456;
+  std::uint32_t offsets3[] = {0, 1};
+  encode_block(&one, 1, offsets3, 1, enc);
+  ASSERT_FALSE(enc.empty());
+  ASSERT_EQ(decode_block(enc.data(), enc.size(), dec), 1u);
+  EXPECT_EQ(dec[0], one);
+}
+
+TEST(Codec, DeltaVarintShrinksSortedRuns) {
+  // A dense sorted neighborhood must beat 4 bytes/id comfortably.
+  std::vector<VertexId> ids;
+  for (VertexId v = 1000; v < 3000; v += 2) ids.push_back(v);
+  std::uint32_t offsets[] = {0, static_cast<std::uint32_t>(ids.size())};
+  std::vector<char> enc;
+  encode_block(ids.data(), ids.size(), offsets, 1, enc);
+  EXPECT_LT(enc.size(), ids.size() * sizeof(VertexId) / 2);
+}
+
+TEST(Codec, CorruptedHeaderAndPayloadRejected) {
+  std::mt19937_64 rng(5);
+  RandomBlock b = make_block(rng, 16, 1u << 16, /*sorted=*/true, 0.0);
+  std::vector<char> enc;
+  std::vector<VertexId> dec;
+  encode_block(b.ids.data(), b.ids.size(), b.offsets.data(), 16, enc);
+  ASSERT_FALSE(enc.empty());
+
+  auto corrupt = [&](std::size_t at, char mask) {
+    std::vector<char> bad = enc;
+    bad[at] = static_cast<char>(bad[at] ^ mask);
+    return bad;
+  };
+  // Bad magic.
+  auto bad_magic = corrupt(0, 0x01);
+  EXPECT_THROW(decode_block(bad_magic.data(), bad_magic.size(), dec),
+               DataError);
+  // Unknown codec id.
+  auto bad_codec = corrupt(4, 0x7F);
+  EXPECT_THROW(decode_block(bad_codec.data(), bad_codec.size(), dec),
+               DataError);
+  // Tampered raw size.
+  auto bad_raw = corrupt(8, 0x04);
+  EXPECT_THROW(decode_block(bad_raw.data(), bad_raw.size(), dec), DataError);
+  // Flipped payload byte: checksum must catch it.
+  auto bad_payload = corrupt(sizeof(CodecBlockHeader) + enc.size() / 3, 0x10);
+  EXPECT_THROW(decode_block(bad_payload.data(), bad_payload.size(), dec),
+               DataError);
+  // Truncation: header alone, and header + partial payload.
+  EXPECT_THROW(decode_block(enc.data(), sizeof(CodecBlockHeader), dec),
+               DataError);
+  EXPECT_THROW(decode_block(enc.data(), enc.size() - 3, dec), DataError);
+  // Short garbage that cannot even hold a header.
+  EXPECT_THROW(decode_block(enc.data(), 7, dec), DataError);
+  // The pristine buffer still decodes after all that.
+  EXPECT_EQ(decode_block(enc.data(), enc.size(), dec), b.ids.size());
+}
+
+TEST(Codec, ScratchPoolRecyclesBuffers) {
+  ScratchPool pool;
+  const char* first_data;
+  {
+    auto lease = pool.acquire();
+    lease->assign(4096, 'x');
+    first_data = lease->data();
+  }
+  {
+    // The freed buffer (with its capacity) comes back, cleared.
+    auto lease = pool.acquire();
+    EXPECT_TRUE(lease->empty());
+    EXPECT_GE(lease->capacity(), 4096u);
+    EXPECT_EQ(lease->data(), first_data);
+  }
+}
+
+TEST(Codec, ProfileDecodeThroughput) {
+  EXPECT_EQ(profile_decode_throughput(BlockCodecKind::kNone), 0.0);
+  double bps = profile_decode_throughput(BlockCodecKind::kDeltaVarint);
+  // Any real machine decodes varints faster than 1 MB/s and slower than 1 TB/s.
+  EXPECT_GT(bps, 1e6);
+  EXPECT_LT(bps, 1e12);
+}
+
+// --- Signature false-positive rate ---------------------------------------------
+
+TEST(BlockSignatureTest, FalsePositiveRateStaysLow) {
+  // 50 members in a 512-bit Bloom, one probe bit each: expected fill 1 -
+  // e^(-50/512) ~ 9.3%, which is also the single-probe intersection FPR.
+  // The rng is seeded, so the count is deterministic; 15% gives headroom
+  // over the ~9.3% mean without masking a broken hash (which lands near
+  // 100%).
+  std::mt19937_64 rng(17);
+  BlockSignature sig;
+  std::vector<VertexId> members;
+  for (int k = 0; k < 50; ++k) {
+    VertexId v = static_cast<VertexId>(rng() % 1000000);
+    members.push_back(v);
+    signature_add(sig.src, v);
+  }
+  // Members always intersect (no false negatives, ever).
+  for (VertexId v : members) {
+    std::uint64_t probe[kSignatureWords] = {};
+    signature_add(probe, v);
+    EXPECT_TRUE(signature_intersects(sig.src, probe));
+  }
+  int false_positives = 0;
+  for (int k = 0; k < 1000; ++k) {
+    VertexId v = static_cast<VertexId>(1000000 + rng() % 1000000);
+    std::uint64_t probe[kSignatureWords] = {};
+    signature_add(probe, v);
+    if (signature_intersects(sig.src, probe)) ++false_positives;
+  }
+  EXPECT_LT(false_positives, 150) << "FPR " << false_positives / 10.0 << "%";
+}
+
+// --- Store signatures + skip filter --------------------------------------------
+
+/// Two-interval graph (p=2, 64 vertices split 32/32) where interval 1 only
+/// feeds INTO interval 0: a chain inside interval 0 plus edges 32+k -> k.
+/// BFS from vertex 0 never activates interval 1, yet in-block (1,0) is
+/// non-empty — the canonical provably-skippable block.
+EdgeList one_way_graph() {
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v + 1 < 32; ++v) edges.push_back(Edge{v, v + 1});
+  for (VertexId k = 0; k < 32; ++k) {
+    edges.push_back(Edge{static_cast<VertexId>(32 + k), k});
+  }
+  return EdgeList(64, std::move(edges));
+}
+
+TEST(SkipFilterTest, SignaturesRoundTripThroughMeta) {
+  EdgeList g = gen::rmat(8, 6.0, 31);
+  ScratchDir dir("sig_rt");
+  StoreOptions opts{4};
+  auto built = DualBlockStore::build(g, dir.path(), opts);
+  ASSERT_TRUE(built.meta().has_skip_filters);
+  auto opened = DualBlockStore::open(dir.path());
+  ASSERT_TRUE(opened.meta().has_skip_filters);
+  ASSERT_EQ(opened.meta().block_signatures.size(), 16u);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    for (std::uint32_t j = 0; j < 4; ++j) {
+      const BlockSignature& a = built.meta().block_signature(i, j);
+      const BlockSignature& b = opened.meta().block_signature(i, j);
+      for (std::size_t w = 0; w < kSignatureWords; ++w) {
+        EXPECT_EQ(a.src[w], b.src[w]);
+        EXPECT_EQ(a.dst[w], b.dst[w]);
+      }
+    }
+  }
+}
+
+TEST(SkipFilterTest, EmptyIntervalIsDeterministicSkip) {
+  EdgeList g = one_way_graph();
+  ScratchDir dir("skip_det");
+  auto store = DualBlockStore::build(g, dir.path(), StoreOptions{2});
+  BlockSkipFilter filter(store.meta());
+  ASSERT_TRUE(filter.available());
+  // Frontier = {0}: interval 1's Bloom is all-zero, so every block with
+  // sources in interval 1 tests negative — no false-positive caveat.
+  Frontier f = Frontier::single(store.meta(), 0, store.out_degrees());
+  filter.rebuild(f);
+  EXPECT_TRUE(filter.may_have_active_source(0, 0));
+  EXPECT_FALSE(filter.may_have_active_source(1, 0));
+  EXPECT_FALSE(filter.may_have_active_source(1, 1));
+  EXPECT_EQ(filter.rebuilds(), 1u);
+}
+
+TEST(SkipFilterTest, InactiveBlockIssuesZeroIo) {
+  EdgeList g = one_way_graph();
+  ScratchDir dir("skip_io");
+  StoreOptions opts{2};
+  opts.codec = BlockCodecKind::kDeltaVarint;
+  auto store = DualBlockStore::build(g, dir.path(), opts);
+  ASSERT_GT(store.meta().in_block(1, 0).edge_count, 0u);
+
+  auto run_bfs = [&](bool skip) {
+    obs::Heatmap::instance().start(store.meta().p());
+    EngineOptions o;
+    o.mode = UpdateMode::kCop;
+    o.skip_filter = skip;
+    Engine e(store, o);
+    BfsProgram p{.source = 0};
+    auto r = e.run(p, Frontier::single(store.meta(), 0, store.out_degrees()));
+    obs::Heatmap::instance().stop();
+    return r;
+  };
+
+  auto base = run_bfs(false);
+  // Without the filter, COP streams the (1,0) in-block every iteration.
+  EXPECT_FALSE(obs::Heatmap::instance().cell(obs::HeatDir::kIn, 1, 0).empty());
+
+  auto skipped = run_bfs(true);
+  // With it, blocks whose source interval has no active vertex issue ZERO
+  // I/O: the (in,1,*) heat cells stay untouched.
+  for (std::uint32_t j = 0; j < 2; ++j) {
+    EXPECT_TRUE(obs::Heatmap::instance().cell(obs::HeatDir::kIn, 1, j).empty())
+        << "in-block (1," << j << ") saw I/O despite an inactive interval";
+  }
+  obs::Heatmap::instance().clear();
+
+  EXPECT_EQ(skipped.values, base.values);
+  EXPECT_GT(skipped.stats.codec.blocks_skipped, 0u);
+  EXPECT_GT(skipped.stats.codec.skipped_bytes, 0u);
+  EXPECT_GT(skipped.stats.codec.skip_filter_rebuilds, 0u);
+  EXPECT_LT(skipped.stats.total_io.total_bytes(),
+            base.stats.total_io.total_bytes());
+}
+
+TEST(SkipFilterTest, EngineResultsMatchReferenceAcrossModes) {
+  EdgeList g = gen::rmat(9, 7.0, 41).symmetrized();
+  ScratchDir dir("skip_ref");
+  StoreOptions opts{4};
+  opts.codec = BlockCodecKind::kDeltaVarint;
+  auto store = DualBlockStore::build(g, dir.path(), opts);
+  auto want = ref::bfs_levels(g, 0);
+  for (UpdateMode mode :
+       {UpdateMode::kRop, UpdateMode::kCop, UpdateMode::kHybrid}) {
+    EngineOptions o;
+    o.mode = mode;
+    o.skip_filter = true;
+    Engine e(store, o);
+    BfsProgram p{.source = 0};
+    auto r = e.run(p, Frontier::single(store.meta(), 0, store.out_degrees()));
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(r.values[v], want[v]) << to_string(mode) << " vertex " << v;
+    }
+  }
+}
+
+TEST(SkipFilterTest, RequiresStoreSignatures) {
+  EdgeList g = gen::chain(16);
+  ScratchDir dir("skip_nosig");
+  StoreOptions opts{2};
+  opts.skip_filters = false;
+  auto store = DualBlockStore::build(g, dir.path(), opts);
+  ASSERT_FALSE(store.meta().has_skip_filters);
+  EngineOptions o;
+  o.skip_filter = true;
+  EXPECT_THROW(Engine(store, o), DataError);
+}
+
+}  // namespace
+}  // namespace husg

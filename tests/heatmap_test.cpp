@@ -219,16 +219,19 @@ TEST_F(HeatmapTest, JsonAndCsvExports) {
   EXPECT_NE(j.find("\"dir\": \"out\", \"row\": 0, \"col\": 1"),
             std::string::npos);
   EXPECT_NE(j.find("\"bytes\": 128"), std::string::npos);
+  EXPECT_NE(j.find("\"payload_bytes\": 128"), std::string::npos);
   EXPECT_NE(j.find("\"row_skew\""), std::string::npos);
   EXPECT_NE(j.find("\"hottest\""), std::string::npos);
 
   std::ostringstream csv;
   heat.write_csv(csv);
   const std::string c = csv.str();
-  EXPECT_NE(c.find("dir,row,col,reads,bytes,hits,misses,evictions"),
+  EXPECT_NE(c.find("dir,row,col,reads,bytes,payload_bytes,hits,misses,"
+                   "evictions"),
             std::string::npos);
-  EXPECT_NE(c.find("out,0,1,1,128,0,0,0"), std::string::npos);
-  EXPECT_NE(c.find("in,1,0,0,0,1,0,0"), std::string::npos);
+  // 4-arg record_read: payload defaults to the disk bytes.
+  EXPECT_NE(c.find("out,0,1,1,128,128,0,0,0"), std::string::npos);
+  EXPECT_NE(c.find("in,1,0,0,0,0,1,0,0"), std::string::npos);
 }
 
 TEST_F(HeatmapTest, PublishSetsSummaryGauges) {

@@ -167,51 +167,65 @@ TEST_P(BuildModeSweep, ExternalBuildWeighted) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BuildModeSweep, ::testing::Values(1, 7, 23));
 
-// --- Compressed in-blocks -----------------------------------------------------
+// --- Codec-compressed blocks -----------------------------------------------------
 
 class CompressionSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
-TEST_P(CompressionSweep, CompressedStreamEqualsUncompressed) {
+TEST_P(CompressionSweep, CompressedStoreEqualsUncompressed) {
   EdgeList g = gen::rmat(8, 8.0, GetParam());
   ScratchDir dir_a("cmp_raw"), dir_b("cmp_varint");
   auto raw = DualBlockStore::build(g, dir_a.path(), StoreOptions{4});
   StoreOptions copts{4};
-  copts.compress_in_blocks = true;
+  copts.codec = BlockCodecKind::kDeltaVarint;
   auto comp = DualBlockStore::build(g, dir_b.path(), copts);
-  ASSERT_TRUE(comp.meta().in_blocks_compressed);
+  ASSERT_EQ(comp.meta().codec, BlockCodecKind::kDeltaVarint);
 
   AdjacencyBuffer buf_a, buf_b;
   std::vector<std::uint32_t> idx_a, idx_b;
-  std::uint64_t raw_bytes = 0, comp_bytes = 0;
+  std::uint64_t raw_in = 0, comp_in = 0, raw_out = 0, comp_out = 0;
   for (std::uint32_t i = 0; i < 4; ++i) {
     for (std::uint32_t j = 0; j < 4; ++j) {
+      // COP side: same indices, same decoded stream.
       raw.load_in_index(i, j, idx_a);
       comp.load_in_index(i, j, idx_b);
       ASSERT_EQ(idx_a, idx_b);
       auto sa = raw.stream_in_block(i, j, buf_a);
-      auto sb = comp.stream_in_block(i, j, buf_b, &idx_b);
+      auto sb = comp.stream_in_block(i, j, buf_b);
       ASSERT_EQ(sa.neighbors.size(), sb.neighbors.size());
       for (std::size_t k = 0; k < sa.neighbors.size(); ++k) {
         ASSERT_EQ(sa.neighbors[k], sb.neighbors[k]);
       }
-      raw_bytes += raw.meta().in_block(i, j).adj_bytes;
-      comp_bytes += comp.meta().in_block(i, j).adj_bytes;
+      raw_in += raw.meta().in_block(i, j).adj_bytes;
+      comp_in += comp.meta().in_block(i, j).adj_bytes;
+
+      // ROP side: identical point loads through the decoded memo.
+      const BlockExtent& ob = raw.meta().out_block(i, j);
+      auto oa = raw.load_out_edges(
+          i, j, 0, static_cast<std::uint32_t>(ob.edge_count), buf_a);
+      auto ob2 = comp.load_out_edges(
+          i, j, 0, static_cast<std::uint32_t>(ob.edge_count), buf_b);
+      ASSERT_EQ(oa.neighbors.size(), ob2.neighbors.size());
+      for (std::size_t k = 0; k < oa.neighbors.size(); ++k) {
+        ASSERT_EQ(oa.neighbors[k], ob2.neighbors[k]);
+      }
+      raw_out += raw.meta().out_block(i, j).adj_bytes;
+      comp_out += comp.meta().out_block(i, j).adj_bytes;
     }
   }
-  // Delta-varint on sorted runs must actually shrink the data.
-  EXPECT_LT(comp_bytes, raw_bytes * 3 / 4);
-  // Out-blocks are unaffected (ROP needs fixed-width point access).
-  EXPECT_EQ(comp.meta().out_block(0, 0).adj_bytes,
-            raw.meta().out_block(0, 0).adj_bytes);
+  // Delta-varint on sorted runs must actually shrink both sides, even with
+  // the 32-byte per-block codec header.
+  EXPECT_LT(comp_in, raw_in * 3 / 4);
+  EXPECT_LT(comp_out, raw_out * 3 / 4);
 }
 
 TEST_P(CompressionSweep, EngineResultsIdenticalOnCompressedStore) {
   EdgeList g = gen::rmat(8, 6.0, GetParam()).symmetrized();
   ScratchDir dir("cmp_eng");
   StoreOptions copts{4};
-  copts.compress_in_blocks = true;
+  copts.codec = BlockCodecKind::kDeltaVarint;
   auto store = DualBlockStore::build(g, dir.path(), copts);
-  for (UpdateMode mode : {UpdateMode::kCop, UpdateMode::kHybrid}) {
+  for (UpdateMode mode :
+       {UpdateMode::kRop, UpdateMode::kCop, UpdateMode::kHybrid}) {
     EngineOptions o;
     o.mode = mode;
     Engine engine(store, o);
@@ -230,18 +244,39 @@ TEST(Compression, WeightedStoreRejected) {
   EdgeList g = gen::with_random_weights(gen::chain(10), 1);
   ScratchDir dir("cmp_w");
   StoreOptions copts{2};
-  copts.compress_in_blocks = true;
+  copts.codec = BlockCodecKind::kDeltaVarint;
   EXPECT_THROW(DualBlockStore::build(g, dir.path(), copts), DataError);
 }
 
-TEST(Compression, StreamWithoutIndexRejected) {
-  EdgeList g = gen::chain(16);
-  ScratchDir dir("cmp_noidx");
+TEST(Compression, CorruptedBlockDetectedOnDecode) {
+  EdgeList g = gen::erdos_renyi(64, 400, 21);
+  ScratchDir dir("cmp_corrupt");
   StoreOptions copts{2};
-  copts.compress_in_blocks = true;
-  auto store = DualBlockStore::build(g, dir.path(), copts);
+  copts.codec = BlockCodecKind::kDeltaVarint;
+  DualBlockStore::build(g, dir.path(), copts);
+  {
+    // Flip a payload byte past every block's 32-byte header: the decode
+    // checksum must reject it even though sizes are untouched.
+    File f(dir / "in.adj", File::Mode::kReadWrite);
+    std::uint64_t off = f.size() / 2;
+    char b;
+    f.pread_exact(&b, 1, off);
+    b = static_cast<char>(b ^ 0x5A);
+    f.pwrite_exact(&b, 1, off);
+  }
+  auto store = DualBlockStore::open(dir.path());  // structure still OK
   AdjacencyBuffer buf;
-  EXPECT_THROW(store.stream_in_block(0, 0, buf), DataError);
+  bool threw = false;
+  for (std::uint32_t i = 0; i < 2 && !threw; ++i) {
+    for (std::uint32_t j = 0; j < 2 && !threw; ++j) {
+      try {
+        store.stream_in_block(i, j, buf);
+      } catch (const DataError&) {
+        threw = true;
+      }
+    }
+  }
+  EXPECT_TRUE(threw) << "no in-block detected the flipped byte";
 }
 
 TEST(Varint, RoundTripAndErrors) {

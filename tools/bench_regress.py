@@ -34,6 +34,13 @@ EXACT_FIELDS = [
     "heatmap_misses",
     "heatmap_evictions",
 ]
+# Derived float metrics (ratios of deterministic counters): compared with
+# --model-tol, since exact equality of doubles through JSON round-trips is
+# brittle while the underlying counters are already gated exactly.
+FLOAT_FIELDS = [
+    "read_bytes_per_edge",
+    "store_adj_bytes_per_edge",
+]
 MODEL_FIELD = "modeled_seconds"
 WALL_FIELD = "wall_seconds"
 
@@ -113,7 +120,8 @@ def main():
         # A baseline key absent from the fresh report is easy to lose
         # silently when a bench stops emitting a counter: warn so the gap is
         # visible, but only gate the fields this script understands.
-        gated = set(EXACT_FIELDS) | {MODEL_FIELD, WALL_FIELD}
+        gated = set(EXACT_FIELDS) | set(FLOAT_FIELDS) | {MODEL_FIELD,
+                                                         WALL_FIELD}
         dropped = sorted(set(base) - set(cur) - gated)
         for key in dropped:
             print(f"bench_regress: warning: {label}: baseline key {key!r} "
@@ -130,6 +138,18 @@ def main():
                 failures.append(
                     f"{label}: {field} changed {base[field]} -> "
                     f"{cur[field]} ({d:+.2%}, tol {args.io_tol:.2%})")
+        for field in FLOAT_FIELDS:
+            if field not in base:
+                continue  # older baseline schema: skip, don't crash
+            if field not in cur:
+                failures.append(f"{label}: field {field!r} missing from "
+                                "current report")
+                continue
+            d = rel_delta(base[field], cur[field])
+            if abs(d) > args.model_tol:
+                failures.append(
+                    f"{label}: {field} changed {base[field]} -> "
+                    f"{cur[field]} ({d:+.2%}, tol {args.model_tol:.2%})")
         if MODEL_FIELD in base and MODEL_FIELD in cur:
             d = rel_delta(base[MODEL_FIELD], cur[MODEL_FIELD])
             if abs(d) > args.model_tol:

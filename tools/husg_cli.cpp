@@ -43,7 +43,8 @@ int usage() {
       "           [--seed S] [--weighted] --out FILE\n"
       "  build    --graph FILE --store DIR [--partitions P]\n"
       "           [--scheme vertices|degree] [--symmetrize] [--external]\n"
-      "           [--compress]\n"
+      "           [--block-codec none|delta-varint] [--compress]\n"
+      "           [--no-skip-filters]\n"
       "  info     --store DIR\n"
       "  verify   --store DIR     (recompute and check file checksums)\n"
       "  run      --store DIR --algo "
@@ -52,7 +53,8 @@ int usage() {
       "           [--device hdd|ssd|nvme] [--seek-scale F] [--iters K]\n"
       "           [--alpha A] [--sync jacobi|async] [--out FILE] [--trace]\n"
       "           [--cache-budget BYTES] [--cache-fraction F]\n"
-      "           [--no-cache-fill-rop]\n"
+      "           [--no-cache-fill-rop] [--skip-filter]\n"
+      "           [--block-codec none|delta-varint]\n"
       "           [--predictor paper|exact|cache-aware]\n"
       "           [--trace-out FILE] [--metrics-out FILE]\n"
       "           [--heatmap-out FILE] [--iotrace-out FILE] [--io-timing]\n"
@@ -61,6 +63,7 @@ int usage() {
       "           [--threads-per-job T] [--memory-budget BYTES]\n"
       "           [--cache-budget BYTES] [--cache-fraction F]\n"
       "           [--device hdd|ssd|nvme] [--seek-scale F] [--alpha A]\n"
+      "           [--skip-filter] [--block-codec none|delta-varint]\n"
       "           [--predictor paper|exact|cache-aware] [--report FILE]\n"
       "           [--trace-out FILE] [--metrics-out FILE]\n"
       "           [--heatmap-out FILE] [--iotrace-out FILE] [--io-timing]\n"
@@ -125,6 +128,37 @@ int validate_engine_flags(const Options& opts) {
   if (admin_port < -1 || admin_port > 65535) {
     return invalid_option("--admin-port", opts.get("admin-port", ""),
                           "a port in [0, 65535] (0 = ephemeral)");
+  }
+  std::string codec_name = opts.get("block-codec", "");
+  BlockCodecKind codec;
+  if (!codec_name.empty() && !parse_block_codec(codec_name, &codec)) {
+    return invalid_option("--block-codec", codec_name, "none|delta-varint");
+  }
+  return 0;
+}
+
+/// Validates the format expectations `run` and `serve` may assert against
+/// the store they just opened: --block-codec must name the store's on-disk
+/// codec, and --skip-filter needs the store to carry block signatures.
+/// Returns 0 or kInvalidOption.
+int check_store_format(const Options& opts, const StoreMeta& meta) {
+  std::string codec_name = opts.get("block-codec", "");
+  if (!codec_name.empty()) {
+    BlockCodecKind want = BlockCodecKind::kNone;
+    parse_block_codec(codec_name, &want);
+    if (want != meta.codec) {
+      std::fprintf(stderr,
+                   "--block-codec %s does not match the store (on-disk codec "
+                   "is '%s')\n",
+                   codec_name.c_str(), to_string(meta.codec));
+      return kInvalidOption;
+    }
+  }
+  if (opts.get_bool("skip-filter", false) && !meta.has_skip_filters) {
+    std::fprintf(stderr,
+                 "--skip-filter: store carries no block signatures (rebuild "
+                 "without --no-skip-filters)\n");
+    return kInvalidOption;
   }
   return 0;
 }
@@ -322,7 +356,14 @@ int cmd_build(const Options& opts) {
   if (opts.get_bool("external", false)) {
     so.build_mode = BuildMode::kExternal;
   }
-  so.compress_in_blocks = opts.get_bool("compress", false);
+  // --compress is the historical alias for the delta-varint codec; an
+  // explicit --block-codec wins when both are given.
+  std::string codec_name = opts.get(
+      "block-codec", opts.get_bool("compress", false) ? "delta-varint" : "none");
+  if (!parse_block_codec(codec_name, &so.codec)) {
+    return invalid_option("--block-codec", codec_name, "none|delta-varint");
+  }
+  so.skip_filters = !opts.get_bool("no-skip-filters", false);
   Timer timer;
   DualBlockStore store = DualBlockStore::build(g, store_dir, so);
   std::printf("built dual-block store at %s in %s\n", store_dir.c_str(),
@@ -359,6 +400,8 @@ int cmd_info(const Options& opts) {
               m.weighted ? "weighted, 8B records" : "unweighted, 4B records");
   std::printf("  partitions: %u (%zu edge blocks per side)\n", m.p(),
               static_cast<std::size_t>(m.p()) * m.p());
+  std::printf("  codec:      %s%s\n", to_string(m.codec),
+              m.has_skip_filters ? " (+block signatures)" : "");
   for (std::uint32_t i = 0; i < m.p(); ++i) {
     std::uint64_t row_edges = 0, col_edges = 0;
     for (std::uint32_t j = 0; j < m.p(); ++j) {
@@ -452,6 +495,7 @@ int cmd_run(const Options& opts) {
   }
   if (int rc = validate_engine_flags(opts)) return rc;
   DualBlockStore store = DualBlockStore::open(store_dir);
+  if (int rc = check_store_format(opts, store.meta())) return rc;
 
   EngineOptions eo;
   eo.mode = mode == "rop"   ? UpdateMode::kRop
@@ -465,6 +509,7 @@ int cmd_run(const Options& opts) {
       static_cast<std::uint64_t>(opts.get_int("cache-budget", 0));
   eo.cache_max_block_fraction = opts.get_double("cache-fraction", 0.25);
   eo.cache_fill_rop = !opts.get_bool("no-cache-fill-rop", false);
+  eo.skip_filter = opts.get_bool("skip-filter", false);
   eo.predictor = parse_predictor(opts);
   int iters = static_cast<int>(opts.get_int("iters", 0));
   bool trace = opts.get_bool("trace", false);
@@ -682,6 +727,7 @@ int cmd_serve(const Options& opts) {
   }
 
   DualBlockStore store = DualBlockStore::open(store_dir);
+  if (int rc = check_store_format(opts, store.meta())) return rc;
   ServiceOptions so;
   so.max_concurrent_jobs =
       static_cast<std::size_t>(opts.get_int("max-concurrent", 2));
@@ -698,6 +744,7 @@ int cmd_serve(const Options& opts) {
   so.device = parse_device(opts);
   so.alpha = opts.get_double("alpha", 0.05);
   so.predictor = parse_predictor(opts);
+  so.skip_filter = opts.get_bool("skip-filter", false);
 
   Telemetry telemetry(opts);
   telemetry.arm_heatmap(store.meta().p());
