@@ -1,0 +1,175 @@
+// Ablation: I/O backend x queue depth x update strategy (DESIGN.md §12).
+//
+// Sweeps the pluggable read path — sync pread vs io_uring rings — across
+// submission queue depths on a forced-ROP run (point loads, where batching
+// matters) and a forced-COP run (sequential streams, where double-buffering
+// matters). Reports wall time, modeled time and measured I/O per cell, and
+// enforces the subsystem's core guarantee as a gate: every cell's I/O
+// counters (bytes AND op counts, both directions) must equal the sync/depth-1
+// baseline of its mode, byte for byte. A backend that reads more, less, or
+// differently than the historical pread engine fails the bench.
+//
+// uring rows appear only where the kernel grants io_uring; the gate and the
+// sync rows run everywhere (CI smokes this at scale 10 with --backends sync).
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_support/harness.hpp"
+#include "bench_support/report.hpp"
+#include "husg/husg.hpp"
+#include "io/backend/io_backend.hpp"
+
+using namespace husg;
+using namespace husg::bench;
+
+namespace {
+
+struct BenchOptions {
+  unsigned scale = 12;
+  double degree = 8.0;
+  std::uint32_t partitions = 4;
+  std::string out_dir = ".";
+  std::string data_dir;  ///< default: <out_dir>/ablation_queue_depth_data
+  std::string backends = "auto";  ///< "sync", "uring" or "auto" (= both)
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ablation_queue_depth [--scale N] [--degree D]"
+               " [--partitions P] [--backends sync|uring|auto]"
+               " [--out-dir DIR] [--data-dir DIR]\n");
+  return 2;
+}
+
+EngineOptions base_options(UpdateMode mode) {
+  EngineOptions o;
+  o.mode = mode;
+  o.threads = 1;  // deterministic I/O counters, same rationale as perf_smoke
+  o.file_backed_values = false;
+  o.device = DeviceProfile::sata_ssd();
+  o.max_iterations = 5;
+  return o;
+}
+
+bool io_equal(const IoSnapshot& a, const IoSnapshot& b) {
+  return a.seq_read_bytes == b.seq_read_bytes &&
+         a.rand_read_bytes == b.rand_read_bytes &&
+         a.seq_read_ops == b.seq_read_ops &&
+         a.rand_read_ops == b.rand_read_ops &&
+         a.write_bytes == b.write_bytes && a.write_ops == b.write_ops;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opt;
+  for (int k = 1; k < argc; ++k) {
+    std::string flag = argv[k];
+    if (k + 1 >= argc) return usage();
+    std::string val = argv[++k];
+    if (flag == "--scale") {
+      opt.scale = static_cast<unsigned>(std::stoul(val));
+    } else if (flag == "--degree") {
+      opt.degree = std::stod(val);
+    } else if (flag == "--partitions") {
+      opt.partitions = static_cast<std::uint32_t>(std::stoul(val));
+    } else if (flag == "--backends") {
+      if (val != "sync" && val != "uring" && val != "auto") return usage();
+      opt.backends = val;
+    } else if (flag == "--out-dir") {
+      opt.out_dir = val;
+    } else if (flag == "--data-dir") {
+      opt.data_dir = val;
+    } else {
+      return usage();
+    }
+  }
+  if (opt.data_dir.empty()) {
+    opt.data_dir = opt.out_dir + "/ablation_queue_depth_data";
+  }
+
+  banner("Ablation: I/O backend x queue depth x ROP/COP",
+         "repo extension, not a paper figure (DESIGN.md section 12); the "
+         "byte-identity gate pins every backend to the pread baseline");
+
+  std::vector<IoBackendKind> kinds;
+  if (opt.backends != "uring") kinds.push_back(IoBackendKind::kSync);
+  if (opt.backends != "sync") {
+    if (uring_available()) {
+      kinds.push_back(IoBackendKind::kUring);
+    } else if (opt.backends == "uring") {
+      std::fprintf(stderr,
+                   "ablation_queue_depth: io_uring unavailable on this "
+                   "kernel\n");
+      return 2;
+    } else {
+      std::printf("io_uring unavailable: sweeping the sync backend only\n");
+    }
+  }
+
+  EdgeList graph = gen::rmat(opt.scale, opt.degree, /*seed=*/42);
+  std::filesystem::path dir =
+      std::filesystem::path(opt.data_dir) / ("scale" + std::to_string(opt.scale));
+  std::filesystem::create_directories(dir);
+  DualBlockStore::build(graph, dir / "store", StoreOptions{opt.partitions});
+
+  JsonReport report("ablation_queue_depth");
+  Table t({"backend", "depth", "mode", "wall s", "modeled s", "I/O MB",
+           "rand ops", "identical"});
+
+  const std::uint32_t depths[] = {1, 4, 16, 64};
+  bool gate_ok = true;
+  for (UpdateMode mode : {UpdateMode::kRop, UpdateMode::kCop}) {
+    // The gate's reference cell: the historical engine (sync pread, no
+    // batch overlap).
+    bool have_baseline = false;
+    IoSnapshot baseline;
+    for (IoBackendKind kind : kinds) {
+      for (std::uint32_t depth : depths) {
+        DualBlockStore store = DualBlockStore::open(
+            dir / "store", IoBackendConfig{kind, depth, false});
+        Engine engine(store, base_options(mode));
+        PageRankProgram pr;
+        RunStats stats =
+            engine.run(pr, Frontier::all(store.meta(), store.out_degrees()))
+                .stats;
+        if (!have_baseline) {
+          baseline = stats.total_io;
+          have_baseline = true;
+        }
+        const bool identical = io_equal(stats.total_io, baseline);
+        if (!identical) gate_ok = false;
+        const std::string label = std::string(store.io_backend().name()) +
+                                  "/qd" + std::to_string(depth) + "/" +
+                                  to_string(mode);
+        t.add_row({to_string(kind), std::to_string(depth), to_string(mode),
+                   fmt(stats.wall_seconds, 4), fmt(stats.modeled_seconds(), 4),
+                   fmt(static_cast<double>(stats.total_io.total_bytes()) / 1e6,
+                       2),
+                   std::to_string(stats.total_io.rand_read_ops),
+                   identical ? "yes" : "NO"});
+        report.add_run(label, stats);
+      }
+    }
+  }
+
+  t.print();
+  const IoBackendTotals totals = io_backend_totals();
+  std::printf(
+      "backend totals: submitted=%llu completed=%llu batches=%llu "
+      "inflight_peak=%llu\n",
+      static_cast<unsigned long long>(totals.reads_submitted),
+      static_cast<unsigned long long>(totals.reads_completed),
+      static_cast<unsigned long long>(totals.batches),
+      static_cast<unsigned long long>(totals.inflight_peak));
+  report.write(opt.out_dir);
+  if (!gate_ok) {
+    std::fprintf(stderr,
+                 "ablation_queue_depth: byte-identity gate FAILED — some "
+                 "backend/depth cell diverged from the pread baseline\n");
+    return 1;
+  }
+  return 0;
+}

@@ -429,6 +429,155 @@ AdjacencySlice CachedBlockReader::load_out_edges(std::uint32_t i,
   return store_->load_out_edges(i, j, lo, hi, buf);
 }
 
+void CachedBlockReader::load_out_edges_batch(
+    std::uint32_t i, std::uint32_t j, const OutRange* ranges, std::size_t count,
+    AdjacencyBuffer& buf,
+    const std::function<void(std::size_t, const AdjacencySlice&)>& emit) const {
+  if (count == 0) return;
+  const StoreMeta& meta = store_->meta();
+  if (meta.codec != BlockCodecKind::kNone) {
+    // Codec blocks decode whole-block into the buffer memo on the first
+    // range; the rest are pure memory. Nothing left to batch.
+    for (std::size_t k = 0; k < count; ++k) {
+      emit(k, load_out_edges_codec(i, j, ranges[k].lo, ranges[k].hi, buf));
+    }
+    return;
+  }
+  const std::uint32_t rec = meta.edge_record_bytes();
+  const bool weighted = meta.weighted;
+  const BlockExtent& block = meta.out_block(i, j);
+  const obs::TraceInsertMode fill_mode =
+      fill_rop_ ? obs::TraceInsertMode::kIfAdmissible
+                : obs::TraceInsertMode::kNone;
+
+  // Per-range plan: either a payload to decode from (cache hit / inline
+  // fill), or a staging window the batched disk read lands in.
+  struct Plan {
+    BlockCache::PinnedBytes payload;  ///< non-null: serve from these bytes
+    std::size_t staging = 0;          ///< else: offset into buf.raw
+  };
+  std::vector<Plan> plans(count);
+  std::vector<IoReadOp> ops;  // block-relative; resolved after staging sizes
+  std::vector<std::size_t> op_staging;
+  std::size_t staging_bytes = 0;
+
+  // Phase 1 — consult/heat/trace per range, in order, replicating the
+  // per-vertex loop's cache events exactly. Ranges that need disk queue up.
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::uint32_t lo = ranges[k].lo;
+    const std::uint32_t hi = ranges[k].hi;
+    const std::uint64_t point_bytes = static_cast<std::uint64_t>(hi - lo) * rec;
+    auto queue_pending = [&] {
+      staging_bytes = (staging_bytes + 3) & ~std::size_t{3};
+      plans[k].staging = staging_bytes;
+      if (point_bytes > 0) {
+        ops.push_back(IoReadOp{nullptr, static_cast<std::size_t>(point_bytes),
+                               static_cast<std::uint64_t>(lo) * rec});
+        op_staging.push_back(staging_bytes);
+        staging_bytes += point_bytes;
+      }
+    };
+    if (cache_ == nullptr) {
+      heat_read(obs::HeatDir::kOut, i, j, point_bytes);
+      if (obs::iotrace_enabled()) [[unlikely]] {
+        trace_access(obs::TraceBlockKind::kOutAdj, obs::TraceOutcome::kBypass,
+                     fill_mode, obs::TraceAdmit::kNone, i, j, owner_,
+                     point_bytes, block.adj_bytes, block.adj_bytes);
+      }
+      queue_pending();
+      continue;
+    }
+    BlockKey key{BlockKind::kOutAdj, i, j};
+    if (BlockCache::PinnedBytes hit = consult(key, point_bytes)) {
+      heat_hit(obs::HeatDir::kOut, i, j);
+      if (obs::iotrace_enabled()) [[unlikely]] {
+        trace_access(obs::TraceBlockKind::kOutAdj, obs::TraceOutcome::kHit,
+                     fill_mode, obs::TraceAdmit::kNone, i, j, owner_,
+                     point_bytes, block.adj_bytes, block.adj_bytes);
+      }
+      plans[k].payload = std::move(hit);
+      continue;
+    }
+    heat_miss(obs::HeatDir::kOut, i, j);
+    if (fill_rop_ && block.adj_bytes <= cache_->max_admissible_bytes()) {
+      // Inline fill (same as the per-vertex path): one whole-block read,
+      // admitted now, so every later range of this row hits. Because the
+      // fill fires on the FIRST miss, no pending ranges can precede it.
+      HUSG_SPAN("cache", "fill_out_block", "i", static_cast<std::int64_t>(i),
+                "j", static_cast<std::int64_t>(j));
+      heat_read(obs::HeatDir::kOut, i, j, block.adj_bytes);
+      buf.guard.reset();
+      store_->load_out_edges(i, j, 0,
+                             static_cast<std::uint32_t>(block.edge_count), buf);
+      std::vector<char> payload(buf.raw.begin(), buf.raw.end());
+      BlockCache::PinnedBytes pinned =
+          admit(key, std::move(payload), block.adj_bytes);
+      if (obs::iotrace_enabled()) [[unlikely]] {
+        trace_access(obs::TraceBlockKind::kOutAdj, obs::TraceOutcome::kMiss,
+                     fill_mode,
+                     pinned != nullptr ? obs::TraceAdmit::kInserted
+                                       : obs::TraceAdmit::kRejected,
+                     i, j, owner_, point_bytes, block.adj_bytes,
+                     block.adj_bytes);
+      }
+      plans[k].payload =
+          pinned != nullptr
+              ? std::move(pinned)
+              : std::make_shared<const std::vector<char>>(buf.raw.begin(),
+                                                          buf.raw.end());
+      continue;
+    }
+    heat_read(obs::HeatDir::kOut, i, j, point_bytes);
+    if (obs::iotrace_enabled()) [[unlikely]] {
+      trace_access(obs::TraceBlockKind::kOutAdj, obs::TraceOutcome::kMiss,
+                   fill_mode, obs::TraceAdmit::kNone, i, j, owner_,
+                   point_bytes, block.adj_bytes, block.adj_bytes);
+    }
+    queue_pending();
+  }
+
+  // Phase 2 — one backend submission for every range that needs disk.
+  // IoStats charges (one random op per range) are identical to the loop.
+  if (!ops.empty()) {
+    buf.guard.reset();
+    buf.raw.resize(staging_bytes);
+    for (std::size_t q = 0; q < ops.size(); ++q) {
+      ops[q].buf = buf.raw.data() + op_staging[q];
+    }
+    store_->load_out_ranges(i, j, ops.data(), ops.size());
+  }
+
+  // Phase 3 — emit every range in k order (floating-point apply order, and
+  // therefore engine results, stay bit-identical to the per-vertex loop).
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::uint32_t lo = ranges[k].lo;
+    const std::uint32_t hi = ranges[k].hi;
+    const std::size_t n = hi - lo;
+    if (plans[k].payload != nullptr) {
+      emit(k, decode_payload(plans[k].payload, lo, n, weighted, buf));
+      continue;
+    }
+    const char* raw = buf.raw.data() + plans[k].staging;
+    buf.memo_valid = false;
+    buf.guard.reset();
+    if (!weighted) {
+      buf.ids.resize(n);
+      std::memcpy(buf.ids.data(), raw, n * sizeof(VertexId));
+      emit(k, AdjacencySlice{std::span<const VertexId>(buf.ids), {}});
+      continue;
+    }
+    buf.ids.resize(n);
+    buf.ws.resize(n);
+    const auto* recs = reinterpret_cast<const WeightedRecord*>(raw);
+    for (std::size_t t = 0; t < n; ++t) {
+      buf.ids[t] = recs[t].vid;
+      buf.ws[t] = recs[t].weight;
+    }
+    emit(k, AdjacencySlice{std::span<const VertexId>(buf.ids),
+                           std::span<const Weight>(buf.ws)});
+  }
+}
+
 AdjacencySlice CachedBlockReader::stream_in_block(std::uint32_t i,
                                                   std::uint32_t j,
                                                   AdjacencyBuffer& buf) const {

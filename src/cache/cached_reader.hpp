@@ -16,12 +16,19 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "cache/block_cache.hpp"
 #include "storage/store.hpp"
 
 namespace husg {
+
+/// One local CSR range [lo,hi) of a batched ROP row load.
+struct OutRange {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+};
 
 class CachedBlockReader {
  public:
@@ -50,6 +57,22 @@ class CachedBlockReader {
   AdjacencySlice load_out_edges(std::uint32_t i, std::uint32_t j,
                                 std::uint32_t lo, std::uint32_t hi,
                                 AdjacencyBuffer& buf) const;
+
+  /// Batched ROP: point-loads `count` CSR ranges of out-block (i,j), and
+  /// invokes emit(k, slice) for each range in k order (each slice is valid
+  /// only during its emit call, like consecutive load_out_edges results).
+  ///
+  /// Per-range cache consults, heat events, trace events and IoStats charges
+  /// replicate a load_out_edges loop exactly — including the ROP fill path,
+  /// which runs inline so later ranges of the row hit the cache just as they
+  /// would per-vertex. The ranges that do fall through to disk are submitted
+  /// to the I/O backend as ONE batch (a single ring submission under uring)
+  /// instead of one pread per vertex.
+  void load_out_edges_batch(
+      std::uint32_t i, std::uint32_t j, const OutRange* ranges,
+      std::size_t count, AdjacencyBuffer& buf,
+      const std::function<void(std::size_t, const AdjacencySlice&)>& emit)
+      const;
 
   void load_in_index(std::uint32_t i, std::uint32_t j,
                      std::vector<std::uint32_t>& out) const;

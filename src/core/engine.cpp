@@ -11,7 +11,12 @@ Engine::Engine(const DualBlockStore& store, EngineOptions options)
     : store_(&store),
       opts_(std::move(options)),
       pool_(opts_.threads),
-      predictor_(opts_.device, opts_.predictor, opts_.alpha),
+      // §3.4 decisions are priced against the I/O path actually in use:
+      // sync leaves the profile untouched, uring divides the per-op
+      // positioning cost across the device's queue lanes.
+      predictor_(opts_.device.for_backend(store.io_backend().kind(),
+                                          store.io_backend().queue_depth()),
+                 opts_.predictor, opts_.alpha),
       cache_(opts_.shared_cache == nullptr && opts_.cache_budget_bytes > 0
                  ? std::make_unique<BlockCache>(BlockCache::Options{
                        opts_.cache_budget_bytes,

@@ -501,10 +501,10 @@ void Engine::rop_row(const P& prog, const ProgramContext& ctx, std::uint32_t i,
     bool any = false;
 
     auto process_range = [&](std::uint32_t lo, std::uint32_t hi,
-                             std::size_t first_active) {
-      // Load one contiguous run covering [lo,hi) of the block's CSR and walk
-      // the active vertices whose edges fall inside it.
-      AdjacencySlice slice = reader_.load_out_edges(i, j, lo, hi, buf);
+                             std::size_t first_active,
+                             const AdjacencySlice& slice) {
+      // One contiguous run covering [lo,hi) of the block's CSR: walk the
+      // active vertices whose edges fall inside it.
       std::size_t a = first_active;
       while (a < actives.size()) {
         VertexId v = actives[a];
@@ -524,7 +524,11 @@ void Engine::rop_row(const P& prog, const ProgramContext& ctx, std::uint32_t i,
 
     if (opts_.coalesce_rop_loads) {
       // Extension: merge point loads of adjacent active vertices into one
-      // request when their edge runs are contiguous in the block.
+      // request when their edge runs are contiguous in the block. The merged
+      // runs then go down as ONE backend batch (a single ring submission
+      // under uring).
+      std::vector<OutRange> runs;
+      std::vector<std::size_t> run_first;
       std::size_t a = 0;
       while (a < actives.size()) {
         std::uint32_t lo = idx[actives[a] - base];
@@ -535,27 +539,46 @@ void Engine::rop_row(const P& prog, const ProgramContext& ctx, std::uint32_t i,
           ++a;
           hi = idx[actives[a] - base + 1];
         }
-        if (hi > lo) process_range(lo, hi, run_start);
+        if (hi > lo) {
+          runs.push_back(OutRange{lo, hi});
+          run_first.push_back(run_start);
+        }
         ++a;
       }
+      reader_.load_out_edges_batch(
+          i, j, runs.data(), runs.size(), buf,
+          [&](std::size_t q, const AdjacencySlice& slice) {
+            process_range(runs[q].lo, runs[q].hi, run_first[q], slice);
+          });
     } else {
+      // Per-vertex point loads of the whole row, batched into one backend
+      // submission; emits arrive in active order, so updates apply in the
+      // same order (and produce the same bytes) as the historical loop.
+      std::vector<OutRange> rngs;
+      std::vector<VertexId> rverts;
       for (std::size_t a = 0; a < actives.size(); ++a) {
         std::uint32_t lo = idx[actives[a] - base];
         std::uint32_t hi = idx[actives[a] - base + 1];
         if (hi > lo) {
-          AdjacencySlice slice = reader_.load_out_edges(i, j, lo, hi, buf);
-          VertexId v = actives[a];
-          for (std::uint32_t k = lo; k < hi; ++k) {
-            VertexId d = slice.neighbors[k - lo];
-            if (prog.update(ctx, prev[v], v, vals[d], d,
-                            slice.weight(k - lo))) {
-              next.set(d);
-            }
-          }
-          local_scanned += hi - lo;
-          any = true;
+          rngs.push_back(OutRange{lo, hi});
+          rverts.push_back(actives[a]);
         }
       }
+      reader_.load_out_edges_batch(
+          i, j, rngs.data(), rngs.size(), buf,
+          [&](std::size_t q, const AdjacencySlice& slice) {
+            const std::uint32_t lo = rngs[q].lo, hi = rngs[q].hi;
+            VertexId v = rverts[q];
+            for (std::uint32_t k = lo; k < hi; ++k) {
+              VertexId d = slice.neighbors[k - lo];
+              if (prog.update(ctx, prev[v], v, vals[d], d,
+                              slice.weight(k - lo))) {
+                next.set(d);
+              }
+            }
+            local_scanned += hi - lo;
+            any = true;
+          });
     }
     if (local_scanned > 0) {
       scanned.fetch_add(local_scanned, std::memory_order_relaxed);
@@ -718,17 +741,28 @@ void Engine::rop_row_accumulating(const P& prog, const ProgramContext& ctx,
     reader_.load_out_index(i, j, idx);
     AdjacencyBuffer buf;
     std::uint64_t local_scanned = 0;
+    // Accumulating scatter is dense, so the whole block's point loads go
+    // down as one backend batch; gathers apply in the same vertex order as
+    // the historical per-vertex loop (bit-identical accumulation).
+    std::vector<OutRange> rngs;
+    std::vector<VertexId> rverts;
     for (VertexId local = 0; local < meta.interval_size(i); ++local) {
       std::uint32_t lo = idx[local], hi = idx[local + 1];
       if (lo == hi) continue;
-      VertexId v = base + local;
-      AdjacencySlice slice = reader_.load_out_edges(i, j, lo, hi, buf);
-      for (std::uint32_t k = lo; k < hi; ++k) {
-        prog.gather(ctx, acc[slice.neighbors[k - lo]], prev[v], v,
-                    slice.weight(k - lo));
-      }
-      local_scanned += hi - lo;
+      rngs.push_back(OutRange{lo, hi});
+      rverts.push_back(base + local);
     }
+    reader_.load_out_edges_batch(
+        i, j, rngs.data(), rngs.size(), buf,
+        [&](std::size_t q, const AdjacencySlice& slice) {
+          const std::uint32_t lo = rngs[q].lo, hi = rngs[q].hi;
+          VertexId v = rverts[q];
+          for (std::uint32_t k = lo; k < hi; ++k) {
+            prog.gather(ctx, acc[slice.neighbors[k - lo]], prev[v], v,
+                        slice.weight(k - lo));
+          }
+          local_scanned += hi - lo;
+        });
     scanned.fetch_add(local_scanned, std::memory_order_relaxed);
   });
 }

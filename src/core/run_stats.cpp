@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "io/backend/io_backend.hpp"
 #include "obs/heatmap.hpp"
 #include "obs/iotrace.hpp"
 #include "obs/metrics.hpp"
@@ -100,6 +101,27 @@ void RunStats::publish(obs::Registry& reg) const {
     reg.counter("husg_skip_bytes_total",
                 "On-disk bytes of skipped blocks across runs")
         .inc(codec.skipped_bytes);
+  }
+  const IoBackendTotals be = io_backend_totals();
+  if (be.reads_submitted > 0) {
+    reg.gauge("husg_io_backend_reads_submitted",
+              "Read operations handed to the I/O backend")
+        .set(static_cast<double>(be.reads_submitted));
+    reg.gauge("husg_io_backend_reads_completed",
+              "Read operations completed by the I/O backend")
+        .set(static_cast<double>(be.reads_completed));
+    reg.gauge("husg_io_backend_batches",
+              "Batched submissions issued to the I/O backend")
+        .set(static_cast<double>(be.batches));
+    reg.gauge("husg_io_backend_inflight_peak",
+              "Peak reads in flight inside one backend submission")
+        .set(static_cast<double>(be.inflight_peak));
+    reg.gauge("husg_io_backend_uring_fallbacks",
+              "Times auto backend selection fell back from uring to sync")
+        .set(static_cast<double>(be.uring_fallbacks));
+    reg.gauge("husg_io_backend_direct_denied",
+              "O_DIRECT opens the filesystem refused (buffered fallback)")
+        .set(static_cast<double>(be.direct_denied));
   }
   const obs::Heatmap& heat = obs::Heatmap::instance();
   if (heat.has_data()) heat.publish(reg);

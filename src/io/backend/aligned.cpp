@@ -1,0 +1,62 @@
+#include "io/backend/aligned.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "util/common.hpp"
+
+namespace husg {
+
+AlignedBufferPool::Lease& AlignedBufferPool::Lease::operator=(
+    Lease&& other) noexcept {
+  if (this != &other) {
+    release();
+    pool_ = std::exchange(other.pool_, nullptr);
+    index_ = other.index_;
+    data_ = std::exchange(other.data_, nullptr);
+    capacity_ = other.capacity_;
+  }
+  return *this;
+}
+
+void AlignedBufferPool::Lease::release() {
+  if (pool_ == nullptr) return;
+  std::lock_guard<std::mutex> lk(pool_->mu_);
+  pool_->slots_[index_].in_use = false;
+  pool_ = nullptr;
+  data_ = nullptr;
+}
+
+AlignedBufferPool::Lease AlignedBufferPool::acquire(std::size_t bytes) {
+  std::size_t need = static_cast<std::size_t>(
+      align_up(std::max<std::size_t>(bytes, 1), alignment_));
+  std::lock_guard<std::mutex> lk(mu_);
+  // First fit among the free slots; steady-state workloads settle on a few
+  // buffers sized to the largest bounce they issue.
+  for (std::size_t k = 0; k < slots_.size(); ++k) {
+    Slot& s = slots_[k];
+    if (!s.in_use && s.capacity >= need) {
+      s.in_use = true;
+      return Lease(this, k, s.data.get(), s.capacity);
+    }
+  }
+  void* mem = std::aligned_alloc(alignment_, need);
+  HUSG_CHECK(mem != nullptr,
+             "aligned_alloc(" << alignment_ << ", " << need << ") failed");
+  Slot slot;
+  slot.data = std::unique_ptr<char, void (*)(char*)>(
+      static_cast<char*>(mem), [](char* p) { std::free(p); });
+  slot.capacity = need;
+  slot.in_use = true;
+  slots_.push_back(std::move(slot));
+  return Lease(this, slots_.size() - 1, slots_.back().data.get(), need);
+}
+
+AlignedBufferPool& AlignedBufferPool::instance() {
+  static AlignedBufferPool* pool =
+      new AlignedBufferPool();  // leaked: leases may outlive main
+  return *pool;
+}
+
+}  // namespace husg

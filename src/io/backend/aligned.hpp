@@ -1,0 +1,87 @@
+// Pooled aligned buffers for O_DIRECT bounce reads (DESIGN.md §12).
+//
+// O_DIRECT requires the offset, length and destination address of every read
+// to be multiples of the device's logical block size. Engine requests are
+// byte-granular (a point load starts wherever the CSR says), so direct reads
+// bounce: acquire a pooled buffer covering the aligned superset of the
+// request, read that, memcpy the requested window out. The pool caps
+// per-read allocations — workers reuse the small set of buffers the steady
+// state needs — and both backends share it (the uring path keeps the lease
+// alive until the completion is reaped).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace husg {
+
+/// Alignment every O_DIRECT file in this codebase assumes. 4096 satisfies
+/// every 512e/4Kn device; a looser actual device alignment only wastes a few
+/// bounce bytes.
+inline constexpr std::uint32_t kDirectIoAlign = 4096;
+
+inline std::uint64_t align_down(std::uint64_t v, std::uint64_t a) {
+  return v / a * a;
+}
+inline std::uint64_t align_up(std::uint64_t v, std::uint64_t a) {
+  return (v + a - 1) / a * a;
+}
+
+class AlignedBufferPool {
+ public:
+  /// An aligned allocation leased from the pool; returns to the freelist on
+  /// destruction. Movable, not copyable.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(AlignedBufferPool* pool, std::size_t index, char* data,
+          std::size_t capacity)
+        : pool_(pool), index_(index), data_(data), capacity_(capacity) {}
+    ~Lease() { release(); }
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    char* data() const { return data_; }
+    std::size_t capacity() const { return capacity_; }
+    explicit operator bool() const { return data_ != nullptr; }
+
+   private:
+    void release();
+    AlignedBufferPool* pool_ = nullptr;
+    std::size_t index_ = 0;
+    char* data_ = nullptr;
+    std::size_t capacity_ = 0;
+  };
+
+  explicit AlignedBufferPool(std::uint32_t alignment = kDirectIoAlign)
+      : alignment_(alignment) {}
+
+  /// Buffer of at least `bytes` capacity (rounded up to the alignment), the
+  /// address aligned to the pool's alignment. Reuses a free buffer when one
+  /// is large enough, else allocates.
+  Lease acquire(std::size_t bytes);
+
+  std::uint32_t alignment() const { return alignment_; }
+
+  /// The pool shared by every backend instance in the process.
+  static AlignedBufferPool& instance();
+
+ private:
+  friend class Lease;
+  struct Slot {
+    std::unique_ptr<char, void (*)(char*)> data{nullptr, nullptr};
+    std::size_t capacity = 0;
+    bool in_use = false;
+  };
+
+  std::uint32_t alignment_;
+  std::mutex mu_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace husg

@@ -1,0 +1,307 @@
+#include "io/backend/io_backend.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "io/backend/aligned.hpp"
+#include "io/backend/uring_backend.hpp"
+#include "obs/metrics.hpp"
+#include "util/common.hpp"
+
+namespace husg {
+
+namespace {
+
+std::atomic<std::uint64_t> g_reads_submitted{0};
+std::atomic<std::uint64_t> g_reads_completed{0};
+std::atomic<std::uint64_t> g_batches{0};
+std::atomic<std::uint64_t> g_inflight_peak{0};
+std::atomic<std::uint64_t> g_uring_fallbacks{0};
+std::atomic<std::uint64_t> g_direct_denied{0};
+
+obs::Histogram& batch_size_histogram() {
+  static obs::Histogram* hist = &obs::Registry::global().histogram(
+      "husg_io_backend_batch_size",
+      "Read ops per backend batch submission");
+  return *hist;
+}
+
+}  // namespace
+
+namespace detail {
+
+void note_batch(std::size_t ops) {
+  g_batches.fetch_add(1, std::memory_order_relaxed);
+  g_reads_submitted.fetch_add(ops, std::memory_order_relaxed);
+  batch_size_histogram().record(ops);
+}
+
+void note_completed(std::size_t ops) {
+  g_reads_completed.fetch_add(ops, std::memory_order_relaxed);
+}
+
+void note_inflight(std::uint64_t inflight) {
+  std::uint64_t cur = g_inflight_peak.load(std::memory_order_relaxed);
+  while (inflight > cur && !g_inflight_peak.compare_exchange_weak(
+                               cur, inflight, std::memory_order_relaxed)) {
+  }
+}
+
+void note_uring_fallback() {
+  g_uring_fallbacks.fetch_add(1, std::memory_order_relaxed);
+}
+
+void note_direct_denied() {
+  g_direct_denied.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+IoBackendTotals io_backend_totals() {
+  IoBackendTotals t;
+  t.reads_submitted = g_reads_submitted.load(std::memory_order_relaxed);
+  t.reads_completed = g_reads_completed.load(std::memory_order_relaxed);
+  t.batches = g_batches.load(std::memory_order_relaxed);
+  t.inflight_peak = g_inflight_peak.load(std::memory_order_relaxed);
+  t.uring_fallbacks = g_uring_fallbacks.load(std::memory_order_relaxed);
+  t.direct_denied = g_direct_denied.load(std::memory_order_relaxed);
+  return t;
+}
+
+const char* to_string(IoBackendKind kind) {
+  switch (kind) {
+    case IoBackendKind::kSync:
+      return "sync";
+    case IoBackendKind::kUring:
+      return "uring";
+    case IoBackendKind::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+bool parse_io_backend(const std::string& text, IoBackendKind* out) {
+  if (text == "sync") {
+    *out = IoBackendKind::kSync;
+  } else if (text == "uring") {
+    *out = IoBackendKind::kUring;
+  } else if (text == "auto") {
+    *out = IoBackendKind::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void posix_read_exact(int fd, void* buf, std::size_t len, std::uint64_t offset,
+                      std::size_t required) {
+  char* dst = static_cast<char*>(buf);
+  std::size_t done = 0;
+  while (done < len) {
+    ssize_t got = ::pread(fd, dst + done, len - done,
+                          static_cast<off_t>(offset + done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("pread: ") + std::strerror(errno));
+    }
+    if (got == 0) {
+      // EOF. Fine once the caller's required window is covered (O_DIRECT
+      // rounds lengths up past the end of the file); short otherwise.
+      if (done >= required) return;
+      throw IoError("short read at offset " + std::to_string(offset + done) +
+                    " (wanted " + std::to_string(required) + " bytes, got " +
+                    std::to_string(done) + ")");
+    }
+    done += static_cast<std::size_t>(got);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Alignment bounce (shared by both backends).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool op_is_aligned(const void* buf, std::size_t len, std::uint64_t offset,
+                   std::uint32_t align) {
+  return offset % align == 0 && len % align == 0 &&
+         reinterpret_cast<std::uintptr_t>(buf) % align == 0;
+}
+
+/// Wraps a batch whose unaligned ops were redirected into pooled aligned
+/// buffers; the requested windows are copied out once the reads land.
+class BouncePending final : public IoPending {
+ public:
+  struct Copy {
+    AlignedBufferPool::Lease lease;
+    char* dst = nullptr;
+    std::size_t len = 0;
+    std::size_t skew = 0;
+  };
+
+  BouncePending(std::unique_ptr<IoPending> inner, std::vector<Copy> copies)
+      : inner_(std::move(inner)), copies_(std::move(copies)) {}
+
+  void wait() override {
+    if (done_) return;
+    inner_->wait();
+    for (const Copy& c : copies_) {
+      std::memcpy(c.dst, c.lease.data() + c.skew, c.len);
+    }
+    copies_.clear();
+    done_ = true;
+  }
+
+ private:
+  std::unique_ptr<IoPending> inner_;  ///< drains the ring in its destructor
+  std::vector<Copy> copies_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+void IoBackend::read(int fd, void* buf, std::size_t len, std::uint64_t offset,
+                     std::uint32_t align) const {
+  if (len == 0) return;
+  g_reads_submitted.fetch_add(1, std::memory_order_relaxed);
+  if (align == 0 || op_is_aligned(buf, len, offset, align)) {
+    do_read(fd, buf, len, offset);
+  } else {
+    const std::uint64_t a_off = align_down(offset, align);
+    const std::size_t skew = static_cast<std::size_t>(offset - a_off);
+    const std::size_t a_len =
+        static_cast<std::size_t>(align_up(skew + len, align));
+    AlignedBufferPool::Lease lease = AlignedBufferPool::instance().acquire(a_len);
+    IoReadOp op{lease.data(), a_len, a_off};
+    RawOp raw{op, skew + len};
+    do_start_batch(fd, {raw})->wait();
+    std::memcpy(buf, lease.data() + skew, len);
+  }
+}
+
+std::unique_ptr<IoPending> IoBackend::start_batch(int fd, const IoReadOp* ops,
+                                                  std::size_t count,
+                                                  std::uint32_t align) const {
+  detail::note_batch(count);
+  std::vector<RawOp> raw;
+  raw.reserve(count);
+  if (align == 0) {
+    for (std::size_t k = 0; k < count; ++k) {
+      if (ops[k].len == 0) continue;
+      raw.push_back(RawOp{ops[k], ops[k].len});
+    }
+    return do_start_batch(fd, std::move(raw));
+  }
+  std::vector<BouncePending::Copy> copies;
+  for (std::size_t k = 0; k < count; ++k) {
+    const IoReadOp& op = ops[k];
+    if (op.len == 0) continue;
+    if (op_is_aligned(op.buf, op.len, op.offset, align)) {
+      raw.push_back(RawOp{op, op.len});
+      continue;
+    }
+    const std::uint64_t a_off = align_down(op.offset, align);
+    const std::size_t skew = static_cast<std::size_t>(op.offset - a_off);
+    const std::size_t a_len =
+        static_cast<std::size_t>(align_up(skew + op.len, align));
+    AlignedBufferPool::Lease lease = AlignedBufferPool::instance().acquire(a_len);
+    raw.push_back(RawOp{IoReadOp{lease.data(), a_len, a_off}, skew + op.len});
+    copies.push_back(BouncePending::Copy{std::move(lease),
+                                         static_cast<char*>(op.buf), op.len,
+                                         skew});
+  }
+  std::unique_ptr<IoPending> inner = do_start_batch(fd, std::move(raw));
+  if (copies.empty()) return inner;
+  return std::make_unique<BouncePending>(std::move(inner), std::move(copies));
+}
+
+void IoBackend::read_batch(int fd, const IoReadOp* ops, std::size_t count,
+                           std::uint32_t align) const {
+  if (count == 0) return;
+  start_batch(fd, ops, count, align)->wait();
+}
+
+// ---------------------------------------------------------------------------
+// SyncBackend
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Already-completed batch: the sync backend reads eagerly at submission, so
+/// the pending handle has nothing left to wait for.
+class CompletedPending final : public IoPending {
+ public:
+  void wait() override {}
+};
+
+class SyncBackend final : public IoBackend {
+ public:
+  IoBackendKind kind() const override { return IoBackendKind::kSync; }
+  const char* name() const override { return "sync"; }
+  std::uint32_t queue_depth() const override { return 1; }
+
+ protected:
+  void do_read(int fd, void* buf, std::size_t len,
+               std::uint64_t offset) const override {
+    posix_read_exact(fd, buf, len, offset, len);
+    detail::note_completed(1);
+  }
+
+  std::unique_ptr<IoPending> do_start_batch(
+      int fd, std::vector<RawOp> ops) const override {
+    for (const RawOp& op : ops) {
+      posix_read_exact(fd, op.op.buf, op.op.len, op.op.offset, op.required);
+    }
+    detail::note_completed(ops.size());
+    detail::note_inflight(1);
+    return std::make_unique<CompletedPending>();
+  }
+};
+
+}  // namespace
+
+const IoBackend& default_sync_backend() {
+  static const SyncBackend* backend = new SyncBackend();
+  return *backend;
+}
+
+bool uring_available() {
+  static const bool available = probe_uring();
+  return available;
+}
+
+std::unique_ptr<IoBackend> make_io_backend(const IoBackendConfig& config) {
+  HUSG_CHECK(config.queue_depth >= 1 && config.queue_depth <= kMaxQueueDepth,
+             "queue depth must be in [1, " << kMaxQueueDepth << "], got "
+                                           << config.queue_depth);
+  switch (config.kind) {
+    case IoBackendKind::kSync:
+      return std::make_unique<SyncBackend>();
+    case IoBackendKind::kUring: {
+      std::unique_ptr<IoBackend> b = make_uring_backend(config.queue_depth);
+      if (b == nullptr) {
+        throw IoError(
+            "io_uring backend requested but unavailable on this kernel "
+            "(io_uring_setup denied)");
+      }
+      return b;
+    }
+    case IoBackendKind::kAuto: {
+      if (uring_available()) {
+        if (std::unique_ptr<IoBackend> b =
+                make_uring_backend(config.queue_depth)) {
+          return b;
+        }
+      }
+      detail::note_uring_fallback();
+      return std::make_unique<SyncBackend>();
+    }
+  }
+  return std::make_unique<SyncBackend>();
+}
+
+}  // namespace husg

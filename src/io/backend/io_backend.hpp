@@ -1,0 +1,158 @@
+// Pluggable I/O backend subsystem (DESIGN.md §12).
+//
+// Every read the engine issues — ROP point loads, COP block streams, index
+// and value-store traffic — goes through an IoBackend. Two implementations:
+//
+//  * SyncBackend  — the classic pread path. Always available; a "batch" is a
+//    sequential loop, so counters, byte totals and read order are identical
+//    to the historical engine (the perf_smoke baseline is pinned to it).
+//  * UringBackend — io_uring submission/completion rings driven with raw
+//    syscalls (no liburing dependency). A batch becomes one ring submission;
+//    completions are reaped as callers wait. Runtime-detected: when the
+//    kernel or a seccomp filter denies io_uring_setup, construction fails
+//    and `auto` resolution degrades to SyncBackend.
+//
+// O_DIRECT support is orthogonal to the backend: a file opened with
+// File::direct routes its reads through pooled aligned bounce buffers
+// (backend/aligned.hpp) so unaligned offsets/lengths still read exact bytes.
+//
+// Thread safety: all methods are safe to call from pool workers. The sync
+// backend is stateless; the uring backend serializes ring manipulation
+// behind one mutex (submission batching, not lock-free rings, is where the
+// win is for this workload).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace husg {
+
+enum class IoBackendKind : std::uint8_t { kSync = 0, kUring = 1, kAuto = 2 };
+
+const char* to_string(IoBackendKind kind);
+
+/// Parses "sync" / "uring" / "auto"; returns false on anything else.
+bool parse_io_backend(const std::string& text, IoBackendKind* out);
+
+/// Queue depths outside [1, kMaxQueueDepth] are rejected up front (CLI exit
+/// code 3), not clamped.
+inline constexpr std::uint32_t kMaxQueueDepth = 4096;
+inline constexpr std::uint32_t kDefaultQueueDepth = 64;
+
+struct IoBackendConfig {
+  IoBackendKind kind = IoBackendKind::kSync;
+  std::uint32_t queue_depth = kDefaultQueueDepth;
+  /// Open store data files with O_DIRECT (falls back to buffered I/O with a
+  /// warning when the filesystem refuses, e.g. tmpfs).
+  bool direct = false;
+};
+
+/// One read request of a batch. `buf` must stay valid until the batch's
+/// pending handle completes.
+struct IoReadOp {
+  void* buf = nullptr;
+  std::size_t len = 0;
+  std::uint64_t offset = 0;
+};
+
+/// Handle to an in-flight batch. wait() blocks until every op of the batch
+/// completed, then throws IoError if any op failed. The destructor drains
+/// the batch without throwing, so no completion is ever leaked in the ring
+/// (cancellation unwinds through here).
+class IoPending {
+ public:
+  virtual ~IoPending() = default;
+  virtual void wait() = 0;
+};
+
+class IoBackend {
+ public:
+  virtual ~IoBackend() = default;
+
+  virtual IoBackendKind kind() const = 0;
+  virtual const char* name() const = 0;
+  /// Submission-queue depth the backend was configured with (1 for sync).
+  virtual std::uint32_t queue_depth() const = 0;
+
+  /// Blocking exact read. `align` > 0 means the fd was opened O_DIRECT with
+  /// that logical block size: unaligned requests bounce through the pooled
+  /// aligned buffers.
+  void read(int fd, void* buf, std::size_t len, std::uint64_t offset,
+            std::uint32_t align = 0) const;
+
+  /// Submits `count` reads as one batch and returns the pending handle.
+  /// The destinations must outlive the handle; ops complete in any order.
+  std::unique_ptr<IoPending> start_batch(int fd, const IoReadOp* ops,
+                                         std::size_t count,
+                                         std::uint32_t align = 0) const;
+
+  /// Blocking batch: one submission, wait for all completions.
+  void read_batch(int fd, const IoReadOp* ops, std::size_t count,
+                  std::uint32_t align = 0) const;
+
+ protected:
+  /// Alignment-resolved op handed to implementations: `op` is safe to issue
+  /// as-is; only the first `required` bytes must exist (`required` ≤ op.len —
+  /// an O_DIRECT bounce rounds the length up past EOF).
+  struct RawOp {
+    IoReadOp op;
+    std::size_t required = 0;
+  };
+
+  /// Backend-specific exact read of one already-alignment-safe range.
+  virtual void do_read(int fd, void* buf, std::size_t len,
+                       std::uint64_t offset) const = 0;
+  /// Backend-specific batch of alignment-resolved ops (ownership passes to
+  /// the implementation; destinations outlive the returned handle).
+  virtual std::unique_ptr<IoPending> do_start_batch(
+      int fd, std::vector<RawOp> ops) const = 0;
+};
+
+/// True when this kernel accepts io_uring_setup (probed once, cached).
+/// A denial (ENOSYS, seccomp EPERM) makes every `auto` resolution pick sync.
+bool uring_available();
+
+/// Instantiates a backend. kAuto resolves to uring when available, sync
+/// otherwise (counted in IoBackendTotals::fallbacks). kUring throws IoError
+/// when io_uring is unavailable — the CLI turns that into exit code 3.
+std::unique_ptr<IoBackend> make_io_backend(const IoBackendConfig& config = {});
+
+/// The process-wide sync backend every TrackedFile uses unless its store
+/// wired in an explicit one; keeps the single-read-path invariant without
+/// threading a backend through every scratch-file construction.
+const IoBackend& default_sync_backend();
+
+/// Process-wide submission/completion counters across every backend
+/// instance. RunStats::publish() exports them as `husg_io_backend_*` gauges
+/// plus the `husg_io_backend_batch_size` histogram.
+struct IoBackendTotals {
+  std::uint64_t reads_submitted = 0;
+  std::uint64_t reads_completed = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t inflight_peak = 0;  ///< max ops concurrently in a ring
+  std::uint64_t uring_fallbacks = 0;  ///< auto wanted uring, got sync
+  std::uint64_t direct_denied = 0;    ///< O_DIRECT open fell back to buffered
+};
+
+IoBackendTotals io_backend_totals();
+
+namespace detail {
+/// Counter feeds for backend implementations (relaxed atomics).
+void note_batch(std::size_t ops);
+void note_completed(std::size_t ops);
+void note_inflight(std::uint64_t inflight);
+void note_uring_fallback();
+void note_direct_denied();
+}  // namespace detail
+
+/// Shared pread loop (EINTR retry, short-read detection). The single sync
+/// read implementation: File::pread_exact and SyncBackend both call it.
+/// `required` ≤ `len` tolerates an EOF tail beyond `required` bytes —
+/// O_DIRECT reads round the length up past a file's end.
+void posix_read_exact(int fd, void* buf, std::size_t len, std::uint64_t offset,
+                      std::size_t required);
+
+}  // namespace husg

@@ -1,0 +1,422 @@
+#include "io/backend/uring_backend.hpp"
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#if defined(__NR_io_uring_setup) && defined(__NR_io_uring_enter)
+#define HUSG_HAS_URING 1
+#endif
+
+#endif  // __linux__ && <linux/io_uring.h>
+
+#ifdef HUSG_HAS_URING
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/common.hpp"
+
+namespace husg {
+
+namespace {
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+unsigned load_acquire(unsigned* p) {
+  return std::atomic_ref<unsigned>(*p).load(std::memory_order_acquire);
+}
+
+void store_release(unsigned* p, unsigned v) {
+  std::atomic_ref<unsigned>(*p).store(v, std::memory_order_release);
+}
+
+class UringBackend;
+
+/// One read in flight (or queued for submission). `user_data` of the SQE is
+/// the address of this struct; the owning batch keeps it alive until the
+/// final completion is reaped.
+struct OpState {
+  int fd = 0;
+  char* dst = nullptr;
+  std::uint64_t off = 0;
+  std::size_t len = 0;       ///< total bytes to ask the kernel for
+  std::size_t required = 0;  ///< bytes that must exist (≤ len, EOF tail ok)
+  std::size_t done = 0;      ///< bytes landed so far (short reads resubmit)
+  class UringBatch* batch = nullptr;
+};
+
+/// IoPending over one ring submission. All mutable state (remaining, error,
+/// the backlog the ops sit in before submission) is guarded by the backend's
+/// ring mutex.
+class UringBatch final : public IoPending {
+ public:
+  UringBatch(const UringBackend* ring,
+             std::vector<std::unique_ptr<OpState>> ops)
+      : ring_(ring), ops_(std::move(ops)), remaining_(ops_.size()) {}
+  ~UringBatch() override;
+
+  void wait() override;
+
+ private:
+  friend class UringBackend;
+  const UringBackend* ring_;
+  std::vector<std::unique_ptr<OpState>> ops_;
+  std::size_t remaining_;  ///< ops not yet fully completed (guarded by ring)
+  std::string error_;      ///< first failure (guarded by ring)
+};
+
+class UringBackend final : public IoBackend {
+ public:
+  explicit UringBackend(std::uint32_t queue_depth) {
+    std::memset(&params_, 0, sizeof(params_));
+    ring_fd_ = sys_io_uring_setup(queue_depth, &params_);
+    if (ring_fd_ < 0) {
+      throw IoError(std::string("io_uring_setup: ") + std::strerror(errno));
+    }
+    try {
+      map_rings();
+    } catch (...) {
+      ::close(ring_fd_);
+      throw;
+    }
+    name_ = "uring-qd" + std::to_string(params_.sq_entries);
+  }
+
+  ~UringBackend() override {
+    // Batches always outlive their backend (stores own both, batches are
+    // stack-scoped inside read calls), so nothing can be in flight here.
+    if (sqe_mmap_ != MAP_FAILED) ::munmap(sqe_mmap_, sqe_mmap_len_);
+    if (cq_mmap_ != MAP_FAILED && cq_mmap_ != sq_mmap_) {
+      ::munmap(cq_mmap_, cq_mmap_len_);
+    }
+    if (sq_mmap_ != MAP_FAILED) ::munmap(sq_mmap_, sq_mmap_len_);
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+  }
+
+  IoBackendKind kind() const override { return IoBackendKind::kUring; }
+  const char* name() const override { return name_.c_str(); }
+  std::uint32_t queue_depth() const override { return params_.sq_entries; }
+
+  /// Blocks until every op of `batch` completed; called by UringBatch.
+  void wait_batch(UringBatch* batch) const {
+    std::unique_lock<std::mutex> lk(mu_);
+    reap_locked();
+    while (batch->remaining_ > 0) {
+      enter_getevents_locked();
+      reap_locked();
+    }
+    if (!batch->error_.empty()) throw IoError(batch->error_);
+  }
+
+  /// Destructor path: unqueue this batch's unsubmitted ops and wait out its
+  /// in-flight ones so the kernel never writes into freed buffers. Never
+  /// throws — errors of an abandoned batch are dropped.
+  void drain_batch(UringBatch* batch) const noexcept {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (auto it = backlog_.begin(); it != backlog_.end();) {
+      if ((*it)->batch == batch) {
+        --batch->remaining_;
+        it = backlog_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    while (batch->remaining_ > 0) {
+      reap_locked();
+      if (batch->remaining_ == 0) break;
+      try {
+        enter_getevents_locked();
+      } catch (const IoError&) {
+        break;  // ring wedged; nothing more we can do from a destructor
+      }
+    }
+  }
+
+ protected:
+  void do_read(int fd, void* buf, std::size_t len,
+               std::uint64_t offset) const override {
+    std::vector<RawOp> one(1);
+    one[0] = RawOp{IoReadOp{buf, len, offset}, len};
+    do_start_batch(fd, std::move(one))->wait();
+  }
+
+  std::unique_ptr<IoPending> do_start_batch(
+      int fd, std::vector<RawOp> ops) const override {
+    std::vector<std::unique_ptr<OpState>> states;
+    states.reserve(ops.size());
+    for (const RawOp& raw : ops) {
+      auto st = std::make_unique<OpState>();
+      st->fd = fd;
+      st->dst = static_cast<char*>(raw.op.buf);
+      st->off = raw.op.offset;
+      st->len = raw.op.len;
+      st->required = raw.required;
+      states.push_back(std::move(st));
+    }
+    auto batch = std::make_unique<UringBatch>(this, std::move(states));
+    {
+      HUSG_SPAN("io", "uring_submit", "ops",
+                static_cast<std::int64_t>(batch->ops_.size()));
+      std::unique_lock<std::mutex> lk(mu_);
+      for (auto& st : batch->ops_) {
+        st->batch = batch.get();
+        backlog_.push_back(st.get());
+      }
+      submit_backlog_locked();
+    }
+    return batch;
+  }
+
+ private:
+  friend class UringBatch;
+
+  void map_rings() {
+    sq_mmap_len_ = params_.sq_off.array + params_.sq_entries * sizeof(unsigned);
+    cq_mmap_len_ =
+        params_.cq_off.cqes + params_.cq_entries * sizeof(io_uring_cqe);
+    if (params_.features & IORING_FEAT_SINGLE_MMAP) {
+      sq_mmap_len_ = std::max(sq_mmap_len_, cq_mmap_len_);
+      cq_mmap_len_ = sq_mmap_len_;
+    }
+    sq_mmap_ = ::mmap(nullptr, sq_mmap_len_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_mmap_ == MAP_FAILED) {
+      throw IoError(std::string("io_uring sq mmap: ") + std::strerror(errno));
+    }
+    if (params_.features & IORING_FEAT_SINGLE_MMAP) {
+      cq_mmap_ = sq_mmap_;
+    } else {
+      cq_mmap_ = ::mmap(nullptr, cq_mmap_len_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, ring_fd_,
+                        IORING_OFF_CQ_RING);
+      if (cq_mmap_ == MAP_FAILED) {
+        throw IoError(std::string("io_uring cq mmap: ") + std::strerror(errno));
+      }
+    }
+    sqe_mmap_len_ = params_.sq_entries * sizeof(io_uring_sqe);
+    sqe_mmap_ = ::mmap(nullptr, sqe_mmap_len_, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+    if (sqe_mmap_ == MAP_FAILED) {
+      throw IoError(std::string("io_uring sqe mmap: ") + std::strerror(errno));
+    }
+
+    char* sq = static_cast<char*>(sq_mmap_);
+    sq_head_ = reinterpret_cast<unsigned*>(sq + params_.sq_off.head);
+    sq_tail_ = reinterpret_cast<unsigned*>(sq + params_.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<unsigned*>(sq + params_.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<unsigned*>(sq + params_.sq_off.array);
+    sqes_ = static_cast<io_uring_sqe*>(sqe_mmap_);
+
+    char* cq = static_cast<char*>(cq_mmap_);
+    cq_head_ = reinterpret_cast<unsigned*>(cq + params_.cq_off.head);
+    cq_tail_ = reinterpret_cast<unsigned*>(cq + params_.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<unsigned*>(cq + params_.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(cq + params_.cq_off.cqes);
+  }
+
+  /// Moves backlog ops into SQEs (bounded by free CQ capacity so completions
+  /// can never overflow) and submits them with one io_uring_enter.
+  void submit_backlog_locked() const {
+    unsigned to_submit = 0;
+    while (!backlog_.empty() && inflight_ < params_.cq_entries) {
+      unsigned tail = *sq_tail_;
+      if (tail - load_acquire(sq_head_) >= params_.sq_entries) break;
+      OpState* op = backlog_.front();
+      backlog_.pop_front();
+      unsigned idx = tail & sq_mask_;
+      io_uring_sqe* sqe = &sqes_[idx];
+      std::memset(sqe, 0, sizeof(*sqe));
+      sqe->opcode = IORING_OP_READ;
+      sqe->fd = op->fd;
+      sqe->addr = reinterpret_cast<std::uint64_t>(op->dst + op->done);
+      sqe->len = static_cast<unsigned>(op->len - op->done);
+      sqe->off = op->off + op->done;
+      sqe->user_data = reinterpret_cast<std::uint64_t>(op);
+      sq_array_[idx] = idx;
+      store_release(sq_tail_, tail + 1);
+      ++to_submit;
+      ++inflight_;
+    }
+    if (to_submit == 0) return;
+    detail::note_inflight(inflight_);
+    unsigned submitted = 0;
+    while (submitted < to_submit) {
+      int ret = sys_io_uring_enter(ring_fd_, to_submit - submitted, 0, 0);
+      if (ret < 0) {
+        if (errno == EINTR) continue;
+        // Submission refused (the kernel consumed none of the remaining
+        // SQEs): rewind the tail and fail their ops, so waiters see an
+        // IoError instead of hanging on completions that will never post.
+        const std::string msg =
+            std::string("io_uring_enter(submit): ") + std::strerror(errno);
+        const unsigned khead = load_acquire(sq_head_);
+        const unsigned tail = *sq_tail_;
+        for (unsigned t = khead; t != tail; ++t) {
+          unsigned idx = sq_array_[t & sq_mask_];
+          OpState* op = reinterpret_cast<OpState*>(
+              static_cast<std::uintptr_t>(sqes_[idx].user_data));
+          --inflight_;
+          fail_op(op, msg);
+        }
+        store_release(sq_tail_, khead);
+        return;
+      }
+      submitted += static_cast<unsigned>(ret);
+    }
+  }
+
+  /// Blocks (lock held — waiters serialize, which keeps wakeups lossless)
+  /// until at least one completion is available.
+  void enter_getevents_locked() const {
+    while (true) {
+      int ret = sys_io_uring_enter(ring_fd_, 0, 1, IORING_ENTER_GETEVENTS);
+      if (ret >= 0) return;
+      if (errno == EINTR) continue;
+      throw IoError(std::string("io_uring_enter(getevents): ") +
+                    std::strerror(errno));
+    }
+  }
+
+  /// Pops every available CQE, advances the ops they belong to (completing,
+  /// failing, or resubmitting short reads), then refills the ring from the
+  /// backlog.
+  void reap_locked() const {
+    unsigned head = *cq_head_;
+    const unsigned tail = load_acquire(cq_tail_);
+    if (head != tail) {
+      HUSG_SPAN("io", "uring_reap", "cqes",
+                static_cast<std::int64_t>(tail - head));
+      while (head != tail) {
+        const io_uring_cqe& cqe = cqes_[head & cq_mask_];
+        OpState* op = reinterpret_cast<OpState*>(
+            static_cast<std::uintptr_t>(cqe.user_data));
+        const std::int32_t res = cqe.res;
+        ++head;
+        --inflight_;
+        if (res < 0) {
+          if (res == -EINTR || res == -EAGAIN) {
+            backlog_.push_front(op);  // retry with no progress
+          } else {
+            fail_op(op, std::string("io_uring read: ") + std::strerror(-res));
+          }
+        } else if (res == 0) {
+          if (op->done >= op->required) {
+            complete_op(op);
+          } else {
+            fail_op(op, "short read at offset " +
+                            std::to_string(op->off + op->done) + " (wanted " +
+                            std::to_string(op->required) + " bytes, got " +
+                            std::to_string(op->done) + ")");
+          }
+        } else {
+          op->done += static_cast<std::size_t>(res);
+          if (op->done >= op->len || op->done >= op->required) {
+            complete_op(op);
+          } else {
+            backlog_.push_front(op);  // short read: resubmit the remainder
+          }
+        }
+      }
+      store_release(cq_head_, head);
+    }
+    submit_backlog_locked();
+  }
+
+  void complete_op(OpState* op) const {
+    --op->batch->remaining_;
+    detail::note_completed(1);
+  }
+
+  void fail_op(OpState* op, std::string msg) const {
+    if (op->batch->error_.empty()) op->batch->error_ = std::move(msg);
+    --op->batch->remaining_;
+    detail::note_completed(1);
+  }
+
+  int ring_fd_ = -1;
+  io_uring_params params_;
+  std::string name_;
+
+  void* sq_mmap_ = MAP_FAILED;
+  void* cq_mmap_ = MAP_FAILED;
+  void* sqe_mmap_ = MAP_FAILED;
+  std::size_t sq_mmap_len_ = 0;
+  std::size_t cq_mmap_len_ = 0;
+  std::size_t sqe_mmap_len_ = 0;
+
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned* sq_array_ = nullptr;
+  io_uring_sqe* sqes_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+
+  // Ring discipline: one mutex guards SQ/CQ manipulation, the backlog and
+  // every batch's remaining/error. Waiters hold it across the GETEVENTS
+  // syscall — completions are only ever reaped under the lock, so a reap by
+  // one waiter cannot strand another in the kernel with an empty CQ.
+  mutable std::mutex mu_;
+  mutable std::deque<OpState*> backlog_;  ///< accepted, not yet in the SQ
+  mutable unsigned inflight_ = 0;         ///< SQEs submitted, CQEs not reaped
+};
+
+UringBatch::~UringBatch() { ring_->drain_batch(this); }
+
+void UringBatch::wait() { ring_->wait_batch(this); }
+
+}  // namespace
+
+bool probe_uring() {
+  io_uring_params p;
+  std::memset(&p, 0, sizeof(p));
+  int fd = sys_io_uring_setup(1, &p);
+  if (fd < 0) return false;
+  ::close(fd);
+  return true;
+}
+
+std::unique_ptr<IoBackend> make_uring_backend(std::uint32_t queue_depth) {
+  try {
+    return std::make_unique<UringBackend>(queue_depth);
+  } catch (const IoError&) {
+    return nullptr;
+  }
+}
+
+}  // namespace husg
+
+#else  // !HUSG_HAS_URING
+
+namespace husg {
+
+bool probe_uring() { return false; }
+
+std::unique_ptr<IoBackend> make_uring_backend(std::uint32_t /*queue_depth*/) {
+  return nullptr;
+}
+
+}  // namespace husg
+
+#endif  // HUSG_HAS_URING

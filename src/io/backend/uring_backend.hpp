@@ -1,0 +1,25 @@
+// io_uring backend construction + runtime probe (DESIGN.md §12).
+//
+// Raw-syscall implementation — the container has no liburing, and the ring
+// protocol is small enough to drive directly: io_uring_setup to create the
+// rings, mmap to map SQ/CQ/SQE arrays, io_uring_enter to submit and reap.
+// Compiled out (probe returns false, factory returns nullptr) on platforms
+// without <linux/io_uring.h> or the syscall numbers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "io/backend/io_backend.hpp"
+
+namespace husg {
+
+/// One io_uring_setup(1, ...) attempt; true when the kernel accepted it.
+/// Uncached — callers go through uring_available() for the cached answer.
+bool probe_uring();
+
+/// UringBackend with the given submission-queue depth, or nullptr when this
+/// kernel (or its seccomp policy) denies io_uring_setup.
+std::unique_ptr<IoBackend> make_uring_backend(std::uint32_t queue_depth);
+
+}  // namespace husg

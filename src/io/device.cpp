@@ -41,6 +41,9 @@ void DeviceProfile::publish(obs::Registry& reg) const {
   reg.gauge("husg_device_seek_seconds",
             "Cost-model per-random-op positioning latency")
       .set(seek_seconds);
+  reg.gauge("husg_device_queue_lanes",
+            "Concurrent request lanes the cost model assumes the device has")
+      .set(static_cast<double>(queue_lanes));
 }
 
 DeviceProfile DeviceProfile::hdd7200() {
@@ -50,6 +53,7 @@ DeviceProfile DeviceProfile::hdd7200() {
   d.rand_read_bw = 160e6;  // transfer at media rate once positioned
   d.write_bw = 140e6;
   d.seek_seconds = 8e-3;   // avg seek + rotational latency
+  d.queue_lanes = 1;       // one actuator: depth hides nothing
   return d;
 }
 
@@ -60,6 +64,7 @@ DeviceProfile DeviceProfile::sata_ssd() {
   d.rand_read_bw = 200e6;
   d.write_bw = 200e6;
   d.seek_seconds = 9e-5;   // flash access latency
+  d.queue_lanes = 8;       // SATA NCQ-era internal parallelism
   return d;
 }
 
@@ -70,6 +75,7 @@ DeviceProfile DeviceProfile::nvme_ssd() {
   d.rand_read_bw = 2400e6;
   d.write_bw = 2000e6;
   d.seek_seconds = 1.5e-5;
+  d.queue_lanes = 32;      // NVMe: deep per-queue parallelism
   return d;
 }
 
@@ -77,6 +83,18 @@ DeviceProfile DeviceProfile::with_seek_scale(double factor) const {
   DeviceProfile d = *this;
   d.seek_seconds *= factor;
   d.name += "-seekx" + std::to_string(factor);
+  return d;
+}
+
+DeviceProfile DeviceProfile::for_backend(IoBackendKind backend,
+                                         std::uint32_t queue_depth) const {
+  DeviceProfile d = *this;
+  if (backend != IoBackendKind::kUring || queue_depth <= 1) return d;
+  const std::uint32_t lanes =
+      std::min(queue_depth, std::max<std::uint32_t>(queue_lanes, 1));
+  if (lanes <= 1) return d;
+  d.seek_seconds /= static_cast<double>(lanes);
+  d.name += "+uring-qd" + std::to_string(queue_depth);
   return d;
 }
 

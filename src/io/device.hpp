@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <string>
 
+#include "io/backend/io_backend.hpp"
 #include "io/io_stats.hpp"
 
 namespace husg {
@@ -31,6 +32,10 @@ struct DeviceProfile {
   double rand_read_bw = 0;  ///< bytes/second, transfer part of random reads
   double write_bw = 0;      ///< bytes/second, sequential writes
   double seek_seconds = 0;  ///< per random-read-op positioning cost
+  /// Independent request streams the device can serve concurrently (NCQ/NVMe
+  /// queue lanes). Deep async queues amortise the per-op positioning cost
+  /// across lanes; a depth-1 sync path uses exactly one.
+  std::uint32_t queue_lanes = 1;
 
   /// Effective throughput constants for the §3.4 predictor.
   /// T_sequential is simply the sequential bandwidth; T_random folds the
@@ -61,6 +66,16 @@ struct DeviceProfile {
   /// preserves the paper testbed's seek-to-full-sweep ratio (dimensional
   /// matching), which is what the hybrid strategy's crossovers depend on.
   DeviceProfile with_seek_scale(double factor) const;
+
+  /// Specialises the profile for the I/O backend actually in use so the
+  /// §3.4 C_rop/C_cop decision is priced against it. Sync (or queue depth
+  /// ≤ 1) returns an unchanged copy — the historical cost model, and the
+  /// reason sync-backend baselines stay byte-identical. An async backend at
+  /// depth N spreads the per-op positioning cost over min(N, queue_lanes)
+  /// concurrent lanes, raising effective T_random while T_sequential is
+  /// untouched.
+  DeviceProfile for_backend(IoBackendKind backend,
+                            std::uint32_t queue_depth) const;
 };
 
 }  // namespace husg

@@ -8,6 +8,8 @@
 #include <cstring>
 #include <utility>
 
+#include "io/backend/aligned.hpp"
+#include "io/backend/io_backend.hpp"
 #include "util/common.hpp"
 
 namespace husg {
@@ -18,7 +20,11 @@ namespace {
 }
 }  // namespace
 
-File::File(const std::filesystem::path& path, Mode mode) : path_(path.string()) {
+File::File(const std::filesystem::path& path, Mode mode)
+    : File(path, mode, false) {}
+
+File::File(const std::filesystem::path& path, Mode mode, bool direct)
+    : path_(path.string()) {
   int flags = 0;
   switch (mode) {
     case Mode::kRead:
@@ -31,20 +37,35 @@ File::File(const std::filesystem::path& path, Mode mode) : path_(path.string()) 
       flags = O_RDWR | O_CREAT;
       break;
   }
-  fd_ = ::open(path_.c_str(), flags, 0644);
-  if (fd_ < 0) throw_errno("open", path_);
+  if (direct && mode == Mode::kRead) {
+    fd_ = ::open(path_.c_str(), flags | O_DIRECT, 0644);
+    if (fd_ >= 0) {
+      direct_ = true;
+    } else if (errno != EINVAL && errno != EOPNOTSUPP) {
+      throw_errno("open", path_);
+    } else {
+      detail::note_direct_denied();  // tmpfs & co: buffered fallback below
+    }
+  }
+  if (fd_ < 0) {
+    fd_ = ::open(path_.c_str(), flags, 0644);
+    if (fd_ < 0) throw_errno("open", path_);
+  }
   if (mode == Mode::kReadWrite) {
     struct stat st{};
     if (::fstat(fd_, &st) == 0) append_offset_ = static_cast<std::uint64_t>(st.st_size);
   }
 }
 
+std::uint32_t File::read_align() const { return direct_ ? kDirectIoAlign : 0; }
+
 File::~File() { close(); }
 
 File::File(File&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       path_(std::move(other.path_)),
-      append_offset_(other.append_offset_) {}
+      append_offset_(other.append_offset_),
+      direct_(other.direct_) {}
 
 File& File::operator=(File&& other) noexcept {
   if (this != &other) {
@@ -52,6 +73,7 @@ File& File::operator=(File&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     path_ = std::move(other.path_);
     append_offset_ = other.append_offset_;
+    direct_ = other.direct_;
   }
   return *this;
 }
@@ -65,6 +87,11 @@ std::uint64_t File::size() const {
 
 void File::pread_exact(void* buf, std::size_t len, std::uint64_t offset) const {
   HUSG_CHECK(is_open(), "pread on closed file");
+  if (direct_) {
+    // O_DIRECT rejects unaligned preads; the backend bounce path handles it.
+    default_sync_backend().read(fd_, buf, len, offset, kDirectIoAlign);
+    return;
+  }
   char* dst = static_cast<char*>(buf);
   std::size_t done = 0;
   while (done < len) {

@@ -16,6 +16,10 @@ class File {
 
   File() = default;
   File(const std::filesystem::path& path, Mode mode);
+  /// `direct` requests O_DIRECT (read mode only); when the filesystem
+  /// refuses (EINVAL on tmpfs and friends) the open falls back to buffered
+  /// I/O and counts the denial in IoBackendTotals::direct_denied.
+  File(const std::filesystem::path& path, Mode mode, bool direct);
   ~File();
 
   File(File&& other) noexcept;
@@ -25,6 +29,12 @@ class File {
 
   bool is_open() const { return fd_ >= 0; }
   const std::string& path() const { return path_; }
+  /// Raw descriptor for IoBackend reads; -1 when closed.
+  int fd() const { return fd_; }
+  /// True when the descriptor is O_DIRECT (reads need aligned buffers).
+  bool direct() const { return direct_; }
+  /// Alignment every read on this fd must honour (0 = none, buffered).
+  std::uint32_t read_align() const;
 
   /// Size in bytes (fstat).
   std::uint64_t size() const;
@@ -48,6 +58,7 @@ class File {
   int fd_ = -1;
   std::string path_;
   std::uint64_t append_offset_ = 0;
+  bool direct_ = false;
 };
 
 /// Create directory (and parents) if missing; throws IoError on failure.

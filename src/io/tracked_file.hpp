@@ -1,16 +1,26 @@
 // File wrapper that classifies each access as sequential or random and
 // charges it to an IoStats instance. Engines never bypass this wrapper.
 //
+// Every read goes through an IoBackend (DESIGN.md §12): the default is the
+// process-wide sync backend (plain pread, behaviour identical to the
+// historical code), a store can wire in a uring backend instead. Batch
+// variants submit many ranges as one backend batch while still charging
+// IoStats per logical op — byte and op totals are independent of the backend
+// in use.
+//
 // When obs::set_io_timing(true) is active (the CLI enables it with
 // --metrics-out), every access is additionally timed into the global
-// husg_io_{seq_read,rand_read,write}_seconds latency histograms. The gate is
-// one relaxed atomic load, so the default path pays no clock reads.
+// husg_io_{seq_read,rand_read,write}_seconds latency histograms (one sample
+// per batch for batched reads). The gate is one relaxed atomic load, so the
+// default path pays no clock reads.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 
+#include "io/backend/io_backend.hpp"
 #include "io/file.hpp"
 #include "io/io_stats.hpp"
 #include "obs/metrics.hpp"
@@ -24,21 +34,49 @@ class TrackedFile {
   TrackedFile(const std::filesystem::path& path, File::Mode mode,
               IoStats* stats)
       : file_(path, mode), stats_(stats) {}
+  TrackedFile(const std::filesystem::path& path, File::Mode mode,
+              IoStats* stats, const IoBackend* backend, bool direct)
+      : file_(path, mode, direct),
+        stats_(stats),
+        backend_(backend != nullptr ? backend : &default_sync_backend()) {}
 
   bool is_open() const { return file_.is_open(); }
   std::uint64_t size() const { return file_.size(); }
   const std::string& path() const { return file_.path(); }
+  const IoBackend& backend() const { return *backend_; }
+  /// Alignment reads on this file must honour (0 unless opened O_DIRECT).
+  std::uint32_t read_align() const { return file_.read_align(); }
 
   /// Random (point) read: charged as one random op regardless of position.
   void read_random(void* buf, std::size_t len, std::uint64_t offset) const {
     if (obs::io_timing_enabled()) {
       const std::uint64_t t0 = obs::now_ns();
-      file_.pread_exact(buf, len, offset);
+      backend_->read(file_.fd(), buf, len, offset, file_.read_align());
       obs::io_latency().rand_read->record(obs::now_ns() - t0);
     } else {
-      file_.pread_exact(buf, len, offset);
+      backend_->read(file_.fd(), buf, len, offset, file_.read_align());
     }
     if (stats_ != nullptr) stats_->add_rand_read(len);
+  }
+
+  /// Batched point loads: one backend submission for all `count` ranges
+  /// (one ring submission under uring, a plain loop under sync). Charged as
+  /// `count` random ops — IoStats totals are identical to a read_random
+  /// loop. Timing records one sample for the whole batch.
+  void read_random_batch(const IoReadOp* ops, std::size_t count) const {
+    if (count == 0) return;
+    if (obs::io_timing_enabled()) {
+      const std::uint64_t t0 = obs::now_ns();
+      backend_->read_batch(file_.fd(), ops, count, file_.read_align());
+      obs::io_latency().rand_read->record(obs::now_ns() - t0);
+    } else {
+      backend_->read_batch(file_.fd(), ops, count, file_.read_align());
+    }
+    if (stats_ != nullptr) {
+      for (std::size_t k = 0; k < count; ++k) {
+        stats_->add_rand_read(ops[k].len);
+      }
+    }
   }
 
   /// Sequential (streaming) read: charged as sequential traffic. Callers use
@@ -46,12 +84,41 @@ class TrackedFile {
   void read_sequential(void* buf, std::size_t len, std::uint64_t offset) const {
     if (obs::io_timing_enabled()) {
       const std::uint64_t t0 = obs::now_ns();
-      file_.pread_exact(buf, len, offset);
+      backend_->read(file_.fd(), buf, len, offset, file_.read_align());
       obs::io_latency().seq_read->record(obs::now_ns() - t0);
     } else {
-      file_.pread_exact(buf, len, offset);
+      backend_->read(file_.fd(), buf, len, offset, file_.read_align());
     }
     if (stats_ != nullptr) stats_->add_seq_read(len);
+  }
+
+  /// Starts `count` streaming reads without waiting for them (double-buffer
+  /// pipelines overlap chunk N+1's I/O with chunk N's compute). Each op is
+  /// charged as one sequential read at submission; the sync backend performs
+  /// the reads eagerly, so totals and byte counts never depend on the
+  /// backend. Destinations must outlive the returned handle.
+  std::unique_ptr<IoPending> start_sequential(const IoReadOp* ops,
+                                              std::size_t count) const {
+    std::unique_ptr<IoPending> pending =
+        backend_->start_batch(file_.fd(), ops, count, file_.read_align());
+    if (stats_ != nullptr) {
+      for (std::size_t k = 0; k < count; ++k) {
+        stats_->add_seq_read(ops[k].len);
+      }
+    }
+    return pending;
+  }
+
+  /// Blocking batched sequential read (one submission, wait for all).
+  void read_sequential_batch(const IoReadOp* ops, std::size_t count) const {
+    if (count == 0) return;
+    if (obs::io_timing_enabled()) {
+      const std::uint64_t t0 = obs::now_ns();
+      start_sequential(ops, count)->wait();
+      obs::io_latency().seq_read->record(obs::now_ns() - t0);
+    } else {
+      start_sequential(ops, count)->wait();
+    }
   }
 
   void write(const void* buf, std::size_t len, std::uint64_t offset) {
@@ -80,10 +147,14 @@ class TrackedFile {
 
   void set_stats(IoStats* stats) { stats_ = stats; }
   IoStats* stats() const { return stats_; }
+  void set_backend(const IoBackend* backend) {
+    backend_ = backend != nullptr ? backend : &default_sync_backend();
+  }
 
  private:
   File file_;
   IoStats* stats_ = nullptr;
+  const IoBackend* backend_ = &default_sync_backend();
 };
 
 }  // namespace husg

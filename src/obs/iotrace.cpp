@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 
+#include "io/backend/io_backend.hpp"
 #include "obs/metrics.hpp"
 #include "util/common.hpp"
 
@@ -195,7 +196,7 @@ void IoTrace::start(const std::string& path, const TraceRunInfo& info) {
   put_u8(header, info.fill_rop ? 1 : 0);
   put_u8(header, info.flavor);
   put_u8(header, info.granularity);
-  put_u8(header, 0);  // pad
+  put_u8(header, info.backend);
   im.file.write(header.data(), static_cast<std::streamsize>(header.size()));
   im.open = true;
   im.seq.store(0, std::memory_order_relaxed);
@@ -355,7 +356,7 @@ TraceFile load_trace(const std::string& path) {
   out.info.fill_rop = c.u8() != 0;
   out.info.flavor = c.u8();
   out.info.granularity = c.u8();
-  c.u8();  // pad
+  out.info.backend = c.u8();
 
   while (c.pos < c.size) {
     TraceRecord rec;
@@ -470,7 +471,9 @@ void write_jsonl(const TraceFile& trace, std::ostream& os) {
      << (h.fill_rop ? "true" : "false")
      << ", \"flavor\": " << static_cast<int>(h.flavor)
      << ", \"granularity\": " << static_cast<int>(h.granularity)
-     << ", \"num_vertices\": " << h.num_vertices
+     << ", \"backend\": \""
+     << to_string(static_cast<IoBackendKind>(h.backend))
+     << "\", \"num_vertices\": " << h.num_vertices
      << ", \"num_edges\": " << h.num_edges
      << ", \"edge_bytes\": " << h.edge_bytes << "}\n";
   for (const TraceRecord& rec : trace.records) {

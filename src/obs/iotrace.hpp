@@ -154,6 +154,9 @@ struct TraceRunInfo {
   bool fill_rop = true;
   std::uint8_t flavor = 0;       ///< PredictorFlavor as int
   std::uint8_t granularity = 0;  ///< DecisionGranularity as int
+  /// IoBackendKind the run executed with (0 = sync; pre-backend traces wrote
+  /// a zero pad byte here, so they replay as sync — which they were).
+  std::uint8_t backend = 0;
   double alpha = 0.05;
   /// DeviceProfile parameters (the what-if cost model).
   double seq_read_bw = 0;

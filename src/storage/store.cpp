@@ -73,6 +73,25 @@ std::uint64_t checksum_file(const std::filesystem::path& path) {
   return state;
 }
 
+/// Streams `bytes` from `offset` into `dst`, charged sequential in
+/// kDefaultStreamChunk units and submitted to the backend as one batch.
+void stream_chunks(const TrackedFile& file, char* dst, std::uint64_t bytes,
+                   std::uint64_t offset) {
+  if (bytes == 0) return;
+  std::vector<IoReadOp> ops;
+  ops.reserve(static_cast<std::size_t>(
+      (bytes + kDefaultStreamChunk - 1) / kDefaultStreamChunk));
+  std::uint64_t pos = 0;
+  while (pos < bytes) {
+    std::uint64_t len =
+        std::min<std::uint64_t>(kDefaultStreamChunk, bytes - pos);
+    ops.push_back(IoReadOp{dst + pos, static_cast<std::size_t>(len),
+                           offset + pos});
+    pos += len;
+  }
+  file.read_sequential_batch(ops.data(), ops.size());
+}
+
 const char* data_file_name(std::size_t index) {
   static const char* kNames[kStoreDataFiles] = {
       kOutAdjFile, kOutIdxFile, kInAdjFile, kInIdxFile, kDegreesFile};
@@ -173,7 +192,8 @@ std::vector<VertexId> compute_boundaries(const EdgeList& graph,
 
 DualBlockStore DualBlockStore::build(const EdgeList& graph,
                                      const std::filesystem::path& dir,
-                                     const StoreOptions& options) {
+                                     const StoreOptions& options,
+                                     const IoBackendConfig& io_config) {
   HUSG_CHECK(options.num_partitions > 0, "num_partitions must be positive");
   HUSG_CHECK(graph.num_vertices() > 0, "cannot build a store for |V|=0");
   ensure_directory(dir);
@@ -412,18 +432,30 @@ DualBlockStore DualBlockStore::build(const EdgeList& graph,
   HUSG_INFO << "built dual-block store at " << dir.string() << ": |V|="
             << meta.num_vertices << " |E|=" << meta.num_edges << " P=" << p
             << (weighted ? " weighted" : "");
-  return open(dir);
+  return open(dir, io_config);
 }
 
 DualBlockStore DualBlockStore::open(const std::filesystem::path& dir) {
+  return open(dir, IoBackendConfig{});
+}
+
+DualBlockStore DualBlockStore::open(const std::filesystem::path& dir,
+                                    const IoBackendConfig& io_config) {
   DualBlockStore s;
   s.dir_ = dir;
   s.meta_ = read_meta(dir);
   s.io_ = std::make_unique<IoStats>();
-  s.out_adj_ = TrackedFile(dir / kOutAdjFile, File::Mode::kRead, s.io_.get());
-  s.out_idx_ = TrackedFile(dir / kOutIdxFile, File::Mode::kRead, s.io_.get());
-  s.in_adj_ = TrackedFile(dir / kInAdjFile, File::Mode::kRead, s.io_.get());
-  s.in_idx_ = TrackedFile(dir / kInIdxFile, File::Mode::kRead, s.io_.get());
+  s.backend_ = make_io_backend(io_config);
+  const IoBackend* be = s.backend_.get();
+  const bool direct = io_config.direct;
+  s.out_adj_ = TrackedFile(dir / kOutAdjFile, File::Mode::kRead, s.io_.get(),
+                           be, direct);
+  s.out_idx_ = TrackedFile(dir / kOutIdxFile, File::Mode::kRead, s.io_.get(),
+                           be, direct);
+  s.in_adj_ = TrackedFile(dir / kInAdjFile, File::Mode::kRead, s.io_.get(),
+                          be, direct);
+  s.in_idx_ = TrackedFile(dir / kInIdxFile, File::Mode::kRead, s.io_.get(),
+                          be, direct);
 
   if (s.meta_.codec != BlockCodecKind::kNone) {
     s.scratch_ = std::make_unique<ScratchPool>();
@@ -464,7 +496,8 @@ DualBlockStore DualBlockStore::open(const std::filesystem::path& dir) {
              "in.adj truncated: " << s.in_adj_.size() << " vs " << in_bytes);
 
   // Load degrees (one sequential pass each).
-  TrackedFile deg(dir / kDegreesFile, File::Mode::kRead, s.io_.get());
+  TrackedFile deg(dir / kDegreesFile, File::Mode::kRead, s.io_.get(), be,
+                  direct);
   std::uint64_t n = s.meta_.num_vertices;
   HUSG_CHECK(deg.size() == 2 * n * sizeof(VertexId),
              "degrees.bin size mismatch: " << deg.size());
@@ -528,13 +561,7 @@ void DualBlockStore::read_in_block_raw(std::uint32_t i, std::uint32_t j,
                                        std::vector<char>& out) const {
   const BlockExtent& b = meta_.in_block(i, j);
   out.resize(b.adj_bytes);
-  std::uint64_t pos = 0;
-  while (pos < b.adj_bytes) {
-    std::uint64_t len =
-        std::min<std::uint64_t>(kDefaultStreamChunk, b.adj_bytes - pos);
-    in_adj_.read_sequential(out.data() + pos, len, b.adj_offset + pos);
-    pos += len;
-  }
+  stream_chunks(in_adj_, out.data(), b.adj_bytes, b.adj_offset);
 }
 
 AdjacencySlice DualBlockStore::load_out_edges(std::uint32_t i, std::uint32_t j,
@@ -572,6 +599,18 @@ AdjacencySlice DualBlockStore::load_out_edges(std::uint32_t i, std::uint32_t j,
   return decode(buf.raw.data(), count, buf);
 }
 
+void DualBlockStore::load_out_ranges(std::uint32_t i, std::uint32_t j,
+                                     IoReadOp* ops, std::size_t count) const {
+  if (count == 0) return;
+  const BlockExtent& b = meta_.out_block(i, j);
+  for (std::size_t k = 0; k < count; ++k) {
+    HUSG_CHECK(ops[k].offset + ops[k].len <= b.adj_bytes,
+               "load_out_ranges: range beyond block");
+    ops[k].offset += b.adj_offset;
+  }
+  out_adj_.read_random_batch(ops, count);
+}
+
 AdjacencySlice DualBlockStore::stream_in_block(std::uint32_t i, std::uint32_t j,
                                                AdjacencyBuffer& buf) const {
   const BlockExtent& b = meta_.in_block(i, j);
@@ -589,14 +628,10 @@ AdjacencySlice DualBlockStore::stream_in_block(std::uint32_t i, std::uint32_t j,
   }
   buf.raw.resize(b.adj_bytes);
   if (b.adj_bytes > 0) {
-    // One streaming pass over the block; charged sequential in chunk units.
-    std::uint64_t pos = 0;
-    while (pos < b.adj_bytes) {
-      std::uint64_t len = std::min<std::uint64_t>(kDefaultStreamChunk,
-                                                  b.adj_bytes - pos);
-      in_adj_.read_sequential(buf.raw.data() + pos, len, b.adj_offset + pos);
-      pos += len;
-    }
+    // One streaming pass over the block; charged sequential in chunk units
+    // and submitted as a single backend batch (all chunks in flight at once
+    // under uring).
+    stream_chunks(in_adj_, buf.raw.data(), b.adj_bytes, b.adj_offset);
   }
   return decode(buf.raw.data(), b.edge_count, buf);
 }

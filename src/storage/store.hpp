@@ -14,6 +14,7 @@
 
 #include "codec/block_codec.hpp"
 #include "graph/edge_list.hpp"
+#include "io/backend/io_backend.hpp"
 #include "io/io_stats.hpp"
 #include "io/tracked_file.hpp"
 #include "storage/layout.hpp"
@@ -63,12 +64,22 @@ class AdjacencyBuffer {
 class DualBlockStore {
  public:
   /// Builds the on-disk representation from an edge list and opens it.
+  /// `io_config` selects the I/O backend of the returned (opened) store.
   static DualBlockStore build(const EdgeList& graph,
                               const std::filesystem::path& dir,
-                              const StoreOptions& options = {});
+                              const StoreOptions& options = {},
+                              const IoBackendConfig& io_config = {});
 
   /// Opens an existing store directory; validates header and file sizes.
+  /// Reads go through the sync I/O backend (historical behaviour).
   static DualBlockStore open(const std::filesystem::path& dir);
+
+  /// Opens with an explicit I/O backend configuration: all four data files
+  /// read through the instantiated backend (uring when requested/available),
+  /// optionally with O_DIRECT. kAuto degrades to sync at runtime; kUring
+  /// throws IoError when the kernel denies io_uring.
+  static DualBlockStore open(const std::filesystem::path& dir,
+                             const IoBackendConfig& io_config);
 
   DualBlockStore(DualBlockStore&&) = default;
   DualBlockStore& operator=(DualBlockStore&&) = default;
@@ -85,6 +96,11 @@ class DualBlockStore {
   /// it around phases. Mutable because reads are logically const.
   IoStats& io() const { return *io_; }
 
+  /// The backend every read of this store goes through. Engines feed its
+  /// kind/queue depth into DeviceProfile::for_backend so the §3.4 decision
+  /// prices the path actually in use.
+  const IoBackend& io_backend() const { return *backend_; }
+
   // --- ROP access path -----------------------------------------------------
 
   /// Loads the CSR index of out-block (i,j): interval_size(i)+1 offsets (in
@@ -97,6 +113,13 @@ class DualBlockStore {
   AdjacencySlice load_out_edges(std::uint32_t i, std::uint32_t j,
                                 std::uint32_t lo, std::uint32_t hi,
                                 AdjacencyBuffer& buf) const;
+
+  /// Batched ROP point loads (non-codec stores): each op's `offset` is a
+  /// byte offset *within* out-block (i,j)'s adjacency; all ops go down as a
+  /// single backend submission (one ring batch under uring). Charged exactly
+  /// like a loop of load_out_edges calls: one random op per range.
+  void load_out_ranges(std::uint32_t i, std::uint32_t j, IoReadOp* ops,
+                       std::size_t count) const;
 
   // --- COP access path -----------------------------------------------------
 
@@ -143,6 +166,9 @@ class DualBlockStore {
   std::filesystem::path dir_;
   StoreMeta meta_;
   std::unique_ptr<IoStats> io_;
+  /// The store's read path; TrackedFiles keep a pointer into it, and it is
+  /// heap-held so those pointers survive moves of the store.
+  std::unique_ptr<IoBackend> backend_;
   /// Stages encoded block bytes in codec read paths; pooled so concurrent
   /// workers reuse allocations. Null for kNone stores.
   std::unique_ptr<ScratchPool> scratch_;

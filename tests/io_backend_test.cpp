@@ -1,0 +1,386 @@
+// I/O backend subsystem: sync/uring equivalence, O_DIRECT alignment edges,
+// batch cancellation, runtime detection and the engine-level byte-identity
+// guarantee. Every uring case self-skips on kernels that deny io_uring, so
+// the suite is green everywhere and exercises the ring where it exists.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <random>
+
+#include "husg/husg.hpp"
+#include "io/backend/aligned.hpp"
+#include "io/backend/io_backend.hpp"
+#include "obs/iotrace.hpp"
+#include "test_util.hpp"
+
+namespace husg {
+namespace {
+
+using testing::ScratchDir;
+
+/// Writes `n` pseudo-random bytes (fixed seed) and returns them.
+std::vector<char> write_pattern(const std::filesystem::path& path,
+                                std::size_t n) {
+  std::vector<char> bytes(n);
+  std::mt19937 rng(1234);
+  for (char& c : bytes) c = static_cast<char>(rng());
+  File f(path, File::Mode::kWrite);
+  f.pwrite_exact(bytes.data(), bytes.size(), 0);
+  return bytes;
+}
+
+std::unique_ptr<IoBackend> uring_or_skip(std::uint32_t queue_depth) {
+  if (!uring_available()) return nullptr;  // caller GTEST_SKIPs
+  return make_io_backend(
+      IoBackendConfig{IoBackendKind::kUring, queue_depth, false});
+}
+
+TEST(IoBackendParse, RoundTripAndRejects) {
+  IoBackendKind kind;
+  ASSERT_TRUE(parse_io_backend("sync", &kind));
+  EXPECT_EQ(kind, IoBackendKind::kSync);
+  ASSERT_TRUE(parse_io_backend("uring", &kind));
+  EXPECT_EQ(kind, IoBackendKind::kUring);
+  ASSERT_TRUE(parse_io_backend("auto", &kind));
+  EXPECT_EQ(kind, IoBackendKind::kAuto);
+  EXPECT_FALSE(parse_io_backend("mmap", &kind));
+  EXPECT_FALSE(parse_io_backend("", &kind));
+  EXPECT_STREQ(to_string(IoBackendKind::kSync), "sync");
+  EXPECT_STREQ(to_string(IoBackendKind::kUring), "uring");
+  EXPECT_STREQ(to_string(IoBackendKind::kAuto), "auto");
+}
+
+TEST(IoBackendConfigTest, QueueDepthBoundsEnforced) {
+  EXPECT_THROW(
+      make_io_backend(IoBackendConfig{IoBackendKind::kSync, 0, false}),
+      DataError);
+  EXPECT_THROW(make_io_backend(IoBackendConfig{IoBackendKind::kSync,
+                                               kMaxQueueDepth + 1, false}),
+               DataError);
+  auto be = make_io_backend(
+      IoBackendConfig{IoBackendKind::kSync, kMaxQueueDepth, false});
+  EXPECT_EQ(be->kind(), IoBackendKind::kSync);
+}
+
+TEST(IoBackendSync, ReadMatchesFileContents) {
+  ScratchDir dir("iobe_sync");
+  std::vector<char> bytes = write_pattern(dir / "data.bin", 8192);
+  File f(dir / "data.bin", File::Mode::kRead);
+  const IoBackend& be = default_sync_backend();
+  EXPECT_EQ(be.kind(), IoBackendKind::kSync);
+  EXPECT_EQ(be.queue_depth(), 1u);
+  std::vector<char> got(1000);
+  be.read(f.fd(), got.data(), got.size(), 37);
+  EXPECT_EQ(0, std::memcmp(got.data(), bytes.data() + 37, got.size()));
+}
+
+TEST(IoBackendSync, BatchEqualsIndividualReads) {
+  ScratchDir dir("iobe_batch");
+  std::vector<char> bytes = write_pattern(dir / "data.bin", 64 * 1024);
+  File f(dir / "data.bin", File::Mode::kRead);
+  const IoBackend& be = default_sync_backend();
+
+  // Odd offsets and lengths on purpose; plus a zero-length op, which the
+  // batch must tolerate (the engine's empty CSR ranges never reach the
+  // backend, but the base-class contract skips them regardless).
+  std::vector<char> out(5000);
+  std::vector<IoReadOp> ops = {
+      {out.data(), 999, 17},
+      {out.data() + 999, 0, 0},
+      {out.data() + 1000, 2048, 40000},
+      {out.data() + 3048, 1, 65535},
+  };
+  be.read_batch(f.fd(), ops.data(), ops.size());
+  EXPECT_EQ(0, std::memcmp(out.data(), bytes.data() + 17, 999));
+  EXPECT_EQ(0, std::memcmp(out.data() + 1000, bytes.data() + 40000, 2048));
+  EXPECT_EQ(out[3048], bytes[65535]);
+}
+
+TEST(IoBackendSync, ShortReadThrows) {
+  ScratchDir dir("iobe_short");
+  write_pattern(dir / "data.bin", 100);
+  File f(dir / "data.bin", File::Mode::kRead);
+  std::vector<char> buf(64);
+  EXPECT_THROW(default_sync_backend().read(f.fd(), buf.data(), 64, 90),
+               IoError);
+}
+
+TEST(IoBackendSync, CountersAdvance) {
+  ScratchDir dir("iobe_count");
+  write_pattern(dir / "data.bin", 4096);
+  File f(dir / "data.bin", File::Mode::kRead);
+  IoBackendTotals before = io_backend_totals();
+  std::vector<char> out(300);
+  IoReadOp ops[3] = {
+      {out.data(), 100, 0}, {out.data() + 100, 100, 500},
+      {out.data() + 200, 100, 1000}};
+  default_sync_backend().read_batch(f.fd(), ops, 3);
+  IoBackendTotals after = io_backend_totals();
+  EXPECT_EQ(after.batches, before.batches + 1);
+  EXPECT_EQ(after.reads_submitted, before.reads_submitted + 3);
+  EXPECT_EQ(after.reads_completed, before.reads_completed + 3);
+}
+
+// --- O_DIRECT alignment -----------------------------------------------------
+
+TEST(AlignedPool, AlignmentHelpers) {
+  EXPECT_EQ(align_down(0, 4096), 0u);
+  EXPECT_EQ(align_down(4095, 4096), 0u);
+  EXPECT_EQ(align_down(4096, 4096), 4096u);
+  EXPECT_EQ(align_up(0, 4096), 0u);
+  EXPECT_EQ(align_up(1, 4096), 4096u);
+  EXPECT_EQ(align_up(4096, 4096), 4096u);
+  EXPECT_EQ(align_up(4097, 4096), 8192u);
+}
+
+TEST(AlignedPool, LeasesAreAlignedAndReused) {
+  AlignedBufferPool& pool = AlignedBufferPool::instance();
+  const char* first;
+  {
+    AlignedBufferPool::Lease lease = pool.acquire(10000);
+    ASSERT_TRUE(lease);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(lease.data()) % kDirectIoAlign,
+              0u);
+    EXPECT_GE(lease.capacity(), 10000u);
+    first = lease.data();
+  }
+  AlignedBufferPool::Lease again = pool.acquire(10000);
+  EXPECT_EQ(again.data(), first);  // returned slot is recycled
+}
+
+TEST(DirectIo, UnalignedReadsThroughDirectFile) {
+  ScratchDir dir("iobe_direct");
+  std::vector<char> bytes = write_pattern(dir / "data.bin", 3 * 4096 + 123);
+  File f(dir / "data.bin", File::Mode::kRead, /*direct=*/true);
+  // tmpfs refuses O_DIRECT: the open falls back to buffered, read_align()
+  // goes to 0, and the test still checks the exact-bytes contract.
+  const std::uint32_t align = f.read_align();
+  const IoBackend& be = default_sync_backend();
+  struct Case {
+    std::size_t len;
+    std::uint64_t off;
+  } cases[] = {
+      {1, 0},          // tiny at start
+      {1, 4095},       // crosses nothing, ends on the boundary
+      {2, 4095},       // straddles one boundary
+      {4096, 1},       // shifted full block
+      {8192, 4096},    // aligned both ends
+      {123, 3 * 4096}, // the EOF tail (rounded-up bounce past EOF)
+  };
+  for (const Case& c : cases) {
+    std::vector<char> got(c.len, 0);
+    be.read(f.fd(), got.data(), c.len, c.off, align);
+    EXPECT_EQ(0, std::memcmp(got.data(), bytes.data() + c.off, c.len))
+        << "len=" << c.len << " off=" << c.off;
+  }
+}
+
+// --- uring ------------------------------------------------------------------
+
+TEST(UringBackend, RequestedButUnavailableThrows) {
+  if (uring_available()) {
+    GTEST_SKIP() << "io_uring works here; the CLI covers the happy path";
+  }
+  EXPECT_THROW(
+      make_io_backend(IoBackendConfig{IoBackendKind::kUring, 8, false}),
+      IoError);
+}
+
+TEST(UringBackend, AutoNeverThrows) {
+  auto be =
+      make_io_backend(IoBackendConfig{IoBackendKind::kAuto, 16, false});
+  ASSERT_NE(be, nullptr);
+  if (uring_available()) {
+    EXPECT_EQ(be->kind(), IoBackendKind::kUring);
+  } else {
+    EXPECT_EQ(be->kind(), IoBackendKind::kSync);
+    EXPECT_GT(io_backend_totals().uring_fallbacks, 0u);
+  }
+}
+
+TEST(UringBackend, ReadsMatchSync) {
+  auto be = uring_or_skip(8);
+  if (!be) GTEST_SKIP() << "io_uring unavailable";
+  ScratchDir dir("iobe_uring");
+  std::vector<char> bytes = write_pattern(dir / "data.bin", 128 * 1024);
+  File f(dir / "data.bin", File::Mode::kRead);
+  std::vector<char> got(9000);
+  be->read(f.fd(), got.data(), got.size(), 12345);
+  EXPECT_EQ(0, std::memcmp(got.data(), bytes.data() + 12345, got.size()));
+}
+
+TEST(UringBackend, BatchDeeperThanRing) {
+  // 128 ops through a queue depth of 4: the backlog has to recycle SQEs
+  // across many enter() rounds and still complete every op exactly once.
+  auto be = uring_or_skip(4);
+  if (!be) GTEST_SKIP() << "io_uring unavailable";
+  ScratchDir dir("iobe_deep");
+  std::vector<char> bytes = write_pattern(dir / "data.bin", 256 * 1024);
+  File f(dir / "data.bin", File::Mode::kRead);
+  constexpr std::size_t kOps = 128, kLen = 1000;
+  std::vector<char> out(kOps * kLen);
+  std::vector<IoReadOp> ops(kOps);
+  for (std::size_t k = 0; k < kOps; ++k) {
+    ops[k] = IoReadOp{out.data() + k * kLen, kLen, k * 2000 + 7};
+  }
+  IoBackendTotals before = io_backend_totals();
+  be->read_batch(f.fd(), ops.data(), ops.size());
+  IoBackendTotals after = io_backend_totals();
+  EXPECT_EQ(after.reads_completed, before.reads_completed + kOps);
+  for (std::size_t k = 0; k < kOps; ++k) {
+    ASSERT_EQ(0,
+              std::memcmp(out.data() + k * kLen, bytes.data() + k * 2000 + 7,
+                          kLen))
+        << "op " << k;
+  }
+}
+
+TEST(UringBackend, DroppedPendingDrainsRing) {
+  auto be = uring_or_skip(8);
+  if (!be) GTEST_SKIP() << "io_uring unavailable";
+  ScratchDir dir("iobe_drop");
+  std::vector<char> bytes = write_pattern(dir / "data.bin", 64 * 1024);
+  File f(dir / "data.bin", File::Mode::kRead);
+  std::vector<char> out(32 * 512);
+  std::vector<IoReadOp> ops(32);
+  for (std::size_t k = 0; k < ops.size(); ++k) {
+    ops[k] = IoReadOp{out.data() + k * 512, 512, k * 512};
+  }
+  IoBackendTotals before = io_backend_totals();
+  {
+    auto pending = be->start_batch(f.fd(), ops.data(), ops.size());
+    // Dropped without wait(): the destructor must reap every in-flight
+    // completion out of the ring (queued-but-unsubmitted backlog ops are
+    // simply discarded), or the next batch would reap stale user_data.
+  }
+  IoBackendTotals after = io_backend_totals();
+  // The ring's full depth was in flight and all of it drained.
+  EXPECT_GE(after.reads_completed, before.reads_completed + 8);
+  // The ring is clean: a fresh full-size batch completes every op with the
+  // right bytes — stale completions or leaked inflight slots would wedge or
+  // corrupt it.
+  std::fill(out.begin(), out.end(), 0);
+  be->read_batch(f.fd(), ops.data(), ops.size());
+  EXPECT_EQ(0, std::memcmp(out.data(), bytes.data(), out.size()));
+}
+
+TEST(UringBackend, ShortReadAtEofFails) {
+  auto be = uring_or_skip(8);
+  if (!be) GTEST_SKIP() << "io_uring unavailable";
+  ScratchDir dir("iobe_eof");
+  write_pattern(dir / "data.bin", 100);
+  File f(dir / "data.bin", File::Mode::kRead);
+  std::vector<char> buf(64);
+  EXPECT_THROW(be->read(f.fd(), buf.data(), 64, 90), IoError);
+}
+
+// --- engine-level byte identity ---------------------------------------------
+
+template <class Result>
+void expect_exact_values(const Result& a, const Result& b) {
+  ASSERT_EQ(a.values.size(), b.values.size());
+  for (std::size_t v = 0; v < a.values.size(); ++v) {
+    // Bitwise float equality on purpose: the backends must not reorder the
+    // update stream.
+    EXPECT_EQ(a.values[v], b.values[v]) << "vertex " << v;
+  }
+}
+
+TEST(EngineBackendIdentity, PageRankSyncVsUring) {
+  if (!uring_available()) GTEST_SKIP() << "io_uring unavailable";
+  EdgeList g = gen::rmat(10, 8.0, /*seed=*/7);
+  ScratchDir dir("iobe_engine");
+  DualBlockStore::build(g, dir.path(), StoreOptions{4});
+
+  auto run = [&](IoBackendKind kind, UpdateMode mode) {
+    DualBlockStore store = DualBlockStore::open(
+        dir.path(), IoBackendConfig{kind, 16, false});
+    EngineOptions eo;
+    eo.mode = mode;
+    eo.threads = 3;
+    eo.max_iterations = 6;
+    Engine engine(store, eo);
+    PageRankProgram pr;
+    return engine.run(pr,
+                      Frontier::all(store.meta(), store.out_degrees()));
+  };
+  for (UpdateMode mode : {UpdateMode::kRop, UpdateMode::kCop}) {
+    auto sync_r = run(IoBackendKind::kSync, mode);
+    auto uring_r = run(IoBackendKind::kUring, mode);
+    expect_exact_values(sync_r, uring_r);
+    // I/O accounting is charged per logical op, so the stats ledgers agree
+    // byte for byte too.
+    EXPECT_EQ(sync_r.stats.total_io.seq_read_bytes,
+              uring_r.stats.total_io.seq_read_bytes);
+    EXPECT_EQ(sync_r.stats.total_io.rand_read_bytes,
+              uring_r.stats.total_io.rand_read_bytes);
+    EXPECT_EQ(sync_r.stats.total_io.rand_read_ops,
+              uring_r.stats.total_io.rand_read_ops);
+  }
+}
+
+TEST(EngineBackendIdentity, BfsDirectVsBuffered) {
+  EdgeList g = gen::rmat(9, 6.0, /*seed=*/3);
+  ScratchDir dir("iobe_direct_engine");
+  DualBlockStore::build(g, dir.path(), StoreOptions{4});
+  auto run = [&](bool direct) {
+    DualBlockStore store = DualBlockStore::open(
+        dir.path(), IoBackendConfig{IoBackendKind::kSync, 1, direct});
+    EngineOptions eo;
+    eo.threads = 2;
+    Engine engine(store, eo);
+    BfsProgram bfs{.source = 0};
+    return engine.run(
+        bfs, Frontier::single(store.meta(), 0, store.out_degrees()));
+  };
+  auto buffered = run(false);
+  auto direct = run(true);  // tmpfs may deny O_DIRECT; fallback is the point
+  expect_exact_values(buffered, direct);
+}
+
+// --- predictor profile specialization ---------------------------------------
+
+TEST(DeviceBackendProfile, SyncKeepsProfileBitIdentical) {
+  DeviceProfile dev = DeviceProfile::hdd7200();
+  DeviceProfile same = dev.for_backend(IoBackendKind::kSync, 64);
+  EXPECT_EQ(same.seek_seconds, dev.seek_seconds);
+  EXPECT_EQ(same.seq_read_bw, dev.seq_read_bw);
+  EXPECT_EQ(same.rand_read_bw, dev.rand_read_bw);
+  EXPECT_EQ(same.name, dev.name);
+}
+
+TEST(DeviceBackendProfile, UringDividesSeekAcrossLanes) {
+  DeviceProfile nvme = DeviceProfile::nvme_ssd();
+  ASSERT_GT(nvme.queue_lanes, 1u);
+  DeviceProfile tuned = nvme.for_backend(IoBackendKind::kUring, 64);
+  std::uint32_t lanes = std::min(64u, nvme.queue_lanes);
+  EXPECT_DOUBLE_EQ(tuned.seek_seconds, nvme.seek_seconds / lanes);
+  EXPECT_NE(tuned.name, nvme.name);
+  // Depth 1 buys no overlap: profile unchanged.
+  DeviceProfile qd1 = nvme.for_backend(IoBackendKind::kUring, 1);
+  EXPECT_EQ(qd1.seek_seconds, nvme.seek_seconds);
+  // HDDs have one head: uring cannot parallelize the seek.
+  DeviceProfile hdd = DeviceProfile::hdd7200();
+  DeviceProfile hdd_uring = hdd.for_backend(IoBackendKind::kUring, 64);
+  EXPECT_EQ(hdd_uring.seek_seconds, hdd.seek_seconds);
+}
+
+// --- iotrace backend field ---------------------------------------------------
+
+TEST(IoTraceBackend, HeaderRoundTripsBackendKind) {
+  ScratchDir dir("iobe_trace");
+  std::string path = (dir / "t.bin").string();
+  obs::TraceRunInfo info;
+  info.p = 2;
+  info.backend = static_cast<std::uint8_t>(IoBackendKind::kUring);
+  obs::IoTrace& t = obs::IoTrace::instance();
+  t.start(path, info);
+  t.stop();
+  obs::TraceFile loaded = obs::load_trace(path);
+  EXPECT_EQ(loaded.info.backend,
+            static_cast<std::uint8_t>(IoBackendKind::kUring));
+}
+
+}  // namespace
+}  // namespace husg

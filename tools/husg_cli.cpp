@@ -30,6 +30,7 @@
 #include <memory>
 
 #include "husg/husg.hpp"
+#include "io/backend/io_backend.hpp"
 
 namespace husg {
 namespace {
@@ -44,7 +45,8 @@ int usage() {
       "  build    --graph FILE --store DIR [--partitions P]\n"
       "           [--scheme vertices|degree] [--symmetrize] [--external]\n"
       "           [--block-codec none|delta-varint] [--compress]\n"
-      "           [--no-skip-filters]\n"
+      "           [--no-skip-filters] [--io-backend sync|uring|auto]\n"
+      "           [--queue-depth N] [--direct]\n"
       "  info     --store DIR\n"
       "  verify   --store DIR     (recompute and check file checksums)\n"
       "  run      --store DIR --algo "
@@ -58,7 +60,8 @@ int usage() {
       "           [--predictor paper|exact|cache-aware]\n"
       "           [--trace-out FILE] [--metrics-out FILE]\n"
       "           [--heatmap-out FILE] [--iotrace-out FILE] [--io-timing]\n"
-      "           [--admin-port N]\n"
+      "           [--io-backend sync|uring|auto] [--queue-depth N]\n"
+      "           [--direct] [--admin-port N]\n"
       "  serve    --store DIR --jobs FILE [--max-concurrent N] [--queue N]\n"
       "           [--threads-per-job T] [--memory-budget BYTES]\n"
       "           [--cache-budget BYTES] [--cache-fraction F]\n"
@@ -67,7 +70,13 @@ int usage() {
       "           [--predictor paper|exact|cache-aware] [--report FILE]\n"
       "           [--trace-out FILE] [--metrics-out FILE]\n"
       "           [--heatmap-out FILE] [--iotrace-out FILE] [--io-timing]\n"
-      "           [--admin-port N]\n"
+      "           [--io-backend sync|uring|auto] [--queue-depth N]\n"
+      "           [--direct] [--admin-port N]\n"
+      "--io-backend selects the read path: sync (pread), uring (batched\n"
+      "io_uring rings; errors out if the kernel denies it) or auto (uring\n"
+      "when available, else sync — the default); --queue-depth bounds reads\n"
+      "in flight per ring [1, 4096]; --direct opens data files O_DIRECT\n"
+      "(falls back to buffered where the filesystem refuses).\n"
       "--trace-out writes a Chrome-trace/Perfetto JSON span timeline;\n"
       "--metrics-out writes Prometheus text exposition (and enables\n"
       "device-layer I/O latency histograms for the run); --io-timing\n"
@@ -93,10 +102,46 @@ int invalid_option(const std::string& flag, const std::string& got,
   return kInvalidOption;
 }
 
+/// Validates --io-backend / --queue-depth / --direct (shared by build, run
+/// and serve). An explicit `--io-backend uring` on a kernel without io_uring
+/// is an error here, up front — only `auto` is allowed to degrade silently.
+/// Returns 0 or kInvalidOption.
+int validate_io_flags(const Options& opts) {
+  std::string backend = opts.get("io-backend", "auto");
+  IoBackendKind kind;
+  if (!parse_io_backend(backend, &kind)) {
+    return invalid_option("--io-backend", backend, "sync|uring|auto");
+  }
+  if (kind == IoBackendKind::kUring && !uring_available()) {
+    std::fprintf(stderr,
+                 "--io-backend uring: io_uring is unavailable on this kernel "
+                 "(use --io-backend auto to fall back to sync reads)\n");
+    return kInvalidOption;
+  }
+  long long depth = opts.get_int("queue-depth", kDefaultQueueDepth);
+  if (depth < 1 || depth > static_cast<long long>(kMaxQueueDepth)) {
+    return invalid_option("--queue-depth", opts.get("queue-depth", ""),
+                          "a depth in [1, 4096]");
+  }
+  return 0;
+}
+
+/// Builds the store's I/O backend configuration from validated flags.
+IoBackendConfig parse_io_config(const Options& opts) {
+  IoBackendConfig cfg;
+  cfg.kind = IoBackendKind::kAuto;
+  parse_io_backend(opts.get("io-backend", "auto"), &cfg.kind);
+  cfg.queue_depth = static_cast<std::uint32_t>(
+      opts.get_int("queue-depth", kDefaultQueueDepth));
+  cfg.direct = opts.get_bool("direct", false);
+  return cfg;
+}
+
 /// Validates the option values shared by `run` and `serve` (strings that
 /// used to fall back to a default silently, plus numeric ranges). Returns 0
 /// or kInvalidOption.
 int validate_engine_flags(const Options& opts) {
+  if (int rc = validate_io_flags(opts)) return rc;
   std::string device = opts.get("device", "ssd");
   if (device != "hdd" && device != "ssd" && device != "nvme") {
     return invalid_option("--device", device, "hdd|ssd|nvme");
@@ -272,10 +317,13 @@ class Telemetry {
   bool io_timing_ = false;
 };
 
-/// Trace-header snapshot of a standalone run's parameters.
-obs::TraceRunInfo iotrace_info(const StoreMeta& meta, const EngineOptions& eo) {
+/// Trace-header snapshot of a standalone run's parameters. `store` supplies
+/// the RESOLVED backend kind (auto has already picked sync or uring).
+obs::TraceRunInfo iotrace_info(const StoreMeta& meta, const EngineOptions& eo,
+                               const DualBlockStore& store) {
   obs::TraceRunInfo info;
   info.p = meta.p();
+  info.backend = static_cast<std::uint8_t>(store.io_backend().kind());
   info.budget_bytes = eo.cache_budget_bytes;
   info.max_block_fraction = eo.cache_max_block_fraction;
   info.fill_rop = eo.cache_fill_rop;
@@ -345,6 +393,7 @@ int cmd_build(const Options& opts) {
   std::string graph = opts.get("graph", "");
   std::string store_dir = opts.get("store", "");
   if (graph.empty() || store_dir.empty()) return usage();
+  if (int rc = validate_io_flags(opts)) return rc;
   EdgeList g = load_graph(graph);
   if (opts.get_bool("symmetrize", false)) g = g.symmetrized();
   StoreOptions so;
@@ -365,7 +414,8 @@ int cmd_build(const Options& opts) {
   }
   so.skip_filters = !opts.get_bool("no-skip-filters", false);
   Timer timer;
-  DualBlockStore store = DualBlockStore::build(g, store_dir, so);
+  DualBlockStore store =
+      DualBlockStore::build(g, store_dir, so, parse_io_config(opts));
   std::printf("built dual-block store at %s in %s\n", store_dir.c_str(),
               human_seconds(timer.seconds()).c_str());
   std::printf("  |V|=%llu |E|=%llu P=%u record=%uB\n",
@@ -494,7 +544,8 @@ int cmd_run(const Options& opts) {
                           "a non-negative vertex id");
   }
   if (int rc = validate_engine_flags(opts)) return rc;
-  DualBlockStore store = DualBlockStore::open(store_dir);
+  DualBlockStore store =
+      DualBlockStore::open(store_dir, parse_io_config(opts));
   if (int rc = check_store_format(opts, store.meta())) return rc;
 
   EngineOptions eo;
@@ -517,7 +568,7 @@ int cmd_run(const Options& opts) {
 
   Telemetry telemetry(opts);
   telemetry.arm_heatmap(store.meta().p());
-  telemetry.arm_iotrace(iotrace_info(store.meta(), eo));
+  telemetry.arm_iotrace(iotrace_info(store.meta(), eo, store));
   std::unique_ptr<obs::AdminServer> admin = maybe_start_admin(opts);
   if (admin) {
     admin->start();
@@ -726,7 +777,8 @@ int cmd_serve(const Options& opts) {
     return kInvalidOption;
   }
 
-  DualBlockStore store = DualBlockStore::open(store_dir);
+  DualBlockStore store =
+      DualBlockStore::open(store_dir, parse_io_config(opts));
   if (int rc = check_store_format(opts, store.meta())) return rc;
   ServiceOptions so;
   so.max_concurrent_jobs =
@@ -758,7 +810,7 @@ int cmd_serve(const Options& opts) {
     eo.cache_budget_bytes = so.cache_budget_bytes;
     eo.cache_max_block_fraction = so.cache_max_block_fraction;
     eo.cache_fill_rop = so.cache_fill_rop;
-    telemetry.arm_iotrace(iotrace_info(store.meta(), eo));
+    telemetry.arm_iotrace(iotrace_info(store.meta(), eo, store));
   }
   GraphService service(store, so);
   // Declared after the service so hooks (which reference it) are stopped

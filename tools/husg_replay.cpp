@@ -26,13 +26,16 @@
 #include <string>
 #include <vector>
 
+#include "io/backend/io_backend.hpp"
 #include "obs/iotrace.hpp"
 #include "obs/iotrace_replay.hpp"
 #include "util/common.hpp"
 
 namespace {
 
+using husg::IoBackendKind;
 using husg::PredictorFlavor;
+using husg::to_string;
 using husg::obs::MissRatioCurve;
 using husg::obs::ReplayCounters;
 using husg::obs::TraceFile;
@@ -177,12 +180,14 @@ int main(int argc, char** argv) {
   if (!quiet) {
     std::printf(
         "trace %s: %zu records, p=%u, budget=%llu, fraction=%g, "
-        "fill_rop=%d, flavor=%s, granularity=%s, V=%llu, E=%llu\n",
+        "fill_rop=%d, flavor=%s, granularity=%s, backend=%s, V=%llu, "
+        "E=%llu\n",
         trace_path.c_str(), trace.records.size(), info.p,
         static_cast<unsigned long long>(info.budget_bytes),
         info.max_block_fraction, info.fill_rop ? 1 : 0,
         flavor_name(static_cast<PredictorFlavor>(info.flavor)),
         info.granularity == 1 ? "per-interval" : "global",
+        to_string(static_cast<IoBackendKind>(info.backend)),
         static_cast<unsigned long long>(info.num_vertices),
         static_cast<unsigned long long>(info.num_edges));
   }
