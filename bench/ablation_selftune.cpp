@@ -1,0 +1,190 @@
+// Ablation: first-come shared cache vs MRC-driven partitioning (DESIGN.md
+// §13).
+//
+// Serves the same 4-job batch — [pagerank, bfs, sssp, spmv], all in flight
+// at once over one store — twice through GraphService: once with the shared
+// BlockCache left first-come-first-served (the §8 baseline), once with
+// shadow miss-ratio tracking on and the scheduler tick re-splitting the
+// cache budget across the running jobs. Reported per arm: batch makespan,
+// per-job p95 wall, total bytes read from the store, the cache ledger, and
+// how many re-partitions the hill-climb actually installed.
+//
+// This is a behavioural ablation, not a gated one: on a page-cache-backed
+// CI runner the wall-clock delta is noise, and whether the climb installs a
+// split depends on the jobs' overlap. The bench asserts only mechanism —
+// every job completes in both arms and the partitioned arm really ran with
+// a CachePartitionManager attached. CI smokes this at scale 10.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_support/harness.hpp"
+#include "bench_support/report.hpp"
+#include "husg/husg.hpp"
+#include "util/timer.hpp"
+
+using namespace husg;
+using namespace husg::bench;
+
+namespace {
+
+struct BenchOptions {
+  unsigned scale = 12;
+  double degree = 8.0;
+  std::uint32_t partitions = 4;
+  std::string out_dir = ".";
+  std::string data_dir;  ///< default: <out_dir>/ablation_selftune_data
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ablation_selftune [--scale N] [--degree D]"
+               " [--partitions P] [--out-dir DIR] [--data-dir DIR]\n");
+  return 2;
+}
+
+/// On-disk adjacency bytes of both block grids (cache sizing base).
+std::uint64_t edge_bytes(const StoreMeta& m) {
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < m.p(); ++i) {
+    for (std::uint32_t j = 0; j < m.p(); ++j) {
+      total += m.out_block(i, j).adj_bytes + m.in_block(i, j).adj_bytes;
+    }
+  }
+  return total;
+}
+
+/// The fixed 4-job batch: one heavy iterative job (PageRank, enough sweeps
+/// to live across several re-partition ticks) plus three lighter jobs with
+/// different reuse patterns.
+std::vector<JobSpec> batch(VertexId source) {
+  const ServiceAlgo cycle[] = {ServiceAlgo::kPageRank, ServiceAlgo::kBfs,
+                               ServiceAlgo::kSssp, ServiceAlgo::kSpmv};
+  std::vector<JobSpec> jobs;
+  for (ServiceAlgo algo : cycle) {
+    JobSpec spec;
+    spec.name = to_string(algo);
+    spec.algo = algo;
+    spec.source = source;
+    if (algo == ServiceAlgo::kPageRank) spec.max_iterations = 40;
+    if (algo == ServiceAlgo::kSpmv) spec.max_iterations = 20;
+    jobs.push_back(spec);
+  }
+  return jobs;
+}
+
+struct ArmResult {
+  double makespan = 0;
+  double p95_wall = 0;
+  ServiceStats stats;
+  std::uint64_t repartitions = 0;
+};
+
+ArmResult run_arm(const DualBlockStore& store, std::uint64_t cache_budget,
+                  VertexId source, bool partitioned) {
+  ServiceOptions opts;
+  opts.max_concurrent_jobs = 4;
+  opts.max_queued_jobs = 8;
+  opts.threads_per_job = 2;
+  opts.cache_budget_bytes = cache_budget;
+  opts.device = bench_ssd();
+  opts.cache_partition = partitioned;
+  // Tick fast so short CI jobs still see several climbs; track every block
+  // (the stores here are small, so full sampling is cheap and exact).
+  opts.repartition_interval_ms = 10;
+  opts.shadow.sample_rate = 1.0;
+  GraphService svc(store, opts);
+  HUSG_CHECK(partitioned == (svc.partition() != nullptr),
+             "cache_partition flag did not take effect");
+
+  ArmResult arm;
+  Timer timer;
+  std::vector<JobTicket> tickets;
+  for (JobSpec& spec : batch(source)) tickets.push_back(svc.submit(spec));
+  for (JobTicket& ticket : tickets) {
+    const JobResult& res = ticket.result.get();
+    HUSG_CHECK(res.status == JobStatus::kCompleted,
+               "selftune bench job failed: " + res.error);
+  }
+  arm.makespan = timer.seconds();
+  arm.stats = svc.stats();
+  arm.p95_wall = arm.stats.job_wall.p95_seconds;
+  if (const CachePartitionManager* pm = svc.partition()) {
+    arm.repartitions = pm->repartitions_applied();
+  }
+  svc.shutdown();
+  return arm;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opt;
+  for (int k = 1; k < argc; ++k) {
+    std::string flag = argv[k];
+    if (k + 1 >= argc) return usage();
+    std::string val = argv[++k];
+    if (flag == "--scale") {
+      opt.scale = static_cast<unsigned>(std::stoul(val));
+    } else if (flag == "--degree") {
+      opt.degree = std::stod(val);
+    } else if (flag == "--partitions") {
+      opt.partitions = static_cast<std::uint32_t>(std::stoul(val));
+    } else if (flag == "--out-dir") {
+      opt.out_dir = val;
+    } else if (flag == "--data-dir") {
+      opt.data_dir = val;
+    } else {
+      return usage();
+    }
+  }
+  if (opt.data_dir.empty()) {
+    opt.data_dir = opt.out_dir + "/ablation_selftune_data";
+  }
+
+  banner("Ablation: self-tuning cache partition",
+         "repo extension, not a paper figure (DESIGN.md section 13); 4-job "
+         "serve sweep, first-come vs MRC-partitioned shared cache");
+
+  EdgeList graph = gen::rmat(opt.scale, opt.degree, /*seed=*/42);
+  std::filesystem::path dir = std::filesystem::path(opt.data_dir) /
+                              ("scale" + std::to_string(opt.scale));
+  std::filesystem::create_directories(dir);
+  DualBlockStore::build(graph, dir / "store", StoreOptions{opt.partitions});
+  DualBlockStore store = DualBlockStore::open(dir / "store");
+  // Half the edge bytes: small enough that the jobs contend, large enough
+  // that a good split matters.
+  const std::uint64_t cache_budget = edge_bytes(store.meta()) / 2;
+  const VertexId source = 0;
+  std::printf("  cache budget: %s (half the edge bytes)\n",
+              human_bytes(cache_budget).c_str());
+
+  JsonReport report("ablation_selftune");
+  Table t({"arm", "makespan s", "p95 job s", "read MB", "hit rate",
+           "cross-job hits", "repartitions"});
+  for (bool partitioned : {false, true}) {
+    ArmResult arm = run_arm(store, cache_budget, source, partitioned);
+    const ServiceStats& st = arm.stats;
+    const std::string label = partitioned ? "mrc-partitioned" : "first-come";
+    t.add_row({label, fmt(arm.makespan, 3), fmt(arm.p95_wall, 3),
+               fmt(static_cast<double>(st.io.total_read_bytes()) / 1e6, 2),
+               fmt(100.0 * st.cache.hit_rate(), 1) + "%",
+               std::to_string(st.cache.cross_job_hits),
+               std::to_string(arm.repartitions)});
+    // Aggregate row: the whole batch as one measurement for this arm.
+    RunStats agg;
+    agg.total_io = st.io;
+    agg.cache = st.cache;
+    agg.edges_processed = st.edges_processed;
+    agg.wall_seconds = arm.makespan;
+    report.add_run(label, agg,
+                   {{"repartitions_applied", arm.repartitions},
+                    {"jobs_completed", st.completed}},
+                   {{"job_p95_wall_seconds", arm.p95_wall}});
+  }
+  std::printf("\n");
+  t.print();
+  report.write(opt.out_dir);
+  return 0;
+}

@@ -35,6 +35,7 @@ husg_bench(ablation_semi_external)
 husg_bench(ablation_cache)
 husg_bench(ablation_compression)
 husg_bench(ablation_queue_depth)
+husg_bench(ablation_selftune)
 husg_bench(micro_service)
 husg_bench(perf_smoke)
 

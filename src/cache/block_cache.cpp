@@ -60,7 +60,21 @@ BlockCache::PinnedBytes BlockCache::insert(const BlockKey& key,
     return e.payload;
   }
   const std::uint64_t size = payload.size();
-  if (size > max_payload_bytes_ || !make_room(size)) {
+  if (size > max_payload_bytes_) {
+    ++stats_.admission_rejects;
+    return nullptr;
+  }
+  // Partitioned owners make room inside their own quota first (evicting
+  // their own coldest entries), then the global sweep tops up as usual.
+  if (!quota_.empty()) {
+    auto q = quota_.find(owner);
+    if (q != quota_.end() &&
+        (size > q->second || !make_room_owner(owner, size, q->second))) {
+      ++stats_.admission_rejects;
+      return nullptr;
+    }
+  }
+  if (!make_room(size)) {
     ++stats_.admission_rejects;
     return nullptr;
   }
@@ -72,9 +86,45 @@ BlockCache::PinnedBytes BlockCache::insert(const BlockKey& key,
   index_[key] = ring_.size();
   ring_.push_back(e);
   resident_bytes_ += size;
+  owner_resident_[owner] += size;
   ++stats_.insertions;
   stats_.bytes_inserted += size;
   return e.payload;
+}
+
+void BlockCache::evict_at(std::size_t pos) {
+  Entry& e = ring_[pos];
+  const std::uint64_t size = e.payload->size();
+  // Heatmap tracks adjacency payloads only (index kinds excluded, see
+  // obs/heatmap.hpp).
+  if (obs::heatmap_enabled() && (e.key.kind == BlockKind::kOutAdj ||
+                                 e.key.kind == BlockKind::kInAdj)) {
+    obs::Heatmap::instance().record_eviction(
+        e.key.kind == BlockKind::kOutAdj ? obs::HeatDir::kOut
+                                         : obs::HeatDir::kIn,
+        e.key.row, e.key.col);
+  }
+  // The iotrace records every kind — its eviction stream must add up to
+  // stats_.evictions for the replay fidelity check.
+  if (obs::iotrace_enabled()) [[unlikely]] {
+    obs::IoTrace::instance().record_evict(
+        static_cast<obs::TraceBlockKind>(e.key.kind), e.key.row, e.key.col,
+        size);
+  }
+  auto owned = owner_resident_.find(e.owner);
+  if (owned != owner_resident_.end()) {
+    owned->second -= std::min(owned->second, size);
+  }
+  index_.erase(e.key);
+  if (pos != ring_.size() - 1) {
+    ring_[pos] = std::move(ring_.back());
+    index_[ring_[pos].key] = pos;
+  }
+  ring_.pop_back();
+  if (hand_ >= ring_.size()) hand_ = 0;
+  resident_bytes_ -= size;
+  ++stats_.evictions;
+  stats_.bytes_evicted += size;
 }
 
 bool BlockCache::make_room(std::uint64_t needed) {
@@ -90,33 +140,7 @@ bool BlockCache::make_room(std::uint64_t needed) {
     Entry& e = ring_[hand_];
     const bool pinned = e.payload.use_count() > 1;
     if (!pinned && !e.referenced) {
-      const std::uint64_t size = e.payload->size();
-      // Heatmap tracks adjacency payloads only (index kinds excluded, see
-      // obs/heatmap.hpp).
-      if (obs::heatmap_enabled() && (e.key.kind == BlockKind::kOutAdj ||
-                                     e.key.kind == BlockKind::kInAdj)) {
-        obs::Heatmap::instance().record_eviction(
-            e.key.kind == BlockKind::kOutAdj ? obs::HeatDir::kOut
-                                             : obs::HeatDir::kIn,
-            e.key.row, e.key.col);
-      }
-      // The iotrace records every kind — its eviction stream must add up to
-      // stats_.evictions for the replay fidelity check.
-      if (obs::iotrace_enabled()) [[unlikely]] {
-        obs::IoTrace::instance().record_evict(
-            static_cast<obs::TraceBlockKind>(e.key.kind), e.key.row,
-            e.key.col, size);
-      }
-      index_.erase(e.key);
-      if (hand_ != ring_.size() - 1) {
-        ring_[hand_] = std::move(ring_.back());
-        index_[ring_[hand_].key] = hand_;
-      }
-      ring_.pop_back();
-      if (hand_ >= ring_.size()) hand_ = 0;
-      resident_bytes_ -= size;
-      ++stats_.evictions;
-      stats_.bytes_evicted += size;
+      evict_at(hand_);
       examined_since_evict = 0;
       continue;
     }
@@ -125,6 +149,31 @@ bool BlockCache::make_room(std::uint64_t needed) {
     ++examined_since_evict;
   }
   return true;
+}
+
+bool BlockCache::make_room_owner(std::uint32_t owner, std::uint64_t needed,
+                                 std::uint64_t quota) {
+  if (needed > quota) return false;
+  std::size_t examined_since_evict = 0;
+  while (true) {
+    auto owned = owner_resident_.find(owner);
+    const std::uint64_t resident =
+        owned != owner_resident_.end() ? owned->second : 0;
+    if (resident + needed <= quota) return true;
+    if (ring_.empty() || examined_since_evict > 2 * ring_.size()) return false;
+    Entry& e = ring_[hand_];
+    if (e.owner == owner) {
+      const bool pinned = e.payload.use_count() > 1;
+      if (!pinned && !e.referenced) {
+        evict_at(hand_);
+        examined_since_evict = 0;
+        continue;
+      }
+      if (!pinned) e.referenced = false;
+    }
+    hand_ = (hand_ + 1) % ring_.size();
+    ++examined_since_evict;
+  }
 }
 
 bool BlockCache::contains(const BlockKey& key) const {
@@ -160,6 +209,36 @@ bool BlockCache::is_pinned(const BlockKey& key) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   return it != index_.end() && ring_[it->second].payload.use_count() > 1;
+}
+
+void BlockCache::set_partition(
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>>& quotas) {
+  std::lock_guard<std::mutex> lock(mu_);
+  quota_.clear();
+  for (const auto& [owner, bytes] : quotas) quota_[owner] = bytes;
+  // Trim owners already over their new quota so the partition takes effect
+  // now, not on their next insert. Pinned entries can keep an owner over
+  // quota transiently; the next insert-side sweep finishes the job.
+  for (const auto& [owner, bytes] : quota_) {
+    make_room_owner(owner, 0, bytes);
+  }
+}
+
+bool BlockCache::partitioned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !quota_.empty();
+}
+
+std::uint64_t BlockCache::owner_quota(std::uint32_t owner) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = quota_.find(owner);
+  return it == quota_.end() ? 0 : it->second;
+}
+
+std::uint64_t BlockCache::owner_resident_bytes(std::uint32_t owner) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = owner_resident_.find(owner);
+  return it == owner_resident_.end() ? 0 : it->second;
 }
 
 }  // namespace husg

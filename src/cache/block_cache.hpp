@@ -112,6 +112,20 @@ class BlockCache {
   /// Test hook for the pinning contract.
   bool is_pinned(const BlockKey& key) const;
 
+  /// Installs per-owner byte quotas (the MRC-driven partition,
+  /// src/service/cache_partition.hpp). An owner with a quota may never hold
+  /// more resident bytes than it: inserts evict that owner's own coldest
+  /// entries first, and installing a tighter quota trims the owner
+  /// immediately (pinned entries can transiently exceed it). Owners without
+  /// a quota are constrained only by the global budget, and an empty vector
+  /// clears the partition entirely — the cache then behaves exactly as
+  /// before this API existed.
+  void set_partition(
+      const std::vector<std::pair<std::uint32_t, std::uint64_t>>& quotas);
+  bool partitioned() const;
+  std::uint64_t owner_quota(std::uint32_t owner) const;  ///< 0 = none
+  std::uint64_t owner_resident_bytes(std::uint32_t owner) const;
+
  private:
   struct Entry {
     BlockKey key;
@@ -126,6 +140,15 @@ class BlockCache {
   /// Caller holds mu_.
   bool make_room(std::uint64_t needed);
 
+  /// Same sweep restricted to one owner's entries, against its quota.
+  /// Caller holds mu_.
+  bool make_room_owner(std::uint32_t owner, std::uint64_t needed,
+                       std::uint64_t quota);
+
+  /// Evicts ring_[pos] (heat/trace events, index fixup, byte accounting).
+  /// Caller holds mu_; pos must be unpinned.
+  void evict_at(std::size_t pos);
+
   Options opts_;
   std::uint64_t max_payload_bytes_ = 0;
 
@@ -134,6 +157,10 @@ class BlockCache {
   std::vector<Entry> ring_;  ///< CLOCK ring; erase is swap-with-back
   std::size_t hand_ = 0;
   std::uint64_t resident_bytes_ = 0;
+  /// Per-owner residency, maintained unconditionally (cheap) so a partition
+  /// can be installed mid-run; quotas only exist while partitioned.
+  std::unordered_map<std::uint32_t, std::uint64_t> owner_resident_;
+  std::unordered_map<std::uint32_t, std::uint64_t> quota_;
   CacheStats stats_;
 };
 

@@ -85,7 +85,9 @@ CacheStats CachedBlockReader::local_stats() const {
 }
 
 BlockCache::PinnedBytes CachedBlockReader::consult(
-    const BlockKey& key, std::uint64_t saved_bytes) const {
+    const BlockKey& key, std::uint64_t saved_bytes,
+    std::uint64_t payload_bytes) const {
+  if (shadow_ != nullptr) shadow_->record(key, payload_bytes, saved_bytes);
   BlockCache::PinnedBytes hit = cache_->find(key, owner_);
   if (hit != nullptr) {
     cache_->add_bytes_saved(saved_bytes);
@@ -157,7 +159,7 @@ void CachedBlockReader::load_out_index(std::uint32_t i, std::uint32_t j,
     return;
   }
   BlockKey key{BlockKind::kOutIdx, i, j};
-  if (BlockCache::PinnedBytes hit = consult(key, idx_bytes)) {
+  if (BlockCache::PinnedBytes hit = consult(key, idx_bytes, idx_bytes)) {
     out.resize(hit->size() / sizeof(std::uint32_t));
     std::memcpy(out.data(), hit->data(), hit->size());
     if (obs::iotrace_enabled()) [[unlikely]] {
@@ -196,7 +198,7 @@ void CachedBlockReader::load_in_index(std::uint32_t i, std::uint32_t j,
     return;
   }
   BlockKey key{BlockKind::kInIdx, i, j};
-  if (BlockCache::PinnedBytes hit = consult(key, idx_bytes)) {
+  if (BlockCache::PinnedBytes hit = consult(key, idx_bytes, idx_bytes)) {
     out.resize(hit->size() / sizeof(std::uint32_t));
     std::memcpy(out.data(), hit->data(), hit->size());
     if (obs::iotrace_enabled()) [[unlikely]] {
@@ -269,7 +271,7 @@ AdjacencySlice CachedBlockReader::load_out_edges_codec(
   BlockKey key{BlockKind::kOutAdj, i, j};
   // Cached payloads are the ENCODED bytes (admission charges the compressed
   // size); a hit skips the disk read but still decodes into the buffer memo.
-  if (BlockCache::PinnedBytes hit = consult(key, adj)) {
+  if (BlockCache::PinnedBytes hit = consult(key, adj, adj)) {
     heat_hit(obs::HeatDir::kOut, i, j);
     if (obs::iotrace_enabled()) [[unlikely]] {
       trace_access(obs::TraceBlockKind::kOutAdj, obs::TraceOutcome::kHit,
@@ -322,7 +324,7 @@ AdjacencySlice CachedBlockReader::stream_in_block_codec(
     return serve();
   }
   BlockKey key{BlockKind::kInAdj, i, j};
-  if (BlockCache::PinnedBytes hit = consult(key, adj)) {
+  if (BlockCache::PinnedBytes hit = consult(key, adj, adj)) {
     heat_hit(obs::HeatDir::kIn, i, j);
     if (obs::iotrace_enabled()) [[unlikely]] {
       trace_access(obs::TraceBlockKind::kInAdj, obs::TraceOutcome::kHit,
@@ -378,7 +380,8 @@ AdjacencySlice CachedBlockReader::load_out_edges(std::uint32_t i,
   }
   const bool weighted = meta.weighted;
   BlockKey key{BlockKind::kOutAdj, i, j};
-  if (BlockCache::PinnedBytes hit = consult(key, point_bytes)) {
+  if (BlockCache::PinnedBytes hit =
+          consult(key, point_bytes, meta.out_block(i, j).adj_bytes)) {
     heat_hit(obs::HeatDir::kOut, i, j);
     if (obs::iotrace_enabled()) [[unlikely]] {
       const std::uint64_t adj = meta.out_block(i, j).adj_bytes;
@@ -488,7 +491,8 @@ void CachedBlockReader::load_out_edges_batch(
       continue;
     }
     BlockKey key{BlockKind::kOutAdj, i, j};
-    if (BlockCache::PinnedBytes hit = consult(key, point_bytes)) {
+    if (BlockCache::PinnedBytes hit =
+            consult(key, point_bytes, block.adj_bytes)) {
       heat_hit(obs::HeatDir::kOut, i, j);
       if (obs::iotrace_enabled()) [[unlikely]] {
         trace_access(obs::TraceBlockKind::kOutAdj, obs::TraceOutcome::kHit,
@@ -598,7 +602,8 @@ AdjacencySlice CachedBlockReader::stream_in_block(std::uint32_t i,
     return store_->stream_in_block(i, j, buf);
   }
   BlockKey key{BlockKind::kInAdj, i, j};
-  if (BlockCache::PinnedBytes hit = consult(key, block.adj_bytes)) {
+  if (BlockCache::PinnedBytes hit =
+          consult(key, block.adj_bytes, block.adj_bytes)) {
     heat_hit(obs::HeatDir::kIn, i, j);
     if (obs::iotrace_enabled()) [[unlikely]] {
       trace_access(obs::TraceBlockKind::kInAdj, obs::TraceOutcome::kHit,

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cache/block_cache.hpp"
+#include "cache/shadow_mrc.hpp"
 #include "storage/store.hpp"
 
 namespace husg {
@@ -89,6 +90,12 @@ class CachedBlockReader {
   std::uint64_t cached_row_bytes(std::uint32_t i) const;
   std::uint64_t cached_column_bytes(std::uint32_t i) const;
 
+  /// Attach a shadow miss-ratio tracker (cache/shadow_mrc.hpp): every cache
+  /// consult through this reader is then mirrored into it. The tracker must
+  /// outlive the reader; null detaches. No-op without a cache.
+  void set_shadow(ShadowMrc* shadow) { shadow_ = shadow; }
+  ShadowMrc* shadow() const { return shadow_; }
+
  private:
   /// Copies a uint32 array into a cache payload byte vector.
   static std::vector<char> to_payload(const std::uint32_t* data,
@@ -104,9 +111,13 @@ class CachedBlockReader {
 
   /// Cache-first lookup that also charges this reader's local ledger. On a
   /// hit, `saved_bytes` (the disk bytes this request would otherwise read)
-  /// are credited both globally and locally.
+  /// are credited both globally and locally. `payload_bytes` is the bytes
+  /// the block occupies when resident (== saved_bytes except for ROP point
+  /// loads, which save a point read but keep the whole block) — the shadow
+  /// tracker's stack-distance weight.
   BlockCache::PinnedBytes consult(const BlockKey& key,
-                                  std::uint64_t saved_bytes) const;
+                                  std::uint64_t saved_bytes,
+                                  std::uint64_t payload_bytes) const;
 
   /// Insert through the cache, charging the local ledger.
   BlockCache::PinnedBytes admit(const BlockKey& key, std::vector<char> payload,
@@ -131,6 +142,7 @@ class CachedBlockReader {
   BlockCache* cache_;
   bool fill_rop_;
   std::uint32_t owner_ = 0;
+  ShadowMrc* shadow_ = nullptr;
 
   /// Per-reader counters (relaxed atomics; snapshot via local_stats()).
   mutable std::atomic<std::uint64_t> local_hits_{0};

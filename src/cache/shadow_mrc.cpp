@@ -1,0 +1,194 @@
+#include "cache/shadow_mrc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace husg {
+
+namespace {
+
+// An independent finalizer pass over BlockKeyHash's output, so sampling
+// selection is decorrelated from the cache's bucket placement.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+ShadowMrc::ShadowMrc() : ShadowMrc(Options{}) {}
+
+ShadowMrc::ShadowMrc(Options options) : opts_(options) {
+  opts_.sample_rate = std::clamp(opts_.sample_rate, 1e-6, 1.0);
+  if (opts_.max_tracked == 0) opts_.max_tracked = 1;
+  if (opts_.num_points < 2) opts_.num_points = 2;
+  // sampled iff mix(hash) < rate · 2^64; rate 1.0 must catch every key, so
+  // the threshold saturates instead of wrapping to zero.
+  const double scaled = opts_.sample_rate * 18446744073709551616.0;
+  sample_threshold_ =
+      scaled >= 18446744073709551615.0
+          ? UINT64_MAX
+          : static_cast<std::uint64_t>(scaled);
+}
+
+std::size_t ShadowMrc::bucket_of(double distance_bytes) {
+  if (distance_bytes < 1.0) return 0;
+  const double idx = std::floor(std::log2(distance_bytes) * 4.0);
+  return std::min<std::size_t>(kBuckets - 1,
+                               static_cast<std::size_t>(std::max(0.0, idx)));
+}
+
+double ShadowMrc::bucket_mid(std::size_t idx) {
+  return std::exp2((static_cast<double>(idx) + 0.5) / 4.0);
+}
+
+void ShadowMrc::record(const BlockKey& key, std::uint64_t payload_bytes,
+                       std::uint64_t saved_bytes) {
+  accesses_.fetch_add(1, std::memory_order_relaxed);
+  saved_bytes_sum_.fetch_add(saved_bytes, std::memory_order_relaxed);
+  const std::uint64_t h = mix(static_cast<std::uint64_t>(BlockKeyHash{}(key)));
+  if (h >= sample_threshold_) return;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++sampled_;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Byte-weighted stack distance: resident bytes of the distinct blocks
+    // touched since this key's previous access, scaled to the full
+    // population. O(stack position) — bounded by max_tracked.
+    std::uint64_t dist = 0;
+    for (auto li = lru_.begin(); li != it->second; ++li) dist += li->bytes;
+    const double scaled_dist =
+        static_cast<double>(dist) / opts_.sample_rate;
+    reuse_count_[bucket_of(scaled_dist)] += 1.0;
+    ++reuses_;
+    lru_.erase(it->second);
+    lru_.push_front(Tracked{key, payload_bytes});
+    it->second = lru_.begin();
+  } else {
+    ++cold_;
+    unique_bytes_scaled_ +=
+        static_cast<double>(payload_bytes) / opts_.sample_rate;
+    lru_.push_front(Tracked{key, payload_bytes});
+    index_.emplace(key, lru_.begin());
+    if (lru_.size() > opts_.max_tracked) {
+      index_.erase(lru_.back().key);
+      lru_.pop_back();
+    }
+  }
+}
+
+double ShadowMrc::miss_ratio_locked(std::uint64_t budget_bytes) const {
+  const double lookups = static_cast<double>(cold_ + reuses_);
+  if (lookups <= 0) return 1.0;
+  double hits = 0;
+  const double budget = static_cast<double>(budget_bytes);
+  for (std::size_t idx = 0; idx < kBuckets; ++idx) {
+    if (reuse_count_[idx] <= 0) continue;
+    if (bucket_mid(idx) <= budget) hits += reuse_count_[idx];
+  }
+  return std::clamp(1.0 - hits / lookups, 0.0, 1.0);
+}
+
+double ShadowMrc::miss_ratio(std::uint64_t budget_bytes) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return miss_ratio_locked(budget_bytes);
+}
+
+double ShadowMrc::predicted_miss_bytes(std::uint64_t budget_bytes) const {
+  return miss_ratio(budget_bytes) *
+         static_cast<double>(saved_bytes_sum_.load(std::memory_order_relaxed));
+}
+
+std::uint64_t ShadowMrc::sampled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sampled_;
+}
+
+bool ShadowMrc::warm() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Curves need reuse structure, not just cold traffic: a handful of
+  // re-references is enough for the partitioner to stop treating the job as
+  // unknowable.
+  return reuses_ >= 16;
+}
+
+ShadowMrc::Curve ShadowMrc::curve() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Curve c;
+  c.accesses = accesses_.load(std::memory_order_relaxed);
+  c.sampled = sampled_;
+  c.unique_payload_bytes =
+      static_cast<std::uint64_t>(std::llround(unique_bytes_scaled_));
+
+  // Same geometric sweep as the offline curve (obs/iotrace_replay.cpp):
+  // max(4096, U/64) … 1.25·U.
+  std::set<std::uint64_t> budgets;
+  const std::uint64_t u = c.unique_payload_bytes;
+  if (u > 0) {
+    const double lo =
+        static_cast<double>(std::max<std::uint64_t>(4096, u / 64));
+    const double hi = std::max(lo + 1, 1.25 * static_cast<double>(u));
+    const double ratio =
+        std::pow(hi / lo, 1.0 / static_cast<double>(opts_.num_points - 1));
+    double b = lo;
+    for (std::size_t k = 0; k < opts_.num_points; ++k, b *= ratio) {
+      budgets.insert(static_cast<std::uint64_t>(std::llround(b)));
+    }
+  }
+  for (std::uint64_t b : budgets) {
+    c.points.push_back(CurvePoint{b, miss_ratio_locked(b)});
+  }
+
+  // Chord-distance knee, both axes normalized — same rule as the offline
+  // curve so knees from the two paths are comparable.
+  if (!c.points.empty()) {
+    const double max_b =
+        std::max<double>(1.0, static_cast<double>(c.points.back().budget_bytes));
+    const double x0 =
+        static_cast<double>(c.points.front().budget_bytes) / max_b;
+    const double y0 = c.points.front().miss_ratio;
+    const double x1 = static_cast<double>(c.points.back().budget_bytes) / max_b;
+    const double y1 = c.points.back().miss_ratio;
+    double best = 0;
+    c.knee_budget_bytes = c.points.front().budget_bytes;
+    for (const CurvePoint& pt : c.points) {
+      const double x = static_cast<double>(pt.budget_bytes) / max_b;
+      const double y = pt.miss_ratio;
+      const double dist = std::abs((x1 - x0) * (y0 - y) - (x0 - x) * (y1 - y0));
+      if (dist > best) {
+        best = dist;
+        c.knee_budget_bytes = pt.budget_bytes;
+      }
+    }
+    if (best <= 0) {
+      for (const CurvePoint& pt : c.points) {
+        if (pt.miss_ratio <= y1 + 1e-12) {
+          c.knee_budget_bytes = pt.budget_bytes;
+          break;
+        }
+      }
+    }
+  }
+  return c;
+}
+
+void ShadowMrc::reset() {
+  accesses_.store(0, std::memory_order_relaxed);
+  saved_bytes_sum_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  reuse_count_.fill(0.0);
+  sampled_ = 0;
+  cold_ = 0;
+  reuses_ = 0;
+  unique_bytes_scaled_ = 0;
+}
+
+}  // namespace husg

@@ -1,0 +1,136 @@
+// Online miss-ratio curves via spatially-sampled shadow counters
+// (DESIGN.md §13).
+//
+// The offline `husg_replay --curve` answers "what would this job's miss
+// ratio have been at budget B?" by replaying a captured iotrace once per
+// budget. This tracker answers the same question *live*, per cache owner,
+// with bounded memory, so the service can re-partition the shared cache
+// while jobs run (src/service/cache_partition.hpp).
+//
+// Technique: SHARDS-style spatial sampling. A fixed hash of the BlockKey
+// selects a `sample_rate` subset of the key population; only sampled keys
+// enter a small LRU stack from which *byte-weighted* reuse distances are
+// measured (bytes of distinct blocks touched since the previous access to
+// this key — exactly the resident size an LRU cache would need for the
+// access to hit). Because the subset is chosen by key, every access to a
+// sampled key is seen, and distances measured in the sampled population are
+// scaled by 1/rate to estimate the full population's. Reuse distances land
+// in logarithmic buckets; a miss-ratio estimate at budget B is then
+//
+//   miss(B) = (cold + reuses with distance > B) / (cold + all reuses)
+//
+// — cold (first-touch) accesses are compulsory misses at every budget, as in
+// the offline replay. Unsampled accesses only bump two relaxed atomics, so
+// the record() fast path is cheap enough to leave on for whole runs.
+//
+// Accuracy caveats, all tolerance-gated by tests/selftune_test.cpp: the
+// shadow stack is LRU while the real cache is CLOCK with admission control,
+// and the tracked-key cap turns the oldest keys' reuses into cold misses.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/block_cache.hpp"
+
+namespace husg {
+
+class ShadowMrc {
+ public:
+  struct Options {
+    /// Fraction of the key population tracked (by hash). 1.0 = exact LRU
+    /// distances (tests); the service default 1/16 keeps the stack tiny.
+    double sample_rate = 1.0 / 16.0;
+    /// Hard cap on tracked keys — the memory bound. Beyond it the coldest
+    /// key is dropped (its next access counts as a compulsory miss).
+    std::size_t max_tracked = 4096;
+    /// Budget points per emitted curve.
+    std::size_t num_points = 16;
+  };
+
+  ShadowMrc();
+  explicit ShadowMrc(Options options);
+
+  /// One cached block access: `payload_bytes` is the bytes the block
+  /// occupies resident (the stack-distance weight), `saved_bytes` the disk
+  /// bytes the access reads on a miss. Thread-safe; unsampled accesses cost
+  /// two relaxed atomic adds.
+  void record(const BlockKey& key, std::uint64_t payload_bytes,
+              std::uint64_t saved_bytes);
+
+  struct CurvePoint {
+    std::uint64_t budget_bytes = 0;
+    double miss_ratio = 0;
+  };
+  struct Curve {
+    std::vector<CurvePoint> points;
+    std::uint64_t knee_budget_bytes = 0;
+    /// Scaled estimate of the working set (Σ payload over distinct keys).
+    std::uint64_t unique_payload_bytes = 0;
+    std::uint64_t accesses = 0;  ///< all accesses (sampled or not)
+    std::uint64_t sampled = 0;   ///< accesses that hit the shadow stack
+  };
+
+  /// Miss ratio estimate at one budget, in [0, 1]. A cold tracker (nothing
+  /// sampled yet) reports 1.0 — everything would miss.
+  double miss_ratio(std::uint64_t budget_bytes) const;
+
+  /// Expected total disk bytes to serve the recorded accesses were the
+  /// owner's cache `budget_bytes` — miss_ratio(B) × Σ saved_bytes. The
+  /// partitioner's objective function.
+  double predicted_miss_bytes(std::uint64_t budget_bytes) const;
+
+  /// The live curve: same geometric budget sweep and chord-distance knee as
+  /// the offline `husg_replay --curve` (obs/iotrace_replay.cpp).
+  Curve curve() const;
+
+  std::uint64_t accesses() const {
+    return accesses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sampled() const;
+  /// True once enough reuse activity has been sampled for curves to mean
+  /// something (the partitioner ignores cold trackers).
+  bool warm() const;
+
+  void reset();
+
+  const Options& options() const { return opts_; }
+
+ private:
+  /// 4 sub-buckets per octave of byte distance; 160 buckets span 2^40 bytes.
+  static constexpr std::size_t kBuckets = 160;
+
+  static std::size_t bucket_of(double distance_bytes);
+  static double bucket_mid(std::size_t idx);
+
+  double miss_ratio_locked(std::uint64_t budget_bytes) const;
+
+  struct Tracked {
+    BlockKey key;
+    std::uint64_t bytes = 0;
+  };
+
+  Options opts_;
+  std::uint64_t sample_threshold_ = 0;  ///< sampled iff mixed hash < this
+
+  std::atomic<std::uint64_t> accesses_{0};
+  std::atomic<std::uint64_t> saved_bytes_sum_{0};
+
+  mutable std::mutex mu_;
+  /// Most-recent first; byte-weighted stack distances walk from the front.
+  std::list<Tracked> lru_;
+  std::unordered_map<BlockKey, std::list<Tracked>::iterator, BlockKeyHash>
+      index_;
+  std::array<double, kBuckets> reuse_count_{};  ///< sampled reuses by distance
+  std::uint64_t sampled_ = 0;
+  std::uint64_t cold_ = 0;    ///< sampled first-touch accesses
+  std::uint64_t reuses_ = 0;  ///< sampled re-references
+  double unique_bytes_scaled_ = 0;
+};
+
+}  // namespace husg

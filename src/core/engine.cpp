@@ -1,8 +1,10 @@
 #include "core/engine.hpp"
 
 #include <atomic>
+#include <optional>
 #include <unistd.h>
 
+#include "obs/calibrate.hpp"
 #include "obs/iotrace.hpp"
 
 namespace husg {
@@ -25,6 +27,7 @@ Engine::Engine(const DualBlockStore& store, EngineOptions options)
       reader_(store,
               opts_.shared_cache != nullptr ? opts_.shared_cache : cache_.get(),
               opts_.cache_fill_rop, opts_.cache_owner) {
+  reader_.set_shadow(opts_.shadow_mrc);
   HUSG_CHECK(opts_.max_iterations > 0, "max_iterations must be positive");
   HUSG_CHECK(opts_.alpha >= 0 && opts_.alpha <= 1,
              "alpha must be in [0,1], got " << opts_.alpha);
@@ -97,12 +100,26 @@ std::vector<DecisionRecord> Engine::decide(const Frontier& frontier,
     return out;
   }
 
-  // When the I/O trace is armed, keep each interval's PredictionInputs so
-  // the decision events can be written AFTER the global-granularity pass
-  // overwrites used_rop (the trace records the final decision).
   const bool tracing = obs::iotrace_enabled();
   const bool codec = meta.codec != BlockCodecKind::kNone;
-  std::vector<PredictionInputs> traced(tracing ? p : 0);
+
+  // --calibrate apply: once the calibrator is warm, price this iteration's
+  // decisions against the measured profile instead of the preset. Rebuilt
+  // per call (it's two divides per parameter) so the decision tracks the
+  // EWMAs as they converge during the run.
+  const IoCostPredictor* predictor = &predictor_;
+  std::optional<IoCostPredictor> recalibrated;
+  if (opts_.calibrate == obs::CalibrationMode::kApply) {
+    const obs::DeviceCalibrator& cal = obs::DeviceCalibrator::instance();
+    if (cal.warm()) {
+      recalibrated.emplace(
+          cal.calibrated(opts_.device)
+              .for_backend(store_->io_backend().kind(),
+                           store_->io_backend().queue_depth()),
+          opts_.predictor, opts_.alpha);
+      predictor = &*recalibrated;
+    }
+  }
 
   for (std::uint32_t i = 0; i < p; ++i) {
     HUSG_SPAN("engine", "predict", "interval", static_cast<std::int64_t>(i));
@@ -149,18 +166,21 @@ std::vector<DecisionRecord> Engine::decide(const Frontier& frontier,
     // active fraction below, not interval by interval.
     bool per_interval_alpha =
         opts_.granularity == DecisionGranularity::kPerInterval;
-    out[i].prediction = predictor_.predict(in, per_interval_alpha);
+    out[i].prediction = predictor->predict(in, per_interval_alpha);
     out[i].used_rop = out[i].prediction.choose_rop;
-    if (tracing) traced[i] = in;
+    // Kept on the record so audits can re-price the decision under a
+    // different profile after the run (obs/audit.hpp from_run_wall), and so
+    // the trace below can emit the final (post-global-pass) decision.
+    out[i].inputs = in;
   }
 
   if (opts_.granularity == DecisionGranularity::kGlobal) {
     // One decision per iteration: compare the summed predicted costs, with
     // the α shortcut applied to the global active fraction.
     bool shortcut =
-        predictor_.alpha() > 0 &&
+        predictor->alpha() > 0 &&
         static_cast<double>(frontier.active_vertices()) >
-            predictor_.alpha() * static_cast<double>(meta.num_vertices);
+            predictor->alpha() * static_cast<double>(meta.num_vertices);
     double c_rop = 0, c_cop = 0;
     for (const auto& d : out) {
       c_rop += d.prediction.c_rop;
@@ -175,13 +195,13 @@ std::vector<DecisionRecord> Engine::decide(const Frontier& frontier,
       obs::DecisionEvent e;
       e.iteration = iter;
       e.interval = i;
-      e.active_vertices = traced[i].active_vertices;
-      e.active_degree_sum = traced[i].active_degree_sum;
+      e.active_vertices = out[i].inputs.active_vertices;
+      e.active_degree_sum = out[i].inputs.active_degree_sum;
       e.value_bytes = value_bytes;
-      e.column_edge_bytes = traced[i].column_edge_bytes;
-      e.row_edge_bytes = traced[i].row_edge_bytes;
-      e.cached_row_edge_bytes = traced[i].cached_row_edge_bytes;
-      e.cached_column_edge_bytes = traced[i].cached_column_edge_bytes;
+      e.column_edge_bytes = out[i].inputs.column_edge_bytes;
+      e.row_edge_bytes = out[i].inputs.row_edge_bytes;
+      e.cached_row_edge_bytes = out[i].inputs.cached_row_edge_bytes;
+      e.cached_column_edge_bytes = out[i].inputs.cached_column_edge_bytes;
       e.c_rop = out[i].prediction.c_rop;
       e.c_cop = out[i].prediction.c_cop;
       e.used_rop = out[i].used_rop;

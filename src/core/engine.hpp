@@ -47,6 +47,7 @@
 #include "core/run_stats.hpp"
 #include "core/value_store.hpp"
 #include "io/device.hpp"
+#include "obs/calibrate.hpp"
 #include "obs/trace.hpp"
 #include "storage/store.hpp"
 #include "util/logging.hpp"
@@ -123,6 +124,16 @@ struct EngineOptions {
   /// OperationCancelled (scratch files are still cleaned up). The token must
   /// outlive the engine run.
   const CancellationToken* cancel = nullptr;
+  /// Online device calibration (obs/calibrate.hpp). kOff and kObserve leave
+  /// every decision byte-identical to the preset engine (the calibrator only
+  /// listens); kApply re-prices decide() against the measured profile once
+  /// the calibrator is warm. Arming the calibrator itself is the CLI's job.
+  obs::CalibrationMode calibrate = obs::CalibrationMode::kOff;
+  /// Shadow miss-ratio tracker fed from every cached block access
+  /// (cache/shadow_mrc.hpp); owned by the caller (GraphService's partition
+  /// manager) and must outlive the run. Null (default) = no shadow
+  /// accounting, zero overhead.
+  ShadowMrc* shadow_mrc = nullptr;
 };
 
 template <class V>

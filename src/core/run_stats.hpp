@@ -30,6 +30,11 @@ const char* to_string(UpdateMode mode);
 struct DecisionRecord {
   std::uint32_t interval = 0;
   Prediction prediction;
+  /// The exact inputs the prediction was computed from, kept so audits can
+  /// re-price the decision under a *different* DeviceProfile after the run
+  /// (the calibration observe/apply delta, obs/audit.hpp from_run_wall).
+  /// Zero-initialised (num_vertices == 0) when no formula ran.
+  PredictionInputs inputs;
   bool used_rop = false;
   /// True once the engine filled in the observed_* fields below. Global
   /// decisions and engines that don't instrument per-interval leave false.

@@ -13,6 +13,13 @@
 // husg_io_{seq_read,rand_read,write}_seconds latency histograms (one sample
 // per batch for batched reads). The gate is one relaxed atomic load, so the
 // default path pays no clock reads.
+//
+// Independently, when the device calibrator is armed (--calibrate, see
+// obs/calibrate.hpp), a cheap 1-in-N sampled path times just the sampled ops
+// and feeds their (bytes, latency) to the calibrator — full io-timing is not
+// required for calibration. With io-timing on anyway, every timed op feeds
+// the calibrator at no extra clock cost. Both gates disarmed costs two
+// relaxed loads per op.
 #pragma once
 
 #include <cstddef>
@@ -23,6 +30,7 @@
 #include "io/backend/io_backend.hpp"
 #include "io/file.hpp"
 #include "io/io_stats.hpp"
+#include "obs/calibrate.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -49,10 +57,15 @@ class TrackedFile {
 
   /// Random (point) read: charged as one random op regardless of position.
   void read_random(void* buf, std::size_t len, std::uint64_t offset) const {
-    if (obs::io_timing_enabled()) {
+    const bool timed = obs::io_timing_enabled();
+    if (timed || obs::calibration_sample()) {
       const std::uint64_t t0 = obs::now_ns();
       backend_->read(file_.fd(), buf, len, offset, file_.read_align());
-      obs::io_latency().rand_read->record(obs::now_ns() - t0);
+      const std::uint64_t dt = obs::now_ns() - t0;
+      if (timed) obs::io_latency().rand_read->record(dt);
+      if (obs::calibration_enabled()) {
+        obs::DeviceCalibrator::instance().record_random(1, len, dt);
+      }
     } else {
       backend_->read(file_.fd(), buf, len, offset, file_.read_align());
     }
@@ -65,10 +78,17 @@ class TrackedFile {
   /// loop. Timing records one sample for the whole batch.
   void read_random_batch(const IoReadOp* ops, std::size_t count) const {
     if (count == 0) return;
-    if (obs::io_timing_enabled()) {
+    const bool timed = obs::io_timing_enabled();
+    if (timed || obs::calibration_sample()) {
       const std::uint64_t t0 = obs::now_ns();
       backend_->read_batch(file_.fd(), ops, count, file_.read_align());
-      obs::io_latency().rand_read->record(obs::now_ns() - t0);
+      const std::uint64_t dt = obs::now_ns() - t0;
+      if (timed) obs::io_latency().rand_read->record(dt);
+      if (obs::calibration_enabled()) {
+        std::uint64_t bytes = 0;
+        for (std::size_t k = 0; k < count; ++k) bytes += ops[k].len;
+        obs::DeviceCalibrator::instance().record_random(count, bytes, dt);
+      }
     } else {
       backend_->read_batch(file_.fd(), ops, count, file_.read_align());
     }
@@ -82,10 +102,15 @@ class TrackedFile {
   /// Sequential (streaming) read: charged as sequential traffic. Callers use
   /// this when they stream a contiguous region (COP block scans, shard loads).
   void read_sequential(void* buf, std::size_t len, std::uint64_t offset) const {
-    if (obs::io_timing_enabled()) {
+    const bool timed = obs::io_timing_enabled();
+    if (timed || obs::calibration_sample()) {
       const std::uint64_t t0 = obs::now_ns();
       backend_->read(file_.fd(), buf, len, offset, file_.read_align());
-      obs::io_latency().seq_read->record(obs::now_ns() - t0);
+      const std::uint64_t dt = obs::now_ns() - t0;
+      if (timed) obs::io_latency().seq_read->record(dt);
+      if (obs::calibration_enabled()) {
+        obs::DeviceCalibrator::instance().record_sequential(len, dt);
+      }
     } else {
       backend_->read(file_.fd(), buf, len, offset, file_.read_align());
     }
@@ -112,20 +137,32 @@ class TrackedFile {
   /// Blocking batched sequential read (one submission, wait for all).
   void read_sequential_batch(const IoReadOp* ops, std::size_t count) const {
     if (count == 0) return;
-    if (obs::io_timing_enabled()) {
+    const bool timed = obs::io_timing_enabled();
+    if (timed || obs::calibration_sample()) {
       const std::uint64_t t0 = obs::now_ns();
       start_sequential(ops, count)->wait();
-      obs::io_latency().seq_read->record(obs::now_ns() - t0);
+      const std::uint64_t dt = obs::now_ns() - t0;
+      if (timed) obs::io_latency().seq_read->record(dt);
+      if (obs::calibration_enabled()) {
+        std::uint64_t bytes = 0;
+        for (std::size_t k = 0; k < count; ++k) bytes += ops[k].len;
+        obs::DeviceCalibrator::instance().record_sequential(bytes, dt);
+      }
     } else {
       start_sequential(ops, count)->wait();
     }
   }
 
   void write(const void* buf, std::size_t len, std::uint64_t offset) {
-    if (obs::io_timing_enabled()) {
+    const bool timed = obs::io_timing_enabled();
+    if (timed || obs::calibration_sample()) {
       const std::uint64_t t0 = obs::now_ns();
       file_.pwrite_exact(buf, len, offset);
-      obs::io_latency().write->record(obs::now_ns() - t0);
+      const std::uint64_t dt = obs::now_ns() - t0;
+      if (timed) obs::io_latency().write->record(dt);
+      if (obs::calibration_enabled()) {
+        obs::DeviceCalibrator::instance().record_write(len, dt);
+      }
     } else {
       file_.pwrite_exact(buf, len, offset);
     }
@@ -134,10 +171,15 @@ class TrackedFile {
 
   std::uint64_t append(const void* buf, std::size_t len) {
     std::uint64_t at;
-    if (obs::io_timing_enabled()) {
+    const bool timed = obs::io_timing_enabled();
+    if (timed || obs::calibration_sample()) {
       const std::uint64_t t0 = obs::now_ns();
       at = file_.append(buf, len);
-      obs::io_latency().write->record(obs::now_ns() - t0);
+      const std::uint64_t dt = obs::now_ns() - t0;
+      if (timed) obs::io_latency().write->record(dt);
+      if (obs::calibration_enabled()) {
+        obs::DeviceCalibrator::instance().record_write(len, dt);
+      }
     } else {
       at = file_.append(buf, len);
     }

@@ -39,6 +39,43 @@ PredictorAudit PredictorAudit::from_run(const RunStats& stats,
   return audit;
 }
 
+PredictorAudit PredictorAudit::from_run_wall(const RunStats& stats,
+                                             const DeviceProfile& device,
+                                             PredictorFlavor flavor,
+                                             double alpha) {
+  PredictorAudit audit;
+  const IoCostPredictor predictor(device, flavor, alpha);
+  for (const IterationStats& it : stats.iterations) {
+    for (const DecisionRecord& d : it.decisions) {
+      AuditEntry e;
+      e.iteration = it.iteration;
+      e.interval = d.interval;
+      e.chose_rop = d.used_rop;
+      e.alpha_shortcut = d.prediction.alpha_shortcut;
+      // Inputs are only captured when the formulas actually ran; a
+      // zero-vertex record (forced mode, α shortcut) cannot be re-priced.
+      const bool have_inputs = d.inputs.num_vertices > 0;
+      if (have_inputs) {
+        const Prediction p = predictor.predict(d.inputs, /*use_alpha=*/false);
+        e.c_rop = p.c_rop;
+        e.c_cop = p.c_cop;
+      }
+      if (d.observed && have_inputs && !d.prediction.alpha_shortcut) {
+        e.observed_bytes = d.observed_io.total_bytes();
+        e.observed_seconds = d.observed_wall_seconds;
+        e.observed_wall_seconds = d.observed_wall_seconds;
+        e.evaluated = true;
+        const double pred = e.chose_rop ? e.c_rop : e.c_cop;
+        const double denom =
+            std::max(std::max(pred, e.observed_seconds), 1e-12);
+        e.rel_error = std::abs(pred - e.observed_seconds) / denom;
+      }
+      audit.entries_.push_back(e);
+    }
+  }
+  return audit;
+}
+
 AuditSummary PredictorAudit::summarize() const {
   AuditSummary s;
   s.entries = entries_.size();

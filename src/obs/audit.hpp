@@ -64,6 +64,16 @@ class PredictorAudit {
   static PredictorAudit from_run(const RunStats& stats,
                                  const DeviceProfile& device);
 
+  /// Calibration-audit variant: re-predicts every recorded decision from its
+  /// stored PredictionInputs under `device` (which need NOT be the profile
+  /// the run decided with — pass the preset and the calibrated profile to
+  /// split the error) and scores the chosen model's cost against the
+  /// interval's *observed wall seconds*. Entries whose inputs were never
+  /// captured (forced mode, α shortcut) are excluded from the aggregates.
+  static PredictorAudit from_run_wall(const RunStats& stats,
+                                      const DeviceProfile& device,
+                                      PredictorFlavor flavor, double alpha);
+
   const std::vector<AuditEntry>& entries() const { return entries_; }
 
   AuditSummary summarize() const;

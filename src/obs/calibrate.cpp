@@ -1,0 +1,327 @@
+#include "obs/calibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+
+namespace husg::obs {
+
+namespace detail {
+std::atomic<std::uint32_t> g_calibrate_every{0};
+std::atomic<std::uint64_t> g_calibrate_tick{0};
+}  // namespace detail
+
+const char* to_string(CalibrationMode mode) {
+  switch (mode) {
+    case CalibrationMode::kOff:
+      return "off";
+    case CalibrationMode::kObserve:
+      return "observe";
+    case CalibrationMode::kApply:
+      return "apply";
+  }
+  return "?";
+}
+
+bool parse_calibration_mode(const std::string& text, CalibrationMode& out) {
+  if (text == "off") {
+    out = CalibrationMode::kOff;
+  } else if (text == "observe") {
+    out = CalibrationMode::kObserve;
+  } else if (text == "apply") {
+    out = CalibrationMode::kApply;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+DeviceCalibrator& DeviceCalibrator::instance() {
+  static DeviceCalibrator* cal = new DeviceCalibrator();  // leaked on purpose
+  return *cal;
+}
+
+DeviceCalibrator::DeviceCalibrator() : DeviceCalibrator(Options{}) {}
+
+DeviceCalibrator::DeviceCalibrator(Options options) : opts_(options) {}
+
+void DeviceCalibrator::arm(const DeviceProfile& preset, CalibrationMode mode) {
+  arm(preset, mode, opts_.sample_every);
+}
+
+void DeviceCalibrator::arm(const DeviceProfile& preset, CalibrationMode mode,
+                           std::uint32_t sample_every) {
+  reset();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    preset_ = preset;
+    mode_ = mode;
+  }
+  detail::g_calibrate_tick.store(0, std::memory_order_relaxed);
+  detail::g_calibrate_every.store(
+      mode == CalibrationMode::kOff ? 0 : std::max(sample_every, 1u),
+      std::memory_order_release);
+}
+
+void DeviceCalibrator::disarm() {
+  detail::g_calibrate_every.store(0, std::memory_order_release);
+}
+
+CalibrationMode DeviceCalibrator::mode() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mode_;
+}
+
+void DeviceCalibrator::record_random(std::uint64_t ops, std::uint64_t bytes,
+                                     std::uint64_t ns) {
+  if (ops == 0) return;
+  const double seconds = static_cast<double>(ns) * 1e-9;
+  const double per_op_seconds = seconds / static_cast<double>(ops);
+  const double per_op_bytes =
+      static_cast<double>(bytes) / static_cast<double>(ops);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Outlier clamp: once the class has a few samples, a per-op latency far
+  // above the EWMA mean is a scheduling hiccup, not the device.
+  if (rand_latency_.samples >= std::max<std::uint64_t>(opts_.min_samples / 8, 4) &&
+      per_op_seconds > opts_.outlier_factor * rand_latency_.value) {
+    ++outliers_;
+    return;
+  }
+  rand_latency_.add(per_op_seconds, opts_.ewma_alpha);
+  rand_bytes_.add(per_op_bytes, opts_.ewma_alpha);
+  if (ops >= 4) {
+    // Queue-lane estimate: a batch of K ops that completes faster than K
+    // serial ops reveals the device's effective concurrency. Modeled serial
+    // time uses the current per-op estimates, so this only feeds after the
+    // latency EWMA has something to say.
+    if (rand_latency_.samples >= 4 && seconds > 0) {
+      const double serial =
+          static_cast<double>(ops) *
+          (rand_latency_.value > 0 ? rand_latency_.value : per_op_seconds);
+      const double lanes = std::clamp(serial / seconds, 1.0, 256.0);
+      lanes_.add(lanes, opts_.ewma_alpha);
+    }
+  }
+}
+
+void DeviceCalibrator::record_sequential(std::uint64_t bytes,
+                                         std::uint64_t ns) {
+  const double seconds = static_cast<double>(ns) * 1e-9;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (seq_seconds_.samples >= std::max<std::uint64_t>(opts_.min_samples / 8, 4) &&
+      seconds > opts_.outlier_factor * std::max(seq_seconds_.value, 1e-9)) {
+    ++outliers_;
+    return;
+  }
+  seq_seconds_.add(seconds, opts_.ewma_alpha);
+  seq_bytes_.add(static_cast<double>(bytes), opts_.ewma_alpha);
+}
+
+void DeviceCalibrator::record_write(std::uint64_t bytes, std::uint64_t ns) {
+  const double seconds = static_cast<double>(ns) * 1e-9;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (write_seconds_.samples >= std::max<std::uint64_t>(opts_.min_samples / 8, 4) &&
+      seconds > opts_.outlier_factor * std::max(write_seconds_.value, 1e-9)) {
+    ++outliers_;
+    return;
+  }
+  write_seconds_.add(seconds, opts_.ewma_alpha);
+  write_bytes_.add(static_cast<double>(bytes), opts_.ewma_alpha);
+}
+
+bool DeviceCalibrator::warm() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rand_latency_.samples >= opts_.min_samples &&
+         seq_seconds_.samples >= opts_.min_samples;
+}
+
+double DeviceCalibrator::seq_bw_locked() const {
+  if (seq_seconds_.samples == 0 || seq_seconds_.value <= 0) return 0;
+  return seq_bytes_.value / seq_seconds_.value;
+}
+
+CalibrationSnapshot DeviceCalibrator::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CalibrationSnapshot s;
+  s.mode = mode_;
+  s.sample_every = detail::g_calibrate_every.load(std::memory_order_relaxed);
+  s.rand_samples = rand_latency_.samples;
+  s.seq_samples = seq_seconds_.samples;
+  s.write_samples = write_seconds_.samples;
+  s.batch_samples = lanes_.samples;
+  s.outliers = outliers_;
+  s.rand_latency_seconds = rand_latency_.value;
+  s.rand_bytes = rand_bytes_.value;
+  s.seq_bw = seq_bw_locked();
+  s.write_bw = write_seconds_.samples > 0 && write_seconds_.value > 0
+                   ? write_bytes_.value / write_seconds_.value
+                   : 0;
+  s.lanes = lanes_.value;
+  s.warm = rand_latency_.samples >= opts_.min_samples &&
+           seq_seconds_.samples >= opts_.min_samples;
+  return s;
+}
+
+DeviceProfile DeviceCalibrator::calibrated_locked(
+    const DeviceProfile& preset) const {
+  DeviceProfile out = preset;
+  out.name = preset.name.empty() ? "calibrated" : preset.name + "+calibrated";
+  const double seq_bw = seq_bw_locked();
+  if (seq_seconds_.samples >= opts_.min_samples && seq_bw > 0) {
+    out.seq_read_bw = seq_bw;
+  }
+  if (write_seconds_.samples >= opts_.min_samples &&
+      write_seconds_.value > 0) {
+    out.write_bw = write_bytes_.value / write_seconds_.value;
+  }
+  if (rand_latency_.samples >= opts_.min_samples) {
+    // Transfer happens at the measured streaming rate; everything the mean
+    // per-op latency holds beyond the transfer time is per-op positioning.
+    const double transfer_bw =
+        out.seq_read_bw > 0 ? out.seq_read_bw : preset.rand_read_bw;
+    if (transfer_bw > 0) {
+      out.rand_read_bw = transfer_bw;
+      out.seek_seconds = std::max(
+          0.0, rand_latency_.value - rand_bytes_.value / transfer_bw);
+    }
+  }
+  if (lanes_.samples >= std::max<std::uint64_t>(opts_.min_samples / 8, 4)) {
+    out.queue_lanes = static_cast<std::uint32_t>(
+        std::clamp(std::llround(lanes_.value), 1ll, 256ll));
+  }
+  return out;
+}
+
+DeviceProfile DeviceCalibrator::calibrated(const DeviceProfile& preset) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return calibrated_locked(preset);
+}
+
+DeviceProfile DeviceCalibrator::calibrated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return calibrated_locked(preset_);
+}
+
+const DeviceProfile& DeviceCalibrator::preset() const {
+  // preset_ only changes under arm(); callers hold it by reference across a
+  // run, never across re-arms.
+  return preset_;
+}
+
+void DeviceCalibrator::publish(Registry& registry) const {
+  CalibrationSnapshot s;
+  DeviceProfile preset;
+  DeviceProfile cal;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    preset = preset_;
+    cal = calibrated_locked(preset_);
+  }
+  s = snapshot();
+  registry
+      .gauge("husg_calibration_mode",
+             "Calibration mode of the current run (0 off, 1 observe, 2 apply)")
+      .set(static_cast<double>(s.mode));
+  registry
+      .gauge("husg_calibration_warm",
+             "1 once the random and sequential classes passed the warmup "
+             "floor")
+      .set(s.warm ? 1 : 0);
+  registry
+      .gauge("husg_calibration_rand_samples",
+             "Accepted random-read latency samples")
+      .set(static_cast<double>(s.rand_samples));
+  registry
+      .gauge("husg_calibration_seq_samples",
+             "Accepted sequential-read latency samples")
+      .set(static_cast<double>(s.seq_samples));
+  registry
+      .gauge("husg_calibration_write_samples",
+             "Accepted write latency samples")
+      .set(static_cast<double>(s.write_samples));
+  registry
+      .gauge("husg_calibration_outlier_samples",
+             "Latency samples dropped by the outlier clamp")
+      .set(static_cast<double>(s.outliers));
+  registry
+      .gauge("husg_calibration_seek_seconds",
+             "Measured per-op random-read positioning cost (preset value "
+             "until warm)")
+      .set(cal.seek_seconds);
+  registry
+      .gauge("husg_calibration_seq_read_bw_bytes_per_second",
+             "Measured sequential read bandwidth (preset value until warm)")
+      .set(cal.seq_read_bw);
+  registry
+      .gauge("husg_calibration_rand_read_bw_bytes_per_second",
+             "Measured random-read transfer bandwidth (preset value until "
+             "warm)")
+      .set(cal.rand_read_bw);
+  registry
+      .gauge("husg_calibration_write_bw_bytes_per_second",
+             "Measured write bandwidth (preset value until warm)")
+      .set(cal.write_bw);
+  registry
+      .gauge("husg_calibration_queue_lanes",
+             "Measured effective concurrent request streams")
+      .set(static_cast<double>(cal.queue_lanes));
+  registry
+      .gauge("husg_calibration_preset_seek_seconds",
+             "Preset per-op positioning cost the run was configured with")
+      .set(preset.seek_seconds);
+  registry
+      .gauge("husg_calibration_preset_seq_read_bw_bytes_per_second",
+             "Preset sequential read bandwidth the run was configured with")
+      .set(preset.seq_read_bw);
+}
+
+namespace {
+
+void write_profile_json(std::ostream& os, const DeviceProfile& p) {
+  os << "{\"name\":\"" << p.name << "\",\"seq_read_bw\":" << p.seq_read_bw
+     << ",\"rand_read_bw\":" << p.rand_read_bw << ",\"write_bw\":" << p.write_bw
+     << ",\"seek_seconds\":" << p.seek_seconds
+     << ",\"queue_lanes\":" << p.queue_lanes << "}";
+}
+
+}  // namespace
+
+void DeviceCalibrator::write_json(std::ostream& os) const {
+  DeviceProfile preset;
+  DeviceProfile cal;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    preset = preset_;
+    cal = calibrated_locked(preset_);
+  }
+  const CalibrationSnapshot s = snapshot();
+  os << "{\"mode\":\"" << to_string(s.mode)
+     << "\",\"sample_every\":" << s.sample_every
+     << ",\"warm\":" << (s.warm ? "true" : "false") << ",\"samples\":{\"random\":"
+     << s.rand_samples << ",\"sequential\":" << s.seq_samples
+     << ",\"write\":" << s.write_samples << ",\"batch\":" << s.batch_samples
+     << ",\"outliers\":" << s.outliers << "},\"ewma\":{\"rand_latency_seconds\":"
+     << s.rand_latency_seconds << ",\"rand_bytes\":" << s.rand_bytes
+     << ",\"seq_bw\":" << s.seq_bw << ",\"write_bw\":" << s.write_bw
+     << ",\"lanes\":" << s.lanes << "},\"preset\":";
+  write_profile_json(os, preset);
+  os << ",\"calibrated\":";
+  write_profile_json(os, cal);
+  os << "}\n";
+}
+
+void DeviceCalibrator::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  mode_ = CalibrationMode::kOff;
+  rand_latency_ = Ewma{};
+  rand_bytes_ = Ewma{};
+  seq_seconds_ = Ewma{};
+  seq_bytes_ = Ewma{};
+  write_seconds_ = Ewma{};
+  write_bytes_ = Ewma{};
+  lanes_ = Ewma{};
+  outliers_ = 0;
+}
+
+}  // namespace husg::obs

@@ -1,0 +1,188 @@
+// Online device calibration (observability layer, DESIGN.md §13).
+//
+// Every DeviceProfile the predictor prices against so far is a *preset* —
+// representative of a device class, not of this machine. The calibrator
+// closes that gap: TrackedFile feeds it observed per-op latencies (random
+// vs sequential vs write, plus whole-batch samples for queue-lane
+// estimation) and it maintains EWMA estimates from which a measured
+// DeviceProfile is derived:
+//
+//   seq_read_bw  = ewma(bytes) / ewma(seconds) over sequential reads
+//   rand_read_bw = the measured sequential bandwidth (transfer happens at
+//                  media rate; the per-op overhead is the seek term)
+//   seek_seconds = ewma(latency) − ewma(bytes) / rand_read_bw, clamped ≥ 0
+//   write_bw     = ewma(bytes) / ewma(seconds) over writes
+//   queue_lanes  = ewma of (modeled serial batch time / observed batch time)
+//
+// Robustness: a per-class warmup floor (below it calibrated() returns the
+// preset unchanged and warm() is false) and outlier clamping (once a class
+// has a few samples, a latency more than `outlier_factor` above the EWMA
+// mean is counted and dropped, so page-cache hiccups and first-touch faults
+// cannot yank the estimate).
+//
+// Sampling: the 1-in-N gate below costs one relaxed atomic load when
+// disarmed, so it is cheap enough to leave on for whole runs — full
+// --io-timing histograms are NOT required for calibration. When io-timing
+// is armed anyway, every op (not 1-in-N) feeds the calibrator for free.
+//
+// Modes (--calibrate off|observe|apply): off never arms the gate — every
+// existing counter and baseline stays byte-identical; observe samples and
+// reports the preset-vs-measured delta (gauges + the PredictorAudit wall
+// split) without changing any decision; apply additionally re-prices the
+// engine's §3.4 decide() with the calibrated profile once warm.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "io/device.hpp"
+
+namespace husg::obs {
+
+class Registry;
+
+enum class CalibrationMode { kOff, kObserve, kApply };
+
+const char* to_string(CalibrationMode mode);
+/// "off" | "observe" | "apply" → mode; false on anything else.
+bool parse_calibration_mode(const std::string& text, CalibrationMode& out);
+
+namespace detail {
+/// 0 = disarmed; otherwise sample one op in every `g_calibrate_every`.
+extern std::atomic<std::uint32_t> g_calibrate_every;
+extern std::atomic<std::uint64_t> g_calibrate_tick;
+}  // namespace detail
+
+/// Inline gate for recording sites (same contract as io_timing_enabled()).
+inline bool calibration_enabled() {
+  return detail::g_calibrate_every.load(std::memory_order_relaxed) != 0;
+}
+
+/// Consumes a sampling token: true when this op should be timed for the
+/// calibrator (1-in-N of all ops across threads). One relaxed load when
+/// disarmed.
+inline bool calibration_sample() {
+  const std::uint32_t every =
+      detail::g_calibrate_every.load(std::memory_order_relaxed);
+  if (every == 0) return false;
+  return detail::g_calibrate_tick.fetch_add(1, std::memory_order_relaxed) %
+             every ==
+         0;
+}
+
+/// Point-in-time view of the calibrator state (the /calibration route and
+/// the husg_calibration_* gauges render this).
+struct CalibrationSnapshot {
+  CalibrationMode mode = CalibrationMode::kOff;
+  std::uint32_t sample_every = 0;
+  std::uint64_t rand_samples = 0;
+  std::uint64_t seq_samples = 0;
+  std::uint64_t write_samples = 0;
+  std::uint64_t batch_samples = 0;
+  std::uint64_t outliers = 0;
+  /// EWMA state (zero until the first sample of the class).
+  double rand_latency_seconds = 0;  ///< mean per-op random-read latency
+  double rand_bytes = 0;            ///< mean random-read request size
+  double seq_bw = 0;                ///< bytes/second
+  double write_bw = 0;              ///< bytes/second
+  double lanes = 0;                 ///< effective concurrent request streams
+  bool warm = false;                ///< rand + seq past the warmup floor
+};
+
+class DeviceCalibrator {
+ public:
+  struct Options {
+    /// Per-class warmup floor: below this many accepted samples the class
+    /// falls back to the preset value and warm() stays false.
+    std::uint64_t min_samples = 64;
+    /// EWMA weight of each new sample.
+    double ewma_alpha = 0.05;
+    /// Outlier clamp: once a class has min_samples/8 samples, a latency more
+    /// than this factor above the EWMA mean is dropped (and counted).
+    double outlier_factor = 32.0;
+    /// Default 1-in-N op sampling rate installed by arm().
+    std::uint32_t sample_every = 8;
+  };
+
+  /// The process-wide calibrator every TrackedFile feeds (mirrors
+  /// Heatmap::instance()).
+  static DeviceCalibrator& instance();
+
+  // (Two constructors instead of one defaulted-argument form: a `= {}`
+  // default would be parsed before the nested Options' member initializers.)
+  DeviceCalibrator();
+  explicit DeviceCalibrator(Options options);
+
+  /// Resets state, stores the preset the run prices against, and arms the
+  /// sampling gate (mode kOff leaves it disarmed). Arm before the run, like
+  /// Heatmap::start().
+  void arm(const DeviceProfile& preset, CalibrationMode mode);
+  void arm(const DeviceProfile& preset, CalibrationMode mode,
+           std::uint32_t sample_every);
+  /// Disarms the gate; the accumulated state stays readable.
+  void disarm();
+
+  CalibrationMode mode() const;
+
+  /// One timed random read batch: `ops` point loads totalling `bytes`,
+  /// completed in `ns`. ops == 1 feeds the latency/size EWMAs; ops > 1 (one
+  /// backend batch) additionally feeds the queue-lane estimate.
+  void record_random(std::uint64_t ops, std::uint64_t bytes, std::uint64_t ns);
+  void record_sequential(std::uint64_t bytes, std::uint64_t ns);
+  void record_write(std::uint64_t bytes, std::uint64_t ns);
+
+  /// True once both the random and sequential classes passed the floor.
+  bool warm() const;
+
+  CalibrationSnapshot snapshot() const;
+
+  /// The measured profile: starts from `preset` and replaces every parameter
+  /// whose class is past the warmup floor (a cold calibrator returns the
+  /// preset unchanged).
+  DeviceProfile calibrated(const DeviceProfile& preset) const;
+  /// Same, against the preset stored by arm().
+  DeviceProfile calibrated() const;
+  const DeviceProfile& preset() const;
+
+  /// `husg_calibration_*` gauges (gauges only — safe as a pre-scrape hook).
+  void publish(Registry& registry) const;
+
+  /// The /calibration JSON body: mode, sample counts, EWMA state, preset vs
+  /// calibrated profile side by side.
+  void write_json(std::ostream& os) const;
+
+  void reset();
+
+ private:
+  struct Ewma {
+    std::uint64_t samples = 0;
+    double value = 0;  ///< EWMA of the tracked quantity
+
+    void add(double sample, double alpha) {
+      value = samples == 0 ? sample : value + alpha * (sample - value);
+      ++samples;
+    }
+  };
+
+  DeviceProfile calibrated_locked(const DeviceProfile& preset) const;
+  double seq_bw_locked() const;
+
+  Options opts_;
+
+  mutable std::mutex mu_;
+  CalibrationMode mode_ = CalibrationMode::kOff;
+  DeviceProfile preset_;
+  Ewma rand_latency_;  ///< seconds per random op
+  Ewma rand_bytes_;    ///< bytes per random op
+  Ewma seq_seconds_;   ///< seconds per sequential sample
+  Ewma seq_bytes_;     ///< bytes per sequential sample
+  Ewma write_seconds_;
+  Ewma write_bytes_;
+  Ewma lanes_;  ///< effective queue lanes from batch samples
+  std::uint64_t outliers_ = 0;
+};
+
+}  // namespace husg::obs

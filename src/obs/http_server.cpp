@@ -13,6 +13,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/calibrate.hpp"
 #include "obs/heatmap.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -319,6 +320,33 @@ AdminServer::Response AdminServer::handle_request(const std::string& method,
     res.body = os.str();
     return res;
   }
+  if (path == "/calibration") {
+    if (!is_get) {
+      res.status = 405;
+      res.body = "method not allowed\n";
+      return res;
+    }
+    std::ostringstream os;
+    DeviceCalibrator::instance().write_json(os);
+    res.content_type = "application/json";
+    res.body = os.str();
+    return res;
+  }
+  if (path == "/mrc") {
+    if (!is_get) {
+      res.status = 405;
+      res.body = "method not allowed\n";
+      return res;
+    }
+    if (!mrc_) {
+      res.status = 404;
+      res.body = "cache partitioning is not enabled\n";
+      return res;
+    }
+    res.content_type = "application/json";
+    res.body = mrc_();
+    return res;
+  }
   if (path == "/trace") {
     if (!is_get) {
       res.status = 405;
@@ -376,7 +404,7 @@ AdminServer::Response AdminServer::handle_request(const std::string& method,
   }
   res.status = 404;
   res.body = "unknown path (try /healthz /readyz /metrics /jobs /heatmap "
-             "/trace?ms=N /loglevel)\n";
+             "/calibration /mrc /trace?ms=N /loglevel)\n";
   return res;
 }
 

@@ -18,6 +18,12 @@
 //   GET  /heatmap       block-access heatmap JSON (Heatmap::write_json) for
 //                       the process-wide heatmap; {"p": 0, ...} when not
 //                       armed — scrape mid-run to watch the access pattern
+//   GET  /calibration   live DeviceCalibrator state JSON (mode, per-class
+//                       EWMA samples, preset vs calibrated profile) — always
+//                       available, mode "off" when never armed
+//   GET  /mrc           shadow miss-ratio curves + the installed cache
+//                       partition from the mrc hook; 404 when no hook is
+//                       installed (partitioning off or no cache)
 //   GET  /trace?ms=N    arm the span tracer for N ms (capped), then return
 //                       the Chrome-trace JSON of that window; 409 if a trace
 //                       session (e.g. --trace-out) is already running
@@ -56,6 +62,8 @@ class AdminServer {
  public:
   /// Returns the /jobs JSON body (see jobs_json in service/job.hpp).
   using JobsFn = std::function<std::string()>;
+  /// Returns the /mrc JSON body (CachePartitionManager::write_json).
+  using MrcFn = std::function<std::string()>;
   /// Liveness of the thing being served; false → /readyz returns 503.
   using ReadyFn = std::function<bool()>;
   /// Runs before every /metrics scrape. Must only set gauges: publish()
@@ -72,6 +80,7 @@ class AdminServer {
 
   void set_ready(ReadyFn fn) { ready_ = std::move(fn); }
   void set_jobs(JobsFn fn) { jobs_ = std::move(fn); }
+  void set_mrc(MrcFn fn) { mrc_ = std::move(fn); }
   void set_pre_scrape(PreScrapeFn fn) { pre_scrape_ = std::move(fn); }
 
   /// Binds, listens, and launches the serving thread. Throws IoError when
@@ -106,6 +115,7 @@ class AdminServer {
   Registry* registry_;
   ReadyFn ready_;
   JobsFn jobs_;
+  MrcFn mrc_;
   PreScrapeFn pre_scrape_;
 
   int listen_fd_ = -1;

@@ -1,0 +1,225 @@
+#include "service/cache_partition.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/metrics.hpp"
+#include "util/common.hpp"
+
+namespace husg {
+
+CachePartitionManager::CachePartitionManager(BlockCache& cache,
+                                             Options options)
+    : cache_(cache), opts_(options) {
+  HUSG_CHECK(opts_.steps >= 2, "partition steps must be at least 2");
+}
+
+ShadowMrc* CachePartitionManager::shadow_for(std::uint32_t owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = trackers_.find(owner);
+  if (it == trackers_.end()) {
+    it = trackers_.emplace(owner, std::make_unique<ShadowMrc>(opts_.shadow))
+             .first;
+  }
+  return it->second.get();
+}
+
+void CachePartitionManager::job_finished(std::uint32_t owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trackers_.erase(owner);
+  auto it = std::find_if(installed_.begin(), installed_.end(),
+                         [owner](const auto& p) { return p.first == owner; });
+  if (it == installed_.end()) return;
+  installed_.erase(it);
+  // A lone quota is pure overhead: the survivor should get the whole cache.
+  if (installed_.size() < 2) installed_.clear();
+  cache_.set_partition(installed_);
+}
+
+double CachePartitionManager::objective(
+    const std::vector<const ShadowMrc*>& owners,
+    const std::vector<std::uint64_t>& alloc) const {
+  double total = 0;
+  for (std::size_t k = 0; k < owners.size(); ++k) {
+    total += owners[k]->predicted_miss_bytes(alloc[k]);
+  }
+  return total;
+}
+
+void CachePartitionManager::repartition(const std::vector<JobId>& running) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Candidates: running jobs whose shadows have sampled enough reuse to make
+  // their curves trustworthy.
+  std::vector<std::uint32_t> ids;
+  std::vector<const ShadowMrc*> shadows;
+  for (JobId id : running) {
+    const auto it = trackers_.find(static_cast<std::uint32_t>(id));
+    if (it == trackers_.end() || !it->second->warm()) continue;
+    ids.push_back(static_cast<std::uint32_t>(id));
+    shadows.push_back(it->second.get());
+  }
+  if (ids.size() < 2) {
+    if (!installed_.empty()) {
+      installed_.clear();
+      cache_.set_partition(installed_);
+    }
+    return;
+  }
+
+  const std::uint64_t budget = cache_.budget_bytes();
+  const std::uint64_t chunk = budget / opts_.steps;
+  if (chunk == 0) return;
+
+  // Start from an even split; the leftover of integer division goes to the
+  // first job (it is well under one chunk, the search granularity).
+  std::vector<std::uint64_t> alloc(ids.size(), budget / ids.size());
+  alloc[0] += budget - (budget / ids.size()) * ids.size();
+
+  // Greedy hill-climb: the best single chunk move per round, until none
+  // improves. Bounded by steps² rounds in theory; in practice a handful.
+  double current = objective(shadows, alloc);
+  for (std::size_t round = 0; round < opts_.steps * opts_.steps; ++round) {
+    double best = current;
+    std::size_t best_from = 0;
+    std::size_t best_to = 0;
+    for (std::size_t from = 0; from < alloc.size(); ++from) {
+      if (alloc[from] < chunk) continue;
+      alloc[from] -= chunk;
+      for (std::size_t to = 0; to < alloc.size(); ++to) {
+        if (to == from) continue;
+        alloc[to] += chunk;
+        const double cand = objective(shadows, alloc);
+        if (cand < best) {
+          best = cand;
+          best_from = from;
+          best_to = to;
+        }
+        alloc[to] -= chunk;
+      }
+      alloc[from] += chunk;
+    }
+    if (best >= current) break;
+    alloc[best_from] -= chunk;
+    alloc[best_to] += chunk;
+    current = best;
+  }
+
+  // Hysteresis: compare against what the installed split (or the shared
+  // cache, modelled as the same even start point) already achieves, and only
+  // re-partition on a clear win — quotas force evictions when applied.
+  std::vector<std::uint64_t> incumbent(ids.size(), budget / ids.size());
+  incumbent[0] += budget - (budget / ids.size()) * ids.size();
+  bool have_installed = !installed_.empty();
+  if (have_installed) {
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      const auto it =
+          std::find_if(installed_.begin(), installed_.end(),
+                       [&](const auto& p) { return p.first == ids[k]; });
+      if (it == installed_.end()) {
+        have_installed = false;  // membership changed; incumbent = even split
+        break;
+      }
+      incumbent[k] = it->second;
+    }
+  }
+  const double incumbent_cost = objective(shadows, incumbent);
+  if (current >= incumbent_cost * (1.0 - opts_.hysteresis)) return;
+  installed_.clear();
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    installed_.emplace_back(ids[k], alloc[k]);
+  }
+  cache_.set_partition(installed_);
+  ++applied_;
+}
+
+std::uint64_t CachePartitionManager::repartitions_applied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return applied_;
+}
+
+bool CachePartitionManager::partitioned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !installed_.empty();
+}
+
+void CachePartitionManager::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"budget_bytes\":" << cache_.budget_bytes()
+     << ",\"partitioned\":" << (installed_.empty() ? "false" : "true")
+     << ",\"repartitions_applied\":" << applied_ << ",\"partition\":[";
+  for (std::size_t k = 0; k < installed_.size(); ++k) {
+    if (k) os << ",";
+    os << "{\"job\":" << installed_[k].first
+       << ",\"quota_bytes\":" << installed_[k].second
+       << ",\"resident_bytes\":"
+       << cache_.owner_resident_bytes(installed_[k].first) << "}";
+  }
+  os << "],\"jobs\":[";
+  // Deterministic order for the route's consumers (tests scrape this).
+  std::vector<std::uint32_t> ids;
+  ids.reserve(trackers_.size());
+  for (const auto& [owner, tracker] : trackers_) ids.push_back(owner);
+  std::sort(ids.begin(), ids.end());
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    const ShadowMrc& t = *trackers_.at(ids[k]);
+    const ShadowMrc::Curve c = t.curve();
+    if (k) os << ",";
+    os << "{\"job\":" << ids[k] << ",\"warm\":" << (t.warm() ? "true" : "false")
+       << ",\"accesses\":" << c.accesses << ",\"sampled\":" << c.sampled
+       << ",\"unique_payload_bytes\":" << c.unique_payload_bytes
+       << ",\"knee_budget_bytes\":" << c.knee_budget_bytes << ",\"curve\":[";
+    for (std::size_t p = 0; p < c.points.size(); ++p) {
+      if (p) os << ",";
+      os << "{\"budget_bytes\":" << c.points[p].budget_bytes
+         << ",\"miss_ratio\":" << c.points[p].miss_ratio << "}";
+    }
+    os << "]}";
+  }
+  os << "]}";
+}
+
+void CachePartitionManager::publish(obs::Registry& registry) const {
+  std::uint64_t tracked = 0;
+  std::uint64_t warm = 0;
+  std::uint64_t accesses = 0;
+  std::uint64_t sampled = 0;
+  std::uint64_t applied = 0;
+  bool part = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tracked = trackers_.size();
+    for (const auto& [owner, tracker] : trackers_) {
+      if (tracker->warm()) ++warm;
+      accesses += tracker->accesses();
+      sampled += tracker->sampled();
+    }
+    applied = applied_;
+    part = !installed_.empty();
+  }
+  registry
+      .gauge("husg_mrc_tracked_jobs",
+             "Jobs with a live shadow miss-ratio tracker")
+      .set(static_cast<double>(tracked));
+  registry
+      .gauge("husg_mrc_warm_jobs",
+             "Trackers past the reuse warmup floor (eligible to partition)")
+      .set(static_cast<double>(warm));
+  registry
+      .gauge("husg_mrc_accesses",
+             "Block accesses seen by all shadow trackers")
+      .set(static_cast<double>(accesses));
+  registry
+      .gauge("husg_mrc_sampled_accesses",
+             "Accesses that entered a shadow LRU stack (SHARDS sample)")
+      .set(static_cast<double>(sampled));
+  registry
+      .gauge("husg_mrc_partitioned",
+             "1 while a per-job quota split is installed in the block cache")
+      .set(part ? 1 : 0);
+  registry
+      .gauge("husg_mrc_repartitions_applied",
+             "Quota splits installed since service start")
+      .set(static_cast<double>(applied));
+}
+
+}  // namespace husg

@@ -1,0 +1,99 @@
+// MRC-driven cache partitioning for the multi-job service (DESIGN.md §13).
+//
+// Each running job feeds a per-owner ShadowMrc through its CachedBlockReader
+// (Engine wires EngineOptions::shadow_mrc). On the scheduler's re-partition
+// tick this manager reads every warm job's live miss-ratio curve and searches
+// for the split of the shared BlockCache budget that minimizes the total
+// predicted disk traffic
+//
+//   Σ_j  miss_j(B_j) × saved_bytes_j      s.t.  Σ_j B_j = budget
+//
+// with a greedy hill-climb over fixed-size chunks (budget / `steps`): start
+// from an even split and repeatedly move one chunk from the donor whose curve
+// loses least to the receiver whose curve gains most, until no move improves
+// the objective. The result is installed through BlockCache::set_partition
+// only when it beats the currently installed split by more than `hysteresis`
+// (relative) — quotas force evictions, so flapping between near-equal splits
+// would cost real I/O. With fewer than two warm jobs the partition is cleared
+// and the cache falls back to the plain shared CLOCK sweep.
+//
+// Thread model: shadow_for / job_finished are called by pool workers,
+// repartition by the scheduler dispatcher, write_json by the admin plane; one
+// mutex guards the tracker map and the installed split. ShadowMrc::record
+// runs on engine workers *without* this mutex — trackers are internally
+// synchronized and stay alive until job_finished, which the service calls
+// only after the job's engine is destroyed.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/block_cache.hpp"
+#include "cache/shadow_mrc.hpp"
+#include "service/job.hpp"
+
+namespace husg {
+
+namespace obs {
+class Registry;
+}  // namespace obs
+
+class CachePartitionManager {
+ public:
+  struct Options {
+    /// Forwarded to each per-job tracker.
+    ShadowMrc::Options shadow;
+    /// Hill-climb granularity: quotas move in chunks of budget / steps.
+    std::size_t steps = 16;
+    /// Minimum relative improvement over the installed split before a new
+    /// partition is applied (re-partitioning evicts, so flapping is costly).
+    double hysteresis = 0.05;
+  };
+
+  /// `cache` must outlive the manager (GraphService owns both).
+  CachePartitionManager(BlockCache& cache, Options options);
+
+  /// The tracker for one job, created on first use. The pointer stays valid
+  /// until job_finished(owner); the caller must not use it after that.
+  ShadowMrc* shadow_for(std::uint32_t owner);
+
+  /// Drops the job's tracker and releases its quota. If fewer than two
+  /// partitioned owners remain the partition is cleared entirely.
+  void job_finished(std::uint32_t owner);
+
+  /// The scheduler tick: recompute the best split across `running` jobs and
+  /// install it if it clears the hysteresis gate. Safe to call with ids that
+  /// have no tracker yet (they are skipped until warm).
+  void repartition(const std::vector<JobId>& running);
+
+  /// Times a split was installed (not counting clears). Test hook.
+  std::uint64_t repartitions_applied() const;
+  bool partitioned() const;
+
+  /// JSON for the admin /mrc route: the installed partition plus every live
+  /// tracker's curve, knee, and counters.
+  void write_json(std::ostream& os) const;
+
+  /// husg_mrc_* gauges (aggregate — the text exposition has no labels).
+  void publish(obs::Registry& registry) const;
+
+ private:
+  /// Σ predicted miss bytes for `alloc` (same order as `owners`).
+  double objective(const std::vector<const ShadowMrc*>& owners,
+                   const std::vector<std::uint64_t>& alloc) const;
+
+  BlockCache& cache_;
+  Options opts_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<ShadowMrc>> trackers_;
+  /// The split currently installed in the cache (empty = not partitioned).
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> installed_;
+  std::uint64_t applied_ = 0;
+};
+
+}  // namespace husg

@@ -80,10 +80,21 @@ GraphService::GraphService(const DualBlockStore& store, ServiceOptions options)
   HUSG_CHECK(opts_.max_concurrent_jobs > 0,
              "max_concurrent_jobs must be positive");
   HUSG_CHECK(opts_.threads_per_job > 0, "threads_per_job must be positive");
+  if (opts_.cache_partition && cache_) {
+    CachePartitionManager::Options po;
+    po.shadow = opts_.shadow;
+    partition_ = std::make_unique<CachePartitionManager>(*cache_, po);
+  }
   SchedulerOptions sched;
   sched.max_concurrent = opts_.max_concurrent_jobs;
   sched.max_queue = opts_.max_queued_jobs;
   sched.memory_budget_bytes = opts_.memory_budget_bytes;
+  if (partition_) {
+    sched.repartition_interval_ms = opts_.repartition_interval_ms;
+    sched.repartition = [this](const std::vector<JobId>& running) {
+      partition_->repartition(running);
+    };
+  }
   scheduler_ = std::make_unique<JobScheduler>(
       pool_, sched,
       [this](const JobSpec& spec, JobId id, const CancellationToken& token) {
@@ -129,12 +140,26 @@ JobResult GraphService::execute(const JobSpec& spec, JobId id,
   eo.skip_filter = opts_.skip_filter;
   eo.shared_cache = cache_.get();
   eo.cache_owner = static_cast<std::uint32_t>(id);
+  eo.calibrate = opts_.calibrate;
+  eo.shadow_mrc =
+      partition_ ? partition_->shadow_for(static_cast<std::uint32_t>(id))
+                 : nullptr;
   eo.cancel = &token;
   eo.max_iterations = spec.max_iterations > 0 ? spec.max_iterations
                                               : default_iterations(spec.algo);
   HUSG_CHECK(spec.source < meta.num_vertices,
              "job source vertex " << spec.source << " out of range (|V| = "
                                   << meta.num_vertices << ")");
+  // The tracker must outlive the engine (whose reader records into it), so
+  // retire it on every exit path only after the engine is destroyed — the
+  // guard's destructor runs after `engine`'s even when run() throws.
+  struct ShadowRetirer {
+    CachePartitionManager* mgr;
+    std::uint32_t owner;
+    ~ShadowRetirer() {
+      if (mgr != nullptr) mgr->job_finished(owner);
+    }
+  } retirer{partition_.get(), static_cast<std::uint32_t>(id)};
   Engine engine(*store_, eo);
   JobResult res;
   switch (spec.algo) {

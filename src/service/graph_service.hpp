@@ -23,6 +23,8 @@
 
 #include "cache/block_cache.hpp"
 #include "core/engine.hpp"
+#include "obs/calibrate.hpp"
+#include "service/cache_partition.hpp"
 #include "service/scheduler.hpp"
 #include "storage/store.hpp"
 
@@ -47,6 +49,18 @@ struct ServiceOptions {
   bool skip_filter = false;
   bool file_backed_values = true;
   std::filesystem::path scratch_dir;  ///< default: the store directory
+  /// Forwarded to every job's engine (EngineOptions::calibrate): kApply
+  /// re-prices §3.4 decisions with the live DeviceCalibrator profile once it
+  /// is warm. kOff leaves all calibration machinery dormant.
+  obs::CalibrationMode calibrate = obs::CalibrationMode::kOff;
+  /// MRC-driven cache partitioning (DESIGN.md §13): give every job a shadow
+  /// miss-ratio tracker and let the scheduler tick re-split the shared cache
+  /// budget across running jobs. Requires cache_budget_bytes > 0.
+  bool cache_partition = false;
+  /// Scheduler re-partition tick; only used when cache_partition is on.
+  std::uint32_t repartition_interval_ms = 250;
+  /// Per-job shadow tracker configuration (cache_partition only).
+  ShadowMrc::Options shadow;
 };
 
 /// Working-set bytes one job reserves while running: value arrays (current +
@@ -91,6 +105,9 @@ class GraphService {
   const BlockCache* cache() const { return cache_.get(); }
   const DualBlockStore& store() const { return *store_; }
   const ServiceOptions& options() const { return opts_; }
+  /// Null unless cache_partition is on (and the cache exists).
+  const CachePartitionManager* partition() const { return partition_.get(); }
+  CachePartitionManager* partition() { return partition_.get(); }
 
  private:
   /// Scheduler Runner: builds an engine against the shared cache and runs
@@ -101,7 +118,9 @@ class GraphService {
   const DualBlockStore* store_;
   ServiceOptions opts_;
   std::unique_ptr<BlockCache> cache_;  ///< null when cache_budget_bytes == 0
-  ThreadPool pool_;                    ///< one-shot lane runs job bodies
+  /// Declared after cache_ (it holds a reference); null unless partitioning.
+  std::unique_ptr<CachePartitionManager> partition_;
+  ThreadPool pool_;  ///< one-shot lane runs job bodies
   std::unique_ptr<JobScheduler> scheduler_;
 };
 

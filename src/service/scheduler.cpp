@@ -101,6 +101,12 @@ void JobScheduler::start_locked(std::size_t index) {
 }
 
 void JobScheduler::dispatcher_loop() {
+  const bool tick_enabled =
+      opts_.repartition_interval_ms > 0 && opts_.repartition != nullptr;
+  const auto tick_interval =
+      std::chrono::milliseconds(opts_.repartition_interval_ms);
+  Clock::time_point next_tick =
+      tick_enabled ? Clock::now() + tick_interval : Clock::time_point::max();
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     // Start the head job while slots and memory allow. Memory shortfall
@@ -128,10 +134,28 @@ void JobScheduler::dispatcher_loop() {
         next_deadline = std::min(next_deadline, r.deadline);
       }
     }
-    if (next_deadline == Clock::time_point::max()) {
+    // Re-partition tick: the callback runs unlocked (it takes the cache and
+    // partition-manager locks), then the loop re-evaluates from the top —
+    // jobs may have finished while the lock was dropped.
+    if (tick_enabled && now >= next_tick) {
+      next_tick = Clock::now() + tick_interval;
+      if (!stopping_ && !running_.empty()) {
+        std::vector<JobId> ids;
+        ids.reserve(running_.size());
+        for (const auto& [id, r] : running_) ids.push_back(id);
+        lock.unlock();
+        opts_.repartition(ids);
+        lock.lock();
+        continue;
+      }
+    }
+    const Clock::time_point wake =
+        tick_enabled && !running_.empty() ? std::min(next_deadline, next_tick)
+                                          : next_deadline;
+    if (wake == Clock::time_point::max()) {
       cv_dispatch_.wait(lock);
     } else {
-      cv_dispatch_.wait_until(lock, next_deadline);
+      cv_dispatch_.wait_until(lock, wake);
     }
   }
 }

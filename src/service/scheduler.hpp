@@ -48,6 +48,13 @@ struct SchedulerOptions {
   std::size_t max_queue = 16;
   /// Total working-set bytes running jobs may reserve concurrently.
   std::uint64_t memory_budget_bytes = 1ull << 30;
+  /// MRC-driven cache partitioning tick (DESIGN.md §13): every interval the
+  /// dispatcher calls `repartition` with the ids of the currently running
+  /// jobs, outside the scheduler lock (the callback talks to the cache and
+  /// the partition manager, never back into the scheduler). 0 disables the
+  /// tick — the dispatcher then never wakes for it.
+  std::uint32_t repartition_interval_ms = 0;
+  std::function<void(const std::vector<JobId>&)> repartition;
 };
 
 class JobScheduler {

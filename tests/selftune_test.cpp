@@ -1,0 +1,515 @@
+// Tests for the self-tuning runtime (DESIGN.md §13): online device
+// calibration (obs/calibrate.hpp), shadow miss-ratio curves
+// (cache/shadow_mrc.hpp), per-owner cache quotas (cache/block_cache.hpp) and
+// the MRC-driven partition manager + scheduler tick that tie them together.
+//
+// The shadow-vs-offline agreement tests are tolerance-gated on purpose: the
+// shadow stack is LRU with spatial sampling while the offline replay drives
+// the real CLOCK cache with admission control, so the curves agree in shape
+// and scale, not sample-for-sample.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <thread>
+
+#include "husg/husg.hpp"
+#include "obs/calibrate.hpp"
+#include "obs/iotrace.hpp"
+#include "obs/iotrace_replay.hpp"
+#include "service/cache_partition.hpp"
+#include "test_util.hpp"
+
+namespace husg {
+namespace {
+
+using obs::CalibrationMode;
+using obs::DeviceCalibrator;
+using testing::ScratchDir;
+
+// --- online device calibration -------------------------------------------
+
+TEST(CalibrationTest, ModeParsing) {
+  CalibrationMode mode = CalibrationMode::kApply;
+  EXPECT_TRUE(obs::parse_calibration_mode("off", mode));
+  EXPECT_EQ(mode, CalibrationMode::kOff);
+  EXPECT_TRUE(obs::parse_calibration_mode("observe", mode));
+  EXPECT_EQ(mode, CalibrationMode::kObserve);
+  EXPECT_TRUE(obs::parse_calibration_mode("apply", mode));
+  EXPECT_EQ(mode, CalibrationMode::kApply);
+  EXPECT_FALSE(obs::parse_calibration_mode("on", mode));
+  EXPECT_FALSE(obs::parse_calibration_mode("", mode));
+}
+
+TEST(CalibrationTest, ColdCalibratorReturnsPresetUnchanged) {
+  DeviceCalibrator cal;
+  const DeviceProfile preset = DeviceProfile::sata_ssd();
+  EXPECT_FALSE(cal.warm());
+  const DeviceProfile out = cal.calibrated(preset);
+  EXPECT_DOUBLE_EQ(out.seq_read_bw, preset.seq_read_bw);
+  EXPECT_DOUBLE_EQ(out.rand_read_bw, preset.rand_read_bw);
+  EXPECT_DOUBLE_EQ(out.write_bw, preset.write_bw);
+  EXPECT_DOUBLE_EQ(out.seek_seconds, preset.seek_seconds);
+}
+
+TEST(CalibrationTest, EwmaConvergesToSyntheticDevice) {
+  DeviceCalibrator::Options o;
+  o.min_samples = 16;
+  o.ewma_alpha = 0.2;
+  DeviceCalibrator cal(o);
+  // Synthetic device: 100 MB/s streaming, 1 ms positioning per random op.
+  const double bw = 100e6;
+  const double seek = 1e-3;
+  const std::uint64_t seq_bytes = 1 << 20;
+  const std::uint64_t rand_bytes = 4096;
+  for (int k = 0; k < 200; ++k) {
+    cal.record_sequential(
+        seq_bytes,
+        static_cast<std::uint64_t>(1e9 * static_cast<double>(seq_bytes) / bw));
+    cal.record_random(
+        1, rand_bytes,
+        static_cast<std::uint64_t>(
+            1e9 * (seek + static_cast<double>(rand_bytes) / bw)));
+  }
+  EXPECT_TRUE(cal.warm());
+  const DeviceProfile out = cal.calibrated(DeviceProfile::hdd7200());
+  EXPECT_NEAR(out.seq_read_bw, bw, 0.05 * bw);
+  EXPECT_NEAR(out.rand_read_bw, bw, 0.05 * bw);
+  EXPECT_NEAR(out.seek_seconds, seek, 0.05 * seek);
+}
+
+TEST(CalibrationTest, OutlierClampDropsSpikes) {
+  DeviceCalibrator::Options o;
+  o.min_samples = 16;
+  o.outlier_factor = 32.0;
+  DeviceCalibrator cal(o);
+  for (int k = 0; k < 64; ++k) {
+    cal.record_random(1, 4096, 1'000'000);  // steady 1 ms ops
+  }
+  const double before = cal.snapshot().rand_latency_seconds;
+  cal.record_random(1, 4096, 1'000'000'000);  // one 1 s scheduling hiccup
+  const obs::CalibrationSnapshot s = cal.snapshot();
+  EXPECT_EQ(s.outliers, 1u);
+  EXPECT_DOUBLE_EQ(s.rand_latency_seconds, before);
+}
+
+TEST(CalibrationTest, WarmRequiresBothClassesPastFloor) {
+  DeviceCalibrator::Options o;
+  o.min_samples = 8;
+  DeviceCalibrator cal(o);
+  for (int k = 0; k < 16; ++k) cal.record_random(1, 4096, 1'000'000);
+  EXPECT_FALSE(cal.warm());  // sequential class still cold
+  for (int k = 0; k < 16; ++k) cal.record_sequential(1 << 20, 10'000'000);
+  EXPECT_TRUE(cal.warm());
+}
+
+TEST(CalibrationTest, WallAuditPrefersTruthfulProfile) {
+  // One recorded decision whose observed wall time is exactly what profile
+  // `truth` predicts: from_run_wall must score ~0 error under `truth` and a
+  // large error under a profile with 100x the positioning cost.
+  const DeviceProfile truth = DeviceProfile::sata_ssd();
+  DeviceProfile wrong = truth;
+  wrong.seek_seconds = truth.seek_seconds * 100;
+  wrong.seq_read_bw = truth.seq_read_bw / 50;
+
+  PredictionInputs in;
+  in.active_vertices = 100;
+  in.active_degree_sum = 1600;
+  in.num_vertices = 1000;
+  in.num_edges = 8000;
+  in.p = 4;
+  in.column_edge_bytes = 16000;
+  const IoCostPredictor pred(truth, PredictorFlavor::kDeviceExact, 0.05);
+
+  RunStats stats;
+  IterationStats it;
+  DecisionRecord d;
+  d.inputs = in;
+  d.prediction = pred.predict(in, /*use_alpha=*/false);
+  d.used_rop = true;
+  d.observed = true;
+  d.observed_wall_seconds = d.prediction.c_rop;
+  it.decisions.push_back(d);
+  stats.iterations.push_back(it);
+
+  const double err_truth =
+      obs::PredictorAudit::from_run_wall(stats, truth,
+                                         PredictorFlavor::kDeviceExact, 0.05)
+          .summarize()
+          .mean_rel_error;
+  const double err_wrong =
+      obs::PredictorAudit::from_run_wall(stats, wrong,
+                                         PredictorFlavor::kDeviceExact, 0.05)
+          .summarize()
+          .mean_rel_error;
+  EXPECT_LT(err_truth, 1e-9);
+  EXPECT_GT(err_wrong, 0.5);
+  EXPECT_LT(err_truth, err_wrong);
+}
+
+// --- shadow miss-ratio curves --------------------------------------------
+
+BlockKey key_of(std::uint32_t n) {
+  return BlockKey{BlockKind::kOutAdj, n, 0};
+}
+
+/// `rounds` cyclic sweeps over `blocks` same-sized blocks.
+void sweep(ShadowMrc& mrc, std::uint32_t blocks, int rounds,
+           std::uint64_t bytes) {
+  for (int r = 0; r < rounds; ++r) {
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+      mrc.record(key_of(b), bytes, bytes);
+    }
+  }
+}
+
+TEST(ShadowMrcTest, ExactDistancesAtFullSampling) {
+  ShadowMrc::Options o;
+  o.sample_rate = 1.0;
+  ShadowMrc mrc(o);
+  // 8 blocks x 100 B, 5 rounds: 8 cold accesses + 32 reuses, every reuse at
+  // byte distance 700 (the 7 other blocks touched in between).
+  sweep(mrc, 8, 5, 100);
+  EXPECT_EQ(mrc.accesses(), 40u);
+  EXPECT_EQ(mrc.sampled(), 40u);
+  // A budget far above the working set leaves only the compulsory misses...
+  EXPECT_NEAR(mrc.miss_ratio(1 << 20), 8.0 / 40.0, 1e-9);
+  // ...and a budget far below it misses everything.
+  EXPECT_NEAR(mrc.miss_ratio(64), 1.0, 1e-9);
+  ShadowMrc::Curve curve = mrc.curve();
+  ASSERT_FALSE(curve.points.empty());
+  EXPECT_NEAR(static_cast<double>(curve.unique_payload_bytes), 800.0, 1.0);
+  for (std::size_t k = 1; k < curve.points.size(); ++k) {
+    EXPECT_LE(curve.points[k].miss_ratio, curve.points[k - 1].miss_ratio + 1e-9)
+        << "shadow LRU curve must be monotone in budget";
+  }
+}
+
+TEST(ShadowMrcTest, PredictedMissBytesScalesWithSavedBytes) {
+  ShadowMrc::Options o;
+  o.sample_rate = 1.0;
+  ShadowMrc mrc(o);
+  sweep(mrc, 8, 5, 100);  // Σ saved = 4000
+  EXPECT_NEAR(mrc.predicted_miss_bytes(1 << 20), (8.0 / 40.0) * 4000.0, 1e-6);
+  EXPECT_NEAR(mrc.predicted_miss_bytes(64), 4000.0, 1e-6);
+}
+
+TEST(ShadowMrcTest, SamplingRateSweepStaysWithinBound) {
+  // The same deterministic skewed stream at 1.0 / 0.25 / 1/16 sampling:
+  // sampled estimates must track the exact curve within a coarse bound.
+  const double rates[] = {1.0, 0.25, 1.0 / 16.0};
+  const std::uint64_t bytes = 512;
+  const std::uint32_t keys = 512;
+  std::vector<std::unique_ptr<ShadowMrc>> trackers;
+  for (double rate : rates) {
+    ShadowMrc::Options o;
+    o.sample_rate = rate;
+    trackers.push_back(std::make_unique<ShadowMrc>(o));
+  }
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;  // deterministic LCG
+  for (int k = 0; k < 200000; ++k) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    // Skew: half the accesses hit the 32 hottest keys.
+    const std::uint32_t r = static_cast<std::uint32_t>(state >> 33);
+    const std::uint32_t id =
+        (r & 1) ? (r >> 1) % 32 : 32 + (r >> 1) % (keys - 32);
+    for (auto& t : trackers) t->record(key_of(id), bytes, bytes);
+  }
+  const std::uint64_t budgets[] = {8 * bytes, 32 * bytes, 128 * bytes,
+                                   static_cast<std::uint64_t>(keys) * bytes};
+  for (std::size_t t = 1; t < trackers.size(); ++t) {
+    double dev = 0;
+    for (std::uint64_t b : budgets) {
+      dev += std::abs(trackers[t]->miss_ratio(b) - trackers[0]->miss_ratio(b));
+    }
+    dev /= static_cast<double>(std::size(budgets));
+    EXPECT_LE(dev, 0.15) << "sample rate " << rates[t]
+                         << " drifted from the exact curve";
+  }
+}
+
+/// Hybrid PageRank over a cached engine with the iotrace armed and a shadow
+/// tracker attached to the same reader.
+struct ShadowedRun {
+  obs::TraceFile trace;
+  RunStats stats;
+};
+
+ShadowedRun shadowed_run(const DualBlockStore& store, const std::string& path,
+                         ShadowMrc& shadow, std::uint64_t budget) {
+  EngineOptions o;
+  o.threads = 1;  // deterministic access order, same as the replay-fidelity CI
+  o.file_backed_values = false;
+  o.max_iterations = 3;
+  o.cache_budget_bytes = budget;
+  o.cache_fill_rop = true;
+  o.shadow_mrc = &shadow;
+  obs::TraceRunInfo info;
+  info.p = store.meta().p();
+  info.budget_bytes = o.cache_budget_bytes;
+  info.max_block_fraction = o.cache_max_block_fraction;
+  info.fill_rop = o.cache_fill_rop;
+  info.num_vertices = store.meta().num_vertices;
+  info.num_edges = store.meta().num_edges;
+  obs::IoTrace::instance().start(path, info);
+  Engine e(store, o);
+  PageRankProgram p;
+  RunStats stats =
+      e.run(p, Frontier::all(store.meta(), store.out_degrees())).stats;
+  obs::IoTrace::instance().stop();
+  return ShadowedRun{obs::load_trace(path), stats};
+}
+
+TEST(ShadowMrcTest, LiveCurveTracksOfflineReplayCurve) {
+  ScratchDir scratch("shadow_vs_replay");
+  EdgeList graph = gen::rmat(/*scale=*/9, /*avg_degree=*/8.0, /*seed=*/7);
+  DualBlockStore::build(graph, scratch / "store", StoreOptions{4});
+  DualBlockStore store = DualBlockStore::open(scratch / "store");
+  std::uint64_t adj = 0;
+  for (std::uint32_t i = 0; i < store.meta().p(); ++i) {
+    for (std::uint32_t j = 0; j < store.meta().p(); ++j) {
+      adj += store.meta().out_block(i, j).adj_bytes +
+             store.meta().in_block(i, j).adj_bytes;
+    }
+  }
+  ShadowMrc::Options so;
+  so.sample_rate = 1.0;  // exact distances; sampling error is tested above
+  ShadowMrc shadow(so);
+  ShadowedRun run =
+      shadowed_run(store, (scratch / "trace.bin").string(), shadow, adj / 2);
+  ASSERT_GT(shadow.accesses(), 0u);
+  ASSERT_TRUE(shadow.warm());
+
+  obs::MissRatioCurve offline = obs::miss_ratio_curve(run.trace, 12);
+  ASSERT_FALSE(offline.points.empty());
+  double dev = 0;
+  for (const obs::MissRatioPoint& pt : offline.points) {
+    dev += std::abs(shadow.miss_ratio(pt.budget_bytes) -
+                    pt.counters.miss_ratio());
+  }
+  dev /= static_cast<double>(offline.points.size());
+  // LRU stack vs the real CLOCK+admission cache: shapes agree, samples
+  // differ. The gate catches gross divergence (a broken distance measure
+  // sits at ~0.5+ here), not modeling noise.
+  EXPECT_LE(dev, 0.15) << "live shadow curve diverged from husg_replay "
+                          "--curve on the same trace";
+  // The working-set estimates must land in the same ballpark too.
+  const double ws_ratio =
+      static_cast<double>(shadow.curve().unique_payload_bytes) /
+      static_cast<double>(offline.unique_payload_bytes);
+  EXPECT_GT(ws_ratio, 0.5);
+  EXPECT_LT(ws_ratio, 2.0);
+}
+
+// --- per-owner cache quotas ----------------------------------------------
+
+std::vector<char> payload(std::size_t size, char fill) {
+  return std::vector<char>(size, fill);
+}
+
+TEST(BlockCachePartitionTest, QuotaEvictsOwnersOwnColdestFirst) {
+  BlockCache cache({/*budget_bytes=*/1000, /*max_block_fraction=*/1.0});
+  cache.set_partition({{1, 300}, {2, 300}});
+  EXPECT_TRUE(cache.partitioned());
+  EXPECT_EQ(cache.owner_quota(1), 300u);
+  for (std::uint32_t k = 0; k < 5; ++k) {
+    cache.insert(BlockKey{BlockKind::kOutAdj, k, 1}, payload(100, 'a'), 100,
+                 /*owner=*/1);
+  }
+  // Owner 1 stays within its quota by evicting its own entries; the global
+  // budget (1000) never forced any of this.
+  EXPECT_LE(cache.owner_resident_bytes(1), 300u);
+  EXPECT_GE(cache.owner_resident_bytes(1), 200u);
+  EXPECT_EQ(cache.owner_resident_bytes(2), 0u);
+  // The newest key is resident, the oldest was evicted.
+  EXPECT_TRUE(cache.contains(BlockKey{BlockKind::kOutAdj, 4, 1}));
+  EXPECT_FALSE(cache.contains(BlockKey{BlockKind::kOutAdj, 0, 1}));
+}
+
+TEST(BlockCachePartitionTest, TighterQuotaTrimsImmediately) {
+  BlockCache cache({1000, 1.0});
+  for (std::uint32_t k = 0; k < 5; ++k) {
+    cache.insert(BlockKey{BlockKind::kOutAdj, k, 2}, payload(100, 'b'), 100,
+                 /*owner=*/7);
+  }
+  EXPECT_EQ(cache.owner_resident_bytes(7), 500u);
+  cache.set_partition({{7, 200}});
+  EXPECT_LE(cache.owner_resident_bytes(7), 200u);
+  // Clearing the partition restores the unpartitioned cache behaviour.
+  cache.set_partition({});
+  EXPECT_FALSE(cache.partitioned());
+  EXPECT_EQ(cache.owner_quota(7), 0u);
+  for (std::uint32_t k = 10; k < 15; ++k) {
+    cache.insert(BlockKey{BlockKind::kOutAdj, k, 2}, payload(100, 'b'), 100,
+                 /*owner=*/7);
+  }
+  EXPECT_GT(cache.owner_resident_bytes(7), 200u);
+}
+
+TEST(BlockCachePartitionTest, UnquotedOwnerOnlySeesGlobalBudget) {
+  BlockCache cache({1000, 1.0});
+  cache.set_partition({{1, 200}});
+  for (std::uint32_t k = 0; k < 8; ++k) {
+    cache.insert(BlockKey{BlockKind::kInAdj, k, 0}, payload(100, 'c'), 100,
+                 /*owner=*/2);
+  }
+  EXPECT_EQ(cache.owner_resident_bytes(2), 800u);
+}
+
+// --- MRC-driven partition manager ----------------------------------------
+
+CachePartitionManager::Options exact_manager_options() {
+  CachePartitionManager::Options o;
+  o.shadow.sample_rate = 1.0;
+  return o;
+}
+
+TEST(CachePartitionManagerTest, SkewedJobsGetAnUnevenSplit) {
+  BlockCache cache({/*budget_bytes=*/1000, /*max_block_fraction=*/1.0});
+  CachePartitionManager mgr(cache, exact_manager_options());
+  ShadowMrc* a = mgr.shadow_for(1);
+  ShadowMrc* b = mgr.shadow_for(2);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(mgr.shadow_for(1), a) << "same owner must get the same tracker";
+  // Job 1 cycles 7 blocks (600 B reuse distance), job 2 cycles 9 blocks
+  // (800 B): a 500/500 even split satisfies neither, while ~700/300 gives
+  // job 1 a fully-hitting cache. The climb must find and install that.
+  sweep(*a, 7, 50, 100);
+  for (int r = 0; r < 50; ++r) {
+    for (std::uint32_t k = 0; k < 9; ++k) {
+      b->record(BlockKey{BlockKind::kInAdj, k, 9}, 100, 100);
+    }
+  }
+  ASSERT_TRUE(a->warm());
+  ASSERT_TRUE(b->warm());
+  mgr.repartition({1, 2});
+  EXPECT_EQ(mgr.repartitions_applied(), 1u);
+  EXPECT_TRUE(mgr.partitioned());
+  EXPECT_TRUE(cache.partitioned());
+  const std::uint64_t qa = cache.owner_quota(1);
+  const std::uint64_t qb = cache.owner_quota(2);
+  EXPECT_EQ(qa + qb, 1000u);
+  EXPECT_GT(qa, qb) << "the job whose working set fits must get the bytes";
+}
+
+TEST(CachePartitionManagerTest, ColdTrackersNeverPartition) {
+  BlockCache cache({1000, 1.0});
+  CachePartitionManager mgr(cache, exact_manager_options());
+  mgr.shadow_for(1);
+  mgr.shadow_for(2);
+  mgr.repartition({1, 2});
+  EXPECT_EQ(mgr.repartitions_applied(), 0u);
+  EXPECT_FALSE(cache.partitioned());
+}
+
+TEST(CachePartitionManagerTest, JobFinishRetiresTrackerAndSplit) {
+  BlockCache cache({1000, 1.0});
+  CachePartitionManager mgr(cache, exact_manager_options());
+  sweep(*mgr.shadow_for(1), 7, 50, 100);
+  for (int r = 0; r < 50; ++r) {
+    for (std::uint32_t k = 0; k < 9; ++k) {
+      mgr.shadow_for(2)->record(BlockKey{BlockKind::kInAdj, k, 9}, 100, 100);
+    }
+  }
+  mgr.repartition({1, 2});
+  ASSERT_TRUE(cache.partitioned());
+  mgr.job_finished(1);
+  // One job left: a single-owner partition is pointless, so it is dropped.
+  EXPECT_FALSE(cache.partitioned());
+  EXPECT_EQ(cache.owner_quota(2), 0u);
+  mgr.job_finished(2);
+  EXPECT_FALSE(cache.partitioned());
+}
+
+TEST(CachePartitionManagerTest, WriteJsonHasCurvesAndPartition) {
+  BlockCache cache({1000, 1.0});
+  CachePartitionManager mgr(cache, exact_manager_options());
+  sweep(*mgr.shadow_for(3), 4, 20, 100);
+  std::ostringstream os;
+  mgr.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"budget_bytes\""), std::string::npos);
+  EXPECT_NE(json.find("\"partition\""), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\""), std::string::npos);
+  EXPECT_NE(json.find("\"curve\""), std::string::npos);
+  EXPECT_NE(json.find("\"job\":3"), std::string::npos);
+}
+
+// TSan target (ci.yml builds this file with -fsanitize=thread): engine-side
+// record() storms racing the scheduler tick's repartition/set_partition and
+// the admin plane's write_json, all on one cache.
+TEST(CachePartitionManagerTest, ConcurrentRecordRepartitionAndScrape) {
+  BlockCache cache({/*budget_bytes=*/64 * 1024, /*max_block_fraction=*/1.0});
+  CachePartitionManager mgr(cache, exact_manager_options());
+  constexpr int kJobs = 4;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (std::uint32_t job = 1; job <= kJobs; ++job) {
+    workers.emplace_back([&, job] {
+      ShadowMrc* shadow = mgr.shadow_for(job);
+      for (int k = 0; k < 20000; ++k) {
+        const std::uint32_t blk = static_cast<std::uint32_t>(k) % (8 + job);
+        shadow->record(BlockKey{BlockKind::kOutAdj, blk, job}, 512, 512);
+        cache.insert(BlockKey{BlockKind::kOutAdj, blk, job},
+                     payload(512, 'x'), 512, job);
+        cache.find(BlockKey{BlockKind::kOutAdj, blk, job}, job);
+      }
+    });
+  }
+  std::thread ticker([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      mgr.repartition({1, 2, 3, 4});
+      std::ostringstream os;
+      mgr.write_json(os);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (std::thread& w : workers) w.join();
+  stop.store(true, std::memory_order_release);
+  ticker.join();
+  for (std::uint32_t job = 1; job <= kJobs; ++job) mgr.job_finished(job);
+  EXPECT_FALSE(cache.partitioned());
+}
+
+// --- scheduler re-partition tick -----------------------------------------
+
+TEST(JobSchedulerTest, RepartitionTickFiresWhileJobsRun) {
+  ThreadPool pool(3);
+  std::atomic<int> ticks{0};
+  std::atomic<std::size_t> seen_running{0};
+  SchedulerOptions o;
+  o.max_concurrent = 2;
+  o.max_queue = 8;
+  o.memory_budget_bytes = 1 << 20;
+  o.repartition_interval_ms = 5;
+  o.repartition = [&](const std::vector<JobId>& running) {
+    ticks.fetch_add(1);
+    seen_running.store(running.size());
+  };
+  JobScheduler sched(pool, o,
+                     [&](const JobSpec&, JobId, const CancellationToken&) {
+                       std::this_thread::sleep_for(
+                           std::chrono::milliseconds(150));
+                       JobResult res;
+                       return res;
+                     });
+  JobSpec spec;
+  spec.name = "tick";
+  JobTicket t1 = sched.submit(spec, 100);
+  JobTicket t2 = sched.submit(spec, 100);
+  ASSERT_TRUE(t1.accepted);
+  ASSERT_TRUE(t2.accepted);
+  t1.result.get();
+  t2.result.get();
+  sched.wait_idle();
+  EXPECT_GE(ticks.load(), 1) << "tick never fired during a 150 ms job";
+  EXPECT_GE(seen_running.load(), 1u);
+  const int after = ticks.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(ticks.load(), after) << "tick must stop when nothing runs";
+}
+
+}  // namespace
+}  // namespace husg

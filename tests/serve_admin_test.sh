@@ -1,8 +1,9 @@
 #!/bin/sh
 # End-to-end test of the admin HTTP plane on a live `husg_cli serve` run:
 # start serve with --admin-port 0 (ephemeral), scrape /healthz /readyz
-# /jobs /heatmap /metrics while a job is in flight, flip the log level over
-# POST /loglevel, and validate the /metrics output with check_prom.py.
+# /jobs /heatmap /calibration /mrc /metrics while a job is in flight, flip
+# the log level over POST /loglevel, and validate the /metrics output
+# (including the husg_calibration_*/husg_mrc_* families) with check_prom.py.
 # Invoked by ctest with the CLI binary as $1 and husg_replay as $2.
 set -eu
 
@@ -54,6 +55,7 @@ EOF
 # so the /jobs scrape below is race-free.
 "$CLI" serve --store "$WORK/store" --jobs "$WORK/jobs.json" \
   --max-concurrent 1 --admin-port 0 --io-timing \
+  --calibrate observe --cache-partition \
   --heatmap-out "$WORK/heatmap.json" \
   --iotrace-out "$WORK/serve_trace.bin" \
   > "$WORK/serve.log" 2>&1 &
@@ -96,6 +98,32 @@ if command -v python3 > /dev/null 2>&1; then
     || fail "/heatmap not valid JSON"
 fi
 
+# Live /calibration scrape: --calibrate observe arms the device calibrator,
+# so the route must report the observe mode and its sample counters.
+fetch GET "$PORT" /calibration > "$WORK/calibration.live" \
+  || fail "GET /calibration"
+grep -q '"mode":"observe"' "$WORK/calibration.live" \
+  || fail "/calibration not in observe mode"
+grep -q '"samples":{"random":' "$WORK/calibration.live" \
+  || fail "/calibration missing sample counters"
+grep -q '"calibrated"' "$WORK/calibration.live" \
+  || fail "/calibration missing calibrated profile"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$WORK/calibration.live" > /dev/null \
+    || fail "/calibration not valid JSON"
+fi
+
+# Live /mrc scrape: --cache-partition installs the hook; the running job's
+# shadow tracker must be visible.
+fetch GET "$PORT" /mrc > "$WORK/mrc.live" || fail "GET /mrc"
+grep -q '"budget_bytes"' "$WORK/mrc.live" || fail "/mrc missing budget"
+grep -q '"jobs"' "$WORK/mrc.live" || fail "/mrc missing jobs array"
+grep -q '"job":' "$WORK/mrc.live" || fail "/mrc shows no tracked job"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$WORK/mrc.live" > /dev/null \
+    || fail "/mrc not valid JSON"
+fi
+
 # Live /metrics scrape while the job runs: service gauges + valid exposition.
 fetch GET "$PORT" /metrics > "$WORK/metrics.live"
 grep -q '^husg_service_jobs_running 1$' "$WORK/metrics.live" \
@@ -104,8 +132,12 @@ grep -q '^husg_service_jobs_pending 1$' "$WORK/metrics.live" \
   || fail "live metrics missing pending-jobs gauge"
 grep -q '^husg_service_reserved_bytes' "$WORK/metrics.live" \
   || fail "live metrics missing reserved-bytes gauge"
+grep -q '^husg_mrc_tracked_jobs' "$WORK/metrics.live" \
+  || fail "live metrics missing shadow-MRC gauges"
 if command -v python3 > /dev/null 2>&1; then
-  python3 "$(dirname "$0")/../tools/check_prom.py" "$WORK/metrics.live" \
+  python3 "$(dirname "$0")/../tools/check_prom.py" \
+    --require-family husg_calibration --require-family husg_mrc \
+    "$WORK/metrics.live" \
     > /dev/null || fail "live metrics not valid Prometheus exposition"
 fi
 

@@ -40,6 +40,11 @@ EXACT_FIELDS = [
 FLOAT_FIELDS = [
     "read_bytes_per_edge",
     "store_adj_bytes_per_edge",
+    # Deterministic derivatives of exactly-gated counters (hits/lookups and
+    # the predictor audit's modeled costs); wall-derived audit fields
+    # (wall_audit_*) are deliberately NOT gated.
+    "cache_hit_rate",
+    "predictor_mean_rel_error",
 ]
 MODEL_FIELD = "modeled_seconds"
 WALL_FIELD = "wall_seconds"

@@ -13,7 +13,13 @@ Checks, per the text format spec:
   * no family declares # HELP or # TYPE twice, and no two samples share
     the same name and label set.
 
-Usage: check_prom.py FILE    (exit 0 = valid, 1 = malformed)
+Optionally, `--require-family PREFIX` (repeatable) additionally demands that
+at least one declared family starts with PREFIX — CI uses this to assert the
+husg_calibration_* / husg_mrc_* families really made it into a serve-mode
+scrape, not just that the exposition parses.
+
+Usage: check_prom.py [--require-family PREFIX]... FILE
+       (exit 0 = valid, 1 = malformed or missing a required family)
 """
 import re
 import sys
@@ -32,7 +38,7 @@ def fail(lineno, msg):
     sys.exit(1)
 
 
-def main(path):
+def main(path, require_families=()):
     helps = {}
     types = {}
     samples = []  # (lineno, name, labels, value)
@@ -160,13 +166,23 @@ def main(path):
         if float(counts[0]) != float(buckets[-1][2]):
             fail(0, f"{family}_count != le=\"+Inf\" bucket count")
 
+    for prefix in require_families:
+        if not any(family.startswith(prefix) for family in types):
+            fail(0, f"no metric family starts with required prefix "
+                    f"{prefix!r}")
+
     print(f"check_prom: {path}: OK "
           f"({len(samples)} samples, {len(types)} families)")
     return 0
 
 
 if __name__ == "__main__":
-    if len(sys.argv) != 2:
+    argv = sys.argv[1:]
+    required = []
+    while len(argv) >= 2 and argv[0] == "--require-family":
+        required.append(argv[1])
+        argv = argv[2:]
+    if len(argv) != 1 or argv[0].startswith("--"):
         print(__doc__.strip(), file=sys.stderr)
         sys.exit(2)
-    sys.exit(main(sys.argv[1]))
+    sys.exit(main(argv[0], required))

@@ -28,6 +28,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <sstream>
 
 #include "husg/husg.hpp"
 #include "io/backend/io_backend.hpp"
@@ -61,7 +62,7 @@ int usage() {
       "           [--trace-out FILE] [--metrics-out FILE]\n"
       "           [--heatmap-out FILE] [--iotrace-out FILE] [--io-timing]\n"
       "           [--io-backend sync|uring|auto] [--queue-depth N]\n"
-      "           [--direct] [--admin-port N]\n"
+      "           [--direct] [--admin-port N] [--calibrate off|observe|apply]\n"
       "  serve    --store DIR --jobs FILE [--max-concurrent N] [--queue N]\n"
       "           [--threads-per-job T] [--memory-budget BYTES]\n"
       "           [--cache-budget BYTES] [--cache-fraction F]\n"
@@ -71,7 +72,8 @@ int usage() {
       "           [--trace-out FILE] [--metrics-out FILE]\n"
       "           [--heatmap-out FILE] [--iotrace-out FILE] [--io-timing]\n"
       "           [--io-backend sync|uring|auto] [--queue-depth N]\n"
-      "           [--direct] [--admin-port N]\n"
+      "           [--direct] [--admin-port N] [--calibrate off|observe|apply]\n"
+      "           [--cache-partition] [--repartition-ms N]\n"
       "--io-backend selects the read path: sync (pread), uring (batched\n"
       "io_uring rings; errors out if the kernel denies it) or auto (uring\n"
       "when available, else sync — the default); --queue-depth bounds reads\n"
@@ -85,8 +87,14 @@ int usage() {
       "JSON); --iotrace-out records the block I/O access stream for offline\n"
       "replay with husg_replay (miss-ratio curves, predictor what-ifs);\n"
       "--admin-port starts the admin HTTP server on 127.0.0.1 (0 =\n"
-      "ephemeral; GET /healthz /readyz /metrics /jobs /heatmap /trace?ms=N,\n"
-      "POST /loglevel).\n");
+      "ephemeral; GET /healthz /readyz /metrics /jobs /heatmap /calibration\n"
+      "/mrc /trace?ms=N, POST /loglevel).\n"
+      "--calibrate measures the device online (EWMA over sampled I/O\n"
+      "latencies): observe only reports the preset-vs-measured delta,\n"
+      "apply re-prices §3.4 ROP/COP decisions with the measured profile\n"
+      "once it is warm; --cache-partition (serve) re-splits the shared\n"
+      "cache budget across running jobs from live shadow miss-ratio\n"
+      "curves every --repartition-ms (default 250).\n");
   return 2;
 }
 
@@ -179,7 +187,46 @@ int validate_engine_flags(const Options& opts) {
   if (!codec_name.empty() && !parse_block_codec(codec_name, &codec)) {
     return invalid_option("--block-codec", codec_name, "none|delta-varint");
   }
+  std::string calibrate = opts.get("calibrate", "off");
+  obs::CalibrationMode cal_mode;
+  if (!obs::parse_calibration_mode(calibrate, cal_mode)) {
+    return invalid_option("--calibrate", calibrate, "off|observe|apply");
+  }
   return 0;
+}
+
+obs::CalibrationMode parse_calibrate(const Options& opts) {
+  obs::CalibrationMode mode = obs::CalibrationMode::kOff;
+  obs::parse_calibration_mode(opts.get("calibrate", "off"), mode);
+  return mode;
+}
+
+/// Publishes the preset-vs-calibrated audit split: the same run's decisions
+/// re-priced under both profiles against observed wall time. Prints the
+/// summary so `--calibrate observe` reports the delta without a scrape.
+void report_calibration_split(const RunStats& stats, const EngineOptions& eo,
+                              bool to_registry) {
+  const obs::DeviceCalibrator& cal = obs::DeviceCalibrator::instance();
+  const obs::PredictorAudit preset = obs::PredictorAudit::from_run_wall(
+      stats, eo.device, eo.predictor, eo.alpha);
+  const obs::PredictorAudit calibrated = obs::PredictorAudit::from_run_wall(
+      stats, cal.calibrated(eo.device), eo.predictor, eo.alpha);
+  const obs::AuditSummary sp = preset.summarize();
+  const obs::AuditSummary sc = calibrated.summarize();
+  std::printf("calibration: %s, %llu rand + %llu seq samples; wall-audit "
+              "mean rel-error preset=%.3f calibrated=%.3f (%zu decisions)\n",
+              cal.warm() ? "warm" : "cold",
+              static_cast<unsigned long long>(cal.snapshot().rand_samples),
+              static_cast<unsigned long long>(cal.snapshot().seq_samples),
+              sp.mean_rel_error, sc.mean_rel_error, sp.evaluated);
+  if (!to_registry) return;
+  obs::Registry& reg = obs::Registry::global();
+  reg.gauge("husg_calibration_audit_preset_rel_error",
+            "Mean wall-audit relative error under the preset device profile")
+      .set(sp.mean_rel_error);
+  reg.gauge("husg_calibration_audit_calibrated_rel_error",
+            "Mean wall-audit relative error under the calibrated profile")
+      .set(sc.mean_rel_error);
 }
 
 /// Validates the format expectations `run` and `serve` may assert against
@@ -562,6 +609,10 @@ int cmd_run(const Options& opts) {
   eo.cache_fill_rop = !opts.get_bool("no-cache-fill-rop", false);
   eo.skip_filter = opts.get_bool("skip-filter", false);
   eo.predictor = parse_predictor(opts);
+  eo.calibrate = parse_calibrate(opts);
+  if (eo.calibrate != obs::CalibrationMode::kOff) {
+    obs::DeviceCalibrator::instance().arm(eo.device, eo.calibrate);
+  }
   int iters = static_cast<int>(opts.get_int("iters", 0));
   bool trace = opts.get_bool("trace", false);
   VertexId source = static_cast<VertexId>(opts.get_int("source", 0));
@@ -649,14 +700,23 @@ int cmd_run(const Options& opts) {
     std::fprintf(stderr, "unknown --algo '%s'\n", algo.c_str());
     return 2;
   }
+  if (eo.calibrate != obs::CalibrationMode::kOff) {
+    report_calibration_split(last_stats, eo, telemetry.metrics_enabled());
+  }
   if (telemetry.metrics_enabled()) {
     obs::Registry& reg = obs::Registry::global();
     last_stats.publish(reg);
     last_stats.cache.publish(reg);
     eo.device.publish(reg);
     obs::PredictorAudit::from_run(last_stats, eo.device).publish(reg);
+    if (eo.calibrate != obs::CalibrationMode::kOff) {
+      obs::DeviceCalibrator::instance().publish(reg);
+    }
   }
   telemetry.finish();
+  if (eo.calibrate != obs::CalibrationMode::kOff) {
+    obs::DeviceCalibrator::instance().disarm();
+  }
   return 0;
 }
 
@@ -690,12 +750,14 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-/// Per-job + service-level JSON report of a `serve` batch.
+/// Per-job + service-level JSON report of a `serve` batch. With calibration
+/// or partitioning enabled the report grows a "calibration" / "mrc" object
+/// (absent otherwise, keeping default-run reports unchanged).
 void write_serve_report(const std::string& path, const std::string& store_dir,
                         const std::vector<JobSpec>& jobs,
                         const std::vector<JobTicket>& tickets,
                         const std::vector<JobResult>& results,
-                        const ServiceStats& st) {
+                        const ServiceStats& st, const GraphService& service) {
   std::ofstream f(path);
   f << "{\n  \"store\": \"" << json_escape(store_dir) << "\",\n"
     << "  \"jobs\": [\n";
@@ -744,7 +806,16 @@ void write_serve_report(const std::string& path, const std::string& store_dir,
     << ", \"max_seconds\": " << st.job_wall.max_seconds
     << ", \"p50_seconds\": " << st.job_wall.p50_seconds
     << ", \"p95_seconds\": " << st.job_wall.p95_seconds
-    << ", \"p99_seconds\": " << st.job_wall.p99_seconds << "}}\n}\n";
+    << ", \"p99_seconds\": " << st.job_wall.p99_seconds << "}}";
+  if (service.options().calibrate != obs::CalibrationMode::kOff) {
+    f << ",\n  \"calibration\": ";
+    obs::DeviceCalibrator::instance().write_json(f);
+  }
+  if (service.partition() != nullptr) {
+    f << ",\n  \"mrc\": ";
+    service.partition()->write_json(f);
+  }
+  f << "\n}\n";
 }
 
 int cmd_serve(const Options& opts) {
@@ -766,6 +837,10 @@ int cmd_serve(const Options& opts) {
   if (opts.get_int("memory-budget", 0) < 0) {
     return invalid_option("--memory-budget", opts.get("memory-budget", ""),
                           "a non-negative byte count");
+  }
+  if (opts.get_int("repartition-ms", 250) <= 0) {
+    return invalid_option("--repartition-ms", opts.get("repartition-ms", ""),
+                          "a positive interval in milliseconds");
   }
   if (int rc = validate_engine_flags(opts)) return rc;
 
@@ -797,6 +872,13 @@ int cmd_serve(const Options& opts) {
   so.alpha = opts.get_double("alpha", 0.05);
   so.predictor = parse_predictor(opts);
   so.skip_filter = opts.get_bool("skip-filter", false);
+  so.calibrate = parse_calibrate(opts);
+  so.cache_partition = opts.get_bool("cache-partition", false);
+  so.repartition_interval_ms =
+      static_cast<std::uint32_t>(opts.get_int("repartition-ms", 250));
+  if (so.calibrate != obs::CalibrationMode::kOff) {
+    obs::DeviceCalibrator::instance().arm(so.device, so.calibrate);
+  }
 
   Telemetry telemetry(opts);
   telemetry.arm_heatmap(store.meta().p());
@@ -819,6 +901,13 @@ int cmd_serve(const Options& opts) {
   if (admin) {
     admin->set_jobs(
         [&service] { return jobs_view_json(service.snapshot_jobs()); });
+    if (service.partition() != nullptr) {
+      admin->set_mrc([&service] {
+        std::ostringstream os;
+        service.partition()->write_json(os);
+        return os.str();
+      });
+    }
     // Point-in-time gauges refreshed per scrape. Gauges only: the
     // ServiceStats publish() counters accumulate per call and belong to the
     // end-of-batch export below.
@@ -838,6 +927,11 @@ int cmd_serve(const Options& opts) {
         reg.gauge("husg_cache_resident_bytes", "Bytes resident in the cache")
             .set(static_cast<double>(service.cache()->resident_bytes()));
       }
+      // Both publishers set gauges only (the pre-scrape contract).
+      if (service.options().calibrate != obs::CalibrationMode::kOff) {
+        obs::DeviceCalibrator::instance().publish(reg);
+      }
+      if (service.partition() != nullptr) service.partition()->publish(reg);
     });
     admin->start();
     announce_admin(*admin);
@@ -890,7 +984,7 @@ int cmd_serve(const Options& opts) {
 
   std::string report = opts.get("report", "");
   if (!report.empty()) {
-    write_serve_report(report, store_dir, jobs, tickets, results, st);
+    write_serve_report(report, store_dir, jobs, tickets, results, st, service);
     std::printf("wrote %s\n", report.c_str());
   }
   if (telemetry.metrics_enabled()) {
@@ -905,8 +999,15 @@ int cmd_serve(const Options& opts) {
       if (r.status != JobStatus::kCompleted) continue;
       obs::PredictorAudit::from_run(r.stats, so.device).publish(reg);
     }
+    if (so.calibrate != obs::CalibrationMode::kOff) {
+      obs::DeviceCalibrator::instance().publish(reg);
+    }
+    if (service.partition() != nullptr) service.partition()->publish(reg);
   }
   telemetry.finish();
+  if (so.calibrate != obs::CalibrationMode::kOff) {
+    obs::DeviceCalibrator::instance().disarm();
+  }
   return all_completed ? 0 : 1;
 }
 
