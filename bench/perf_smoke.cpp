@@ -85,6 +85,13 @@ int main(int argc, char** argv) {
       graph, std::filesystem::path(opt.data_dir) / "store",
       StoreOptions{opt.partitions});
 
+  // Observability guard: the whole bench runs with the flight recorder armed
+  // at its default budget. Recording is side-effect-free on engine traffic,
+  // so every pinned counter in the JSON report must stay byte-identical to
+  // the recorder-off baseline — bench_regress.py diffs the same
+  // bench/baselines/perf_smoke.json either way.
+  obs::FlightRecorder::instance().start();
+
   JsonReport report("perf_smoke");
   Table t({"run", "iters", "modeled s", "I/O MB", "rand ops", "hit rate"});
   // Heatmap totals ride along in the JSON report so bench_regress.py gates
@@ -219,5 +226,13 @@ int main(int argc, char** argv) {
 
   t.print();
   report.write(opt.out_dir);
+  // Advisory only (not part of the gated report): confirm the recorder was
+  // live for the runs above.
+  obs::FlightRecorder& flight = obs::FlightRecorder::instance();
+  std::printf("flight: %llu events recorded, %llu dropped"
+              " (report unaffected)\n",
+              static_cast<unsigned long long>(flight.recorded()),
+              static_cast<unsigned long long>(flight.dropped()));
+  flight.stop();
   return 0;
 }

@@ -212,6 +212,50 @@ std::vector<DecisionRecord> Engine::decide(const Frontier& frontier,
   return out;
 }
 
+void Engine::note_iteration(const IterationStats& istats,
+                            std::uint64_t edges_total,
+                            std::uint64_t io_total) const {
+  // Predictor health: a decision "missed" when the chosen side's predicted
+  // cost is off the observed interval wall by more than 2x either way. The
+  // alpha shortcut skips the formula entirely, so it never counts, and
+  // sub-millisecond intervals are noise, not evidence.
+  if (opts_.heartbeat != nullptr) {
+    for (const DecisionRecord& dec : istats.decisions) {
+      if (!dec.observed || dec.prediction.alpha_shortcut) continue;
+      const double predicted =
+          dec.used_rop ? dec.prediction.c_rop : dec.prediction.c_cop;
+      const double observed = dec.observed_wall_seconds;
+      if (predicted <= 0 || observed < 1e-3) continue;
+      const double ratio = predicted / observed;
+      opts_.heartbeat->note_prediction(ratio > 2.0 || ratio < 0.5);
+    }
+  }
+  if (!obs::flight_enabled()) return;
+  obs::FlightRecorder& recorder = obs::FlightRecorder::instance();
+  obs::FlightEvent progress;
+  progress.type = obs::FlightEventType::kProgress;
+  progress.job = opts_.cache_owner;
+  progress.a = static_cast<std::uint32_t>(istats.iteration);
+  progress.v1 = istats.active_vertices;
+  progress.v2 = edges_total;
+  progress.v3 = io_total;
+  recorder.record(progress);
+  for (const DecisionRecord& dec : istats.decisions) {
+    if (!dec.observed) continue;
+    obs::FlightEvent e;
+    e.type = obs::FlightEventType::kDecision;
+    e.flag = dec.used_rop ? 1 : 0;
+    e.job = opts_.cache_owner;
+    e.a = static_cast<std::uint32_t>(istats.iteration);
+    e.v1 = dec.interval;
+    const double predicted =
+        dec.used_rop ? dec.prediction.c_rop : dec.prediction.c_cop;
+    e.v2 = static_cast<std::uint64_t>(predicted * 1e6);
+    e.v3 = static_cast<std::uint64_t>(dec.observed_wall_seconds * 1e6);
+    recorder.record(e);
+  }
+}
+
 std::filesystem::path Engine::scratch_file() const {
   static std::atomic<std::uint64_t> counter{0};
   std::filesystem::path dir =

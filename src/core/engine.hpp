@@ -48,6 +48,7 @@
 #include "core/value_store.hpp"
 #include "io/device.hpp"
 #include "obs/calibrate.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
 #include "storage/store.hpp"
 #include "util/logging.hpp"
@@ -134,6 +135,11 @@ struct EngineOptions {
   /// manager) and must outlive the run. Null (default) = no shadow
   /// accounting, zero overhead.
   ShadowMrc* shadow_mrc = nullptr;
+  /// Per-job heartbeat for the anomaly watchdog (obs/flight_recorder.hpp):
+  /// touched between intervals, ticked with cumulative progress at the end
+  /// of every iteration. Owned by the caller (the scheduler keeps it alive
+  /// past the run). Null (default) = no heartbeat, zero overhead.
+  obs::ProgressBeat* heartbeat = nullptr;
 };
 
 template <class V>
@@ -180,6 +186,17 @@ class Engine {
   void check_cancelled() const {
     if (opts_.cancel != nullptr) opts_.cancel->check();
   }
+
+  /// Watchdog keep-alive between intervals (no-op without a heartbeat).
+  void heartbeat_touch() const {
+    if (opts_.heartbeat != nullptr) opts_.heartbeat->touch();
+  }
+
+  /// End-of-iteration observability (outlined: flight-recorder progress +
+  /// decision events, heartbeat mispredict streak). `edges_total`/`io_total`
+  /// are cumulative over the run so far.
+  void note_iteration(const IterationStats& istats, std::uint64_t edges_total,
+                      std::uint64_t io_total) const;
 
   template <class P>
   void rop_row(const P& prog, const ProgramContext& ctx, std::uint32_t i,
@@ -269,9 +286,12 @@ RunResult<typename P::Value> Engine::run(const P& prog,
     Frontier frontier = initial;
     std::vector<V> acc;  // accumulating programs only
 
+    std::uint64_t total_edges = 0;  // cumulative, for heartbeat ticks
+    std::uint64_t total_io_bytes = 0;
     for (int iter = 0; iter < opts_.max_iterations && !frontier.empty();
          ++iter) {
       check_cancelled();
+      heartbeat_touch();
       if constexpr (!kHasOnProcessed) {
         // Active vertices without out-edges cannot propagate anything; only
         // programs with an on_processed hook still need the pass (e.g.
@@ -307,6 +327,7 @@ RunResult<typename P::Value> Engine::run(const P& prog,
         if (used_rop) {
           for (std::uint32_t i = 0; i < p; ++i) {
             check_cancelled();
+            heartbeat_touch();
             DecisionRecord& dec = istats.decisions[i];
             HUSG_SPAN("engine", "interval", "interval",
                       static_cast<std::int64_t>(i), "rop", 1);
@@ -338,6 +359,7 @@ RunResult<typename P::Value> Engine::run(const P& prog,
         } else {
           for (std::uint32_t i = 0; i < p; ++i) {
             check_cancelled();
+            heartbeat_touch();
             DecisionRecord& dec = istats.decisions[i];
             HUSG_SPAN("engine", "interval", "interval",
                       static_cast<std::int64_t>(i), "rop", 0);
@@ -356,6 +378,7 @@ RunResult<typename P::Value> Engine::run(const P& prog,
         for (std::uint32_t j = 0; j < p; ++j) all_sources[j] = j;
         for (std::uint32_t i = 0; i < p; ++i) {
           check_cancelled();
+          heartbeat_touch();
           DecisionRecord& dec = istats.decisions[i];
           HUSG_SPAN("engine", "interval", "interval",
                     static_cast<std::int64_t>(i), "rop", dec.used_rop ? 1 : 0);
@@ -437,6 +460,16 @@ RunResult<typename P::Value> Engine::run(const P& prog,
                         ? "mixed"
                         : (istats.any_rop() ? "rop" : "cop"))
                 << " wall=" << istats.wall_seconds << "s";
+      total_edges += istats.edges_processed;
+      total_io_bytes += istats.io.total_bytes();
+      if (opts_.heartbeat != nullptr || obs::flight_enabled()) [[unlikely]] {
+        note_iteration(istats, total_edges, total_io_bytes);
+        if (opts_.heartbeat != nullptr) {
+          opts_.heartbeat->tick(static_cast<std::uint64_t>(iter) + 1,
+                                istats.active_vertices, total_edges,
+                                total_io_bytes);
+        }
+      }
       result.stats.add_iteration(std::move(istats));
     }
 

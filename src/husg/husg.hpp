@@ -39,17 +39,21 @@
 #include "io/device.hpp"
 #include "io/io_stats.hpp"
 #include "obs/audit.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/heatmap.hpp"
 #include "obs/http_server.hpp"
 #include "obs/iotrace.hpp"
 #include "obs/iotrace_replay.hpp"
 #include "obs/metrics.hpp"
+#include "obs/postmortem.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "service/graph_service.hpp"
 #include "service/job.hpp"
 #include "service/jobs_json.hpp"
 #include "service/scheduler.hpp"
 #include "storage/store.hpp"
 #include "util/format.hpp"
+#include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/options.hpp"

@@ -9,6 +9,7 @@
 
 #include "io/backend/aligned.hpp"
 #include "io/backend/uring_backend.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "util/common.hpp"
 
@@ -59,6 +60,15 @@ void note_direct_denied() {
   g_direct_denied.fetch_add(1, std::memory_order_relaxed);
 }
 
+void note_io_error(int err, std::uint64_t bytes) {
+  if (!obs::flight_enabled()) return;
+  obs::FlightEvent e;
+  e.type = obs::FlightEventType::kBackendError;
+  e.v1 = err > 0 ? static_cast<std::uint64_t>(err) : 0;
+  e.v2 = bytes;
+  obs::FlightRecorder::instance().record(e);
+}
+
 }  // namespace detail
 
 IoBackendTotals io_backend_totals() {
@@ -106,12 +116,14 @@ void posix_read_exact(int fd, void* buf, std::size_t len, std::uint64_t offset,
                           static_cast<off_t>(offset + done));
     if (got < 0) {
       if (errno == EINTR) continue;
+      detail::note_io_error(errno, len - done);
       throw IoError(std::string("pread: ") + std::strerror(errno));
     }
     if (got == 0) {
       // EOF. Fine once the caller's required window is covered (O_DIRECT
       // rounds lengths up past the end of the file); short otherwise.
       if (done >= required) return;
+      detail::note_io_error(0, required - done);
       throw IoError("short read at offset " + std::to_string(offset + done) +
                     " (wanted " + std::to_string(required) + " bytes, got " +
                     std::to_string(done) + ")");

@@ -146,6 +146,10 @@ void note_completed(std::size_t ops);
 void note_inflight(std::uint64_t inflight);
 void note_uring_fallback();
 void note_direct_denied();
+/// Flight-recorder feed: called just before a backend throws IoError
+/// (kBackendError event, v1=errno or 0, v2=bytes involved). No-op while the
+/// recorder is disarmed.
+void note_io_error(int err, std::uint64_t bytes);
 }  // namespace detail
 
 /// Shared pread loop (EINTR retry, short-read detection). The single sync

@@ -124,7 +124,10 @@ class UringBackend final : public IoBackend {
       enter_getevents_locked();
       reap_locked();
     }
-    if (!batch->error_.empty()) throw IoError(batch->error_);
+    if (!batch->error_.empty()) {
+      detail::note_io_error(0, 0);
+      throw IoError(batch->error_);
+    }
   }
 
   /// Destructor path: unqueue this batch's unsubmitted ops and wait out its
@@ -291,6 +294,7 @@ class UringBackend final : public IoBackend {
       int ret = sys_io_uring_enter(ring_fd_, 0, 1, IORING_ENTER_GETEVENTS);
       if (ret >= 0) return;
       if (errno == EINTR) continue;
+      detail::note_io_error(errno, 0);
       throw IoError(std::string("io_uring_enter(getevents): ") +
                     std::strerror(errno));
     }

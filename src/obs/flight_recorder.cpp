@@ -1,0 +1,274 @@
+#include "obs/flight_recorder.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <ostream>
+
+#include "obs/metrics.hpp"
+
+namespace husg::obs {
+
+namespace detail {
+std::atomic<bool> g_flight{false};
+}  // namespace detail
+
+const char* to_string(FlightEventType type) {
+  switch (type) {
+    case FlightEventType::kJobSubmitted:
+      return "job_submitted";
+    case FlightEventType::kJobStarted:
+      return "job_started";
+    case FlightEventType::kJobFinished:
+      return "job_finished";
+    case FlightEventType::kProgress:
+      return "progress";
+    case FlightEventType::kDecision:
+      return "decision";
+    case FlightEventType::kRepartition:
+      return "repartition";
+    case FlightEventType::kBackendError:
+      return "backend_error";
+    case FlightEventType::kAnomaly:
+      return "anomaly";
+    case FlightEventType::kBundle:
+      return "bundle";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder* recorder = new FlightRecorder();  // leak: signal path
+  return *recorder;
+}
+
+void FlightRecorder::start(std::size_t events_per_thread) {
+  if (events_per_thread == 0) events_per_thread = 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_per_thread_.store(events_per_thread, std::memory_order_relaxed);
+  seq_.store(0, std::memory_order_relaxed);
+  overflowed_.store(0, std::memory_order_relaxed);
+  // Bumping the epoch before enabling makes every thread re-register into a
+  // fresh ring; stale rings stay allocated but are skipped by readers.
+  epoch_.fetch_add(1, std::memory_order_release);
+  detail::g_flight.store(true, std::memory_order_release);
+}
+
+void FlightRecorder::stop() {
+  detail::g_flight.store(false, std::memory_order_release);
+}
+
+FlightRecorder::Ring* FlightRecorder::ring_for_thread() {
+  thread_local Ring* tls_ring = nullptr;
+  thread_local std::uint64_t tls_epoch = 0;
+  const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  if (tls_ring != nullptr && tls_epoch == epoch) return tls_ring;
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t idx = ring_count_.load(std::memory_order_relaxed);
+  if (idx >= kMaxRings) {
+    tls_ring = nullptr;
+    tls_epoch = epoch;
+    return nullptr;
+  }
+  owned_.push_back(std::make_unique<Ring>(
+      events_per_thread_.load(std::memory_order_relaxed), epoch,
+      static_cast<std::uint16_t>(idx)));
+  Ring* ring = owned_.back().get();
+  rings_[idx].store(ring, std::memory_order_release);
+  ring_count_.store(idx + 1, std::memory_order_release);
+  tls_ring = ring;
+  tls_epoch = epoch;
+  return ring;
+}
+
+void FlightRecorder::record(FlightEvent e) {
+  if (!flight_enabled()) return;
+  Ring* ring = ring_for_thread();
+  if (ring == nullptr) {
+    overflowed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+  Slot& slot = ring->slots[head % ring->slots.size()];
+  // seq=0 marks the slot mid-write so a concurrent reader discards it.
+  slot.seq.store(0, std::memory_order_release);
+  slot.ts_ns.store(now_ns(), std::memory_order_relaxed);
+  slot.meta.store(static_cast<std::uint64_t>(e.type) |
+                      (static_cast<std::uint64_t>(e.flag) << 8) |
+                      (static_cast<std::uint64_t>(ring->tid) << 16) |
+                      (static_cast<std::uint64_t>(e.a) << 32),
+                  std::memory_order_relaxed);
+  slot.job.store(e.job, std::memory_order_relaxed);
+  slot.v1.store(e.v1, std::memory_order_relaxed);
+  slot.v2.store(e.v2, std::memory_order_relaxed);
+  slot.v3.store(e.v3, std::memory_order_relaxed);
+  slot.seq.store(seq, std::memory_order_release);
+  ring->head.store(head + 1, std::memory_order_release);
+}
+
+bool FlightRecorder::read_slot(const Slot& slot, FlightEvent* out) {
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+    if (s1 == 0) return false;  // empty or mid-write
+    FlightEvent e;
+    e.seq = s1;
+    e.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+    const std::uint64_t meta = slot.meta.load(std::memory_order_relaxed);
+    e.type = static_cast<FlightEventType>(meta & 0xff);
+    e.flag = static_cast<std::uint8_t>((meta >> 8) & 0xff);
+    e.tid = static_cast<std::uint16_t>((meta >> 16) & 0xffff);
+    e.a = static_cast<std::uint32_t>(meta >> 32);
+    e.job = slot.job.load(std::memory_order_relaxed);
+    e.v1 = slot.v1.load(std::memory_order_relaxed);
+    e.v2 = slot.v2.load(std::memory_order_relaxed);
+    e.v3 = slot.v3.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) == s1) {
+      *out = e;
+      return true;
+    }
+  }
+  return false;  // kept losing the race to the writer; slot is hot, skip it
+}
+
+std::vector<FlightEvent> FlightRecorder::drain() const {
+  std::vector<FlightEvent> out;
+  const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  const std::size_t n = ring_count_.load(std::memory_order_acquire);
+  for (std::size_t r = 0; r < n; ++r) {
+    const Ring* ring = rings_[r].load(std::memory_order_acquire);
+    if (ring == nullptr || ring->epoch != epoch) continue;
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t cap = ring->slots.size();
+    const std::uint64_t count = std::min(head, cap);
+    for (std::uint64_t i = head - count; i < head; ++i) {
+      FlightEvent e;
+      if (read_slot(ring->slots[i % cap], &e)) out.push_back(e);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  std::uint64_t dropped = overflowed_.load(std::memory_order_relaxed);
+  const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  const std::size_t n = ring_count_.load(std::memory_order_acquire);
+  for (std::size_t r = 0; r < n; ++r) {
+    const Ring* ring = rings_[r].load(std::memory_order_acquire);
+    if (ring == nullptr || ring->epoch != epoch) continue;
+    const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+    const std::uint64_t cap = ring->slots.size();
+    if (head > cap) dropped += head - cap;
+  }
+  return dropped;
+}
+
+void FlightRecorder::emit_event_json(std::ostream& os, const FlightEvent& e) {
+  os << "{\"seq\":" << e.seq << ",\"ts_ns\":" << e.ts_ns << ",\"type\":\""
+     << to_string(e.type) << "\",\"tid\":" << e.tid << ",\"job\":" << e.job
+     << ",\"flag\":" << static_cast<unsigned>(e.flag) << ",\"a\":" << e.a
+     << ",\"v1\":" << e.v1 << ",\"v2\":" << e.v2 << ",\"v3\":" << e.v3 << "}";
+}
+
+void FlightRecorder::write_events_json(std::ostream& os) const {
+  os << "[";
+  bool first = true;
+  for (const FlightEvent& e : drain()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    ";
+    emit_event_json(os, e);
+  }
+  os << (first ? "]" : "\n  ]");
+}
+
+namespace {
+
+// write(2) with partial-write retry; gives up on error (signal context —
+// there is nothing useful to do about a failed crash dump).
+void fd_write(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n <= 0) return;
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+void fd_write_str(int fd, const char* s) { fd_write(fd, s, std::strlen(s)); }
+
+void fd_write_u64(int fd, std::uint64_t v) {
+  char buf[24];
+  char* p = buf + sizeof(buf);
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  fd_write(fd, p, static_cast<std::size_t>(buf + sizeof(buf) - p));
+}
+
+}  // namespace
+
+void FlightRecorder::drain_to_fd(int fd) const {
+  fd_write_str(fd, "[");
+  bool first = true;
+  const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  const std::size_t n = ring_count_.load(std::memory_order_acquire);
+  for (std::size_t r = 0; r < n; ++r) {
+    const Ring* ring = rings_[r].load(std::memory_order_acquire);
+    if (ring == nullptr || ring->epoch != epoch) continue;
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t cap = ring->slots.size();
+    const std::uint64_t count = std::min(head, cap);
+    for (std::uint64_t i = head - count; i < head; ++i) {
+      FlightEvent e;
+      if (!read_slot(ring->slots[i % cap], &e)) continue;
+      if (!first) fd_write_str(fd, ",");
+      first = false;
+      fd_write_str(fd, "\n    {\"seq\":");
+      fd_write_u64(fd, e.seq);
+      fd_write_str(fd, ",\"ts_ns\":");
+      fd_write_u64(fd, e.ts_ns);
+      fd_write_str(fd, ",\"type\":\"");
+      fd_write_str(fd, to_string(e.type));
+      fd_write_str(fd, "\",\"tid\":");
+      fd_write_u64(fd, e.tid);
+      fd_write_str(fd, ",\"job\":");
+      fd_write_u64(fd, e.job);
+      fd_write_str(fd, ",\"flag\":");
+      fd_write_u64(fd, e.flag);
+      fd_write_str(fd, ",\"a\":");
+      fd_write_u64(fd, e.a);
+      fd_write_str(fd, ",\"v1\":");
+      fd_write_u64(fd, e.v1);
+      fd_write_str(fd, ",\"v2\":");
+      fd_write_u64(fd, e.v2);
+      fd_write_str(fd, ",\"v3\":");
+      fd_write_u64(fd, e.v3);
+      fd_write_str(fd, "}");
+    }
+  }
+  fd_write_str(fd, first ? "]" : "\n  ]");
+}
+
+void FlightRecorder::publish(Registry& registry) const {
+  registry
+      .gauge("husg_flight_events_recorded",
+             "Flight-recorder events recorded since arming")
+      .set(static_cast<double>(recorded()));
+  registry
+      .gauge("husg_flight_events_dropped",
+             "Flight-recorder events overwritten by the ring budget")
+      .set(static_cast<double>(dropped()));
+  registry
+      .gauge("husg_flight_rings", "Per-thread flight-recorder rings in use")
+      .set(static_cast<double>(ring_count_.load(std::memory_order_relaxed)));
+}
+
+}  // namespace husg::obs

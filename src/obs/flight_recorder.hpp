@@ -1,0 +1,220 @@
+// Always-on incident diagnostics: a fixed-budget flight recorder of compact
+// structured events plus per-job progress heartbeats (DESIGN.md §14).
+//
+// Unlike the opt-in Tracer (--trace-out) and IoTrace (--iotrace-out), the
+// flight recorder is meant to run for the whole life of a serve process: it
+// keeps only the last `events_per_thread` events per recording thread in a
+// lock-free ring (old events are overwritten, never flushed), and the rings
+// are materialized only on demand — a watchdog trip, a job timeout, a fatal
+// signal, or GET /debug/bundle drains them into a postmortem bundle.
+//
+// Event write protocol (per slot, all fields std::atomic):
+//   writer:  seq := 0 (release)  →  payload fields (relaxed)  →
+//            seq := global sequence (release)
+// A reader takes a consistent snapshot by loading seq (acquire), the payload
+// (relaxed), an acquire fence, then seq again — a changed or zero seq means
+// the slot was mid-overwrite and is skipped. Each ring has one writer (its
+// owning thread) and any number of concurrent readers, so record() never
+// takes a lock and drain_to_fd() is async-signal-safe (atomic loads and
+// write(2) only). Registration of a new thread's ring takes the registry
+// mutex once per thread per start() epoch.
+//
+// When the recorder is disabled every record site costs one relaxed atomic
+// load and a predicted-not-taken branch, same contract as tracing_enabled().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace husg::obs {
+
+class Registry;
+
+std::uint64_t now_ns();  // trace.hpp's steady-clock epoch (shared timeline)
+
+/// What a FlightEvent describes; `flag`/`a`/`v1..v3` are type-specific:
+///   kJobSubmitted:  job, v1=priority (int64 cast), v2=estimate bytes
+///   kJobStarted:    job, v1=estimate bytes
+///   kJobFinished:   job, flag=terminal JobStatus, v1=wall µs
+///   kProgress:      job, a=iteration, v1=active vertices, v2=edges so far,
+///                   v3=disk bytes so far
+///   kDecision:      job, a=iteration, flag=used_rop, v1=interval,
+///                   v2=predicted µs, v3=observed µs
+///   kRepartition:   job=owner, v1=old quota bytes, v2=new quota bytes
+///   kBackendError:  v1=backend kind hash/errno, v2=bytes in flight
+///   kAnomaly:       job (0=service-wide), flag=AnomalyKind, v1=detail
+///   kBundle:        v1=trigger ordinal
+enum class FlightEventType : std::uint8_t {
+  kJobSubmitted = 1,
+  kJobStarted = 2,
+  kJobFinished = 3,
+  kProgress = 4,
+  kDecision = 5,
+  kRepartition = 6,
+  kBackendError = 7,
+  kAnomaly = 8,
+  kBundle = 9,
+};
+
+const char* to_string(FlightEventType type);
+
+struct FlightEvent {
+  std::uint64_t seq = 0;    ///< process-wide order (assigned by record())
+  std::uint64_t ts_ns = 0;  ///< now_ns() timeline (assigned by record())
+  FlightEventType type = FlightEventType::kProgress;
+  std::uint8_t flag = 0;
+  std::uint16_t tid = 0;  ///< recorder ring index (assigned by record())
+  std::uint32_t a = 0;
+  std::uint64_t job = 0;
+  std::uint64_t v1 = 0;
+  std::uint64_t v2 = 0;
+  std::uint64_t v3 = 0;
+};
+
+/// Per-job heartbeat the engine ticks and the watchdog reads; all atomics,
+/// shared between the engine worker (writer) and the scheduler dispatcher /
+/// admin plane (readers). Owned by the scheduler for the life of a running
+/// job (shared_ptr — it must outlive the engine that ticks it).
+struct ProgressBeat {
+  std::atomic<std::uint64_t> last_tick_ns{0};
+  std::atomic<std::uint64_t> iteration{0};
+  std::atomic<std::uint64_t> active_vertices{0};
+  std::atomic<std::uint64_t> edges{0};     ///< cumulative edges processed
+  std::atomic<std::uint64_t> io_bytes{0};  ///< cumulative disk bytes
+  /// Consecutive §3.4 intervals whose predicted cost missed the observed
+  /// wall by more than 2x in either direction; reset by a good prediction.
+  std::atomic<std::uint32_t> mispredict_streak{0};
+  /// Test hook (HUSG_TEST_FREEZE_HEARTBEAT): a frozen beat ignores every
+  /// tick, simulating a wedged worker for watchdog/e2e coverage.
+  std::atomic<bool> frozen{false};
+
+  /// Cheap keep-alive from inner interval loops: timestamp only.
+  void touch() {
+    if (frozen.load(std::memory_order_relaxed)) return;
+    last_tick_ns.store(now_ns(), std::memory_order_relaxed);
+  }
+
+  /// Full end-of-iteration progress tick.
+  void tick(std::uint64_t iter, std::uint64_t active, std::uint64_t edges_total,
+            std::uint64_t io_total) {
+    if (frozen.load(std::memory_order_relaxed)) return;
+    iteration.store(iter, std::memory_order_relaxed);
+    active_vertices.store(active, std::memory_order_relaxed);
+    edges.store(edges_total, std::memory_order_relaxed);
+    io_bytes.store(io_total, std::memory_order_relaxed);
+    last_tick_ns.store(now_ns(), std::memory_order_relaxed);
+  }
+
+  void note_prediction(bool mispredicted) {
+    if (mispredicted) {
+      mispredict_streak.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      mispredict_streak.store(0, std::memory_order_relaxed);
+    }
+  }
+};
+
+namespace detail {
+extern std::atomic<bool> g_flight;
+}  // namespace detail
+
+/// Inline fast-path check, same contract as tracing_enabled().
+inline bool flight_enabled() {
+  return detail::g_flight.load(std::memory_order_relaxed);
+}
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultEventsPerThread = 4096;
+  /// Rings a process can register across all start() epochs; threads beyond
+  /// this record nothing (counted in overflowed()).
+  static constexpr std::size_t kMaxRings = 512;
+
+  static FlightRecorder& instance();
+
+  /// Arms recording with a fixed per-thread ring budget. Restarting bumps
+  /// the epoch: existing threads lazily re-register and old rings become
+  /// inert (their memory is retained — threads may still hold pointers).
+  void start(std::size_t events_per_thread = kDefaultEventsPerThread);
+  void stop();
+
+  /// Records one event (seq/ts_ns/tid are assigned here; caller fills the
+  /// rest). No-op when disabled. Never blocks: one uncontended atomic
+  /// sequence fetch_add plus relaxed slot stores.
+  void record(FlightEvent e);
+
+  /// Snapshot of every live ring, sorted by seq. Non-destructive — the
+  /// rings keep rolling; safe concurrently with record().
+  std::vector<FlightEvent> drain() const;
+
+  /// Events recorded since the last start().
+  std::uint64_t recorded() const {
+    return seq_.load(std::memory_order_relaxed);
+  }
+  /// Events overwritten in-ring (budget exceeded) plus events from threads
+  /// that could not get a ring.
+  std::uint64_t dropped() const;
+  std::size_t events_per_thread() const {
+    return events_per_thread_.load(std::memory_order_relaxed);
+  }
+
+  /// The drained events as a JSON array (postmortem bundle section).
+  void write_events_json(std::ostream& os) const;
+
+  /// Async-signal-safe drain: writes the same JSON array to `fd` using only
+  /// atomic loads, stack buffers, and write(2). Returns bytes written (best
+  /// effort; short writes are abandoned). Events are emitted in ring order,
+  /// not globally sorted — sorting needs heap allocation.
+  void drain_to_fd(int fd) const;
+
+  /// husg_flight_* gauges (safe for the admin pre-scrape hook).
+  void publish(Registry& registry) const;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  ///< 0 = empty or mid-write
+    std::atomic<std::uint64_t> ts_ns{0};
+    /// type | flag<<8 | tid<<16 | a<<32
+    std::atomic<std::uint64_t> meta{0};
+    std::atomic<std::uint64_t> job{0};
+    std::atomic<std::uint64_t> v1{0};
+    std::atomic<std::uint64_t> v2{0};
+    std::atomic<std::uint64_t> v3{0};
+  };
+
+  struct Ring {
+    Ring(std::size_t cap, std::uint64_t ring_epoch, std::uint16_t ring_tid)
+        : slots(cap), epoch(ring_epoch), tid(ring_tid) {}
+    std::vector<Slot> slots;
+    std::atomic<std::uint64_t> head{0};  ///< next write index (monotone)
+    std::uint64_t epoch;
+    std::uint16_t tid;
+  };
+
+  FlightRecorder() = default;
+
+  Ring* ring_for_thread();
+  /// Reads one slot's consistent snapshot into `out`; false if the slot was
+  /// empty or mid-overwrite.
+  static bool read_slot(const Slot& slot, FlightEvent* out);
+  static void emit_event_json(std::ostream& os, const FlightEvent& e);
+
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::size_t> events_per_thread_{kDefaultEventsPerThread};
+  std::atomic<std::uint64_t> overflowed_{0};
+
+  /// Lock-free iteration surface for readers (incl. signal handlers): slots
+  /// are published with a release store after the ring is fully built.
+  std::atomic<Ring*> rings_[kMaxRings] = {};
+  std::atomic<std::size_t> ring_count_{0};
+
+  std::mutex mu_;  ///< serializes registration and ownership
+  std::vector<std::unique_ptr<Ring>> owned_;
+};
+
+}  // namespace husg::obs

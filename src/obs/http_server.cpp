@@ -275,9 +275,20 @@ AdminServer::Response AdminServer::handle_request(const std::string& method,
     if (ready_ && !ready_()) {
       res.status = 503;
       res.body = "not ready\n";
-    } else {
-      res.body = "ready\n";
+      return res;
     }
+    // Degraded ranks below not-ready: the service is up and accepting, but
+    // the watchdog holds an active anomaly, so probes should route away.
+    if (degraded_) {
+      std::string reasons = degraded_();
+      if (!reasons.empty()) {
+        res.status = 503;
+        res.content_type = "application/json";
+        res.body = std::move(reasons);
+        return res;
+      }
+    }
+    res.body = "ready\n";
     return res;
   }
   if (path == "/metrics") {
@@ -378,7 +389,39 @@ AdminServer::Response AdminServer::handle_request(const std::string& method,
     res.body = os.str();
     return res;
   }
+  if (path == "/debug/bundle") {
+    if (!is_get) {
+      res.status = 405;
+      res.body = "method not allowed\n";
+      return res;
+    }
+    if (!bundle_) {
+      res.status = 404;
+      res.body = "no postmortem writer attached\n";
+      return res;
+    }
+    res.content_type = "application/json";
+    res.body = bundle_();
+    return res;
+  }
   if (path == "/loglevel") {
+    if (is_get) {
+      switch (log::level()) {
+        case log::Level::kDebug:
+          res.body = "debug\n";
+          break;
+        case log::Level::kInfo:
+          res.body = "info\n";
+          break;
+        case log::Level::kWarn:
+          res.body = "warn\n";
+          break;
+        case log::Level::kError:
+          res.body = "quiet\n";
+          break;
+      }
+      return res;
+    }
     if (method != "POST") {
       res.status = 405;
       res.body = "POST a level: debug | info | warn | quiet\n";
@@ -404,7 +447,7 @@ AdminServer::Response AdminServer::handle_request(const std::string& method,
   }
   res.status = 404;
   res.body = "unknown path (try /healthz /readyz /metrics /jobs /heatmap "
-             "/calibration /mrc /trace?ms=N /loglevel)\n";
+             "/calibration /mrc /trace?ms=N /loglevel /debug/bundle)\n";
   return res;
 }
 

@@ -7,8 +7,10 @@
 // while jobs are in flight:
 //
 //   GET  /healthz       process is up → 200 "ok"
-//   GET  /readyz        ready hook (store open, scheduler accepting) → 200,
-//                       else 503
+//   GET  /readyz        ready hook (store open, scheduler accepting) → 200;
+//                       503 "not ready" when the hook says no, 503 with a
+//                       JSON reason list when the anomaly watchdog holds an
+//                       active anomaly (degraded hook)
 //   GET  /metrics       live Prometheus exposition of the attached Registry;
 //                       the pre-scrape hook refreshes point-in-time gauges
 //                       first (gauges only — counters that accumulate per
@@ -28,7 +30,10 @@
 //                       the Chrome-trace JSON of that window; 409 if a trace
 //                       session (e.g. --trace-out) is already running
 //   POST /loglevel      body "debug"|"info"|"warn"|"quiet" adjusts the log
-//                       threshold at runtime
+//                       threshold at runtime; GET reads the effective level
+//   GET  /debug/bundle  one freshly assembled postmortem bundle (flight
+//                       events, job table, metrics snapshot) from the bundle
+//                       hook; 404 when no hook is installed
 //
 // Scope boundaries, deliberately: one serving thread handles one connection
 // at a time (admin plane, not a data plane — /trace blocks it for the
@@ -66,6 +71,12 @@ class AdminServer {
   using MrcFn = std::function<std::string()>;
   /// Liveness of the thing being served; false → /readyz returns 503.
   using ReadyFn = std::function<bool()>;
+  /// Anomaly state for /readyz (AnomalyWatchdog::readyz_json): an empty
+  /// string means healthy; anything else is served verbatim as a JSON body
+  /// with status 503 "degraded".
+  using DegradedFn = std::function<std::string()>;
+  /// Returns one serialized postmortem bundle (GET /debug/bundle).
+  using BundleFn = std::function<std::string()>;
   /// Runs before every /metrics scrape. Must only set gauges: publish()
   /// methods that inc() counters accumulate per call and would inflate
   /// under repeated scrapes.
@@ -79,6 +90,8 @@ class AdminServer {
   AdminServer& operator=(const AdminServer&) = delete;
 
   void set_ready(ReadyFn fn) { ready_ = std::move(fn); }
+  void set_degraded(DegradedFn fn) { degraded_ = std::move(fn); }
+  void set_bundle(BundleFn fn) { bundle_ = std::move(fn); }
   void set_jobs(JobsFn fn) { jobs_ = std::move(fn); }
   void set_mrc(MrcFn fn) { mrc_ = std::move(fn); }
   void set_pre_scrape(PreScrapeFn fn) { pre_scrape_ = std::move(fn); }
@@ -114,6 +127,8 @@ class AdminServer {
   AdminOptions opts_;
   Registry* registry_;
   ReadyFn ready_;
+  DegradedFn degraded_;
+  BundleFn bundle_;
   JobsFn jobs_;
   MrcFn mrc_;
   PreScrapeFn pre_scrape_;

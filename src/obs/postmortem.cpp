@@ -1,0 +1,287 @@
+#include "obs/postmortem.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "codec/block_codec.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+
+namespace husg::obs {
+
+namespace {
+
+void append_escaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void write_latency_json(std::ostream& os, const LatencySummary& l) {
+  os << "{\"count\":" << l.count << ",\"mean_seconds\":" << l.mean_seconds
+     << ",\"min_seconds\":" << l.min_seconds
+     << ",\"max_seconds\":" << l.max_seconds
+     << ",\"p50_seconds\":" << l.p50_seconds
+     << ",\"p95_seconds\":" << l.p95_seconds
+     << ",\"p99_seconds\":" << l.p99_seconds << "}";
+}
+
+void write_service_json(std::ostream& os, const ServiceStats& st) {
+  os << "{\"submitted\":" << st.submitted << ",\"accepted\":" << st.accepted
+     << ",\"rejected_queue_full\":" << st.rejected_queue_full
+     << ",\"rejected_memory\":" << st.rejected_memory
+     << ",\"rejected_shutdown\":" << st.rejected_shutdown
+     << ",\"completed\":" << st.completed << ",\"failed\":" << st.failed
+     << ",\"cancelled\":" << st.cancelled << ",\"timed_out\":" << st.timed_out
+     << ",\"edges_processed\":" << st.edges_processed
+     << ",\"io_read_bytes\":" << st.io.total_read_bytes()
+     << ",\"io_write_bytes\":" << st.io.write_bytes
+     << ",\"peak_reserved_bytes\":" << st.peak_reserved_bytes
+     << ",\"cache_hits\":" << st.cache.hits
+     << ",\"cache_misses\":" << st.cache.misses
+     << ",\"cache_evictions\":" << st.cache.evictions << ",\"job_wall\":";
+  write_latency_json(os, st.job_wall);
+  os << "}";
+}
+
+}  // namespace
+
+void write_bundle_json(std::ostream& os, const BundleContext& ctx) {
+  FlightRecorder& flight = FlightRecorder::instance();
+  os << "{\n  \"bundle_version\": 1,\n  \"reason\": \"";
+  append_escaped(os, ctx.reason);
+  os << "\",\n  \"written_ns\": " << now_ns();
+
+  if (ctx.meta != nullptr) {
+    os << ",\n  \"store\": {\"dir\": \"";
+    append_escaped(os, ctx.store_dir);
+    os << "\", \"vertices\": " << ctx.meta->num_vertices
+       << ", \"edges\": " << ctx.meta->num_edges
+       << ", \"partitions\": " << ctx.meta->p()
+       << ", \"weighted\": " << (ctx.meta->weighted ? "true" : "false")
+       << ", \"codec\": \"" << to_string(ctx.meta->codec)
+       << "\", \"skip_filters\": "
+       << (ctx.meta->has_skip_filters ? "true" : "false")
+       << ", \"edge_record_bytes\": " << ctx.meta->edge_record_bytes() << "}";
+  }
+
+  if (ctx.has_incident) {
+    const IncidentInfo& inc = ctx.incident;
+    os << ",\n  \"incident\": {\"id\": " << inc.id << ", \"name\": \"";
+    append_escaped(os, inc.name);
+    os << "\", \"status\": \"" << inc.status << "\", \"error\": \"";
+    append_escaped(os, inc.error);
+    os << "\", \"wall_seconds\": " << inc.wall_seconds
+       << ", \"iteration\": " << inc.iteration << ", \"edges\": " << inc.edges
+       << ", \"io_bytes\": " << inc.io_bytes
+       << ", \"last_tick_age_seconds\": " << inc.last_tick_age_seconds << "}";
+  }
+
+  os << ",\n  \"anomalies\": [";
+  for (std::size_t k = 0; k < ctx.anomalies.size(); ++k) {
+    const Anomaly& a = ctx.anomalies[k];
+    if (k > 0) os << ",";
+    os << "\n    {\"kind\": \"" << to_string(a.kind) << "\", \"job\": "
+       << a.job << ", \"since_ns\": " << a.since_ns << ", \"detail\": \"";
+    append_escaped(os, a.detail);
+    os << "\"}";
+  }
+  os << (ctx.anomalies.empty() ? "]" : "\n  ]");
+
+  {
+    // jobs_view_json already returns a complete {"jobs": [...]} document.
+    std::string jobs = jobs_view_json(ctx.jobs);
+    while (!jobs.empty() && jobs.back() == '\n') jobs.pop_back();
+    os << ",\n  \"jobs\": " << jobs;
+  }
+
+  if (ctx.has_stats) {
+    os << ",\n  \"service\": ";
+    write_service_json(os, ctx.stats);
+  }
+
+  os << ",\n  \"flight\": {\"recorded\": " << flight.recorded()
+     << ", \"dropped\": " << flight.dropped()
+     << ", \"events_per_thread\": " << flight.events_per_thread() << "}";
+  os << ",\n  \"flight_events\": ";
+  flight.write_events_json(os);
+
+  if (ctx.calibration_json) {
+    std::ostringstream extra;
+    ctx.calibration_json(extra);
+    if (!extra.str().empty()) os << ",\n  \"calibration\": " << extra.str();
+  }
+  if (ctx.mrc_json) {
+    std::ostringstream extra;
+    ctx.mrc_json(extra);
+    if (!extra.str().empty()) os << ",\n  \"mrc\": " << extra.str();
+  }
+
+  if (ctx.registry != nullptr) {
+    std::ostringstream prom;
+    ctx.registry->write_prometheus(prom);
+    os << ",\n  \"metrics_prom\": \"";
+    append_escaped(os, prom.str());
+    os << "\"";
+  }
+
+  os << "\n}\n";
+}
+
+PostmortemWriter::PostmortemWriter(Options options, ContextFn context)
+    : opts_(std::move(options)), context_(std::move(context)) {}
+
+std::string PostmortemWriter::bundle_json(const std::string& reason,
+                                          const IncidentInfo* incident) const {
+  BundleContext ctx = context_ ? context_(reason) : BundleContext{};
+  ctx.reason = reason;
+  if (incident != nullptr) {
+    ctx.has_incident = true;
+    ctx.incident = *incident;
+  }
+  std::ostringstream os;
+  write_bundle_json(os, ctx);
+  return os.str();
+}
+
+std::filesystem::path PostmortemWriter::write(const std::string& reason,
+                                              const IncidentInfo* incident) {
+  if (opts_.dir.empty()) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  std::filesystem::create_directories(opts_.dir, ec);
+
+  // Sanitize the reason into a filename fragment.
+  std::string slug;
+  for (char c : reason) {
+    slug.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '-');
+  }
+  if (slug.size() > 48) slug.resize(48);
+  const auto unix_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::system_clock::now().time_since_epoch())
+                           .count();
+  const std::uint64_t n = written_.fetch_add(1, std::memory_order_relaxed);
+  std::ostringstream name;
+  name << unix_ms << "-" << n << "-" << slug << ".bundle.json";
+  const std::filesystem::path path = opts_.dir / name.str();
+
+  try {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return {};
+    out << bundle_json(reason, incident);
+    out.flush();
+    if (!out) return {};
+  } catch (...) {
+    return {};  // incident paths must never throw into the scheduler
+  }
+
+  // Prune oldest bundles past the cap (lexicographic order == time order:
+  // names start with the millisecond timestamp... of equal digit count for
+  // the next ~250 years; sort by file write time to be exact).
+  std::vector<std::filesystem::path> bundles;
+  for (const auto& entry : std::filesystem::directory_iterator(opts_.dir, ec)) {
+    const std::string fn = entry.path().filename().string();
+    if (fn.size() > 12 && fn.rfind(".bundle.json") == fn.size() - 12) {
+      bundles.push_back(entry.path());
+    }
+  }
+  if (bundles.size() > opts_.max_bundles) {
+    std::sort(bundles.begin(), bundles.end());
+    const std::size_t excess = bundles.size() - opts_.max_bundles;
+    for (std::size_t k = 0; k < excess; ++k) {
+      std::filesystem::remove(bundles[k], ec);
+    }
+  }
+  return path;
+}
+
+namespace {
+
+int g_crash_fd = -1;
+
+extern "C" void husg_crash_handler(int sig) {
+  const int fd = g_crash_fd;
+  if (fd >= 0) {
+    // Minimal bundle: header + flight events. snprintf is not on the
+    // async-signal-safe list, so the signal number is formatted by hand.
+    static const char kHead[] =
+        "{\n  \"bundle_version\": 1,\n  \"reason\": \"signal:";
+    ssize_t ignored = ::write(fd, kHead, sizeof(kHead) - 1);
+    char digits[16];
+    char* p = digits + sizeof(digits);
+    unsigned v = sig < 0 ? 0u : static_cast<unsigned>(sig);
+    do {
+      *--p = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    ignored = ::write(fd, p, static_cast<std::size_t>(digits + sizeof(digits) - p));
+    static const char kMid[] = "\",\n  \"flight_events\": ";
+    ignored = ::write(fd, kMid, sizeof(kMid) - 1);
+    FlightRecorder::instance().drain_to_fd(fd);
+    ignored = ::write(fd, "\n}\n", 3);
+    (void)ignored;
+    ::fsync(fd);
+  }
+  // SA_RESETHAND restored the default disposition; re-raise to die with the
+  // original signal (core dump semantics preserved).
+  ::raise(sig);
+}
+
+}  // namespace
+
+void install_crash_handler(const std::filesystem::path& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::ostringstream name;
+  name << "crash-" << ::getpid() << ".bundle.json";
+  const std::filesystem::path path = dir / name.str();
+  const int fd =
+      ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return;
+  g_crash_fd = fd;
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = husg_crash_handler;
+  sa.sa_flags = SA_RESETHAND | SA_NODEFER;
+  sigemptyset(&sa.sa_mask);
+  for (int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGABRT}) {
+    ::sigaction(sig, &sa, nullptr);
+  }
+}
+
+}  // namespace husg::obs

@@ -1,0 +1,127 @@
+// Postmortem bundles: one self-contained JSON document capturing everything
+// an operator needs to diagnose an incident after the fact (DESIGN.md §14).
+//
+// A bundle is written when the anomaly watchdog trips, when a job reaches a
+// bad terminal state (timeout / cancel / failure), on GET /debug/bundle, or
+// — in a reduced async-signal-safe form — on a fatal signal. Schema
+// (bundle_version 1):
+//
+//   {
+//     "bundle_version": 1,
+//     "reason": "<trigger>",
+//     "written_ns": <now_ns() timeline>,
+//     "store": {dir, vertices, edges, partitions, weighted, codec,
+//               skip_filters, edge_record_bytes},
+//     "incident": {id, name, status, error, wall_seconds, iteration, edges,
+//                  io_bytes, last_tick_age_seconds},      // when job-caused
+//     "anomalies": [{kind, job, detail, since_ns}, ...],
+//     "jobs": {"jobs": [...]},            // live job table (jobs_view_json)
+//     "service": {counters...},           // ServiceStats ledger
+//     "flight": {recorded, dropped, events_per_thread},
+//     "flight_events": [...],             // drained recorder rings
+//     "calibration": {...},               // DeviceCalibrator (when armed)
+//     "mrc": {...},                       // cache partition state (when on)
+//     "metrics_prom": "..."               // Prometheus exposition, escaped
+//   }
+//
+// The fatal-signal path cannot allocate or lock, so it writes only the
+// header and the flight_events array (FlightRecorder::drain_to_fd) to a
+// pre-opened fd — see install_crash_handler().
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/watchdog.hpp"
+#include "service/job.hpp"
+#include "storage/layout.hpp"
+
+namespace husg::obs {
+
+class Registry;
+
+/// The job that triggered a bundle (timeout / cancel / failure), captured at
+/// terminal time — by then the job has left the live table.
+struct IncidentInfo {
+  std::uint64_t id = 0;
+  std::string name;
+  std::string status;
+  std::string error;
+  double wall_seconds = 0;
+  std::uint64_t iteration = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t io_bytes = 0;
+  double last_tick_age_seconds = -1;
+};
+
+/// Everything write_bundle_json serializes. Optional sections are skipped
+/// when their flag/pointer is unset — the schema's required keys are
+/// bundle_version, reason, written_ns, flight, and flight_events.
+struct BundleContext {
+  std::string reason;
+  std::string store_dir;
+  const StoreMeta* meta = nullptr;
+  bool has_incident = false;
+  IncidentInfo incident;
+  std::vector<Anomaly> anomalies;
+  std::vector<JobView> jobs;
+  bool has_stats = false;
+  ServiceStats stats;
+  /// Extra JSON objects appended verbatim (calibration / MRC state).
+  std::function<void(std::ostream&)> calibration_json;
+  std::function<void(std::ostream&)> mrc_json;
+  Registry* registry = nullptr;  ///< metrics snapshot (escaped prom text)
+};
+
+void write_bundle_json(std::ostream& os, const BundleContext& ctx);
+
+/// Writes bundles into a directory, one file per incident. The context
+/// callback gathers the live BundleContext at write time (it runs on the
+/// triggering thread — scheduler dispatcher, pool worker, or admin plane —
+/// and must not hold locks the gathered accessors take).
+class PostmortemWriter {
+ public:
+  struct Options {
+    /// Empty disables file output (bundle_json still serves /debug/bundle).
+    std::filesystem::path dir;
+    /// Oldest bundles are deleted once the directory holds more than this.
+    std::size_t max_bundles = 16;
+  };
+
+  using ContextFn = std::function<BundleContext(const std::string& reason)>;
+
+  PostmortemWriter(Options options, ContextFn context);
+
+  /// Serializes a bundle for `reason`; does not touch the filesystem.
+  std::string bundle_json(const std::string& reason,
+                          const IncidentInfo* incident = nullptr) const;
+
+  /// Writes `<dir>/<unix_ms>-<seq>-<reason>.bundle.json` and prunes old
+  /// bundles past max_bundles. Returns the path ("" when dir is unset or
+  /// the write failed — incident paths must not throw).
+  std::filesystem::path write(const std::string& reason,
+                              const IncidentInfo* incident = nullptr);
+
+  std::uint64_t bundles_written() const {
+    return written_.load(std::memory_order_relaxed);
+  }
+  const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+  ContextFn context_;
+  mutable std::mutex mu_;  ///< serializes write() (file naming + pruning)
+  std::atomic<std::uint64_t> written_{0};
+};
+
+/// Installs a fatal-signal handler (SIGSEGV/SIGBUS/SIGFPE/SIGABRT) that
+/// dumps a minimal crash bundle — header plus the drained flight-recorder
+/// rings — to `<dir>/crash-<pid>.bundle.json` via a pre-opened fd, then
+/// re-raises with the default disposition. Async-signal-safe: the handler
+/// uses only write(2) and atomic loads. Call at most once per process.
+void install_crash_handler(const std::filesystem::path& dir);
+
+}  // namespace husg::obs

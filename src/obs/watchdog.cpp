@@ -1,0 +1,195 @@
+#include "obs/watchdog.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/flight_recorder.hpp"
+
+namespace husg::obs {
+
+const char* to_string(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kStalledJob:
+      return "stalled_job";
+    case AnomalyKind::kSloBurn:
+      return "slo_burn";
+    case AnomalyKind::kCacheThrash:
+      return "cache_thrash";
+    case AnomalyKind::kMispredictStreak:
+      return "mispredict_streak";
+  }
+  return "unknown";
+}
+
+AnomalyWatchdog::AnomalyWatchdog(WatchdogOptions options, Registry& registry)
+    : opts_(options),
+      // Registered eagerly so every husg_anomaly_* family shows up (at zero)
+      // in scrapes taken before the first trip.
+      stalled_total_(&registry.counter(
+          "husg_anomaly_stalled_jobs_total",
+          "Watchdog trips: running job with no heartbeat for stall_ms")),
+      slo_total_(&registry.counter(
+          "husg_anomaly_slo_burn_total",
+          "Watchdog trips: job p95 wall above the --slo-ms target")),
+      thrash_total_(&registry.counter(
+          "husg_anomaly_cache_thrash_total",
+          "Watchdog trips: cache evicting hard while the hit rate is low")),
+      mispredict_total_(&registry.counter(
+          "husg_anomaly_mispredict_streak_total",
+          "Watchdog trips: consecutive 2x predictor misses")),
+      active_gauge_(&registry.gauge("husg_anomaly_active",
+                                    "Currently active watchdog anomalies")) {}
+
+Counter& AnomalyWatchdog::counter_for(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kStalledJob:
+      return *stalled_total_;
+    case AnomalyKind::kSloBurn:
+      return *slo_total_;
+    case AnomalyKind::kCacheThrash:
+      return *thrash_total_;
+    case AnomalyKind::kMispredictStreak:
+      return *mispredict_total_;
+  }
+  return *stalled_total_;
+}
+
+void AnomalyWatchdog::evaluate(const std::vector<JobHealth>& jobs,
+                               const LatencySummary& wall,
+                               const CacheStats* cache) {
+  const std::uint64_t now = now_ns();
+  std::vector<Anomaly> current;
+
+  if (opts_.stall_ms > 0) {
+    const std::uint64_t limit =
+        static_cast<std::uint64_t>(opts_.stall_ms) * 1'000'000ull;
+    for (const JobHealth& j : jobs) {
+      const std::uint64_t last = std::max(j.last_tick_ns, j.start_ns);
+      if (now <= last || now - last <= limit) continue;
+      Anomaly a;
+      a.kind = AnomalyKind::kStalledJob;
+      a.job = j.id;
+      std::ostringstream detail;
+      detail << "job " << j.id << " (" << j.name << ") silent for "
+             << (now - last) / 1'000'000 << " ms at iteration " << j.iteration;
+      a.detail = detail.str();
+      current.push_back(std::move(a));
+    }
+  }
+
+  if (opts_.mispredict_streak > 0) {
+    for (const JobHealth& j : jobs) {
+      if (j.mispredict_streak < opts_.mispredict_streak) continue;
+      Anomaly a;
+      a.kind = AnomalyKind::kMispredictStreak;
+      a.job = j.id;
+      std::ostringstream detail;
+      detail << "job " << j.id << " (" << j.name << ") predictor missed "
+             << j.mispredict_streak << " intervals in a row";
+      a.detail = detail.str();
+      current.push_back(std::move(a));
+    }
+  }
+
+  if (opts_.slo_ms > 0 && wall.count > 0) {
+    const double p95_ms = wall.p95_seconds * 1e3;
+    if (p95_ms > static_cast<double>(opts_.slo_ms)) {
+      Anomaly a;
+      a.kind = AnomalyKind::kSloBurn;
+      std::ostringstream detail;
+      detail << "job wall p95 " << p95_ms << " ms over the " << opts_.slo_ms
+             << " ms target (" << wall.count << " jobs)";
+      a.detail = detail.str();
+      current.push_back(std::move(a));
+    }
+  }
+
+  if (cache != nullptr) {
+    if (have_prev_cache_) {
+      const CacheStats delta = *cache - prev_cache_;
+      if (delta.lookups() >= opts_.min_cache_lookups &&
+          delta.insertions > 0 &&
+          static_cast<double>(delta.evictions) /
+                  static_cast<double>(delta.insertions) >
+              opts_.thrash_eviction_rate &&
+          delta.hit_rate() < opts_.thrash_hit_floor) {
+        Anomaly a;
+        a.kind = AnomalyKind::kCacheThrash;
+        std::ostringstream detail;
+        detail << "cache evicted " << delta.evictions << "/"
+               << delta.insertions << " inserts with hit rate "
+               << delta.hit_rate();
+        a.detail = detail.str();
+        current.push_back(std::move(a));
+      }
+    }
+    prev_cache_ = *cache;
+    have_prev_cache_ = true;
+  }
+
+  // Diff against the previous active set: carry over since_ns for anomalies
+  // that persist, collect fresh trips to fire outside the lock.
+  std::vector<Anomaly> tripped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Anomaly& a : current) {
+      a.since_ns = now;
+      bool fresh = true;
+      for (const Anomaly& prev : active_) {
+        if (key(prev.kind, prev.job) == key(a.kind, a.job)) {
+          a.since_ns = prev.since_ns;
+          fresh = false;
+          break;
+        }
+      }
+      if (fresh) tripped.push_back(a);
+    }
+    active_ = current;
+    degraded_.store(!active_.empty(), std::memory_order_release);
+    active_gauge_->set(static_cast<double>(active_.size()));
+  }
+
+  for (const Anomaly& a : tripped) {
+    counter_for(a.kind).inc();
+    trips_.fetch_add(1, std::memory_order_relaxed);
+    if (flight_enabled()) {
+      FlightEvent e;
+      e.type = FlightEventType::kAnomaly;
+      e.flag = static_cast<std::uint8_t>(a.kind);
+      e.job = a.job;
+      FlightRecorder::instance().record(e);
+    }
+    if (on_trip_) on_trip_(a);
+  }
+}
+
+std::vector<Anomaly> AnomalyWatchdog::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+std::string AnomalyWatchdog::readyz_json() const {
+  std::vector<Anomaly> active = this->active();
+  std::ostringstream os;
+  os << "{\"status\":\"degraded\",\"reasons\":[";
+  for (std::size_t k = 0; k < active.size(); ++k) {
+    if (k > 0) os << ",";
+    std::string detail = active[k].detail;
+    for (char& c : detail) {
+      if (c == '"' || c == '\\') c = '\'';
+    }
+    os << "{\"kind\":\"" << to_string(active[k].kind)
+       << "\",\"job\":" << active[k].job << ",\"detail\":\"" << detail
+       << "\"}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+void AnomalyWatchdog::publish(Registry& registry) const {
+  (void)registry;  // counters/gauge already live in the ctor registry
+  std::lock_guard<std::mutex> lock(mu_);
+  active_gauge_->set(static_cast<double>(active_.size()));
+}
+
+}  // namespace husg::obs

@@ -1,0 +1,138 @@
+// Anomaly watchdog for serve mode (DESIGN.md §14).
+//
+// The scheduler dispatcher gathers a JobHealth row per running job (start
+// time, last ProgressBeat tick, cumulative progress, mispredict streak) on
+// its periodic tick and hands it to evaluate() together with the job-wall
+// latency digest and a cache counter snapshot — all outside the scheduler
+// lock. The watchdog diffs that picture against four rules:
+//
+//   stalled_job        no heartbeat tick for longer than `stall_ms`
+//   slo_burn           job p95 wall above the configured `slo_ms` target
+//   cache_thrash       between-tick eviction/insertion ratio above
+//                      `thrash_eviction_rate` while the hit rate sits below
+//                      `thrash_hit_floor` (needs `min_cache_lookups` of
+//                      fresh traffic to fire — cold caches always miss)
+//   mispredict_streak  a job's §3.4 predictor missed `mispredict_streak`
+//                      consecutive intervals by more than 2x
+//
+// Active anomalies flip degraded() (the admin /readyz turns 503 with a JSON
+// reason list) and clear themselves when the condition goes away. Every
+// trip increments a husg_anomaly_* counter — the counters are registered at
+// construction so the family is present (at zero) in every scrape — records
+// a flight-recorder event, and invokes the on_trip hook (the postmortem
+// bundle writer).
+//
+// Thread model: evaluate() runs on the scheduler dispatcher only; degraded /
+// readyz_json / active are called from the admin plane and tests under the
+// internal mutex. The on_trip hook runs on the dispatcher with no watchdog
+// lock held.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cache/cache_stats.hpp"
+#include "obs/metrics.hpp"
+
+namespace husg::obs {
+
+enum class AnomalyKind : std::uint8_t {
+  kStalledJob = 1,
+  kSloBurn = 2,
+  kCacheThrash = 3,
+  kMispredictStreak = 4,
+};
+
+const char* to_string(AnomalyKind kind);
+
+struct WatchdogOptions {
+  /// No heartbeat for this long marks a running job stalled. 0 disables.
+  std::uint32_t stall_ms = 5000;
+  /// Job p95 wall target in milliseconds. 0 disables the SLO rule.
+  std::uint32_t slo_ms = 0;
+  /// Cache-thrash rule: evictions per insertion above this ...
+  double thrash_eviction_rate = 0.9;
+  /// ... while the between-tick hit rate is below this floor.
+  double thrash_hit_floor = 0.10;
+  /// Fresh lookups a tick must see before the thrash rule can fire.
+  std::uint64_t min_cache_lookups = 1024;
+  /// Consecutive 2x predictor misses before the streak rule fires.
+  /// 0 disables.
+  std::uint32_t mispredict_streak = 8;
+};
+
+/// One running job's health as sampled by the scheduler tick.
+struct JobHealth {
+  std::uint64_t id = 0;
+  std::string name;
+  std::uint64_t start_ns = 0;      ///< now_ns() timeline
+  std::uint64_t last_tick_ns = 0;  ///< 0 = no heartbeat yet (use start_ns)
+  std::uint64_t iteration = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t io_bytes = 0;
+  std::uint32_t mispredict_streak = 0;
+};
+
+struct Anomaly {
+  AnomalyKind kind = AnomalyKind::kStalledJob;
+  std::uint64_t job = 0;  ///< 0 = service-wide (SLO, cache)
+  std::string detail;
+  std::uint64_t since_ns = 0;
+};
+
+class AnomalyWatchdog {
+ public:
+  explicit AnomalyWatchdog(WatchdogOptions options,
+                           Registry& registry = Registry::global());
+
+  /// One scheduler tick: re-derive the active anomaly set. `wall` is the
+  /// completed-job latency digest; `cache` may be null (no shared cache).
+  void evaluate(const std::vector<JobHealth>& jobs, const LatencySummary& wall,
+                const CacheStats* cache);
+
+  /// Fired once per anomaly transition from absent to active, on the
+  /// evaluating thread with no lock held.
+  void set_on_trip(std::function<void(const Anomaly&)> fn) {
+    on_trip_ = std::move(fn);
+  }
+
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+  std::vector<Anomaly> active() const;
+  /// {"status":"degraded","reasons":[...]} — the /readyz 503 body.
+  std::string readyz_json() const;
+  /// Anomaly trips since construction (all kinds).
+  std::uint64_t trips() const { return trips_.load(std::memory_order_relaxed); }
+
+  const WatchdogOptions& options() const { return opts_; }
+
+  /// husg_anomaly_active gauge (counters update at trip time).
+  void publish(Registry& registry) const;
+
+ private:
+  /// Stable identity of an anomaly across ticks.
+  static std::uint64_t key(AnomalyKind kind, std::uint64_t job) {
+    return (static_cast<std::uint64_t>(kind) << 56) | (job & 0xffffffffffffull);
+  }
+  Counter& counter_for(AnomalyKind kind);
+
+  WatchdogOptions opts_;
+  std::function<void(const Anomaly&)> on_trip_;
+
+  Counter* stalled_total_;
+  Counter* slo_total_;
+  Counter* thrash_total_;
+  Counter* mispredict_total_;
+  Gauge* active_gauge_;
+
+  mutable std::mutex mu_;
+  std::vector<Anomaly> active_;  ///< few entries; linear scans are fine
+  std::atomic<bool> degraded_{false};
+  std::atomic<std::uint64_t> trips_{0};
+  bool have_prev_cache_ = false;
+  CacheStats prev_cache_;
+};
+
+}  // namespace husg::obs

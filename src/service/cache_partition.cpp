@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "util/common.hpp"
 
@@ -130,6 +131,16 @@ void CachePartitionManager::repartition(const std::vector<JobId>& running) {
   }
   cache_.set_partition(installed_);
   ++applied_;
+  if (obs::flight_enabled()) [[unlikely]] {
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      obs::FlightEvent e;
+      e.type = obs::FlightEventType::kRepartition;
+      e.job = static_cast<std::uint32_t>(ids[k]);
+      e.v1 = incumbent[k];  // quota before this split (even share if fresh)
+      e.v2 = alloc[k];      // quota installed now
+      obs::FlightRecorder::instance().record(e);
+    }
+  }
 }
 
 std::uint64_t CachePartitionManager::repartitions_applied() const {

@@ -1,6 +1,7 @@
 #include "service/graph_service.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "algos/bfs.hpp"
 #include "algos/pagerank.hpp"
@@ -85,6 +86,18 @@ GraphService::GraphService(const DualBlockStore& store, ServiceOptions options)
     po.shadow = opts_.shadow;
     partition_ = std::make_unique<CachePartitionManager>(*cache_, po);
   }
+  // Arm the process-wide flight recorder unless another owner (an earlier
+  // service, the CLI, a test) already did; disarm again in the destructor so
+  // record sites go back to a single relaxed load.
+  if (opts_.flight_events > 0 && !obs::flight_enabled()) {
+    obs::FlightRecorder::instance().start(opts_.flight_events);
+    armed_flight_ = true;
+  }
+  obs::PostmortemWriter::Options bo;
+  bo.dir = opts_.bundle_dir;
+  bo.max_bundles = opts_.max_bundles;
+  postmortem_ = std::make_unique<obs::PostmortemWriter>(
+      bo, [this](const std::string& reason) { return bundle_context(reason); });
   SchedulerOptions sched;
   sched.max_concurrent = opts_.max_concurrent_jobs;
   sched.max_queue = opts_.max_queued_jobs;
@@ -95,6 +108,36 @@ GraphService::GraphService(const DualBlockStore& store, ServiceOptions options)
       partition_->repartition(running);
     };
   }
+  if (opts_.watchdog_ms > 0) {
+    obs::WatchdogOptions wo;
+    wo.stall_ms = opts_.watchdog_ms;
+    wo.slo_ms = opts_.slo_ms;
+    watchdog_ = std::make_unique<obs::AnomalyWatchdog>(wo);
+    watchdog_->set_on_trip([this](const obs::Anomaly& a) {
+      if (!opts_.bundle_dir.empty()) {
+        postmortem_->write(std::string("watchdog-") + obs::to_string(a.kind));
+      }
+    });
+    sched.watchdog_interval_ms =
+        opts_.watchdog_interval_ms > 0
+            ? opts_.watchdog_interval_ms
+            : std::max<std::uint32_t>(50, opts_.watchdog_ms / 4);
+    sched.watchdog = [this](const std::vector<obs::JobHealth>& health,
+                            const obs::LatencySummary& wall) {
+      CacheStats cs;
+      const CacheStats* csp = nullptr;
+      if (cache_) {
+        cs = cache_->stats();
+        csp = &cs;
+      }
+      watchdog_->evaluate(health, wall, csp);
+    };
+  }
+  sched.on_incident = [this](const obs::IncidentInfo& inc) {
+    if (!opts_.bundle_dir.empty()) {
+      postmortem_->write("job-" + inc.status, &inc);
+    }
+  };
   scheduler_ = std::make_unique<JobScheduler>(
       pool_, sched,
       [this](const JobSpec& spec, JobId id, const CancellationToken& token) {
@@ -102,7 +145,33 @@ GraphService::GraphService(const DualBlockStore& store, ServiceOptions options)
       });
 }
 
-GraphService::~GraphService() { shutdown(); }
+GraphService::~GraphService() {
+  shutdown();
+  if (armed_flight_) obs::FlightRecorder::instance().stop();
+}
+
+obs::BundleContext GraphService::bundle_context(
+    const std::string& reason) const {
+  obs::BundleContext ctx;
+  ctx.reason = reason;
+  ctx.store_dir = store_->dir().string();
+  ctx.meta = &store_->meta();
+  if (watchdog_) ctx.anomalies = watchdog_->active();
+  ctx.jobs = scheduler_ ? scheduler_->snapshot_jobs() : std::vector<JobView>{};
+  if (scheduler_) {
+    ctx.has_stats = true;
+    ctx.stats = stats();
+  }
+  ctx.calibration_json = [](std::ostream& os) {
+    obs::DeviceCalibrator::instance().write_json(os);
+  };
+  if (partition_) {
+    CachePartitionManager* mgr = partition_.get();
+    ctx.mrc_json = [mgr](std::ostream& os) { mgr->write_json(os); };
+  }
+  ctx.registry = &obs::Registry::global();
+  return ctx;
+}
 
 std::uint64_t GraphService::estimate_bytes(const JobSpec& spec) const {
   return estimate_job_bytes(store_->meta(), spec, opts_.threads_per_job);
@@ -145,6 +214,17 @@ JobResult GraphService::execute(const JobSpec& spec, JobId id,
       partition_ ? partition_->shadow_for(static_cast<std::uint32_t>(id))
                  : nullptr;
   eo.cancel = &token;
+  // Heartbeat: the scheduler owns the beat (shared so it outlives the
+  // Running entry); the engine ticks it each iteration. The env hook wedges
+  // a named job's beat for watchdog end-to-end tests.
+  std::shared_ptr<obs::ProgressBeat> beat = scheduler_->beat_for(id);
+  if (beat) {
+    if (const char* freeze = std::getenv("HUSG_TEST_FREEZE_HEARTBEAT");
+        freeze != nullptr && spec.name == freeze) {
+      beat->frozen.store(true, std::memory_order_relaxed);
+    }
+    eo.heartbeat = beat.get();
+  }
   eo.max_iterations = spec.max_iterations > 0 ? spec.max_iterations
                                               : default_iterations(spec.algo);
   HUSG_CHECK(spec.source < meta.num_vertices,

@@ -24,6 +24,8 @@
 #include "cache/block_cache.hpp"
 #include "core/engine.hpp"
 #include "obs/calibrate.hpp"
+#include "obs/postmortem.hpp"
+#include "obs/watchdog.hpp"
 #include "service/cache_partition.hpp"
 #include "service/scheduler.hpp"
 #include "storage/store.hpp"
@@ -61,6 +63,24 @@ struct ServiceOptions {
   std::uint32_t repartition_interval_ms = 250;
   /// Per-job shadow tracker configuration (cache_partition only).
   ShadowMrc::Options shadow;
+  /// Flight-recorder budget (DESIGN.md §14): events per thread ring. The
+  /// service arms the process-wide recorder at construction unless another
+  /// owner already did; 0 leaves it disarmed (record sites stay one relaxed
+  /// load).
+  std::size_t flight_events = obs::FlightRecorder::kDefaultEventsPerThread;
+  /// Anomaly watchdog: a running job whose heartbeat is silent this long is
+  /// flagged as stalled and /readyz degrades. 0 disables the watchdog.
+  std::uint32_t watchdog_ms = 5000;
+  /// Watchdog evaluation tick; 0 derives a quarter of watchdog_ms.
+  std::uint32_t watchdog_interval_ms = 0;
+  /// Job-wall p95 SLO in milliseconds (watchdog SLO-burn rule); 0 disables.
+  std::uint32_t slo_ms = 0;
+  /// Postmortem bundles are written here on watchdog trips and bad terminal
+  /// job statuses; empty disables file output (GET /debug/bundle still
+  /// serves an in-memory bundle).
+  std::filesystem::path bundle_dir;
+  /// Cap on retained bundle files in bundle_dir (oldest pruned first).
+  std::size_t max_bundles = 16;
 };
 
 /// Working-set bytes one job reserves while running: value arrays (current +
@@ -108,19 +128,35 @@ class GraphService {
   /// Null unless cache_partition is on (and the cache exists).
   const CachePartitionManager* partition() const { return partition_.get(); }
   CachePartitionManager* partition() { return partition_.get(); }
+  /// Null when watchdog_ms == 0.
+  const obs::AnomalyWatchdog* watchdog() const { return watchdog_.get(); }
+  /// Always present; file output disabled when bundle_dir is empty.
+  obs::PostmortemWriter* postmortem() { return postmortem_.get(); }
+  /// One serialized postmortem bundle (GET /debug/bundle).
+  std::string bundle_json(const std::string& reason) const {
+    return postmortem_->bundle_json(reason);
+  }
+  /// Test hook: freeze a running job's heartbeat (see JobScheduler).
+  bool freeze_heartbeat(JobId id) { return scheduler_->freeze_heartbeat(id); }
 
  private:
   /// Scheduler Runner: builds an engine against the shared cache and runs
   /// the requested algorithm. Executes on a pool worker.
   JobResult execute(const JobSpec& spec, JobId id,
                     const CancellationToken& token);
+  obs::BundleContext bundle_context(const std::string& reason) const;
 
   const DualBlockStore* store_;
   ServiceOptions opts_;
   std::unique_ptr<BlockCache> cache_;  ///< null when cache_budget_bytes == 0
   /// Declared after cache_ (it holds a reference); null unless partitioning.
   std::unique_ptr<CachePartitionManager> partition_;
-  ThreadPool pool_;  ///< one-shot lane runs job bodies
+  /// Declared before scheduler_: its callbacks (watchdog tick, on_incident)
+  /// reference these, and the scheduler joins its threads first on teardown.
+  std::unique_ptr<obs::AnomalyWatchdog> watchdog_;
+  std::unique_ptr<obs::PostmortemWriter> postmortem_;
+  bool armed_flight_ = false;  ///< this service started the flight recorder
+  ThreadPool pool_;            ///< one-shot lane runs job bodies
   std::unique_ptr<JobScheduler> scheduler_;
 };
 

@@ -51,7 +51,10 @@ std::string jobs_view_json(const std::vector<JobView>& jobs) {
     os << "\", \"status\": \"" << to_string(j.status) << "\", \"algo\": \""
        << j.algo << "\", \"priority\": " << j.priority
        << ", \"estimate_bytes\": " << j.estimate_bytes
-       << ", \"wall_seconds\": " << j.wall_seconds << "}";
+       << ", \"wall_seconds\": " << j.wall_seconds
+       << ", \"iteration\": " << j.iteration << ", \"edges\": " << j.edges
+       << ", \"io_bytes\": " << j.io_bytes
+       << ", \"last_tick_age_seconds\": " << j.last_tick_age_seconds << "}";
   }
   os << "]}\n";
   return os.str();

@@ -135,6 +135,12 @@ struct JobView {
   std::uint64_t estimate_bytes = 0;
   /// Seconds since submit (queued) or since dispatch (running).
   double wall_seconds = 0;
+  /// Heartbeat snapshot (running jobs with a ProgressBeat; zero otherwise).
+  std::uint64_t iteration = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t io_bytes = 0;
+  /// Seconds since the last heartbeat tick; negative when no tick yet.
+  double last_tick_age_seconds = -1;
 };
 
 /// {"jobs": [...]} for the admin /jobs route. Names are JSON-escaped.

@@ -1,206 +1,13 @@
 #include "service/jobs_json.hpp"
 
-#include <cctype>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
-#include <utility>
 
 #include "util/common.hpp"
+#include "util/json.hpp"
 
 namespace husg {
 namespace {
-
-/// Just enough JSON for jobs.json: null/bool/number/string/array/object.
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool b = false;
-  double num = 0;
-  std::string str;
-  std::vector<JsonValue> arr;
-  std::vector<std::pair<std::string, JsonValue>> obj;
-
-  const JsonValue* get(const std::string& key) const {
-    for (const auto& [k, v] : obj) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing content after JSON value");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    std::size_t line = 1, col = 1;
-    for (std::size_t k = 0; k < pos_ && k < text_.size(); ++k) {
-      if (text_[k] == '\n') {
-        ++line;
-        col = 1;
-      } else {
-        ++col;
-      }
-    }
-    std::ostringstream msg;
-    msg << "jobs.json:" << line << ":" << col << ": " << what;
-    throw DataError(msg.str());
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(const std::string& lit) {
-    if (text_.compare(pos_, lit.size(), lit) != 0) return false;
-    pos_ += lit.size();
-    return true;
-  }
-
-  JsonValue value() {
-    char c = peek();
-    JsonValue v;
-    switch (c) {
-      case '{':
-        return object();
-      case '[':
-        return array();
-      case '"':
-        v.kind = JsonValue::Kind::kString;
-        v.str = string();
-        return v;
-      case 't':
-        if (!consume_literal("true")) fail("invalid literal");
-        v.kind = JsonValue::Kind::kBool;
-        v.b = true;
-        return v;
-      case 'f':
-        if (!consume_literal("false")) fail("invalid literal");
-        v.kind = JsonValue::Kind::kBool;
-        return v;
-      case 'n':
-        if (!consume_literal("null")) fail("invalid literal");
-        return v;
-      default:
-        return number();
-    }
-  }
-
-  JsonValue number() {
-    const char* begin = text_.c_str() + pos_;
-    char* end = nullptr;
-    double num = std::strtod(begin, &end);
-    if (end == begin) fail("expected a JSON value");
-    pos_ += static_cast<std::size_t>(end - begin);
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    v.num = num;
-    return v;
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      char esc = text_[pos_++];
-      switch (esc) {
-        case '"':
-        case '\\':
-        case '/':
-          out.push_back(esc);
-          break;
-        case 'n':
-          out.push_back('\n');
-          break;
-        case 't':
-          out.push_back('\t');
-          break;
-        case 'r':
-          out.push_back('\r');
-          break;
-        case 'b':
-          out.push_back('\b');
-          break;
-        case 'f':
-          out.push_back('\f');
-          break;
-        default:
-          fail("unsupported string escape");
-      }
-    }
-    if (pos_ >= text_.size()) fail("unterminated string");
-    ++pos_;  // closing quote
-    return out;
-  }
-
-  JsonValue array() {
-    expect('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.arr.push_back(value());
-      char c = peek();
-      ++pos_;
-      if (c == ']') return v;
-      if (c != ',') fail("expected ',' or ']' in array");
-    }
-  }
-
-  JsonValue object() {
-    expect('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      std::string key = (peek(), string());
-      expect(':');
-      v.obj.emplace_back(std::move(key), value());
-      char c = peek();
-      ++pos_;
-      if (c == '}') return v;
-      if (c != ',') fail("expected ',' or '}' in object");
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
 
 [[noreturn]] void schema_fail(std::size_t job_index, const std::string& what) {
   std::ostringstream msg;
@@ -270,7 +77,7 @@ JobSpec parse_job(const JsonValue& v, std::size_t job_index) {
 }  // namespace
 
 std::vector<JobSpec> parse_jobs_json(const std::string& text) {
-  JsonValue root = JsonParser(text).parse();
+  JsonValue root = parse_json(text, "jobs.json");
   const JsonValue* jobs = &root;
   if (root.kind == JsonValue::Kind::kObject) {
     jobs = root.get("jobs");

@@ -55,9 +55,18 @@ JobTicket JobScheduler::submit(JobSpec spec, std::uint64_t estimate_bytes) {
   ticket.id = job->id;
   ticket.result = job->promise.get_future().share();
   ++stats_.accepted;
+  const int priority = job->spec.priority;
   pending_.push_back(std::move(job));
   lock.unlock();
   cv_dispatch_.notify_all();
+  if (obs::flight_enabled()) [[unlikely]] {
+    obs::FlightEvent e;
+    e.type = obs::FlightEventType::kJobSubmitted;
+    e.job = ticket.id;
+    e.v1 = static_cast<std::uint64_t>(static_cast<std::int64_t>(priority));
+    e.v2 = estimate_bytes;
+    obs::FlightRecorder::instance().record(e);
+  }
   return ticket;
 }
 
@@ -92,11 +101,19 @@ void JobScheduler::start_locked(std::size_t index) {
   r.algo = job->spec.algo;
   r.priority = job->spec.priority;
   r.start_ns = obs::now_ns();
+  r.beat = std::make_shared<obs::ProgressBeat>();
   if (job->spec.timeout_ms > 0) {
     r.has_deadline = true;
     r.deadline = Clock::now() + std::chrono::milliseconds(job->spec.timeout_ms);
   }
   running_.emplace(job->id, std::move(r));
+  if (obs::flight_enabled()) [[unlikely]] {
+    obs::FlightEvent e;
+    e.type = obs::FlightEventType::kJobStarted;
+    e.job = job->id;
+    e.v1 = job->estimate;
+    obs::FlightRecorder::instance().record(e);
+  }
   pool_.submit([this, job] { run_one(job); });
 }
 
@@ -107,6 +124,12 @@ void JobScheduler::dispatcher_loop() {
       std::chrono::milliseconds(opts_.repartition_interval_ms);
   Clock::time_point next_tick =
       tick_enabled ? Clock::now() + tick_interval : Clock::time_point::max();
+  const bool wd_enabled =
+      opts_.watchdog_interval_ms > 0 && opts_.watchdog != nullptr;
+  const auto wd_interval =
+      std::chrono::milliseconds(opts_.watchdog_interval_ms);
+  Clock::time_point next_wd =
+      wd_enabled ? Clock::now() + wd_interval : Clock::time_point::max();
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     // Start the head job while slots and memory allow. Memory shortfall
@@ -149,9 +172,42 @@ void JobScheduler::dispatcher_loop() {
         continue;
       }
     }
-    const Clock::time_point wake =
+    // Watchdog tick: sample heartbeats under the lock, evaluate unlocked
+    // (the callback takes the watchdog's own lock and may write a bundle).
+    // Runs with zero rows too, so service-wide anomalies can clear.
+    if (wd_enabled && now >= next_wd) {
+      next_wd = Clock::now() + wd_interval;
+      if (!stopping_) {
+        std::vector<obs::JobHealth> health;
+        health.reserve(running_.size());
+        for (const auto& [id, r] : running_) {
+          obs::JobHealth h;
+          h.id = id;
+          h.name = r.name;
+          h.start_ns = r.start_ns;
+          if (r.beat) {
+            h.last_tick_ns =
+                r.beat->last_tick_ns.load(std::memory_order_relaxed);
+            h.iteration = r.beat->iteration.load(std::memory_order_relaxed);
+            h.edges = r.beat->edges.load(std::memory_order_relaxed);
+            h.io_bytes = r.beat->io_bytes.load(std::memory_order_relaxed);
+            h.mispredict_streak =
+                r.beat->mispredict_streak.load(std::memory_order_relaxed);
+          }
+          health.push_back(std::move(h));
+        }
+        const obs::LatencySummary wall =
+            obs::LatencySummary::from(job_wall_ns_.snapshot());
+        lock.unlock();
+        opts_.watchdog(health, wall);
+        lock.lock();
+        continue;
+      }
+    }
+    Clock::time_point wake =
         tick_enabled && !running_.empty() ? std::min(next_deadline, next_tick)
                                           : next_deadline;
+    if (wd_enabled) wake = std::min(wake, next_wd);
     if (wake == Clock::time_point::max()) {
       cv_dispatch_.wait(lock);
     } else {
@@ -180,8 +236,11 @@ void JobScheduler::run_one(std::shared_ptr<Pending> job) {
   res.name = job->spec.name;
   res.wall_seconds = timer.seconds();
   job_wall_ns_.record(static_cast<std::uint64_t>(res.wall_seconds * 1e9));
+  std::shared_ptr<obs::ProgressBeat> beat;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    auto run_it = running_.find(job->id);
+    if (run_it != running_.end()) beat = run_it->second.beat;
     reserved_bytes_ -= job->estimate;
     running_.erase(job->id);
     switch (res.status) {
@@ -206,9 +265,55 @@ void JobScheduler::run_one(std::shared_ptr<Pending> job) {
     cv_dispatch_.notify_all();
     cv_idle_.notify_all();
   }
+  if (obs::flight_enabled()) [[unlikely]] {
+    obs::FlightEvent e;
+    e.type = obs::FlightEventType::kJobFinished;
+    e.flag = static_cast<std::uint8_t>(res.status);
+    e.job = res.id;
+    e.v1 = static_cast<std::uint64_t>(res.wall_seconds * 1e6);
+    obs::FlightRecorder::instance().record(e);
+  }
+  // Incident hook (timeout/cancel/failure): fired after the ledger update so
+  // a bundle written from the hook sees this job counted, with the final
+  // heartbeat snapshot attached — by now the job has left the live table.
+  if (res.status != JobStatus::kCompleted && opts_.on_incident) {
+    obs::IncidentInfo incident;
+    incident.id = res.id;
+    incident.name = res.name;
+    incident.status = to_string(res.status);
+    incident.error = res.error;
+    incident.wall_seconds = res.wall_seconds;
+    if (beat) {
+      incident.iteration = beat->iteration.load(std::memory_order_relaxed);
+      incident.edges = beat->edges.load(std::memory_order_relaxed);
+      incident.io_bytes = beat->io_bytes.load(std::memory_order_relaxed);
+      const std::uint64_t last =
+          beat->last_tick_ns.load(std::memory_order_relaxed);
+      if (last > 0) {
+        const std::uint64_t now = obs::now_ns();
+        incident.last_tick_age_seconds =
+            static_cast<double>(now - std::min(now, last)) * 1e-9;
+      }
+    }
+    opts_.on_incident(incident);
+  }
   // Fulfil last: a waiter observing the future ready sees the ledger and the
   // released reservation.
   job->promise.set_value(std::move(res));
+}
+
+std::shared_ptr<obs::ProgressBeat> JobScheduler::beat_for(JobId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = running_.find(id);
+  return it == running_.end() ? nullptr : it->second.beat;
+}
+
+bool JobScheduler::freeze_heartbeat(JobId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = running_.find(id);
+  if (it == running_.end() || !it->second.beat) return false;
+  it->second.beat->frozen.store(true, std::memory_order_relaxed);
+  return true;
 }
 
 bool JobScheduler::cancel(JobId id) {
@@ -315,6 +420,17 @@ std::vector<JobView> JobScheduler::snapshot_jobs() const {
     v.estimate_bytes = r.estimate;
     v.wall_seconds =
         static_cast<double>(now - std::min(now, r.start_ns)) * 1e-9;
+    if (r.beat) {
+      v.iteration = r.beat->iteration.load(std::memory_order_relaxed);
+      v.edges = r.beat->edges.load(std::memory_order_relaxed);
+      v.io_bytes = r.beat->io_bytes.load(std::memory_order_relaxed);
+      const std::uint64_t last =
+          r.beat->last_tick_ns.load(std::memory_order_relaxed);
+      if (last > 0) {
+        v.last_tick_age_seconds =
+            static_cast<double>(now - std::min(now, last)) * 1e-9;
+      }
+    }
     out.push_back(std::move(v));
   }
   std::sort(out.begin(), out.end(),

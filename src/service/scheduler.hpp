@@ -35,8 +35,11 @@
 #include <vector>
 
 #include "core/cancellation.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/postmortem.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "service/job.hpp"
 #include "util/threadpool.hpp"
 
@@ -55,6 +58,20 @@ struct SchedulerOptions {
   /// tick — the dispatcher then never wakes for it.
   std::uint32_t repartition_interval_ms = 0;
   std::function<void(const std::vector<JobId>&)> repartition;
+  /// Anomaly-watchdog tick (DESIGN.md §14): every interval the dispatcher
+  /// samples each running job's ProgressBeat into a JobHealth row and calls
+  /// `watchdog` with the rows plus the job-wall latency digest, outside the
+  /// scheduler lock. Runs with an empty row set too, so service-wide
+  /// anomalies clear once their cause is gone. 0 disables the tick.
+  std::uint32_t watchdog_interval_ms = 0;
+  std::function<void(const std::vector<obs::JobHealth>&,
+                     const obs::LatencySummary&)>
+      watchdog;
+  /// Fired on a pool worker (no scheduler lock held) when a job reaches a
+  /// bad terminal status — timeout, cancellation, or failure — after the
+  /// ledger has been updated; the service hooks the postmortem bundle
+  /// writer here.
+  std::function<void(const obs::IncidentInfo&)> on_incident;
 };
 
 class JobScheduler {
@@ -102,6 +119,16 @@ class JobScheduler {
   /// Live queued + running jobs for the admin /jobs route, sorted by id.
   std::vector<JobView> snapshot_jobs() const;
 
+  /// The heartbeat of a running job (null when unknown or not yet started).
+  /// The pointer stays valid past the job's finish — the engine may keep
+  /// ticking it while unwinding.
+  std::shared_ptr<obs::ProgressBeat> beat_for(JobId id) const;
+
+  /// Test hook: freezes a running job's heartbeat so every future tick is a
+  /// no-op — simulates a wedged worker for watchdog coverage. False when
+  /// the job is not running.
+  bool freeze_heartbeat(JobId id);
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -125,6 +152,10 @@ class JobScheduler {
     ServiceAlgo algo = ServiceAlgo::kPageRank;
     int priority = 0;
     std::uint64_t start_ns = 0;  ///< dispatch time (obs::now_ns)
+    /// Shared with the engine (EngineOptions::heartbeat) and sampled by the
+    /// watchdog tick; shared_ptr so it outlives this entry (run_one erases
+    /// it while the runner's stack may still unwind through engine code).
+    std::shared_ptr<obs::ProgressBeat> beat;
   };
 
   void dispatcher_loop();

@@ -1,0 +1,193 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/common.hpp"
+
+namespace husg {
+namespace {
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, const std::string& context)
+      : text_(text), context_(context) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t k = 0; k < pos_ && k < text_.size(); ++k) {
+      if (text_[k] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    std::ostringstream msg;
+    msg << context_ << ":" << line << ":" << col << ": " << what;
+    throw DataError(msg.str());
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const std::string& lit) {
+    if (text_.compare(pos_, lit.size(), lit) != 0) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue value() {
+    char c = peek();
+    JsonValue v;
+    switch (c) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        v.kind = JsonValue::Kind::kString;
+        v.str = string();
+        return v;
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        v.kind = JsonValue::Kind::kBool;
+        v.b = true;
+        return v;
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        v.kind = JsonValue::Kind::kBool;
+        return v;
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        return v;
+      default:
+        return number();
+    }
+  }
+
+  JsonValue number() {
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    double num = std::strtod(begin, &end);
+    if (end == begin) fail("expected a JSON value");
+    pos_ += static_cast<std::size_t>(end - begin);
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.num = num;
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(esc);
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        default:
+          fail("unsupported string escape");
+      }
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.arr.push_back(value());
+      char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      std::string key = (peek(), string());
+      expect(':');
+      v.obj.emplace_back(std::move(key), value());
+      char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  const std::string& context_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text, const std::string& context) {
+  return JsonParser(text, context).parse();
+}
+
+}  // namespace husg

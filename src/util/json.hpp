@@ -1,0 +1,37 @@
+// Minimal recursive-descent JSON reader shared by the tool-facing loaders
+// (service jobs files, postmortem bundles). Just enough JSON for
+// configuration and diagnostics payloads: null / bool / number / string /
+// array / object, no \uXXXX escapes, doubles for all numbers. Errors throw
+// DataError with a "<context>:<line>:<col>" prefix so callers can point at
+// the offending file.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace husg {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* get(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Parses one JSON value spanning the whole of `text` (trailing content is an
+/// error). `context` prefixes error messages, typically the source file name.
+JsonValue parse_json(const std::string& text, const std::string& context);
+
+}  // namespace husg

@@ -128,14 +128,66 @@ TEST(AdminRoutesTest, LogLevelRoundTrip) {
   AdminServer server(AdminOptions{}, reg);
   const log::Level before = log::level();
 
+  // Set, then read the effective level back through GET.
   EXPECT_EQ(server.handle_request("POST", "/loglevel", "debug").status, 200);
   EXPECT_EQ(log::level(), log::Level::kDebug);
+  auto res = server.handle_request("GET", "/loglevel", "");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(res.body, "debug\n");
+
   EXPECT_EQ(server.handle_request("POST", "/loglevel", "quiet\n").status, 200);
   EXPECT_EQ(log::level(), log::Level::kError);
+  EXPECT_EQ(server.handle_request("GET", "/loglevel", "").body, "quiet\n");
+
+  // Garbage neither changes the level nor the read-back.
   EXPECT_EQ(server.handle_request("POST", "/loglevel", "bogus").status, 400);
-  EXPECT_EQ(server.handle_request("GET", "/loglevel", "").status, 405);
+  EXPECT_EQ(log::level(), log::Level::kError);
+  EXPECT_EQ(server.handle_request("GET", "/loglevel", "").body, "quiet\n");
+  EXPECT_EQ(server.handle_request("PUT", "/loglevel", "debug").status, 405);
 
   log::set_level(before);
+}
+
+TEST(AdminRoutesTest, ReadyzDegradedServesWatchdogReasons) {
+  obs::Registry reg;
+  AdminServer server(AdminOptions{}, reg);
+
+  // Healthy hook (empty string) leaves /readyz at plain 200 "ready".
+  std::string reasons;
+  server.set_degraded([&reasons] { return reasons; });
+  auto res = server.handle_request("GET", "/readyz", "");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(res.body, "ready\n");
+
+  // An active anomaly flips it to 503 with the JSON reason list verbatim.
+  reasons =
+      "{\"status\":\"degraded\",\"reasons\":[{\"kind\":\"stalled_job\","
+      "\"job\":7,\"detail\":\"no heartbeat\"}]}\n";
+  res = server.handle_request("GET", "/readyz", "");
+  EXPECT_EQ(res.status, 503);
+  EXPECT_EQ(res.content_type, "application/json");
+  EXPECT_NE(res.body.find("stalled_job"), std::string::npos);
+
+  // Not-ready outranks degraded.
+  server.set_ready([] { return false; });
+  res = server.handle_request("GET", "/readyz", "");
+  EXPECT_EQ(res.status, 503);
+  EXPECT_EQ(res.body, "not ready\n");
+}
+
+TEST(AdminRoutesTest, DebugBundleRouteUsesHookOr404) {
+  obs::Registry reg;
+  AdminServer server(AdminOptions{}, reg);
+  EXPECT_EQ(server.handle_request("GET", "/debug/bundle", "").status, 404);
+
+  server.set_bundle([] {
+    return std::string("{\"bundle_version\": 1, \"reason\": \"test\"}\n");
+  });
+  auto res = server.handle_request("GET", "/debug/bundle", "");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(res.content_type, "application/json");
+  EXPECT_NE(res.body.find("\"bundle_version\": 1"), std::string::npos);
+  EXPECT_EQ(server.handle_request("POST", "/debug/bundle", "").status, 405);
 }
 
 TEST(AdminRoutesTest, TraceValidatesWindowAndConflicts) {

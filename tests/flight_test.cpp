@@ -1,0 +1,568 @@
+// Tests for the serve-mode incident stack (DESIGN.md §14): the FlightRecorder
+// lock-free event rings, ProgressBeat heartbeats, the AnomalyWatchdog rules,
+// and postmortem bundle serialization. The concurrent record/drain/scrape
+// test doubles as the TSan witness for the seqlock slot protocol.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "husg/husg.hpp"
+
+namespace husg {
+namespace {
+
+namespace fs = std::filesystem;
+using obs::Anomaly;
+using obs::AnomalyKind;
+using obs::AnomalyWatchdog;
+using obs::FlightEvent;
+using obs::FlightEventType;
+using obs::FlightRecorder;
+using obs::JobHealth;
+using obs::ProgressBeat;
+using obs::WatchdogOptions;
+
+/// Every test arms/disarms the process-wide recorder; this guard restores
+/// the disabled state even on assertion failure.
+struct RecorderGuard {
+  explicit RecorderGuard(std::size_t budget) {
+    FlightRecorder::instance().start(budget);
+  }
+  ~RecorderGuard() { FlightRecorder::instance().stop(); }
+};
+
+FlightEvent make_event(FlightEventType type, std::uint64_t job,
+                       std::uint64_t v1) {
+  FlightEvent e;
+  e.type = type;
+  e.job = job;
+  e.v1 = v1;
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder
+
+TEST(FlightRecorderTest, DisabledRecorderIsInertAndFree) {
+  FlightRecorder& rec = FlightRecorder::instance();
+  ASSERT_FALSE(obs::flight_enabled());
+  rec.record(make_event(FlightEventType::kProgress, 1, 2));
+  EXPECT_TRUE(rec.drain().empty());
+}
+
+TEST(FlightRecorderTest, RecordDrainRoundTrip) {
+  RecorderGuard guard(64);
+  FlightRecorder& rec = FlightRecorder::instance();
+  EXPECT_TRUE(obs::flight_enabled());
+
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    FlightEvent e;
+    e.type = FlightEventType::kProgress;
+    e.flag = 1;
+    e.a = static_cast<std::uint32_t>(k);
+    e.job = 7;
+    e.v1 = k * 10;
+    e.v2 = k * 100;
+    e.v3 = k * 1000;
+    rec.record(e);
+  }
+
+  std::vector<FlightEvent> events = rec.drain();
+  ASSERT_EQ(events.size(), 10u);
+  EXPECT_EQ(rec.recorded(), 10u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  for (std::size_t k = 0; k < events.size(); ++k) {
+    // Sorted by process-wide seq; a single thread recorded in order.
+    if (k > 0) EXPECT_GT(events[k].seq, events[k - 1].seq);
+    EXPECT_EQ(events[k].type, FlightEventType::kProgress);
+    EXPECT_EQ(events[k].flag, 1);
+    EXPECT_EQ(events[k].a, k);
+    EXPECT_EQ(events[k].job, 7u);
+    EXPECT_EQ(events[k].v1, k * 10);
+    EXPECT_EQ(events[k].v2, k * 100);
+    EXPECT_EQ(events[k].v3, k * 1000);
+    EXPECT_GT(events[k].ts_ns, 0u);
+  }
+}
+
+TEST(FlightRecorderTest, RingOverwriteKeepsNewestAndCountsDropped) {
+  RecorderGuard guard(16);
+  FlightRecorder& rec = FlightRecorder::instance();
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    rec.record(make_event(FlightEventType::kDecision, 1, k));
+  }
+  std::vector<FlightEvent> events = rec.drain();
+  ASSERT_EQ(events.size(), 16u);
+  // The ring holds the newest 16 of 100 (v1 = 84..99, in seq order).
+  for (std::size_t k = 0; k < events.size(); ++k) {
+    EXPECT_EQ(events[k].v1, 84 + k);
+  }
+  EXPECT_EQ(rec.recorded(), 100u);
+  EXPECT_EQ(rec.dropped(), 84u);
+}
+
+TEST(FlightRecorderTest, RestartResetsCountsAndBudget) {
+  FlightRecorder& rec = FlightRecorder::instance();
+  {
+    RecorderGuard guard(16);
+    rec.record(make_event(FlightEventType::kProgress, 1, 1));
+    EXPECT_EQ(rec.recorded(), 1u);
+  }
+  EXPECT_FALSE(obs::flight_enabled());
+  RecorderGuard guard(32);
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_EQ(rec.events_per_thread(), 32u);
+  rec.record(make_event(FlightEventType::kProgress, 2, 2));
+  std::vector<FlightEvent> events = rec.drain();
+  // The old epoch's event must not leak into the new epoch's drain.
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].job, 2u);
+}
+
+TEST(FlightRecorderTest, EventsFromMultipleThreadsCarryDistinctTids) {
+  RecorderGuard guard(64);
+  FlightRecorder& rec = FlightRecorder::instance();
+  std::thread other(
+      [&rec] { rec.record(make_event(FlightEventType::kProgress, 2, 0)); });
+  other.join();
+  rec.record(make_event(FlightEventType::kProgress, 1, 0));
+  std::vector<FlightEvent> events = rec.drain();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordDrainAndScrape) {
+  RecorderGuard guard(256);
+  FlightRecorder& rec = FlightRecorder::instance();
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 5000;
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    obs::Registry reg;
+    while (!stop.load(std::memory_order_acquire)) {
+      // Concurrent snapshot + scrape while writers are mid-flight: every
+      // drained event must be internally consistent (the seqlock re-check
+      // discards torn slots).
+      for (const FlightEvent& e : rec.drain()) {
+        ASSERT_EQ(e.type, FlightEventType::kProgress);
+        ASSERT_EQ(e.v2, e.v1 * 2) << "torn slot leaked through the seqlock";
+      }
+      rec.publish(reg);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&rec, w] {
+      for (std::uint64_t k = 0; k < kPerWriter; ++k) {
+        FlightEvent e;
+        e.type = FlightEventType::kProgress;
+        e.job = static_cast<std::uint64_t>(w);
+        e.v1 = k;
+        e.v2 = k * 2;
+        rec.record(e);
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(rec.recorded(), kWriters * kPerWriter);
+  std::vector<FlightEvent> events = rec.drain();
+  EXPECT_EQ(events.size(), kWriters * 256u);  // every ring full
+  EXPECT_EQ(rec.dropped(), kWriters * (kPerWriter - 256));
+  // Global seq is unique across threads.
+  std::set<std::uint64_t> seqs;
+  for (const FlightEvent& e : events) seqs.insert(e.seq);
+  EXPECT_EQ(seqs.size(), events.size());
+}
+
+TEST(FlightRecorderTest, DrainToFdWritesParseableJson) {
+  RecorderGuard guard(32);
+  FlightRecorder& rec = FlightRecorder::instance();
+  for (std::uint64_t k = 0; k < 5; ++k) {
+    rec.record(make_event(FlightEventType::kAnomaly, k, k + 1));
+  }
+  const fs::path path =
+      fs::temp_directory_path() / "husg_flight_fd_test.json";
+  int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  rec.drain_to_fd(fd);
+  ::close(fd);
+
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  JsonValue root = parse_json(buf.str(), "drain_to_fd");
+  ASSERT_EQ(root.kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(root.arr.size(), 5u);
+  for (const JsonValue& e : root.arr) {
+    EXPECT_EQ(e.get("type")->str, "anomaly");
+    EXPECT_EQ(e.get("v1")->num, e.get("job")->num + 1);
+  }
+  fs::remove(path);
+}
+
+TEST(FlightRecorderTest, WriteEventsJsonMatchesDrain) {
+  RecorderGuard guard(32);
+  FlightRecorder& rec = FlightRecorder::instance();
+  rec.record(make_event(FlightEventType::kJobStarted, 3, 42));
+  std::ostringstream os;
+  rec.write_events_json(os);
+  JsonValue root = parse_json(os.str(), "write_events_json");
+  ASSERT_EQ(root.kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(root.arr.size(), 1u);
+  EXPECT_EQ(root.arr[0].get("type")->str, "job_started");
+  EXPECT_EQ(root.arr[0].get("job")->num, 3);
+  EXPECT_EQ(root.arr[0].get("v1")->num, 42);
+}
+
+// ---------------------------------------------------------------------------
+// ProgressBeat
+
+TEST(ProgressBeatTest, TickRecordsProgressAndFreezeStopsIt) {
+  ProgressBeat beat;
+  EXPECT_EQ(beat.last_tick_ns.load(), 0u);
+  beat.tick(3, 100, 2000, 4096);
+  EXPECT_EQ(beat.iteration.load(), 3u);
+  EXPECT_EQ(beat.active_vertices.load(), 100u);
+  EXPECT_EQ(beat.edges.load(), 2000u);
+  EXPECT_EQ(beat.io_bytes.load(), 4096u);
+  const std::uint64_t t1 = beat.last_tick_ns.load();
+  EXPECT_GT(t1, 0u);
+
+  beat.frozen.store(true);
+  beat.tick(4, 1, 1, 1);
+  beat.touch();
+  EXPECT_EQ(beat.iteration.load(), 3u) << "frozen beat must ignore ticks";
+  EXPECT_EQ(beat.last_tick_ns.load(), t1);
+
+  beat.frozen.store(false);
+  beat.touch();
+  EXPECT_GE(beat.last_tick_ns.load(), t1);
+}
+
+TEST(ProgressBeatTest, MispredictStreakCountsAndResets) {
+  ProgressBeat beat;
+  beat.note_prediction(true);
+  beat.note_prediction(true);
+  EXPECT_EQ(beat.mispredict_streak.load(), 2u);
+  beat.note_prediction(false);
+  EXPECT_EQ(beat.mispredict_streak.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// AnomalyWatchdog
+
+JobHealth healthy_job(std::uint64_t id, const std::string& name) {
+  JobHealth j;
+  j.id = id;
+  j.name = name;
+  j.start_ns = obs::now_ns();
+  j.last_tick_ns = obs::now_ns();
+  return j;
+}
+
+TEST(WatchdogTest, StalledJobTripsThenClears) {
+  obs::Registry reg;
+  WatchdogOptions wo;
+  wo.stall_ms = 10;
+  AnomalyWatchdog wd(wo, reg);
+  std::vector<Anomaly> trips;
+  wd.set_on_trip([&trips](const Anomaly& a) { trips.push_back(a); });
+
+  JobHealth j = healthy_job(7, "wedged");
+  j.iteration = 3;
+  wd.evaluate({j}, obs::LatencySummary{}, nullptr);
+  EXPECT_FALSE(wd.degraded());
+
+  // Let the heartbeat age past the stall threshold (now_ns() is a
+  // steady-clock epoch, so rewinding a timestamp can underflow early in the
+  // process — aging forward is the robust way).
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  wd.evaluate({j}, obs::LatencySummary{}, nullptr);
+  EXPECT_TRUE(wd.degraded());
+  ASSERT_EQ(trips.size(), 1u);
+  EXPECT_EQ(trips[0].kind, AnomalyKind::kStalledJob);
+  EXPECT_EQ(trips[0].job, 7u);
+  EXPECT_EQ(reg.counter("husg_anomaly_stalled_jobs_total", "").value(), 1u);
+  EXPECT_EQ(wd.trips(), 1u);
+
+  std::vector<Anomaly> active = wd.active();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_NE(active[0].detail.find("wedged"), std::string::npos);
+  const std::uint64_t since = active[0].since_ns;
+
+  // Still stalled next tick: no re-trip, since_ns is carried over.
+  wd.evaluate({j}, obs::LatencySummary{}, nullptr);
+  EXPECT_EQ(trips.size(), 1u);
+  EXPECT_EQ(wd.active()[0].since_ns, since);
+
+  // Fresh heartbeat clears it.
+  j.last_tick_ns = obs::now_ns();
+  wd.evaluate({j}, obs::LatencySummary{}, nullptr);
+  EXPECT_FALSE(wd.degraded());
+  EXPECT_TRUE(wd.active().empty());
+  EXPECT_EQ(trips.size(), 1u);
+}
+
+TEST(WatchdogTest, SloBurnUsesP95AgainstTarget) {
+  obs::Registry reg;
+  WatchdogOptions wo;
+  wo.slo_ms = 100;
+  AnomalyWatchdog wd(wo, reg);
+
+  obs::LatencySummary wall;
+  wall.count = 10;
+  wall.p95_seconds = 0.05;  // 50 ms: under target
+  wd.evaluate({}, wall, nullptr);
+  EXPECT_FALSE(wd.degraded());
+
+  wall.p95_seconds = 0.5;  // 500 ms: SLO burn
+  wd.evaluate({}, wall, nullptr);
+  EXPECT_TRUE(wd.degraded());
+  ASSERT_EQ(wd.active().size(), 1u);
+  EXPECT_EQ(wd.active()[0].kind, AnomalyKind::kSloBurn);
+  EXPECT_EQ(wd.active()[0].job, 0u) << "SLO burn is service-wide";
+  EXPECT_EQ(reg.counter("husg_anomaly_slo_burn_total", "").value(), 1u);
+}
+
+TEST(WatchdogTest, CacheThrashNeedsFreshTrafficDelta) {
+  obs::Registry reg;
+  WatchdogOptions wo;
+  wo.min_cache_lookups = 100;
+  AnomalyWatchdog wd(wo, reg);
+
+  CacheStats first;
+  first.hits = 1000;
+  first.misses = 100;
+  wd.evaluate({}, obs::LatencySummary{}, &first);
+  EXPECT_FALSE(wd.degraded()) << "first sample only seeds the delta";
+
+  // Between ticks: all misses, evicting nearly every insert.
+  CacheStats second = first;
+  second.misses += 2000;
+  second.insertions += 2000;
+  second.evictions += 1990;
+  wd.evaluate({}, obs::LatencySummary{}, &second);
+  EXPECT_TRUE(wd.degraded());
+  ASSERT_EQ(wd.active().size(), 1u);
+  EXPECT_EQ(wd.active()[0].kind, AnomalyKind::kCacheThrash);
+  EXPECT_EQ(reg.counter("husg_anomaly_cache_thrash_total", "").value(), 1u);
+
+  // A healthy delta (hits, few evictions) clears it.
+  CacheStats third = second;
+  third.hits += 5000;
+  third.insertions += 10;
+  wd.evaluate({}, obs::LatencySummary{}, &third);
+  EXPECT_FALSE(wd.degraded());
+}
+
+TEST(WatchdogTest, MispredictStreakRule) {
+  obs::Registry reg;
+  WatchdogOptions wo;
+  wo.mispredict_streak = 4;
+  AnomalyWatchdog wd(wo, reg);
+
+  JobHealth j = healthy_job(3, "mispredicted");
+  j.mispredict_streak = 3;
+  wd.evaluate({j}, obs::LatencySummary{}, nullptr);
+  EXPECT_FALSE(wd.degraded());
+
+  j.mispredict_streak = 4;
+  wd.evaluate({j}, obs::LatencySummary{}, nullptr);
+  EXPECT_TRUE(wd.degraded());
+  EXPECT_EQ(wd.active()[0].kind, AnomalyKind::kMispredictStreak);
+  EXPECT_EQ(wd.active()[0].job, 3u);
+  EXPECT_EQ(reg.counter("husg_anomaly_mispredict_streak_total", "").value(),
+            1u);
+}
+
+TEST(WatchdogTest, ReadyzJsonIsParseableAndNamesTheJob) {
+  obs::Registry reg;
+  WatchdogOptions wo;
+  wo.stall_ms = 10;
+  AnomalyWatchdog wd(wo, reg);
+  JobHealth j = healthy_job(9, "quoted \"name\"");
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  wd.evaluate({j}, obs::LatencySummary{}, nullptr);
+
+  const std::string json = wd.readyz_json();
+  JsonValue root = parse_json(json, "readyz");
+  EXPECT_EQ(root.get("status")->str, "degraded");
+  ASSERT_EQ(root.get("reasons")->arr.size(), 1u);
+  const JsonValue& reason = root.get("reasons")->arr[0];
+  EXPECT_EQ(reason.get("kind")->str, "stalled_job");
+  EXPECT_EQ(reason.get("job")->num, 9);
+  EXPECT_NE(reason.get("detail")->str.find("job 9"), std::string::npos);
+}
+
+TEST(WatchdogTest, TripRecordsFlightEvent) {
+  RecorderGuard guard(32);
+  obs::Registry reg;
+  WatchdogOptions wo;
+  wo.stall_ms = 10;
+  AnomalyWatchdog wd(wo, reg);
+  JobHealth j = healthy_job(5, "stalled");
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  wd.evaluate({j}, obs::LatencySummary{}, nullptr);
+
+  bool saw_anomaly = false;
+  for (const FlightEvent& e : FlightRecorder::instance().drain()) {
+    if (e.type == FlightEventType::kAnomaly && e.job == 5) saw_anomaly = true;
+  }
+  EXPECT_TRUE(saw_anomaly);
+}
+
+// ---------------------------------------------------------------------------
+// Postmortem bundles
+
+TEST(BundleTest, WriteBundleJsonRoundTripsThroughParser) {
+  RecorderGuard guard(32);
+  FlightRecorder::instance().record(
+      make_event(FlightEventType::kProgress, 11, 4));
+
+  obs::BundleContext ctx;
+  ctx.reason = "unit \"test\"";
+  ctx.has_incident = true;
+  ctx.incident.id = 11;
+  ctx.incident.name = "timed-out-job";
+  ctx.incident.status = "timed_out";
+  ctx.incident.error = "deadline exceeded";
+  ctx.incident.wall_seconds = 1.5;
+  ctx.incident.iteration = 4;
+  ctx.incident.last_tick_age_seconds = 0.25;
+  Anomaly a;
+  a.kind = AnomalyKind::kStalledJob;
+  a.job = 11;
+  a.detail = "job 11 silent";
+  ctx.anomalies.push_back(a);
+  JobView v;
+  v.id = 12;
+  v.name = "bystander";
+  v.status = JobStatus::kRunning;
+  v.algo = "pagerank";
+  v.iteration = 2;
+  ctx.jobs.push_back(v);
+  ctx.has_stats = true;
+  ctx.stats.submitted = 2;
+  ctx.stats.timed_out = 1;
+  obs::Registry reg;
+  reg.counter("bundle_test_marker_total", "marker").inc(5);
+  ctx.registry = &reg;
+
+  std::ostringstream os;
+  obs::write_bundle_json(os, ctx);
+  JsonValue root = parse_json(os.str(), "bundle");
+
+  EXPECT_EQ(root.get("bundle_version")->num, 1);
+  EXPECT_EQ(root.get("reason")->str, "unit \"test\"");
+  EXPECT_GT(root.get("written_ns")->num, 0);
+  const JsonValue* inc = root.get("incident");
+  ASSERT_NE(inc, nullptr);
+  EXPECT_EQ(inc->get("name")->str, "timed-out-job");
+  EXPECT_EQ(inc->get("status")->str, "timed_out");
+  EXPECT_EQ(inc->get("iteration")->num, 4);
+  ASSERT_EQ(root.get("anomalies")->arr.size(), 1u);
+  EXPECT_EQ(root.get("anomalies")->arr[0].get("kind")->str, "stalled_job");
+  const JsonValue* jobs = root.get("jobs");
+  ASSERT_NE(jobs, nullptr);
+  ASSERT_EQ(jobs->get("jobs")->arr.size(), 1u);
+  EXPECT_EQ(jobs->get("jobs")->arr[0].get("name")->str, "bystander");
+  EXPECT_EQ(root.get("service")->get("timed_out")->num, 1);
+  EXPECT_EQ(root.get("flight")->get("recorded")->num, 1);
+  ASSERT_EQ(root.get("flight_events")->arr.size(), 1u);
+  EXPECT_EQ(root.get("flight_events")->arr[0].get("job")->num, 11);
+  EXPECT_NE(root.get("metrics_prom")->str.find("bundle_test_marker_total 5"),
+            std::string::npos);
+}
+
+TEST(PostmortemWriterTest, WritesFilesAndPrunesOldest) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("husg_bundle_test_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  obs::PostmortemWriter::Options po;
+  po.dir = dir;
+  po.max_bundles = 2;
+  obs::PostmortemWriter writer(po, [](const std::string& reason) {
+    obs::BundleContext ctx;
+    ctx.reason = reason;
+    return ctx;
+  });
+
+  std::vector<fs::path> written;
+  for (int k = 0; k < 4; ++k) {
+    fs::path p = writer.write("watchdog-stalled_job");
+    ASSERT_FALSE(p.empty());
+    written.push_back(p);
+  }
+  EXPECT_EQ(writer.bundles_written(), 4u);
+
+  std::size_t remaining = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++remaining;
+  }
+  EXPECT_EQ(remaining, 2u) << "oldest bundles past max_bundles must be pruned";
+  EXPECT_TRUE(fs::exists(written.back()));
+
+  // Each surviving file parses and carries the reason.
+  std::ifstream in(written.back());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  JsonValue root = parse_json(buf.str(), "bundle-file");
+  EXPECT_EQ(root.get("reason")->str, "watchdog-stalled_job");
+  fs::remove_all(dir);
+}
+
+TEST(PostmortemWriterTest, EmptyDirDisablesFilesButServesJson) {
+  obs::PostmortemWriter writer(obs::PostmortemWriter::Options{},
+                               [](const std::string& reason) {
+                                 obs::BundleContext ctx;
+                                 ctx.reason = reason;
+                                 return ctx;
+                               });
+  EXPECT_TRUE(writer.write("nope").empty());
+  EXPECT_EQ(writer.bundles_written(), 0u);
+  JsonValue root = parse_json(writer.bundle_json("debug"), "bundle");
+  EXPECT_EQ(root.get("reason")->str, "debug");
+}
+
+// ---------------------------------------------------------------------------
+// util/json parser (extracted from jobs_json; shared by the bundle readers)
+
+TEST(JsonParserTest, ParsesScalarsContainersAndReportsContext) {
+  JsonValue v = parse_json(
+      "{\"a\": [1, 2.5, -3], \"b\": {\"nested\": true}, \"c\": null, "
+      "\"s\": \"hi\\n\"}",
+      "inline");
+  EXPECT_EQ(v.get("a")->arr.size(), 3u);
+  EXPECT_EQ(v.get("a")->arr[1].num, 2.5);
+  EXPECT_EQ(v.get("a")->arr[2].num, -3);
+  EXPECT_TRUE(v.get("b")->get("nested")->b);
+  EXPECT_EQ(v.get("c")->kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(v.get("s")->str, "hi\n");
+  EXPECT_EQ(v.get("missing"), nullptr);
+
+  try {
+    parse_json("{\"a\": }", "ctx-name");
+    FAIL() << "expected DataError";
+  } catch (const DataError& e) {
+    EXPECT_NE(std::string(e.what()).find("ctx-name"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace husg

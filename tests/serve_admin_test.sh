@@ -3,7 +3,11 @@
 # start serve with --admin-port 0 (ephemeral), scrape /healthz /readyz
 # /jobs /heatmap /calibration /mrc /metrics while a job is in flight, flip
 # the log level over POST /loglevel, and validate the /metrics output
-# (including the husg_calibration_*/husg_mrc_* families) with check_prom.py.
+# (including the husg_calibration_*/husg_mrc_*/husg_anomaly_* families) with
+# check_prom.py. A second serve run freezes a job's heartbeat via the
+# HUSG_TEST_FREEZE_HEARTBEAT hook: the anomaly watchdog must flip /readyz to
+# 503 naming the stalled job, write a postmortem bundle, and the bundle must
+# pretty-print through `husg_cli inspect-bundle`.
 # Invoked by ctest with the CLI binary as $1 and husg_replay as $2.
 set -eu
 
@@ -32,6 +36,28 @@ data = body.encode() if method == "POST" else None
 req = urllib.request.Request(f"http://127.0.0.1:{port}{path}", data=data,
                              method=method)
 sys.stdout.write(urllib.request.urlopen(req, timeout=5).read().decode())
+EOF
+  fi
+}
+
+# GET that tolerates non-2xx responses (degraded /readyz answers 503): writes
+# the body to the file in $3 and prints the HTTP status code.
+fetch_code() { # fetch_code PORT PATH OUTFILE
+  _port="$1"; _path="$2"; _out="$3"
+  if command -v curl > /dev/null 2>&1; then
+    curl -sS -o "$_out" -w '%{http_code}' "http://127.0.0.1:$_port$_path"
+  else
+    python3 - "$_port" "$_path" "$_out" <<'EOF'
+import sys, urllib.request, urllib.error
+port, path, out = sys.argv[1:4]
+try:
+    resp = urllib.request.urlopen(f"http://127.0.0.1:{port}{path}", timeout=5)
+    body, code = resp.read(), resp.getcode()
+except urllib.error.HTTPError as e:
+    body, code = e.read(), e.code
+with open(out, "wb") as f:
+    f.write(body)
+sys.stdout.write(str(code))
 EOF
   fi
 }
@@ -137,6 +163,7 @@ grep -q '^husg_mrc_tracked_jobs' "$WORK/metrics.live" \
 if command -v python3 > /dev/null 2>&1; then
   python3 "$(dirname "$0")/../tools/check_prom.py" \
     --require-family husg_calibration --require-family husg_mrc \
+    --require-family husg_anomaly \
     "$WORK/metrics.live" \
     > /dev/null || fail "live metrics not valid Prometheus exposition"
 fi
@@ -167,5 +194,99 @@ fi
 [ -s "$WORK/serve_trace.bin" ] || fail "serve trace missing"
 "$REPLAY" --trace "$WORK/serve_trace.bin" --quiet \
   > /dev/null || fail "serve trace failed to load/replay"
+
+# --- Phase 2: frozen heartbeat trips the watchdog ---------------------------
+# HUSG_TEST_FREEZE_HEARTBEAT=frozen-pr freezes that job's progress beat at
+# submission, so the stall rule fires after --watchdog-ms even though the job
+# is making real progress. /readyz must flip to 503 naming the stalled job, a
+# watchdog bundle must land in --bundle-dir, and the scrape must carry a
+# nonzero husg_anomaly_stalled_jobs_total.
+cat > "$WORK/jobs2.json" <<'EOF'
+[
+  {"name": "frozen-pr", "algo": "pagerank", "iterations": 20000,
+   "timeout_ms": 120000}
+]
+EOF
+
+HUSG_TEST_FREEZE_HEARTBEAT=frozen-pr \
+  "$CLI" serve --store "$WORK/store" --jobs "$WORK/jobs2.json" \
+  --admin-port 0 --watchdog-ms 200 --bundle-dir "$WORK/bundles" \
+  > "$WORK/serve2.log" 2>&1 &
+SERVE_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^admin server listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+    "$WORK/serve2.log" | head -n1)
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || fail "serve #2 exited before listening"
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "serve #2 admin port never announced"
+
+# Poll until the watchdog declares the job stalled and degrades readiness.
+READY_CODE=""
+for _ in $(seq 1 100); do
+  READY_CODE=$(fetch_code "$PORT" /readyz "$WORK/readyz.degraded" || true)
+  [ "$READY_CODE" = "503" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+[ "$READY_CODE" = "503" ] || fail "/readyz never degraded (last: $READY_CODE)"
+grep -q '"status":"degraded"' "$WORK/readyz.degraded" \
+  || fail "degraded /readyz body missing status"
+grep -q 'stalled_job' "$WORK/readyz.degraded" \
+  || fail "degraded /readyz body missing stalled_job reason"
+grep -q 'frozen-pr' "$WORK/readyz.degraded" \
+  || fail "degraded /readyz body does not name the job"
+
+# The on-demand bundle route serves a parseable bundle while degraded.
+fetch GET "$PORT" /debug/bundle > "$WORK/debug.bundle.json" \
+  || fail "GET /debug/bundle"
+grep -q '"bundle_version"' "$WORK/debug.bundle.json" \
+  || fail "/debug/bundle missing bundle_version"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$WORK/debug.bundle.json" > /dev/null \
+    || fail "/debug/bundle not valid JSON"
+fi
+
+# The anomaly counters must be live (and nonzero for the stall) in /metrics.
+fetch GET "$PORT" /metrics > "$WORK/metrics2.live"
+grep -q '^husg_anomaly_stalled_jobs_total [1-9]' "$WORK/metrics2.live" \
+  || fail "scrape missing nonzero stalled-jobs counter"
+if command -v python3 > /dev/null 2>&1; then
+  python3 "$(dirname "$0")/../tools/check_prom.py" \
+    --require-family husg_anomaly "$WORK/metrics2.live" \
+    > /dev/null || fail "degraded metrics not valid Prometheus exposition"
+fi
+
+# The watchdog trip wrote a bundle file (the write races the readiness flip
+# by a callback, so poll briefly). Match the stalled-job slug specifically:
+# the frozen beat can trip other rules first (mispredict streak), and
+# --bundle-dir also pre-creates an empty crash-<pid>.bundle.json for the
+# signal handler's pre-opened fd.
+BUNDLE=""
+for _ in $(seq 1 50); do
+  BUNDLE=$(ls "$WORK/bundles"/*-watchdog-stalled-job.bundle.json 2>/dev/null \
+    | head -n1)
+  [ -n "$BUNDLE" ] && break
+  sleep 0.1
+done
+[ -n "$BUNDLE" ] || fail "watchdog trip wrote no bundle"
+
+# Let the batch finish; the job itself still completes.
+wait "$SERVE_PID" || fail "serve #2 exited nonzero"
+SERVE_PID=""
+grep -q 'frozen-pr.*completed' "$WORK/serve2.log" \
+  || fail "frozen-pr did not complete"
+
+# Offline triage: inspect-bundle pretty-prints the bundle and names the
+# stalled job in its anomaly section.
+"$CLI" inspect-bundle --bundle "$BUNDLE" > "$WORK/inspect.txt" \
+  || fail "inspect-bundle failed"
+grep -q 'stalled_job' "$WORK/inspect.txt" \
+  || fail "inspect-bundle missing stalled_job anomaly"
+grep -q 'frozen-pr' "$WORK/inspect.txt" \
+  || fail "inspect-bundle does not name the stalled job"
 
 echo "serve_admin_test OK"

@@ -9,7 +9,9 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <fstream>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "husg/husg.hpp"
@@ -406,6 +408,70 @@ TEST(GraphServiceTest, TimeoutCancelsAndServiceStaysUsable) {
   ServiceStats st = service.stats();
   EXPECT_EQ(st.timed_out, 1u);
   EXPECT_EQ(st.completed, 1u);
+}
+
+TEST(GraphServiceTest, TimeoutEmitsPostmortemBundle) {
+  ScratchDir scratch("service_timeout_bundle");
+  EdgeList g = gen::chain(VertexId{1} << 16);
+  StoreOptions sopt;
+  sopt.num_partitions = 4;
+  DualBlockStore store = DualBlockStore::build(g, scratch / "store", sopt);
+
+  ServiceOptions so = small_service_options();
+  so.bundle_dir = scratch / "bundles";
+  GraphService service(store, so);
+  JobSpec slow;
+  slow.name = "slow-bfs";
+  slow.algo = ServiceAlgo::kBfs;
+  slow.timeout_ms = 100;
+  JobTicket t = service.submit(slow);
+  ASSERT_TRUE(t.accepted);
+  EXPECT_EQ(t.result.get().status, JobStatus::kTimedOut);
+
+  // The incident hook fires on the scheduler thread after the result promise
+  // is fulfilled; poll briefly for the bundle file to land.
+  auto find_bundle = [&]() -> std::filesystem::path {
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(so.bundle_dir, ec)) {
+      if (entry.path().filename().string().ends_with(".bundle.json")) {
+        return entry.path();
+      }
+    }
+    return {};
+  };
+  spin_until([&] { return !find_bundle().empty(); });
+  const std::filesystem::path bundle = find_bundle();
+
+  std::ifstream in(bundle);
+  ASSERT_TRUE(in.good()) << bundle;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  JsonValue doc = parse_json(buf.str(), bundle.string());
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
+
+  const JsonValue* reason = doc.get("reason");
+  ASSERT_NE(reason, nullptr);
+  EXPECT_EQ(reason->str, "job-timed_out");
+
+  // The incident section names the job that timed out.
+  const JsonValue* inc = doc.get("incident");
+  ASSERT_NE(inc, nullptr);
+  ASSERT_NE(inc->get("id"), nullptr);
+  ASSERT_NE(inc->get("status"), nullptr);
+  EXPECT_EQ(static_cast<JobId>(inc->get("id")->num), t.id);
+  EXPECT_EQ(inc->get("name")->str, "slow-bfs");
+  EXPECT_EQ(inc->get("status")->str, "timed_out");
+
+  // The bundle's service counters agree with the live ServiceStats (the jobs
+  // table only lists queued/running jobs; the terminal job is the incident).
+  ServiceStats st = service.stats();
+  const JsonValue* svc = doc.get("service");
+  ASSERT_NE(svc, nullptr);
+  ASSERT_NE(svc->get("timed_out"), nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(svc->get("timed_out")->num),
+            st.timed_out);
+  EXPECT_EQ(st.timed_out, 1u);
 }
 
 TEST(GraphServiceTest, ExplicitCancelMidRun) {

@@ -24,6 +24,7 @@
 // value. Option values are validated up front, before any store or graph
 // I/O, so a typo fails in milliseconds with a pointed message instead of
 // silently running with a default.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -39,7 +40,8 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: husg_cli <generate|build|info|verify|run|serve> [options]\n"
+      "usage: husg_cli "
+      "<generate|build|info|verify|run|serve|inspect-bundle> [options]\n"
       "  global   [--log-level quiet|warn|info|debug]\n"
       "  generate --type rmat|er|web|chain|grid --scale N [--degree D]\n"
       "           [--seed S] [--weighted] --out FILE\n"
@@ -74,6 +76,9 @@ int usage() {
       "           [--io-backend sync|uring|auto] [--queue-depth N]\n"
       "           [--direct] [--admin-port N] [--calibrate off|observe|apply]\n"
       "           [--cache-partition] [--repartition-ms N]\n"
+      "           [--flight-events N] [--watchdog-ms N] [--slo-ms N]\n"
+      "           [--bundle-dir DIR]\n"
+      "  inspect-bundle --bundle FILE   (pretty-print a postmortem bundle)\n"
       "--io-backend selects the read path: sync (pread), uring (batched\n"
       "io_uring rings; errors out if the kernel denies it) or auto (uring\n"
       "when available, else sync — the default); --queue-depth bounds reads\n"
@@ -88,7 +93,12 @@ int usage() {
       "replay with husg_replay (miss-ratio curves, predictor what-ifs);\n"
       "--admin-port starts the admin HTTP server on 127.0.0.1 (0 =\n"
       "ephemeral; GET /healthz /readyz /metrics /jobs /heatmap /calibration\n"
-      "/mrc /trace?ms=N, POST /loglevel).\n"
+      "/mrc /trace?ms=N /debug/bundle /loglevel, POST /loglevel).\n"
+      "--flight-events sizes the per-thread flight-recorder rings (0\n"
+      "disables); --watchdog-ms flags a running job with no heartbeat for\n"
+      "that long as stalled and degrades /readyz (0 disables, default\n"
+      "5000); --slo-ms adds a p95 job-wall SLO rule; --bundle-dir writes\n"
+      "postmortem bundles (watchdog trips, bad job exits, crashes) there.\n"
       "--calibrate measures the device online (EWMA over sampled I/O\n"
       "latencies): observe only reports the preset-vs-measured delta,\n"
       "apply re-prices §3.4 ROP/COP decisions with the measured profile\n"
@@ -818,6 +828,125 @@ void write_serve_report(const std::string& path, const std::string& store_dir,
   f << "\n}\n";
 }
 
+// -- inspect-bundle ---------------------------------------------------------
+
+/// Missing members read as 0 / "" — bundles evolve, the inspector shouldn't
+/// hard-fail on a field an older (or crash-path) bundle lacks.
+double jnum(const JsonValue* v) { return v != nullptr ? v->num : 0; }
+std::string jstr(const JsonValue* v) {
+  return v != nullptr ? v->str : std::string();
+}
+
+/// Offline pretty-printer for a postmortem bundle (DESIGN.md §14): the
+/// headline incident, active anomalies, the job table with each job's last
+/// progress tick, and the flight-recorder totals. The full event stream and
+/// metrics text stay in the file; this is the two-screen triage view.
+int cmd_inspect_bundle(const Options& opts) {
+  std::string path = opts.get("bundle", "");
+  if (path.empty()) return usage();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  JsonValue root = parse_json(buf.str(), path);
+
+  std::printf("bundle %s\n", path.c_str());
+  std::printf("  version: %lld\n",
+              static_cast<long long>(jnum(root.get("bundle_version"))));
+  std::printf("  reason:  %s\n", jstr(root.get("reason")).c_str());
+
+  if (const JsonValue* store = root.get("store")) {
+    std::printf("  store:   %s  (%lld vertices, %lld edges, p=%lld)\n",
+                jstr(store->get("dir")).c_str(),
+                static_cast<long long>(jnum(store->get("vertices"))),
+                static_cast<long long>(jnum(store->get("edges"))),
+                static_cast<long long>(jnum(store->get("partitions"))));
+  }
+  if (const JsonValue* inc = root.get("incident")) {
+    std::printf("incident: job %llu '%s' %s  wall=%.3fs iter=%lld\n",
+                static_cast<unsigned long long>(jnum(inc->get("id"))),
+                jstr(inc->get("name")).c_str(),
+                jstr(inc->get("status")).c_str(), jnum(inc->get("wall_seconds")),
+                static_cast<long long>(jnum(inc->get("iteration"))));
+    const std::string err = jstr(inc->get("error"));
+    if (!err.empty()) std::printf("  error:   %s\n", err.c_str());
+    const double age = jnum(inc->get("last_tick_age_seconds"));
+    if (age >= 0) std::printf("  last heartbeat: %.2fs before exit\n", age);
+  }
+  if (const JsonValue* anomalies = root.get("anomalies")) {
+    std::printf("anomalies: %zu active\n", anomalies->arr.size());
+    for (const JsonValue& a : anomalies->arr) {
+      std::printf("  - %-18s job=%llu  %s\n", jstr(a.get("kind")).c_str(),
+                  static_cast<unsigned long long>(jnum(a.get("job"))),
+                  jstr(a.get("detail")).c_str());
+    }
+  }
+  if (const JsonValue* jobs = root.get("jobs")) {
+    if (const JsonValue* list = jobs->get("jobs")) {
+      std::printf("jobs: %zu live\n", list->arr.size());
+      for (const JsonValue& j : list->arr) {
+        std::printf("  - job %llu '%s' %s",
+                    static_cast<unsigned long long>(jnum(j.get("id"))),
+                    jstr(j.get("name")).c_str(),
+                    jstr(j.get("status")).c_str());
+        if (jnum(j.get("iteration")) > 0 || j.get("last_tick_age_seconds")) {
+          std::printf("  iter=%lld edges=%lld io=%s",
+                      static_cast<long long>(jnum(j.get("iteration"))),
+                      static_cast<long long>(jnum(j.get("edges"))),
+                      human_bytes(static_cast<std::uint64_t>(
+                                      jnum(j.get("io_bytes"))))
+                          .c_str());
+          const double age = jnum(j.get("last_tick_age_seconds"));
+          if (age >= 0) std::printf("  last-tick=%.2fs ago", age);
+        }
+        std::printf("\n");
+      }
+    }
+  }
+  if (const JsonValue* service = root.get("service")) {
+    std::printf("service: %lld submitted, %lld completed, %lld failed, "
+                "%lld cancelled, %lld timed out\n",
+                static_cast<long long>(jnum(service->get("submitted"))),
+                static_cast<long long>(jnum(service->get("completed"))),
+                static_cast<long long>(jnum(service->get("failed"))),
+                static_cast<long long>(jnum(service->get("cancelled"))),
+                static_cast<long long>(jnum(service->get("timed_out"))));
+  }
+  if (const JsonValue* flight = root.get("flight")) {
+    const JsonValue* events = root.get("flight_events");
+    std::printf("flight: %lld events recorded, %lld dropped, %zu in bundle\n",
+                static_cast<long long>(jnum(flight->get("recorded"))),
+                static_cast<long long>(jnum(flight->get("dropped"))),
+                events != nullptr ? events->arr.size() : 0);
+    if (events != nullptr && !events->arr.empty()) {
+      // The tail is where the story is; show the last few events.
+      const std::size_t n = std::min<std::size_t>(events->arr.size(), 8);
+      std::printf("  last %zu events:\n", n);
+      for (std::size_t k = events->arr.size() - n; k < events->arr.size();
+           ++k) {
+        const JsonValue& e = events->arr[k];
+        std::printf("    seq=%-8llu %-14s job=%llu a=%lld v1=%lld v2=%lld "
+                    "v3=%lld\n",
+                    static_cast<unsigned long long>(jnum(e.get("seq"))),
+                    jstr(e.get("type")).c_str(),
+                    static_cast<unsigned long long>(jnum(e.get("job"))),
+                    static_cast<long long>(jnum(e.get("a"))),
+                    static_cast<long long>(jnum(e.get("v1"))),
+                    static_cast<long long>(jnum(e.get("v2"))),
+                    static_cast<long long>(jnum(e.get("v3"))));
+      }
+    }
+  }
+  if (root.get("calibration") != nullptr) {
+    std::printf("calibration: present (see file)\n");
+  }
+  if (root.get("mrc") != nullptr) std::printf("mrc: present (see file)\n");
+  return 0;
+}
+
 int cmd_serve(const Options& opts) {
   std::string store_dir = opts.get("store", "");
   std::string jobs_path = opts.get("jobs", "");
@@ -841,6 +970,20 @@ int cmd_serve(const Options& opts) {
   if (opts.get_int("repartition-ms", 250) <= 0) {
     return invalid_option("--repartition-ms", opts.get("repartition-ms", ""),
                           "a positive interval in milliseconds");
+  }
+  if (opts.get_int("flight-events", 4096) < 0) {
+    return invalid_option("--flight-events", opts.get("flight-events", ""),
+                          "a non-negative per-thread event count (0 disables)");
+  }
+  if (opts.get_int("watchdog-ms", 5000) < 0) {
+    return invalid_option("--watchdog-ms", opts.get("watchdog-ms", ""),
+                          "a non-negative stall threshold in milliseconds "
+                          "(0 disables)");
+  }
+  if (opts.get_int("slo-ms", 0) < 0) {
+    return invalid_option("--slo-ms", opts.get("slo-ms", ""),
+                          "a non-negative p95 target in milliseconds "
+                          "(0 disables)");
   }
   if (int rc = validate_engine_flags(opts)) return rc;
 
@@ -876,6 +1019,17 @@ int cmd_serve(const Options& opts) {
   so.cache_partition = opts.get_bool("cache-partition", false);
   so.repartition_interval_ms =
       static_cast<std::uint32_t>(opts.get_int("repartition-ms", 250));
+  so.flight_events = static_cast<std::size_t>(opts.get_int(
+      "flight-events",
+      static_cast<long long>(obs::FlightRecorder::kDefaultEventsPerThread)));
+  so.watchdog_ms =
+      static_cast<std::uint32_t>(opts.get_int("watchdog-ms", 5000));
+  so.slo_ms = static_cast<std::uint32_t>(opts.get_int("slo-ms", 0));
+  so.bundle_dir = opts.get("bundle-dir", "");
+  if (!so.bundle_dir.empty()) {
+    // Fatal signals dump the flight rings into a pre-opened crash bundle.
+    obs::install_crash_handler(so.bundle_dir);
+  }
   if (so.calibrate != obs::CalibrationMode::kOff) {
     obs::DeviceCalibrator::instance().arm(so.device, so.calibrate);
   }
@@ -901,6 +1055,14 @@ int cmd_serve(const Options& opts) {
   if (admin) {
     admin->set_jobs(
         [&service] { return jobs_view_json(service.snapshot_jobs()); });
+    if (service.watchdog() != nullptr) {
+      admin->set_degraded([&service]() -> std::string {
+        const obs::AnomalyWatchdog* wd = service.watchdog();
+        return wd->degraded() ? wd->readyz_json() : std::string();
+      });
+    }
+    admin->set_bundle(
+        [&service] { return service.bundle_json("debug-endpoint"); });
     if (service.partition() != nullptr) {
       admin->set_mrc([&service] {
         std::ostringstream os;
@@ -927,11 +1089,13 @@ int cmd_serve(const Options& opts) {
         reg.gauge("husg_cache_resident_bytes", "Bytes resident in the cache")
             .set(static_cast<double>(service.cache()->resident_bytes()));
       }
-      // Both publishers set gauges only (the pre-scrape contract).
+      // All publishers here set gauges only (the pre-scrape contract).
       if (service.options().calibrate != obs::CalibrationMode::kOff) {
         obs::DeviceCalibrator::instance().publish(reg);
       }
       if (service.partition() != nullptr) service.partition()->publish(reg);
+      if (service.watchdog() != nullptr) service.watchdog()->publish(reg);
+      obs::FlightRecorder::instance().publish(reg);
     });
     admin->start();
     announce_admin(*admin);
@@ -1041,6 +1205,7 @@ int main(int argc, char** argv) {
     if (cmd == "verify") return cmd_verify(opts);
     if (cmd == "run") return cmd_run(opts);
     if (cmd == "serve") return cmd_serve(opts);
+    if (cmd == "inspect-bundle") return cmd_inspect_bundle(opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
