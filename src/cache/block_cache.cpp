@@ -33,7 +33,7 @@ BlockCache::BlockCache(Options options) : opts_(options) {
 
 BlockCache::PinnedBytes BlockCache::find(const BlockKey& key,
                                          std::uint32_t owner) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::ProfiledMutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -50,7 +50,7 @@ BlockCache::PinnedBytes BlockCache::insert(const BlockKey& key,
                                            std::vector<char> payload,
                                            std::uint64_t disk_bytes,
                                            std::uint32_t owner) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::ProfiledMutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     // Another worker inserted the same block between our miss and now; keep
@@ -177,23 +177,23 @@ bool BlockCache::make_room_owner(std::uint32_t owner, std::uint64_t needed,
 }
 
 bool BlockCache::contains(const BlockKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::ProfiledMutex> lock(mu_);
   return index_.contains(key);
 }
 
 std::uint64_t BlockCache::resident_disk_bytes(const BlockKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::ProfiledMutex> lock(mu_);
   auto it = index_.find(key);
   return it == index_.end() ? 0 : ring_[it->second].disk_bytes;
 }
 
 void BlockCache::add_bytes_saved(std::uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::ProfiledMutex> lock(mu_);
   stats_.bytes_saved += bytes;
 }
 
 CacheStats BlockCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::ProfiledMutex> lock(mu_);
   CacheStats out = stats_;
   out.resident_bytes = resident_bytes_;
   out.resident_blocks = ring_.size();
@@ -201,19 +201,19 @@ CacheStats BlockCache::stats() const {
 }
 
 std::uint64_t BlockCache::resident_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::ProfiledMutex> lock(mu_);
   return resident_bytes_;
 }
 
 bool BlockCache::is_pinned(const BlockKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::ProfiledMutex> lock(mu_);
   auto it = index_.find(key);
   return it != index_.end() && ring_[it->second].payload.use_count() > 1;
 }
 
 void BlockCache::set_partition(
     const std::vector<std::pair<std::uint32_t, std::uint64_t>>& quotas) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::ProfiledMutex> lock(mu_);
   quota_.clear();
   for (const auto& [owner, bytes] : quotas) quota_[owner] = bytes;
   // Trim owners already over their new quota so the partition takes effect
@@ -225,18 +225,18 @@ void BlockCache::set_partition(
 }
 
 bool BlockCache::partitioned() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::ProfiledMutex> lock(mu_);
   return !quota_.empty();
 }
 
 std::uint64_t BlockCache::owner_quota(std::uint32_t owner) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::ProfiledMutex> lock(mu_);
   auto it = quota_.find(owner);
   return it == quota_.end() ? 0 : it->second;
 }
 
 std::uint64_t BlockCache::owner_resident_bytes(std::uint32_t owner) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::ProfiledMutex> lock(mu_);
   auto it = owner_resident_.find(owner);
   return it == owner_resident_.end() ? 0 : it->second;
 }

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "cache/cache_stats.hpp"
+#include "obs/profiler.hpp"
 
 namespace husg {
 
@@ -152,7 +153,9 @@ class BlockCache {
   Options opts_;
   std::uint64_t max_payload_bytes_ = 0;
 
-  mutable std::mutex mu_;
+  /// One mutex serializes every consult/insert of every worker sharing this
+  /// cache — the canonical contention suspect, hence profiled (§15).
+  mutable obs::ProfiledMutex mu_{"block_cache"};
   std::unordered_map<BlockKey, std::size_t, BlockKeyHash> index_;
   std::vector<Entry> ring_;  ///< CLOCK ring; erase is swap-with-back
   std::size_t hand_ = 0;

@@ -71,6 +71,7 @@ CodecStats CachedBlockReader::codec_stats() const {
   s.blocks_decoded = blocks_decoded_.load(std::memory_order_relaxed);
   s.encoded_bytes = encoded_bytes_.load(std::memory_order_relaxed);
   s.decoded_bytes = decoded_bytes_.load(std::memory_order_relaxed);
+  s.decode_ns = decode_ns_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -226,7 +227,17 @@ std::size_t CachedBlockReader::decode_codec(const char* data, std::size_t size,
                                             std::uint64_t expected,
                                             AdjacencyBuffer& buf) const {
   buf.guard.reset();
+  // Decode timing is gated on attribution (same contract as --io-timing): the
+  // default engine path pays no clock reads, armed runs feed CodecStats
+  // .decode_ns, the per-job usage split, and the T_decode audit.
+  const bool timed = obs::attribution_enabled();
+  const std::uint64_t t0 = timed ? obs::now_ns() : 0;
   std::size_t n = decode_block(data, size, buf.ids);
+  if (timed) {
+    const std::uint64_t dt = obs::now_ns() - t0;
+    decode_ns_.fetch_add(dt, std::memory_order_relaxed);
+    obs::charge_decode(dt);
+  }
   HUSG_CHECK(n == expected, (kind == 0 ? "out" : "in")
                                 << "-block (" << i << "," << j << ") decoded "
                                 << n << " ids, directory says " << expected);

@@ -155,6 +155,8 @@ class CachedBlockReader {
   mutable std::atomic<std::uint64_t> blocks_decoded_{0};
   mutable std::atomic<std::uint64_t> encoded_bytes_{0};
   mutable std::atomic<std::uint64_t> decoded_bytes_{0};
+  /// Decode CPU wall; only advances while obs attribution is armed.
+  mutable std::atomic<std::uint64_t> decode_ns_{0};
 };
 
 }  // namespace husg

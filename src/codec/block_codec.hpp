@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/profiler.hpp"
 #include "util/common.hpp"
 
 namespace husg {
@@ -102,8 +103,10 @@ class ScratchPool {
     std::vector<char> buf_;
   };
 
+  ScratchPool() : mu_("scratch_pool") {}
+
   Lease acquire() {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<obs::ProfiledMutex> lock(mu_);
     if (free_.empty()) return Lease(this, {});
     std::vector<char> buf = std::move(free_.back());
     free_.pop_back();
@@ -113,11 +116,11 @@ class ScratchPool {
 
  private:
   void release(std::vector<char> buf) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<obs::ProfiledMutex> lock(mu_);
     free_.push_back(std::move(buf));
   }
 
-  std::mutex mu_;
+  obs::ProfiledMutex mu_;  ///< contention-profiled (DESIGN.md §15)
   std::vector<std::vector<char>> free_;
 };
 
@@ -128,6 +131,10 @@ struct CodecStats {
   std::uint64_t blocks_decoded = 0;
   std::uint64_t encoded_bytes = 0;  ///< compressed bytes fed to the decoder
   std::uint64_t decoded_bytes = 0;  ///< raw id bytes the decoder produced
+  /// Measured decode CPU wall (only populated while obs attribution is
+  /// armed — the default engine path never pays the clock reads). The
+  /// DecodeAudit compares this against the predictor's T_decode term.
+  std::uint64_t decode_ns = 0;
   std::uint64_t skip_filter_rebuilds = 0;
   std::uint64_t blocks_skipped = 0;
   std::uint64_t skipped_bytes = 0;  ///< on-disk bytes the skips avoided
@@ -141,6 +148,7 @@ struct CodecStats {
     blocks_decoded += o.blocks_decoded;
     encoded_bytes += o.encoded_bytes;
     decoded_bytes += o.decoded_bytes;
+    decode_ns += o.decode_ns;
     skip_filter_rebuilds += o.skip_filter_rebuilds;
     blocks_skipped += o.blocks_skipped;
     skipped_bytes += o.skipped_bytes;
@@ -152,6 +160,7 @@ struct CodecStats {
     d.blocks_decoded = blocks_decoded - o.blocks_decoded;
     d.encoded_bytes = encoded_bytes - o.encoded_bytes;
     d.decoded_bytes = decoded_bytes - o.decoded_bytes;
+    d.decode_ns = decode_ns - o.decode_ns;
     d.skip_filter_rebuilds = skip_filter_rebuilds - o.skip_filter_rebuilds;
     d.blocks_skipped = blocks_skipped - o.blocks_skipped;
     d.skipped_bytes = skipped_bytes - o.skipped_bytes;

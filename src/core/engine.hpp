@@ -162,6 +162,11 @@ class Engine {
   /// skip filter. The run() delta lands in RunStats::codec.
   CodecStats codec_stats() const;
 
+  /// Resolved decode throughput the predictor prices T_decode with
+  /// (bytes/sec; 0 for kNone stores). The DecodeAudit divides
+  /// CodecStats::decoded_bytes by this to get the predicted decode wall.
+  double decode_bps() const { return decode_bps_; }
+
   /// Runs `prog` to convergence (empty frontier) or max_iterations.
   template <VertexProgram P>
   RunResult<typename P::Value> run(const P& prog, const Frontier& initial);

@@ -118,7 +118,7 @@ class UringBackend final : public IoBackend {
 
   /// Blocks until every op of `batch` completed; called by UringBatch.
   void wait_batch(UringBatch* batch) const {
-    std::unique_lock<std::mutex> lk(mu_);
+    std::unique_lock<obs::ProfiledMutex> lk(mu_);
     reap_locked();
     while (batch->remaining_ > 0) {
       enter_getevents_locked();
@@ -134,7 +134,7 @@ class UringBackend final : public IoBackend {
   /// in-flight ones so the kernel never writes into freed buffers. Never
   /// throws — errors of an abandoned batch are dropped.
   void drain_batch(UringBatch* batch) const noexcept {
-    std::unique_lock<std::mutex> lk(mu_);
+    std::unique_lock<obs::ProfiledMutex> lk(mu_);
     for (auto it = backlog_.begin(); it != backlog_.end();) {
       if ((*it)->batch == batch) {
         --batch->remaining_;
@@ -179,7 +179,7 @@ class UringBackend final : public IoBackend {
     {
       HUSG_SPAN("io", "uring_submit", "ops",
                 static_cast<std::int64_t>(batch->ops_.size()));
-      std::unique_lock<std::mutex> lk(mu_);
+      std::unique_lock<obs::ProfiledMutex> lk(mu_);
       for (auto& st : batch->ops_) {
         st->batch = batch.get();
         backlog_.push_back(st.get());
@@ -381,7 +381,7 @@ class UringBackend final : public IoBackend {
   // every batch's remaining/error. Waiters hold it across the GETEVENTS
   // syscall — completions are only ever reaped under the lock, so a reap by
   // one waiter cannot strand another in the kernel with an empty CQ.
-  mutable std::mutex mu_;
+  mutable obs::ProfiledMutex mu_{"uring_submit"};
   mutable std::deque<OpState*> backlog_;  ///< accepted, not yet in the SQ
   mutable unsigned inflight_ = 0;         ///< SQEs submitted, CQEs not reaped
 };

@@ -18,8 +18,13 @@
 // obs/calibrate.hpp), a cheap 1-in-N sampled path times just the sampled ops
 // and feeds their (bytes, latency) to the calibrator — full io-timing is not
 // required for calibration. With io-timing on anyway, every timed op feeds
-// the calibrator at no extra clock cost. Both gates disarmed costs two
-// relaxed loads per op.
+// the calibrator at no extra clock cost.
+//
+// A third independent gate, obs::attribution_enabled() (DESIGN.md §15),
+// charges each access's wall to the owning job's io_wait bucket via
+// obs::charge_io_wait — this is how a job's wall decomposes into
+// cpu / io-wait / lock-wait / queued. All gates disarmed costs three
+// relaxed loads per op and no clock reads.
 #pragma once
 
 #include <cstddef>
@@ -58,11 +63,12 @@ class TrackedFile {
   /// Random (point) read: charged as one random op regardless of position.
   void read_random(void* buf, std::size_t len, std::uint64_t offset) const {
     const bool timed = obs::io_timing_enabled();
-    if (timed || obs::calibration_sample()) {
+    if (timed || obs::attribution_enabled() || obs::calibration_sample()) {
       const std::uint64_t t0 = obs::now_ns();
       backend_->read(file_.fd(), buf, len, offset, file_.read_align());
       const std::uint64_t dt = obs::now_ns() - t0;
       if (timed) obs::io_latency().rand_read->record(dt);
+      if (obs::attribution_enabled()) obs::charge_io_wait(dt);
       if (obs::calibration_enabled()) {
         obs::DeviceCalibrator::instance().record_random(1, len, dt);
       }
@@ -79,11 +85,12 @@ class TrackedFile {
   void read_random_batch(const IoReadOp* ops, std::size_t count) const {
     if (count == 0) return;
     const bool timed = obs::io_timing_enabled();
-    if (timed || obs::calibration_sample()) {
+    if (timed || obs::attribution_enabled() || obs::calibration_sample()) {
       const std::uint64_t t0 = obs::now_ns();
       backend_->read_batch(file_.fd(), ops, count, file_.read_align());
       const std::uint64_t dt = obs::now_ns() - t0;
       if (timed) obs::io_latency().rand_read->record(dt);
+      if (obs::attribution_enabled()) obs::charge_io_wait(dt);
       if (obs::calibration_enabled()) {
         std::uint64_t bytes = 0;
         for (std::size_t k = 0; k < count; ++k) bytes += ops[k].len;
@@ -103,11 +110,12 @@ class TrackedFile {
   /// this when they stream a contiguous region (COP block scans, shard loads).
   void read_sequential(void* buf, std::size_t len, std::uint64_t offset) const {
     const bool timed = obs::io_timing_enabled();
-    if (timed || obs::calibration_sample()) {
+    if (timed || obs::attribution_enabled() || obs::calibration_sample()) {
       const std::uint64_t t0 = obs::now_ns();
       backend_->read(file_.fd(), buf, len, offset, file_.read_align());
       const std::uint64_t dt = obs::now_ns() - t0;
       if (timed) obs::io_latency().seq_read->record(dt);
+      if (obs::attribution_enabled()) obs::charge_io_wait(dt);
       if (obs::calibration_enabled()) {
         obs::DeviceCalibrator::instance().record_sequential(len, dt);
       }
@@ -138,11 +146,12 @@ class TrackedFile {
   void read_sequential_batch(const IoReadOp* ops, std::size_t count) const {
     if (count == 0) return;
     const bool timed = obs::io_timing_enabled();
-    if (timed || obs::calibration_sample()) {
+    if (timed || obs::attribution_enabled() || obs::calibration_sample()) {
       const std::uint64_t t0 = obs::now_ns();
       start_sequential(ops, count)->wait();
       const std::uint64_t dt = obs::now_ns() - t0;
       if (timed) obs::io_latency().seq_read->record(dt);
+      if (obs::attribution_enabled()) obs::charge_io_wait(dt);
       if (obs::calibration_enabled()) {
         std::uint64_t bytes = 0;
         for (std::size_t k = 0; k < count; ++k) bytes += ops[k].len;
@@ -155,11 +164,12 @@ class TrackedFile {
 
   void write(const void* buf, std::size_t len, std::uint64_t offset) {
     const bool timed = obs::io_timing_enabled();
-    if (timed || obs::calibration_sample()) {
+    if (timed || obs::attribution_enabled() || obs::calibration_sample()) {
       const std::uint64_t t0 = obs::now_ns();
       file_.pwrite_exact(buf, len, offset);
       const std::uint64_t dt = obs::now_ns() - t0;
       if (timed) obs::io_latency().write->record(dt);
+      if (obs::attribution_enabled()) obs::charge_io_wait(dt);
       if (obs::calibration_enabled()) {
         obs::DeviceCalibrator::instance().record_write(len, dt);
       }
@@ -172,11 +182,12 @@ class TrackedFile {
   std::uint64_t append(const void* buf, std::size_t len) {
     std::uint64_t at;
     const bool timed = obs::io_timing_enabled();
-    if (timed || obs::calibration_sample()) {
+    if (timed || obs::attribution_enabled() || obs::calibration_sample()) {
       const std::uint64_t t0 = obs::now_ns();
       at = file_.append(buf, len);
       const std::uint64_t dt = obs::now_ns() - t0;
       if (timed) obs::io_latency().write->record(dt);
+      if (obs::attribution_enabled()) obs::charge_io_wait(dt);
       if (obs::calibration_enabled()) {
         obs::DeviceCalibrator::instance().record_write(len, dt);
       }

@@ -131,6 +131,41 @@ void PredictorAudit::publish(Registry& registry) const {
       .set(s.mean_rel_error);
 }
 
+DecodeAudit audit_decode(const CodecStats& codec, double decode_bytes_per_sec) {
+  DecodeAudit a;
+  a.decoded_bytes = codec.decoded_bytes;
+  a.measured_seconds = static_cast<double>(codec.decode_ns) / 1e9;
+  if (decode_bytes_per_sec > 0) {
+    a.predicted_seconds =
+        static_cast<double>(codec.decoded_bytes) / decode_bytes_per_sec;
+  }
+  // decode_ns stays 0 unless attribution was armed for the run; without the
+  // measurement (or without any decode traffic) there is nothing to score.
+  a.evaluated = codec.decode_ns > 0 && codec.decoded_bytes > 0 &&
+                decode_bytes_per_sec > 0;
+  if (a.evaluated) {
+    const double denom =
+        std::max(std::max(a.predicted_seconds, a.measured_seconds), 1e-12);
+    a.rel_error = std::abs(a.predicted_seconds - a.measured_seconds) / denom;
+  }
+  return a;
+}
+
+void publish(const DecodeAudit& audit, Registry& registry) {
+  registry
+      .gauge("husg_cpu_decode_predicted_seconds",
+             "Codec model's T_decode for the run (decoded_bytes / decode_bps)")
+      .set(audit.predicted_seconds);
+  registry
+      .gauge("husg_cpu_decode_measured_seconds",
+             "Decode CPU measured by attribution (CodecStats::decode_ns)")
+      .set(audit.measured_seconds);
+  registry
+      .gauge("husg_cpu_decode_rel_error",
+             "Symmetric relative error of predicted vs measured decode time")
+      .set(audit.rel_error);
+}
+
 void PredictorAudit::write_csv(std::ostream& os) const {
   os << "iteration,interval,c_rop,c_cop,chose_rop,alpha_shortcut,evaluated,"
         "observed_bytes,observed_seconds,observed_wall_seconds,rel_error\n";

@@ -89,4 +89,25 @@ class PredictorAudit {
   std::vector<AuditEntry> entries_;
 };
 
+/// Wall-decomposition audit of the codec model's T_decode CPU term (§15).
+/// The block codec prices decode as decoded_bytes / decode_bps; attribution
+/// measures the actual decode CPU (CodecStats::decode_ns — only populated
+/// while obs::attribution is armed). The same symmetric relative error as
+/// the predictor audit scores the model against the measurement.
+struct DecodeAudit {
+  /// True when both sides exist: decode traffic happened, attribution was
+  /// armed (decode_ns > 0), and a decode_bps estimate is available.
+  bool evaluated = false;
+  std::uint64_t decoded_bytes = 0;
+  double predicted_seconds = 0;  ///< decoded_bytes / decode_bps
+  double measured_seconds = 0;   ///< CodecStats::decode_ns
+  double rel_error = 0;          ///< symmetric, in [0, 1]; 0 when !evaluated
+};
+
+DecodeAudit audit_decode(const CodecStats& codec, double decode_bytes_per_sec);
+
+/// husg_cpu_decode_{predicted_seconds,measured_seconds,rel_error} gauges —
+/// always present (zero when the audit never evaluated).
+void publish(const DecodeAudit& audit, Registry& registry);
+
 }  // namespace husg::obs

@@ -16,6 +16,7 @@
 #include "obs/calibrate.hpp"
 #include "obs/heatmap.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "util/common.hpp"
 #include "util/logging.hpp"
@@ -389,6 +390,57 @@ AdminServer::Response AdminServer::handle_request(const std::string& method,
     res.body = os.str();
     return res;
   }
+  if (path == "/profile") {
+    if (!is_get) {
+      res.status = 405;
+      res.body = "method not allowed\n";
+      return res;
+    }
+    std::uint64_t ms = 0;
+    if (!query_uint(query, "ms", ms) || ms == 0) {
+      res.status = 400;
+      res.body =
+          "usage: /profile?ms=N[&hz=H] (capture window in milliseconds)\n";
+      return res;
+    }
+    std::uint64_t hz = Profiler::kDefaultHz;
+    if (query.find("hz=") != std::string::npos &&
+        (!query_uint(query, "hz", hz) || hz == 0 || hz > 1000)) {
+      res.status = 400;
+      res.body = "bad hz= value (want 1..1000)\n";
+      return res;
+    }
+    Profiler& profiler = Profiler::instance();
+    if (profiler.running()) {
+      // A --profile-out session owns the profiler; stealing it would leave
+      // that file with a truncated window.
+      res.status = 409;
+      res.body = "a profile session is already running\n";
+      return res;
+    }
+    ms = std::min<std::uint64_t>(ms, opts_.max_trace_ms);
+    profiler.clear();
+    profiler.start(static_cast<std::uint32_t>(hz));
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    profiler.stop();
+    std::ostringstream os;
+    profiler.write_folded(os);
+    res.content_type = "text/plain; charset=utf-8";
+    res.body = os.str();
+    return res;
+  }
+  if (path == "/cpu") {
+    if (!is_get) {
+      res.status = 405;
+      res.body = "method not allowed\n";
+      return res;
+    }
+    res.content_type = "application/json";
+    // No scheduler (single-run CLI): an empty-but-well-formed document, so
+    // dashboards can poll unconditionally.
+    res.body = cpu_ ? cpu_() : std::string("{\"jobs\": []}\n");
+    return res;
+  }
   if (path == "/debug/bundle") {
     if (!is_get) {
       res.status = 405;
@@ -447,7 +499,8 @@ AdminServer::Response AdminServer::handle_request(const std::string& method,
   }
   res.status = 404;
   res.body = "unknown path (try /healthz /readyz /metrics /jobs /heatmap "
-             "/calibration /mrc /trace?ms=N /loglevel /debug/bundle)\n";
+             "/calibration /mrc /trace?ms=N /profile?ms=N /cpu /loglevel "
+             "/debug/bundle)\n";
   return res;
 }
 

@@ -29,6 +29,14 @@
 //   GET  /trace?ms=N    arm the span tracer for N ms (capped), then return
 //                       the Chrome-trace JSON of that window; 409 if a trace
 //                       session (e.g. --trace-out) is already running
+//   GET  /profile?ms=N  arm the sampling CPU profiler for N ms (capped by
+//                       the same max_trace_ms; optional &hz=H overrides the
+//                       sample rate), then return the window's folded stacks
+//                       (flamegraph.pl / speedscope format); 409 if a
+//                       --profile-out session owns the profiler
+//   GET  /cpu           per-job CPU/wait attribution JSON (wall split into
+//                       cpu / io_wait / lock_wait / decode / queued) from
+//                       the cpu hook; {"jobs": []} when no hook is installed
 //   POST /loglevel      body "debug"|"info"|"warn"|"quiet" adjusts the log
 //                       threshold at runtime; GET reads the effective level
 //   GET  /debug/bundle  one freshly assembled postmortem bundle (flight
@@ -69,6 +77,8 @@ class AdminServer {
   using JobsFn = std::function<std::string()>;
   /// Returns the /mrc JSON body (CachePartitionManager::write_json).
   using MrcFn = std::function<std::string()>;
+  /// Returns the /cpu JSON body (JobScheduler::cpu_json).
+  using CpuFn = std::function<std::string()>;
   /// Liveness of the thing being served; false → /readyz returns 503.
   using ReadyFn = std::function<bool()>;
   /// Anomaly state for /readyz (AnomalyWatchdog::readyz_json): an empty
@@ -94,6 +104,7 @@ class AdminServer {
   void set_bundle(BundleFn fn) { bundle_ = std::move(fn); }
   void set_jobs(JobsFn fn) { jobs_ = std::move(fn); }
   void set_mrc(MrcFn fn) { mrc_ = std::move(fn); }
+  void set_cpu(CpuFn fn) { cpu_ = std::move(fn); }
   void set_pre_scrape(PreScrapeFn fn) { pre_scrape_ = std::move(fn); }
 
   /// Binds, listens, and launches the serving thread. Throws IoError when
@@ -131,6 +142,7 @@ class AdminServer {
   BundleFn bundle_;
   JobsFn jobs_;
   MrcFn mrc_;
+  CpuFn cpu_;
   PreScrapeFn pre_scrape_;
 
   int listen_fd_ = -1;

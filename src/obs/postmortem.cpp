@@ -15,6 +15,7 @@
 #include "codec/block_codec.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 
 namespace husg::obs {
 
@@ -150,6 +151,12 @@ void write_bundle_json(std::ostream& os, const BundleContext& ctx) {
     ctx.mrc_json(extra);
     if (!extra.str().empty()) os << ",\n  \"mrc\": " << extra.str();
   }
+
+  // Top contended locks (§15), sorted by cumulative wait. Counts are zero
+  // unless --lock-profile armed the sites, but the section is always present
+  // so bundle consumers need no feature detection.
+  os << ",\n  \"locks\": ";
+  LockRegistry::instance().write_top_json(os);
 
   if (ctx.registry != nullptr) {
     std::ostringstream prom;

@@ -21,6 +21,7 @@
 //     "flight_events": [...],             // drained recorder rings
 //     "calibration": {...},               // DeviceCalibrator (when armed)
 //     "mrc": {...},                       // cache partition state (when on)
+//     "locks": [...],                     // top contended locks (§15)
 //     "metrics_prom": "..."               // Prometheus exposition, escaped
 //   }
 //

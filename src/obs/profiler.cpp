@@ -1,0 +1,482 @@
+#include "obs/profiler.hpp"
+
+#include <csignal>
+#include <cstring>
+#include <ctime>
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include <fcntl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+
+// glibc exposes SIGEV_THREAD_ID but (unlike musl) not always the accessor
+// macro for the target tid field.
+#ifndef sigev_notify_thread_id
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
+
+namespace husg::obs {
+
+namespace detail {
+std::atomic<bool> g_profiling{false};
+std::atomic<bool> g_attribution{false};
+std::atomic<bool> g_lock_profile{false};
+thread_local JobUsage* t_usage = nullptr;
+thread_local bool t_usage_root = false;
+}  // namespace detail
+
+void set_attribution(bool enabled) {
+  detail::g_attribution.store(enabled, std::memory_order_relaxed);
+}
+void set_lock_profile(bool enabled) {
+  detail::g_lock_profile.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t thread_cpu_ns() {
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+std::uint64_t thread_sched_wait_ns() {
+  // /proc/thread-self/schedstat: "<oncpu_ns> <runqueue_wait_ns> <slices>".
+  // Read per call (UsageScope binds twice per job body, not per block), no
+  // caching: the fd cannot outlive the thread.
+  const int fd = ::open("/proc/thread-self/schedstat", O_RDONLY);
+  if (fd < 0) return 0;
+  char buf[96];
+  const ssize_t n = ::read(fd, buf, sizeof(buf) - 1);
+  ::close(fd);
+  if (n <= 0) return 0;
+  buf[n] = '\0';
+  const char* p = buf;
+  while (*p != '\0' && *p != ' ') ++p;  // skip the on-cpu field
+  if (*p != ' ') return 0;
+  ++p;
+  std::uint64_t wait = 0;
+  while (*p >= '0' && *p <= '9') wait = wait * 10 + (*p++ - '0');
+  return wait;
+}
+
+JobUsageSnapshot snapshot_usage(const JobUsage& usage) {
+  JobUsageSnapshot s;
+  s.cpu_ns = usage.cpu_ns.load(std::memory_order_relaxed);
+  s.io_wait_ns = usage.io_wait_ns.load(std::memory_order_relaxed);
+  s.lock_wait_ns = usage.lock_wait_ns.load(std::memory_order_relaxed);
+  s.decode_ns = usage.decode_ns.load(std::memory_order_relaxed);
+  s.root_cpu_ns = usage.root_cpu_ns.load(std::memory_order_relaxed);
+  s.root_io_wait_ns = usage.root_io_wait_ns.load(std::memory_order_relaxed);
+  s.root_lock_wait_ns =
+      usage.root_lock_wait_ns.load(std::memory_order_relaxed);
+  s.root_sched_wait_ns =
+      usage.root_sched_wait_ns.load(std::memory_order_relaxed);
+  s.queued_ns = usage.queued_ns;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Lock contention.
+
+LockSiteStats LockSite::stats() const {
+  LockSiteStats s;
+  s.name = name_;
+  s.acquisitions = acquisitions_.load(std::memory_order_relaxed);
+  s.contended = contended_.load(std::memory_order_relaxed);
+  s.wait_ns = wait_ns_.load(std::memory_order_relaxed);
+  s.hold_ns = hold_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+LockRegistry& LockRegistry::instance() {
+  static LockRegistry* reg = new LockRegistry();  // never destroyed: sites
+  return *reg;                                    // outlive static teardown
+}
+
+LockSite* LockRegistry::site(const char* name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& s : sites_) {
+    if (std::strcmp(s->name(), name) == 0) return s.get();
+  }
+  sites_.push_back(std::make_unique<LockSite>(name));
+  return sites_.back().get();
+}
+
+std::vector<LockSiteStats> LockRegistry::stats() const {
+  std::vector<LockSiteStats> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(sites_.size());
+  for (const auto& s : sites_) out.push_back(s->stats());
+  return out;
+}
+
+void LockRegistry::publish(Registry& registry) const {
+  const std::vector<LockSiteStats> all = stats();
+  // Always present (even with zero sites) so serve-mode scrapes can require
+  // the husg_lock family unconditionally.
+  registry.gauge("husg_lock_sites", "profiled lock sites registered")
+      .set(static_cast<double>(all.size()));
+  for (const LockSiteStats& s : all) {
+    const std::string suffix = std::string("_") + s.name;
+    registry
+        .gauge("husg_lock_acquisitions" + suffix,
+               "armed lock acquisitions (cumulative)")
+        .set(static_cast<double>(s.acquisitions));
+    registry
+        .gauge("husg_lock_contended" + suffix,
+               "armed lock acquisitions that blocked (cumulative)")
+        .set(static_cast<double>(s.contended));
+    registry
+        .gauge("husg_lock_wait_seconds" + suffix,
+               "wall spent blocked acquiring (cumulative)")
+        .set(static_cast<double>(s.wait_ns) / 1e9);
+    registry
+        .gauge("husg_lock_hold_seconds" + suffix,
+               "wall the lock was held by armed holders (cumulative)")
+        .set(static_cast<double>(s.hold_ns) / 1e9);
+  }
+}
+
+void LockRegistry::write_top_json(std::ostream& os) const {
+  std::vector<LockSiteStats> all = stats();
+  std::sort(all.begin(), all.end(),
+            [](const LockSiteStats& a, const LockSiteStats& b) {
+              return a.wait_ns > b.wait_ns;
+            });
+  os << "[";
+  bool first = true;
+  for (const LockSiteStats& s : all) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << s.name << "\",\"acquisitions\":" << s.acquisitions
+       << ",\"contended\":" << s.contended
+       << ",\"wait_seconds\":" << static_cast<double>(s.wait_ns) / 1e9
+       << ",\"hold_seconds\":" << static_cast<double>(s.hold_ns) / 1e9 << "}";
+  }
+  os << "]";
+}
+
+void ProfiledMutex::lock_slow() {
+  site_->on_acquire();
+  if (mu_.try_lock()) {
+    arm_hold();
+    return;
+  }
+  const std::uint64_t t0 = now_ns();
+  mu_.lock();
+  const std::uint64_t dt = now_ns() - t0;
+  site_->on_wait(dt);
+  charge_lock_wait(dt);
+  arm_hold();
+}
+
+// ---------------------------------------------------------------------------
+// Sampling profiler.
+
+/// Everything the SIGPROF handler touches, one instance per sampled thread.
+/// Owned by the Profiler registry for the life of the process (a sample slot
+/// may be drained long after its thread exited); the thread-local handle
+/// below only manages the timer.
+struct Profiler::ThreadState {
+  // --- live span stack: written by the owning thread (plain stores ordered
+  // by signal fences), read only by that thread's own signal handler.
+  const char* frame_cat[kMaxSpanDepth];
+  const char* frame_name[kMaxSpanDepth];
+  std::atomic<std::uint32_t> depth{0};
+  /// Atomic only for drain-side visibility (written by the owning thread,
+  /// read by write_folded on any thread); the handler never touches it.
+  std::atomic<const char*> role{"main"};
+
+  // --- sample ring: written by the signal handler, read by drain threads.
+  // Flight-recorder seqlock slot protocol: seq=0 (release) -> payload
+  // (relaxed) -> seq=sample_no (release); readers acquire-load seq, copy,
+  // acquire-fence, recheck.
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<const char*> cat[kMaxCapture];
+    std::atomic<const char*> name[kMaxCapture];
+    std::atomic<std::uint32_t> depth{0};
+  };
+  Slot slots[kRingSlots];
+  std::atomic<std::uint64_t> samples{0};
+
+  // --- timer bookkeeping: owning thread only.
+  timer_t timer{};
+  bool timer_armed = false;
+  std::uint64_t timer_epoch = 0;
+};
+
+namespace {
+
+void sigprof_handler(int /*signo*/, siginfo_t* si, void* /*uctx*/) {
+  // Async-signal-safe: atomic ops on the ThreadState delivered via
+  // sival_ptr, nothing else (no allocation, locks, clocks, or errno).
+  auto* ts = static_cast<Profiler::ThreadState*>(si->si_value.sival_ptr);
+  if (ts == nullptr || !profiling_enabled()) return;
+  const std::uint32_t depth = ts->depth.load(std::memory_order_relaxed);
+  std::atomic_signal_fence(std::memory_order_acquire);
+
+  const std::uint64_t n = ts->samples.load(std::memory_order_relaxed) + 1;
+  Profiler::ThreadState::Slot& slot =
+      ts->slots[(n - 1) % Profiler::kRingSlots];
+  slot.seq.store(0, std::memory_order_release);
+  // Deep stacks keep the root side (phase context) plus the current leaf.
+  std::uint32_t cap = depth;
+  if (cap > Profiler::kMaxCapture) cap = Profiler::kMaxCapture;
+  for (std::uint32_t k = 0; k < cap; ++k) {
+    std::uint32_t src = k;
+    if (depth > Profiler::kMaxCapture && k == cap - 1) src = depth - 1;
+    slot.cat[k].store(ts->frame_cat[src], std::memory_order_relaxed);
+    slot.name[k].store(ts->frame_name[src], std::memory_order_relaxed);
+  }
+  slot.depth.store(cap, std::memory_order_relaxed);
+  slot.seq.store(n, std::memory_order_release);
+  ts->samples.store(n, std::memory_order_relaxed);
+}
+
+void install_handler_once() {
+  static bool installed = [] {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_sigaction = &sigprof_handler;
+    sa.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGPROF, &sa, nullptr);
+    return true;
+  }();
+  (void)installed;
+}
+
+/// Role label applied when (if) this thread registers. Kept outside
+/// ThreadState so set_thread_role stays allocation-free — every pool worker
+/// calls it unconditionally, but the ~300 KB sample ring is only allocated
+/// for threads that actually get sampled.
+thread_local const char* t_role = "main";
+
+/// Thread-local: pins this thread's ThreadState and deletes its timer at
+/// thread exit (the state itself stays in the registry for draining).
+struct ProfilerThreadHandle {
+  Profiler::ThreadState* state = nullptr;
+
+  Profiler::ThreadState* get() {
+    if (state == nullptr) {
+      state = Profiler::instance().register_thread();
+      state->role.store(t_role, std::memory_order_relaxed);
+    }
+    return state;
+  }
+
+  ~ProfilerThreadHandle() {
+    if (state != nullptr && state->timer_armed) {
+      timer_delete(state->timer);
+      state->timer_armed = false;
+    }
+  }
+};
+
+thread_local ProfilerThreadHandle t_handle;
+
+}  // namespace
+
+Profiler& Profiler::instance() {
+  static Profiler* p = new Profiler();  // never destroyed: signal handlers
+  return *p;                            // and timers may outlive teardown
+}
+
+Profiler::ThreadState* Profiler::register_thread() {
+  auto state = std::make_unique<ThreadState>();
+  ThreadState* raw = state.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  threads_.push_back(std::move(state));
+  return raw;
+}
+
+bool Profiler::start(std::uint32_t hz) {
+  if (profiling_enabled()) return false;
+  if (hz < 1) hz = 1;
+  if (hz > 1000) hz = 1000;
+  install_handler_once();
+  hz_.store(hz, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  detail::g_profiling.store(true, std::memory_order_relaxed);
+  // Arm the calling thread immediately; others attach at their next span or
+  // pool checkpoint.
+  attach_current_thread();
+  return true;
+}
+
+void Profiler::stop() {
+  detail::g_profiling.store(false, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Profiler::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ts : threads_) {
+    // Invalidate slots before zeroing the count so a concurrent drain never
+    // pairs an old slot with the reset counter.
+    for (auto& slot : ts->slots) slot.seq.store(0, std::memory_order_release);
+    ts->samples.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint32_t Profiler::hz() const {
+  return hz_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Profiler::samples() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ts : threads_) {
+    total += ts->samples.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t Profiler::dropped() const {
+  std::uint64_t dropped = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ts : threads_) {
+    const std::uint64_t n = ts->samples.load(std::memory_order_relaxed);
+    if (n > kRingSlots) dropped += n - kRingSlots;
+  }
+  return dropped;
+}
+
+std::size_t Profiler::thread_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threads_.size();
+}
+
+void Profiler::set_thread_role(const char* role) {
+  t_role = role;
+  if (t_handle.state != nullptr) {
+    t_handle.state->role.store(role, std::memory_order_relaxed);
+  }
+}
+
+void Profiler::attach_current_thread() {
+  ThreadState* ts = t_handle.get();
+  Profiler& p = instance();
+  const std::uint64_t epoch = p.epoch_.load(std::memory_order_relaxed);
+  if (ts->timer_armed && ts->timer_epoch == epoch) return;
+  if (ts->timer_armed) {
+    timer_delete(ts->timer);
+    ts->timer_armed = false;
+  }
+  ts->timer_epoch = epoch;
+  if (!profiling_enabled()) return;
+
+  struct sigevent sev;
+  std::memset(&sev, 0, sizeof(sev));
+  sev.sigev_notify = SIGEV_THREAD_ID;
+  sev.sigev_signo = SIGPROF;
+  sev.sigev_value.sival_ptr = ts;
+  sev.sigev_notify_thread_id = static_cast<pid_t>(syscall(SYS_gettid));
+  // The thread's own CPU clock: ticks (and fires) only while this thread
+  // burns CPU, so blocked/idle threads are never sampled.
+  if (timer_create(CLOCK_THREAD_CPUTIME_ID, &sev, &ts->timer) != 0) return;
+
+  const std::uint32_t hz = p.hz();
+  const long period_ns = static_cast<long>(1000000000ull / (hz ? hz : 1));
+  struct itimerspec its;
+  std::memset(&its, 0, sizeof(its));
+  its.it_value.tv_sec = period_ns / 1000000000L;
+  its.it_value.tv_nsec = period_ns % 1000000000L;
+  its.it_interval = its.it_value;
+  if (timer_settime(ts->timer, 0, &its, nullptr) != 0) {
+    timer_delete(ts->timer);
+    return;
+  }
+  ts->timer_armed = true;
+}
+
+bool Profiler::push_frame(const char* cat, const char* name) {
+  ThreadState* ts = t_handle.get();
+  const std::uint32_t depth = ts->depth.load(std::memory_order_relaxed);
+  if (depth >= kMaxSpanDepth) return false;
+  ts->frame_cat[depth] = cat;
+  ts->frame_name[depth] = name;
+  // Publish the frame before the new depth for this thread's own signal
+  // handler; cross-thread visibility is not needed (frames are never read
+  // off-thread).
+  std::atomic_signal_fence(std::memory_order_release);
+  ts->depth.store(depth + 1, std::memory_order_relaxed);
+  return true;
+}
+
+void Profiler::pop_frame() {
+  ThreadState* ts = t_handle.get();
+  const std::uint32_t depth = ts->depth.load(std::memory_order_relaxed);
+  if (depth > 0) ts->depth.store(depth - 1, std::memory_order_relaxed);
+}
+
+void Profiler::write_folded(std::ostream& os) const {
+  // Aggregate identical stacks across all threads; map keeps output order
+  // deterministic for a given sample set.
+  std::map<std::string, std::uint64_t> folded;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ts : threads_) {
+    const std::uint64_t n = ts->samples.load(std::memory_order_acquire);
+    const std::uint64_t span = n < kRingSlots ? n : kRingSlots;
+    for (std::uint64_t k = 0; k < span; ++k) {
+      const ThreadState::Slot& slot = ts->slots[k % kRingSlots];
+      const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      if (seq == 0) continue;  // never written or being rewritten
+      const char* cat[kMaxCapture];
+      const char* name[kMaxCapture];
+      std::uint32_t depth = slot.depth.load(std::memory_order_relaxed);
+      if (depth > kMaxCapture) depth = kMaxCapture;
+      for (std::uint32_t f = 0; f < depth; ++f) {
+        cat[f] = slot.cat[f].load(std::memory_order_relaxed);
+        name[f] = slot.name[f].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != seq) continue;  // torn
+      std::string stack = ts->role.load(std::memory_order_relaxed);
+      if (depth == 0) {
+        stack += ";(no span)";
+      } else {
+        for (std::uint32_t f = 0; f < depth; ++f) {
+          if (cat[f] == nullptr || name[f] == nullptr) {
+            // Torn same-slot rewrite that kept the seq (ring wrapped a full
+            // multiple); the recheck above catches all other cases.
+            stack.clear();
+            break;
+          }
+          stack += ";";
+          stack += cat[f];
+          stack += ".";
+          stack += name[f];
+        }
+        if (stack.empty()) continue;
+      }
+      folded[stack] += 1;
+    }
+  }
+  for (const auto& [stack, count] : folded) {
+    os << stack << " " << count << "\n";
+  }
+}
+
+void Profiler::publish(Registry& registry) const {
+  // Always-present members of the husg_cpu family (scrapes require the
+  // prefix even before any samples or jobs exist).
+  registry.gauge("husg_cpu_profile_hz", "sampling profiler rate (0 = off)")
+      .set(running() ? static_cast<double>(hz()) : 0.0);
+  registry
+      .gauge("husg_cpu_profile_samples", "profiler samples captured (all threads)")
+      .set(static_cast<double>(samples()));
+  registry
+      .gauge("husg_cpu_profile_threads", "threads registered with the profiler")
+      .set(static_cast<double>(thread_count()));
+  registry
+      .gauge("husg_cpu_profile_dropped", "profiler samples overwritten in rings")
+      .set(static_cast<double>(dropped()));
+}
+
+}  // namespace husg::obs

@@ -1,0 +1,417 @@
+// CPU-side observability pillar (DESIGN.md §15): where the wall time goes.
+//
+// The I/O side is deeply instrumented (spans, iotrace, calibration, flight
+// recorder), but decode CPU (codec stores) and lock waits (shared cache,
+// uring submission, scheduler queue) were invisible. This header adds three
+// cooperating facilities, each one relaxed atomic load when disarmed:
+//
+//  1. Sampling profiler (Profiler) — per-thread CPU-clock timers
+//     (timer_create + SIGEV_THREAD_ID + SIGPROF) fire an async-signal-safe
+//     handler that snapshots the thread's live HUSG_SPAN context stack into
+//     a per-thread seqlock ring (the flight-recorder slot protocol). Samples
+//     fold offline into flamegraph.pl / speedscope "folded" stacks
+//     (`role;cat.name;... count`). CPU-clock timers only run while the
+//     thread burns CPU, so idle threads cost and record nothing.
+//  2. Per-job CPU/wait attribution (JobUsage / UsageScope) — a thread-local
+//     usage binding charges CLOCK_THREAD_CPUTIME_ID deltas, tracked-file
+//     wait wall, lock-wait wall and codec decode time to the owning job,
+//     splitting its wall into cpu / io-wait / lock-wait / queued.
+//  3. Lock contention (ProfiledMutex / LockRegistry) — a BasicLockable
+//     std::mutex wrapper. Disarmed: one relaxed load and the plain
+//     lock/unlock. Armed: acquisition counts, contended-wait wall (also
+//     charged to the bound job) and hold time per named site.
+//
+// Signal-safety rules for the SIGPROF handler: atomic loads/stores only, no
+// allocation, no locks, no clock reads (the sampled stack IS the payload),
+// no errno-touching calls. Span frames are plain stores ordered by
+// std::atomic_signal_fence — the handler interrupts the very thread that
+// wrote them, so no cross-thread visibility is needed; cross-thread readers
+// only ever touch the atomic sample slots.
+//
+// This header stays lightweight (standard headers + a Registry forward
+// declaration): hot-path headers (codec, tracked_file, cache) include it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace husg::obs {
+
+class Registry;
+
+/// Nanoseconds since the process steady-clock epoch (same clock as
+/// trace.hpp's now_ns — one definition, declared in both headers).
+std::uint64_t now_ns();
+
+/// The calling thread's consumed CPU time (CLOCK_THREAD_CPUTIME_ID).
+std::uint64_t thread_cpu_ns();
+
+/// Cumulative time the calling thread has spent runnable-but-descheduled
+/// (field 2 of /proc/thread-self/schedstat). 0 where the kernel does not
+/// expose schedstats; callers treat it as best-effort.
+std::uint64_t thread_sched_wait_ns();
+
+namespace detail {
+extern std::atomic<bool> g_profiling;     ///< sampling profiler armed
+extern std::atomic<bool> g_attribution;   ///< per-job usage charging armed
+extern std::atomic<bool> g_lock_profile;  ///< lock contention counting armed
+}  // namespace detail
+
+inline bool profiling_enabled() {
+  return detail::g_profiling.load(std::memory_order_relaxed);
+}
+inline bool attribution_enabled() {
+  return detail::g_attribution.load(std::memory_order_relaxed);
+}
+inline bool lock_profile_enabled() {
+  return detail::g_lock_profile.load(std::memory_order_relaxed);
+}
+
+/// Arms/disarms attribution and lock profiling (the sampling profiler has
+/// its own start/stop on Profiler because it also owns timers).
+void set_attribution(bool enabled);
+void set_lock_profile(bool enabled);
+
+// ---------------------------------------------------------------------------
+// Per-job CPU/wait attribution.
+
+/// Live accumulator for one job. The scheduler owns it (shared with the
+/// watchdog snapshot path); every thread that works for the job charges into
+/// it through the thread-local binding below. decode_ns is an informational
+/// subset of cpu_ns (decode work burns CPU); io/lock waits are wall time
+/// spent blocked, disjoint from CPU by construction.
+struct JobUsage {
+  std::atomic<std::uint64_t> cpu_ns{0};
+  std::atomic<std::uint64_t> io_wait_ns{0};
+  std::atomic<std::uint64_t> lock_wait_ns{0};
+  std::atomic<std::uint64_t> decode_ns{0};
+  /// Critical-path lane: the subset of the totals above charged by the
+  /// job's own body thread (UsageScope::kRoot). Helper threads (gang
+  /// workers, one-shot carriers) run concurrently with the body thread, so
+  /// their charges overlap its wall — only the root lane satisfies the
+  /// decomposition identity  wall ≈ root_cpu + root_io + root_lock, which
+  /// is what cpu_json and the serve report present as the job's wall split
+  /// (the totals still price the job's full cost across threads).
+  std::atomic<std::uint64_t> root_cpu_ns{0};
+  std::atomic<std::uint64_t> root_io_wait_ns{0};
+  std::atomic<std::uint64_t> root_lock_wait_ns{0};
+  /// Root-thread time spent runnable-but-descheduled (kernel schedstat
+  /// run-queue wait): wall that is neither CPU nor a blocking wait. Matters
+  /// whenever jobs share cores — without it the decomposition undercounts
+  /// on loaded machines.
+  std::atomic<std::uint64_t> root_sched_wait_ns{0};
+  /// Submit-to-dispatch wall; written once by the scheduler before any
+  /// worker binds this usage.
+  std::uint64_t queued_ns = 0;
+};
+
+/// Value snapshot of a JobUsage, carried in JobResult / JobHealth / reports.
+struct JobUsageSnapshot {
+  std::uint64_t cpu_ns = 0;
+  std::uint64_t io_wait_ns = 0;
+  std::uint64_t lock_wait_ns = 0;
+  std::uint64_t decode_ns = 0;
+  std::uint64_t root_cpu_ns = 0;
+  std::uint64_t root_io_wait_ns = 0;
+  std::uint64_t root_lock_wait_ns = 0;
+  std::uint64_t root_sched_wait_ns = 0;
+  std::uint64_t queued_ns = 0;
+
+  bool any() const {
+    return cpu_ns != 0 || io_wait_ns != 0 || lock_wait_ns != 0 ||
+           decode_ns != 0 || queued_ns != 0;
+  }
+};
+
+JobUsageSnapshot snapshot_usage(const JobUsage& usage);
+
+namespace detail {
+extern thread_local JobUsage* t_usage;
+/// True when the current binding is the job's body thread (UsageScope
+/// kRoot): waits also land in the critical-path lane.
+extern thread_local bool t_usage_root;
+}  // namespace detail
+
+/// The job usage the calling thread currently charges into (null = none).
+inline JobUsage* current_usage() { return detail::t_usage; }
+
+inline void charge_io_wait(std::uint64_t ns) {
+  if (JobUsage* u = detail::t_usage) {
+    u->io_wait_ns.fetch_add(ns, std::memory_order_relaxed);
+    if (detail::t_usage_root) {
+      u->root_io_wait_ns.fetch_add(ns, std::memory_order_relaxed);
+    }
+  }
+}
+inline void charge_lock_wait(std::uint64_t ns) {
+  if (JobUsage* u = detail::t_usage) {
+    u->lock_wait_ns.fetch_add(ns, std::memory_order_relaxed);
+    if (detail::t_usage_root) {
+      u->root_lock_wait_ns.fetch_add(ns, std::memory_order_relaxed);
+    }
+  }
+}
+inline void charge_decode(std::uint64_t ns) {
+  if (JobUsage* u = detail::t_usage) {
+    u->decode_ns.fetch_add(ns, std::memory_order_relaxed);
+  }
+}
+
+/// RAII binding: routes the calling thread's charges into `usage` for the
+/// scope's lifetime and, on exit, charges the thread's consumed CPU delta
+/// (CLOCK_THREAD_CPUTIME_ID). Pass null to suspend charging (restores the
+/// previous binding either way). Pool workers and the scheduler wrap each
+/// task execution in one of these.
+///
+/// kRoot (the default, and what the scheduler uses for the job body) also
+/// feeds the critical-path lane so the per-job wall decomposition sums to
+/// the job's wall; pool workers lending cycles to someone else's job bind
+/// with kHelper — their charges overlap the body thread's wall and only
+/// belong in the cross-thread totals.
+class UsageScope {
+ public:
+  enum Lane { kRoot, kHelper };
+
+  explicit UsageScope(JobUsage* usage, Lane lane = kRoot)
+      : prev_(detail::t_usage),
+        prev_root_(detail::t_usage_root),
+        usage_(usage),
+        root_(usage != nullptr && lane == kRoot),
+        cpu0_(usage != nullptr ? thread_cpu_ns() : 0),
+        sched0_(root_ ? thread_sched_wait_ns() : 0) {
+    detail::t_usage = usage;
+    detail::t_usage_root = root_;
+  }
+  ~UsageScope() {
+    if (usage_ != nullptr) {
+      const std::uint64_t cpu = thread_cpu_ns() - cpu0_;
+      usage_->cpu_ns.fetch_add(cpu, std::memory_order_relaxed);
+      if (root_) {
+        usage_->root_cpu_ns.fetch_add(cpu, std::memory_order_relaxed);
+        const std::uint64_t sched = thread_sched_wait_ns();
+        if (sched > sched0_) {  // a 0 read means schedstat is unavailable
+          usage_->root_sched_wait_ns.fetch_add(sched - sched0_,
+                                               std::memory_order_relaxed);
+        }
+      }
+    }
+    detail::t_usage = prev_;
+    detail::t_usage_root = prev_root_;
+  }
+  UsageScope(const UsageScope&) = delete;
+  UsageScope& operator=(const UsageScope&) = delete;
+
+ private:
+  JobUsage* prev_;
+  bool prev_root_;
+  JobUsage* usage_;
+  bool root_;
+  std::uint64_t cpu0_;
+  std::uint64_t sched0_;
+};
+
+// ---------------------------------------------------------------------------
+// Lock contention observability.
+
+/// Cumulative counters of one named lock site (process lifetime).
+struct LockSiteStats {
+  const char* name = "";
+  std::uint64_t acquisitions = 0;  ///< armed lock() calls
+  std::uint64_t contended = 0;     ///< armed lock() calls that had to wait
+  std::uint64_t wait_ns = 0;       ///< wall spent blocked acquiring
+  std::uint64_t hold_ns = 0;       ///< wall the lock was held (armed holds)
+};
+
+class LockSite {
+ public:
+  explicit LockSite(const char* name) : name_(name) {}
+
+  const char* name() const { return name_; }
+  void on_acquire() { acquisitions_.fetch_add(1, std::memory_order_relaxed); }
+  void on_wait(std::uint64_t ns) {
+    contended_.fetch_add(1, std::memory_order_relaxed);
+    wait_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  void on_hold(std::uint64_t ns) {
+    hold_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  LockSiteStats stats() const;
+
+ private:
+  const char* name_;
+  std::atomic<std::uint64_t> acquisitions_{0};
+  std::atomic<std::uint64_t> contended_{0};
+  std::atomic<std::uint64_t> wait_ns_{0};
+  std::atomic<std::uint64_t> hold_ns_{0};
+};
+
+/// Process-wide registry of named lock sites. Sites are created once (at
+/// ProfiledMutex construction) and live forever; multiple mutexes may share
+/// one site name (their counters aggregate).
+class LockRegistry {
+ public:
+  static LockRegistry& instance();
+
+  /// Get-or-create by name. `name` must be a string literal (stored).
+  LockSite* site(const char* name);
+
+  std::vector<LockSiteStats> stats() const;
+
+  /// husg_lock_* gauges, one family member per site plus a site count.
+  /// Gauges only: safe as (part of) an admin pre-scrape hook.
+  void publish(Registry& registry) const;
+
+  /// Top-contended-locks JSON array, sorted by cumulative wait:
+  /// [{"name": ..., "acquisitions": ..., "contended": ...,
+  ///   "wait_seconds": ..., "hold_seconds": ...}, ...]
+  void write_top_json(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<LockSite>> sites_;
+};
+
+/// std::mutex wrapper with per-site contention accounting. BasicLockable +
+/// try_lock, so std::lock_guard, std::unique_lock and
+/// std::condition_variable_any all work unchanged.
+///
+/// Disarmed cost: lock() is one relaxed atomic load, a branch, and the plain
+/// mutex lock; unlock() is one plain-bool branch (guarded by the mutex
+/// itself) and the plain unlock. No allocation ever.
+class ProfiledMutex {
+ public:
+  explicit ProfiledMutex(const char* site_name)
+      : site_(LockRegistry::instance().site(site_name)) {}
+
+  ProfiledMutex(const ProfiledMutex&) = delete;
+  ProfiledMutex& operator=(const ProfiledMutex&) = delete;
+
+  void lock() {
+    if (!lock_profile_enabled()) [[likely]] {
+      mu_.lock();
+      return;
+    }
+    lock_slow();
+  }
+
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+    if (lock_profile_enabled()) [[unlikely]] {
+      site_->on_acquire();
+      arm_hold();
+    }
+    return true;
+  }
+
+  void unlock() {
+    // hold_armed_ is guarded by the mutex we are about to release, so this
+    // is a plain read; it is only ever true for holds that began armed.
+    if (hold_armed_) [[unlikely]] {
+      hold_armed_ = false;
+      site_->on_hold(now_ns() - hold_start_ns_);
+    }
+    mu_.unlock();
+  }
+
+  const LockSite* site() const { return site_; }
+
+ private:
+  void lock_slow();
+  void arm_hold() {
+    hold_start_ns_ = now_ns();
+    hold_armed_ = true;
+  }
+
+  std::mutex mu_;
+  LockSite* site_;
+  bool hold_armed_ = false;          ///< guarded by mu_
+  std::uint64_t hold_start_ns_ = 0;  ///< guarded by mu_
+};
+
+// ---------------------------------------------------------------------------
+// Sampling CPU profiler.
+
+class Profiler {
+ public:
+  /// Span frames captured per sample (deep stacks keep the root side plus
+  /// the leaf — the phase context matters more than mid-stack detail).
+  static constexpr std::uint32_t kMaxCapture = 8;
+  /// Samples retained per thread (ring; oldest overwritten and counted as
+  /// dropped). 2048 at the default 97 Hz is a ~21 s window per thread.
+  static constexpr std::uint32_t kRingSlots = 2048;
+  /// Live span-stack depth tracked per thread.
+  static constexpr std::uint32_t kMaxSpanDepth = 64;
+  static constexpr std::uint32_t kDefaultHz = 97;  ///< prime: avoids beating
+
+  static Profiler& instance();
+
+  /// Arms sampling at `hz` (clamped to [1, 1000]). Threads attach their
+  /// CPU-clock timer lazily at the next span or pool checkpoint — a thread
+  /// that never runs code is never sampled (its CPU clock does not advance
+  /// anyway). Returns false if already running.
+  bool start(std::uint32_t hz = kDefaultHz);
+
+  /// Disarms sampling. Captured samples stay available for export; stale
+  /// per-thread timers fire into a handler that returns immediately and are
+  /// deleted at the thread's next checkpoint or exit.
+  void stop();
+
+  /// Drops all captured samples (ring seqs and counters).
+  void clear();
+
+  bool running() const { return profiling_enabled(); }
+  std::uint32_t hz() const;
+  std::uint64_t samples() const;   ///< recorded since clear(), all threads
+  std::uint64_t dropped() const;   ///< overwritten ring slots
+  std::size_t thread_count() const;
+
+  /// flamegraph.pl / speedscope folded stacks, aggregated across threads:
+  /// one `role;cat.name;...;cat.name count` line per distinct stack.
+  void write_folded(std::ostream& os) const;
+
+  /// husg_cpu_profile_* gauges. Gauges only: pre-scrape safe.
+  void publish(Registry& registry) const;
+
+  /// Labels the calling thread's samples ("main", "pool_worker",
+  /// "dispatcher"...). `role` must be a string literal.
+  static void set_thread_role(const char* role);
+
+  /// Cheap checkpoint for threads that may not pass a span (pool workers
+  /// between tasks, the dispatcher loop): when sampling is armed, lazily
+  /// create/refresh this thread's CPU-clock timer. One relaxed load
+  /// disarmed.
+  static void tick_current_thread() {
+    if (profiling_enabled()) [[unlikely]] {
+      attach_current_thread();
+    }
+  }
+
+  /// Span-stack maintenance, called by Span::arm/finish when profiling is
+  /// armed. Frames are plain stores ordered by signal fences (same-thread
+  /// signal visibility only). push returns false at depth capacity —
+  /// callers skip the matching pop.
+  static bool push_frame(const char* cat, const char* name);
+  static void pop_frame();
+
+  struct ThreadState;  ///< defined in profiler.cpp (signal handler interface)
+
+  /// Registers the calling thread's state (called once per thread via the
+  /// internal thread-local handle; not for general use).
+  ThreadState* register_thread();
+
+ private:
+  Profiler() = default;
+  static void attach_current_thread();
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadState>> threads_;  ///< process lifetime
+  std::atomic<std::uint64_t> epoch_{1};  ///< bumped by start/stop
+  std::atomic<std::uint32_t> hz_{0};
+};
+
+}  // namespace husg::obs

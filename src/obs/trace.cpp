@@ -109,13 +109,24 @@ void Span::arm(const char* cat, const char* name, const char* arg1_key,
   arg1_ = arg1;
   arg2_key_ = arg2_key;
   arg2_ = arg2;
-  start_ns_ = now_ns();
-  armed_ = true;
+  if (profiling_enabled()) {
+    // Span sites double as the lazy timer checkpoints: any thread doing
+    // span-covered work attaches its CPU-clock sampler here.
+    Profiler::tick_current_thread();
+    pushed_ = Profiler::push_frame(cat, name);
+  }
+  if (tracing_enabled()) {
+    start_ns_ = now_ns();
+    armed_ = true;
+  }
 }
 
 void Span::finish() {
-  Tracer::instance().record(cat_, name_, start_ns_, now_ns() - start_ns_,
-                            arg1_key_, arg1_, arg2_key_, arg2_);
+  if (armed_) {
+    Tracer::instance().record(cat_, name_, start_ns_, now_ns() - start_ns_,
+                              arg1_key_, arg1_, arg2_key_, arg2_);
+  }
+  if (pushed_) Profiler::pop_frame();
 }
 
 std::vector<TraceEvent> Tracer::events() const {

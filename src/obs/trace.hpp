@@ -27,6 +27,8 @@
 #include <ostream>
 #include <vector>
 
+#include "obs/profiler.hpp"
+
 namespace husg::obs {
 
 /// Nanoseconds since a process-wide steady-clock epoch (first call).
@@ -111,21 +113,23 @@ class Tracer {
 };
 
 /// RAII span: captures the start time if the tracer is enabled at
-/// construction and records on destruction. Cheap enough for block-level
-/// call sites; do not put one inside per-edge loops.
+/// construction and records on destruction. When the sampling profiler is
+/// armed the span also pushes its cat/name onto the thread's live frame
+/// stack (profiler.hpp), so samples attribute to the innermost span. Cheap
+/// enough for block-level call sites; do not put one inside per-edge loops.
 class Span {
  public:
   explicit Span(const char* cat, const char* name,
                 const char* arg1_key = nullptr, std::int64_t arg1 = 0,
                 const char* arg2_key = nullptr, std::int64_t arg2 = 0)
-      : armed_(false) {
-    if (tracing_enabled()) [[unlikely]] {
+      : armed_(false), pushed_(false) {
+    if (tracing_enabled() || profiling_enabled()) [[unlikely]] {
       arm(cat, name, arg1_key, arg1, arg2_key, arg2);
     }
   }
 
   ~Span() {
-    if (armed_) [[unlikely]] {
+    if (armed_ || pushed_) [[unlikely]] {
       finish();
     }
   }
@@ -134,15 +138,16 @@ class Span {
   Span& operator=(const Span&) = delete;
 
  private:
-  // Outlined so a disabled span site is just the load, the branch, and one
-  // dead store — no clock reads or calls in the inlined fast path.
+  // Outlined so a disabled span site is just the loads, the branch, and two
+  // dead stores — no clock reads or calls in the inlined fast path.
   void arm(const char* cat, const char* name, const char* arg1_key,
            std::int64_t arg1, const char* arg2_key, std::int64_t arg2);
   void finish();
 
-  // Only armed_ is initialized on the fast path; the rest is written by
-  // arm() and read by finish(), both guarded on armed_.
+  // Only armed_/pushed_ are initialized on the fast path; the rest is
+  // written by arm() and read by finish(), both guarded on armed_.
   bool armed_;
+  bool pushed_;  ///< profiler frame pushed (popped in finish)
   const char* cat_;
   const char* name_;
   const char* arg1_key_;

@@ -7,6 +7,41 @@
 
 namespace husg::obs {
 
+const char* classify_bound(const JobUsageSnapshot& usage,
+                           double wall_seconds) {
+  if (wall_seconds <= 0) return "mixed";
+  const double cpu = static_cast<double>(usage.cpu_ns) / 1e9 / wall_seconds;
+  const double io = static_cast<double>(usage.io_wait_ns) / 1e9 / wall_seconds;
+  const double lock =
+      static_cast<double>(usage.lock_wait_ns) / 1e9 / wall_seconds;
+  const double decode =
+      static_cast<double>(usage.decode_ns) / 1e9 / wall_seconds;
+  if (decode >= 0.40) return "decode-bound";
+  if (lock >= 0.25) return "lock-bound";
+  if (io >= 0.40) return "io-bound";
+  if (cpu >= 0.40) return "cpu-bound";
+  return "mixed";
+}
+
+namespace {
+
+/// "io-bound (cpu 12% / io 71% / lock 2% of wall)" — appended to anomaly
+/// details when the scheduler supplied usage for the job.
+void append_bound(std::ostringstream& os, const JobUsageSnapshot& usage,
+                  double wall_seconds) {
+  if (wall_seconds <= 0) return;
+  auto pct = [wall_seconds](std::uint64_t ns) {
+    return static_cast<int>(100.0 * static_cast<double>(ns) / 1e9 /
+                            wall_seconds);
+  };
+  os << "; " << classify_bound(usage, wall_seconds) << " (cpu "
+     << pct(usage.cpu_ns) << "% / io " << pct(usage.io_wait_ns) << "% / lock "
+     << pct(usage.lock_wait_ns) << "% / decode " << pct(usage.decode_ns)
+     << "% of wall)";
+}
+
+}  // namespace
+
 const char* to_string(AnomalyKind kind) {
   switch (kind) {
     case AnomalyKind::kStalledJob:
@@ -72,6 +107,12 @@ void AnomalyWatchdog::evaluate(const std::vector<JobHealth>& jobs,
       std::ostringstream detail;
       detail << "job " << j.id << " (" << j.name << ") silent for "
              << (now - last) / 1'000'000 << " ms at iteration " << j.iteration;
+      if (j.has_usage) {
+        append_bound(detail,
+                     j.usage,
+                     static_cast<double>(now - std::min(now, j.start_ns)) *
+                         1e-9);
+      }
       a.detail = detail.str();
       current.push_back(std::move(a));
     }
@@ -99,6 +140,20 @@ void AnomalyWatchdog::evaluate(const std::vector<JobHealth>& jobs,
       std::ostringstream detail;
       detail << "job wall p95 " << p95_ms << " ms over the " << opts_.slo_ms
              << " ms target (" << wall.count << " jobs)";
+      // Aggregate the running jobs' usage so the burn says what the service
+      // is currently spending its wall on.
+      JobUsageSnapshot agg;
+      double agg_wall = 0;
+      for (const JobHealth& j : jobs) {
+        if (!j.has_usage) continue;
+        agg.cpu_ns += j.usage.cpu_ns;
+        agg.io_wait_ns += j.usage.io_wait_ns;
+        agg.lock_wait_ns += j.usage.lock_wait_ns;
+        agg.decode_ns += j.usage.decode_ns;
+        agg_wall +=
+            static_cast<double>(now - std::min(now, j.start_ns)) * 1e-9;
+      }
+      if (agg_wall > 0) append_bound(detail, agg, agg_wall);
       a.detail = detail.str();
       current.push_back(std::move(a));
     }

@@ -36,6 +36,7 @@
 
 #include "cache/cache_stats.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 
 namespace husg::obs {
 
@@ -74,7 +75,18 @@ struct JobHealth {
   std::uint64_t edges = 0;
   std::uint64_t io_bytes = 0;
   std::uint32_t mispredict_streak = 0;
+  /// Live CPU/wait attribution (§15); valid when has_usage. Lets the
+  /// stalled/SLO rules say WHY a job is slow, not just that it is.
+  JobUsageSnapshot usage;
+  bool has_usage = false;
 };
+
+/// Classifies a job's dominant wall component from its usage split:
+/// "decode-bound" (decode >= 40% of wall), "lock-bound" (lock wait >= 25%),
+/// "io-bound" (io wait >= 40%), "cpu-bound" (cpu >= 40%), else "mixed".
+/// Decode outranks the others because decode time is also CPU time — a
+/// decode-dominated job should be attacked at the codec, not the scheduler.
+const char* classify_bound(const JobUsageSnapshot& usage, double wall_seconds);
 
 struct Anomaly {
   AnomalyKind kind = AnomalyKind::kStalledJob;

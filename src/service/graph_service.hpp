@@ -120,6 +120,8 @@ class GraphService {
   std::vector<JobView> snapshot_jobs() const {
     return scheduler_->snapshot_jobs();
   }
+  /// Per-job CPU/wait breakdown (admin /cpu route and the serve report).
+  std::string cpu_json() const { return scheduler_->cpu_json(); }
   std::uint64_t estimate_bytes(const JobSpec& spec) const;
   std::uint64_t reserved_bytes() const { return scheduler_->reserved_bytes(); }
   const BlockCache* cache() const { return cache_.get(); }

@@ -138,6 +138,23 @@ void ServiceStats::publish(obs::Registry& reg) const {
   reg.gauge("husg_service_peak_reserved_bytes",
             "High-water mark of reserved working-set bytes")
       .set(static_cast<double>(peak_reserved_bytes));
+  // Per-job CPU/wait attribution, aggregated over terminal jobs (§15).
+  // Gauges (cumulative values), so this block is also safe to re-publish
+  // from the admin pre-scrape hook.
+  reg.gauge("husg_cpu_jobs_cpu_seconds", "CPU charged to terminal jobs")
+      .set(static_cast<double>(usage_total.cpu_ns) / 1e9);
+  reg.gauge("husg_cpu_jobs_io_wait_seconds",
+            "I/O wait charged to terminal jobs")
+      .set(static_cast<double>(usage_total.io_wait_ns) / 1e9);
+  reg.gauge("husg_cpu_jobs_lock_wait_seconds",
+            "Lock wait charged to terminal jobs")
+      .set(static_cast<double>(usage_total.lock_wait_ns) / 1e9);
+  reg.gauge("husg_cpu_jobs_decode_seconds",
+            "Codec decode time charged to terminal jobs")
+      .set(static_cast<double>(usage_total.decode_ns) / 1e9);
+  reg.gauge("husg_cpu_jobs_queued_seconds",
+            "Queue wait accumulated by terminal jobs")
+      .set(static_cast<double>(usage_total.queued_ns) / 1e9);
   cache.publish(reg);
 }
 

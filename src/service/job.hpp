@@ -14,6 +14,7 @@
 
 #include "core/run_stats.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "util/common.hpp"
 
 namespace husg {
@@ -71,6 +72,10 @@ struct JobResult {
   /// Final vertex values widened to double (empty unless kCompleted).
   std::vector<double> values;
   double wall_seconds = 0;  ///< queue-exit to finish (includes engine setup)
+  /// Wall decomposition (DESIGN.md §15): cpu is charged at every usage-scope
+  /// boundary; io-wait/lock-wait/decode only advance while obs attribution
+  /// is armed. cpu may honestly exceed wall for multi-threaded jobs.
+  obs::JobUsageSnapshot usage;
 };
 
 /// Admission outcome. `result` is valid only when `accepted`; it becomes
@@ -107,6 +112,8 @@ struct ServiceStats {
   /// Per-job wall-clock distribution over terminal jobs (queue-exit to
   /// finish): min/mean/max plus p50/p95/p99 from the scheduler's histogram.
   obs::LatencySummary job_wall;
+  /// Summed CPU/wait attribution over terminal jobs (husg_cpu_jobs_*).
+  obs::JobUsageSnapshot usage_total;
 
   std::uint64_t rejected() const {
     return rejected_queue_full + rejected_memory + rejected_shutdown;

@@ -17,7 +17,7 @@ JobScheduler::~JobScheduler() { stop(); }
 
 JobTicket JobScheduler::submit(JobSpec spec, std::uint64_t estimate_bytes) {
   JobTicket ticket;
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<obs::ProfiledMutex> lock(mu_);
   ++stats_.submitted;
   if (stopping_) {
     ++stats_.rejected_shutdown;
@@ -51,6 +51,7 @@ JobTicket JobScheduler::submit(JobSpec spec, std::uint64_t estimate_bytes) {
   job->estimate = estimate_bytes;
   job->token = std::make_shared<CancellationToken>();
   job->submit_ns = obs::now_ns();
+  job->usage = std::make_shared<obs::JobUsage>();
   ticket.accepted = true;
   ticket.id = job->id;
   ticket.result = job->promise.get_future().share();
@@ -101,6 +102,10 @@ void JobScheduler::start_locked(std::size_t index) {
   r.algo = job->spec.algo;
   r.priority = job->spec.priority;
   r.start_ns = obs::now_ns();
+  // Queue wait is final here: written once before any worker binds the
+  // usage, so the plain (non-atomic) field is race-free.
+  job->usage->queued_ns = r.start_ns - std::min(r.start_ns, job->submit_ns);
+  r.usage = job->usage;
   r.beat = std::make_shared<obs::ProgressBeat>();
   if (job->spec.timeout_ms > 0) {
     r.has_deadline = true;
@@ -118,6 +123,7 @@ void JobScheduler::start_locked(std::size_t index) {
 }
 
 void JobScheduler::dispatcher_loop() {
+  obs::Profiler::set_thread_role("dispatcher");
   const bool tick_enabled =
       opts_.repartition_interval_ms > 0 && opts_.repartition != nullptr;
   const auto tick_interval =
@@ -130,7 +136,7 @@ void JobScheduler::dispatcher_loop() {
       std::chrono::milliseconds(opts_.watchdog_interval_ms);
   Clock::time_point next_wd =
       wd_enabled ? Clock::now() + wd_interval : Clock::time_point::max();
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<obs::ProfiledMutex> lock(mu_);
   for (;;) {
     // Start the head job while slots and memory allow. Memory shortfall
     // blocks the queue (see header) until running reservations release.
@@ -194,6 +200,10 @@ void JobScheduler::dispatcher_loop() {
             h.mispredict_streak =
                 r.beat->mispredict_streak.load(std::memory_order_relaxed);
           }
+          if (r.usage) {
+            h.usage = obs::snapshot_usage(*r.usage);
+            h.has_usage = true;
+          }
           health.push_back(std::move(h));
         }
         const obs::LatencySummary wall =
@@ -221,6 +231,11 @@ void JobScheduler::run_one(std::shared_ptr<Pending> job) {
   Timer timer;
   JobResult res;
   try {
+    // Bind this worker's charges (CPU, io/lock waits, decode) to the job;
+    // the pool propagates the binding to gang workers and one-shots the
+    // runner spawns. The scope closes (charging this thread's CPU delta)
+    // before the bookkeeping below.
+    obs::UsageScope usage_scope(job->usage.get());
     res = runner_(job->spec, job->id, *job->token);
     res.status = JobStatus::kCompleted;
   } catch (const OperationCancelled& e) {
@@ -235,14 +250,32 @@ void JobScheduler::run_one(std::shared_ptr<Pending> job) {
   res.id = job->id;
   res.name = job->spec.name;
   res.wall_seconds = timer.seconds();
+  res.usage = obs::snapshot_usage(*job->usage);
   job_wall_ns_.record(static_cast<std::uint64_t>(res.wall_seconds * 1e9));
   std::shared_ptr<obs::ProgressBeat> beat;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<obs::ProfiledMutex> lock(mu_);
     auto run_it = running_.find(job->id);
     if (run_it != running_.end()) beat = run_it->second.beat;
     reserved_bytes_ -= job->estimate;
     running_.erase(job->id);
+    FinishedUsage fin;
+    fin.id = res.id;
+    fin.name = res.name;
+    fin.status = res.status;
+    fin.wall_seconds = res.wall_seconds;
+    fin.usage = res.usage;
+    recent_usage_.push_back(std::move(fin));
+    if (recent_usage_.size() > kRecentUsage) recent_usage_.pop_front();
+    stats_.usage_total.cpu_ns += res.usage.cpu_ns;
+    stats_.usage_total.io_wait_ns += res.usage.io_wait_ns;
+    stats_.usage_total.lock_wait_ns += res.usage.lock_wait_ns;
+    stats_.usage_total.decode_ns += res.usage.decode_ns;
+    stats_.usage_total.root_cpu_ns += res.usage.root_cpu_ns;
+    stats_.usage_total.root_io_wait_ns += res.usage.root_io_wait_ns;
+    stats_.usage_total.root_lock_wait_ns += res.usage.root_lock_wait_ns;
+    stats_.usage_total.root_sched_wait_ns += res.usage.root_sched_wait_ns;
+    stats_.usage_total.queued_ns += res.usage.queued_ns;
     switch (res.status) {
       case JobStatus::kCompleted:
         ++stats_.completed;
@@ -303,13 +336,13 @@ void JobScheduler::run_one(std::shared_ptr<Pending> job) {
 }
 
 std::shared_ptr<obs::ProgressBeat> JobScheduler::beat_for(JobId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::ProfiledMutex> lock(mu_);
   auto it = running_.find(id);
   return it == running_.end() ? nullptr : it->second.beat;
 }
 
 bool JobScheduler::freeze_heartbeat(JobId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::ProfiledMutex> lock(mu_);
   auto it = running_.find(id);
   if (it == running_.end() || !it->second.beat) return false;
   it->second.beat->frozen.store(true, std::memory_order_relaxed);
@@ -317,7 +350,7 @@ bool JobScheduler::freeze_heartbeat(JobId id) {
 }
 
 bool JobScheduler::cancel(JobId id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<obs::ProfiledMutex> lock(mu_);
   for (std::size_t k = 0; k < pending_.size(); ++k) {
     if (pending_[k]->id != id) continue;
     std::unique_ptr<Pending> job = std::move(pending_[k]);
@@ -343,7 +376,7 @@ bool JobScheduler::cancel(JobId id) {
 }
 
 void JobScheduler::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<obs::ProfiledMutex> lock(mu_);
   cv_idle_.wait(lock, [this] { return pending_.empty() && running_.empty(); });
 }
 
@@ -352,7 +385,7 @@ void JobScheduler::stop() {
   if (!dispatcher_.joinable()) return;  // already stopped
   std::vector<std::unique_ptr<Pending>> dropped;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<obs::ProfiledMutex> lock(mu_);
     stopping_ = true;
     dropped.swap(pending_);
     stats_.cancelled += dropped.size();
@@ -372,31 +405,105 @@ void JobScheduler::stop() {
 }
 
 ServiceStats JobScheduler::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::ProfiledMutex> lock(mu_);
   ServiceStats out = stats_;
   out.job_wall = obs::LatencySummary::from(job_wall_ns_.snapshot());
   return out;
 }
 
 std::uint64_t JobScheduler::reserved_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::ProfiledMutex> lock(mu_);
   return reserved_bytes_;
 }
 
 std::size_t JobScheduler::pending_jobs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::ProfiledMutex> lock(mu_);
   return pending_.size();
 }
 
 std::size_t JobScheduler::running_jobs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::ProfiledMutex> lock(mu_);
   return running_.size();
+}
+
+std::string JobScheduler::cpu_json() const {
+  const std::uint64_t now = obs::now_ns();
+  std::ostringstream os;
+  auto escape = [&os](const std::string& s) {
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        os << '\\' << c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        os << ' ';
+      } else {
+        os << c;
+      }
+    }
+  };
+  bool first = true;
+  auto emit = [&](JobId id, const std::string& name, const char* status,
+                  double wall_seconds, const obs::JobUsageSnapshot& u) {
+    // The wall split uses the critical-path (root) lane: helper-thread
+    // charges overlap the body thread's wall, so only the root lane sums to
+    // wall_seconds. total_cpu_seconds prices the job's full CPU cost across
+    // every thread that worked for it.
+    const double cpu = static_cast<double>(u.root_cpu_ns) / 1e9;
+    const double io = static_cast<double>(u.root_io_wait_ns) / 1e9;
+    const double lock = static_cast<double>(u.root_lock_wait_ns) / 1e9;
+    // Run-queue wait partially overlaps the io/lock wall windows (each
+    // blocking wait ends with a wakeup→scheduled delay that schedstat also
+    // counts), so it is capped at the otherwise-unattributed residual: it
+    // explains the gap, never inflates the sum past wall.
+    const double sched =
+        std::min(static_cast<double>(u.root_sched_wait_ns) / 1e9,
+                 std::max(0.0, wall_seconds - cpu - io - lock));
+    // "other" is the wall the attribution cannot see (scheduler overheads,
+    // untimed waits); decode is a subset of cpu and deliberately excluded
+    // from the residual.
+    const double other =
+        std::max(0.0, wall_seconds - cpu - io - lock - sched);
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"id\": " << id << ", \"name\": \"";
+    escape(name);
+    os << "\", \"status\": \"" << status
+       << "\", \"wall_seconds\": " << wall_seconds
+       << ", \"cpu_seconds\": " << cpu << ", \"io_wait_seconds\": " << io
+       << ", \"lock_wait_seconds\": " << lock
+       << ", \"sched_wait_seconds\": " << sched
+       << ", \"total_cpu_seconds\": " << static_cast<double>(u.cpu_ns) / 1e9
+       << ", \"decode_seconds\": " << static_cast<double>(u.decode_ns) / 1e9
+       << ", \"queued_seconds\": " << static_cast<double>(u.queued_ns) / 1e9
+       << ", \"other_seconds\": " << other << "}";
+  };
+  os << "{\"jobs\": [";
+  {
+    std::lock_guard<obs::ProfiledMutex> lock(mu_);
+    std::vector<JobId> running_ids;
+    running_ids.reserve(running_.size());
+    for (const auto& [id, r] : running_) running_ids.push_back(id);
+    std::sort(running_ids.begin(), running_ids.end());
+    for (JobId id : running_ids) {
+      const Running& r = running_.at(id);
+      obs::JobUsageSnapshot u;
+      if (r.usage) u = obs::snapshot_usage(*r.usage);
+      const double wall =
+          static_cast<double>(now - std::min(now, r.start_ns)) * 1e-9;
+      emit(id, r.name, "running", wall, u);
+    }
+    for (auto it = recent_usage_.rbegin(); it != recent_usage_.rend(); ++it) {
+      emit(it->id, it->name, to_string(it->status), it->wall_seconds,
+           it->usage);
+    }
+  }
+  os << "]}\n";
+  return os.str();
 }
 
 std::vector<JobView> JobScheduler::snapshot_jobs() const {
   const std::uint64_t now = obs::now_ns();
   std::vector<JobView> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<obs::ProfiledMutex> lock(mu_);
   out.reserve(pending_.size() + running_.size());
   for (const auto& job : pending_) {
     JobView v;

@@ -26,6 +26,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
@@ -119,6 +120,13 @@ class JobScheduler {
   /// Live queued + running jobs for the admin /jobs route, sorted by id.
   std::vector<JobView> snapshot_jobs() const;
 
+  /// Per-job CPU/wait breakdown for the admin /cpu route: running jobs
+  /// (live usage snapshot) followed by the most recent terminal jobs,
+  /// `{"jobs": [...]}` with wall decomposed into cpu / io_wait / lock_wait /
+  /// decode / queued / other seconds. Always well-formed; `[]` when nothing
+  /// ran yet.
+  std::string cpu_json() const;
+
   /// The heartbeat of a running job (null when unknown or not yet started).
   /// The pointer stays valid past the job's finish — the engine may keep
   /// ticking it while unwinding.
@@ -139,6 +147,9 @@ class JobScheduler {
     std::promise<JobResult> promise;
     std::shared_ptr<CancellationToken> token;
     std::uint64_t submit_ns = 0;  ///< queue-entry time for the trace
+    /// CPU/wait attribution ledger (§15); shared with Running so the
+    /// watchdog tick can snapshot it while the job executes.
+    std::shared_ptr<obs::JobUsage> usage;
   };
 
   struct Running {
@@ -156,7 +167,20 @@ class JobScheduler {
     /// watchdog tick; shared_ptr so it outlives this entry (run_one erases
     /// it while the runner's stack may still unwind through engine code).
     std::shared_ptr<obs::ProgressBeat> beat;
+    /// Same object as Pending::usage; the watchdog tick snapshots it to
+    /// classify a slow job as io/decode/lock/cpu-bound.
+    std::shared_ptr<obs::JobUsage> usage;
   };
+
+  /// Terminal-job usage rows retained for /cpu and the serve report.
+  struct FinishedUsage {
+    JobId id = 0;
+    std::string name;
+    JobStatus status = JobStatus::kCompleted;
+    double wall_seconds = 0;
+    obs::JobUsageSnapshot usage;
+  };
+  static constexpr std::size_t kRecentUsage = 64;
 
   void dispatcher_loop();
   /// Highest priority, then lowest id. Caller holds mu_.
@@ -170,11 +194,15 @@ class JobScheduler {
   SchedulerOptions opts_;
   Runner runner_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_dispatch_;  ///< wakes the dispatcher
-  std::condition_variable cv_idle_;      ///< wakes wait_idle()
+  /// Contention-profiled (§15): every submit/cancel/snapshot and the
+  /// dispatcher serialize here. condition_variable_any pairs with the
+  /// wrapper's BasicLockable interface.
+  mutable obs::ProfiledMutex mu_{"scheduler_queue"};
+  std::condition_variable_any cv_dispatch_;  ///< wakes the dispatcher
+  std::condition_variable_any cv_idle_;      ///< wakes wait_idle()
   std::vector<std::unique_ptr<Pending>> pending_;
   std::unordered_map<JobId, Running> running_;
+  std::deque<FinishedUsage> recent_usage_;  ///< newest at the back
   std::uint64_t reserved_bytes_ = 0;
   JobId next_id_ = 1;  ///< 0 is the cache's "no job" owner tag
   bool stopping_ = false;

@@ -1,8 +1,10 @@
 #include "util/threadpool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 
+#include "obs/profiler.hpp"
 #include "util/common.hpp"
 
 namespace husg {
@@ -14,6 +16,9 @@ struct ThreadPool::Task {
   const std::function<void(std::size_t, std::size_t, std::size_t)>* ranged =
       nullptr;
   std::size_t workers_total = 0;
+  /// Job usage of the submitting thread: gang workers bind it for the
+  /// task's duration so their CPU/waits charge to the owning job.
+  obs::JobUsage* usage = nullptr;
 
   std::atomic<std::size_t> next{0};          // chunk cursor (indexed mode)
   std::atomic<std::size_t> slice_cursor{0};  // slice cursor (ranged mode)
@@ -73,6 +78,7 @@ void ThreadPool::run_task(Task& task) {
 }
 
 void ThreadPool::worker_loop() {
+  obs::Profiler::set_thread_role("pool_worker");
   std::uint64_t seen_generation = 0;
   for (;;) {
     Task* task = nullptr;
@@ -97,9 +103,16 @@ void ThreadPool::worker_loop() {
         return;  // shutdown_, no work left
       }
     }
+    // Dequeue points double as lazy profiler checkpoints (one relaxed load
+    // disarmed): a worker picking up work attaches its CPU-clock sampler.
+    obs::Profiler::tick_current_thread();
     if (task != nullptr) {
       // Every worker participates in each generation exactly once; the atomic
-      // cursors inside the task partition the work.
+      // cursors inside the task partition the work. The submitter's job
+      // usage (if any) is bound so this worker's CPU and waits charge to it;
+      // the submitter itself is already bound and is not re-wrapped (nesting
+      // the same binding would double-charge its CPU).
+      obs::UsageScope usage_scope(task->usage, obs::UsageScope::kHelper);
       run_task(*task);
     } else {
       oneshot();  // exceptions land in the task's future
@@ -108,6 +121,17 @@ void ThreadPool::worker_loop() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  if (threads_ > 1) {
+    // Carry the submitter's job-usage binding to whichever worker runs the
+    // one-shot. The inline (threads_ == 1) path runs on the already-bound
+    // submitting thread, so wrapping there would double-charge.
+    if (obs::JobUsage* usage = obs::current_usage()) {
+      fn = [usage, inner = std::move(fn)] {
+        obs::UsageScope usage_scope(usage, obs::UsageScope::kHelper);
+        inner();
+      };
+    }
+  }
   std::packaged_task<void()> task(std::move(fn));
   std::future<void> fut = task.get_future();
   if (threads_ == 1) {
@@ -124,6 +148,7 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
 
 void ThreadPool::submit_and_wait(Task& task) {
   task.workers_total = threads_;
+  task.usage = obs::current_usage();
   task.remaining.store(threads_, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -133,11 +158,26 @@ void ThreadPool::submit_and_wait(Task& task) {
   cv_task_.notify_all();
   run_task(task);  // the caller is a participant too
   {
+    // The straggler wait at the gang barrier is real job wall that is
+    // neither CPU nor I/O: charge it as lock (synchronization) wait so the
+    // per-job decomposition (scheduler cpu_json, serve report) accounts for
+    // load imbalance instead of leaving it in the unattributed remainder.
+    const bool charge =
+        task.usage != nullptr && obs::attribution_enabled() &&
+        task.remaining.load(std::memory_order_acquire) != 0;
+    const auto wait_start = charge ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point{};
     std::unique_lock<std::mutex> lock(mutex_);
     cv_done_.wait(lock, [&task] {
       return task.remaining.load(std::memory_order_acquire) == 0;
     });
     current_ = nullptr;
+    if (charge) {
+      obs::charge_lock_wait(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - wait_start)
+              .count()));
+    }
   }
   if (task.error) std::rethrow_exception(task.error);
 }

@@ -13,6 +13,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "husg/husg.hpp"
@@ -208,6 +209,63 @@ TEST(AdminRoutesTest, TraceValidatesWindowAndConflicts) {
   EXPECT_NE(res.body.find("\"traceEvents\""), std::string::npos);
   EXPECT_FALSE(obs::Tracer::instance().enabled())
       << "/trace must disarm the tracer when its window closes";
+}
+
+TEST(AdminRoutesTest, ProfileValidatesWindowAndConflicts) {
+  obs::Registry reg;
+  AdminServer server(AdminOptions{}, reg);
+  EXPECT_EQ(server.handle_request("GET", "/profile", "").status, 400);
+  EXPECT_EQ(server.handle_request("GET", "/profile?ms=", "").status, 400);
+  EXPECT_EQ(server.handle_request("GET", "/profile?ms=abc", "").status, 400);
+  EXPECT_EQ(server.handle_request("GET", "/profile?ms=0", "").status, 400);
+  EXPECT_EQ(server.handle_request("GET", "/profile?ms=5&hz=0", "").status,
+            400);
+  EXPECT_EQ(server.handle_request("GET", "/profile?ms=5&hz=9999", "").status,
+            400);
+  EXPECT_EQ(server.handle_request("POST", "/profile?ms=5", "").status, 405);
+
+  // A --profile-out style session owns the profiler: /profile must refuse.
+  ASSERT_TRUE(obs::Profiler::instance().start(97));
+  EXPECT_EQ(server.handle_request("GET", "/profile?ms=5", "").status, 409);
+  obs::Profiler::instance().stop();
+  obs::Profiler::instance().clear();
+
+  // A valid window on an idle process: 200 with a (possibly empty) folded
+  // payload, and the profiler must be disarmed when the window closes.
+  auto res = server.handle_request("GET", "/profile?ms=5&hz=199", "");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_NE(res.content_type.find("text/plain"), std::string::npos);
+  EXPECT_FALSE(obs::Profiler::instance().running())
+      << "/profile must disarm the profiler when its window closes";
+  // Every non-empty line ends in " <count>" (folded-stack well-formedness).
+  std::istringstream lines(res.body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    EXPECT_GT(std::stoull(line.substr(sp + 1)), 0u) << line;
+  }
+  obs::Profiler::instance().clear();
+}
+
+TEST(AdminRoutesTest, CpuRouteServesHookOrEmptyDocument) {
+  obs::Registry reg;
+  AdminServer server(AdminOptions{}, reg);
+  // No scheduler attached: still a well-formed empty payload, not an error.
+  auto res = server.handle_request("GET", "/cpu", "");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(res.content_type, "application/json");
+  EXPECT_EQ(res.body, "{\"jobs\": []}\n");
+  EXPECT_EQ(server.handle_request("POST", "/cpu", "").status, 405);
+
+  server.set_cpu([] {
+    return std::string(
+        "{\"jobs\": [{\"id\": 9, \"cpu_seconds\": 0.25}]}\n");
+  });
+  res = server.handle_request("GET", "/cpu", "");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_NE(res.body.find("\"id\": 9"), std::string::npos);
 }
 
 TEST(AdminRoutesTest, UnknownPathIs404) {

@@ -21,10 +21,12 @@ fi
   || fail "perf_smoke exited nonzero"
 [ -s "$WORK/BENCH_perf_smoke.json" ] || fail "bench wrote no JSON report"
 
-# Same binary vs the checked-in baseline: zero regressions.
+# Same binary vs the checked-in baseline: zero regressions. --strict also
+# fails the gate if a baseline key vanished from the fresh report (a bench
+# that silently stops emitting a counter must not pass).
 python3 "$SRC/tools/bench_regress.py" \
   --baseline "$SRC/bench/baselines/perf_smoke.json" \
-  --current "$WORK/BENCH_perf_smoke.json" \
+  --current "$WORK/BENCH_perf_smoke.json" --strict \
   || fail "regression against checked-in baseline (regenerate \
 bench/baselines/perf_smoke.json if the I/O change is intentional)"
 
@@ -41,6 +43,25 @@ if python3 "$SRC/tools/bench_regress.py" \
     --baseline "$WORK/doctored.json" \
     --current "$WORK/BENCH_perf_smoke.json" > /dev/null 2>&1; then
   fail "gate passed against a doctored baseline"
+fi
+
+# Negative control: a current report whose armed-profiler overhead blows the
+# absolute ceiling (MAX_FIELDS) must trip the gate even though the pinned
+# counters all match.
+python3 - "$WORK/BENCH_perf_smoke.json" "$WORK/slow_profiler.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+for run in d["runs"]:
+    if run["label"] == "profiler/overhead":
+        run["profiler_overhead_ratio"] = 0.5
+with open(sys.argv[2], "w") as f:
+    json.dump(d, f)
+EOF
+if python3 "$SRC/tools/bench_regress.py" \
+    --baseline "$SRC/bench/baselines/perf_smoke.json" \
+    --current "$WORK/slow_profiler.json" > /dev/null 2>&1; then
+  fail "gate passed a profiler overhead ratio above the ceiling"
 fi
 
 echo "perf_regress_test OK"

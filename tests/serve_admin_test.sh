@@ -80,7 +80,7 @@ EOF
 # --max-concurrent 1 keeps queued-bfs pending for the whole long-ranks run,
 # so the /jobs scrape below is race-free.
 "$CLI" serve --store "$WORK/store" --jobs "$WORK/jobs.json" \
-  --max-concurrent 1 --admin-port 0 --io-timing \
+  --max-concurrent 1 --admin-port 0 --io-timing --lock-profile \
   --calibrate observe --cache-partition \
   --heatmap-out "$WORK/heatmap.json" \
   --iotrace-out "$WORK/serve_trace.bin" \
@@ -150,6 +150,16 @@ if command -v python3 > /dev/null 2>&1; then
     || fail "/mrc not valid JSON"
 fi
 
+# Live /cpu scrape: the per-job CPU/wait breakdown must list the running
+# batch (serve always arms attribution, so the decomposition is live).
+fetch GET "$PORT" /cpu > "$WORK/cpu.live" || fail "GET /cpu"
+grep -q '"jobs"' "$WORK/cpu.live" || fail "/cpu missing jobs array"
+grep -q '"cpu_seconds"' "$WORK/cpu.live" || fail "/cpu missing cpu_seconds"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$WORK/cpu.live" > /dev/null \
+    || fail "/cpu not valid JSON"
+fi
+
 # Live /metrics scrape while the job runs: service gauges + valid exposition.
 fetch GET "$PORT" /metrics > "$WORK/metrics.live"
 grep -q '^husg_service_jobs_running 1$' "$WORK/metrics.live" \
@@ -163,7 +173,8 @@ grep -q '^husg_mrc_tracked_jobs' "$WORK/metrics.live" \
 if command -v python3 > /dev/null 2>&1; then
   python3 "$(dirname "$0")/../tools/check_prom.py" \
     --require-family husg_calibration --require-family husg_mrc \
-    --require-family husg_anomaly \
+    --require-family husg_anomaly --require-family husg_cpu \
+    --require-family husg_lock \
     "$WORK/metrics.live" \
     > /dev/null || fail "live metrics not valid Prometheus exposition"
 fi
@@ -256,7 +267,8 @@ grep -q '^husg_anomaly_stalled_jobs_total [1-9]' "$WORK/metrics2.live" \
   || fail "scrape missing nonzero stalled-jobs counter"
 if command -v python3 > /dev/null 2>&1; then
   python3 "$(dirname "$0")/../tools/check_prom.py" \
-    --require-family husg_anomaly "$WORK/metrics2.live" \
+    --require-family husg_anomaly --require-family husg_cpu \
+    --require-family husg_lock "$WORK/metrics2.live" \
     > /dev/null || fail "degraded metrics not valid Prometheus exposition"
 fi
 

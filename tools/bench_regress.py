@@ -48,6 +48,13 @@ FLOAT_FIELDS = [
 ]
 MODEL_FIELD = "modeled_seconds"
 WALL_FIELD = "wall_seconds"
+# Absolute ceilings: the current value must stay at or below the bound no
+# matter what the baseline recorded. Used for noisy-but-bounded metrics
+# where diffing two noisy samples against each other would flake — the
+# armed-profiler overhead (bench/perf_smoke.cpp) must stay within 5%.
+MAX_FIELDS = {
+    "profiler_overhead_ratio": 0.05,
+}
 
 
 def load_report(path):
@@ -102,6 +109,11 @@ def main():
                     help="fail on wall_seconds regressions beyond "
                          "--wall-tol (off by default: wall time is "
                          "machine noise)")
+    ap.add_argument("--strict", action="store_true",
+                    help="treat baseline keys absent from the current "
+                         "report as failures instead of warnings (a bench "
+                         "that silently stops emitting a counter must not "
+                         "pass the gate)")
     args = ap.parse_args()
 
     base_name, base_runs = load_report(args.baseline)
@@ -124,13 +136,19 @@ def main():
         base, cur = base_runs[label], cur_runs[label]
         # A baseline key absent from the fresh report is easy to lose
         # silently when a bench stops emitting a counter: warn so the gap is
-        # visible, but only gate the fields this script understands.
-        gated = set(EXACT_FIELDS) | set(FLOAT_FIELDS) | {MODEL_FIELD,
-                                                         WALL_FIELD}
+        # visible (--strict upgrades the warning to a failure), but only
+        # gate the values of fields this script understands.
+        gated = set(EXACT_FIELDS) | set(FLOAT_FIELDS) | set(MAX_FIELDS) | {
+            MODEL_FIELD, WALL_FIELD}
         dropped = sorted(set(base) - set(cur) - gated)
         for key in dropped:
-            print(f"bench_regress: warning: {label}: baseline key {key!r} "
-                  "absent from current report", file=sys.stderr)
+            if args.strict:
+                failures.append(f"{label}: baseline key {key!r} absent "
+                                "from current report (--strict)")
+            else:
+                print(f"bench_regress: warning: {label}: baseline key "
+                      f"{key!r} absent from current report",
+                      file=sys.stderr)
         for field in EXACT_FIELDS:
             if field not in base:
                 continue  # older baseline schema: skip, don't crash
@@ -155,6 +173,17 @@ def main():
                 failures.append(
                     f"{label}: {field} changed {base[field]} -> "
                     f"{cur[field]} ({d:+.2%}, tol {args.model_tol:.2%})")
+        for field, ceiling in MAX_FIELDS.items():
+            if field not in base:
+                continue  # older baseline schema: skip, don't crash
+            if field not in cur:
+                failures.append(f"{label}: field {field!r} missing from "
+                                "current report")
+                continue
+            if cur[field] > ceiling:
+                failures.append(
+                    f"{label}: {field} = {cur[field]} exceeds the "
+                    f"absolute ceiling {ceiling}")
         if MODEL_FIELD in base and MODEL_FIELD in cur:
             d = rel_delta(base[MODEL_FIELD], cur[MODEL_FIELD])
             if abs(d) > args.model_tol:

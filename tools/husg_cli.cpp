@@ -63,6 +63,7 @@ int usage() {
       "           [--predictor paper|exact|cache-aware]\n"
       "           [--trace-out FILE] [--metrics-out FILE]\n"
       "           [--heatmap-out FILE] [--iotrace-out FILE] [--io-timing]\n"
+      "           [--profile-out FILE] [--profile-hz N] [--lock-profile]\n"
       "           [--io-backend sync|uring|auto] [--queue-depth N]\n"
       "           [--direct] [--admin-port N] [--calibrate off|observe|apply]\n"
       "  serve    --store DIR --jobs FILE [--max-concurrent N] [--queue N]\n"
@@ -73,6 +74,7 @@ int usage() {
       "           [--predictor paper|exact|cache-aware] [--report FILE]\n"
       "           [--trace-out FILE] [--metrics-out FILE]\n"
       "           [--heatmap-out FILE] [--iotrace-out FILE] [--io-timing]\n"
+      "           [--profile-out FILE] [--profile-hz N] [--lock-profile]\n"
       "           [--io-backend sync|uring|auto] [--queue-depth N]\n"
       "           [--direct] [--admin-port N] [--calibrate off|observe|apply]\n"
       "           [--cache-partition] [--repartition-ms N]\n"
@@ -91,9 +93,17 @@ int usage() {
       "--heatmap-out writes per-block access counters (.csv -> CSV, else\n"
       "JSON); --iotrace-out records the block I/O access stream for offline\n"
       "replay with husg_replay (miss-ratio curves, predictor what-ifs);\n"
+      "--profile-out samples every thread's CPU at --profile-hz (default 97)\n"
+      "and writes folded stacks (feed to flamegraph.pl or speedscope);\n"
+      "--lock-profile counts contention, wait and hold time per lock site\n"
+      "(husg_lock_* metrics, top offenders in postmortem bundles); any of\n"
+      "--io-timing/--profile-out/--lock-profile also arms per-job CPU/wait\n"
+      "attribution (serve always arms it: /cpu and the report split each\n"
+      "job's wall into cpu / io-wait / lock-wait / decode / queued).\n"
       "--admin-port starts the admin HTTP server on 127.0.0.1 (0 =\n"
       "ephemeral; GET /healthz /readyz /metrics /jobs /heatmap /calibration\n"
-      "/mrc /trace?ms=N /debug/bundle /loglevel, POST /loglevel).\n"
+      "/mrc /trace?ms=N /profile?ms=N /cpu /debug/bundle /loglevel,\n"
+      "POST /loglevel).\n"
       "--flight-events sizes the per-thread flight-recorder rings (0\n"
       "disables); --watchdog-ms flags a running job with no heartbeat for\n"
       "that long as stalled and degrades /readyz (0 disables, default\n"
@@ -202,6 +212,12 @@ int validate_engine_flags(const Options& opts) {
   if (!obs::parse_calibration_mode(calibrate, cal_mode)) {
     return invalid_option("--calibrate", calibrate, "off|observe|apply");
   }
+  long long hz = opts.get_int("profile-hz",
+                              static_cast<long long>(obs::Profiler::kDefaultHz));
+  if (hz < 1 || hz > 1000) {
+    return invalid_option("--profile-hz", opts.get("profile-hz", ""),
+                          "a sample rate in [1, 1000] Hz");
+  }
   return 0;
 }
 
@@ -284,12 +300,14 @@ void announce_admin(const obs::AdminServer& admin) {
   std::fflush(stdout);
 }
 
-/// Arms the span tracer, I/O latency timing, and the block heatmap per the
-/// --trace-out / --metrics-out / --io-timing / --heatmap-out flags; exports
-/// the files when the command finishes. The metrics side expects the caller
-/// to have publish()ed its ledgers into the global registry before
-/// finish(). The heatmap needs the store's partition count, so it is armed
-/// separately via arm_heatmap() once the store is open.
+/// Arms the span tracer, I/O latency timing, the block heatmap, the
+/// sampling CPU profiler, lock-contention accounting, and per-job CPU/wait
+/// attribution per the --trace-out / --metrics-out / --io-timing /
+/// --heatmap-out / --profile-out / --profile-hz / --lock-profile flags;
+/// exports the files when the command finishes. The metrics side expects
+/// the caller to have publish()ed its ledgers into the global registry
+/// before finish(). The heatmap needs the store's partition count, so it is
+/// armed separately via arm_heatmap() once the store is open.
 class Telemetry {
  public:
   explicit Telemetry(const Options& opts)
@@ -297,12 +315,32 @@ class Telemetry {
         metrics_out_(opts.get("metrics-out", "")),
         heatmap_out_(opts.get("heatmap-out", "")),
         iotrace_out_(opts.get("iotrace-out", "")),
-        io_timing_(opts.get_bool("io-timing", false)) {
+        profile_out_(opts.get("profile-out", "")),
+        profile_hz_(static_cast<std::uint32_t>(opts.get_int(
+            "profile-hz", static_cast<long long>(obs::Profiler::kDefaultHz)))),
+        io_timing_(opts.get_bool("io-timing", false)),
+        lock_profile_(opts.get_bool("lock-profile", false)) {
     if (!trace_out_.empty()) obs::Tracer::instance().start();
     if (io_timing_ || !metrics_out_.empty()) obs::set_io_timing(true);
+    if (!profile_out_.empty()) obs::Profiler::instance().start(profile_hz_);
+    if (lock_profile_) obs::set_lock_profile(true);
+    // Any profiling flag implies the operator wants wall decomposed, so the
+    // wait-charging side comes along (serve arms it unconditionally).
+    if (io_timing_ || !profile_out_.empty() || lock_profile_) {
+      arm_attribution();
+    }
   }
 
   bool metrics_enabled() const { return !metrics_out_.empty(); }
+
+  /// Arms per-job CPU/wait attribution (idempotent). serve calls this
+  /// unconditionally — /cpu and the report always carry the breakdown.
+  void arm_attribution() {
+    if (!attribution_armed_) {
+      obs::set_attribution(true);
+      attribution_armed_ = true;
+    }
+  }
 
   /// Call after the store is open; no-op without --heatmap-out.
   void arm_heatmap(std::uint32_t p) {
@@ -357,12 +395,38 @@ class Telemetry {
                   iotrace_out_.c_str());
       iotrace_out_.clear();
     }
+    if (!profile_out_.empty()) {
+      obs::Profiler& prof = obs::Profiler::instance();
+      prof.stop();
+      std::ofstream f(profile_out_);
+      prof.write_folded(f);
+      std::printf("wrote %llu profile samples (%zu threads, %u Hz) to %s",
+                  static_cast<unsigned long long>(prof.samples()),
+                  prof.thread_count(), prof.hz(), profile_out_.c_str());
+      if (prof.dropped() > 0) {
+        std::printf(" (%llu overwritten; rings are bounded)",
+                    static_cast<unsigned long long>(prof.dropped()));
+      }
+      std::printf("\n");
+      // No clear(): the metrics export below reads the sample counters, and
+      // the process exits after finish().
+      profile_out_.clear();
+    }
     if (io_timing_ || !metrics_out_.empty()) obs::set_io_timing(false);
     if (!metrics_out_.empty()) {
+      obs::Registry& reg = obs::Registry::global();
+      // Always-present §15 families (zeros when the flags never armed).
+      obs::Profiler::instance().publish(reg);
+      obs::LockRegistry::instance().publish(reg);
       std::ofstream f(metrics_out_);
-      obs::Registry::global().write_prometheus(f);
+      reg.write_prometheus(f);
       std::printf("wrote metrics to %s\n", metrics_out_.c_str());
       metrics_out_.clear();
+    }
+    if (lock_profile_) obs::set_lock_profile(false);
+    if (attribution_armed_) {
+      obs::set_attribution(false);
+      attribution_armed_ = false;
     }
   }
 
@@ -371,7 +435,11 @@ class Telemetry {
   std::string metrics_out_;
   std::string heatmap_out_;
   std::string iotrace_out_;
+  std::string profile_out_;
+  std::uint32_t profile_hz_ = obs::Profiler::kDefaultHz;
   bool io_timing_ = false;
+  bool lock_profile_ = false;
+  bool attribution_armed_ = false;
 };
 
 /// Trace-header snapshot of a standalone run's parameters. `store` supplies
@@ -713,12 +781,26 @@ int cmd_run(const Options& opts) {
   if (eo.calibrate != obs::CalibrationMode::kOff) {
     report_calibration_split(last_stats, eo, telemetry.metrics_enabled());
   }
+  // Decode-term audit (§15): the codec model's T_decode vs the decode CPU
+  // that attribution measured. Only evaluates when attribution was armed
+  // (--io-timing / --profile-out / --lock-profile) and blocks were decoded;
+  // decode_bps is identical across this command's engines (same store +
+  // device options), so the plain `engine` serves every algo branch.
+  const obs::DecodeAudit decode_audit =
+      obs::audit_decode(last_stats.codec, engine.decode_bps());
+  if (decode_audit.evaluated) {
+    std::printf("decode audit: predicted %.4fs vs measured %.4fs decode CPU "
+                "(rel error %.2f)\n",
+                decode_audit.predicted_seconds, decode_audit.measured_seconds,
+                decode_audit.rel_error);
+  }
   if (telemetry.metrics_enabled()) {
     obs::Registry& reg = obs::Registry::global();
     last_stats.publish(reg);
     last_stats.cache.publish(reg);
     eo.device.publish(reg);
     obs::PredictorAudit::from_run(last_stats, eo.device).publish(reg);
+    obs::publish(decode_audit, reg);
     if (eo.calibrate != obs::CalibrationMode::kOff) {
       obs::DeviceCalibrator::instance().publish(reg);
     }
@@ -790,7 +872,30 @@ void write_serve_report(const std::string& path, const std::string& store_dir,
         << ", \"write_bytes\": " << r.stats.total_io.write_bytes
         << ", \"cache_hits\": " << r.stats.cache.hits
         << ", \"cache_misses\": " << r.stats.cache.misses
-        << ", \"cache_bytes_saved\": " << r.stats.cache.bytes_saved << "}";
+        << ", \"cache_bytes_saved\": " << r.stats.cache.bytes_saved;
+      // §15 wall decomposition: cpu + io_wait + lock_wait + other == wall,
+      // using the critical-path (root-thread) lane — helper-thread charges
+      // overlap the body thread's wall, so only the root lane sums to it.
+      // total_cpu_seconds is the job's full CPU cost across every thread;
+      // decode is a subset of that total, queued precedes the wall clock.
+      const obs::JobUsageSnapshot& u = r.usage;
+      const double cpu_s = static_cast<double>(u.root_cpu_ns) / 1e9;
+      const double io_s = static_cast<double>(u.root_io_wait_ns) / 1e9;
+      const double lock_s = static_cast<double>(u.root_lock_wait_ns) / 1e9;
+      // Capped at the unattributed residual: run-queue wait overlaps the
+      // wakeup tail of every charged io/lock wall window (see cpu_json).
+      const double sched_s =
+          std::min(static_cast<double>(u.root_sched_wait_ns) / 1e9,
+                   std::max(0.0, r.wall_seconds - cpu_s - io_s - lock_s));
+      f << ", \"cpu_seconds\": " << cpu_s << ", \"io_wait_seconds\": " << io_s
+        << ", \"lock_wait_seconds\": " << lock_s
+        << ", \"sched_wait_seconds\": " << sched_s
+        << ", \"total_cpu_seconds\": " << static_cast<double>(u.cpu_ns) / 1e9
+        << ", \"decode_seconds\": " << static_cast<double>(u.decode_ns) / 1e9
+        << ", \"queued_seconds\": " << static_cast<double>(u.queued_ns) / 1e9
+        << ", \"other_seconds\": "
+        << std::max(0.0, r.wall_seconds - cpu_s - io_s - lock_s - sched_s)
+        << "}";
     }
     f << (k + 1 < jobs.size() ? ",\n" : "\n");
   }
@@ -816,7 +921,17 @@ void write_serve_report(const std::string& path, const std::string& store_dir,
     << ", \"max_seconds\": " << st.job_wall.max_seconds
     << ", \"p50_seconds\": " << st.job_wall.p50_seconds
     << ", \"p95_seconds\": " << st.job_wall.p95_seconds
-    << ", \"p99_seconds\": " << st.job_wall.p99_seconds << "}}";
+    << ", \"p99_seconds\": " << st.job_wall.p99_seconds << "}"
+    << ", \"cpu\": {\"cpu_seconds\": "
+    << static_cast<double>(st.usage_total.cpu_ns) / 1e9
+    << ", \"io_wait_seconds\": "
+    << static_cast<double>(st.usage_total.io_wait_ns) / 1e9
+    << ", \"lock_wait_seconds\": "
+    << static_cast<double>(st.usage_total.lock_wait_ns) / 1e9
+    << ", \"decode_seconds\": "
+    << static_cast<double>(st.usage_total.decode_ns) / 1e9
+    << ", \"queued_seconds\": "
+    << static_cast<double>(st.usage_total.queued_ns) / 1e9 << "}}";
   if (service.options().calibrate != obs::CalibrationMode::kOff) {
     f << ",\n  \"calibration\": ";
     obs::DeviceCalibrator::instance().write_json(f);
@@ -1035,6 +1150,9 @@ int cmd_serve(const Options& opts) {
   }
 
   Telemetry telemetry(opts);
+  // serve always decomposes each job's wall (report + /cpu), so attribution
+  // is armed regardless of the profiling flags.
+  telemetry.arm_attribution();
   telemetry.arm_heatmap(store.meta().p());
   {
     // Shared-cache trace: events carry per-job owner tags; jobs' engines use
@@ -1063,6 +1181,7 @@ int cmd_serve(const Options& opts) {
     }
     admin->set_bundle(
         [&service] { return service.bundle_json("debug-endpoint"); });
+    admin->set_cpu([&service] { return service.cpu_json(); });
     if (service.partition() != nullptr) {
       admin->set_mrc([&service] {
         std::ostringstream os;
@@ -1096,6 +1215,8 @@ int cmd_serve(const Options& opts) {
       if (service.partition() != nullptr) service.partition()->publish(reg);
       if (service.watchdog() != nullptr) service.watchdog()->publish(reg);
       obs::FlightRecorder::instance().publish(reg);
+      obs::Profiler::instance().publish(reg);
+      obs::LockRegistry::instance().publish(reg);
     });
     admin->start();
     announce_admin(*admin);
